@@ -1,0 +1,25 @@
+//! Criterion: multilevel partitioner throughput on power-law graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ds_graph::gen;
+use ds_partition::{simple, MultilevelPartitioner, Partitioner};
+
+fn bench_partitioners(c: &mut Criterion) {
+    let g = gen::rmat(
+        gen::RmatParams { num_nodes: 1 << 14, num_edges: 1 << 18, ..Default::default() },
+        3,
+    );
+    let mut group = c.benchmark_group("partition_16k_nodes");
+    for k in [2usize, 8] {
+        group.bench_with_input(BenchmarkId::new("multilevel", k), &k, |b, &k| {
+            b.iter(|| MultilevelPartitioner::default().partition(&g, k));
+        });
+        group.bench_with_input(BenchmarkId::new("hash", k), &k, |b, &k| {
+            b.iter(|| simple::hash_partition(&g, k));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioners);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Criterion: virtual-queue hand-off cost and the analytic schedule.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds_pipeline::queue::virtual_queue;
+use ds_pipeline::schedule::{PipelineSchedule, StageTimes};
+use ds_simgpu::Clock;
+
+fn bench_pipeline(c: &mut Criterion) {
+    c.bench_function("queue_1000_items_through_3_stages", |b| {
+        b.iter(|| {
+            let (mut q1p, mut q1c) = virtual_queue::<u32>(2);
+            let (mut q2p, mut q2c) = virtual_queue::<u32>(2);
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    let mut clock = Clock::new();
+                    for i in 0..1000u32 {
+                        clock.work(1e-6);
+                        q1p.push(&mut clock, i);
+                    }
+                });
+                s.spawn(move || {
+                    let mut clock = Clock::new();
+                    while let Some(i) = q1c.pop(&mut clock) {
+                        clock.work(1e-6);
+                        q2p.push(&mut clock, i);
+                    }
+                });
+                s.spawn(move || {
+                    let mut clock = Clock::new();
+                    while q2c.pop(&mut clock).is_some() {
+                        clock.work(1e-6);
+                    }
+                });
+            });
+        });
+    });
+    c.bench_function("analytic_schedule_10k_batches", |b| {
+        let times = StageTimes::uniform(10_000, 1.0, 1.2, 0.8);
+        b.iter(|| PipelineSchedule::compute(&times, 2).makespan());
+    });
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion micro-benchmarks: wall-clock cost of the sampler
+//! implementations themselves (one mini-batch, single rank). These
+//! measure *our implementation's* speed, complementing the simulated
+//! times the table binaries report.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ds_graph::gen;
+use ds_sampling::baselines::{IdealSampler, UvaSampler, UvaVariant};
+use ds_sampling::csp::{CspConfig, CspSampler};
+use ds_sampling::{BatchSampler, DistGraph};
+use ds_comm::Communicator;
+use ds_simgpu::{Clock, ClusterSpec};
+use std::sync::Arc;
+
+fn bench_samplers(c: &mut Criterion) {
+    let g = Arc::new(gen::rmat(
+        gen::RmatParams { num_nodes: 1 << 15, num_edges: 1 << 19, ..Default::default() },
+        7,
+    ));
+    let seeds: Vec<u32> = (0..64u32).map(|i| i * 97).collect();
+    let fanout = vec![15usize, 10, 5];
+
+    let mut group = c.benchmark_group("sample_one_batch");
+    group.bench_function("csp_single_rank", |b| {
+        let dg = Arc::new(DistGraph::single(&g));
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let comm = Arc::new(Communicator::new(1, Arc::clone(&cluster)));
+        let mut sampler = CspSampler::new(dg, cluster, comm, 0, CspConfig::node_wise(fanout.clone()));
+        b.iter_batched(
+            Clock::new,
+            |mut clock| sampler.sample_batch(&mut clock, &seeds),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("uva", |b| {
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let mut sampler = UvaSampler::new(
+            Arc::clone(&g), cluster, 0, fanout.clone(), false, UvaVariant::DglUva, 0xD5,
+        );
+        b.iter_batched(
+            Clock::new,
+            |mut clock| sampler.sample_batch(&mut clock, &seeds),
+            BatchSize::SmallInput,
+        );
+    });
+    group.bench_function("ideal", |b| {
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let mut sampler = IdealSampler::new(Arc::clone(&g), cluster, 0, fanout.clone(), 0xD5);
+        b.iter_batched(
+            Clock::new,
+            |mut clock| sampler.sample_batch(&mut clock, &seeds),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_samplers);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Criterion: dense-math kernels backing the trainer (rayon GEMM in the
+//! three backprop orientations, softmax-CE).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ds_tensor::matrix::Matrix;
+use ds_tensor::ops;
+use rand::{Rng, SeedableRng};
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+}
+
+fn bench_tensor(c: &mut Criterion) {
+    let a = rand_matrix(2048, 256, 1);
+    let b = rand_matrix(256, 256, 2);
+    let bt = rand_matrix(2048, 256, 3);
+    c.bench_function("gemm_2048x256x256", |bch| bch.iter(|| a.matmul(&b)));
+    c.bench_function("gemm_tn_weight_grad", |bch| bch.iter(|| a.matmul_tn(&bt)));
+    c.bench_function("gemm_nt_input_grad", |bch| bch.iter(|| a.matmul_nt(&b.transpose())));
+    let logits = rand_matrix(2048, 64, 4);
+    let labels: Vec<u32> = (0..2048).map(|i| (i % 64) as u32).collect();
+    c.bench_function("softmax_ce_2048x64", |bch| {
+        bch.iter(|| ops::softmax_cross_entropy(&logits, &labels))
+    });
+}
+
+criterion_group!(benches, bench_tensor);
+criterion_main!(benches);

@@ -1,0 +1,91 @@
+//! Ablation: how much does the METIS-style partitioner buy over
+//! structure-oblivious layouts? Measures CSP's NVLink traffic and
+//! sampling time under multilevel / range / hash partitions (8 GPUs).
+//! DESIGN.md calls this out: DSP's locality argument (§3.1) rests on
+//! minimized edge cut.
+
+use ds_bench::{dataset, print_table};
+use ds_comm::Communicator;
+use ds_partition::{quality, simple, MultilevelPartitioner, Partition, Partitioner, Renumbering};
+use ds_sampling::csp::{CspConfig, CspSampler};
+use ds_sampling::{BatchSampler, DistGraph, SeedSchedule};
+use ds_simgpu::{Clock, ClusterSpec};
+use dsp_core::config::TrainConfig;
+use std::sync::Arc;
+
+fn run_with_partition(
+    d: &ds_graph::Dataset,
+    partition: &Partition,
+    cfg: &TrainConfig,
+) -> (f64, u64, f64) {
+    let gpus = partition.num_parts();
+    let renum = Renumbering::from_partition(partition);
+    let graph = renum.apply_graph(&d.graph);
+    let dg = Arc::new(DistGraph::from_renumbered(&graph, &renum));
+    let cluster = Arc::new(ClusterSpec::v100_scaled(gpus, d.spec.scale).build());
+    let comm = Arc::new(Communicator::new(1, Arc::clone(&cluster)));
+    let train_new = renum.apply_nodes(&d.train);
+    let mut per_rank: Vec<Vec<u32>> = vec![Vec::new(); gpus];
+    for v in train_new {
+        per_rank[renum.owner_of(v) as usize].push(v);
+    }
+    let nb = SeedSchedule::common_batches(
+        per_rank.iter().map(|s| s.len()).max().unwrap(),
+        cfg.batch_size,
+    );
+    let handles: Vec<_> = (0..gpus)
+        .map(|rank| {
+            let dg = Arc::clone(&dg);
+            let cluster = Arc::clone(&cluster);
+            let comm = Arc::clone(&comm);
+            let sched = SeedSchedule::new(per_rank[rank].clone(), cfg.batch_size, nb, cfg.seed);
+            let fanout = cfg.fanout.clone();
+            let seed = cfg.seed;
+            std::thread::spawn(move || {
+                let mut s = CspSampler::new(
+                    dg,
+                    cluster,
+                    comm,
+                    rank,
+                    CspConfig::node_wise(fanout).with_seed(seed),
+                );
+                let mut clock = Clock::new();
+                for batch in sched.epoch_batches(0) {
+                    let _ = s.sample_batch(&mut clock, &batch);
+                }
+                clock.now()
+            })
+        })
+        .collect();
+    let t = handles.into_iter().map(|h| h.join().unwrap()).fold(0.0, f64::max);
+    let (nvlink, _, _) = cluster.traffic_totals();
+    (t, nvlink, quality::edge_cut_fraction(&d.graph, partition))
+}
+
+fn main() {
+    let gpus = 8;
+    let cfg = TrainConfig::paper_default();
+    let mut rows = Vec::new();
+    for name in ["Products", "Papers"] {
+        let d = dataset(name);
+        for (label, p) in [
+            ("multilevel (METIS-like)", MultilevelPartitioner::default().partition(&d.graph, gpus)),
+            ("range", simple::range_partition(&d.graph, gpus)),
+            ("hash", simple::hash_partition(&d.graph, gpus)),
+        ] {
+            let (t, nvlink, cut) = run_with_partition(d, &p, &cfg);
+            rows.push(vec![
+                d.spec.name.to_string(),
+                label.to_string(),
+                format!("{:.1}%", cut * 100.0),
+                format!("{:.1} MB", nvlink as f64 / 1e6),
+                format!("{t:.5}"),
+            ]);
+        }
+    }
+    print_table(
+        "Ablation: partitioner quality vs CSP sampling traffic/time (8 GPUs)",
+        &["dataset", "partitioner", "edge cut", "NVLink volume", "sampling epoch (s)"],
+        &rows,
+    );
+}

@@ -1,0 +1,33 @@
+//! Ablation: pipeline queue capacity. The paper (§5) sets it to 2 and
+//! reports that is sufficient; this sweep verifies capacity 1 loses
+//! some overlap and capacities >2 buy (almost) nothing.
+
+use ds_bench::{dataset, print_table};
+use dsp_core::config::{SystemKind, TrainConfig};
+use dsp_core::runner::run_epoch_time;
+
+fn main() {
+    let gpus = 8;
+    let d = dataset("Papers");
+    let mut rows = Vec::new();
+    let seq = run_epoch_time(SystemKind::DspSeq, d, gpus, &TrainConfig::paper_default(), 0, 1)
+        .epoch_time;
+    for cap in [1usize, 2, 3, 4, 8] {
+        let mut cfg = TrainConfig::paper_default();
+        cfg.queue_capacity = cap;
+        let stats = run_epoch_time(SystemKind::Dsp, d, gpus, &cfg, 0, 1);
+        eprintln!("[queue-capacity] cap {cap}: {:.4}s", stats.epoch_time);
+        rows.push(vec![
+            cap.to_string(),
+            format!("{:.4}", stats.epoch_time),
+            format!("{:.2}x", seq / stats.epoch_time),
+            format!("{:.1}%", stats.utilization * 100.0),
+        ]);
+    }
+    rows.push(vec!["(seq)".into(), format!("{seq:.4}"), "1.00x".into(), String::new()]);
+    print_table(
+        &format!("Ablation ({}): queue capacity vs epoch time, 8 GPUs", d.spec.name),
+        &["capacity", "epoch (s)", "speedup vs DSP-Seq", "utilization"],
+        &rows,
+    );
+}

@@ -1,0 +1,44 @@
+//! Extension (§3.2's multi-machine paragraph, not evaluated in the
+//! paper): project DSP's measured single-machine epoch onto a cluster
+//! where topology + hot features are replicated per machine and cold
+//! features are partitioned — machines communicate only for cold
+//! features and gradient synchronization.
+
+use ds_bench::{dataset, print_table};
+use dsp_core::config::TrainConfig;
+use dsp_core::multimachine::{project_epoch, MultiMachineSpec};
+use dsp_core::{DspSystem, System};
+
+fn main() {
+    let d = dataset("Friendster"); // the most cold-feature-bound dataset
+    let cfg = TrainConfig::paper_default();
+    let mut dsp = DspSystem::new(d, 8, &cfg, true);
+    let stats = dsp.run_epoch(0);
+    let (hits, cold) = dsp.loader_totals();
+    let row_bytes = d.spec.feat_dim as u64 * 4;
+    let grad_bytes = dsp.grad_bytes();
+    println!(
+        "measured single machine (8 GPUs): epoch {:.4}s, {} cold rows ({} hits), grad {} KB/batch",
+        stats.epoch_time,
+        cold,
+        hits,
+        grad_bytes / 1024
+    );
+    let mut rows = Vec::new();
+    for m in [1usize, 2, 4, 8, 16] {
+        let e = project_epoch(&stats, cold, row_bytes, grad_bytes, MultiMachineSpec::rdma_100g(m));
+        rows.push(vec![
+            m.to_string(),
+            format!("{:.5}", e.epoch_time),
+            format!("{:.2}x", stats.epoch_time / e.epoch_time),
+            format!("{:.5}", e.local_time),
+            format!("{:.5}", e.cold_feature_time),
+            format!("{:.5}", e.grad_sync_time),
+        ]);
+    }
+    print_table(
+        &format!("Multi-machine projection ({}, 8 GPUs/machine, 100 Gb/s)", d.spec.name),
+        &["machines", "epoch (s)", "speedup", "local", "cold-feature net", "grad sync"],
+        &rows,
+    );
+}

@@ -1,0 +1,27 @@
+//! Fig. 12: speedup of DSP (pipelined) over DSP-Seq in epoch time. The
+//! paper's shape: modest at 1 GPU, growing with GPU count (lighter
+//! kernels + more communication → more to overlap), >1.5× at 8 GPUs.
+
+use ds_bench::{datasets, print_table, GPU_COUNTS};
+use dsp_core::config::{SystemKind, TrainConfig};
+use dsp_core::runner::run_epoch_time;
+
+fn main() {
+    let cfg = TrainConfig::paper_default();
+    let mut rows = Vec::new();
+    for d in datasets() {
+        let mut row = vec![d.spec.name.to_string()];
+        for &gpus in &GPU_COUNTS {
+            let seq = run_epoch_time(SystemKind::DspSeq, d, gpus, &cfg, 0, 1).epoch_time;
+            let pipe = run_epoch_time(SystemKind::Dsp, d, gpus, &cfg, 0, 1).epoch_time;
+            eprintln!("[fig12] {} {}-GPU: {:.2}x", d.spec.name, gpus, seq / pipe);
+            row.push(format!("{:.2}x", seq / pipe));
+        }
+        rows.push(row);
+    }
+    print_table(
+        "Fig. 12: speedup of DSP over DSP-Seq (epoch time)",
+        &["dataset", "1-GPU", "2-GPU", "4-GPU", "8-GPU"],
+        &rows,
+    );
+}

@@ -1,0 +1,38 @@
+//! Fig. 6: GPU utilization of sequential execution (DSP-Seq) versus the
+//! pipeline, as the GPU count grows. Utilization = busy kernel time /
+//! elapsed time, averaged over devices. The paper's shape: both drop
+//! with more GPUs (kernels shrink, stalls grow), the pipeline recovers
+//! a large fraction.
+
+use ds_bench::{dataset, print_table, GPU_COUNTS};
+use dsp_core::config::{SystemKind, TrainConfig};
+use dsp_core::runner::run_epoch_time;
+
+fn main() {
+    let cfg = TrainConfig::paper_default();
+    for name in ["Products", "Papers"] {
+        let d = dataset(name);
+        let mut rows = Vec::new();
+        for &gpus in &GPU_COUNTS {
+            let seq = run_epoch_time(SystemKind::DspSeq, d, gpus, &cfg, 0, 1);
+            let pipe = run_epoch_time(SystemKind::Dsp, d, gpus, &cfg, 0, 1);
+            eprintln!(
+                "[fig6] {} {}-GPU: seq {:.1}% pipe {:.1}%",
+                name,
+                gpus,
+                seq.utilization * 100.0,
+                pipe.utilization * 100.0
+            );
+            rows.push(vec![
+                gpus.to_string(),
+                format!("{:.1}%", seq.utilization * 100.0),
+                format!("{:.1}%", pipe.utilization * 100.0),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 6 ({}): GPU utilization, DSP-Seq vs pipeline", d.spec.name),
+            &["GPUs", "DSP-Seq", "DSP (pipeline)"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,33 @@
+//! Table 1: aggregate NVLink and PCIe bandwidth (GBps) of the modelled
+//! DGX-1 machine at different GPU counts. The topology model is built to
+//! match the paper's numbers exactly; this binary prints both.
+
+use ds_bench::{print_table, GPU_COUNTS};
+use ds_simgpu::Topology;
+
+fn main() {
+    let gb = 1.0e9;
+    let paper_pcie = [32.0, 32.0, 64.0, 128.0];
+    let paper_nvlink = [0.0, 100.0, 400.0, 1200.0];
+    let mut rows = Vec::new();
+    let mut pcie_row = vec!["PCIe (model)".to_string()];
+    let mut nvlink_row = vec!["NVLink (model)".to_string()];
+    let mut pcie_paper = vec!["PCIe (paper)".to_string()];
+    let mut nvlink_paper = vec!["NVLink (paper)".to_string()];
+    for (i, &n) in GPU_COUNTS.iter().enumerate() {
+        let t = Topology::dgx1(n);
+        pcie_row.push(format!("{:.0}", t.aggregate_pcie_bw() / gb));
+        nvlink_row.push(format!("{:.0}", t.aggregate_nvlink_bw() / gb));
+        pcie_paper.push(format!("{:.0}", paper_pcie[i]));
+        nvlink_paper.push(format!("{:.0}", paper_nvlink[i]));
+    }
+    rows.push(pcie_row);
+    rows.push(pcie_paper);
+    rows.push(nvlink_row);
+    rows.push(nvlink_paper);
+    print_table(
+        "Table 1: aggregate bandwidth (GBps) on the modelled DGX-1",
+        &["link", "1-GPU", "2-GPU", "4-GPU", "8-GPU"],
+        &rows,
+    );
+}

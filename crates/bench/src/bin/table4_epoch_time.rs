@@ -1,0 +1,51 @@
+//! Table 4: per-epoch training time (simulated seconds) for GraphSAGE
+//! with fan-out [15,10,5] across three datasets, GPU counts 1–8 and the
+//! five systems. Best per column in bold, like the paper.
+//!
+//! Absolute values are for the *scaled* datasets on the simulated
+//! machine (≈50–500× smaller than the paper's runs); EXPERIMENTS.md
+//! compares the *ratios* (who wins, by how much, and scaling trends)
+//! against the paper's Table 4.
+
+use ds_bench::{datasets, mark_best, print_table, quick_mode, GPU_COUNTS};
+use dsp_core::config::{SystemKind, TrainConfig};
+use dsp_core::runner::run_epoch_time;
+
+fn main() {
+    let cfg = TrainConfig::paper_default();
+    let measure = if quick_mode() { 1 } else { 2 };
+    for d in datasets() {
+        let systems = SystemKind::paper_suite();
+        // rows: one per system, columns per GPU count.
+        let mut grid = vec![vec![0.0f64; GPU_COUNTS.len()]; systems.len()];
+        for (gi, &gpus) in GPU_COUNTS.iter().enumerate() {
+            for (si, &kind) in systems.iter().enumerate() {
+                let stats = run_epoch_time(kind, d, gpus, &cfg, 0, measure);
+                grid[si][gi] = stats.epoch_time;
+                eprintln!(
+                    "[table4] {} {} {}-GPU: {:.4}s",
+                    d.spec.name,
+                    kind.name(),
+                    gpus,
+                    stats.epoch_time
+                );
+            }
+        }
+        let mut rows = Vec::new();
+        for (gi, _) in GPU_COUNTS.iter().enumerate() {
+            let col: Vec<f64> = (0..systems.len()).map(|si| grid[si][gi]).collect();
+            let marked = mark_best(&col);
+            for (si, m) in marked.into_iter().enumerate() {
+                if rows.len() <= si {
+                    rows.push(vec![systems[si].name().to_string()]);
+                }
+                rows[si].push(m);
+            }
+        }
+        print_table(
+            &format!("Table 4 ({}): epoch time (simulated seconds), GraphSAGE", d.spec.name),
+            &["system", "1-GPU", "2-GPU", "4-GPU", "8-GPU"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Table 5: per-epoch training time for GCN at 8 GPUs. GCN's GEMMs are
+//! half the width of GraphSAGE's (no self/neighbor concat), so compute
+//! shrinks and DSP's communication advantages weigh more — the paper
+//! observes larger speedups here than in Table 4.
+
+use ds_bench::{datasets, mark_best, print_table, quick_mode};
+use ds_gnn::GnnKind;
+use dsp_core::config::{SystemKind, TrainConfig};
+use dsp_core::runner::run_epoch_time;
+
+fn main() {
+    let mut cfg = TrainConfig::paper_default();
+    cfg.model = GnnKind::Gcn;
+    let measure = if quick_mode() { 1 } else { 2 };
+    let gpus = 8;
+    let systems = SystemKind::paper_suite();
+    let mut rows: Vec<Vec<String>> = systems.iter().map(|s| vec![s.name().to_string()]).collect();
+    for d in datasets() {
+        let col: Vec<f64> = systems
+            .iter()
+            .map(|&kind| {
+                let t = run_epoch_time(kind, d, gpus, &cfg, 0, measure).epoch_time;
+                eprintln!("[table5] {} {}: {:.4}s", d.spec.name, kind.name(), t);
+                t
+            })
+            .collect();
+        for (si, m) in mark_best(&col).into_iter().enumerate() {
+            rows[si].push(m);
+        }
+    }
+    print_table(
+        "Table 5: epoch time (simulated seconds) for GCN, 8 GPUs",
+        &["system", "Products-S", "Papers-S", "Friendster-S"],
+        &rows,
+    );
+}

@@ -1,0 +1,34 @@
+//! Table 6: graph-sampling time per epoch (samplers run in isolation,
+//! §7.3's protocol), three datasets × GPU counts × five systems.
+
+use ds_bench::{datasets, mark_best, print_table, GPU_COUNTS};
+use dsp_core::config::{SystemKind, TrainConfig};
+use dsp_core::runner::run_sampling_time;
+
+fn main() {
+    let cfg = TrainConfig::paper_default();
+    for d in datasets() {
+        let systems = SystemKind::paper_suite();
+        let mut grid = vec![vec![0.0f64; GPU_COUNTS.len()]; systems.len()];
+        for (gi, &gpus) in GPU_COUNTS.iter().enumerate() {
+            for (si, &kind) in systems.iter().enumerate() {
+                let t = run_sampling_time(kind, d, gpus, &cfg, 1);
+                grid[si][gi] = t;
+                eprintln!("[table6] {} {} {}-GPU: {:.4}s", d.spec.name, kind.name(), gpus, t);
+            }
+        }
+        let mut rows: Vec<Vec<String>> =
+            systems.iter().map(|s| vec![s.name().to_string()]).collect();
+        for gi in 0..GPU_COUNTS.len() {
+            let col: Vec<f64> = (0..systems.len()).map(|si| grid[si][gi]).collect();
+            for (si, m) in mark_best(&col).into_iter().enumerate() {
+                rows[si].push(m);
+            }
+        }
+        print_table(
+            &format!("Table 6 ({}): sampling time per epoch (simulated seconds)", d.spec.name),
+            &["system", "1-GPU", "2-GPU", "4-GPU", "8-GPU"],
+            &rows,
+        );
+    }
+}

@@ -1,0 +1,37 @@
+//! Table 7: layer-wise sampling **without replacement** — DSP on 8 GPUs
+//! versus the FastGCN TensorFlow-CPU implementation. The paper notes
+//! the comparison is not apples-to-apples (no other system samples
+//! layer-wise on GPU); the point is the orders-of-magnitude gap.
+//!
+//! The paper uses fan-out 1000 per layer at batch 1024; with the scaled
+//! batch of 64 we scale the layer fan-out by the same 16× to 250.
+
+use ds_bench::{datasets, print_table, sig3};
+use ds_sampling::csp::Scheme;
+use dsp_core::baseline::fastgcn_cpu_sampling_time;
+use dsp_core::config::{SystemKind, TrainConfig};
+use dsp_core::runner::run_sampling_time;
+
+fn main() {
+    let mut cfg = TrainConfig::paper_default();
+    cfg.num_layers = 2;
+    cfg.fanout = vec![250, 250];
+    cfg.scheme = Scheme::LayerWise { replace: false };
+    let gpus = 8;
+    let mut fast_row = vec!["FastGCN (TF-CPU)".to_string()];
+    let mut dsp_row = vec!["DSP (CSP, 8 GPUs)".to_string()];
+    let mut ratio_row = vec!["speedup".to_string()];
+    for d in datasets() {
+        let t_fast = fastgcn_cpu_sampling_time(d, &cfg.fanout, cfg.batch_size);
+        let t_dsp = run_sampling_time(SystemKind::Dsp, d, gpus, &cfg, 1);
+        eprintln!("[table7] {}: FastGCN {:.3}s DSP {:.4}s", d.spec.name, t_fast, t_dsp);
+        fast_row.push(sig3(t_fast));
+        dsp_row.push(sig3(t_dsp));
+        ratio_row.push(format!("{:.0}x", t_fast / t_dsp));
+    }
+    print_table(
+        "Table 7: layer-wise sampling time per epoch (simulated seconds), without replacement",
+        &["system", "Products-S", "Papers-S", "Friendster-S"],
+        &[fast_row, dsp_row, ratio_row],
+    );
+}

@@ -1,0 +1,408 @@
+//! Feature loaders — one per system design.
+//!
+//! All loaders return exactly `features.gather(nodes)`; they differ only
+//! in *where* the bytes come from (remote GPU cache over NVLink, local
+//! cache in HBM, host memory over UVA, or a CPU-staged PCIe copy) and in
+//! the virtual time and traffic they charge. The paper's loader
+//! parallelizes the hot (NVLink) and cold (PCIe) paths because they use
+//! different links (§3.2): we model that by charging the *maximum* of
+//! the two path times rather than the sum.
+
+use crate::partitioned::PartitionedCache;
+use crate::replicated::ReplicatedCache;
+use ds_comm::Communicator;
+use ds_graph::{Features, NodeId};
+use ds_simgpu::{Clock, Cluster};
+use ds_tensor::Matrix;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Hit/miss counters shared by all loaders.
+#[derive(Debug, Default)]
+pub struct LoaderStats {
+    /// Rows served from some GPU cache.
+    pub cache_hits: AtomicU64,
+    /// Rows fetched from host memory.
+    pub cold_fetches: AtomicU64,
+}
+
+impl LoaderStats {
+    /// Fraction of rows served from GPU caches.
+    pub fn hit_rate(&self) -> f64 {
+        let h = self.cache_hits.load(Ordering::Relaxed);
+        let c = self.cold_fetches.load(Ordering::Relaxed);
+        if h + c == 0 {
+            0.0
+        } else {
+            h as f64 / (h + c) as f64
+        }
+    }
+
+    fn add(&self, hits: u64, cold: u64) {
+        self.cache_hits.fetch_add(hits, Ordering::Relaxed);
+        self.cold_fetches.fetch_add(cold, Ordering::Relaxed);
+    }
+}
+
+/// Common loader interface: fetch the feature rows of `nodes` (assumed
+/// deduplicated — the sampler's input set already is).
+pub trait FeatureLoader {
+    /// Loads features for `nodes` into a row-per-node matrix.
+    fn load(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Matrix;
+
+    /// Shared statistics.
+    fn stats(&self) -> &LoaderStats;
+}
+
+/// DSP's loader: all-to-all over NVLink for rows cached in the
+/// aggregate partitioned cache, UVA for cold rows, the two paths
+/// overlapped (§3.2, §6).
+pub struct DspLoader {
+    cache: Arc<PartitionedCache>,
+    host: Arc<Features>,
+    cluster: Arc<Cluster>,
+    comm: Arc<Communicator>,
+    rank: usize,
+    stats: Arc<LoaderStats>,
+}
+
+impl DspLoader {
+    /// Creates the loader for `rank`; all ranks share `cache` and `comm`.
+    pub fn new(
+        cache: Arc<PartitionedCache>,
+        host: Arc<Features>,
+        cluster: Arc<Cluster>,
+        comm: Arc<Communicator>,
+        rank: usize,
+    ) -> Self {
+        let stats = Arc::new(LoaderStats::default());
+        DspLoader { cache, host, cluster, comm, rank, stats }
+    }
+}
+
+impl FeatureLoader for DspLoader {
+    fn load(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Matrix {
+        let dim = self.cache.dim();
+        let model = *self.cluster.model();
+        let n = self.comm.num_ranks();
+        // Partition requested ids by owner (scan kernel).
+        clock.work(model.gpu.time_full(nodes.len() as u64, model.scan_cycles_per_item));
+        let mut sends: Vec<Vec<NodeId>> = vec![Vec::new(); n];
+        let mut placement = Vec::with_capacity(nodes.len());
+        for &v in nodes {
+            let o = self.cache.owner(v);
+            placement.push((o, sends[o].len() as u32));
+            sends[o].push(v);
+        }
+        // Exchange 1: requested ids (this doubles as the paper's
+        // "fetch the positions of features managed by remote GPUs").
+        let queries = self.comm.all_to_all_v(self.rank, clock, sends, 4);
+        // Serve hits from the local cache slice (gather kernel).
+        let mut local_hits = 0u64;
+        let replies: Vec<(Vec<u8>, Vec<f32>)> = queries
+            .iter()
+            .map(|qs| {
+                let mut flags = Vec::with_capacity(qs.len());
+                let mut rows = Vec::new();
+                for &v in qs {
+                    match self.cache.lookup(self.rank, v) {
+                        Some(row) => {
+                            flags.push(1u8);
+                            rows.extend_from_slice(row);
+                            local_hits += 1;
+                        }
+                        None => flags.push(0u8),
+                    }
+                }
+                (flags, rows)
+            })
+            .collect();
+        clock.work_on(model.gather_time(local_hits, dim as u64 * 4), ds_simgpu::clock::ResKind::Hbm);
+        // Exchange 2+3: hit flags, then the hot rows (the NVLink path).
+        let (flag_sends, row_sends): (Vec<Vec<u8>>, Vec<Vec<f32>>) = replies.into_iter().unzip();
+        let recv_flags = self.comm.all_to_all_v(self.rank, clock, flag_sends, 1);
+        let before_rows = clock.now();
+        let recv_rows = self.comm.all_to_all_v(self.rank, clock, row_sends, 4);
+        let nvlink_path = clock.now() - before_rows;
+
+        // Assemble; collect cold nodes for the UVA path.
+        let mut row_cursor = vec![0usize; n];
+        let mut out = Matrix::zeros(nodes.len(), dim);
+        let mut cold_nodes: Vec<(usize, NodeId)> = Vec::new();
+        for (i, &v) in nodes.iter().enumerate() {
+            let (o, idx) = placement[i];
+            if recv_flags[o][idx as usize] == 1 {
+                let start = row_cursor[o];
+                out.row_mut(i).copy_from_slice(&recv_rows[o][start..start + dim]);
+                row_cursor[o] += dim;
+            } else {
+                cold_nodes.push((i, v));
+            }
+        }
+        // Cold path over UVA, overlapped with the NVLink path: the
+        // slower of the two determines the elapsed time, so roll back
+        // the NVLink row-transfer time if UVA dominates.
+        let uva_time = self.cluster.uva_read(self.rank, cold_nodes.len() as u64, dim as u64 * 4);
+        if uva_time > nvlink_path {
+            clock.work_on(uva_time - nvlink_path, ds_simgpu::clock::ResKind::Pcie);
+        }
+        for (i, v) in &cold_nodes {
+            out.row_mut(*i).copy_from_slice(self.host.row(*v));
+        }
+        let hits = (nodes.len() - cold_nodes.len()) as u64;
+        self.stats.add(hits, cold_nodes.len() as u64);
+        out
+    }
+
+    fn stats(&self) -> &LoaderStats {
+        &self.stats
+    }
+}
+
+/// Quiver's loader: check the local replicated cache, fetch misses from
+/// host memory via UVA.
+pub struct ReplicatedLoader {
+    cache: Arc<ReplicatedCache>,
+    host: Arc<Features>,
+    cluster: Arc<Cluster>,
+    rank: usize,
+    stats: Arc<LoaderStats>,
+}
+
+impl ReplicatedLoader {
+    /// Creates the loader for `rank`.
+    pub fn new(
+        cache: Arc<ReplicatedCache>,
+        host: Arc<Features>,
+        cluster: Arc<Cluster>,
+        rank: usize,
+    ) -> Self {
+        ReplicatedLoader { cache, host, cluster, rank, stats: Arc::new(LoaderStats::default()) }
+    }
+}
+
+impl FeatureLoader for ReplicatedLoader {
+    fn load(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Matrix {
+        let dim = self.cache.dim();
+        let model = *self.cluster.model();
+        let mut out = Matrix::zeros(nodes.len(), dim);
+        let mut hits = 0u64;
+        let mut cold = 0u64;
+        for (i, &v) in nodes.iter().enumerate() {
+            match self.cache.lookup(v) {
+                Some(row) => {
+                    out.row_mut(i).copy_from_slice(row);
+                    hits += 1;
+                }
+                None => {
+                    out.row_mut(i).copy_from_slice(self.host.row(v));
+                    cold += 1;
+                }
+            }
+        }
+        clock.work_on(model.gather_time(hits, dim as u64 * 4), ds_simgpu::clock::ResKind::Hbm);
+        clock.work_on(self.cluster.uva_read(self.rank, cold, dim as u64 * 4), ds_simgpu::clock::ResKind::Pcie);
+        self.stats.add(hits, cold);
+        out
+    }
+
+    fn stats(&self) -> &LoaderStats {
+        &self.stats
+    }
+}
+
+/// DGL-UVA's loader: every row comes from host memory via UVA (the
+/// paper disables its cache because features must fit a single GPU).
+pub struct HostLoader {
+    host: Arc<Features>,
+    cluster: Arc<Cluster>,
+    rank: usize,
+    stats: Arc<LoaderStats>,
+}
+
+impl HostLoader {
+    /// Creates the loader for `rank`.
+    pub fn new(host: Arc<Features>, cluster: Arc<Cluster>, rank: usize) -> Self {
+        HostLoader { host, cluster, rank, stats: Arc::new(LoaderStats::default()) }
+    }
+}
+
+impl FeatureLoader for HostLoader {
+    fn load(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Matrix {
+        let dim = self.host.dim();
+        clock.work_on(
+            self.cluster.uva_read(self.rank, nodes.len() as u64, dim as u64 * 4),
+            ds_simgpu::clock::ResKind::Pcie,
+        );
+        let mut out = Matrix::zeros(nodes.len(), dim);
+        for (i, &v) in nodes.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.host.row(v));
+        }
+        self.stats.add(0, nodes.len() as u64);
+        out
+    }
+
+    fn stats(&self) -> &LoaderStats {
+        &self.stats
+    }
+}
+
+/// The CPU systems' loader (PyG, DGL-CPU): gather rows into a staging
+/// buffer on the host, then one bulk PCIe copy (no TLP amplification —
+/// the copy is sequential — but host DRAM time and PCIe time add up).
+pub struct CpuLoader {
+    host: Arc<Features>,
+    cluster: Arc<Cluster>,
+    rank: usize,
+    /// Gather-bandwidth derating for Python-side collation (PyG ~0.5,
+    /// DGL's C++ dataloader 1.0).
+    gather_efficiency: f64,
+    stats: Arc<LoaderStats>,
+}
+
+impl CpuLoader {
+    /// Creates the loader for `rank` with full native gather efficiency.
+    pub fn new(host: Arc<Features>, cluster: Arc<Cluster>, rank: usize) -> Self {
+        CpuLoader { host, cluster, rank, gather_efficiency: 1.0, stats: Arc::new(LoaderStats::default()) }
+    }
+
+    /// Derates the host gather bandwidth (Python collation overhead).
+    pub fn with_gather_efficiency(mut self, eff: f64) -> Self {
+        assert!(eff > 0.0 && eff <= 1.0);
+        self.gather_efficiency = eff;
+        self
+    }
+}
+
+impl FeatureLoader for CpuLoader {
+    fn load(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Matrix {
+        let dim = self.host.dim();
+        let model = *self.cluster.model();
+        let bytes = nodes.len() as u64 * dim as u64 * 4;
+        // Host-side gather through the framework dataloader: cache-missy
+        // row reads plus a staging write, far below DRAM peak.
+        self.cluster.device(self.rank).meter.record(ds_simgpu::Link::HostDram, 2 * bytes);
+        clock.work(2.0 * bytes as f64 / (model.cpu.host_gather_bw * self.gather_efficiency));
+        // H2D copy from pageable memory (the CPU dataloader path does
+        // not pin buffers), bounded also by the shared PCIe switch.
+        let bw = model.cpu.pageable_pcie_bw.min(self.cluster.topology().pcie_bw(self.rank));
+        self.cluster.device(self.rank).meter.record(ds_simgpu::Link::Pcie, bytes);
+        clock.work_on(
+            ds_simgpu::topology::TRANSFER_LATENCY + bytes as f64 / bw,
+            ds_simgpu::clock::ResKind::Pcie,
+        );
+        let mut out = Matrix::zeros(nodes.len(), dim);
+        for (i, &v) in nodes.iter().enumerate() {
+            out.row_mut(i).copy_from_slice(self.host.row(v));
+        }
+        self.stats.add(0, nodes.len() as u64);
+        out
+    }
+
+    fn stats(&self) -> &LoaderStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::CachePolicy;
+    use ds_graph::gen;
+    use ds_simgpu::ClusterSpec;
+
+    fn setup(n: usize, dim: usize) -> (Arc<Features>, Vec<NodeId>) {
+        let f = Features::from_raw(dim, (0..n * dim).map(|i| (i % 97) as f32).collect());
+        let g = gen::erdos_renyi(n, n * 8, true, 5);
+        let order = CachePolicy::InDegree.rank_nodes(&g);
+        (Arc::new(f), order)
+    }
+
+    #[test]
+    fn host_loader_returns_exact_rows_and_meters_uva() {
+        let (f, _) = setup(64, 8);
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let mut l = HostLoader::new(Arc::clone(&f), Arc::clone(&cluster), 0);
+        let mut clock = Clock::new();
+        let m = l.load(&mut clock, &[3, 10, 63]);
+        assert_eq!(m.row(0), f.row(3));
+        assert_eq!(m.row(2), f.row(63));
+        assert!(cluster.device(0).meter.pcie_bytes() > 0);
+        assert_eq!(l.stats().cold_fetches.load(Ordering::Relaxed), 3);
+        assert_eq!(l.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn replicated_loader_hits_reduce_uva() {
+        let (f, order) = setup(64, 8);
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        // Cache half the rows.
+        let cache = Arc::new(ReplicatedCache::build(&f, &order, 32 * 32));
+        let mut l = ReplicatedLoader::new(cache, Arc::clone(&f), Arc::clone(&cluster), 0);
+        let mut clock = Clock::new();
+        let nodes: Vec<NodeId> = (0..64).collect();
+        let m = l.load(&mut clock, &nodes);
+        for (i, &v) in nodes.iter().enumerate() {
+            assert_eq!(m.row(i), f.row(v));
+        }
+        assert_eq!(l.stats().cache_hits.load(Ordering::Relaxed), 32);
+        assert_eq!(l.stats().cold_fetches.load(Ordering::Relaxed), 32);
+        assert!((l.stats().hit_rate() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cpu_loader_uses_bulk_pcie_without_amplification() {
+        let (f, _) = setup(32, 16);
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let mut l = CpuLoader::new(Arc::clone(&f), Arc::clone(&cluster), 0);
+        let mut clock = Clock::new();
+        l.load(&mut clock, &[0, 1, 2, 3]);
+        // Exactly the useful bytes on PCIe.
+        assert_eq!(cluster.device(0).meter.pcie_bytes(), 4 * 16 * 4);
+        assert_eq!(cluster.device(0).meter.uva_requests(), 0);
+    }
+
+    #[test]
+    fn dsp_loader_collects_hot_remote_and_cold_rows() {
+        // Two ranks, node i's features owned by range halves.
+        let (f, _) = setup(100, 4);
+        let ranges = vec![0u32..50, 50u32..100];
+        // Cache only the first 10 nodes of each range.
+        let order: Vec<NodeId> = (0..10).chain(50..60).collect();
+        let cache = Arc::new(PartitionedCache::build(&f, &ranges, &order, 10 * 16));
+        let cluster = Arc::new(ClusterSpec::v100(2).build());
+        let comm = Arc::new(Communicator::new(31, Arc::clone(&cluster)));
+        let f0 = Arc::clone(&f);
+        let handles: Vec<_> = (0..2)
+            .map(|rank| {
+                let cache = Arc::clone(&cache);
+                let f = Arc::clone(&f);
+                let cluster = Arc::clone(&cluster);
+                let comm = Arc::clone(&comm);
+                std::thread::spawn(move || {
+                    let mut l = DspLoader::new(cache, f, cluster, comm, rank);
+                    let mut clock = Clock::new();
+                    // Each rank requests a mix: local hot, remote hot, cold.
+                    let nodes: Vec<NodeId> = if rank == 0 {
+                        vec![0, 55, 90] // local hot, remote hot, cold
+                    } else {
+                        vec![52, 3, 20] // local hot, remote hot, cold
+                    };
+                    let m = l.load(&mut clock, &nodes);
+                    let hits = l.stats().cache_hits.load(Ordering::Relaxed);
+                    let cold = l.stats().cold_fetches.load(Ordering::Relaxed);
+                    (nodes, m, hits, cold, clock.now())
+                })
+            })
+            .collect();
+        for h in handles {
+            let (nodes, m, hits, cold, t) = h.join().unwrap();
+            for (i, &v) in nodes.iter().enumerate() {
+                assert_eq!(m.row(i), f0.row(v), "row for node {v}");
+            }
+            assert_eq!(hits, 2);
+            assert_eq!(cold, 1);
+            assert!(t > 0.0);
+        }
+    }
+}

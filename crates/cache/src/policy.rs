@@ -1,0 +1,98 @@
+//! Hot-node selection policies for feature caching.
+//!
+//! The paper (§2) lists the criteria used by prior systems — large
+//! in-degree, PageRank score, reverse PageRank score — and DSP defaults
+//! to in-degree (§3.1). `Random` is the ablation control.
+
+use ds_graph::{algo, Csr, NodeId};
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// How to rank nodes by expected feature-access frequency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CachePolicy {
+    /// Large in-degree first (DSP's default).
+    InDegree,
+    /// PageRank score.
+    PageRank,
+    /// Reverse PageRank score (importance as a *source* of samples).
+    ReversePageRank,
+    /// Random order (ablation control).
+    Random {
+        /// Shuffle seed.
+        seed: u64,
+    },
+}
+
+impl CachePolicy {
+    /// Returns all node ids ordered hottest-first under this policy.
+    pub fn rank_nodes(&self, g: &Csr) -> Vec<NodeId> {
+        match *self {
+            CachePolicy::InDegree => {
+                let deg = algo::in_degrees(g);
+                algo::rank_by_desc(&deg)
+            }
+            CachePolicy::PageRank => {
+                let pr = algo::pagerank(g, 0.85, 20);
+                algo::rank_by_desc(&pr)
+            }
+            CachePolicy::ReversePageRank => {
+                let rpr = algo::reverse_pagerank(g, 0.85, 20);
+                algo::rank_by_desc(&rpr)
+            }
+            CachePolicy::Random { seed } => {
+                let mut order: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+                order.shuffle(&mut rng);
+                order
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_graph::gen;
+
+    #[test]
+    fn in_degree_ranks_hubs_first() {
+        let g = gen::rmat(
+            gen::RmatParams { num_nodes: 1024, num_edges: 16_384, ..Default::default() },
+            5,
+        );
+        let order = CachePolicy::InDegree.rank_nodes(&g);
+        let deg = algo::in_degrees(&g);
+        assert!(deg[order[0] as usize] >= deg[order[1023] as usize]);
+        // Ranking covers every node exactly once.
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..1024).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn policies_produce_permutations() {
+        let g = gen::erdos_renyi(256, 2048, true, 3);
+        for policy in [
+            CachePolicy::InDegree,
+            CachePolicy::PageRank,
+            CachePolicy::ReversePageRank,
+            CachePolicy::Random { seed: 7 },
+        ] {
+            let order = policy.rank_nodes(&g);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..256).collect::<Vec<_>>(), "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn random_policy_is_seeded() {
+        let g = gen::ring(128, 1);
+        let a = CachePolicy::Random { seed: 1 }.rank_nodes(&g);
+        let b = CachePolicy::Random { seed: 1 }.rank_nodes(&g);
+        let c = CachePolicy::Random { seed: 2 }.rank_nodes(&g);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,106 @@
+//! Quiver-style replicated feature cache.
+//!
+//! Every GPU caches the *same* globally hottest rows. Hits are purely
+//! local (fast), but the aggregate reach never exceeds one GPU's budget —
+//! the contrast DSP's partitioned cache is designed around (§3.1).
+
+use ds_graph::{Features, NodeId};
+use ds_tensor::Matrix;
+
+const COLD: u32 = u32::MAX;
+
+/// A cache replicated identically on every GPU.
+#[derive(Clone, Debug)]
+pub struct ReplicatedCache {
+    dim: usize,
+    /// Global id → cached row (or `COLD`); identical on all ranks.
+    position: Vec<u32>,
+    storage: Matrix,
+}
+
+impl ReplicatedCache {
+    /// Builds the cache from the hottest prefix that fits `budget_bytes`
+    /// (per GPU — every GPU spends the same budget on the same rows).
+    pub fn build(features: &Features, hot_order: &[NodeId], budget_bytes: u64) -> Self {
+        let dim = features.dim();
+        let rows_max = (budget_bytes / features.row_bytes().max(1)) as usize;
+        let mut position = vec![COLD; features.num_nodes()];
+        let mut data = Vec::new();
+        let mut count = 0usize;
+        for &v in hot_order {
+            if count >= rows_max {
+                break;
+            }
+            if position[v as usize] != COLD {
+                continue;
+            }
+            position[v as usize] = count as u32;
+            data.extend_from_slice(features.row(v));
+            count += 1;
+        }
+        ReplicatedCache { dim, position, storage: Matrix::from_vec(count, dim, data) }
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The cached row of `v`, if cached (identical on every rank).
+    pub fn lookup(&self, v: NodeId) -> Option<&[f32]> {
+        match self.position[v as usize] {
+            COLD => None,
+            slot => Some(self.storage.row(slot as usize)),
+        }
+    }
+
+    /// Whether `v` is cached.
+    pub fn is_cached(&self, v: NodeId) -> bool {
+        self.position[v as usize] != COLD
+    }
+
+    /// Number of cached rows (per GPU).
+    pub fn cached_rows(&self) -> usize {
+        self.storage.rows()
+    }
+
+    /// Cache bytes (per GPU).
+    pub fn bytes(&self) -> u64 {
+        (self.storage.rows() * self.dim * 4) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn features(n: usize, dim: usize) -> Features {
+        Features::from_raw(dim, (0..n * dim).map(|i| i as f32).collect())
+    }
+
+    #[test]
+    fn caches_hottest_prefix() {
+        let f = features(50, 4);
+        let order: Vec<NodeId> = (0..50).rev().collect(); // 49 hottest
+        let cache = ReplicatedCache::build(&f, &order, 3 * 16);
+        assert_eq!(cache.cached_rows(), 3);
+        assert!(cache.is_cached(49) && cache.is_cached(48) && cache.is_cached(47));
+        assert!(!cache.is_cached(0));
+        assert_eq!(cache.lookup(48).unwrap(), f.row(48));
+    }
+
+    #[test]
+    fn zero_budget_is_empty() {
+        let f = features(10, 4);
+        let cache = ReplicatedCache::build(&f, &[1, 2], 0);
+        assert_eq!(cache.cached_rows(), 0);
+        assert!(cache.lookup(1).is_none());
+    }
+
+    #[test]
+    fn duplicates_in_hot_order_are_skipped() {
+        let f = features(10, 2);
+        let cache = ReplicatedCache::build(&f, &[5, 5, 6], 8 * 10);
+        assert_eq!(cache.cached_rows(), 2);
+    }
+}

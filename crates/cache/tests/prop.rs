@@ -1,0 +1,78 @@
+//! Property-based tests for the caching layer.
+
+use ds_cache::{CachePolicy, PartitionedCache, ReplicatedCache};
+use ds_graph::{gen, Features, NodeId};
+use proptest::prelude::*;
+
+fn features(n: usize, dim: usize, seed: u64) -> Features {
+    Features::from_raw(dim, (0..n * dim).map(|i| ((i as u64 ^ seed) % 97) as f32).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partitioned_cache_never_exceeds_budget_and_serves_exact_rows(
+        n in 64usize..512,
+        dim in 1usize..16,
+        k in 1usize..6,
+        budget_rows in 0usize..64,
+        seed in any::<u64>(),
+    ) {
+        let f = features(n, dim, seed);
+        let per = n / k;
+        prop_assume!(per > 0);
+        let ranges: Vec<std::ops::Range<NodeId>> = (0..k)
+            .map(|i| (i * per) as u32..if i == k - 1 { n as u32 } else { ((i + 1) * per) as u32 })
+            .collect();
+        let order: Vec<NodeId> = (0..n as NodeId).rev().collect();
+        let budget = (budget_rows * dim * 4) as u64;
+        let cache = PartitionedCache::build(&f, &ranges, &order, budget);
+        for r in 0..k {
+            prop_assert!(cache.bytes(r) <= budget);
+            prop_assert!(cache.cached_rows(r) <= budget_rows);
+        }
+        // Every cached row is byte-exact and only served by its owner.
+        for v in (0..n as NodeId).step_by(7) {
+            let owner = cache.owner(v);
+            if let Some(row) = cache.lookup(owner, v) {
+                prop_assert_eq!(row, f.row(v));
+            }
+            for r in 0..k {
+                if r != owner {
+                    prop_assert!(cache.lookup(r, v).is_none());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn replicated_cache_hits_are_exact_and_bounded(
+        n in 32usize..256,
+        dim in 1usize..12,
+        budget_rows in 0usize..48,
+        seed in any::<u64>(),
+    ) {
+        let f = features(n, dim, seed);
+        let order: Vec<NodeId> = (0..n as NodeId).collect();
+        let cache = ReplicatedCache::build(&f, &order, (budget_rows * dim * 4) as u64);
+        prop_assert!(cache.cached_rows() <= budget_rows.min(n));
+        for v in 0..n as NodeId {
+            match cache.lookup(v) {
+                Some(row) => prop_assert_eq!(row, f.row(v)),
+                None => prop_assert!((v as usize) >= budget_rows),
+            }
+        }
+    }
+
+    #[test]
+    fn policies_rank_every_node_exactly_once(seed in any::<u64>(), n in 32usize..256) {
+        let g = gen::erdos_renyi(n, n * 6, true, seed);
+        for policy in [CachePolicy::InDegree, CachePolicy::Random { seed }] {
+            let order = policy.rank_nodes(&g);
+            let mut sorted = order.clone();
+            sorted.sort_unstable();
+            prop_assert_eq!(sorted, (0..n as NodeId).collect::<Vec<_>>());
+        }
+    }
+}

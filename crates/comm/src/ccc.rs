@@ -1,0 +1,172 @@
+//! Centralized Communication Coordination (CCC), §5 of the paper.
+//!
+//! Communication deadlocks arise because the *launch order* of
+//! communication kernels can differ across GPUs. CCC fixes one global
+//! order: rank 0 (the leader) appends a worker id to the shared order
+//! whenever one of its workers becomes ready; every rank then launches
+//! communication kernels strictly in that order, waiting for a worker to
+//! become ready locally if necessary.
+//!
+//! [`Coordinator::launch`] wraps the launch: it blocks the calling worker
+//! until (a) the leader has scheduled it and (b) all earlier scheduled
+//! launches on this rank have happened, then runs the provided closure
+//! (slot acquisition) and advances this rank's cursor. With every device
+//! acquiring slots in the same order, circular waits are impossible.
+
+use crate::WorkerId;
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+#[derive(Debug, Default)]
+struct State {
+    /// Global launch order decided by the leader (append-only).
+    order: Vec<WorkerId>,
+    /// Per-rank cursor: how many entries of `order` this rank launched.
+    cursor: Vec<usize>,
+}
+
+/// The CCC coordinator shared by all ranks.
+#[derive(Debug)]
+pub struct Coordinator {
+    state: Mutex<State>,
+    cv: Condvar,
+    leader: usize,
+}
+
+impl Coordinator {
+    /// A coordinator for `num_ranks` ranks with rank 0 as leader.
+    pub fn new(num_ranks: usize) -> Self {
+        Coordinator {
+            state: Mutex::new(State { order: Vec::new(), cursor: vec![0; num_ranks] }),
+            cv: Condvar::new(),
+            leader: 0,
+        }
+    }
+
+    /// The leader rank.
+    pub fn leader(&self) -> usize {
+        self.leader
+    }
+
+    /// Coordinated launch: blocks until it is `worker`'s turn on `rank`,
+    /// runs `acquire` (typically: grab the device's kernel slot), then
+    /// advances the rank's cursor and wakes waiters. Returns whatever
+    /// `acquire` returns.
+    pub fn launch<R>(&self, rank: usize, worker: WorkerId, acquire: impl FnOnce() -> R) -> R {
+        let mut st = self.state.lock();
+        if rank == self.leader {
+            // The leader registers readiness by appending to the order.
+            st.order.push(worker);
+            self.cv.notify_all();
+        }
+        loop {
+            let pos = st.cursor[rank];
+            if pos < st.order.len() && st.order[pos] == worker {
+                break;
+            }
+            // Either the leader hasn't scheduled this worker yet, or an
+            // earlier-scheduled worker on this rank hasn't launched —
+            // "waits for the worker to become ready" (§5).
+            self.cv.wait(&mut st);
+        }
+        // It is this worker's turn. Drop the coordinator lock during the
+        // (potentially blocking) slot acquisition — other ranks must be
+        // free to launch meanwhile. Same-rank order is still safe: no
+        // other worker on this rank passes the turn check until the
+        // cursor advances below.
+        drop(st);
+        let out = acquire();
+        let mut st = self.state.lock();
+        st.cursor[rank] += 1;
+        self.cv.notify_all();
+        out
+    }
+
+    /// Timeout variant used by tests; returns `None` if the turn never
+    /// arrives (e.g. the leader is deadlocked elsewhere).
+    pub fn launch_timeout<R>(
+        &self,
+        rank: usize,
+        worker: WorkerId,
+        timeout: Duration,
+        acquire: impl FnOnce() -> R,
+    ) -> Option<R> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.state.lock();
+        if rank == self.leader {
+            st.order.push(worker);
+            self.cv.notify_all();
+        }
+        loop {
+            let pos = st.cursor[rank];
+            if pos < st.order.len() && st.order[pos] == worker {
+                break;
+            }
+            if self.cv.wait_until(&mut st, deadline).timed_out() {
+                return None;
+            }
+        }
+        drop(st);
+        let out = acquire();
+        let mut st = self.state.lock();
+        st.cursor[rank] += 1;
+        self.cv.notify_all();
+        Some(out)
+    }
+
+    /// The global order decided so far (for inspection/tests).
+    pub fn order_snapshot(&self) -> Vec<WorkerId> {
+        self.state.lock().order.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn leader_defines_order_follower_obeys() {
+        let c = Arc::new(Coordinator::new(2));
+        // Leader launches A then B.
+        c.launch(0, 7, || ());
+        c.launch(0, 9, || ());
+        assert_eq!(c.order_snapshot(), vec![7, 9]);
+        // Follower tries B first: must wait until A launched on rank 1.
+        let c2 = Arc::clone(&c);
+        let follower_b = std::thread::spawn(move || {
+            let order = Arc::new(Mutex::new(Vec::new()));
+            let o2 = Arc::clone(&order);
+            let c3 = Arc::clone(&c2);
+            let hb = std::thread::spawn(move || {
+                c3.launch(1, 9, || o2.lock().push(9));
+            });
+            std::thread::sleep(Duration::from_millis(30));
+            // B should not have launched yet.
+            assert!(order.lock().is_empty());
+            c2.launch(1, 7, || order.lock().push(7));
+            hb.join().unwrap();
+            let launched = order.lock().clone();
+            launched
+        });
+        assert_eq!(follower_b.join().unwrap(), vec![7, 9]);
+    }
+
+    #[test]
+    fn follower_times_out_when_not_scheduled() {
+        let c = Coordinator::new(2);
+        // Leader never registers worker 3; follower must give up.
+        let r = c.launch_timeout(1, 3, Duration::from_millis(40), || ());
+        assert!(r.is_none());
+    }
+
+    #[test]
+    fn repeated_launches_of_same_worker_queue_up() {
+        let c = Arc::new(Coordinator::new(1));
+        // Single-rank degenerate case: leader is also the only follower.
+        for _ in 0..3 {
+            c.launch(0, 5, || ());
+        }
+        assert_eq!(c.order_snapshot(), vec![5, 5, 5]);
+    }
+}

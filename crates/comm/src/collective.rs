@@ -1,0 +1,640 @@
+//! Rendezvous collectives between device threads.
+//!
+//! A [`Communicator`] is shared by the n peer workers of one kind (e.g.
+//! all samplers). Every collective is synchronous, like the paper's NCCL
+//! usage (§4.1): each participant deposits its payload, waits for all
+//! peers, picks up what is addressed to it, and leaves. Payloads move
+//! through shared memory for real; virtual time is charged from the
+//! topology's bandwidth model after synchronizing the participants'
+//! clocks (BSP semantics).
+//!
+//! Launch discipline: if the communicator was built with kernel slots, a
+//! collective first *launches* — occupying one slot on the caller's
+//! device for the whole operation — optionally through the CCC
+//! coordinator. This reproduces the deadlock conditions of §5 faithfully:
+//! see `tests/deadlock.rs` in the workspace integration tests.
+
+use crate::ccc::Coordinator;
+use crate::slots::DeviceSlots;
+use crate::WorkerId;
+use ds_simgpu::topology::TRANSFER_LATENCY;
+use ds_simgpu::{Clock, Cluster};
+use parking_lot::{Condvar, Mutex};
+use std::any::Any;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Errors surfaced by the timeout variants.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CommError {
+    /// The operation did not complete in time — in the deadlock tests
+    /// this is the observable symptom of a communication deadlock.
+    Timeout,
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::Timeout => write!(f, "collective timed out (deadlock?)"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}
+
+/// Effectively-infinite timeout for the blocking entry points.
+const FOREVER: Duration = Duration::from_secs(3600);
+
+/// Communication library being modelled (§3.2's discussion): DSP uses
+/// NCCL because NVSHMEM "can only handle GPUs with direct NVLink
+/// connections while some GPU servers do not have a NVLink mesh".
+/// The NVSHMEM backend is offered where legal: one-sided puts skip the
+/// peer kernel launch entirely — no kernel slots, no CCC needed, and a
+/// fraction of the handshake latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Backend {
+    /// Two-sided rendezvous collectives (the paper's choice).
+    Nccl,
+    /// One-sided puts over a full NVLink mesh.
+    Nvshmem,
+}
+
+struct Round {
+    deposits: Vec<Option<Box<dyn Any + Send>>>,
+    /// Per-source, per-destination payload bytes (for cost + metering).
+    bytes_to: Vec<Vec<u64>>,
+    clocks: Vec<f64>,
+    arrived: usize,
+    departed: usize,
+    generation: u64,
+    sync_time: f64,
+}
+
+impl Round {
+    fn new(n: usize) -> Self {
+        Round {
+            deposits: (0..n).map(|_| None).collect(),
+            bytes_to: vec![vec![0; n]; n],
+            clocks: vec![0.0; n],
+            arrived: 0,
+            departed: 0,
+            generation: 0,
+            sync_time: 0.0,
+        }
+    }
+}
+
+/// A communicator for one worker group spanning all ranks.
+pub struct Communicator {
+    id: WorkerId,
+    n: usize,
+    cluster: Arc<Cluster>,
+    slots: Option<Arc<DeviceSlots>>,
+    ccc: Option<Arc<Coordinator>>,
+    backend: Backend,
+    round: Mutex<Round>,
+    cv: Condvar,
+}
+
+impl Communicator {
+    /// A plain communicator (no kernel-slot contention, no CCC) — used
+    /// when a system runs its workers sequentially, where deadlock is
+    /// structurally impossible.
+    pub fn new(id: WorkerId, cluster: Arc<Cluster>) -> Self {
+        let n = cluster.num_gpus();
+        Communicator { id, n, cluster, slots: None, ccc: None, backend: Backend::Nccl, round: Mutex::new(Round::new(n)), cv: Condvar::new() }
+    }
+
+    /// A communicator whose collectives occupy a kernel slot for their
+    /// duration, launched through `ccc` if provided.
+    pub fn with_slots(
+        id: WorkerId,
+        cluster: Arc<Cluster>,
+        slots: Arc<DeviceSlots>,
+        ccc: Option<Arc<Coordinator>>,
+    ) -> Self {
+        let n = cluster.num_gpus();
+        assert_eq!(slots.num_devices(), n);
+        Communicator { id, n, cluster, slots: Some(slots), ccc, backend: Backend::Nccl, round: Mutex::new(Round::new(n)), cv: Condvar::new() }
+    }
+
+    /// Switches to the NVSHMEM backend. Legal only when every pair of
+    /// in-use GPUs has a direct NVLink connection (§3.2's constraint);
+    /// panics otherwise. One-sided puts don't launch peer kernels, so
+    /// the kernel-slot/CCC machinery is bypassed.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        if backend == Backend::Nvshmem {
+            let topo = self.cluster.topology();
+            for a in 0..self.n {
+                for b in (a + 1)..self.n {
+                    assert!(
+                        topo.nvlink_links(a, b) > 0,
+                        "NVSHMEM requires a full NVLink mesh: GPUs {a} and {b}                          have no direct link (use NCCL, as the paper does)"
+                    );
+                }
+            }
+        }
+        self.backend = backend;
+        self
+    }
+
+    /// The backend in use.
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Worker-group id.
+    pub fn id(&self) -> WorkerId {
+        self.id
+    }
+
+    /// Number of ranks.
+    pub fn num_ranks(&self) -> usize {
+        self.n
+    }
+
+    // --- launch/landing discipline -------------------------------------
+
+    /// Occupies a kernel slot on `rank` (via CCC if configured). Returns
+    /// false on timeout.
+    fn launch(&self, rank: usize, timeout: Duration) -> Result<bool, CommError> {
+        if self.backend == Backend::Nvshmem {
+            // One-sided puts: no peer kernel, no slot to occupy.
+            return Ok(false);
+        }
+        let Some(slots) = &self.slots else { return Ok(false) };
+        let acquired = match &self.ccc {
+            Some(ccc) => ccc
+                .launch_timeout(rank, self.id, timeout, || slots.device(rank).acquire_timeout(timeout))
+                .ok_or(CommError::Timeout)?,
+            None => slots.device(rank).acquire_timeout(timeout),
+        };
+        if !acquired {
+            return Err(CommError::Timeout);
+        }
+        Ok(true)
+    }
+
+    fn land(&self, rank: usize, launched: bool) {
+        if launched {
+            if let Some(slots) = &self.slots {
+                slots.device(rank).release();
+            }
+        }
+    }
+
+    // --- rendezvous core -------------------------------------------------
+
+    /// Deposits a payload + byte row, waits for all peers, then calls
+    /// `pickup` under the round lock and departs. Returns pickup's value.
+    fn exchange<R>(
+        &self,
+        rank: usize,
+        clock: &mut Clock,
+        payload: Box<dyn Any + Send>,
+        bytes_row: Vec<u64>,
+        timeout: Duration,
+        pickup: impl FnOnce(&Round) -> R,
+    ) -> Result<R, CommError> {
+        debug_assert_eq!(bytes_row.len(), self.n);
+        let launched = self.launch(rank, timeout)?;
+        let deadline = std::time::Instant::now() + timeout;
+        let mut st = self.round.lock();
+        // Wait out the drain phase of the previous round.
+        while st.departed > 0 {
+            if self.cv.wait_until(&mut st, deadline).timed_out() {
+                drop(st);
+                self.land(rank, launched);
+                return Err(CommError::Timeout);
+            }
+        }
+        let gen = st.generation;
+        debug_assert!(st.deposits[rank].is_none(), "rank {rank} double-entered collective {}", self.id);
+        st.deposits[rank] = Some(payload);
+        st.bytes_to[rank] = bytes_row;
+        st.clocks[rank] = clock.now();
+        st.arrived += 1;
+        if st.arrived == self.n {
+            st.sync_time = st.clocks.iter().cloned().fold(0.0, f64::max);
+            self.cv.notify_all();
+        }
+        while st.generation == gen && st.arrived < self.n {
+            if self.cv.wait_until(&mut st, deadline).timed_out() {
+                // Withdraw our deposit so the round isn't corrupted.
+                st.deposits[rank] = None;
+                st.arrived -= 1;
+                drop(st);
+                self.land(rank, launched);
+                return Err(CommError::Timeout);
+            }
+        }
+        // All peers arrived: synchronize clock and charge cost.
+        let out = pickup(&st);
+        clock.wait_until(st.sync_time);
+        let cost = self.cost_for(rank, &st.bytes_to);
+        let kind = if self.n == 1 { ds_simgpu::clock::ResKind::Hbm } else { ds_simgpu::clock::ResKind::NvLink };
+        clock.work_on(cost, kind);
+        // Meter this rank's own sends.
+        for dst in 0..self.n {
+            if dst != rank {
+                let b = st.bytes_to[rank][dst];
+                if b > 0 {
+                    let hops = self.cluster.topology().nvlink_hops(rank, dst) as u64;
+                    self.cluster
+                        .device(rank)
+                        .meter
+                        .record(ds_simgpu::Link::NvLink, b * hops);
+                }
+            }
+        }
+        st.departed += 1;
+        if st.departed == self.n {
+            let n = self.n;
+            st.deposits = (0..n).map(|_| None).collect();
+            st.bytes_to = vec![vec![0; n]; n];
+            st.arrived = 0;
+            st.departed = 0;
+            st.generation += 1;
+        }
+        self.cv.notify_all();
+        drop(st);
+        self.land(rank, launched);
+        Ok(out)
+    }
+
+    /// Virtual-time cost of the exchange for `rank`: the max of its
+    /// (hop-weighted) send and receive loads over its NVLink egress
+    /// bandwidth, plus the handshake latency. Single-rank groups pay a
+    /// local-copy cost through HBM instead (§3.2: "cross-GPU
+    /// communications become local memory access").
+    fn cost_for(&self, rank: usize, bytes_to: &[Vec<u64>]) -> f64 {
+        let topo = self.cluster.topology();
+        if self.n == 1 {
+            let local = bytes_to[0][0];
+            if local == 0 {
+                return 0.0;
+            }
+            return self.cluster.model().gpu.bandwidth_time(local, self.cluster.model().hbm_bw);
+        }
+        let mut send = 0.0;
+        let mut recv = 0.0;
+        for other in 0..self.n {
+            if other == rank {
+                continue;
+            }
+            send += (bytes_to[rank][other] * topo.nvlink_hops(rank, other) as u64) as f64;
+            recv += (bytes_to[other][rank] * topo.nvlink_hops(other, rank) as u64) as f64;
+        }
+        let bw = topo.nvlink_egress_bw(rank).max(1.0);
+        let latency = match self.backend {
+            Backend::Nccl => TRANSFER_LATENCY,
+            // No kernel handshake: a put's latency is link-level only.
+            Backend::Nvshmem => TRANSFER_LATENCY / 5.0,
+        };
+        latency + send.max(recv) / bw
+    }
+
+    // --- collectives ------------------------------------------------------
+
+    /// All-to-all with per-destination payload vectors: `sends[d]` goes
+    /// to rank `d`. Returns what every source sent to this rank
+    /// (`result[s]` came from rank `s`; `result[rank]` is the local
+    /// column, moved not copied in spirit).
+    pub fn all_to_all_v<T: Clone + Send + 'static>(
+        &self,
+        rank: usize,
+        clock: &mut Clock,
+        sends: Vec<Vec<T>>,
+        item_bytes: u64,
+    ) -> Vec<Vec<T>> {
+        self.all_to_all_v_timeout(rank, clock, sends, item_bytes, FOREVER).expect("collective timeout")
+    }
+
+    /// Timeout variant of [`Self::all_to_all_v`].
+    pub fn all_to_all_v_timeout<T: Clone + Send + 'static>(
+        &self,
+        rank: usize,
+        clock: &mut Clock,
+        sends: Vec<Vec<T>>,
+        item_bytes: u64,
+        timeout: Duration,
+    ) -> Result<Vec<Vec<T>>, CommError> {
+        assert_eq!(sends.len(), self.n, "all_to_all_v needs one send vector per rank");
+        let bytes_row: Vec<u64> = sends.iter().map(|s| s.len() as u64 * item_bytes).collect();
+        let n = self.n;
+        self.exchange(rank, clock, Box::new(sends), bytes_row, timeout, move |st| {
+            (0..n)
+                .map(|src| {
+                    let dep = st.deposits[src].as_ref().expect("peer deposit missing");
+                    let cols = dep.downcast_ref::<Vec<Vec<T>>>().expect("payload type mismatch");
+                    cols[rank].clone()
+                })
+                .collect()
+        })
+    }
+
+    /// Allreduce (sum) over equal-length f32 buffers — the gradient
+    /// synchronization of BSP data-parallel training. Cost follows the
+    /// ring-allreduce law: each rank moves `2(n-1)/n · B` bytes.
+    pub fn all_reduce_sum(&self, rank: usize, clock: &mut Clock, mut data: Vec<f32>) -> Vec<f32> {
+        let n = self.n;
+        if n == 1 {
+            return data;
+        }
+        let bytes = (data.len() * std::mem::size_of::<f32>()) as u64;
+        // Express the ring volume through the byte matrix: each rank
+        // sends 2(n-1)/n · B spread over its ring neighbor.
+        let ring_bytes = (2 * bytes * (n as u64 - 1)) / n as u64;
+        let mut bytes_row = vec![0u64; n];
+        bytes_row[(rank + 1) % n] = ring_bytes;
+        let out = self
+            .exchange(rank, clock, Box::new(data.clone()), bytes_row, FOREVER, move |st| {
+                let mut acc = vec![0.0f32; 0];
+                for src in 0..n {
+                    let dep = st.deposits[src].as_ref().expect("peer deposit missing");
+                    let buf = dep.downcast_ref::<Vec<f32>>().expect("payload type mismatch");
+                    if acc.is_empty() {
+                        acc = buf.clone();
+                    } else {
+                        assert_eq!(acc.len(), buf.len(), "allreduce length mismatch");
+                        for (a, b) in acc.iter_mut().zip(buf) {
+                            *a += *b;
+                        }
+                    }
+                }
+                acc
+            })
+            .expect("collective timeout");
+        data = out;
+        data
+    }
+
+    /// Allgather: every rank contributes a vector; all ranks receive all
+    /// vectors (indexed by source rank).
+    pub fn all_gather<T: Clone + Send + 'static>(
+        &self,
+        rank: usize,
+        clock: &mut Clock,
+        data: Vec<T>,
+        item_bytes: u64,
+    ) -> Vec<Vec<T>> {
+        let n = self.n;
+        let mut bytes_row = vec![data.len() as u64 * item_bytes; n];
+        bytes_row[rank] = 0;
+        self.exchange(rank, clock, Box::new(data), bytes_row, FOREVER, move |st| {
+            (0..n)
+                .map(|src| {
+                    let dep = st.deposits[src].as_ref().expect("peer deposit missing");
+                    dep.downcast_ref::<Vec<T>>().expect("payload type mismatch").clone()
+                })
+                .collect()
+        })
+        .expect("collective timeout")
+    }
+
+    /// Broadcast from `root`: non-root ranks pass `None` and receive the
+    /// root's payload.
+    pub fn broadcast<T: Clone + Send + 'static>(
+        &self,
+        rank: usize,
+        clock: &mut Clock,
+        root: usize,
+        data: Option<Vec<T>>,
+        item_bytes: u64,
+    ) -> Vec<T> {
+        assert!(root < self.n);
+        assert_eq!(rank == root, data.is_some(), "exactly the root provides data");
+        let n = self.n;
+        let mut bytes_row = vec![0u64; n];
+        if rank == root {
+            let b = data.as_ref().unwrap().len() as u64 * item_bytes;
+            for (d, slot) in bytes_row.iter_mut().enumerate() {
+                if d != root {
+                    *slot = b;
+                }
+            }
+        }
+        self.exchange(rank, clock, Box::new(data), bytes_row, FOREVER, move |st| {
+            let dep = st.deposits[root].as_ref().expect("root deposit missing");
+            dep.downcast_ref::<Option<Vec<T>>>()
+                .expect("payload type mismatch")
+                .clone()
+                .expect("root sent no data")
+        })
+        .expect("collective timeout")
+    }
+
+    /// Barrier: synchronizes clocks, charges latency only.
+    pub fn barrier(&self, rank: usize, clock: &mut Clock) {
+        self.barrier_timeout(rank, clock, FOREVER).expect("collective timeout")
+    }
+
+    /// Timeout variant of [`Self::barrier`] (used by the deadlock tests).
+    pub fn barrier_timeout(
+        &self,
+        rank: usize,
+        clock: &mut Clock,
+        timeout: Duration,
+    ) -> Result<(), CommError> {
+        let bytes_row = vec![0u64; self.n];
+        self.exchange(rank, clock, Box::new(()), bytes_row, timeout, |_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_simgpu::ClusterSpec;
+
+    fn run_ranks<F, R>(n: usize, f: F) -> Vec<R>
+    where
+        F: Fn(usize, &mut Clock) -> R + Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let f = Arc::new(f);
+        let handles: Vec<_> = (0..n)
+            .map(|r| {
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    let mut clock = Clock::new();
+                    f(r, &mut clock)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    #[test]
+    fn all_to_all_routes_payloads() {
+        let cluster = Arc::new(ClusterSpec::v100(4).build());
+        let comm = Arc::new(Communicator::new(1, Arc::clone(&cluster)));
+        let results = run_ranks(4, move |rank, clock| {
+            // Rank r sends value 10*r + d to destination d.
+            let sends: Vec<Vec<u32>> = (0..4).map(|d| vec![10 * rank as u32 + d as u32]).collect();
+            comm.all_to_all_v(rank, clock, sends, 4)
+        });
+        for (rank, recv) in results.iter().enumerate() {
+            for (src, col) in recv.iter().enumerate() {
+                assert_eq!(col, &vec![10 * src as u32 + rank as u32]);
+            }
+        }
+    }
+
+    #[test]
+    fn all_to_all_charges_time_and_traffic() {
+        let cluster = Arc::new(ClusterSpec::v100(2).build());
+        let comm = Arc::new(Communicator::new(2, Arc::clone(&cluster)));
+        let c2 = Arc::clone(&cluster);
+        let results = run_ranks(2, move |rank, clock| {
+            let sends: Vec<Vec<u8>> = (0..2)
+                .map(|d| if d == rank { Vec::new() } else { vec![0u8; 1_000_000] })
+                .collect();
+            comm.all_to_all_v(rank, clock, sends, 1);
+            clock.now()
+        });
+        for t in &results {
+            // 1 MB over 50 GB/s (2 links) ≈ 20 µs + latency.
+            assert!(*t > 1.0e-5, "time {t}");
+        }
+        let (nvlink, _, _) = c2.traffic_totals();
+        assert_eq!(nvlink, 2_000_000);
+    }
+
+    #[test]
+    fn allreduce_sums_across_ranks() {
+        let cluster = Arc::new(ClusterSpec::v100(4).build());
+        let comm = Arc::new(Communicator::new(3, cluster));
+        let results = run_ranks(4, move |rank, clock| {
+            comm.all_reduce_sum(rank, clock, vec![rank as f32, 1.0])
+        });
+        for r in results {
+            assert_eq!(r, vec![0.0 + 1.0 + 2.0 + 3.0, 4.0]);
+        }
+    }
+
+    #[test]
+    fn allreduce_single_rank_is_identity_and_free() {
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let comm = Communicator::new(4, cluster);
+        let mut clock = Clock::new();
+        let out = comm.all_reduce_sum(0, &mut clock, vec![5.0, 6.0]);
+        assert_eq!(out, vec![5.0, 6.0]);
+        assert_eq!(clock.now(), 0.0);
+    }
+
+    #[test]
+    fn allgather_collects_everything() {
+        let cluster = Arc::new(ClusterSpec::v100(3).build());
+        let comm = Arc::new(Communicator::new(5, cluster));
+        let results = run_ranks(3, move |rank, clock| {
+            comm.all_gather(rank, clock, vec![rank as u64 * 100], 8)
+        });
+        for r in results {
+            assert_eq!(r, vec![vec![0], vec![100], vec![200]]);
+        }
+    }
+
+    #[test]
+    fn broadcast_delivers_root_payload() {
+        let cluster = Arc::new(ClusterSpec::v100(4).build());
+        let comm = Arc::new(Communicator::new(6, cluster));
+        let results = run_ranks(4, move |rank, clock| {
+            let data = (rank == 2).then(|| vec![7u32, 8, 9]);
+            comm.broadcast(rank, clock, 2, data, 4)
+        });
+        for r in results {
+            assert_eq!(r, vec![7, 8, 9]);
+        }
+    }
+
+    #[test]
+    fn barrier_synchronizes_clocks() {
+        let cluster = Arc::new(ClusterSpec::v100(2).build());
+        let comm = Arc::new(Communicator::new(7, cluster));
+        let results = run_ranks(2, move |rank, clock| {
+            // Rank 1 is 5 virtual seconds "behind" — after the barrier,
+            // both must be at ≥ 5 s.
+            if rank == 0 {
+                clock.work(5.0);
+            }
+            comm.barrier(rank, clock);
+            clock.now()
+        });
+        for t in results {
+            assert!(t >= 5.0, "clock {t}");
+        }
+    }
+
+    #[test]
+    fn communicator_rounds_are_reusable() {
+        let cluster = Arc::new(ClusterSpec::v100(2).build());
+        let comm = Arc::new(Communicator::new(8, cluster));
+        let results = run_ranks(2, move |rank, clock| {
+            let mut acc = Vec::new();
+            for round in 0..5u32 {
+                let sends: Vec<Vec<u32>> = (0..2).map(|_| vec![round * 10 + rank as u32]).collect();
+                let recv = comm.all_to_all_v(rank, clock, sends, 4);
+                acc.push(recv[1 - rank][0]);
+            }
+            acc
+        });
+        assert_eq!(results[0], vec![1, 11, 21, 31, 41]);
+        assert_eq!(results[1], vec![0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn nvshmem_backend_requires_full_mesh() {
+        // 4 GPUs (one quad) are fully meshed: allowed.
+        let c4 = Arc::new(ClusterSpec::v100(4).build());
+        let _ = Communicator::new(1, c4).with_backend(Backend::Nvshmem);
+        // 8 GPUs include non-adjacent cross-quad pairs: rejected.
+        let c8 = Arc::new(ClusterSpec::v100(8).build());
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            Communicator::new(1, c8).with_backend(Backend::Nvshmem)
+        }));
+        assert!(res.is_err(), "NVSHMEM must reject a non-mesh topology");
+    }
+
+    #[test]
+    fn nvshmem_is_faster_and_needs_no_slots() {
+        let cluster_n = Arc::new(ClusterSpec::v100(2).build());
+        let cluster_s = Arc::new(ClusterSpec::v100(2).build());
+        let nccl = Arc::new(Communicator::new(1, cluster_n));
+        let nvshmem = Arc::new(Communicator::new(1, cluster_s).with_backend(Backend::Nvshmem));
+        let run = |comm: Arc<Communicator>| -> f64 {
+            let handles: Vec<_> = (0..2)
+                .map(|rank| {
+                    let comm = Arc::clone(&comm);
+                    std::thread::spawn(move || {
+                        let mut clock = Clock::new();
+                        for _ in 0..4 {
+                            let sends: Vec<Vec<u8>> =
+                                (0..2).map(|d| vec![0u8; if d == rank { 0 } else { 4096 }]).collect();
+                            let _ = comm.all_to_all_v(rank, &mut clock, sends, 1);
+                        }
+                        clock.now()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).fold(0.0, f64::max)
+        };
+        let t_nccl = run(nccl);
+        let t_shmem = run(nvshmem);
+        assert!(t_shmem < t_nccl, "nvshmem {t_shmem} should beat nccl {t_nccl}");
+    }
+
+    #[test]
+    fn slots_are_held_for_the_duration() {
+        let cluster = Arc::new(ClusterSpec::v100(2).build());
+        let slots = Arc::new(DeviceSlots::new(2, 1));
+        let comm = Arc::new(Communicator::with_slots(9, cluster, Arc::clone(&slots), None));
+        let results = run_ranks(2, move |rank, clock| {
+            comm.barrier(rank, clock);
+            true
+        });
+        assert!(results.into_iter().all(|x| x));
+        // All slots released afterwards.
+        assert_eq!(slots.device(0).free(), 1);
+        assert_eq!(slots.device(1).free(), 1);
+    }
+}

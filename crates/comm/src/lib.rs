@@ -1,0 +1,30 @@
+//! # ds-comm
+//!
+//! NCCL-substitute collectives for the simulated cluster. Three pieces:
+//!
+//! * [`slots::DeviceSlots`] — per-device *kernel slots* standing in for
+//!   streaming multiprocessors. A communication kernel occupies a slot
+//!   from launch until completion, and completion requires all peers to
+//!   have launched: exactly the two properties (§5, Fig. 8) that make
+//!   concurrent collectives deadlock-prone.
+//! * [`ccc::Coordinator`] — the paper's Centralized Communication
+//!   Coordination: one leader rank fixes a single global launch order for
+//!   communication kernels; followers launch in that order. With CCC, the
+//!   slot-acquisition order is identical on every device, which removes
+//!   circular waits (demonstrated by tests: the same workload deadlocks
+//!   without CCC and completes with it).
+//! * [`collective::Communicator`] — rendezvous collectives between device
+//!   threads (all-to-all-v, allreduce, allgather, barrier, broadcast)
+//!   that move real data through shared memory and charge virtual time
+//!   from the topology's bandwidth model.
+
+pub mod ccc;
+pub mod collective;
+pub mod slots;
+
+pub use ccc::Coordinator;
+pub use collective::{CommError, Communicator};
+pub use slots::DeviceSlots;
+
+/// Identifies a worker group (peer workers across ranks share the id).
+pub type WorkerId = u32;

@@ -1,0 +1,135 @@
+//! Per-device kernel slots — the contended, irrevocable resource that
+//! makes unordered concurrent collectives deadlock.
+//!
+//! A slot models the SM capacity a communication kernel pins from launch
+//! to completion ("resource allocation to GPU kernels is irrevocable",
+//! §5). Acquisition blocks; an optional timeout lets tests *observe* a
+//! deadlock instead of hanging.
+
+use parking_lot::{Condvar, Mutex};
+use std::time::Duration;
+
+/// Counting semaphore for one device's kernel slots.
+#[derive(Debug)]
+pub struct Slots {
+    available: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Slots {
+    /// A device with `n` kernel slots.
+    pub fn new(n: u32) -> Self {
+        Slots { available: Mutex::new(n), cv: Condvar::new() }
+    }
+
+    /// Acquires one slot, blocking until available.
+    pub fn acquire(&self) {
+        let mut a = self.available.lock();
+        while *a == 0 {
+            self.cv.wait(&mut a);
+        }
+        *a -= 1;
+    }
+
+    /// Acquires one slot with a timeout; `false` on timeout.
+    pub fn acquire_timeout(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut a = self.available.lock();
+        while *a == 0 {
+            if self.cv.wait_until(&mut a, deadline).timed_out() {
+                return false;
+            }
+        }
+        *a -= 1;
+        true
+    }
+
+    /// Releases one slot.
+    pub fn release(&self) {
+        let mut a = self.available.lock();
+        *a += 1;
+        self.cv.notify_one();
+    }
+
+    /// Currently free slots (racy; for tests/inspection).
+    pub fn free(&self) -> u32 {
+        *self.available.lock()
+    }
+}
+
+/// One slot pool per device.
+#[derive(Debug)]
+pub struct DeviceSlots {
+    slots: Vec<Slots>,
+}
+
+impl DeviceSlots {
+    /// `num_devices` devices with `slots_per_device` kernel slots each.
+    /// Real GPUs run many kernels concurrently; the paper's deadlock
+    /// needs only that the count is finite. Tests use 1 to force the
+    /// contention deterministically; systems default to a small number.
+    pub fn new(num_devices: usize, slots_per_device: u32) -> Self {
+        assert!(slots_per_device >= 1);
+        DeviceSlots { slots: (0..num_devices).map(|_| Slots::new(slots_per_device)).collect() }
+    }
+
+    /// The slot pool of device `rank`.
+    pub fn device(&self, rank: usize) -> &Slots {
+        &self.slots[rank]
+    }
+
+    /// Number of devices.
+    pub fn num_devices(&self) -> usize {
+        self.slots.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn acquire_release_cycle() {
+        let s = Slots::new(2);
+        s.acquire();
+        s.acquire();
+        assert_eq!(s.free(), 0);
+        s.release();
+        assert_eq!(s.free(), 1);
+    }
+
+    #[test]
+    fn timeout_fires_when_exhausted() {
+        let s = Slots::new(1);
+        s.acquire();
+        assert!(!s.acquire_timeout(Duration::from_millis(30)));
+        s.release();
+        assert!(s.acquire_timeout(Duration::from_millis(30)));
+    }
+
+    #[test]
+    fn blocked_acquire_wakes_on_release() {
+        let s = Arc::new(Slots::new(1));
+        s.acquire();
+        let s2 = Arc::clone(&s);
+        let h = std::thread::spawn(move || {
+            s2.acquire();
+            s2.release();
+            true
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        s.release();
+        assert!(h.join().unwrap());
+    }
+
+    #[test]
+    fn device_slots_are_independent() {
+        let d = DeviceSlots::new(3, 1);
+        d.device(0).acquire();
+        assert!(d.device(1).acquire_timeout(Duration::from_millis(10)));
+        assert_eq!(d.device(0).free(), 0);
+        assert_eq!(d.device(2).free(), 1);
+        assert_eq!(d.num_devices(), 3);
+    }
+}

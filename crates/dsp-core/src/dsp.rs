@@ -1,0 +1,361 @@
+//! The DSP system (§3–§5): CSP sampler + two-path loader + BSP trainer
+//! per GPU, connected by bounded producer-consumer queues, with
+//! communication-kernel launches coordinated through CCC.
+//!
+//! `DspSystem` also implements **DSP-Seq** (pipeline disabled): the same
+//! workers run back-to-back inside one thread per GPU — the Fig. 6 /
+//! Fig. 12 ablation.
+
+use crate::config::TrainConfig;
+use crate::layout::{build_dsp_layout, DspLayout};
+use crate::stats::{EpochStats, MetricAccumulator};
+use crate::system::{evaluate_model, System};
+use ds_cache::{DspLoader, FeatureLoader};
+use ds_comm::{Communicator, Coordinator, DeviceSlots};
+use ds_gnn::Trainer;
+use ds_graph::{Dataset, Labels, NodeId};
+use ds_pipeline::queue::virtual_queue;
+use ds_sampling::csp::{CspConfig, CspSampler};
+use ds_sampling::{BatchSampler, GraphSample};
+use ds_simgpu::{Clock, Cluster};
+use ds_tensor::matrix::Matrix;
+use std::sync::Arc;
+
+/// Worker-group ids (peer workers share these across ranks).
+const SAMPLER_WORKER: u32 = 1;
+const LOADER_WORKER: u32 = 2;
+const TRAINER_WORKER: u32 = 3;
+
+struct RankState {
+    sampler: CspSampler,
+    loader: DspLoader,
+    trainer: Trainer,
+}
+
+/// Per-rank epoch measurement.
+struct RankEpoch {
+    sample_busy: f64,
+    load_busy: f64,
+    train_busy: f64,
+    /// Occupancy-weighted device-useful seconds (Fig. 6's metric).
+    useful: f64,
+    makespan: f64,
+    metrics: MetricAccumulator,
+}
+
+/// The assembled DSP system (or DSP-Seq when `pipelined` is false).
+pub struct DspSystem {
+    layout: DspLayout,
+    cfg: TrainConfig,
+    pipelined: bool,
+    ranks: Vec<RankState>,
+}
+
+impl DspSystem {
+    /// Builds DSP over `gpus` devices.
+    pub fn new(dataset: &Dataset, gpus: usize, cfg: &TrainConfig, pipelined: bool) -> Self {
+        let layout = build_dsp_layout(dataset, gpus, cfg);
+        let cluster = Arc::clone(&layout.cluster);
+        // With the pipeline on, three workers per device launch
+        // communication kernels concurrently: give them finite kernel
+        // slots and (by default) CCC coordination — without CCC this
+        // configuration can deadlock (see tests/deadlock.rs).
+        let (sampler_comm, loader_comm, trainer_comm) = if pipelined {
+            let slots = Arc::new(DeviceSlots::new(gpus, cfg.slots_per_device));
+            let ccc = cfg.use_ccc.then(|| Arc::new(Coordinator::new(gpus)));
+            (
+                Arc::new(Communicator::with_slots(SAMPLER_WORKER, Arc::clone(&cluster), Arc::clone(&slots), ccc.clone())),
+                Arc::new(Communicator::with_slots(LOADER_WORKER, Arc::clone(&cluster), Arc::clone(&slots), ccc.clone())),
+                Arc::new(Communicator::with_slots(TRAINER_WORKER, Arc::clone(&cluster), slots, ccc)),
+            )
+        } else {
+            (
+                Arc::new(Communicator::new(SAMPLER_WORKER, Arc::clone(&cluster))),
+                Arc::new(Communicator::new(LOADER_WORKER, Arc::clone(&cluster))),
+                Arc::new(Communicator::new(TRAINER_WORKER, Arc::clone(&cluster))),
+            )
+        };
+        let csp_cfg = CspConfig {
+            fanout: cfg.fanout.clone(),
+            scheme: cfg.scheme,
+            biased: cfg.biased,
+            fused: true,
+            temporal_cutoff: None,
+            seed: cfg.seed,
+        };
+        let ranks = (0..gpus)
+            .map(|rank| RankState {
+                sampler: CspSampler::new(
+                    Arc::clone(&layout.dist_graph),
+                    Arc::clone(&cluster),
+                    Arc::clone(&sampler_comm),
+                    rank,
+                    csp_cfg.clone(),
+                ),
+                loader: DspLoader::new(
+                    Arc::clone(&layout.cache),
+                    Arc::clone(&layout.features),
+                    Arc::clone(&cluster),
+                    Arc::clone(&loader_comm),
+                    rank,
+                ),
+                trainer: Trainer::new(
+                    cfg.model,
+                    layout.in_dim,
+                    cfg.hidden,
+                    layout.classes,
+                    cfg.num_layers,
+                    cfg.lr,
+                    Arc::clone(&trainer_comm),
+                    Arc::clone(&cluster),
+                    rank,
+                    cfg.seed,
+                ),
+            })
+            .collect();
+        DspSystem { layout, cfg: cfg.clone(), pipelined, ranks }
+    }
+
+    /// The data layout (for inspection: cache hit rates, memory use).
+    pub fn layout(&self) -> &DspLayout {
+        &self.layout
+    }
+
+    /// Parameter checksum of rank 0's replica (BSP-equality tests).
+    pub fn param_checksum(&self) -> f64 {
+        self.ranks[0].trainer.param_checksum()
+    }
+
+    /// All replicas' checksums (must be identical under BSP).
+    pub fn all_checksums(&self) -> Vec<f64> {
+        self.ranks.iter().map(|r| r.trainer.param_checksum()).collect()
+    }
+
+    /// Aggregate loader statistics across ranks: (cache hits, cold
+    /// fetches) since construction. Used by the multi-machine projection
+    /// (cold fetches are what crosses machines, §3.2).
+    pub fn loader_totals(&self) -> (u64, u64) {
+        use std::sync::atomic::Ordering;
+        self.ranks.iter().fold((0, 0), |(h, c), r| {
+            let s = r.loader.stats();
+            (
+                h + s.cache_hits.load(Ordering::Relaxed),
+                c + s.cold_fetches.load(Ordering::Relaxed),
+            )
+        })
+    }
+
+    /// Gradient bytes synchronized per mini-batch (model size × 4).
+    pub fn grad_bytes(&self) -> u64 {
+        self.ranks[0].trainer.model().num_params() as u64 * 4
+    }
+}
+
+fn run_rank_pipelined(
+    state: &mut RankState,
+    batches: Vec<Vec<NodeId>>,
+    cap: usize,
+    exec: bool,
+    labels: Arc<Labels>,
+) -> RankEpoch {
+    let RankState { sampler, loader, trainer } = state;
+    let (mut sample_tx, mut sample_rx) = virtual_queue::<GraphSample>(cap);
+    let (mut feat_tx, mut feat_rx) = virtual_queue::<(GraphSample, Matrix)>(cap);
+    std::thread::scope(|s| {
+        let sampler_thread = s.spawn(move || {
+            let mut clock = Clock::new();
+            for seeds in &batches {
+                let sample = sampler.sample_batch(&mut clock, seeds);
+                sample_tx.push(&mut clock, sample);
+            }
+            clock
+        });
+        let loader_thread = s.spawn(move || {
+            let mut clock = Clock::new();
+            while let Some(sample) = sample_rx.pop(&mut clock) {
+                let feats = loader.load(&mut clock, sample.input_nodes());
+                feat_tx.push(&mut clock, (sample, feats));
+            }
+            clock
+        });
+        let trainer_thread = s.spawn(move || {
+            let mut clock = Clock::new();
+            let mut metrics = MetricAccumulator::default();
+            while let Some((sample, feats)) = feat_rx.pop(&mut clock) {
+                let r = if exec {
+                    let lab: Vec<u32> = sample.seeds.iter().map(|&v| labels.get(v)).collect();
+                    trainer.train_batch(&mut clock, &sample, &feats, &lab)
+                } else {
+                    trainer.train_batch_timing_only(&mut clock, &sample)
+                };
+                metrics.add(r.loss, r.accuracy, r.seeds);
+            }
+            (clock, metrics)
+        });
+        let c1 = sampler_thread.join().expect("sampler worker panicked");
+        let c2 = loader_thread.join().expect("loader worker panicked");
+        let (c3, metrics) = trainer_thread.join().expect("trainer worker panicked");
+        // Overlapped workers still share the device's serial resources
+        // (SMs for GEMM, HBM, the PCIe and NVLink links): the pipeline
+        // cannot compress below the busiest single resource. Only the
+        // overhead-bound "light" kernels overlap freely (Fig. 2's
+        // observation is exactly that those can't fill the device).
+        let floor = Clock::resource_floor(&[&c1, &c2, &c3]);
+        RankEpoch {
+            sample_busy: c1.busy(),
+            load_busy: c2.busy(),
+            train_busy: c3.busy(),
+            useful: c1.device_useful() + c2.device_useful() + c3.device_useful(),
+            makespan: c1.now().max(c2.now()).max(c3.now()).max(floor),
+            metrics,
+        }
+    })
+}
+
+fn run_rank_seq(
+    state: &mut RankState,
+    batches: Vec<Vec<NodeId>>,
+    exec: bool,
+    labels: Arc<Labels>,
+) -> RankEpoch {
+    let RankState { sampler, loader, trainer } = state;
+    let mut clock = Clock::new();
+    let mut metrics = MetricAccumulator::default();
+    let (mut sb, mut lb, mut tb) = (0.0, 0.0, 0.0);
+    for seeds in &batches {
+        let b0 = clock.busy();
+        let sample = sampler.sample_batch(&mut clock, seeds);
+        let b1 = clock.busy();
+        let feats = loader.load(&mut clock, sample.input_nodes());
+        let b2 = clock.busy();
+        let r = if exec {
+            let lab: Vec<u32> = sample.seeds.iter().map(|&v| labels.get(v)).collect();
+            trainer.train_batch(&mut clock, &sample, &feats, &lab)
+        } else {
+            trainer.train_batch_timing_only(&mut clock, &sample)
+        };
+        let b3 = clock.busy();
+        sb += b1 - b0;
+        lb += b2 - b1;
+        tb += b3 - b2;
+        metrics.add(r.loss, r.accuracy, r.seeds);
+    }
+    RankEpoch {
+        sample_busy: sb,
+        load_busy: lb,
+        train_busy: tb,
+        useful: clock.device_useful(),
+        makespan: clock.now(),
+        metrics,
+    }
+}
+
+impl System for DspSystem {
+    fn run_epoch(&mut self, epoch: u64) -> EpochStats {
+        self.layout.cluster.reset_traffic();
+        let cap = self.cfg.queue_capacity;
+        let exec = self.cfg.exec_compute;
+        let pipelined = self.pipelined;
+        let labels = Arc::clone(&self.layout.labels);
+        let batches: Vec<Vec<Vec<NodeId>>> =
+            self.layout.schedules.iter().map(|s| s.epoch_batches(epoch)).collect();
+        let num_batches = batches.first().map(|b| b.len()).unwrap_or(0);
+        let results: Vec<RankEpoch> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .ranks
+                .iter_mut()
+                .zip(batches)
+                .map(|(state, rank_batches)| {
+                    let labels = Arc::clone(&labels);
+                    scope.spawn(move || {
+                        if pipelined {
+                            run_rank_pipelined(state, rank_batches, cap, exec, labels)
+                        } else {
+                            run_rank_seq(state, rank_batches, exec, labels)
+                        }
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+        });
+        let mut metrics = MetricAccumulator::default();
+        for r in &results {
+            metrics.merge(&r.metrics);
+        }
+        let (loss, accuracy, seeds) = metrics.finish();
+        let (nvlink, pcie, _) = self.layout.cluster.traffic_totals();
+        let fmax = |f: fn(&RankEpoch) -> f64| results.iter().map(f).fold(0.0, f64::max);
+        EpochStats {
+            epoch_time: fmax(|r| r.makespan),
+            sample_time: fmax(|r| r.sample_busy),
+            load_time: fmax(|r| r.load_busy),
+            train_time: fmax(|r| r.train_busy),
+            utilization: results
+                .iter()
+                .map(|r| (r.useful / r.makespan.max(1e-12)).min(1.0))
+                .sum::<f64>()
+                / results.len().max(1) as f64,
+            loss,
+            accuracy,
+            nvlink_bytes: nvlink,
+            pcie_bytes: pcie,
+            num_batches,
+            seeds,
+        }
+    }
+
+    fn run_sampler_epoch(&mut self, epoch: u64) -> f64 {
+        let batches: Vec<Vec<Vec<NodeId>>> =
+            self.layout.schedules.iter().map(|s| s.epoch_batches(epoch)).collect();
+        let times: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .ranks
+                .iter_mut()
+                .zip(batches)
+                .map(|(state, rank_batches)| {
+                    scope.spawn(move || {
+                        let mut clock = Clock::new();
+                        for seeds in &rank_batches {
+                            let _ = state.sampler.sample_batch(&mut clock, seeds);
+                        }
+                        clock.now()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        times.into_iter().fold(0.0, f64::max)
+    }
+
+    fn evaluate_validation(&mut self) -> f64 {
+        evaluate_model(
+            &self.ranks[0].trainer,
+            &self.layout.graph,
+            &self.layout.features,
+            &self.layout.labels,
+            &self.layout.val_nodes,
+            &self.cfg.fanout,
+            self.cfg.seed,
+            4 * self.cfg.batch_size,
+        )
+    }
+
+    fn name(&self) -> &'static str {
+        if self.pipelined {
+            "DSP"
+        } else {
+            "DSP-Seq"
+        }
+    }
+
+    fn cluster(&self) -> &Arc<Cluster> {
+        &self.layout.cluster
+    }
+}
+
+impl DspSystem {
+    /// Accuracy on the held-out validation set (renumbered internally).
+    pub fn validation_accuracy(&mut self) -> f64 {
+        self.evaluate_validation()
+    }
+}

@@ -1,0 +1,159 @@
+//! Multi-machine extension (§3.2, last paragraph).
+//!
+//! "To utilize GPUs on multiple machines, DSP replicates the graph
+//! topology and hot features across the machines and partitions the
+//! cold features among the machines. Thus, the machines only
+//! communicate for cold features and model synchronization."
+//!
+//! The paper does not evaluate this mode; we provide it as an *analytic
+//! projection* grounded in measured single-machine quantities: a
+//! measured epoch (time, batches) plus the loader's measured cold-fetch
+//! count and the model's gradient size. Per-machine work divides by the
+//! machine count (BSP data parallelism over m× more GPUs); the new
+//! costs are cold-feature fetches that now live on remote machines and
+//! the inter-machine gradient allreduce.
+
+use crate::stats::EpochStats;
+
+/// Cluster-of-machines description.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiMachineSpec {
+    /// Number of identical machines.
+    pub machines: usize,
+    /// Per-machine network bandwidth, bytes/second (e.g. 100 Gb/s
+    /// RDMA ≈ 12.5e9).
+    pub network_bw: f64,
+    /// Per-transfer network latency, seconds.
+    pub network_latency: f64,
+}
+
+impl MultiMachineSpec {
+    /// A 100 Gb/s cluster of `machines` nodes.
+    pub fn rdma_100g(machines: usize) -> Self {
+        MultiMachineSpec { machines, network_bw: 12.5e9, network_latency: 5.0e-6 }
+    }
+}
+
+/// Projected epoch breakdown on `spec.machines` machines.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiMachineEstimate {
+    /// Projected end-to-end epoch time (seconds).
+    pub epoch_time: f64,
+    /// Per-machine compute+intra-machine time (the measured epoch over m).
+    pub local_time: f64,
+    /// Inter-machine cold-feature traffic time per machine.
+    pub cold_feature_time: f64,
+    /// Inter-machine gradient synchronization time.
+    pub grad_sync_time: f64,
+    /// Remote cold bytes fetched per machine.
+    pub remote_cold_bytes: u64,
+}
+
+/// Projects a measured single-machine epoch onto `spec.machines`
+/// machines.
+///
+/// * `single` — measured stats of one epoch on one machine.
+/// * `cold_rows` — cold feature rows fetched that epoch (loader stats).
+/// * `row_bytes` — bytes per feature row.
+/// * `grad_bytes` — model gradient size (bytes) synchronized per batch.
+pub fn project_epoch(
+    single: &EpochStats,
+    cold_rows: u64,
+    row_bytes: u64,
+    grad_bytes: u64,
+    spec: MultiMachineSpec,
+) -> MultiMachineEstimate {
+    assert!(spec.machines >= 1);
+    let m = spec.machines as f64;
+    // Work (and its intra-machine communication) splits across machines.
+    let local_time = single.epoch_time / m;
+    // Cold features are partitioned over machines: a fraction (m-1)/m of
+    // each machine's cold fetches become remote. Each machine performs
+    // its own 1/m share of the epoch's fetches.
+    let remote_rows = (cold_rows as f64 / m) * (m - 1.0) / m;
+    let remote_cold_bytes = (remote_rows * row_bytes as f64) as u64;
+    let batches_per_machine = (single.num_batches as f64 / m).ceil();
+    let cold_feature_time = if spec.machines == 1 {
+        0.0
+    } else {
+        remote_cold_bytes as f64 / spec.network_bw + batches_per_machine * spec.network_latency
+    };
+    // Ring allreduce across machines per mini-batch: 2(m-1)/m · G bytes.
+    let grad_sync_time = if spec.machines == 1 {
+        0.0
+    } else {
+        batches_per_machine
+            * (2.0 * (m - 1.0) / m * grad_bytes as f64 / spec.network_bw
+                + 2.0 * (m - 1.0) * spec.network_latency)
+    };
+    // The cold-feature path overlaps the pipeline (it is the loader's
+    // job); gradient sync is on the trainer's critical path.
+    let epoch_time = local_time.max(cold_feature_time) + grad_sync_time;
+    MultiMachineEstimate { epoch_time, local_time, cold_feature_time, grad_sync_time, remote_cold_bytes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn single() -> EpochStats {
+        EpochStats { epoch_time: 8.0, num_batches: 64, ..Default::default() }
+    }
+
+    #[test]
+    fn one_machine_is_identity() {
+        let e = project_epoch(&single(), 1_000_000, 512, 4_000_000, MultiMachineSpec::rdma_100g(1));
+        assert_eq!(e.epoch_time, 8.0);
+        assert_eq!(e.cold_feature_time, 0.0);
+        assert_eq!(e.grad_sync_time, 0.0);
+    }
+
+    #[test]
+    fn compute_bound_workloads_scale_nearly_linearly() {
+        // Few cold fetches: the machines barely talk, so DSP's
+        // replicated-hot/partitioned-cold layout scales like plain data
+        // parallelism.
+        let mut times = Vec::new();
+        for m in [1usize, 2, 4, 8] {
+            let e = project_epoch(&single(), 10_000, 512, 1_000_000, MultiMachineSpec::rdma_100g(m));
+            times.push(e.epoch_time);
+        }
+        for w in times.windows(2) {
+            assert!(w[1] < w[0], "{times:?}");
+        }
+        let speedup8 = times[0] / times[3];
+        assert!(speedup8 > 6.0, "8-machine speedup {speedup8}");
+    }
+
+    #[test]
+    fn cold_bound_workloads_can_regress_on_multiple_machines() {
+        // A short epoch with an enormous cold working set: partitioning
+        // the cold features across machines puts most fetches on the
+        // (much slower than PCIe-local) network, and adding machines
+        // makes things *worse* than one machine — the flip side of the
+        // §3.2 layout that the paper does not evaluate.
+        let short = EpochStats { epoch_time: 0.1, num_batches: 64, ..Default::default() };
+        let one = project_epoch(&short, 500_000_000, 512, 1_000_000, MultiMachineSpec::rdma_100g(1));
+        let two = project_epoch(&short, 500_000_000, 512, 1_000_000, MultiMachineSpec::rdma_100g(2));
+        assert!(two.epoch_time > one.epoch_time, "{} vs {}", two.epoch_time, one.epoch_time);
+        assert!(two.cold_feature_time > two.local_time);
+    }
+
+    #[test]
+    fn remote_fraction_grows_with_machines() {
+        let e2 = project_epoch(&single(), 1_000_000, 512, 1_000_000, MultiMachineSpec::rdma_100g(2));
+        let e8 = project_epoch(&single(), 1_000_000, 512, 1_000_000, MultiMachineSpec::rdma_100g(8));
+        // Per-machine remote share (m-1)/m grows, but each machine also
+        // fetches fewer rows (1/m of the epoch): 2 machines → 1/4 of
+        // rows remote per machine; 8 machines → 7/64.
+        assert_eq!(e2.remote_cold_bytes, (1_000_000 / 2 / 2) * 512);
+        assert!(e8.remote_cold_bytes < e2.remote_cold_bytes);
+    }
+
+    #[test]
+    fn grad_sync_scales_with_batches_and_size() {
+        let a = project_epoch(&single(), 0, 512, 1_000_000, MultiMachineSpec::rdma_100g(4));
+        let b = project_epoch(&single(), 0, 512, 4_000_000, MultiMachineSpec::rdma_100g(4));
+        assert!(b.grad_sync_time > 2.0 * a.grad_sync_time);
+    }
+}

@@ -1,0 +1,107 @@
+//! Per-epoch statistics reported by every system.
+
+/// Measurements of one training epoch (all times in *simulated* seconds).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct EpochStats {
+    /// End-to-end epoch makespan (the paper's headline metric).
+    pub epoch_time: f64,
+    /// Sampler busy time (max over ranks).
+    pub sample_time: f64,
+    /// Loader busy time (max over ranks).
+    pub load_time: f64,
+    /// Trainer busy time (max over ranks).
+    pub train_time: f64,
+    /// Mean GPU utilization across ranks (busy / elapsed, Fig. 6).
+    pub utilization: f64,
+    /// Seed-weighted mean training loss (0 when compute is skipped).
+    pub loss: f64,
+    /// Seed-weighted mean training accuracy.
+    pub accuracy: f64,
+    /// NVLink bytes moved this epoch.
+    pub nvlink_bytes: u64,
+    /// PCIe wire bytes moved this epoch.
+    pub pcie_bytes: u64,
+    /// Mini-batches per rank.
+    pub num_batches: usize,
+    /// Total seeds processed across ranks.
+    pub seeds: usize,
+}
+
+impl EpochStats {
+    /// Total communication bytes (NVLink + PCIe).
+    pub fn total_bytes(&self) -> u64 {
+        self.nvlink_bytes + self.pcie_bytes
+    }
+}
+
+/// Aggregates per-rank (loss·seeds, acc·seeds, seeds) triples.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MetricAccumulator {
+    loss_weighted: f64,
+    acc_weighted: f64,
+    seeds: usize,
+}
+
+impl MetricAccumulator {
+    /// Adds one rank's batch result.
+    pub fn add(&mut self, loss: f32, acc: f64, seeds: usize) {
+        self.loss_weighted += loss as f64 * seeds as f64;
+        self.acc_weighted += acc * seeds as f64;
+        self.seeds += seeds;
+    }
+
+    /// Merges another accumulator.
+    pub fn merge(&mut self, other: &MetricAccumulator) {
+        self.loss_weighted += other.loss_weighted;
+        self.acc_weighted += other.acc_weighted;
+        self.seeds += other.seeds;
+    }
+
+    /// (mean loss, mean accuracy, total seeds).
+    pub fn finish(&self) -> (f64, f64, usize) {
+        if self.seeds == 0 {
+            (0.0, 0.0, 0)
+        } else {
+            (self.loss_weighted / self.seeds as f64, self.acc_weighted / self.seeds as f64, self.seeds)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulator_weights_by_seeds() {
+        let mut a = MetricAccumulator::default();
+        a.add(1.0, 1.0, 10);
+        a.add(3.0, 0.0, 30);
+        let (loss, acc, seeds) = a.finish();
+        assert!((loss - 2.5).abs() < 1e-9);
+        assert!((acc - 0.25).abs() < 1e-9);
+        assert_eq!(seeds, 40);
+    }
+
+    #[test]
+    fn empty_accumulator_is_zero() {
+        assert_eq!(MetricAccumulator::default().finish(), (0.0, 0.0, 0));
+    }
+
+    #[test]
+    fn merge_combines() {
+        let mut a = MetricAccumulator::default();
+        a.add(2.0, 0.5, 4);
+        let mut b = MetricAccumulator::default();
+        b.add(4.0, 1.0, 4);
+        a.merge(&b);
+        let (loss, acc, _) = a.finish();
+        assert!((loss - 3.0).abs() < 1e-9);
+        assert!((acc - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn total_bytes_sums_links() {
+        let s = EpochStats { nvlink_bytes: 10, pcie_bytes: 5, ..Default::default() };
+        assert_eq!(s.total_bytes(), 15);
+    }
+}

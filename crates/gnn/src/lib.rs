@@ -1,0 +1,22 @@
+//! # ds-gnn
+//!
+//! GNN models and the data-parallel trainer — the PyTorch/DGL substitute
+//! of the reproduction.
+//!
+//! * [`layers`] — GraphSAGE (mean aggregator, self/neighbor concat) and
+//!   GCN (mean over closed neighborhood) convolutions with hand-written
+//!   forward/backward passes over [`ds_sampling::SampleLayer`] blocks.
+//!   Gradients are verified against finite differences in tests.
+//! * [`model::GnnModel`] — a K-layer stack with flat parameter/gradient
+//!   vectors (what the gradient allreduce moves).
+//! * [`trainer::Trainer`] — the per-rank trainer worker (§3.2): forward,
+//!   backward, synchronous gradient allreduce (BSP), Adam step; virtual
+//!   time charged from the GEMM/gather cost model.
+
+pub mod gat;
+pub mod layers;
+pub mod model;
+pub mod trainer;
+
+pub use model::{GnnKind, GnnModel};
+pub use trainer::{BatchResult, Trainer};

@@ -1,0 +1,197 @@
+//! Node-ranking and traversal algorithms.
+//!
+//! DSP and the systems it compares against select *hot* nodes for GPU
+//! feature caching by in-degree, PageRank or reverse PageRank (§2,
+//! "Feature caching"). This module implements those rankings plus the
+//! traversals used by tests and the partitioner.
+
+use crate::csr::Csr;
+use crate::NodeId;
+use rayon::prelude::*;
+
+/// In-degrees of all nodes (degree in the reverse graph). For the
+/// symmetric synthetic datasets this equals the out-degree.
+pub fn in_degrees(g: &Csr) -> Vec<u32> {
+    let mut deg = vec![0u32; g.num_nodes()];
+    for &u in g.indices() {
+        deg[u as usize] += 1;
+    }
+    deg
+}
+
+/// Out-degrees of all nodes.
+pub fn out_degrees(g: &Csr) -> Vec<u32> {
+    (0..g.num_nodes() as NodeId).map(|v| g.degree(v) as u32).collect()
+}
+
+/// Power-iteration PageRank with damping `d`, `iters` iterations.
+/// Dangling mass is redistributed uniformly.
+pub fn pagerank(g: &Csr, d: f64, iters: usize) -> Vec<f64> {
+    let n = g.num_nodes();
+    if n == 0 {
+        return Vec::new();
+    }
+    let mut rank = vec![1.0 / n as f64; n];
+    let mut next = vec![0.0f64; n];
+    for _ in 0..iters {
+        next.iter_mut().for_each(|x| *x = 0.0);
+        let mut dangling = 0.0f64;
+        for v in 0..n as NodeId {
+            let nb = g.neighbors(v);
+            if nb.is_empty() {
+                dangling += rank[v as usize];
+            } else {
+                let share = rank[v as usize] / nb.len() as f64;
+                for &u in nb {
+                    next[u as usize] += share;
+                }
+            }
+        }
+        let base = (1.0 - d) / n as f64 + d * dangling / n as f64;
+        next.par_iter_mut().for_each(|x| *x = base + d * *x);
+        std::mem::swap(&mut rank, &mut next);
+    }
+    rank
+}
+
+/// Reverse PageRank: PageRank on the edge-reversed graph. A node scores
+/// high if it *reaches* many important nodes — a proxy for how often it is
+/// pulled into graph samples as a neighbor.
+pub fn reverse_pagerank(g: &Csr, d: f64, iters: usize) -> Vec<f64> {
+    pagerank(&g.reverse(), d, iters)
+}
+
+/// Ranks nodes by a score vector, descending; ties broken by node id for
+/// determinism. Returns the permutation (hottest first).
+pub fn rank_by_desc<T: PartialOrd + Copy + Sync>(scores: &[T]) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..scores.len() as NodeId).collect();
+    order.par_sort_unstable_by(|&a, &b| {
+        scores[b as usize]
+            .partial_cmp(&scores[a as usize])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.cmp(&b))
+    });
+    order
+}
+
+/// Breadth-first search from `src`; returns hop distance per node
+/// (`u32::MAX` if unreachable).
+pub fn bfs(g: &Csr, src: NodeId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_nodes()];
+    let mut queue = std::collections::VecDeque::new();
+    dist[src as usize] = 0;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        let dv = dist[v as usize];
+        for &u in g.neighbors(v) {
+            if dist[u as usize] == u32::MAX {
+                dist[u as usize] = dv + 1;
+                queue.push_back(u);
+            }
+        }
+    }
+    dist
+}
+
+/// Connected components (on the symmetrized view); returns component id
+/// per node and the number of components.
+pub fn connected_components(g: &Csr) -> (Vec<u32>, usize) {
+    let rev = g.reverse();
+    let n = g.num_nodes();
+    let mut comp = vec![u32::MAX; n];
+    let mut ncomp = 0u32;
+    let mut stack = Vec::new();
+    for start in 0..n as NodeId {
+        if comp[start as usize] != u32::MAX {
+            continue;
+        }
+        comp[start as usize] = ncomp;
+        stack.push(start);
+        while let Some(v) = stack.pop() {
+            for &u in g.neighbors(v).iter().chain(rev.neighbors(v)) {
+                if comp[u as usize] == u32::MAX {
+                    comp[u as usize] = ncomp;
+                    stack.push(u);
+                }
+            }
+        }
+        ncomp += 1;
+    }
+    (comp, ncomp as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csr::CsrBuilder;
+    use crate::gen;
+
+    fn path_graph(n: usize) -> Csr {
+        let mut b = CsrBuilder::new(n).symmetrize(true);
+        for v in 0..n - 1 {
+            b.add_edge(v as NodeId, v as NodeId + 1);
+        }
+        b.build()
+    }
+
+    #[test]
+    fn in_degrees_counts_incoming() {
+        let mut b = CsrBuilder::new(3);
+        b.add_edges([(0, 2), (1, 2), (2, 0)]);
+        let g = b.build();
+        assert_eq!(in_degrees(&g), vec![1, 0, 2]);
+        assert_eq!(out_degrees(&g), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn pagerank_sums_to_one_and_favors_hubs() {
+        let g = gen::rmat(
+            gen::RmatParams { num_nodes: 512, num_edges: 8192, ..Default::default() },
+            9,
+        );
+        let pr = pagerank(&g, 0.85, 30);
+        let sum: f64 = pr.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-6, "sum {sum}");
+        // Highest-PageRank node should be among the high in-degree nodes.
+        let deg = in_degrees(&g);
+        let top_pr = rank_by_desc(&pr)[0];
+        let deg_rank = rank_by_desc(&deg);
+        let pos = deg_rank.iter().position(|&v| v == top_pr).unwrap();
+        assert!(pos < g.num_nodes() / 8, "top-PR node at degree rank {pos}");
+    }
+
+    #[test]
+    fn reverse_pagerank_runs_and_sums_to_one() {
+        let g = gen::erdos_renyi(256, 2048, false, 4);
+        let rpr = reverse_pagerank(&g, 0.85, 20);
+        assert!((rpr.iter().sum::<f64>() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rank_desc_is_descending_and_deterministic() {
+        let scores = vec![3.0, 1.0, 3.0, 7.0];
+        assert_eq!(rank_by_desc(&scores), vec![3, 0, 2, 1]);
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5);
+        assert_eq!(bfs(&g, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs(&g, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn components_on_disconnected_graph() {
+        let mut b = CsrBuilder::new(6).symmetrize(true);
+        b.add_edges([(0, 1), (1, 2), (3, 4)]);
+        let g = b.build();
+        let (comp, n) = connected_components(&g);
+        assert_eq!(n, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[1], comp[2]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[3]);
+        assert_ne!(comp[5], comp[0]);
+        assert_ne!(comp[5], comp[3]);
+    }
+}

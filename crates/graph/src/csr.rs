@@ -1,0 +1,370 @@
+//! Compressed sparse row graph storage.
+//!
+//! The CSR stores, for every node, the adjacency list used during
+//! sampling. Following the paper (§6), the list holds *in*-neighbors so
+//! that a graph sample expands from seed nodes toward message sources; for
+//! the synthetic datasets (which are symmetrized) the distinction
+//! disappears. Adjacency lists keep **global** node ids so sampled
+//! neighbors can be used directly as next-layer frontier nodes or feature
+//! requests without a local→global conversion, again mirroring §6.
+
+use crate::{EdgeIdx, NodeId};
+
+/// An immutable CSR graph (optionally edge-weighted for biased sampling).
+#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+pub struct Csr {
+    /// `indptr[v]..indptr[v+1]` delimits node `v`'s adjacency list.
+    indptr: Vec<EdgeIdx>,
+    /// Neighbor ids, grouped by source node.
+    indices: Vec<NodeId>,
+    /// Optional per-edge weights (`w_u` of the *neighbor*, stored with the
+    /// edge during data preparation exactly as §4.2 describes, so biased
+    /// sampling never needs a remote weight lookup).
+    weights: Option<Vec<f32>>,
+}
+
+impl Csr {
+    /// Builds a CSR directly from its raw arrays.
+    ///
+    /// # Panics
+    /// Panics if the arrays are inconsistent (non-monotone `indptr`,
+    /// out-of-range neighbor ids, weight length mismatch).
+    pub fn from_raw(indptr: Vec<EdgeIdx>, indices: Vec<NodeId>, weights: Option<Vec<f32>>) -> Self {
+        assert!(!indptr.is_empty(), "indptr must have at least one entry");
+        assert_eq!(*indptr.last().unwrap() as usize, indices.len());
+        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be monotone");
+        let n = indptr.len() - 1;
+        assert!(
+            indices.iter().all(|&u| (u as usize) < n),
+            "neighbor id out of range"
+        );
+        if let Some(w) = &weights {
+            assert_eq!(w.len(), indices.len(), "weights length mismatch");
+        }
+        Csr { indptr, indices, weights }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.indptr.len() - 1
+    }
+
+    /// Number of (directed) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.indices.len()
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        (self.indptr[v as usize + 1] - self.indptr[v as usize]) as usize
+    }
+
+    /// Adjacency list of node `v`.
+    #[inline]
+    pub fn neighbors(&self, v: NodeId) -> &[NodeId] {
+        let lo = self.indptr[v as usize] as usize;
+        let hi = self.indptr[v as usize + 1] as usize;
+        &self.indices[lo..hi]
+    }
+
+    /// Edge weights of node `v`'s adjacency list, if the graph is weighted.
+    #[inline]
+    pub fn neighbor_weights(&self, v: NodeId) -> Option<&[f32]> {
+        let lo = self.indptr[v as usize] as usize;
+        let hi = self.indptr[v as usize + 1] as usize;
+        self.weights.as_ref().map(|w| &w[lo..hi])
+    }
+
+    /// Whether edge weights are present.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weights.is_some()
+    }
+
+    /// Raw `indptr` array.
+    #[inline]
+    pub fn indptr(&self) -> &[EdgeIdx] {
+        &self.indptr
+    }
+
+    /// Raw `indices` array.
+    #[inline]
+    pub fn indices(&self) -> &[NodeId] {
+        &self.indices
+    }
+
+    /// Raw weights array, if any.
+    #[inline]
+    pub fn weights(&self) -> Option<&[f32]> {
+        self.weights.as_deref()
+    }
+
+    /// Sum of weights of `v`'s adjacency list (`W_v` in Eq. 2 of the
+    /// paper); for unweighted graphs this is the degree.
+    pub fn total_weight(&self, v: NodeId) -> f64 {
+        match self.neighbor_weights(v) {
+            Some(w) => w.iter().map(|&x| x as f64).sum(),
+            None => self.degree(v) as f64,
+        }
+    }
+
+    /// Bytes occupied by the topology (what a GPU patch must store):
+    /// `indptr` + `indices` (+ weights). Used by the memory accounting in
+    /// the simulator and by the Fig. 10 cache-split experiment.
+    pub fn topology_bytes(&self) -> u64 {
+        let mut b = (self.indptr.len() * std::mem::size_of::<EdgeIdx>()) as u64
+            + (self.indices.len() * std::mem::size_of::<NodeId>()) as u64;
+        if self.weights.is_some() {
+            b += (self.indices.len() * std::mem::size_of::<f32>()) as u64;
+        }
+        b
+    }
+
+    /// Attaches per-edge weights derived from a per-*node* weight vector:
+    /// edge `(v, u)` gets weight `node_weights[u]` (the paper stores the
+    /// neighbor's weight with the edge, §4.2).
+    pub fn with_node_weights(&self, node_weights: &[f32]) -> Csr {
+        assert_eq!(node_weights.len(), self.num_nodes());
+        let weights = self.indices.iter().map(|&u| node_weights[u as usize]).collect();
+        Csr {
+            indptr: self.indptr.clone(),
+            indices: self.indices.clone(),
+            weights: Some(weights),
+        }
+    }
+
+    /// Returns the reverse graph (edge directions flipped). Weights follow
+    /// the reversed edges.
+    pub fn reverse(&self) -> Csr {
+        let n = self.num_nodes();
+        let mut deg = vec![0u64; n + 1];
+        for &u in &self.indices {
+            deg[u as usize + 1] += 1;
+        }
+        let mut indptr = deg;
+        for i in 0..n {
+            indptr[i + 1] += indptr[i];
+        }
+        let mut cursor = indptr.clone();
+        let mut indices = vec![0 as NodeId; self.indices.len()];
+        let mut weights = self.weights.as_ref().map(|_| vec![0f32; self.indices.len()]);
+        for v in 0..n as NodeId {
+            let lo = self.indptr[v as usize] as usize;
+            for (k, &u) in self.neighbors(v).iter().enumerate() {
+                let slot = cursor[u as usize] as usize;
+                cursor[u as usize] += 1;
+                indices[slot] = v;
+                if let (Some(dst), Some(src)) = (&mut weights, &self.weights) {
+                    dst[slot] = src[lo + k];
+                }
+            }
+        }
+        Csr { indptr, indices, weights }
+    }
+
+    /// Extracts the sub-CSR of a set of nodes, *keeping global ids in the
+    /// adjacency lists* (the DSP patch layout of §6). `nodes[i]` becomes
+    /// local row `i`. The returned rows index by local id; their contents
+    /// are global ids into the original graph.
+    pub fn extract_patch(&self, nodes: &[NodeId]) -> Csr {
+        let mut indptr = Vec::with_capacity(nodes.len() + 1);
+        indptr.push(0u64);
+        let mut nnz = 0u64;
+        for &v in nodes {
+            nnz += self.degree(v) as u64;
+            indptr.push(nnz);
+        }
+        let mut indices = Vec::with_capacity(nnz as usize);
+        let mut weights = self.weights.as_ref().map(|_| Vec::with_capacity(nnz as usize));
+        for &v in nodes {
+            indices.extend_from_slice(self.neighbors(v));
+            if let (Some(dst), Some(src)) = (&mut weights, self.neighbor_weights(v)) {
+                dst.extend_from_slice(src);
+            }
+        }
+        // Patch rows are local, contents global: bypass the range check of
+        // `from_raw` (global ids can exceed the patch's row count).
+        Csr { indptr, indices, weights }
+    }
+}
+
+/// Incremental builder accumulating directed edges, with optional
+/// symmetrization and dedup at build time.
+#[derive(Clone, Debug, Default)]
+pub struct CsrBuilder {
+    num_nodes: usize,
+    edges: Vec<(NodeId, NodeId)>,
+    symmetrize: bool,
+    dedup: bool,
+}
+
+impl CsrBuilder {
+    /// Creates a builder for a graph with `num_nodes` nodes.
+    pub fn new(num_nodes: usize) -> Self {
+        CsrBuilder { num_nodes, edges: Vec::new(), symmetrize: false, dedup: false }
+    }
+
+    /// Adds a directed edge `src -> dst` (meaning: `dst` appears in
+    /// `src`'s adjacency list).
+    #[inline]
+    pub fn add_edge(&mut self, src: NodeId, dst: NodeId) {
+        debug_assert!((src as usize) < self.num_nodes && (dst as usize) < self.num_nodes);
+        self.edges.push((src, dst));
+    }
+
+    /// Adds a batch of edges.
+    pub fn add_edges(&mut self, edges: impl IntoIterator<Item = (NodeId, NodeId)>) {
+        self.edges.extend(edges);
+    }
+
+    /// Request symmetrization: every edge is inserted in both directions.
+    pub fn symmetrize(mut self, yes: bool) -> Self {
+        self.symmetrize = yes;
+        self
+    }
+
+    /// Request removal of duplicate edges and self loops.
+    pub fn dedup(mut self, yes: bool) -> Self {
+        self.dedup = yes;
+        self
+    }
+
+    /// Number of edges currently accumulated (before symmetrize/dedup).
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Whether no edges were added yet.
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Finalizes into a CSR via counting sort over source ids.
+    pub fn build(mut self) -> Csr {
+        if self.symmetrize {
+            let rev: Vec<_> = self.edges.iter().map(|&(a, b)| (b, a)).collect();
+            self.edges.extend(rev);
+        }
+        if self.dedup {
+            self.edges.retain(|&(a, b)| a != b);
+            self.edges.sort_unstable();
+            self.edges.dedup();
+        }
+        let n = self.num_nodes;
+        let mut indptr = vec![0u64; n + 1];
+        for &(s, _) in &self.edges {
+            indptr[s as usize + 1] += 1;
+        }
+        for i in 0..n {
+            indptr[i + 1] += indptr[i];
+        }
+        let mut cursor = indptr.clone();
+        let mut indices = vec![0 as NodeId; self.edges.len()];
+        for &(s, d) in &self.edges {
+            let slot = cursor[s as usize] as usize;
+            cursor[s as usize] += 1;
+            indices[slot] = d;
+        }
+        Csr { indptr, indices, weights: None }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> Csr {
+        // 0 -> {1,2}, 1 -> {2}, 2 -> {}, 3 -> {0}
+        let mut b = CsrBuilder::new(4);
+        b.add_edges([(0, 1), (0, 2), (1, 2), (3, 0)]);
+        b.build()
+    }
+
+    #[test]
+    fn builds_and_queries() {
+        let g = toy();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(0), &[1, 2]);
+        assert_eq!(g.neighbors(1), &[2]);
+        assert_eq!(g.neighbors(2), &[] as &[NodeId]);
+        assert_eq!(g.neighbors(3), &[0]);
+        assert_eq!(g.degree(0), 2);
+        assert!(!g.is_weighted());
+        assert_eq!(g.total_weight(0), 2.0);
+    }
+
+    #[test]
+    fn symmetrize_doubles_edges() {
+        let mut b = CsrBuilder::new(3).symmetrize(true);
+        b.add_edge(0, 1);
+        b.add_edge(1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.neighbors(1), &[2, 0]);
+    }
+
+    #[test]
+    fn dedup_removes_duplicates_and_self_loops() {
+        let mut b = CsrBuilder::new(3).dedup(true);
+        b.add_edges([(0, 1), (0, 1), (1, 1), (2, 0)]);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 2);
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(1), &[] as &[NodeId]);
+    }
+
+    #[test]
+    fn reverse_flips_edges() {
+        let g = toy();
+        let r = g.reverse();
+        assert_eq!(r.num_edges(), g.num_edges());
+        assert_eq!(r.neighbors(0), &[3]);
+        assert_eq!(r.neighbors(2), &[0, 1]);
+        // double reverse is identity (up to per-node ordering)
+        let rr = r.reverse();
+        for v in 0..4 {
+            let mut a = g.neighbors(v).to_vec();
+            let mut b = rr.neighbors(v).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn node_weights_attach_to_edges() {
+        let g = toy();
+        let w = g.with_node_weights(&[0.5, 1.0, 2.0, 4.0]);
+        assert!(w.is_weighted());
+        assert_eq!(w.neighbor_weights(0).unwrap(), &[1.0, 2.0]);
+        assert_eq!(w.neighbor_weights(3).unwrap(), &[0.5]);
+        assert_eq!(w.total_weight(0), 3.0);
+    }
+
+    #[test]
+    fn extract_patch_keeps_global_ids() {
+        let g = toy();
+        let p = g.extract_patch(&[3, 0]);
+        assert_eq!(p.num_nodes(), 2);
+        assert_eq!(p.neighbors(0), &[0]); // node 3's list
+        assert_eq!(p.neighbors(1), &[1, 2]); // node 0's list
+    }
+
+    #[test]
+    fn topology_bytes_counts_arrays() {
+        let g = toy();
+        assert_eq!(g.topology_bytes(), (5 * 8 + 4 * 4) as u64);
+        let w = g.with_node_weights(&[1.0; 4]);
+        assert_eq!(w.topology_bytes(), (5 * 8 + 4 * 4 + 4 * 4) as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "monotone")]
+    fn from_raw_rejects_bad_indptr() {
+        Csr::from_raw(vec![0, 2, 1, 2], vec![0, 1], None);
+    }
+}

@@ -1,0 +1,269 @@
+//! Random graph generators used to synthesize scaled stand-ins for the
+//! paper's evaluation datasets.
+//!
+//! Three families are provided:
+//!
+//! * [`rmat`] — recursive-matrix (Kronecker) graphs with tunable skew,
+//!   matching the heavy-tailed degree distributions of co-purchase and
+//!   social graphs (Products, Friendster).
+//! * [`chung_lu`] — power-law graphs with an explicit degree exponent,
+//!   used for the citation-graph stand-in (Papers).
+//! * [`erdos_renyi`] — uniform random graphs, mostly for tests and
+//!   adversarial inputs (no locality for the partitioner to find).
+//!
+//! All generators are deterministic given a seed and use rayon for the
+//! edge-generation loop (the guides' `par_iter` idiom: each chunk owns an
+//! independent, seed-derived RNG stream).
+
+use crate::csr::{Csr, CsrBuilder};
+use crate::NodeId;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+use rayon::prelude::*;
+
+/// Parameters for an RMAT generator.
+#[derive(Clone, Copy, Debug)]
+pub struct RmatParams {
+    /// Number of nodes (rounded up to a power of two internally).
+    pub num_nodes: usize,
+    /// Number of directed edges to generate before symmetrize/dedup.
+    pub num_edges: usize,
+    /// Quadrant probabilities; `d = 1 - a - b - c`.
+    pub a: f64,
+    pub b: f64,
+    pub c: f64,
+    /// Symmetrize the result (undirected semantics).
+    pub symmetric: bool,
+}
+
+impl Default for RmatParams {
+    fn default() -> Self {
+        RmatParams { num_nodes: 1 << 14, num_edges: 1 << 18, a: 0.57, b: 0.19, c: 0.19, symmetric: true }
+    }
+}
+
+/// Generates an RMAT graph. Node ids beyond `num_nodes` produced by the
+/// power-of-two recursion are folded back with a modulo, which slightly
+/// smooths the tail but keeps the skew.
+pub fn rmat(params: RmatParams, seed: u64) -> Csr {
+    let RmatParams { num_nodes, num_edges, a, b, c, symmetric } = params;
+    assert!(num_nodes >= 2);
+    assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities must sum below 1");
+    let levels = (num_nodes as f64).log2().ceil() as u32;
+    let chunk = 1 << 14;
+    let nchunks = num_edges.div_ceil(chunk);
+    let edges: Vec<(NodeId, NodeId)> = (0..nchunks)
+        .into_par_iter()
+        .flat_map_iter(|ci| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9e37_79b9 + ci as u64));
+            let count = chunk.min(num_edges - ci * chunk);
+            (0..count)
+                .map(move |_| {
+                    let (mut src, mut dst) = (0u64, 0u64);
+                    for _ in 0..levels {
+                        src <<= 1;
+                        dst <<= 1;
+                        let r: f64 = rng.gen();
+                        if r < a {
+                            // top-left: neither bit set
+                        } else if r < a + b {
+                            dst |= 1;
+                        } else if r < a + b + c {
+                            src |= 1;
+                        } else {
+                            src |= 1;
+                            dst |= 1;
+                        }
+                    }
+                    (
+                        (src % num_nodes as u64) as NodeId,
+                        (dst % num_nodes as u64) as NodeId,
+                    )
+                })
+                .collect::<Vec<_>>()
+        })
+        .collect();
+    let mut b = CsrBuilder::new(num_nodes).symmetrize(symmetric).dedup(true);
+    b.add_edges(edges);
+    b.build()
+}
+
+/// Parameters for a Chung-Lu power-law generator.
+#[derive(Clone, Copy, Debug)]
+pub struct ChungLuParams {
+    pub num_nodes: usize,
+    /// Target number of directed edges before symmetrize/dedup.
+    pub num_edges: usize,
+    /// Power-law exponent of the expected-degree sequence (typically
+    /// 2.0–2.5 for citation/social graphs).
+    pub gamma: f64,
+    pub symmetric: bool,
+}
+
+impl Default for ChungLuParams {
+    fn default() -> Self {
+        ChungLuParams { num_nodes: 1 << 14, num_edges: 1 << 18, gamma: 2.2, symmetric: true }
+    }
+}
+
+/// Generates a Chung-Lu graph: node `i` has expected weight
+/// `w_i ∝ (i+1)^(-1/(gamma-1))`; endpoints of each edge are drawn
+/// independently proportional to the weights (via inverse-CDF lookup on a
+/// prefix-sum table).
+pub fn chung_lu(params: ChungLuParams, seed: u64) -> Csr {
+    let ChungLuParams { num_nodes, num_edges, gamma, symmetric } = params;
+    assert!(gamma > 1.0);
+    let alpha = 1.0 / (gamma - 1.0);
+    // Prefix sums of node weights for O(log n) inverse-CDF sampling.
+    let mut cdf = Vec::with_capacity(num_nodes + 1);
+    cdf.push(0.0f64);
+    let mut acc = 0.0;
+    for i in 0..num_nodes {
+        acc += ((i + 1) as f64).powf(-alpha);
+        cdf.push(acc);
+    }
+    let total = acc;
+    let draw = |rng: &mut ChaCha8Rng| -> NodeId {
+        let x = rng.gen::<f64>() * total;
+        // partition_point: first index with cdf[idx] > x, minus one.
+        let idx = cdf.partition_point(|&c| c <= x);
+        (idx.saturating_sub(1)).min(num_nodes - 1) as NodeId
+    };
+    let chunk = 1 << 14;
+    let nchunks = num_edges.div_ceil(chunk);
+    let edges: Vec<(NodeId, NodeId)> = (0..nchunks)
+        .into_par_iter()
+        .flat_map_iter(|ci| {
+            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x85eb_ca6b + ci as u64));
+            let count = chunk.min(num_edges - ci * chunk);
+            (0..count).map(move |_| (draw(&mut rng), draw(&mut rng))).collect::<Vec<_>>()
+        })
+        .collect();
+    let mut b = CsrBuilder::new(num_nodes).symmetrize(symmetric).dedup(true);
+    b.add_edges(edges);
+    b.build()
+}
+
+/// Generates a directed Erdős–Rényi graph with `num_edges` random edges.
+pub fn erdos_renyi(num_nodes: usize, num_edges: usize, symmetric: bool, seed: u64) -> Csr {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut b = CsrBuilder::new(num_nodes).symmetrize(symmetric).dedup(true);
+    for _ in 0..num_edges {
+        let s = rng.gen_range(0..num_nodes) as NodeId;
+        let d = rng.gen_range(0..num_nodes) as NodeId;
+        b.add_edge(s, d);
+    }
+    b.build()
+}
+
+/// A ring graph (every node connected to its `k` successors, symmetrized):
+/// fully predictable structure for partitioner and sampler tests.
+pub fn ring(num_nodes: usize, k: usize) -> Csr {
+    let mut b = CsrBuilder::new(num_nodes).symmetrize(true).dedup(true);
+    for v in 0..num_nodes {
+        for j in 1..=k {
+            b.add_edge(v as NodeId, ((v + j) % num_nodes) as NodeId);
+        }
+    }
+    b.build()
+}
+
+/// A planted-partition (stochastic block model) graph: `num_blocks`
+/// communities, intra-community edges much denser than inter-community.
+/// Returns the graph and the block id of each node. Used to synthesize
+/// learnable node-classification datasets (block id = label).
+pub fn planted_partition(
+    num_nodes: usize,
+    num_blocks: usize,
+    avg_degree: f64,
+    p_intra: f64,
+    seed: u64,
+) -> (Csr, Vec<u32>) {
+    assert!(num_blocks >= 1 && num_blocks <= num_nodes);
+    assert!((0.0..=1.0).contains(&p_intra));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let blocks: Vec<u32> = (0..num_nodes).map(|i| (i % num_blocks) as u32).collect();
+    // Bucket nodes per block for O(1) intra draws.
+    let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num_blocks];
+    for (i, &b) in blocks.iter().enumerate() {
+        members[b as usize].push(i as NodeId);
+    }
+    let num_edges = (num_nodes as f64 * avg_degree / 2.0) as usize;
+    let mut b = CsrBuilder::new(num_nodes).symmetrize(true).dedup(true);
+    for _ in 0..num_edges {
+        let s = rng.gen_range(0..num_nodes) as NodeId;
+        let d = if rng.gen::<f64>() < p_intra {
+            let m = &members[blocks[s as usize] as usize];
+            m[rng.gen_range(0..m.len())]
+        } else {
+            rng.gen_range(0..num_nodes) as NodeId
+        };
+        b.add_edge(s, d);
+    }
+    (b.build(), blocks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rmat_is_deterministic_and_skewed() {
+        let p = RmatParams { num_nodes: 1 << 10, num_edges: 1 << 14, ..Default::default() };
+        let g1 = rmat(p, 7);
+        let g2 = rmat(p, 7);
+        assert_eq!(g1.indices(), g2.indices());
+        assert_eq!(g1.num_nodes(), 1 << 10);
+        // Skew: max degree far above the average.
+        let avg = g1.num_edges() as f64 / g1.num_nodes() as f64;
+        let max = (0..g1.num_nodes() as NodeId).map(|v| g1.degree(v)).max().unwrap();
+        assert!(max as f64 > 4.0 * avg, "max degree {max} vs avg {avg}");
+    }
+
+    #[test]
+    fn rmat_different_seed_differs() {
+        let p = RmatParams { num_nodes: 1 << 10, num_edges: 1 << 13, ..Default::default() };
+        assert_ne!(rmat(p, 1).indices(), rmat(p, 2).indices());
+    }
+
+    #[test]
+    fn chung_lu_head_nodes_have_high_degree() {
+        let p = ChungLuParams { num_nodes: 4096, num_edges: 1 << 15, gamma: 2.2, symmetric: true };
+        let g = chung_lu(p, 3);
+        let head: usize = (0..40u32).map(|v| g.degree(v)).sum();
+        let tail: usize = (4056..4096u32).map(|v| g.degree(v)).sum();
+        assert!(head > 8 * tail.max(1), "head {head} tail {tail}");
+    }
+
+    #[test]
+    fn erdos_renyi_degree_concentrates() {
+        let g = erdos_renyi(1000, 20_000, false, 5);
+        let avg = g.num_edges() as f64 / g.num_nodes() as f64;
+        assert!(avg > 15.0 && avg <= 20.0);
+    }
+
+    #[test]
+    fn ring_has_uniform_degree() {
+        let g = ring(100, 2);
+        for v in 0..100u32 {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn planted_partition_blocks_are_assortative() {
+        let (g, blocks) = planted_partition(2000, 10, 20.0, 0.9, 11);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for v in 0..g.num_nodes() as NodeId {
+            for &u in g.neighbors(v) {
+                if blocks[v as usize] == blocks[u as usize] {
+                    intra += 1;
+                } else {
+                    inter += 1;
+                }
+            }
+        }
+        assert!(intra > 4 * inter, "intra {intra} inter {inter}");
+    }
+}

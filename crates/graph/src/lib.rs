@@ -1,0 +1,30 @@
+//! # ds-graph
+//!
+//! Graph substrate for the DSP reproduction: compressed sparse row (CSR)
+//! graphs, power-law random-graph generators, classic node-ranking
+//! algorithms (degree, PageRank, reverse PageRank) used for hot-node
+//! selection, and the synthetic stand-ins for the paper's evaluation
+//! datasets (ogbn-products, ogbn-papers100M, SNAP Friendster).
+//!
+//! Everything in the stack above (partitioning, sampling, caching,
+//! training) consumes the [`Csr`] representation defined here. Node ids
+//! are `u32` ([`NodeId`]) — the scaled datasets are far below the 4.29 B
+//! node limit and halving the id width doubles effective memory bandwidth
+//! on the hot sampling paths, which is exactly the trade the paper's
+//! systems make (DGL/Quiver use 32-bit ids for the same reason).
+
+pub mod algo;
+pub mod csr;
+pub mod datasets;
+pub mod features;
+pub mod gen;
+
+pub use csr::{Csr, CsrBuilder};
+pub use datasets::{Dataset, DatasetSpec, SyntheticKind};
+pub use features::{Features, Labels};
+
+/// Node identifier. Global ids are dense in `0..n`.
+pub type NodeId = u32;
+
+/// Edge index into the CSR `indices`/`weights` arrays.
+pub type EdgeIdx = u64;

@@ -1,0 +1,116 @@
+//! Property-based tests for the graph substrate.
+
+use ds_graph::csr::{Csr, CsrBuilder};
+use ds_graph::{algo, gen, NodeId};
+use proptest::prelude::*;
+
+fn arb_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
+    (2usize..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..n * 4);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn builder_preserves_edge_multiset((n, edges) in arb_edges(200)) {
+        let mut b = CsrBuilder::new(n);
+        b.add_edges(edges.iter().cloned());
+        let g = b.build();
+        prop_assert_eq!(g.num_edges(), edges.len());
+        let mut expect = edges.clone();
+        expect.sort_unstable();
+        let mut got: Vec<(NodeId, NodeId)> = (0..n as NodeId)
+            .flat_map(|v| g.neighbors(v).iter().map(move |&u| (v, u)))
+            .collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn reverse_is_an_involution_on_edge_sets((n, edges) in arb_edges(120)) {
+        let mut b = CsrBuilder::new(n);
+        b.add_edges(edges);
+        let g = b.build();
+        let rr = g.reverse().reverse();
+        prop_assert_eq!(rr.num_edges(), g.num_edges());
+        for v in 0..n as NodeId {
+            let mut a = g.neighbors(v).to_vec();
+            let mut b2 = rr.neighbors(v).to_vec();
+            a.sort_unstable();
+            b2.sort_unstable();
+            prop_assert_eq!(a, b2);
+        }
+    }
+
+    #[test]
+    fn degrees_sum_to_edges((n, edges) in arb_edges(150)) {
+        let mut b = CsrBuilder::new(n);
+        b.add_edges(edges);
+        let g = b.build();
+        let total: usize = (0..n as NodeId).map(|v| g.degree(v)).sum();
+        prop_assert_eq!(total, g.num_edges());
+        let indeg: u32 = algo::in_degrees(&g).iter().sum();
+        prop_assert_eq!(indeg as usize, g.num_edges());
+    }
+
+    #[test]
+    fn dedup_makes_neighbor_lists_strictly_unique((n, edges) in arb_edges(100)) {
+        let mut b = CsrBuilder::new(n).dedup(true);
+        b.add_edges(edges);
+        let g = b.build();
+        for v in 0..n as NodeId {
+            let nb = g.neighbors(v);
+            let mut d = nb.to_vec();
+            d.sort_unstable();
+            d.dedup();
+            prop_assert_eq!(d.len(), nb.len());
+            prop_assert!(!nb.contains(&v), "self loop survived dedup");
+        }
+    }
+
+    #[test]
+    fn pagerank_is_a_distribution(seed in any::<u64>(), n in 16usize..128) {
+        let g = gen::erdos_renyi(n, n * 4, true, seed);
+        let pr = algo::pagerank(&g, 0.85, 15);
+        let sum: f64 = pr.iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-6);
+        prop_assert!(pr.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn extract_patch_round_trips_adjacency(seed in any::<u64>()) {
+        let g = gen::erdos_renyi(80, 600, false, seed);
+        let nodes: Vec<NodeId> = (0..80).step_by(3).collect();
+        let p = g.extract_patch(&nodes);
+        for (local, &global) in nodes.iter().enumerate() {
+            prop_assert_eq!(p.neighbors(local as NodeId), g.neighbors(global));
+        }
+    }
+
+    #[test]
+    fn bfs_distances_respect_triangle_inequality(seed in any::<u64>()) {
+        let g = gen::erdos_renyi(60, 400, true, seed);
+        let d = algo::bfs(&g, 0);
+        for v in 0..60 as NodeId {
+            if d[v as usize] == u32::MAX {
+                continue;
+            }
+            for &u in g.neighbors(v) {
+                prop_assert!(
+                    d[u as usize] <= d[v as usize] + 1,
+                    "edge {}->{} violates BFS levels", v, u
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn dataset_split_fractions_are_respected() {
+    let d = ds_graph::DatasetSpec::tiny(8000).build();
+    let frac = d.train.len() as f64 / 8000.0;
+    assert!((frac - 0.3).abs() < 0.05, "train fraction {frac}");
+}

@@ -1,0 +1,112 @@
+//! # ds-partition
+//!
+//! Graph partitioning for the DSP data layout. The paper partitions the
+//! topology with METIS (§3.1) so that each GPU owns a *well-connected
+//! patch* — minimizing cross-patch edges minimizes cross-GPU traffic in
+//! the shuffle/reshuffle stages of CSP. METIS is not available here, so
+//! [`multilevel::MultilevelPartitioner`] reimplements the same recipe:
+//! heavy-edge-matching coarsening, greedy region-growing initial
+//! partition, and boundary FM refinement during uncoarsening.
+//!
+//! [`simple`] provides hash and range partitioners used as ablation
+//! baselines (they ignore structure, so they show how much the layout
+//! actually buys), and [`renumber`] implements the paper's §6 trick of
+//! renumbering nodes so each patch owns a consecutive global-id range,
+//! turning ownership lookup into a range check.
+
+pub mod multilevel;
+pub mod quality;
+pub mod renumber;
+pub mod simple;
+
+pub use multilevel::MultilevelPartitioner;
+pub use quality::{balance, edge_cut, edge_cut_fraction};
+pub use renumber::Renumbering;
+pub use simple::{hash_partition, range_partition};
+
+use ds_graph::NodeId;
+
+/// A k-way node partition: `assign[v]` is the part (GPU) owning node `v`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Partition {
+    k: usize,
+    assign: Vec<u32>,
+}
+
+impl Partition {
+    /// Wraps an assignment vector. Every entry must be `< k`.
+    pub fn from_assignment(k: usize, assign: Vec<u32>) -> Self {
+        assert!(k >= 1);
+        assert!(assign.iter().all(|&p| (p as usize) < k), "part id out of range");
+        Partition { k, assign }
+    }
+
+    /// Number of parts.
+    #[inline]
+    pub fn num_parts(&self) -> usize {
+        self.k
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.assign.len()
+    }
+
+    /// Owning part of node `v`.
+    #[inline]
+    pub fn part_of(&self, v: NodeId) -> u32 {
+        self.assign[v as usize]
+    }
+
+    /// The raw assignment.
+    #[inline]
+    pub fn assignment(&self) -> &[u32] {
+        &self.assign
+    }
+
+    /// Node ids of each part, in ascending id order.
+    pub fn members(&self) -> Vec<Vec<NodeId>> {
+        let mut parts = vec![Vec::new(); self.k];
+        for (v, &p) in self.assign.iter().enumerate() {
+            parts[p as usize].push(v as NodeId);
+        }
+        parts
+    }
+
+    /// Part sizes (node counts).
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut s = vec![0usize; self.k];
+        for &p in &self.assign {
+            s[p as usize] += 1;
+        }
+        s
+    }
+}
+
+/// Trait implemented by all partitioners.
+pub trait Partitioner {
+    /// Partitions `g` into `k` parts.
+    fn partition(&self, g: &ds_graph::Csr, k: usize) -> Partition;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_accessors() {
+        let p = Partition::from_assignment(3, vec![0, 1, 2, 0, 1]);
+        assert_eq!(p.num_parts(), 3);
+        assert_eq!(p.num_nodes(), 5);
+        assert_eq!(p.part_of(3), 0);
+        assert_eq!(p.sizes(), vec![2, 2, 1]);
+        assert_eq!(p.members()[1], vec![1, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_assignment() {
+        Partition::from_assignment(2, vec![0, 2]);
+    }
+}

@@ -1,0 +1,438 @@
+//! Multilevel k-way graph partitioning, following the METIS recipe
+//! (Karypis & Kumar, 1998) that the paper relies on for its data layout:
+//!
+//! 1. **Coarsening** — repeatedly contract a heavy-edge matching until
+//!    the graph is small. Edge weights accumulate multiplicities and node
+//!    weights accumulate merged vertex counts, so the cut and balance of a
+//!    coarse partition equal those of its projection.
+//! 2. **Initial partition** — greedy region growing on the coarsest
+//!    graph: grow each part by repeatedly absorbing the frontier node
+//!    with the strongest connection to the part until it reaches its
+//!    weight budget.
+//! 3. **Uncoarsening + refinement** — project the assignment back level
+//!    by level, running boundary FM passes (move a boundary node to the
+//!    neighboring part with the best cut gain, subject to a balance
+//!    constraint) at every level.
+
+use crate::{Partition, Partitioner};
+use ds_graph::{Csr, NodeId};
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Weighted working graph used inside the multilevel algorithm.
+struct WGraph {
+    /// CSR offsets.
+    xadj: Vec<usize>,
+    /// (neighbor, edge weight) pairs.
+    adj: Vec<(u32, u64)>,
+    /// Node weights (number of original vertices merged into this node).
+    nw: Vec<u64>,
+}
+
+impl WGraph {
+    fn from_csr(g: &Csr) -> Self {
+        let n = g.num_nodes();
+        let mut xadj = Vec::with_capacity(n + 1);
+        xadj.push(0);
+        let mut adj = Vec::with_capacity(g.num_edges());
+        for v in 0..n as NodeId {
+            // Merge parallel edges into weights.
+            let mut nb: Vec<u32> = g.neighbors(v).to_vec();
+            nb.sort_unstable();
+            let mut i = 0;
+            while i < nb.len() {
+                let mut j = i + 1;
+                while j < nb.len() && nb[j] == nb[i] {
+                    j += 1;
+                }
+                if nb[i] != v {
+                    adj.push((nb[i], (j - i) as u64));
+                }
+                i = j;
+            }
+            xadj.push(adj.len());
+        }
+        WGraph { xadj, adj, nw: vec![1; n] }
+    }
+
+    #[inline]
+    fn n(&self) -> usize {
+        self.nw.len()
+    }
+
+    #[inline]
+    fn neighbors(&self, v: u32) -> &[(u32, u64)] {
+        &self.adj[self.xadj[v as usize]..self.xadj[v as usize + 1]]
+    }
+
+    fn total_weight(&self) -> u64 {
+        self.nw.iter().sum()
+    }
+}
+
+/// Configuration for [`MultilevelPartitioner`].
+#[derive(Clone, Copy, Debug)]
+pub struct MultilevelConfig {
+    /// Stop coarsening once the graph has at most `coarsen_to * k` nodes.
+    pub coarsen_to: usize,
+    /// Maximum allowed part weight as a multiple of the ideal (1.0 =
+    /// perfectly balanced). METIS default is ~1.03.
+    pub imbalance: f64,
+    /// FM refinement passes per level.
+    pub refine_passes: usize,
+    /// RNG seed (matching order randomization).
+    pub seed: u64,
+}
+
+impl Default for MultilevelConfig {
+    fn default() -> Self {
+        MultilevelConfig { coarsen_to: 40, imbalance: 1.05, refine_passes: 4, seed: 0x4d45_5449 }
+    }
+}
+
+/// METIS-substitute multilevel k-way partitioner.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MultilevelPartitioner {
+    /// Tunables; defaults follow METIS conventions.
+    pub config: MultilevelConfig,
+}
+
+impl MultilevelPartitioner {
+    /// Creates a partitioner with the given config.
+    pub fn new(config: MultilevelConfig) -> Self {
+        MultilevelPartitioner { config }
+    }
+}
+
+impl Partitioner for MultilevelPartitioner {
+    fn partition(&self, g: &Csr, k: usize) -> Partition {
+        assert!(k >= 1);
+        let n = g.num_nodes();
+        if k == 1 || n <= k {
+            // Degenerate cases: everything in part 0, or one node per part.
+            let assign = (0..n).map(|v| (v % k) as u32).collect();
+            return Partition::from_assignment(k, assign);
+        }
+        let cfg = self.config;
+        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+
+        // --- Coarsening ---------------------------------------------------
+        let mut levels: Vec<WGraph> = vec![WGraph::from_csr(g)];
+        let mut maps: Vec<Vec<u32>> = Vec::new(); // fine node -> coarse node
+        loop {
+            let cur = levels.last().unwrap();
+            if cur.n() <= cfg.coarsen_to * k {
+                break;
+            }
+            let (coarse, map) = contract(cur, heavy_edge_matching(cur, &mut rng));
+            // Diminishing returns: stop if contraction stalls (<10% shrink).
+            if coarse.n() as f64 > cur.n() as f64 * 0.9 {
+                levels.push(coarse);
+                maps.push(map);
+                break;
+            }
+            levels.push(coarse);
+            maps.push(map);
+        }
+
+        // --- Initial partition on the coarsest graph ----------------------
+        let coarsest = levels.last().unwrap();
+        let mut assign = region_growing(coarsest, k, cfg.imbalance, &mut rng);
+        refine(coarsest, &mut assign, k, cfg.imbalance, cfg.refine_passes);
+
+        // --- Uncoarsening with refinement ---------------------------------
+        for li in (0..maps.len()).rev() {
+            let fine = &levels[li];
+            let map = &maps[li];
+            let mut fine_assign = vec![0u32; fine.n()];
+            for v in 0..fine.n() {
+                fine_assign[v] = assign[map[v] as usize];
+            }
+            refine(fine, &mut fine_assign, k, cfg.imbalance, cfg.refine_passes);
+            assign = fine_assign;
+        }
+        Partition::from_assignment(k, assign)
+    }
+}
+
+/// Heavy-edge matching: visit nodes in random order; match each unmatched
+/// node with its heaviest-edge unmatched neighbor. Returns `mate[v]`
+/// (`v` itself when unmatched).
+fn heavy_edge_matching(g: &WGraph, rng: &mut ChaCha8Rng) -> Vec<u32> {
+    let n = g.n();
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    order.shuffle(rng);
+    let mut mate: Vec<u32> = (0..n as u32).collect();
+    let mut matched = vec![false; n];
+    for &v in &order {
+        if matched[v as usize] {
+            continue;
+        }
+        let mut best: Option<(u32, u64)> = None;
+        for &(u, w) in g.neighbors(v) {
+            if !matched[u as usize] && u != v {
+                match best {
+                    Some((_, bw)) if bw >= w => {}
+                    _ => best = Some((u, w)),
+                }
+            }
+        }
+        if let Some((u, _)) = best {
+            matched[v as usize] = true;
+            matched[u as usize] = true;
+            mate[v as usize] = u;
+            mate[u as usize] = v;
+        }
+    }
+    mate
+}
+
+/// Contracts a matching: each matched pair (and each unmatched node)
+/// becomes one coarse node. Returns the coarse graph and the fine→coarse
+/// map.
+fn contract(g: &WGraph, mate: Vec<u32>) -> (WGraph, Vec<u32>) {
+    let n = g.n();
+    let mut map = vec![u32::MAX; n];
+    let mut next = 0u32;
+    for v in 0..n as u32 {
+        if map[v as usize] != u32::MAX {
+            continue;
+        }
+        map[v as usize] = next;
+        let m = mate[v as usize];
+        if m != v {
+            map[m as usize] = next;
+        }
+        next += 1;
+    }
+    let cn = next as usize;
+    let mut nw = vec![0u64; cn];
+    for v in 0..n {
+        nw[map[v] as usize] += g.nw[v];
+    }
+    // Aggregate coarse adjacency via a per-node scatter map.
+    let mut xadj = Vec::with_capacity(cn + 1);
+    xadj.push(0usize);
+    let mut adj: Vec<(u32, u64)> = Vec::new();
+    let mut touch: Vec<u32> = Vec::new();
+    let mut acc: Vec<u64> = vec![0; cn];
+    let mut seen: Vec<bool> = vec![false; cn];
+    // Members of each coarse node, in coarse order.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); cn];
+    for v in 0..n as u32 {
+        members[map[v as usize] as usize].push(v);
+    }
+    for c in 0..cn {
+        for &v in &members[c] {
+            for &(u, w) in g.neighbors(v) {
+                let cu = map[u as usize];
+                if cu as usize == c {
+                    continue; // internal edge disappears
+                }
+                if !seen[cu as usize] {
+                    seen[cu as usize] = true;
+                    touch.push(cu);
+                }
+                acc[cu as usize] += w;
+            }
+        }
+        for &cu in &touch {
+            adj.push((cu, acc[cu as usize]));
+            acc[cu as usize] = 0;
+            seen[cu as usize] = false;
+        }
+        touch.clear();
+        xadj.push(adj.len());
+    }
+    (WGraph { xadj, adj, nw }, map)
+}
+
+/// Greedy region growing for the initial partition on the coarsest graph.
+fn region_growing(g: &WGraph, k: usize, imbalance: f64, rng: &mut ChaCha8Rng) -> Vec<u32> {
+    let n = g.n();
+    let total = g.total_weight();
+    let budget = ((total as f64 / k as f64) * imbalance).ceil() as u64;
+    let mut assign = vec![u32::MAX; n];
+    let mut part_w = vec![0u64; k];
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    // Grow from high-degree nodes first for more compact regions.
+    order.sort_unstable_by_key(|&v| std::cmp::Reverse(g.neighbors(v).len()));
+    let mut cursor = 0usize;
+    for p in 0..k as u32 {
+        // Seed: first unassigned node in the order.
+        while cursor < n && assign[order[cursor] as usize] != u32::MAX {
+            cursor += 1;
+        }
+        if cursor >= n {
+            break;
+        }
+        let seed = order[cursor];
+        assign[seed as usize] = p;
+        part_w[p as usize] += g.nw[seed as usize];
+        // Frontier keyed by connection strength (linear scan each step is
+        // fine: the coarsest graph is tiny by construction).
+        let mut gain: Vec<u64> = vec![0; n];
+        let mut frontier: Vec<u32> = Vec::new();
+        let push_frontier = |v: u32, gain: &mut Vec<u64>, frontier: &mut Vec<u32>, assign: &[u32]| {
+            for &(u, w) in g.neighbors(v) {
+                if assign[u as usize] == u32::MAX {
+                    if gain[u as usize] == 0 {
+                        frontier.push(u);
+                    }
+                    gain[u as usize] += w;
+                }
+            }
+        };
+        push_frontier(seed, &mut gain, &mut frontier, &assign);
+        while part_w[p as usize] < total / k as u64 {
+            // Pick the unassigned frontier node with max gain.
+            let mut best: Option<(usize, u64)> = None;
+            for (i, &u) in frontier.iter().enumerate() {
+                if assign[u as usize] != u32::MAX {
+                    continue;
+                }
+                let gu = gain[u as usize];
+                if best.map_or(true, |(_, bg)| gu > bg) {
+                    best = Some((i, gu));
+                }
+            }
+            let Some((i, _)) = best else { break };
+            let u = frontier.swap_remove(i);
+            if part_w[p as usize] + g.nw[u as usize] > budget {
+                continue;
+            }
+            assign[u as usize] = p;
+            part_w[p as usize] += g.nw[u as usize];
+            push_frontier(u, &mut gain, &mut frontier, &assign);
+        }
+    }
+    // Leftovers: assign to the lightest part (random tiebreak).
+    let mut leftovers: Vec<u32> =
+        (0..n as u32).filter(|&v| assign[v as usize] == u32::MAX).collect();
+    leftovers.shuffle(rng);
+    for v in leftovers {
+        let p = (0..k).min_by_key(|&p| part_w[p]).unwrap();
+        assign[v as usize] = p as u32;
+        part_w[p] += g.nw[v as usize];
+    }
+    assign
+}
+
+/// Boundary FM refinement: greedily move boundary nodes to the
+/// neighboring part with the highest positive cut gain, respecting the
+/// balance budget. `passes` full sweeps.
+fn refine(g: &WGraph, assign: &mut [u32], k: usize, imbalance: f64, passes: usize) {
+    let n = g.n();
+    let total = g.total_weight();
+    let budget = ((total as f64 / k as f64) * imbalance).ceil() as u64;
+    let mut part_w = vec![0u64; k];
+    for v in 0..n {
+        part_w[assign[v] as usize] += g.nw[v];
+    }
+    let mut conn: Vec<u64> = vec![0; k]; // scratch: weight to each part
+    for _ in 0..passes {
+        let mut moved = 0usize;
+        for v in 0..n as u32 {
+            let pv = assign[v as usize];
+            let nb = g.neighbors(v);
+            if nb.is_empty() {
+                continue;
+            }
+            // Connection weight to each adjacent part.
+            let mut touched: Vec<u32> = Vec::with_capacity(4);
+            for &(u, w) in nb {
+                let pu = assign[u as usize];
+                if conn[pu as usize] == 0 {
+                    touched.push(pu);
+                }
+                conn[pu as usize] += w;
+            }
+            let internal = conn[pv as usize];
+            let mut best: Option<(u32, u64)> = None;
+            for &p in &touched {
+                if p == pv {
+                    continue;
+                }
+                let external = conn[p as usize];
+                if external > internal
+                    && part_w[p as usize] + g.nw[v as usize] <= budget
+                    && best.map_or(true, |(_, bw)| external > bw)
+                {
+                    best = Some((p, external));
+                }
+            }
+            for &p in &touched {
+                conn[p as usize] = 0;
+            }
+            if let Some((p, _)) = best {
+                part_w[pv as usize] -= g.nw[v as usize];
+                part_w[p as usize] += g.nw[v as usize];
+                assign[v as usize] = p;
+                moved += 1;
+            }
+        }
+        if moved == 0 {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::quality::{balance, edge_cut_fraction};
+    use ds_graph::gen;
+
+    #[test]
+    fn partitions_ring_with_low_cut() {
+        let g = gen::ring(2048, 2);
+        let p = MultilevelPartitioner::default().partition(&g, 4);
+        let f = edge_cut_fraction(&g, &p);
+        // A ring of 8192 directed edges ideally cuts 4 boundaries * 2k
+        // directed edges each; anything below 5% is a sane partition.
+        assert!(f < 0.05, "cut fraction {f}");
+        assert!(balance(&p) < 1.1, "balance {}", balance(&p));
+    }
+
+    #[test]
+    fn beats_hash_partition_on_community_graph() {
+        let (g, _) = gen::planted_partition(4000, 16, 16.0, 0.9, 7);
+        let ml = MultilevelPartitioner::default().partition(&g, 8);
+        let hp = crate::simple::hash_partition(&g, 8);
+        let f_ml = edge_cut_fraction(&g, &ml);
+        let f_hp = edge_cut_fraction(&g, &hp);
+        assert!(f_ml < 0.6 * f_hp, "multilevel {f_ml} vs hash {f_hp}");
+        assert!(balance(&ml) < 1.15, "balance {}", balance(&ml));
+    }
+
+    #[test]
+    fn handles_degenerate_inputs() {
+        let g = gen::ring(16, 1);
+        // k == 1
+        let p1 = MultilevelPartitioner::default().partition(&g, 1);
+        assert!(p1.assignment().iter().all(|&p| p == 0));
+        // k >= n
+        let p2 = MultilevelPartitioner::default().partition(&g, 16);
+        assert_eq!(p2.num_parts(), 16);
+        assert_eq!(p2.num_nodes(), 16);
+    }
+
+    #[test]
+    fn covers_all_nodes_exactly_once() {
+        let g = gen::erdos_renyi(3000, 30_000, true, 2);
+        let p = MultilevelPartitioner::default().partition(&g, 8);
+        assert_eq!(p.sizes().iter().sum::<usize>(), 3000);
+        assert!(balance(&p) < 1.2);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let g = gen::rmat(
+            gen::RmatParams { num_nodes: 2048, num_edges: 16_384, ..Default::default() },
+            5,
+        );
+        let a = MultilevelPartitioner::default().partition(&g, 4);
+        let b = MultilevelPartitioner::default().partition(&g, 4);
+        assert_eq!(a, b);
+    }
+}

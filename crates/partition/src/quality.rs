@@ -1,0 +1,62 @@
+//! Partition quality metrics: edge cut and balance.
+
+use crate::Partition;
+use ds_graph::{Csr, NodeId};
+
+/// Number of edges whose endpoints live in different parts.
+pub fn edge_cut(g: &Csr, p: &Partition) -> u64 {
+    assert_eq!(g.num_nodes(), p.num_nodes());
+    let mut cut = 0u64;
+    for v in 0..g.num_nodes() as NodeId {
+        let pv = p.part_of(v);
+        for &u in g.neighbors(v) {
+            if p.part_of(u) != pv {
+                cut += 1;
+            }
+        }
+    }
+    cut
+}
+
+/// Cut edges as a fraction of all edges (0 = perfect locality).
+pub fn edge_cut_fraction(g: &Csr, p: &Partition) -> f64 {
+    if g.num_edges() == 0 {
+        return 0.0;
+    }
+    edge_cut(g, p) as f64 / g.num_edges() as f64
+}
+
+/// Load balance: `max part size / ideal part size` (1.0 = perfect).
+pub fn balance(p: &Partition) -> f64 {
+    let sizes = p.sizes();
+    let max = *sizes.iter().max().unwrap_or(&0) as f64;
+    let ideal = p.num_nodes() as f64 / p.num_parts() as f64;
+    if ideal == 0.0 {
+        1.0
+    } else {
+        max / ideal
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_graph::gen;
+
+    #[test]
+    fn ring_split_in_half_has_two_cut_points() {
+        let g = gen::ring(100, 1); // cycle, symmetric: 200 directed edges
+        let p = crate::simple::range_partition(&g, 2);
+        // Two boundary crossings, each contributing 2 directed edges.
+        assert_eq!(edge_cut(&g, &p), 4);
+        assert!((balance(&p) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cut_fraction_bounds() {
+        let g = gen::erdos_renyi(500, 4000, true, 3);
+        let p = crate::simple::hash_partition(&g, 4);
+        let f = edge_cut_fraction(&g, &p);
+        assert!(f > 0.5 && f <= 1.0, "hash cut fraction {f}"); // ~3/4 expected
+    }
+}

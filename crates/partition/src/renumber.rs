@@ -1,0 +1,220 @@
+//! Node renumbering so each part owns a consecutive global-id range.
+//!
+//! DSP (§6) renumbers nodes after partitioning so that ownership lookup
+//! ("which GPU holds this node's adjacency list?") becomes a range check
+//! instead of a hash lookup, and local ids are just `global - range.start`.
+
+use crate::Partition;
+use ds_graph::{Csr, Features, Labels, NodeId};
+
+/// A permutation of node ids grouping each part into a contiguous range.
+#[derive(Clone, Debug)]
+pub struct Renumbering {
+    new_of_old: Vec<NodeId>,
+    old_of_new: Vec<NodeId>,
+    /// `range_starts[p]..range_starts[p+1]` are the new ids of part `p`.
+    range_starts: Vec<NodeId>,
+}
+
+impl Renumbering {
+    /// Builds the renumbering from a partition: part 0's nodes come
+    /// first (in ascending old id), then part 1's, and so on.
+    pub fn from_partition(p: &Partition) -> Self {
+        let n = p.num_nodes();
+        let k = p.num_parts();
+        let sizes = p.sizes();
+        let mut range_starts = Vec::with_capacity(k + 1);
+        range_starts.push(0 as NodeId);
+        let mut acc = 0u32;
+        for s in &sizes {
+            acc += *s as u32;
+            range_starts.push(acc);
+        }
+        let mut cursor: Vec<u32> = range_starts[..k].to_vec();
+        let mut new_of_old = vec![0 as NodeId; n];
+        let mut old_of_new = vec![0 as NodeId; n];
+        for old in 0..n as NodeId {
+            let part = p.part_of(old) as usize;
+            let new = cursor[part];
+            cursor[part] += 1;
+            new_of_old[old as usize] = new;
+            old_of_new[new as usize] = old;
+        }
+        Renumbering { new_of_old, old_of_new, range_starts }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// Number of parts.
+    pub fn num_parts(&self) -> usize {
+        self.range_starts.len() - 1
+    }
+
+    /// New id of an old node.
+    #[inline]
+    pub fn to_new(&self, old: NodeId) -> NodeId {
+        self.new_of_old[old as usize]
+    }
+
+    /// Old id of a new node.
+    #[inline]
+    pub fn to_old(&self, new: NodeId) -> NodeId {
+        self.old_of_new[new as usize]
+    }
+
+    /// Owning part of a *new* id — the §6 range check.
+    #[inline]
+    pub fn owner_of(&self, new: NodeId) -> u32 {
+        // partition_point returns the first start > new; owner is one less.
+        (self.range_starts.partition_point(|&s| s <= new) - 1) as u32
+    }
+
+    /// The new-id range owned by part `p`.
+    #[inline]
+    pub fn range_of(&self, p: u32) -> std::ops::Range<NodeId> {
+        self.range_starts[p as usize]..self.range_starts[p as usize + 1]
+    }
+
+    /// Local id of a new global id on its owner.
+    #[inline]
+    pub fn local_of(&self, new: NodeId) -> NodeId {
+        new - self.range_starts[self.owner_of(new) as usize]
+    }
+
+    /// Remaps a graph: node `old` becomes `to_new(old)`; adjacency lists
+    /// move with their node and their contents are renumbered too.
+    pub fn apply_graph(&self, g: &Csr) -> Csr {
+        assert_eq!(g.num_nodes(), self.num_nodes());
+        let n = g.num_nodes();
+        let mut indptr = Vec::with_capacity(n + 1);
+        indptr.push(0u64);
+        let mut nnz = 0u64;
+        for new in 0..n as NodeId {
+            nnz += g.degree(self.to_old(new)) as u64;
+            indptr.push(nnz);
+        }
+        let mut indices = Vec::with_capacity(nnz as usize);
+        let mut weights = g.weights().map(|_| Vec::with_capacity(nnz as usize));
+        for new in 0..n as NodeId {
+            let old = self.to_old(new);
+            indices.extend(g.neighbors(old).iter().map(|&u| self.to_new(u)));
+            if let (Some(dst), Some(src)) = (&mut weights, g.neighbor_weights(old)) {
+                dst.extend_from_slice(src);
+            }
+        }
+        Csr::from_raw(indptr, indices, weights)
+    }
+
+    /// Remaps a feature matrix.
+    pub fn apply_features(&self, f: &Features) -> Features {
+        assert_eq!(f.num_nodes(), self.num_nodes());
+        let order: Vec<NodeId> = (0..self.num_nodes() as NodeId).map(|v| self.to_old(v)).collect();
+        f.gather(&order)
+    }
+
+    /// Remaps labels.
+    pub fn apply_labels(&self, l: &Labels) -> Labels {
+        assert_eq!(l.len(), self.num_nodes());
+        let data = (0..self.num_nodes() as NodeId).map(|v| l.get(self.to_old(v))).collect();
+        Labels::from_raw(l.num_classes(), data)
+    }
+
+    /// Remaps a node-id list (e.g. training seeds).
+    pub fn apply_nodes(&self, nodes: &[NodeId]) -> Vec<NodeId> {
+        nodes.iter().map(|&v| self.to_new(v)).collect()
+    }
+
+    /// The renumbered partition (trivially: contiguous ranges).
+    pub fn partition(&self) -> Partition {
+        let k = self.num_parts();
+        let mut assign = vec![0u32; self.num_nodes()];
+        for p in 0..k as u32 {
+            for v in self.range_of(p) {
+                assign[v as usize] = p;
+            }
+        }
+        Partition::from_assignment(k, assign)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simple::hash_partition;
+    use ds_graph::gen;
+
+    #[test]
+    fn permutation_round_trips() {
+        let g = gen::erdos_renyi(500, 3000, true, 1);
+        let p = hash_partition(&g, 4);
+        let r = Renumbering::from_partition(&p);
+        for v in 0..500u32 {
+            assert_eq!(r.to_old(r.to_new(v)), v);
+            assert_eq!(r.to_new(r.to_old(v)), v);
+        }
+    }
+
+    #[test]
+    fn owner_matches_original_partition() {
+        let g = gen::erdos_renyi(300, 2000, true, 2);
+        let p = hash_partition(&g, 3);
+        let r = Renumbering::from_partition(&p);
+        for old in 0..300u32 {
+            assert_eq!(r.owner_of(r.to_new(old)), p.part_of(old));
+        }
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_cover() {
+        let g = gen::ring(100, 1);
+        let p = hash_partition(&g, 5);
+        let r = Renumbering::from_partition(&p);
+        let mut covered = 0u32;
+        for part in 0..5u32 {
+            let range = r.range_of(part);
+            assert_eq!(range.start, covered);
+            covered = range.end;
+            for v in range.clone() {
+                assert_eq!(r.local_of(v), v - range.start);
+            }
+        }
+        assert_eq!(covered, 100);
+    }
+
+    #[test]
+    fn graph_remap_preserves_structure() {
+        let g = gen::erdos_renyi(200, 1500, true, 3);
+        let p = hash_partition(&g, 4);
+        let r = Renumbering::from_partition(&p);
+        let h = r.apply_graph(&g);
+        assert_eq!(h.num_edges(), g.num_edges());
+        for old in 0..200u32 {
+            let new = r.to_new(old);
+            let mut a: Vec<u32> = g.neighbors(old).iter().map(|&u| r.to_new(u)).collect();
+            let mut b: Vec<u32> = h.neighbors(new).to_vec();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn features_and_labels_follow_nodes() {
+        let d = ds_graph::DatasetSpec::tiny(1024).build();
+        let p = hash_partition(&d.graph, 4);
+        let r = Renumbering::from_partition(&p);
+        let f = r.apply_features(&d.features);
+        let l = r.apply_labels(&d.labels);
+        for old in (0..1024u32).step_by(97) {
+            let new = r.to_new(old);
+            assert_eq!(f.row(new), d.features.row(old));
+            assert_eq!(l.get(new), d.labels.get(old));
+        }
+        let seeds = r.apply_nodes(&d.train);
+        assert_eq!(seeds.len(), d.train.len());
+        assert_eq!(r.to_old(seeds[0]), d.train[0]);
+    }
+}

@@ -1,0 +1,69 @@
+//! Structure-oblivious partitioners used as ablation baselines.
+
+use crate::Partition;
+use ds_graph::Csr;
+
+/// Hash partition: node `v` goes to part `hash(v) % k`. Destroys all
+/// locality — nearly every sampled edge crosses parts, which is the
+/// worst case for CSP's shuffle traffic.
+pub fn hash_partition(g: &Csr, k: usize) -> Partition {
+    assert!(k >= 1);
+    let assign = (0..g.num_nodes() as u64)
+        .map(|v| {
+            // splitmix64 finalizer as the hash.
+            let mut x = v.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            ((x ^ (x >> 31)) % k as u64) as u32
+        })
+        .collect();
+    Partition::from_assignment(k, assign)
+}
+
+/// Range partition: contiguous blocks of ids, balanced to within one
+/// node. Captures whatever locality the node numbering already has.
+pub fn range_partition(g: &Csr, k: usize) -> Partition {
+    assert!(k >= 1);
+    let n = g.num_nodes();
+    let assign = (0..n)
+        .map(|v| {
+            // Part p owns [p*n/k, (p+1)*n/k).
+            ((v as u64 * k as u64) / n.max(1) as u64).min(k as u64 - 1) as u32
+        })
+        .collect();
+    Partition::from_assignment(k, assign)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_graph::gen;
+
+    #[test]
+    fn hash_partition_is_balanced() {
+        let g = gen::ring(10_000, 2);
+        let p = hash_partition(&g, 8);
+        let sizes = p.sizes();
+        let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+        assert!(*max as f64 / *min as f64 - 1.0 < 0.15, "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn range_partition_is_contiguous_and_balanced() {
+        let g = gen::ring(1001, 1);
+        let p = range_partition(&g, 4);
+        let sizes = p.sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 1001);
+        assert!(sizes.iter().all(|&s| s == 250 || s == 251), "{sizes:?}");
+        // Contiguity: assignment is non-decreasing.
+        let a = p.assignment();
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn single_part_assigns_everything_to_zero() {
+        let g = gen::ring(100, 1);
+        assert!(hash_partition(&g, 1).assignment().iter().all(|&p| p == 0));
+        assert!(range_partition(&g, 1).assignment().iter().all(|&p| p == 0));
+    }
+}

@@ -1,0 +1,71 @@
+//! Property-based tests for the partitioner stack.
+
+use ds_graph::{gen, NodeId};
+use ds_partition::{quality, simple, MultilevelPartitioner, Partitioner, Renumbering};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn every_partitioner_is_a_total_assignment(
+        seed in any::<u64>(),
+        n in 32usize..300,
+        k in 1usize..9,
+    ) {
+        let g = gen::erdos_renyi(n, n * 5, true, seed);
+        for p in [
+            MultilevelPartitioner::default().partition(&g, k),
+            simple::hash_partition(&g, k),
+            simple::range_partition(&g, k),
+        ] {
+            prop_assert_eq!(p.num_parts(), k);
+            prop_assert_eq!(p.num_nodes(), n);
+            prop_assert_eq!(p.sizes().iter().sum::<usize>(), n);
+            prop_assert!(p.assignment().iter().all(|&x| (x as usize) < k));
+        }
+    }
+
+    #[test]
+    fn edge_cut_is_symmetric_on_symmetric_graphs(seed in any::<u64>(), k in 2usize..6) {
+        // Each cut edge (u,v) appears in both directions, so the cut of
+        // a symmetrized graph is even.
+        let g = gen::erdos_renyi(100, 500, true, seed);
+        let p = simple::hash_partition(&g, k);
+        prop_assert_eq!(quality::edge_cut(&g, &p) % 2, 0);
+    }
+
+    #[test]
+    fn renumber_ranges_tile_the_id_space(seed in any::<u64>(), k in 2usize..7) {
+        let g = gen::erdos_renyi(150, 900, true, seed);
+        let p = MultilevelPartitioner::default().partition(&g, k);
+        let r = Renumbering::from_partition(&p);
+        let mut covered = 0u32;
+        for part in 0..k as u32 {
+            let range = r.range_of(part);
+            prop_assert_eq!(range.start, covered);
+            covered = range.end;
+        }
+        prop_assert_eq!(covered as usize, 150);
+        // Local ids are dense within each range.
+        for v in 0..150 as NodeId {
+            let new = r.to_new(v);
+            let owner = r.owner_of(new);
+            prop_assert!(r.range_of(owner).contains(&new));
+            prop_assert_eq!(r.local_of(new), new - r.range_of(owner).start);
+        }
+    }
+
+    #[test]
+    fn multilevel_cut_never_exceeds_total_edges(seed in any::<u64>(), k in 2usize..8) {
+        let (g, _) = gen::planted_partition(400, k, 10.0, 0.8, seed);
+        let p = MultilevelPartitioner::default().partition(&g, k);
+        let cut = quality::edge_cut(&g, &p);
+        prop_assert!(cut as usize <= g.num_edges());
+        // On a strongly assortative planted graph the partitioner should
+        // find substantial locality.
+        let frac = quality::edge_cut_fraction(&g, &p);
+        let baseline = 1.0 - 1.0 / k as f64; // expected cut of a random assignment
+        prop_assert!(frac < baseline, "cut {} >= random baseline {}", frac, baseline);
+    }
+}

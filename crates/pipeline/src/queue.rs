@@ -1,0 +1,162 @@
+//! Bounded producer-consumer queues with virtual-time backpressure.
+//!
+//! Real threads block on a real bounded channel; virtual clocks observe
+//! the matching constraints:
+//!
+//! * the consumer cannot pop an item before the producer's virtual time
+//!   at push (`ready_time` travels with the item);
+//! * the producer cannot push item `i ≥ capacity` before the consumer's
+//!   virtual pop time of item `i - capacity` (a feedback channel carries
+//!   pop times back).
+//!
+//! Together these make the virtual timeline of a pipelined epoch exactly
+//! the event-driven schedule of [`crate::schedule`].
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use ds_simgpu::Clock;
+
+/// Producer half of a virtual-time bounded queue.
+pub struct QueueProducer<T> {
+    tx: Sender<(T, f64)>,
+    feedback_rx: Receiver<f64>,
+    capacity: usize,
+    sent: u64,
+}
+
+/// Consumer half of a virtual-time bounded queue.
+pub struct QueueConsumer<T> {
+    rx: Receiver<(T, f64)>,
+    feedback_tx: Sender<f64>,
+}
+
+/// Creates a connected producer/consumer pair with the given capacity.
+pub fn virtual_queue<T>(capacity: usize) -> (QueueProducer<T>, QueueConsumer<T>) {
+    assert!(capacity >= 1);
+    let (tx, rx) = bounded(capacity);
+    let (feedback_tx, feedback_rx) = unbounded();
+    (QueueProducer { tx, feedback_rx, capacity, sent: 0 }, QueueConsumer { rx, feedback_tx })
+}
+
+impl<T> QueueProducer<T> {
+    /// Pushes an item, blocking (really and virtually) while the queue
+    /// is full. The item carries the producer's virtual time.
+    pub fn push(&mut self, clock: &mut Clock, item: T) {
+        if self.sent >= self.capacity as u64 {
+            // Virtual backpressure: our slot frees when the consumer
+            // popped item `sent - capacity`.
+            let pop_time = self
+                .feedback_rx
+                .recv()
+                .expect("queue consumer dropped while producer still pushing");
+            clock.wait_until(pop_time);
+        }
+        self.sent += 1;
+        self.tx
+            .send((item, clock.now()))
+            .expect("queue consumer dropped while producer still pushing");
+    }
+}
+
+impl<T> QueueConsumer<T> {
+    /// Pops the next item, synchronizing the consumer's clock to the
+    /// item's ready time. Returns `None` once the producer is dropped
+    /// and the queue is drained.
+    pub fn pop(&mut self, clock: &mut Clock) -> Option<T> {
+        match self.rx.recv() {
+            Ok((item, ready)) => {
+                clock.wait_until(ready);
+                // Slot freed at our (synchronized) current time.
+                let _ = self.feedback_tx.send(clock.now());
+                Some(item)
+            }
+            Err(_) => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn items_flow_in_order_with_ready_times() {
+        let (mut p, mut c) = virtual_queue(2);
+        let producer = std::thread::spawn(move || {
+            let mut clock = Clock::new();
+            for i in 0..5u32 {
+                clock.work(1.0); // one virtual second per item
+                p.push(&mut clock, i);
+            }
+            clock.now()
+        });
+        let mut clock = Clock::new();
+        let mut got = Vec::new();
+        while let Some(i) = c.pop(&mut clock) {
+            got.push((i, clock.now()));
+        }
+        let _ = producer.join().unwrap();
+        assert_eq!(got.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        // Item i can't be seen before virtual time i+1.
+        for &(i, t) in &got {
+            assert!(t >= (i + 1) as f64, "item {i} popped at {t}");
+        }
+    }
+
+    #[test]
+    fn fast_producer_is_throttled_by_slow_consumer() {
+        let (mut p, mut c) = virtual_queue(2);
+        let producer = std::thread::spawn(move || {
+            let mut clock = Clock::new();
+            for i in 0..6u32 {
+                clock.work(0.1); // fast
+                p.push(&mut clock, i);
+            }
+            clock.now()
+        });
+        let mut clock = Clock::new();
+        let mut count = 0;
+        while let Some(_) = c.pop(&mut clock) {
+            clock.work(10.0); // slow consumer
+            count += 1;
+        }
+        let producer_end = producer.join().unwrap();
+        assert_eq!(count, 6);
+        // With capacity 2, the producer pushes items 0,1 freely, then
+        // waits for pops: its last push happens around the consumer's
+        // 4th pop (t ≈ 40), far beyond its own 0.6 s of work.
+        assert!(producer_end > 20.0, "producer end {producer_end}");
+    }
+
+    #[test]
+    fn consumer_sees_none_after_producer_drop() {
+        let (mut p, mut c) = virtual_queue(1);
+        let mut clock = Clock::new();
+        p.push(&mut clock, 42u32);
+        drop(p);
+        let mut cclock = Clock::new();
+        assert_eq!(c.pop(&mut cclock), Some(42));
+        assert_eq!(c.pop(&mut cclock), None);
+    }
+
+    #[test]
+    fn capacity_one_fully_serializes_when_consumer_is_slow() {
+        let (mut p, mut c) = virtual_queue(1);
+        let producer = std::thread::spawn(move || {
+            let mut clock = Clock::new();
+            let mut push_times = Vec::new();
+            for i in 0..4u32 {
+                clock.work(1.0);
+                p.push(&mut clock, i);
+                push_times.push(clock.now());
+            }
+            push_times
+        });
+        let mut clock = Clock::new();
+        while let Some(_) = c.pop(&mut clock) {
+            clock.work(5.0);
+        }
+        let push_times = producer.join().unwrap();
+        // Pushes serialize on the consumer's 5-second cadence.
+        assert!(push_times[3] >= 11.0, "{push_times:?}");
+    }
+}

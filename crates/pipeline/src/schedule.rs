@@ -1,0 +1,310 @@
+//! Analytic event-driven schedule of the 3-stage training pipeline.
+//!
+//! Given per-batch durations of the sampler, loader and trainer stages,
+//! computes when each stage starts/finishes each batch under bounded
+//! queues — the virtual timeline the threaded pipeline realizes — plus
+//! the sequential (DSP-Seq) makespan and utilizations for Figs. 6/12.
+
+/// Per-batch stage durations (seconds) for one device.
+#[derive(Clone, Debug, Default)]
+pub struct StageTimes {
+    /// Sampler duration per batch.
+    pub sample: Vec<f64>,
+    /// Loader duration per batch.
+    pub load: Vec<f64>,
+    /// Trainer duration per batch.
+    pub train: Vec<f64>,
+}
+
+impl StageTimes {
+    /// Uniform durations for `n` batches (convenient in tests/analyses).
+    pub fn uniform(n: usize, sample: f64, load: f64, train: f64) -> Self {
+        StageTimes { sample: vec![sample; n], load: vec![load; n], train: vec![train; n] }
+    }
+
+    /// Number of batches.
+    pub fn num_batches(&self) -> usize {
+        self.sample.len()
+    }
+
+    /// Validates equal lengths.
+    pub fn validate(&self) {
+        assert_eq!(self.sample.len(), self.load.len());
+        assert_eq!(self.sample.len(), self.train.len());
+    }
+
+    /// Total busy time across stages.
+    pub fn total_busy(&self) -> f64 {
+        self.sample.iter().chain(&self.load).chain(&self.train).sum()
+    }
+}
+
+/// The computed schedule.
+#[derive(Clone, Debug)]
+pub struct PipelineSchedule {
+    /// Finish time of the sampler per batch.
+    pub sample_finish: Vec<f64>,
+    /// Finish time of the loader per batch.
+    pub load_finish: Vec<f64>,
+    /// Finish time of the trainer per batch.
+    pub train_finish: Vec<f64>,
+}
+
+impl PipelineSchedule {
+    /// Computes the pipelined schedule under queues of `capacity`
+    /// between sampler→loader and loader→trainer, with the exact
+    /// semantics of [`crate::queue`]: a stage *works first, then blocks
+    /// pushing* until the consumer has popped the batch that frees its
+    /// slot, and a pop synchronizes to the item's ready time.
+    ///
+    /// Recurrences (`avail` = time the batch lands in the queue,
+    /// `pop` = time the consumer takes it):
+    /// * `s_avail[i] = max(s_avail[i-1] + ts[i], l_pop[i-cap])`
+    /// * `l_pop[i]   = max(l_done[i-1], s_avail[i])`
+    /// * `l_done[i]  = max(l_pop[i] + tl[i], t_pop[i-cap])`
+    /// * `t_pop[i]   = max(t_done[i-1], l_done[i])`
+    /// * `t_done[i]  = t_pop[i] + tt[i]`
+    ///
+    /// The threaded pipeline and this recurrence agree to the last bit —
+    /// asserted by a property test in `tests/prop_invariants.rs`.
+    pub fn compute(times: &StageTimes, capacity: usize) -> Self {
+        times.validate();
+        assert!(capacity >= 1);
+        let n = times.num_batches();
+        let mut sample_finish = vec![0.0f64; n];
+        let mut load_finish = vec![0.0f64; n];
+        let mut train_finish = vec![0.0f64; n];
+        let mut load_pop = vec![0.0f64; n];
+        let mut train_pop = vec![0.0f64; n];
+        for i in 0..n {
+            let mut s_avail = if i > 0 { sample_finish[i - 1] } else { 0.0 } + times.sample[i];
+            if i >= capacity {
+                s_avail = s_avail.max(load_pop[i - capacity]);
+            }
+            sample_finish[i] = s_avail;
+
+            let l_pop = if i > 0 { load_finish[i - 1] } else { 0.0 }.max(s_avail);
+            load_pop[i] = l_pop;
+            let mut l_done = l_pop + times.load[i];
+            if i >= capacity {
+                l_done = l_done.max(train_pop[i - capacity]);
+            }
+            load_finish[i] = l_done;
+
+            let t_pop = if i > 0 { train_finish[i - 1] } else { 0.0 }.max(l_done);
+            train_pop[i] = t_pop;
+            train_finish[i] = t_pop + times.train[i];
+        }
+        PipelineSchedule { sample_finish, load_finish, train_finish }
+    }
+
+    /// Pipelined epoch makespan.
+    pub fn makespan(&self) -> f64 {
+        *self.train_finish.last().unwrap_or(&0.0)
+    }
+
+    /// Sequential (DSP-Seq) makespan: the three stages of each batch run
+    /// back-to-back with no overlap across batches.
+    pub fn sequential_makespan(times: &StageTimes) -> f64 {
+        times.total_busy()
+    }
+
+    /// Device utilization under this schedule: busy time of all three
+    /// workers over the makespan, clamped to 1 (the workers genuinely
+    /// overlap on one device, which is the point of the pipeline).
+    pub fn utilization(&self, times: &StageTimes) -> f64 {
+        let m = self.makespan();
+        if m <= 0.0 {
+            return 0.0;
+        }
+        (times.total_busy() / m).min(1.0)
+    }
+
+    /// Speedup of the pipeline over sequential execution (Fig. 12).
+    pub fn speedup(&self, times: &StageTimes) -> f64 {
+        Self::sequential_makespan(times) / self.makespan()
+    }
+}
+
+/// Configuration for the multi-instance-worker variant the paper
+/// evaluates and rejects (§5): several sampler/loader instances per GPU
+/// working on different mini-batches.
+#[derive(Clone, Copy, Debug)]
+pub struct MultiWorkerConfig {
+    /// Concurrent sampler instances per GPU.
+    pub sampler_instances: usize,
+    /// Concurrent loader instances per GPU.
+    pub loader_instances: usize,
+    /// Fractional slowdown of *every* stage per extra instance — the
+    /// paper's second rejection reason ("resource contention for both
+    /// CPU and GPU is more severe"). Its first reason (in-flight memory
+    /// stealing cache capacity) is accounted by the caller shrinking the
+    /// cache budget.
+    pub contention_per_extra: f64,
+}
+
+impl PipelineSchedule {
+    /// Like [`PipelineSchedule::compute`], but with multiple sampler and
+    /// loader instances per GPU (the trainer stays single — "we cannot
+    /// use multiple workers for trainer as this violates the semantics
+    /// of BSP training", §5). Batches round-robin across instances;
+    /// queue pops stay FIFO in batch order.
+    pub fn compute_multi(times: &StageTimes, capacity: usize, mw: MultiWorkerConfig) -> Self {
+        times.validate();
+        assert!(capacity >= 1 && mw.sampler_instances >= 1 && mw.loader_instances >= 1);
+        let n = times.num_batches();
+        let extra = (mw.sampler_instances - 1) + (mw.loader_instances - 1);
+        let cont = 1.0 + mw.contention_per_extra * extra as f64;
+        let ms = mw.sampler_instances;
+        let ml = mw.loader_instances;
+        // Queue capacity scales with producer instances (each holds a
+        // slot), which is exactly the in-flight-memory cost the paper
+        // flags; callers model that memory loss separately.
+        let mut sample_finish = vec![0.0f64; n];
+        let mut load_finish = vec![0.0f64; n];
+        let mut train_finish = vec![0.0f64; n];
+        let mut load_pop = vec![0.0f64; n];
+        let mut train_pop = vec![0.0f64; n];
+        for i in 0..n {
+            let mut s_avail =
+                if i >= ms { sample_finish[i - ms] } else { 0.0 } + times.sample[i] * cont;
+            if i >= capacity {
+                s_avail = s_avail.max(load_pop[i - capacity]);
+            }
+            sample_finish[i] = s_avail;
+
+            let mut l_pop = if i > 0 { load_pop[i - 1] } else { 0.0 }.max(s_avail);
+            if i >= ml {
+                l_pop = l_pop.max(load_finish[i - ml]);
+            }
+            load_pop[i] = l_pop;
+            let mut l_done = l_pop + times.load[i] * cont;
+            if i >= capacity {
+                l_done = l_done.max(train_pop[i - capacity]);
+            }
+            load_finish[i] = l_done;
+
+            // Trainer consumes batches strictly in order (BSP); a small
+            // reorder buffer absorbs out-of-order loader completions.
+            let t_pop = if i > 0 { train_finish[i - 1] } else { 0.0 }.max(l_done);
+            train_pop[i] = t_pop;
+            train_finish[i] = t_pop + times.train[i] * cont;
+        }
+        PipelineSchedule { sample_finish, load_finish, train_finish }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balanced_stages_approach_3x_speedup() {
+        let times = StageTimes::uniform(100, 1.0, 1.0, 1.0);
+        let sched = PipelineSchedule::compute(&times, 2);
+        // Sequential: 300. Pipelined: ~102 (fill + drain).
+        assert!((PipelineSchedule::sequential_makespan(&times) - 300.0).abs() < 1e-9);
+        assert!(sched.makespan() < 105.0, "makespan {}", sched.makespan());
+        let s = sched.speedup(&times);
+        assert!(s > 2.8 && s <= 3.0, "speedup {s}");
+        assert!(sched.utilization(&times) > 0.95);
+    }
+
+    #[test]
+    fn bottleneck_stage_dominates_makespan() {
+        let times = StageTimes::uniform(50, 0.1, 2.0, 0.1);
+        let sched = PipelineSchedule::compute(&times, 2);
+        // Loader-bound: makespan ≈ 50 × 2 + ramps.
+        assert!(sched.makespan() >= 100.0);
+        assert!(sched.makespan() < 101.0, "makespan {}", sched.makespan());
+    }
+
+    #[test]
+    fn capacity_one_still_pipelines_but_less() {
+        let times = StageTimes::uniform(50, 1.0, 1.0, 1.0);
+        let c1 = PipelineSchedule::compute(&times, 1).makespan();
+        let c2 = PipelineSchedule::compute(&times, 2).makespan();
+        let c8 = PipelineSchedule::compute(&times, 8).makespan();
+        assert!(c2 <= c1);
+        assert!(c8 <= c2);
+        // The paper: capacity 2 is already sufficient — larger queues
+        // buy (almost) nothing.
+        assert!((c8 - c2).abs() < 0.5 * c2, "c2 {c2} c8 {c8}");
+    }
+
+    #[test]
+    fn monotone_finish_times_and_order() {
+        let times = StageTimes {
+            sample: vec![0.5, 2.0, 0.1, 0.7],
+            load: vec![1.0, 0.1, 3.0, 0.2],
+            train: vec![0.3, 0.4, 0.2, 2.0],
+        };
+        let sched = PipelineSchedule::compute(&times, 2);
+        for i in 0..4 {
+            assert!(sched.sample_finish[i] <= sched.load_finish[i]);
+            assert!(sched.load_finish[i] <= sched.train_finish[i]);
+            if i > 0 {
+                assert!(sched.train_finish[i] > sched.train_finish[i - 1]);
+            }
+        }
+        // Makespan at least the busy time of any single stage.
+        let m = sched.makespan();
+        assert!(m >= times.train.iter().sum::<f64>());
+        assert!(m <= PipelineSchedule::sequential_makespan(&times) + 1e-9);
+    }
+
+    #[test]
+    fn multi_worker_helps_a_bottleneck_stage_without_contention() {
+        // Sampler-bound pipeline; 2 samplers with zero contention halve
+        // the bottleneck.
+        let times = StageTimes::uniform(60, 2.0, 0.2, 0.2);
+        let single = PipelineSchedule::compute(&times, 2).makespan();
+        let multi = PipelineSchedule::compute_multi(
+            &times,
+            2,
+            MultiWorkerConfig { sampler_instances: 2, loader_instances: 1, contention_per_extra: 0.0 },
+        )
+        .makespan();
+        assert!(multi < 0.6 * single, "multi {multi} vs single {single}");
+    }
+
+    #[test]
+    fn contention_erases_multi_worker_gains_on_balanced_stages() {
+        // The paper's observation: with balanced stages and realistic
+        // contention, extra workers degrade overall performance.
+        let times = StageTimes::uniform(60, 1.0, 1.0, 1.0);
+        let single = PipelineSchedule::compute(&times, 2).makespan();
+        let multi = PipelineSchedule::compute_multi(
+            &times,
+            2,
+            MultiWorkerConfig { sampler_instances: 2, loader_instances: 2, contention_per_extra: 0.25 },
+        )
+        .makespan();
+        assert!(multi > single, "multi {multi} should lose to single {single}");
+    }
+
+    #[test]
+    fn multi_with_one_instance_each_matches_compute() {
+        let times = StageTimes {
+            sample: vec![0.4, 1.0, 0.2, 0.9],
+            load: vec![0.5, 0.3, 1.2, 0.1],
+            train: vec![0.6, 0.6, 0.6, 0.6],
+        };
+        let a = PipelineSchedule::compute(&times, 2).makespan();
+        let b = PipelineSchedule::compute_multi(
+            &times,
+            2,
+            MultiWorkerConfig { sampler_instances: 1, loader_instances: 1, contention_per_extra: 0.3 },
+        )
+        .makespan();
+        assert!((a - b).abs() < 1e-12, "{a} vs {b}");
+    }
+
+    #[test]
+    fn empty_schedule_is_zero() {
+        let times = StageTimes::default();
+        let sched = PipelineSchedule::compute(&times, 2);
+        assert_eq!(sched.makespan(), 0.0);
+        assert_eq!(sched.utilization(&times), 0.0);
+    }
+}

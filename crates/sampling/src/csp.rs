@@ -1,0 +1,593 @@
+//! The Collective Sampling Primitive (§4).
+//!
+//! CSP samples layer by layer; each layer runs three stages across all
+//! GPUs:
+//!
+//! 1. **shuffle** — every frontier node (with its requested neighbor
+//!    count) is sent to the GPU owning its adjacency list;
+//! 2. **sample** — each GPU samples the requested neighbors for all the
+//!    frontier nodes it received, in one fused kernel;
+//! 3. **reshuffle** — sampled neighbors travel back to the requesting
+//!    GPU, which assembles the layer and derives the next frontier.
+//!
+//! The *task push* paradigm transfers one `(node, count)` pair per
+//! frontier node and `fanout` ids back — far less than pulling whole
+//! adjacency (and weight) lists, which is the entire Fig. 1 / Fig. 11
+//! argument.
+//!
+//! Sampling randomness is derived per `(seed, batch, layer, node)`, so
+//! the constructed graph samples are identical regardless of how many
+//! GPUs participate or which system runs the sampler. This makes the
+//! paper's correctness claim (§7.1: accuracy-vs-batch curves of all
+//! systems overlap) checkable exactly in integration tests.
+
+use crate::dist_graph::DistGraph;
+use crate::local;
+use crate::sample::{GraphSample, SampleLayer};
+use crate::BatchSampler;
+use ds_comm::Communicator;
+use ds_graph::NodeId;
+use ds_simgpu::{Clock, Cluster};
+use std::sync::Arc;
+
+/// Sampling scheme (paper Table 2, `Scheme`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scheme {
+    /// Node-wise (GraphSAGE-style): every frontier node samples
+    /// `fanout[l]` neighbors in layer `l`.
+    NodeWise,
+    /// Layer-wise (FastGCN-style): `fanout[l]` total nodes are sampled
+    /// in layer `l`, allocated to frontier nodes by Eq. 2's multinomial.
+    LayerWise {
+        /// With replacement (paper default) or the without-replacement
+        /// variant (Table 7): without replacement, each frontier node
+        /// samples its allocated count without repeats, and repeats
+        /// across frontier nodes are merged when the layer is assembled.
+        replace: bool,
+    },
+}
+
+/// Full CSP configuration (paper Table 2).
+#[derive(Clone, Debug)]
+pub struct CspConfig {
+    /// Neighbors (node-wise) or totals (layer-wise) per layer.
+    pub fanout: Vec<usize>,
+    /// Node-wise or layer-wise.
+    pub scheme: Scheme,
+    /// Biased (edge-weighted) or uniform neighbor selection.
+    pub biased: bool,
+    /// Fused synchronous stages (the paper's choice) versus the
+    /// asynchronous alternative it evaluates and rejects in §4.1:
+    /// "each GPU communicates with other GPUs once it finishes a stage
+    /// and executes each received task individually. This design removes
+    /// synchronization but is observed to have poor efficiency as the
+    /// communication and sampling tasks of a single GPU are small."
+    /// The async mode produces identical samples; it pays per-peer
+    /// message latency and a kernel launch per task instead of one
+    /// fused kernel per stage.
+    pub fused: bool,
+    /// Temporal sampling cutoff: when set, edge weights are interpreted
+    /// as timestamps and only edges with `timestamp <= cutoff` are
+    /// eligible. Like biased sampling, this is a case where Pull-Data
+    /// must ship whole adjacency lists (§4.1 discussion) while CSP just
+    /// pushes the predicate with the task. Mutually exclusive with
+    /// `biased` (both reuse the edge-weight array).
+    pub temporal_cutoff: Option<f32>,
+    /// Base RNG seed.
+    pub seed: u64,
+}
+
+impl CspConfig {
+    /// The paper's default workload: node-wise, unbiased, fan-out
+    /// [15, 10, 5] (§7.1).
+    pub fn paper_default() -> Self {
+        CspConfig { fanout: vec![15, 10, 5], scheme: Scheme::NodeWise, biased: false, fused: true, temporal_cutoff: None, seed: 0xD5 }
+    }
+
+    /// Node-wise with a custom fan-out.
+    pub fn node_wise(fanout: Vec<usize>) -> Self {
+        CspConfig { fanout, scheme: Scheme::NodeWise, biased: false, fused: true, temporal_cutoff: None, seed: 0xD5 }
+    }
+
+    /// Layer-wise with a custom fan-out.
+    pub fn layer_wise(fanout: Vec<usize>, replace: bool) -> Self {
+        CspConfig { fanout, scheme: Scheme::LayerWise { replace }, biased: false, fused: true, temporal_cutoff: None, seed: 0xD5 }
+    }
+
+    /// Returns a copy with a different base seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy using the asynchronous (non-fused) execution the
+    /// paper rejects — for the ablation that reproduces that rejection.
+    pub fn unfused(mut self) -> Self {
+        self.fused = false;
+        self
+    }
+
+    /// Returns a copy with temporal sampling: edge weights are read as
+    /// timestamps and only edges with `timestamp <= cutoff` are sampled.
+    pub fn temporal(mut self, cutoff: f32) -> Self {
+        self.temporal_cutoff = Some(cutoff);
+        self
+    }
+}
+
+pub use crate::local::request_rng;
+
+/// The multi-GPU collective sampler.
+pub struct CspSampler {
+    graph: Arc<DistGraph>,
+    cluster: Arc<Cluster>,
+    comm: Arc<Communicator>,
+    rank: usize,
+    cfg: CspConfig,
+    batch_index: u64,
+}
+
+impl CspSampler {
+    /// Creates the sampler for `rank`. All ranks must share `graph`,
+    /// `cluster` and `comm`.
+    pub fn new(
+        graph: Arc<DistGraph>,
+        cluster: Arc<Cluster>,
+        comm: Arc<Communicator>,
+        rank: usize,
+        cfg: CspConfig,
+    ) -> Self {
+        assert_eq!(graph.num_ranks(), cluster.num_gpus(), "graph patches must match GPU count");
+        assert!(!cfg.fanout.is_empty(), "fan-out must have at least one layer");
+        assert!(
+            !(cfg.biased && cfg.temporal_cutoff.is_some()),
+            "biased and temporal sampling both use the edge-weight array; pick one"
+        );
+        CspSampler { graph, cluster, comm, rank, cfg, batch_index: 0 }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CspConfig {
+        &self.cfg
+    }
+
+    /// Resets the batch counter (e.g. between epochs in tests).
+    pub fn reset_batches(&mut self) {
+        self.batch_index = 0;
+    }
+
+    /// Groups `(node, payload)` pairs by owning rank, preserving order
+    /// within each group. Returns per-rank sends plus, for each frontier
+    /// position, its (owner, within-owner index).
+    fn partition_by_owner<P: Copy>(
+        &self,
+        nodes: &[NodeId],
+        payload: impl Fn(usize) -> P,
+    ) -> (Vec<Vec<(NodeId, P)>>, Vec<(usize, u32)>) {
+        let n = self.graph.num_ranks();
+        let mut sends: Vec<Vec<(NodeId, P)>> = vec![Vec::new(); n];
+        let mut placement = Vec::with_capacity(nodes.len());
+        for (i, &v) in nodes.iter().enumerate() {
+            let owner = self.graph.owner(v);
+            placement.push((owner, sends[owner].len() as u32));
+            sends[owner].push((v, payload(i)));
+        }
+        (sends, placement)
+    }
+
+    /// Stage 1+2+3 for one layer given per-frontier-node counts.
+    /// Returns (offsets, neighbors) in frontier order.
+    fn sample_layer(
+        &mut self,
+        clock: &mut Clock,
+        layer: usize,
+        frontier: &[NodeId],
+        counts: &[u32],
+    ) -> (Vec<u32>, Vec<NodeId>) {
+        let model = *self.cluster.model();
+        // Partition kernel (compute owner per frontier node + compact).
+        clock.work(model.gpu.time_full(frontier.len() as u64, model.scan_cycles_per_item));
+        let (sends, placement) = self.partition_by_owner(frontier, |i| counts[i]);
+
+        // --- shuffle: (node, count) pairs to owners, 8 B per item.
+        let requests = self.comm.all_to_all_v(self.rank, clock, sends, 8);
+
+        // --- sample: one fused kernel over all received requests (the
+        // paper's design), or one small kernel per task (the async
+        // alternative — launch overhead per request dominates).
+        let total_requested: u64 = requests.iter().flatten().map(|&(_, c)| c as u64).sum();
+        if self.cfg.fused {
+            clock.work(model.gpu.time_full(total_requested, model.sample_cycles_per_item));
+        } else {
+            // Async execution: one kernel per peer message instead of a
+            // fused stage kernel, plus serialized per-task dispatch
+            // (each task is issued individually rather than packed into
+            // one grid — no wave-level parallelism across tasks).
+            const TASK_DISPATCH_S: f64 = 150.0e-9;
+            let n_tasks: u64 = requests.iter().map(|r| r.len() as u64).sum();
+            let peers = (self.graph.num_ranks() as f64 - 1.0).max(0.0);
+            clock.work(
+                peers * model.gpu.launch_overhead_s
+                    + n_tasks as f64 * TASK_DISPATCH_S
+                    + model.gpu.time_full(total_requested, model.sample_cycles_per_item),
+            );
+            // Per-peer eager messages replace the single all-to-all:
+            // each stage pays (n-1) extra point-to-point latencies.
+            clock.work(2.0 * peers * ds_simgpu::topology::TRANSFER_LATENCY);
+        }
+        let biased = self.cfg.biased;
+        let temporal = self.cfg.temporal_cutoff;
+        let without_replacement = !matches!(self.cfg.scheme, Scheme::LayerWise { replace: true });
+        let batch = self.batch_index;
+        let seed = self.cfg.seed;
+        // Spilled adjacency lists (§6's adjacency position list): lists
+        // not resident on this GPU are read from host memory over UVA.
+        let mut spilled_nodes = 0u64;
+        let mut spilled_reads = 0u64;
+        let replies: Vec<(Vec<u32>, Vec<NodeId>)> = requests
+            .into_iter()
+            .map(|reqs| {
+                let mut counts_out = Vec::with_capacity(reqs.len());
+                let mut flat = Vec::new();
+                for (node, count) in reqs {
+                    let mut rng = request_rng(seed, batch, layer, node);
+                    let nb = self.graph.neighbors(node);
+                    if !self.graph.is_resident(node) {
+                        spilled_nodes += 1;
+                        spilled_reads += if biased {
+                            // Whole adjacency + weight list.
+                            (nb.len() as u64 * 8).div_ceil(32)
+                        } else {
+                            count.min(nb.len() as u32) as u64
+                        };
+                    }
+                    // Temporal predicate pushed with the task: restrict
+                    // to edges no newer than the cutoff.
+                    let filtered: Vec<NodeId>;
+                    let nb = if let Some(cutoff) = temporal {
+                        let ts = self
+                            .graph
+                            .neighbor_weights(node)
+                            .expect("temporal sampling needs edge timestamps");
+                        filtered = nb
+                            .iter()
+                            .zip(ts)
+                            .filter(|&(_, &t)| t <= cutoff)
+                            .map(|(&u, _)| u)
+                            .collect();
+                        &filtered[..]
+                    } else {
+                        nb
+                    };
+                    let sampled = if count == 0 || nb.is_empty() {
+                        Vec::new()
+                    } else if biased {
+                        let ws = self
+                            .graph
+                            .neighbor_weights(node)
+                            .expect("biased sampling on an unweighted graph");
+                        local::sample_weighted(nb, ws, count as usize, &mut rng)
+                    } else if without_replacement {
+                        local::sample_uniform(nb, count as usize, &mut rng)
+                    } else {
+                        local::sample_uniform_with_replacement(nb, count as usize, &mut rng)
+                    };
+                    counts_out.push(sampled.len() as u32);
+                    flat.extend(sampled);
+                }
+                (counts_out, flat)
+            })
+            .collect();
+
+        if spilled_nodes > 0 {
+            // indptr lookups (16 B) plus the counted 32 B-payload reads
+            // (one per sampled neighbor, or per adjacency chunk for
+            // biased sampling), all over UVA.
+            let t = self.cluster.uva_read(self.rank, spilled_nodes, 16)
+                + self.cluster.uva_read(self.rank, spilled_reads, 32);
+            clock.work_on(t, ds_simgpu::clock::ResKind::Pcie);
+        }
+
+        // --- reshuffle: per-request counts, then the flat neighbor ids.
+        let (count_sends, flat_sends): (Vec<Vec<u32>>, Vec<Vec<NodeId>>) =
+            replies.into_iter().unzip();
+        let recv_counts = self.comm.all_to_all_v(self.rank, clock, count_sends, 4);
+        let recv_flat = self.comm.all_to_all_v(self.rank, clock, flat_sends, 4);
+
+        // Assemble in frontier order (compact kernel).
+        let flat_offsets: Vec<Vec<u32>> = recv_counts
+            .iter()
+            .map(|cs| {
+                let mut off = Vec::with_capacity(cs.len() + 1);
+                off.push(0u32);
+                let mut acc = 0u32;
+                for &c in cs {
+                    acc += c;
+                    off.push(acc);
+                }
+                off
+            })
+            .collect();
+        let mut offsets = Vec::with_capacity(frontier.len() + 1);
+        offsets.push(0u32);
+        let mut neighbors = Vec::new();
+        for &(owner, idx) in &placement {
+            let lo = flat_offsets[owner][idx as usize] as usize;
+            let hi = flat_offsets[owner][idx as usize + 1] as usize;
+            neighbors.extend_from_slice(&recv_flat[owner][lo..hi]);
+            offsets.push(neighbors.len() as u32);
+        }
+        clock.work(model.gpu.time_full(neighbors.len() as u64, model.scan_cycles_per_item));
+        (offsets, neighbors)
+    }
+
+    /// Fetches `W_u` (Eq. 2) for each frontier node from its owner — the
+    /// extra lightweight exchange layer-wise sampling needs.
+    fn fetch_total_weights(&mut self, clock: &mut Clock, frontier: &[NodeId]) -> Vec<f64> {
+        let model = *self.cluster.model();
+        clock.work(model.gpu.time_full(frontier.len() as u64, model.scan_cycles_per_item));
+        let (sends, placement) = self.partition_by_owner(frontier, |_| ());
+        let queries = self.comm.all_to_all_v(self.rank, clock, sends, 4);
+        let replies: Vec<Vec<f32>> = queries
+            .into_iter()
+            .map(|qs| qs.into_iter().map(|(v, ())| self.graph.total_weight(v) as f32).collect())
+            .collect();
+        let recv = self.comm.all_to_all_v(self.rank, clock, replies, 4);
+        placement.iter().map(|&(owner, idx)| recv[owner][idx as usize] as f64).collect()
+    }
+}
+
+impl BatchSampler for CspSampler {
+    fn sample_batch(&mut self, clock: &mut Clock, seeds: &[NodeId]) -> GraphSample {
+        let batch = self.batch_index;
+        let mut frontier: Vec<NodeId> = seeds.to_vec();
+        let fanout = self.cfg.fanout.clone();
+        let mut layers = Vec::with_capacity(fanout.len());
+        for (l, &fan) in fanout.iter().enumerate() {
+            let counts: Vec<u32> = match self.cfg.scheme {
+                Scheme::NodeWise => vec![fan as u32; frontier.len()],
+                Scheme::LayerWise { .. } => {
+                    let weights = self.fetch_total_weights(clock, &frontier);
+                    let mut rng = request_rng(self.cfg.seed, batch, l, u32::MAX);
+                    local::multinomial_counts(&weights, fan, &mut rng)
+                }
+            };
+            let (offsets, neighbors) = self.sample_layer(clock, l, &frontier, &counts);
+            let layer = SampleLayer::new(frontier.clone(), offsets, neighbors);
+            // Dedup/sort kernel for the next frontier.
+            let model = *self.cluster.model();
+            clock.work(model.gpu.time_full(layer.src.len() as u64, 4.0 * model.scan_cycles_per_item));
+            frontier = layer.src.clone();
+            layers.push(layer);
+        }
+        self.batch_index += 1;
+        GraphSample::new(seeds.to_vec(), layers)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_graph::{gen, Csr};
+    use ds_partition::{simple::range_partition, Renumbering};
+    use ds_simgpu::ClusterSpec;
+
+    /// Builds a 2-rank CSP setup over a ring graph and runs `f` on both
+    /// rank threads.
+    fn with_two_ranks<F, R>(graph: Csr, cfg: CspConfig, f: F) -> Vec<R>
+    where
+        F: Fn(&mut CspSampler, &mut Clock) -> R + Send + Sync + 'static,
+        R: Send + 'static,
+    {
+        let p = range_partition(&graph, 2);
+        let renum = Renumbering::from_partition(&p);
+        let dg = Arc::new(DistGraph::from_renumbered(&graph, &renum));
+        let cluster = Arc::new(ClusterSpec::v100(2).build());
+        let comm = Arc::new(Communicator::new(1, Arc::clone(&cluster)));
+        let f = Arc::new(f);
+        let handles: Vec<_> = (0..2)
+            .map(|rank| {
+                let dg = Arc::clone(&dg);
+                let cluster = Arc::clone(&cluster);
+                let comm = Arc::clone(&comm);
+                let cfg = cfg.clone();
+                let f = Arc::clone(&f);
+                std::thread::spawn(move || {
+                    let mut s = CspSampler::new(dg, cluster, comm, rank, cfg);
+                    let mut clock = Clock::new();
+                    f(&mut s, &mut clock)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    }
+
+    fn check_sample_valid(g: &Csr, s: &GraphSample, fanout: &[usize]) {
+        assert_eq!(s.num_layers(), fanout.len());
+        for (l, layer) in s.layers.iter().enumerate() {
+            for (i, &dst) in layer.dst.iter().enumerate() {
+                let sampled = layer.neighbors_of(i);
+                assert!(sampled.len() <= fanout[l].max(g.degree(dst)));
+                // Every sampled edge exists in the graph.
+                for &nb in sampled {
+                    assert!(
+                        g.neighbors(dst).contains(&nb),
+                        "edge {dst}->{nb} not in graph (layer {l})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn node_wise_samples_respect_fanout_and_graph() {
+        let g = gen::erdos_renyi(200, 3000, true, 7);
+        let g2 = g.clone();
+        let results = with_two_ranks(g, CspConfig::node_wise(vec![4, 3]), move |s, clock| {
+            // Each rank seeds with nodes it owns.
+            let seeds: Vec<NodeId> = if s.rank == 0 { vec![0, 5, 17] } else { vec![150, 160] };
+            s.sample_batch(clock, &seeds)
+        });
+        for (rank, sample) in results.iter().enumerate() {
+            check_sample_valid(&g2, sample, &[4, 3]);
+            // Fan-out upper bound per node.
+            for layer in &sample.layers {
+                for i in 0..layer.num_dst() {
+                    assert!(layer.neighbors_of(i).len() <= 4);
+                }
+            }
+            assert_eq!(sample.seeds.len(), if rank == 0 { 3 } else { 2 });
+        }
+    }
+
+    #[test]
+    fn samples_are_gpu_count_invariant() {
+        // The same seeds on 1 rank and on 2 ranks yield identical samples
+        // (placement-independent RNG) — the §7.1 correctness property.
+        let g = gen::erdos_renyi(100, 1500, true, 9);
+        let cfg = CspConfig::node_wise(vec![3, 2]);
+        let seeds = vec![1u32, 50, 99];
+
+        // Single rank.
+        let dg = Arc::new(DistGraph::single(&g));
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let comm = Arc::new(Communicator::new(1, Arc::clone(&cluster)));
+        let mut single = CspSampler::new(dg, cluster, comm, 0, cfg.clone());
+        let mut clock = Clock::new();
+        let s1 = single.sample_batch(&mut clock, &seeds);
+
+        // Two ranks: rank 0 uses the same seeds, rank 1 idles with its own.
+        let seeds2 = seeds.clone();
+        let results = with_two_ranks(g, cfg, move |s, clock| {
+            let seeds: Vec<NodeId> = if s.rank == 0 { seeds2.clone() } else { vec![60] };
+            s.sample_batch(clock, &seeds)
+        });
+        assert_eq!(results[0], s1);
+    }
+
+    #[test]
+    fn biased_sampling_uses_weights() {
+        // Node weights: node id as weight; heavy neighbors dominate.
+        let g = gen::erdos_renyi(100, 4000, true, 3);
+        let w: Vec<f32> = (0..100).map(|i| if i < 50 { 0.0 } else { 1.0 }).collect();
+        let wg = g.with_node_weights(&w);
+        let mut cfg = CspConfig::node_wise(vec![5]);
+        cfg.biased = true;
+        let results = with_two_ranks(wg, cfg, move |s, clock| {
+            let seeds: Vec<NodeId> = if s.rank == 0 { (0..50).collect() } else { (50..100).collect() };
+            s.sample_batch(clock, &seeds)
+        });
+        for sample in &results {
+            for layer in &sample.layers {
+                // A zero-weight neighbor may only appear when a node has
+                // no positively-weighted neighbors at all — with 4000
+                // random edges on 100 nodes that never happens here.
+                for (i, _) in layer.dst.iter().enumerate() {
+                    for &nb in layer.neighbors_of(i) {
+                        assert!(nb >= 50, "sampled zero-weight node {nb}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layer_wise_totals_match_fanout() {
+        let g = gen::erdos_renyi(300, 6000, true, 5);
+        let cfg = CspConfig::layer_wise(vec![64, 32], true);
+        let results = with_two_ranks(g, cfg, move |s, clock| {
+            let seeds: Vec<NodeId> = if s.rank == 0 { (0..16).collect() } else { (150..166).collect() };
+            s.sample_batch(clock, &seeds)
+        });
+        for sample in &results {
+            // With replacement, the total sampled count per layer equals
+            // the fan-out (every multinomial draw yields one neighbor as
+            // long as the drawn node has any neighbors).
+            assert_eq!(sample.layers[0].num_edges(), 64);
+        }
+    }
+
+    #[test]
+    fn sampler_charges_virtual_time() {
+        let g = gen::erdos_renyi(200, 3000, true, 11);
+        let results = with_two_ranks(g, CspConfig::paper_default(), move |s, clock| {
+            let seeds: Vec<NodeId> = if s.rank == 0 { (0..32).collect() } else { (100..132).collect() };
+            let _ = s.sample_batch(clock, &seeds);
+            (clock.now(), clock.busy())
+        });
+        for (now, busy) in results {
+            assert!(now > 0.0);
+            assert!(busy > 0.0);
+            assert!(busy <= now + 1e-12);
+        }
+    }
+
+    #[test]
+    fn temporal_sampling_respects_the_cutoff() {
+        // Edge "weights" = timestamps: node id as the timestamp of edges
+        // into it, cutoff keeps only old (low-id) neighbors.
+        let g = gen::erdos_renyi(200, 6000, true, 15);
+        let ts: Vec<f32> = (0..200).map(|i| i as f32).collect();
+        let tg = g.with_node_weights(&ts);
+        let cutoff = 120.0f32;
+        let results = with_two_ranks(tg, CspConfig::node_wise(vec![5, 3]).temporal(cutoff), move |s, clock| {
+            let seeds: Vec<NodeId> = if s.rank == 0 { (0..20).collect() } else { (150..170).collect() };
+            s.sample_batch(clock, &seeds)
+        });
+        let mut sampled_any = false;
+        for sample in &results {
+            for layer in &sample.layers {
+                for (i, _) in layer.dst.iter().enumerate() {
+                    for &nb in layer.neighbors_of(i) {
+                        sampled_any = true;
+                        assert!(
+                            (nb as f32) <= cutoff,
+                            "sampled edge to {nb} violates temporal cutoff {cutoff}"
+                        );
+                    }
+                }
+            }
+        }
+        assert!(sampled_any, "temporal sampling produced nothing");
+    }
+
+    #[test]
+    fn async_mode_produces_identical_samples_but_costs_more() {
+        let g = gen::erdos_renyi(150, 3000, true, 19);
+        let seeds: Vec<NodeId> = vec![3, 30, 120];
+        let g2 = g.clone();
+        let seeds2 = seeds.clone();
+        let fused = with_two_ranks(g, CspConfig::node_wise(vec![4, 4]), move |s, clock| {
+            let seeds: Vec<NodeId> = if s.rank == 0 { seeds2.clone() } else { vec![100] };
+            (s.sample_batch(clock, &seeds), clock.now())
+        });
+        let seeds3 = seeds.clone();
+        let unfused = with_two_ranks(g2, CspConfig::node_wise(vec![4, 4]).unfused(), move |s, clock| {
+            let seeds: Vec<NodeId> = if s.rank == 0 { seeds3.clone() } else { vec![100] };
+            (s.sample_batch(clock, &seeds), clock.now())
+        });
+        assert_eq!(fused[0].0, unfused[0].0, "async must construct the same sample");
+        assert!(
+            unfused[0].1 > fused[0].1,
+            "async {} should cost more than fused {}",
+            unfused[0].1,
+            fused[0].1
+        );
+    }
+
+    #[test]
+    fn batches_advance_rng_stream() {
+        let g = gen::erdos_renyi(100, 2000, true, 13);
+        let dg = Arc::new(DistGraph::single(&g));
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let comm = Arc::new(Communicator::new(1, Arc::clone(&cluster)));
+        let mut s = CspSampler::new(dg, cluster, comm, 0, CspConfig::node_wise(vec![3]));
+        let mut clock = Clock::new();
+        let a = s.sample_batch(&mut clock, &[5, 6]);
+        let b = s.sample_batch(&mut clock, &[5, 6]);
+        assert_ne!(a, b, "different batches must sample differently");
+        s.reset_batches();
+        let a2 = s.sample_batch(&mut clock, &[5, 6]);
+        assert_eq!(a, a2, "same batch index must reproduce");
+    }
+}

@@ -1,0 +1,46 @@
+//! # ds-sampling
+//!
+//! Multi-GPU graph sampling: the paper's **Collective Sampling
+//! Primitive** (CSP, §4) and every sampler it is compared against.
+//!
+//! * [`csp::CspSampler`] — samples on a graph *partitioned across GPUs*
+//!   in three stages per layer (shuffle → sample → reshuffle), pushing
+//!   sampling **tasks** to the GPU that owns the adjacency list instead
+//!   of pulling adjacency data. Supports node-wise and layer-wise
+//!   schemes, biased and unbiased sampling (Table 2) and random walks
+//!   ([`walk`]).
+//! * [`baselines`] — the alternatives the paper evaluates: UVA sampling
+//!   over PCIe with read amplification (DGL-UVA and Quiver, the latter
+//!   with cudaMalloc overhead), CPU sampling (PyG and DGL-CPU), the
+//!   *Pull Data* strategy of Fig. 11, and the hypothetical *Ideal*
+//!   lower bound of Fig. 1.
+//! * [`dist_graph::DistGraph`] — the partitioned, renumbered topology
+//!   with per-GPU patches and range-check ownership (§6).
+//! * [`sample::GraphSample`] — the per-mini-batch multi-layer sample
+//!   (DGL's "message-flow graph" analogue) consumed by the loader and
+//!   trainer.
+//! * [`seeds::SeedSchedule`] — per-rank, per-epoch seed batching with
+//!   seeds co-located with their graph patch (§3.2).
+
+pub mod baselines;
+pub mod csp;
+pub mod dist_graph;
+pub mod local;
+pub mod sample;
+pub mod seeds;
+pub mod walk;
+
+pub use csp::{CspConfig, CspSampler, Scheme};
+pub use dist_graph::DistGraph;
+pub use sample::{GraphSample, SampleLayer};
+pub use seeds::SeedSchedule;
+
+use ds_graph::NodeId;
+use ds_simgpu::Clock;
+
+/// Common interface of all batch samplers: given seed nodes, construct
+/// the multi-layer graph sample, charging virtual time to `clock`.
+pub trait BatchSampler {
+    /// Samples one mini-batch.
+    fn sample_batch(&mut self, clock: &mut Clock, seeds: &[NodeId]) -> GraphSample;
+}

@@ -1,0 +1,215 @@
+//! Local neighbor-sampling kernels — what each GPU executes in CSP's
+//! *sample* stage (and what the UVA/CPU baselines run per frontier node).
+
+use ds_graph::NodeId;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Derives the RNG for one sampling request from logical identifiers
+/// only — (base seed, batch, layer, node) — never from placement. Every
+/// sampler in this crate draws through this function, so the constructed
+/// graph samples are identical across systems and GPU counts. That makes
+/// the paper's §7.1 correctness property ("accuracy-vs-batch curves of
+/// all systems overlap") an exact, testable invariant here.
+pub fn request_rng(seed: u64, batch: u64, layer: usize, node: NodeId) -> ChaCha8Rng {
+    let mut x = seed
+        ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
+        ^ ((layer as u64) << 56)
+        ^ (node as u64).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    // splitmix64 finalizer.
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    ChaCha8Rng::seed_from_u64(x ^ (x >> 31))
+}
+
+/// Samples `k` neighbors uniformly **without replacement**; returns the
+/// whole list if it has ≤ `k` entries (DGL `replace=false` semantics).
+/// Partial Fisher–Yates over an index array, O(k) extra space.
+pub fn sample_uniform<R: Rng>(neighbors: &[NodeId], k: usize, rng: &mut R) -> Vec<NodeId> {
+    let n = neighbors.len();
+    if n <= k {
+        return neighbors.to_vec();
+    }
+    // Partial Fisher–Yates via a sparse swap map: only touched indices
+    // are stored, so sampling 10 of 10,000 neighbors is O(k).
+    let mut swaps: std::collections::HashMap<usize, usize> = std::collections::HashMap::new();
+    let mut out = Vec::with_capacity(k);
+    for i in 0..k {
+        let j = rng.gen_range(i..n);
+        let vi = *swaps.get(&i).unwrap_or(&i);
+        let vj = *swaps.get(&j).unwrap_or(&j);
+        out.push(neighbors[vj]);
+        swaps.insert(j, vi);
+    }
+    out
+}
+
+/// Samples `k` neighbors **with replacement**, uniformly.
+pub fn sample_uniform_with_replacement<R: Rng>(
+    neighbors: &[NodeId],
+    k: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    if neighbors.is_empty() {
+        return Vec::new();
+    }
+    (0..k).map(|_| neighbors[rng.gen_range(0..neighbors.len())]).collect()
+}
+
+/// Weighted sampling without replacement via the Efraimidis–Spirakis
+/// exponential-key trick: key_i = rand()^(1/w_i); take the k largest.
+/// Zero-weight neighbors are never sampled (unless everything is zero).
+pub fn sample_weighted<R: Rng>(
+    neighbors: &[NodeId],
+    weights: &[f32],
+    k: usize,
+    rng: &mut R,
+) -> Vec<NodeId> {
+    assert_eq!(neighbors.len(), weights.len());
+    let n = neighbors.len();
+    if n <= k {
+        return neighbors.to_vec();
+    }
+    let mut keyed: Vec<(f64, NodeId)> = neighbors
+        .iter()
+        .zip(weights)
+        .map(|(&v, &w)| {
+            let key = if w > 0.0 {
+                // u^(1/w) maximized ⇔ ln(u)/w maximized (u in (0,1)).
+                rng.gen_range(1e-12..1.0f64).ln() / w as f64
+            } else {
+                f64::NEG_INFINITY
+            };
+            (key, v)
+        })
+        .collect();
+    keyed.select_nth_unstable_by(k - 1, |a, b| b.0.partial_cmp(&a.0).unwrap());
+    keyed.truncate(k);
+    keyed.into_iter().map(|(_, v)| v).collect()
+}
+
+/// Multinomial draw: `n` draws over `probs ∝ weights` with replacement;
+/// returns the per-index draw counts. This is how CSP turns a layer-wise
+/// fan-out into per-frontier-node neighbor counts (Eq. 2).
+pub fn multinomial_counts<R: Rng>(weights: &[f64], n: usize, rng: &mut R) -> Vec<u32> {
+    let total: f64 = weights.iter().sum();
+    let mut counts = vec![0u32; weights.len()];
+    if total <= 0.0 || weights.is_empty() {
+        return counts;
+    }
+    // Inverse-CDF per draw over a prefix-sum table.
+    let mut cdf = Vec::with_capacity(weights.len());
+    let mut acc = 0.0;
+    for &w in weights {
+        acc += w;
+        cdf.push(acc);
+    }
+    for _ in 0..n {
+        let x = rng.gen_range(0.0..total);
+        let idx = cdf.partition_point(|&c| c <= x).min(weights.len() - 1);
+        counts[idx] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn uniform_without_replacement_is_distinct_subset() {
+        let nb: Vec<NodeId> = (0..100).collect();
+        let mut r = rng();
+        for _ in 0..50 {
+            let s = sample_uniform(&nb, 10, &mut r);
+            assert_eq!(s.len(), 10);
+            let mut d = s.clone();
+            d.sort_unstable();
+            d.dedup();
+            assert_eq!(d.len(), 10, "duplicates in {s:?}");
+            assert!(s.iter().all(|v| (*v as usize) < 100));
+        }
+    }
+
+    #[test]
+    fn uniform_small_list_returns_all() {
+        let nb = vec![7, 8, 9];
+        assert_eq!(sample_uniform(&nb, 5, &mut rng()), vec![7, 8, 9]);
+        assert_eq!(sample_uniform(&nb, 3, &mut rng()), vec![7, 8, 9]);
+        assert!(sample_uniform(&[], 4, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn uniform_is_approximately_uniform() {
+        let nb: Vec<NodeId> = (0..20).collect();
+        let mut hits = vec![0u32; 20];
+        let mut r = rng();
+        for _ in 0..4000 {
+            for v in sample_uniform(&nb, 5, &mut r) {
+                hits[v as usize] += 1;
+            }
+        }
+        // Expected 1000 hits each; χ²-ish sanity bound.
+        for (v, &h) in hits.iter().enumerate() {
+            assert!((800..1200).contains(&h), "node {v} hit {h} times");
+        }
+    }
+
+    #[test]
+    fn with_replacement_allows_duplicates() {
+        let nb = vec![1, 2];
+        let s = sample_uniform_with_replacement(&nb, 100, &mut rng());
+        assert_eq!(s.len(), 100);
+        assert!(sample_uniform_with_replacement(&[], 5, &mut rng()).is_empty());
+    }
+
+    #[test]
+    fn weighted_prefers_heavy_neighbors() {
+        let nb: Vec<NodeId> = (0..10).collect();
+        let mut w = vec![1.0f32; 10];
+        w[3] = 50.0;
+        let mut hits3 = 0;
+        let mut hits0 = 0;
+        let mut r = rng();
+        for _ in 0..2000 {
+            let s = sample_weighted(&nb, &w, 2, &mut r);
+            assert_eq!(s.len(), 2);
+            hits3 += s.iter().filter(|&&v| v == 3).count();
+            hits0 += s.iter().filter(|&&v| v == 0).count();
+        }
+        assert!(hits3 > 5 * hits0.max(1), "heavy {hits3} vs light {hits0}");
+    }
+
+    #[test]
+    fn weighted_never_picks_zero_weight() {
+        let nb = vec![1, 2, 3, 4];
+        let w = vec![0.0, 1.0, 1.0, 0.0];
+        let mut r = rng();
+        for _ in 0..200 {
+            let s = sample_weighted(&nb, &w, 2, &mut r);
+            assert!(!s.contains(&1) && !s.contains(&4), "{s:?}");
+        }
+    }
+
+    #[test]
+    fn multinomial_counts_sum_to_n_and_track_weights() {
+        let mut r = rng();
+        let counts = multinomial_counts(&[1.0, 3.0], 4000, &mut r);
+        assert_eq!(counts.iter().sum::<u32>(), 4000);
+        let ratio = counts[1] as f64 / counts[0] as f64;
+        assert!(ratio > 2.4 && ratio < 3.8, "ratio {ratio}");
+    }
+
+    #[test]
+    fn multinomial_handles_degenerate_inputs() {
+        let mut r = rng();
+        assert!(multinomial_counts(&[], 10, &mut r).is_empty());
+        assert_eq!(multinomial_counts(&[0.0, 0.0], 10, &mut r), vec![0, 0]);
+    }
+}

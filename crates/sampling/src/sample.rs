@@ -1,0 +1,173 @@
+//! The multi-layer graph sample produced by sampling and consumed by
+//! feature loading and training.
+//!
+//! Layer `l`'s destination nodes are the frontier at depth `l` (layer 0's
+//! are the seeds); its CSR-like `offsets`/`neighbors` hold the sampled
+//! in-neighbors of each destination. The *source* set of a layer is the
+//! sorted union of its destinations and sampled neighbors — and is, by
+//! construction, the next layer's destination set, so a K-layer GNN can
+//! evaluate the blocks innermost-to-outermost with each layer's output
+//! set feeding the next (the DGL message-flow-graph chaining invariant,
+//! asserted in tests).
+
+use ds_graph::NodeId;
+
+/// One sampled layer (block).
+#[derive(Clone, Debug, PartialEq)]
+pub struct SampleLayer {
+    /// Destination (frontier) nodes, in frontier order.
+    pub dst: Vec<NodeId>,
+    /// `offsets[i]..offsets[i+1]` delimits `dst[i]`'s sampled neighbors.
+    pub offsets: Vec<u32>,
+    /// Sampled neighbor ids (global), grouped by destination.
+    pub neighbors: Vec<NodeId>,
+    /// Sorted, deduplicated union of `dst` and `neighbors`.
+    pub src: Vec<NodeId>,
+    /// For each destination, its row index in `src`.
+    pub dst_pos_in_src: Vec<u32>,
+    /// For each neighbor entry, its row index in `src`.
+    pub neighbor_pos_in_src: Vec<u32>,
+}
+
+impl SampleLayer {
+    /// Assembles a layer from the raw sampling output and computes the
+    /// src set and index maps.
+    pub fn new(dst: Vec<NodeId>, offsets: Vec<u32>, neighbors: Vec<NodeId>) -> Self {
+        assert_eq!(offsets.len(), dst.len() + 1, "offsets must have dst.len()+1 entries");
+        assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
+        let mut src: Vec<NodeId> = Vec::with_capacity(dst.len() + neighbors.len());
+        src.extend_from_slice(&dst);
+        src.extend_from_slice(&neighbors);
+        src.sort_unstable();
+        src.dedup();
+        let pos = |v: NodeId| -> u32 { src.binary_search(&v).expect("node in src set") as u32 };
+        let dst_pos_in_src = dst.iter().map(|&v| pos(v)).collect();
+        let neighbor_pos_in_src = neighbors.iter().map(|&v| pos(v)).collect();
+        SampleLayer { dst, offsets, neighbors, src, dst_pos_in_src, neighbor_pos_in_src }
+    }
+
+    /// Number of destination nodes.
+    pub fn num_dst(&self) -> usize {
+        self.dst.len()
+    }
+
+    /// Number of sampled edges in this layer.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Sampled neighbors of the `i`-th destination.
+    pub fn neighbors_of(&self, i: usize) -> &[NodeId] {
+        &self.neighbors[self.offsets[i] as usize..self.offsets[i + 1] as usize]
+    }
+}
+
+/// A complete multi-layer graph sample for one mini-batch on one GPU.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphSample {
+    /// The seed nodes this sample was built for.
+    pub seeds: Vec<NodeId>,
+    /// Layers outermost-first: `layers[0].dst == seeds`.
+    pub layers: Vec<SampleLayer>,
+}
+
+impl GraphSample {
+    /// Validates the chaining invariant and wraps the layers.
+    pub fn new(seeds: Vec<NodeId>, layers: Vec<SampleLayer>) -> Self {
+        if let Some(first) = layers.first() {
+            assert_eq!(first.dst, seeds, "layer 0 destinations must be the seeds");
+        }
+        for w in layers.windows(2) {
+            assert_eq!(w[0].src, w[1].dst, "layer l+1 dst must equal layer l src");
+        }
+        GraphSample { seeds, layers }
+    }
+
+    /// Number of sampling layers.
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// The nodes whose input features are required: the innermost
+    /// layer's source set (covers every node in the sample).
+    pub fn input_nodes(&self) -> &[NodeId] {
+        self.layers.last().map(|l| l.src.as_slice()).unwrap_or(&self.seeds)
+    }
+
+    /// Total sampled edges across layers.
+    pub fn num_edges(&self) -> usize {
+        self.layers.iter().map(|l| l.num_edges()).sum()
+    }
+
+    /// Total distinct nodes involved (== input set size by construction).
+    pub fn num_nodes(&self) -> usize {
+        self.input_nodes().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn layer(dst: Vec<NodeId>, lists: Vec<Vec<NodeId>>) -> SampleLayer {
+        let mut offsets = vec![0u32];
+        let mut neighbors = Vec::new();
+        for l in &lists {
+            neighbors.extend_from_slice(l);
+            offsets.push(neighbors.len() as u32);
+        }
+        SampleLayer::new(dst, offsets, neighbors)
+    }
+
+    #[test]
+    fn layer_indexes_into_sorted_src() {
+        let l = layer(vec![5, 2], vec![vec![9, 2], vec![5]]);
+        assert_eq!(l.src, vec![2, 5, 9]);
+        assert_eq!(l.dst_pos_in_src, vec![1, 0]);
+        assert_eq!(l.neighbor_pos_in_src, vec![2, 0, 1]);
+        assert_eq!(l.neighbors_of(0), &[9, 2]);
+        assert_eq!(l.neighbors_of(1), &[5]);
+        assert_eq!(l.num_edges(), 3);
+    }
+
+    #[test]
+    fn sample_chains_layers() {
+        let l0 = layer(vec![1], vec![vec![2, 3]]);
+        // Next layer's dst must be l0.src = [1,2,3].
+        let l1 = layer(vec![1, 2, 3], vec![vec![4], vec![], vec![1]]);
+        let s = GraphSample::new(vec![1], vec![l0, l1]);
+        assert_eq!(s.num_layers(), 2);
+        assert_eq!(s.input_nodes(), &[1, 2, 3, 4]);
+        assert_eq!(s.num_edges(), 4);
+        assert_eq!(s.num_nodes(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must equal")]
+    fn rejects_broken_chain() {
+        let l0 = layer(vec![1], vec![vec![2]]);
+        let l1 = layer(vec![7], vec![vec![]]);
+        GraphSample::new(vec![1], vec![l0, l1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "seeds")]
+    fn rejects_wrong_seed_layer() {
+        let l0 = layer(vec![2], vec![vec![3]]);
+        GraphSample::new(vec![1], vec![l0]);
+    }
+
+    #[test]
+    fn empty_sample_is_fine() {
+        let s = GraphSample::new(vec![3, 4], vec![]);
+        assert_eq!(s.input_nodes(), &[3, 4]);
+        assert_eq!(s.num_edges(), 0);
+    }
+
+    #[test]
+    fn duplicate_neighbors_collapse_in_src() {
+        let l = layer(vec![1], vec![vec![2, 2, 2]]);
+        assert_eq!(l.src, vec![1, 2]);
+        assert_eq!(l.num_edges(), 3);
+    }
+}

@@ -1,0 +1,114 @@
+//! Per-rank seed scheduling.
+//!
+//! DSP co-partitions training seeds with the graph patches (§3.1): each
+//! rank iterates over the seeds *it owns*, shuffled per epoch. Because
+//! BSP collectives require every rank to execute the same number of
+//! mini-batches, the schedule pads trailing batches to a common count
+//! (empty batches still participate in collectives).
+
+use ds_graph::NodeId;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Deterministic per-epoch batching of one rank's seeds.
+#[derive(Clone, Debug)]
+pub struct SeedSchedule {
+    my_seeds: Vec<NodeId>,
+    batch_size: usize,
+    num_batches: usize,
+    seed: u64,
+}
+
+impl SeedSchedule {
+    /// Creates the schedule. `num_batches` must be the same on all ranks
+    /// (use [`SeedSchedule::common_batches`] on the global maximum).
+    pub fn new(my_seeds: Vec<NodeId>, batch_size: usize, num_batches: usize, seed: u64) -> Self {
+        assert!(batch_size > 0);
+        SeedSchedule { my_seeds, batch_size, num_batches, seed }
+    }
+
+    /// The batch count every rank must run so that the rank with the
+    /// most seeds covers them all.
+    pub fn common_batches(max_seeds_per_rank: usize, batch_size: usize) -> usize {
+        max_seeds_per_rank.div_ceil(batch_size).max(1)
+    }
+
+    /// Number of batches per epoch.
+    pub fn num_batches(&self) -> usize {
+        self.num_batches
+    }
+
+    /// Number of seeds this rank owns.
+    pub fn num_seeds(&self) -> usize {
+        self.my_seeds.len()
+    }
+
+    /// The seed batches of `epoch`: shuffled deterministically, chunked,
+    /// padded with empty batches up to the common count.
+    pub fn epoch_batches(&self, epoch: u64) -> Vec<Vec<NodeId>> {
+        let mut seeds = self.my_seeds.clone();
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9e37_79b9));
+        seeds.shuffle(&mut rng);
+        let mut batches: Vec<Vec<NodeId>> =
+            seeds.chunks(self.batch_size).map(|c| c.to_vec()).collect();
+        while batches.len() < self.num_batches {
+            batches.push(Vec::new());
+        }
+        assert!(
+            batches.len() == self.num_batches,
+            "rank has more seed batches ({}) than the common count ({}) — \
+             compute num_batches from the global maximum",
+            batches.len(),
+            self.num_batches
+        );
+        batches
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batches_cover_all_seeds_exactly_once() {
+        let s = SeedSchedule::new((0..25).collect(), 8, 4, 1);
+        let batches = s.epoch_batches(0);
+        assert_eq!(batches.len(), 4);
+        let mut all: Vec<NodeId> = batches.iter().flatten().cloned().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..25).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn padding_adds_empty_batches() {
+        let s = SeedSchedule::new(vec![1, 2], 8, 3, 1);
+        let batches = s.epoch_batches(0);
+        assert_eq!(batches.len(), 3);
+        assert_eq!(batches[0].len(), 2);
+        assert!(batches[1].is_empty() && batches[2].is_empty());
+    }
+
+    #[test]
+    fn epochs_shuffle_differently_but_deterministically() {
+        let s = SeedSchedule::new((0..64).collect(), 16, 4, 7);
+        let e0 = s.epoch_batches(0);
+        let e1 = s.epoch_batches(1);
+        assert_ne!(e0, e1);
+        assert_eq!(e0, s.epoch_batches(0));
+    }
+
+    #[test]
+    fn common_batches_covers_heaviest_rank() {
+        assert_eq!(SeedSchedule::common_batches(100, 32), 4);
+        assert_eq!(SeedSchedule::common_batches(96, 32), 3);
+        assert_eq!(SeedSchedule::common_batches(0, 32), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "common count")]
+    fn too_small_common_count_is_rejected() {
+        let s = SeedSchedule::new((0..100).collect(), 10, 5, 1);
+        s.epoch_batches(0);
+    }
+}

@@ -1,0 +1,208 @@
+//! Virtual clocks for workers on simulated devices.
+//!
+//! Every worker (sampler / loader / trainer on a given device) owns a
+//! `Clock`. Kernels advance it by their modelled duration and accumulate
+//! *busy* time; synchronization (waiting for a collective peer or a
+//! pipeline queue) moves `now` forward without adding busy time. GPU
+//! utilization (Fig. 6) is `busy / elapsed`.
+
+/// Which serial device resource a piece of kernel work occupies. When
+/// workers of different pipeline stages overlap on one GPU, work bound
+/// to the *same* resource cannot actually run concurrently — the
+/// pipeline accounts for this by flooring the per-rank makespan at each
+/// resource's total busy time ([`Clock::resource_busy`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ResKind {
+    /// Small kernels (launch-overhead bound): overlap freely — the
+    /// Fig. 2 observation that they cannot fill the device anyway.
+    Light,
+    /// Dense GEMM: saturates the SMs.
+    Gemm,
+    /// HBM-bandwidth-bound kernels (feature gathers).
+    Hbm,
+    /// PCIe transfers (UVA reads, bulk copies).
+    Pcie,
+    /// NVLink transfers (collectives).
+    NvLink,
+}
+
+const NUM_RES: usize = 4; // Gemm, Hbm, Pcie, NvLink (Light is untracked)
+
+/// A virtual clock measured in seconds.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct Clock {
+    now: f64,
+    busy: f64,
+    res: [f64; NUM_RES],
+}
+
+impl Clock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        Clock::default()
+    }
+
+    /// Current virtual time in seconds.
+    #[inline]
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Accumulated busy (kernel-executing) seconds.
+    #[inline]
+    pub fn busy(&self) -> f64 {
+        self.busy
+    }
+
+    /// Advances by `dt` seconds of kernel work (counts as busy).
+    /// Equivalent to [`Self::work_on`] with [`ResKind::Light`].
+    #[inline]
+    pub fn work(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0, "negative work duration {dt}");
+        self.now += dt;
+        self.busy += dt;
+    }
+
+    /// Advances by `dt` seconds of work bound to resource `kind`.
+    #[inline]
+    pub fn work_on(&mut self, dt: f64, kind: ResKind) {
+        self.work(dt);
+        match kind {
+            ResKind::Light => {}
+            ResKind::Gemm => self.res[0] += dt,
+            ResKind::Hbm => self.res[1] += dt,
+            ResKind::Pcie => self.res[2] += dt,
+            ResKind::NvLink => self.res[3] += dt,
+        }
+    }
+
+    /// Busy seconds spent on a serial resource class.
+    #[inline]
+    pub fn resource_busy(&self, kind: ResKind) -> f64 {
+        match kind {
+            ResKind::Light => self.busy - self.res.iter().sum::<f64>(),
+            ResKind::Gemm => self.res[0],
+            ResKind::Hbm => self.res[1],
+            ResKind::Pcie => self.res[2],
+            ResKind::NvLink => self.res[3],
+        }
+    }
+
+    /// For a set of workers overlapping on one device: a lower bound on
+    /// how far the overlap can compress their combined timeline.
+    ///
+    /// Each link (PCIe, NVLink) is a serial resource. The device's SMs
+    /// are one more: GEMM saturates them; UVA kernels are zero-copy
+    /// *kernels*, not DMA, and occupy roughly half the device while they
+    /// stream PCIe (the paper's Fig. 2b — loading stops scaling around
+    /// 2–3k of 5120 threads); HBM-bound gathers occupy a smaller share.
+    pub fn resource_floor(clocks: &[&Clock]) -> f64 {
+        /// SM occupancy of a PCIe-streaming (UVA) kernel.
+        const PCIE_SM_SHARE: f64 = 0.6;
+        /// SM occupancy of an HBM-bound gather kernel.
+        const HBM_SM_SHARE: f64 = 0.3;
+        let sum = |k: ResKind| clocks.iter().map(|c| c.resource_busy(k)).sum::<f64>();
+        let device = sum(ResKind::Gemm)
+            + PCIE_SM_SHARE * sum(ResKind::Pcie)
+            + HBM_SM_SHARE * sum(ResKind::Hbm);
+        device.max(sum(ResKind::Pcie)).max(sum(ResKind::NvLink))
+    }
+
+    /// Waits (idle) until absolute time `t`; no-op if `t` is in the past.
+    #[inline]
+    pub fn wait_until(&mut self, t: f64) {
+        if t > self.now {
+            self.now = t;
+        }
+    }
+
+    /// Idles for `dt` seconds (stall: does not count as busy).
+    #[inline]
+    pub fn idle(&mut self, dt: f64) {
+        debug_assert!(dt >= 0.0);
+        self.now += dt;
+    }
+
+    /// Utilization over the clock's lifetime (busy / now); 0 if unused.
+    pub fn utilization(&self) -> f64 {
+        if self.now <= 0.0 {
+            0.0
+        } else {
+            self.busy / self.now
+        }
+    }
+
+    /// Occupancy-weighted device-useful seconds — the analogue of the SM
+    /// utilization a profiler reports (the paper's Fig. 6 metric). Each
+    /// class of kernel occupies a characteristic fraction of the device:
+    /// GEMM nearly fills it, gathers and UVA streams use part of it, and
+    /// launch-overhead-bound "light" kernels and communication kernels
+    /// barely touch it (§5: "the communication kernels of the sampler
+    /// only need a small number of threads").
+    pub fn device_useful(&self) -> f64 {
+        const GEMM_OCC: f64 = 0.90;
+        const HBM_OCC: f64 = 0.50;
+        const PCIE_OCC: f64 = 0.55;
+        const NVLINK_OCC: f64 = 0.12;
+        const LIGHT_OCC: f64 = 0.20;
+        GEMM_OCC * self.resource_busy(ResKind::Gemm)
+            + HBM_OCC * self.resource_busy(ResKind::Hbm)
+            + PCIE_OCC * self.resource_busy(ResKind::Pcie)
+            + NVLINK_OCC * self.resource_busy(ResKind::NvLink)
+            + LIGHT_OCC * self.resource_busy(ResKind::Light)
+    }
+
+    /// Merges another worker's clock for aggregate reporting: elapsed is
+    /// the max, busy adds up (workers on the same device overlap).
+    pub fn merge_parallel(&mut self, other: &Clock) {
+        self.now = self.now.max(other.now);
+        self.busy += other.busy;
+        for (a, b) in self.res.iter_mut().zip(other.res.iter()) {
+            *a += b;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn work_and_idle_accumulate() {
+        let mut c = Clock::new();
+        c.work(2.0);
+        c.idle(1.0);
+        c.work(1.0);
+        assert_eq!(c.now(), 4.0);
+        assert_eq!(c.busy(), 3.0);
+        assert!((c.utilization() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wait_until_never_rewinds() {
+        let mut c = Clock::new();
+        c.work(5.0);
+        c.wait_until(3.0);
+        assert_eq!(c.now(), 5.0);
+        c.wait_until(7.5);
+        assert_eq!(c.now(), 7.5);
+        assert_eq!(c.busy(), 5.0);
+    }
+
+    #[test]
+    fn merge_parallel_takes_max_elapsed_sum_busy() {
+        let mut a = Clock::new();
+        a.work(2.0);
+        let mut b = Clock::new();
+        b.work(1.0);
+        b.idle(4.0);
+        a.merge_parallel(&b);
+        assert_eq!(a.now(), 5.0);
+        assert_eq!(a.busy(), 3.0);
+    }
+
+    #[test]
+    fn fresh_clock_has_zero_utilization() {
+        assert_eq!(Clock::new().utilization(), 0.0);
+    }
+}

@@ -1,0 +1,236 @@
+//! The assembled simulated machine: devices + host + topology + model.
+
+use crate::memory::MemoryPool;
+use crate::model::MachineModel;
+use crate::topology::{Topology, TRANSFER_LATENCY};
+use crate::traffic::{Link, TrafficMeter};
+use crate::Rank;
+
+/// Static description of the machine to simulate.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSpec {
+    /// Number of GPUs (1..=8 on the DGX-1 topology).
+    pub num_gpus: usize,
+    /// Usable memory per GPU in bytes (after framework reserves).
+    pub gpu_mem_bytes: u64,
+    /// Host memory in bytes.
+    pub host_mem_bytes: u64,
+    /// Cost model.
+    pub model: MachineModel,
+}
+
+/// Real V100-SXM2 memory per GPU.
+pub const V100_MEM: u64 = 16 * (1 << 30);
+/// Host memory of the paper's p3.16xlarge (480 GB).
+pub const HOST_MEM: u64 = 480 * (1 << 30);
+
+impl ClusterSpec {
+    /// Spec for `num_gpus` V100s at full capacity.
+    pub fn v100(num_gpus: usize) -> Self {
+        ClusterSpec {
+            num_gpus,
+            gpu_mem_bytes: V100_MEM,
+            host_mem_bytes: HOST_MEM,
+            model: MachineModel::default(),
+        }
+    }
+
+    /// Spec with memory capacities divided by a dataset's down-scale
+    /// factor, preserving cache pressure for the scaled datasets (see
+    /// DESIGN.md §5).
+    pub fn v100_scaled(num_gpus: usize, scale: f64) -> Self {
+        assert!(scale >= 1.0);
+        ClusterSpec {
+            num_gpus,
+            gpu_mem_bytes: (V100_MEM as f64 / scale) as u64,
+            host_mem_bytes: (HOST_MEM as f64 / scale) as u64,
+            model: MachineModel::default(),
+        }
+    }
+
+    /// Builds the runtime cluster.
+    pub fn build(self) -> Cluster {
+        Cluster::new(self)
+    }
+}
+
+/// Per-device mutable state.
+#[derive(Debug)]
+pub struct DeviceState {
+    /// Capacity-checked device memory.
+    pub mem: MemoryPool,
+    /// Traffic counters for transfers initiated by this device.
+    pub meter: TrafficMeter,
+}
+
+/// The simulated machine.
+#[derive(Debug)]
+pub struct Cluster {
+    spec: ClusterSpec,
+    topology: Topology,
+    devices: Vec<DeviceState>,
+    host_mem: MemoryPool,
+}
+
+impl Cluster {
+    /// Builds a cluster from a spec.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let topology = Topology::dgx1(spec.num_gpus);
+        let devices = (0..spec.num_gpus)
+            .map(|_| DeviceState { mem: MemoryPool::new(spec.gpu_mem_bytes), meter: TrafficMeter::new() })
+            .collect();
+        Cluster { spec, topology, devices, host_mem: MemoryPool::new(spec.host_mem_bytes) }
+    }
+
+    /// The spec this cluster was built from.
+    pub fn spec(&self) -> &ClusterSpec {
+        &self.spec
+    }
+
+    /// Number of GPUs.
+    pub fn num_gpus(&self) -> usize {
+        self.spec.num_gpus
+    }
+
+    /// The interconnect topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The cost model.
+    pub fn model(&self) -> &MachineModel {
+        &self.spec.model
+    }
+
+    /// Device state of rank `r`.
+    pub fn device(&self, r: Rank) -> &DeviceState {
+        &self.devices[r]
+    }
+
+    /// Host memory pool.
+    pub fn host_mem(&self) -> &MemoryPool {
+        &self.host_mem
+    }
+
+    /// Time for a point-to-point GPU↔GPU copy of `bytes` (seconds) and
+    /// traffic metering on the sender. Relayed pairs pay per-hop traffic.
+    pub fn nvlink_transfer(&self, from: Rank, to: Rank, bytes: u64) -> f64 {
+        if from == to || bytes == 0 {
+            return 0.0;
+        }
+        let hops = self.topology.nvlink_hops(from, to) as u64;
+        self.devices[from].meter.record(Link::NvLink, bytes * hops);
+        TRANSFER_LATENCY * hops as f64 + bytes as f64 / self.topology.nvlink_bw(from, to)
+    }
+
+    /// Time for a UVA read of `payload_bytes` useful bytes from host
+    /// memory by rank `r`, including PCIe TLP amplification, plus
+    /// metering. `requests` is the number of discrete random accesses.
+    pub fn uva_read(&self, r: Rank, requests: u64, payload_per_request: u64) -> f64 {
+        if requests == 0 {
+            return 0.0;
+        }
+        let wire = crate::model::uva_wire_bytes(payload_per_request) * requests;
+        let payload = payload_per_request * requests;
+        let m = &self.devices[r].meter;
+        m.record_uva_batch(requests, wire);
+        m.record(Link::HostDram, payload);
+        // Small random reads are latency-bound: with 4–32 B payloads a
+        // UVA kernel cannot keep enough transactions in flight to
+        // saturate PCIe (EMOGI's measurements), while ≥256 B rows come
+        // close. This is why spilled-topology sampling hurts more per
+        // byte than cold-feature fetching (the Fig. 10 trade-off).
+        let efficiency = (payload_per_request as f64 / 256.0).clamp(0.35, 1.0);
+        TRANSFER_LATENCY + wire as f64 / (self.topology.pcie_bw(r) * efficiency)
+    }
+
+    /// Time for a plain (DMA, non-UVA) host→device copy of `bytes` by
+    /// rank `r` — large sequential copies don't suffer TLP amplification.
+    pub fn pcie_copy(&self, r: Rank, bytes: u64) -> f64 {
+        if bytes == 0 {
+            return 0.0;
+        }
+        self.devices[r].meter.record(Link::Pcie, bytes);
+        TRANSFER_LATENCY + bytes as f64 / self.topology.pcie_bw(r)
+    }
+
+    /// Aggregate traffic snapshot over all devices: (nvlink, pcie,
+    /// host_dram) bytes.
+    pub fn traffic_totals(&self) -> (u64, u64, u64) {
+        let mut t = (0u64, 0u64, 0u64);
+        for d in &self.devices {
+            let (a, b, c) = d.meter.snapshot();
+            t.0 += a;
+            t.1 += b;
+            t.2 += c;
+        }
+        t
+    }
+
+    /// Resets all traffic meters.
+    pub fn reset_traffic(&self) {
+        for d in &self.devices {
+            d.meter.reset();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scaled_spec_divides_memory() {
+        let s = ClusterSpec::v100_scaled(8, 50.0);
+        assert_eq!(s.gpu_mem_bytes, (V100_MEM as f64 / 50.0) as u64);
+        let c = s.build();
+        assert_eq!(c.num_gpus(), 8);
+        assert_eq!(c.device(0).mem.capacity(), s.gpu_mem_bytes);
+    }
+
+    #[test]
+    fn nvlink_transfer_meters_hops() {
+        let c = ClusterSpec::v100(8).build();
+        // Direct pair (0,1): 1 hop.
+        let t = c.nvlink_transfer(0, 1, 1_000_000);
+        assert!(t > 0.0);
+        assert_eq!(c.device(0).meter.nvlink_bytes(), 1_000_000);
+        // Relayed pair (0,5): 2 hops → double the metered bytes.
+        c.reset_traffic();
+        c.nvlink_transfer(0, 5, 1_000_000);
+        assert_eq!(c.device(0).meter.nvlink_bytes(), 2_000_000);
+    }
+
+    #[test]
+    fn self_transfer_is_free() {
+        let c = ClusterSpec::v100(4).build();
+        assert_eq!(c.nvlink_transfer(2, 2, 123), 0.0);
+        assert_eq!(c.device(2).meter.nvlink_bytes(), 0);
+    }
+
+    #[test]
+    fn uva_read_applies_amplification() {
+        let c = ClusterSpec::v100(1).build();
+        // 1000 requests of 4 bytes each: 50 wire bytes per request.
+        let t = c.uva_read(0, 1000, 4);
+        assert!(t > 0.0);
+        assert_eq!(c.device(0).meter.pcie_bytes(), 50_000);
+        assert_eq!(c.device(0).meter.host_dram_bytes(), 4_000);
+        assert_eq!(c.device(0).meter.uva_requests(), 1000);
+    }
+
+    #[test]
+    fn direct_pair_faster_than_relayed() {
+        let c = ClusterSpec::v100(8).build();
+        let direct = c.nvlink_transfer(0, 4, 10_000_000);
+        let relayed = c.nvlink_transfer(0, 5, 10_000_000);
+        assert!(relayed > direct, "relayed {relayed} vs direct {direct}");
+    }
+
+    #[test]
+    fn pcie_copy_has_no_amplification() {
+        let c = ClusterSpec::v100(1).build();
+        c.pcie_copy(0, 4096);
+        assert_eq!(c.device(0).meter.pcie_bytes(), 4096);
+    }
+}

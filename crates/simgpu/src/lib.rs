@@ -1,0 +1,39 @@
+//! # ds-simgpu
+//!
+//! A simulated multi-GPU machine standing in for the paper's 8×V100
+//! DGX-1-class server. The simulation is *functional + analytic*:
+//!
+//! * **Functional**: every "GPU" is backed by real memory and real
+//!   computation executed by a real OS thread (one per device, spawned by
+//!   the layers above). Sampling, gathering and GEMM produce actual
+//!   results; collectives move actual bytes between device threads.
+//! * **Analytic**: elapsed time is *modelled*, not measured. Each worker
+//!   carries a [`clock::Clock`] (virtual seconds); every kernel and
+//!   transfer advances it according to the calibrated laws in [`model`]
+//!   and the link bandwidths in [`topology`]. Inter-thread interactions
+//!   (collectives, queue hand-offs) synchronize clocks, so the virtual
+//!   timeline is causally consistent — exactly the discipline of a
+//!   conservative parallel discrete-event simulation.
+//!
+//! This split lets the reproduction make the paper's *arguments* for
+//! real: communication volumes are measured from the bytes actually
+//! moved ([`traffic::TrafficMeter`]), read amplification falls out of the
+//! PCIe transaction arithmetic ([`model::uva_wire_bytes`]), and kernel
+//! granularity effects come from the occupancy law ([`model::KernelModel`]).
+
+pub mod clock;
+pub mod cluster;
+pub mod memory;
+pub mod model;
+pub mod topology;
+pub mod traffic;
+
+pub use clock::Clock;
+pub use cluster::{Cluster, ClusterSpec, DeviceState};
+pub use memory::MemoryPool;
+pub use model::{CpuModel, KernelModel, MachineModel};
+pub use topology::Topology;
+pub use traffic::{Link, TrafficMeter};
+
+/// Device (GPU) rank within the cluster.
+pub type Rank = usize;

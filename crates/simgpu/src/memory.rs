@@ -1,0 +1,111 @@
+//! Device memory accounting.
+//!
+//! Each simulated GPU has a byte-capacity pool. Layout decisions (how
+//! much topology vs feature cache fits, Fig. 10) are made against these
+//! pools, and exceeding capacity is a hard error — exactly the constraint
+//! that forces the paper's hot/cold feature split.
+
+use parking_lot::Mutex;
+
+/// A capacity-checked memory pool (bytes).
+#[derive(Debug)]
+pub struct MemoryPool {
+    capacity: u64,
+    used: Mutex<u64>,
+}
+
+/// Error returned when an allocation exceeds capacity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct OutOfMemory {
+    /// Bytes requested.
+    pub requested: u64,
+    /// Bytes free at the time of the request.
+    pub available: u64,
+}
+
+impl std::fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "out of device memory: requested {} B, {} B available", self.requested, self.available)
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+impl MemoryPool {
+    /// A pool with `capacity` bytes.
+    pub fn new(capacity: u64) -> Self {
+        MemoryPool { capacity, used: Mutex::new(0) }
+    }
+
+    /// Total capacity.
+    #[inline]
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        *self.used.lock()
+    }
+
+    /// Bytes currently free.
+    pub fn available(&self) -> u64 {
+        self.capacity - self.used()
+    }
+
+    /// Reserves `bytes`; fails if they don't fit.
+    pub fn alloc(&self, bytes: u64) -> Result<(), OutOfMemory> {
+        let mut used = self.used.lock();
+        let available = self.capacity - *used;
+        if bytes > available {
+            return Err(OutOfMemory { requested: bytes, available });
+        }
+        *used += bytes;
+        Ok(())
+    }
+
+    /// Releases `bytes`.
+    ///
+    /// # Panics
+    /// Panics if more is freed than was allocated (accounting bug).
+    pub fn free(&self, bytes: u64) {
+        let mut used = self.used.lock();
+        assert!(*used >= bytes, "freeing {bytes} B but only {} B allocated", *used);
+        *used -= bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_round_trip() {
+        let p = MemoryPool::new(1000);
+        assert_eq!(p.available(), 1000);
+        p.alloc(400).unwrap();
+        assert_eq!(p.used(), 400);
+        assert_eq!(p.available(), 600);
+        p.free(400);
+        assert_eq!(p.used(), 0);
+    }
+
+    #[test]
+    fn alloc_fails_when_full() {
+        let p = MemoryPool::new(100);
+        p.alloc(80).unwrap();
+        let err = p.alloc(30).unwrap_err();
+        assert_eq!(err.requested, 30);
+        assert_eq!(err.available, 20);
+        // The failed alloc must not consume anything.
+        assert_eq!(p.used(), 80);
+    }
+
+    #[test]
+    #[should_panic(expected = "freeing")]
+    fn over_free_panics() {
+        let p = MemoryPool::new(100);
+        p.alloc(10).unwrap();
+        p.free(20);
+    }
+}

@@ -1,0 +1,207 @@
+//! Interconnect topology of the simulated machine.
+//!
+//! Models a DGX-1V-style hybrid cube-mesh: 8 GPUs, 6 NVLink2 links per
+//! GPU at 25 GB/s per direction, and 4 PCIe switches each shared by a
+//! pair of GPUs (32 GB/s aggregate per switch). The per-GPU-count
+//! aggregate bandwidths reproduce Table 1 of the paper exactly.
+//!
+//! Link placement (each entry is a GPU pair and its link count):
+//! within each quad {0,1,2,3} / {4,5,6,7}: (a,b)×2 for the two "close"
+//! pairs and ×1 for the rest; mirrors (i, i+4) get 2 links. Every GPU
+//! ends up with exactly 6 links. Cross-quad non-mirror pairs (e.g. 0↔5)
+//! have no direct link and are routed via one relay hop — the "multi-hop
+//! forwarding" the paper exploits for remote cache reads.
+
+use crate::Rank;
+
+/// Per-direction bandwidth of one NVLink2 link, bytes/second.
+pub const NVLINK_LINK_BW: f64 = 25.0e9;
+/// Aggregate PCIe bandwidth of one switch (both directions summed), B/s.
+pub const PCIE_SWITCH_BW: f64 = 32.0e9;
+/// Per-direction PCIe bandwidth available to a single GPU with no
+/// contention on its switch, B/s.
+pub const PCIE_GPU_BW: f64 = 16.0e9;
+/// Base latency of a cross-device transfer (kernel handshake), seconds.
+pub const TRANSFER_LATENCY: f64 = 10.0e-6;
+
+/// The machine's interconnect topology.
+#[derive(Clone, Debug)]
+pub struct Topology {
+    n: usize,
+    /// `links[a][b]` = number of direct NVLink links between GPUs a and b.
+    links: Vec<Vec<u32>>,
+}
+
+impl Topology {
+    /// Builds the DGX-1-style topology for `n` GPUs (1 ≤ n ≤ 8). GPUs are
+    /// the first `n` of the 8-GPU machine, matching how the paper scales
+    /// down GPU counts on a fixed server.
+    pub fn dgx1(n: usize) -> Self {
+        assert!((1..=8).contains(&n), "DGX-1 has 1..=8 GPUs, got {n}");
+        let mut links = vec![vec![0u32; 8]; 8];
+        let mut add = |a: usize, b: usize, c: u32| {
+            links[a][b] += c;
+            links[b][a] += c;
+        };
+        for base in [0, 4] {
+            // Quad-internal: two double links + four single links = 8.
+            add(base, base + 1, 2);
+            add(base + 2, base + 3, 2);
+            add(base, base + 2, 1);
+            add(base, base + 3, 1);
+            add(base + 1, base + 2, 1);
+            add(base + 1, base + 3, 1);
+        }
+        for i in 0..4 {
+            // Mirror links across the quads.
+            add(i, i + 4, 2);
+        }
+        let links = links.into_iter().take(8).map(|row| row.into_iter().take(8).collect()).collect();
+        Topology { n, links }
+    }
+
+    /// Number of GPUs in use.
+    #[inline]
+    pub fn num_gpus(&self) -> usize {
+        self.n
+    }
+
+    /// Direct NVLink link count between two (in-use) GPUs.
+    #[inline]
+    pub fn nvlink_links(&self, a: Rank, b: Rank) -> u32 {
+        debug_assert!(a < self.n && b < self.n);
+        if a == b {
+            0
+        } else {
+            self.links[a][b]
+        }
+    }
+
+    /// Per-direction NVLink bandwidth between `a` and `b`. Direct pairs
+    /// get `links × 25 GB/s`; pairs without a direct link are relayed
+    /// through one intermediate GPU at single-link bandwidth (the relay
+    /// serializes one hop after the other, halving effective bandwidth).
+    pub fn nvlink_bw(&self, a: Rank, b: Rank) -> f64 {
+        let l = self.nvlink_links(a, b);
+        if l > 0 {
+            l as f64 * NVLINK_LINK_BW
+        } else {
+            NVLINK_LINK_BW / 2.0
+        }
+    }
+
+    /// Number of NVLink hops between `a` and `b` (1 direct, 2 relayed).
+    pub fn nvlink_hops(&self, a: Rank, b: Rank) -> u32 {
+        if a == b {
+            0
+        } else if self.nvlink_links(a, b) > 0 {
+            1
+        } else {
+            2
+        }
+    }
+
+    /// Total per-direction NVLink egress bandwidth of GPU `r` toward the
+    /// other *in-use* GPUs.
+    pub fn nvlink_egress_bw(&self, r: Rank) -> f64 {
+        (0..self.n)
+            .filter(|&b| b != r)
+            .map(|b| self.nvlink_links(r, b) as f64 * NVLINK_LINK_BW)
+            .sum()
+    }
+
+    /// PCIe switch id of GPU `r` (two GPUs per switch on DGX-1).
+    #[inline]
+    pub fn pcie_switch(&self, r: Rank) -> usize {
+        r / 2
+    }
+
+    /// Per-direction PCIe bandwidth available to GPU `r`, given that all
+    /// `n` in-use GPUs are active: GPUs sharing a switch contend for it
+    /// (the paper's explanation for DGL-UVA's poor 1→2 GPU scaling).
+    pub fn pcie_bw(&self, r: Rank) -> f64 {
+        let sharers = (0..self.n).filter(|&b| self.pcie_switch(b) == self.pcie_switch(r)).count();
+        PCIE_GPU_BW / sharers.max(1) as f64
+    }
+
+    /// Aggregate PCIe bandwidth over the in-use GPUs (Table 1 row 1):
+    /// each occupied switch contributes its full 32 GB/s.
+    pub fn aggregate_pcie_bw(&self) -> f64 {
+        let switches: std::collections::HashSet<usize> =
+            (0..self.n).map(|r| self.pcie_switch(r)).collect();
+        switches.len() as f64 * PCIE_SWITCH_BW
+    }
+
+    /// Aggregate NVLink bandwidth among the in-use GPUs (Table 1 row 2):
+    /// every link counts both directions.
+    pub fn aggregate_nvlink_bw(&self) -> f64 {
+        let mut total = 0.0;
+        for a in 0..self.n {
+            for b in (a + 1)..self.n {
+                total += self.links[a][b] as f64 * 2.0 * NVLINK_LINK_BW;
+            }
+        }
+        total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_gpu_has_six_links() {
+        let t = Topology::dgx1(8);
+        for a in 0..8 {
+            let total: u32 = (0..8).map(|b| t.nvlink_links(a, b)).sum();
+            assert_eq!(total, 6, "GPU {a}");
+        }
+    }
+
+    #[test]
+    fn reproduces_table1_aggregates() {
+        // Paper Table 1 (GBps): PCIe 32/32/64/128, NVLink 0/100/400/1200.
+        let gb = 1.0e9;
+        for (n, pcie, nvlink) in [(1, 32.0, 0.0), (2, 32.0, 100.0), (4, 64.0, 400.0), (8, 128.0, 1200.0)] {
+            let t = Topology::dgx1(n);
+            assert_eq!(t.aggregate_pcie_bw() / gb, pcie, "PCIe at {n} GPUs");
+            assert_eq!(t.aggregate_nvlink_bw() / gb, nvlink, "NVLink at {n} GPUs");
+        }
+    }
+
+    #[test]
+    fn mirror_pairs_are_direct_cross_quad() {
+        let t = Topology::dgx1(8);
+        for i in 0..4 {
+            assert_eq!(t.nvlink_links(i, i + 4), 2);
+            assert_eq!(t.nvlink_hops(i, i + 4), 1);
+        }
+        // Non-mirror cross-quad pairs are relayed.
+        assert_eq!(t.nvlink_links(0, 5), 0);
+        assert_eq!(t.nvlink_hops(0, 5), 2);
+        assert!(t.nvlink_bw(0, 5) < t.nvlink_bw(0, 4));
+    }
+
+    #[test]
+    fn pcie_contention_halves_bandwidth() {
+        let t1 = Topology::dgx1(1);
+        let t2 = Topology::dgx1(2);
+        assert_eq!(t1.pcie_bw(0), PCIE_GPU_BW);
+        assert_eq!(t2.pcie_bw(0), PCIE_GPU_BW / 2.0);
+        // GPUs 0 and 2 are on different switches: no contention at n=4
+        // beyond their own pair partner.
+        let t4 = Topology::dgx1(4);
+        assert_eq!(t4.pcie_bw(0), PCIE_GPU_BW / 2.0);
+        assert_eq!(t4.pcie_switch(0), t4.pcie_switch(1));
+        assert_ne!(t4.pcie_switch(1), t4.pcie_switch(2));
+    }
+
+    #[test]
+    fn egress_bandwidth_counts_in_use_links_only() {
+        let t8 = Topology::dgx1(8);
+        assert_eq!(t8.nvlink_egress_bw(0), 6.0 * NVLINK_LINK_BW);
+        let t2 = Topology::dgx1(2);
+        // With 2 GPUs only the (0,1) double link is usable.
+        assert_eq!(t2.nvlink_egress_bw(0), 2.0 * NVLINK_LINK_BW);
+    }
+}

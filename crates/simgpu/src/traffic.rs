@@ -1,0 +1,156 @@
+//! Communication-volume metering.
+//!
+//! Fig. 1 of the paper compares the *bytes on the wire* of different
+//! sampling designs. We reproduce it by metering every transfer the
+//! functional simulation performs: NVLink hops, PCIe payloads (with TLP
+//! amplification applied at the call site via
+//! [`crate::model::uva_wire_bytes`]) and host-DRAM traffic. Counters are
+//! atomics so device threads record without locking.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Which physical link a transfer used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Link {
+    /// GPU↔GPU over NVLink (bytes counted once per hop).
+    NvLink,
+    /// GPU↔host over PCIe, wire bytes (amplification included by caller).
+    Pcie,
+    /// Host DRAM reads performed by CPU samplers.
+    HostDram,
+}
+
+/// Aggregate traffic counters for one device (or one system run).
+#[derive(Debug, Default)]
+pub struct TrafficMeter {
+    nvlink: AtomicU64,
+    pcie: AtomicU64,
+    host_dram: AtomicU64,
+    /// Number of discrete UVA requests (for request-rate statistics).
+    uva_requests: AtomicU64,
+}
+
+impl TrafficMeter {
+    /// A zeroed meter.
+    pub fn new() -> Self {
+        TrafficMeter::default()
+    }
+
+    /// Records `bytes` moved over `link`.
+    #[inline]
+    pub fn record(&self, link: Link, bytes: u64) {
+        match link {
+            Link::NvLink => self.nvlink.fetch_add(bytes, Ordering::Relaxed),
+            Link::Pcie => self.pcie.fetch_add(bytes, Ordering::Relaxed),
+            Link::HostDram => self.host_dram.fetch_add(bytes, Ordering::Relaxed),
+        };
+    }
+
+    /// Records one UVA request of `wire_bytes`.
+    #[inline]
+    pub fn record_uva(&self, wire_bytes: u64) {
+        self.record_uva_batch(1, wire_bytes);
+    }
+
+    /// Records a batch of `requests` UVA requests totalling `wire_bytes`.
+    #[inline]
+    pub fn record_uva_batch(&self, requests: u64, wire_bytes: u64) {
+        self.uva_requests.fetch_add(requests, Ordering::Relaxed);
+        self.record(Link::Pcie, wire_bytes);
+    }
+
+    /// NVLink bytes so far.
+    pub fn nvlink_bytes(&self) -> u64 {
+        self.nvlink.load(Ordering::Relaxed)
+    }
+
+    /// PCIe wire bytes so far.
+    pub fn pcie_bytes(&self) -> u64 {
+        self.pcie.load(Ordering::Relaxed)
+    }
+
+    /// Host DRAM bytes so far.
+    pub fn host_dram_bytes(&self) -> u64 {
+        self.host_dram.load(Ordering::Relaxed)
+    }
+
+    /// UVA request count so far.
+    pub fn uva_requests(&self) -> u64 {
+        self.uva_requests.load(Ordering::Relaxed)
+    }
+
+    /// Total bytes over GPU-external links (NVLink + PCIe).
+    pub fn total_bytes(&self) -> u64 {
+        self.nvlink_bytes() + self.pcie_bytes()
+    }
+
+    /// Resets all counters.
+    pub fn reset(&self) {
+        self.nvlink.store(0, Ordering::Relaxed);
+        self.pcie.store(0, Ordering::Relaxed);
+        self.host_dram.store(0, Ordering::Relaxed);
+        self.uva_requests.store(0, Ordering::Relaxed);
+    }
+
+    /// Snapshot of (nvlink, pcie, host_dram) bytes.
+    pub fn snapshot(&self) -> (u64, u64, u64) {
+        (self.nvlink_bytes(), self.pcie_bytes(), self.host_dram_bytes())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_accumulate_per_link() {
+        let m = TrafficMeter::new();
+        m.record(Link::NvLink, 100);
+        m.record(Link::NvLink, 50);
+        m.record(Link::Pcie, 25);
+        m.record(Link::HostDram, 7);
+        assert_eq!(m.nvlink_bytes(), 150);
+        assert_eq!(m.pcie_bytes(), 25);
+        assert_eq!(m.host_dram_bytes(), 7);
+        assert_eq!(m.total_bytes(), 175);
+    }
+
+    #[test]
+    fn uva_counts_requests_and_wire_bytes() {
+        let m = TrafficMeter::new();
+        m.record_uva(50);
+        m.record_uva(800);
+        assert_eq!(m.uva_requests(), 2);
+        assert_eq!(m.pcie_bytes(), 850);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let m = TrafficMeter::new();
+        m.record(Link::NvLink, 10);
+        m.record_uva(50);
+        m.reset();
+        assert_eq!(m.snapshot(), (0, 0, 0));
+        assert_eq!(m.uva_requests(), 0);
+    }
+
+    #[test]
+    fn concurrent_recording_is_lossless() {
+        use std::sync::Arc;
+        let m = Arc::new(TrafficMeter::new());
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let m = Arc::clone(&m);
+                std::thread::spawn(move || {
+                    for _ in 0..10_000 {
+                        m.record(Link::NvLink, 3);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(m.nvlink_bytes(), 8 * 10_000 * 3);
+    }
+}

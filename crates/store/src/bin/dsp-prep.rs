@@ -1,0 +1,51 @@
+//! `dsp-prep` — the artifact's `partition.sh` analogue:
+//!
+//! ```sh
+//! dsp-prep <dataset> <parts> <output.bin> [--scale-down N]
+//! ```
+//!
+//! builds the named synthetic dataset (`products`, `papers`,
+//! `friendster`, or `tiny:<nodes>`), partitions it into `<parts>`
+//! patches with the multilevel partitioner, renumbers, and stores the
+//! layout for fast loading by training runs and benchmarks.
+
+use ds_graph::DatasetSpec;
+
+fn usage() -> ! {
+    eprintln!("usage: dsp-prep <products|papers|friendster|tiny:N> <parts> <output.bin> [--scale-down N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() < 3 {
+        usage();
+    }
+    let mut scale_down = 1usize;
+    if let Some(pos) = args.iter().position(|a| a == "--scale-down") {
+        scale_down = args.get(pos + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+    }
+    let spec = match args[0].as_str() {
+        "products" => DatasetSpec::products_s(),
+        "papers" => DatasetSpec::papers_s(),
+        "friendster" => DatasetSpec::friendster_s(),
+        other => match other.strip_prefix("tiny:").and_then(|n| n.parse::<usize>().ok()) {
+            Some(n) => DatasetSpec::tiny(n),
+            None => usage(),
+        },
+    }
+    .scaled_down(scale_down);
+    let parts: usize = args[1].parse().unwrap_or_else(|_| usage());
+    let out = &args[2];
+
+    eprintln!("building {} ({} nodes)...", spec.name, spec.num_nodes);
+    let dataset = spec.build();
+    eprintln!(
+        "partitioning into {parts} patches ({} nodes, {} edges)...",
+        dataset.graph.num_nodes(),
+        dataset.graph.num_edges()
+    );
+    ds_store::partition_and_save(out, &dataset, parts).expect("failed to write layout");
+    let meta = std::fs::metadata(out).expect("stat output");
+    eprintln!("wrote {out} ({:.1} MB)", meta.len() as f64 / 1e6);
+}

@@ -1,0 +1,256 @@
+//! # ds-store
+//!
+//! On-disk persistence for datasets and partitioned layouts — the
+//! artifact's data-preparation workflow (`partition.sh` /
+//! `preprocess.sh` in Appendix A): build or download a graph once,
+//! partition it for a GPU count, store the result, and let every
+//! subsequent run load it instead of re-partitioning.
+//!
+//! Format: bincode-encoded (`serde`) with a small versioned header.
+//! The `dsp-prep` binary drives the same flow from the command line.
+
+use ds_graph::{Csr, Dataset, DatasetSpec, Features, Labels, NodeId, SyntheticKind};
+use ds_partition::{MultilevelPartitioner, Partition, Partitioner, Renumbering};
+use serde::{Deserialize, Serialize};
+use std::io::{Read, Write};
+use std::path::Path;
+
+/// Format magic + version (bumped on breaking changes).
+const MAGIC: &[u8; 8] = b"DSPSTOR2";
+
+/// Errors from the store.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// Encode/decode failure.
+    Codec(String),
+    /// Bad magic/version header.
+    Format(String),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "io error: {e}"),
+            StoreError::Codec(e) => write!(f, "codec error: {e}"),
+            StoreError::Format(e) => write!(f, "format error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+/// A dataset as stored on disk (spec metadata flattened so the format
+/// is self-contained and independent of built-in spec constants).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoredDataset {
+    /// Dataset name.
+    pub name: String,
+    /// Down-scale factor vs the real dataset (drives memory scaling).
+    pub scale: f64,
+    /// Topology.
+    pub graph: Csr,
+    /// Node features.
+    pub features: Features,
+    /// Labels.
+    pub labels: Labels,
+    /// Train/val/test node ids.
+    pub train: Vec<NodeId>,
+    /// Validation nodes.
+    pub val: Vec<NodeId>,
+    /// Test nodes.
+    pub test: Vec<NodeId>,
+}
+
+impl StoredDataset {
+    /// Captures a built dataset.
+    pub fn from_dataset(d: &Dataset) -> Self {
+        StoredDataset {
+            name: d.spec.name.to_string(),
+            scale: d.spec.scale,
+            graph: d.graph.clone(),
+            features: d.features.clone(),
+            labels: d.labels.clone(),
+            train: d.train.clone(),
+            val: d.val.clone(),
+            test: d.test.clone(),
+        }
+    }
+
+    /// Reconstructs a [`Dataset`] (the spec is a best-effort synthetic
+    /// descriptor — generator parameters are irrelevant once the graph
+    /// is materialized).
+    pub fn into_dataset(self) -> Dataset {
+        let spec = DatasetSpec {
+            name: "stored",
+            num_nodes: self.graph.num_nodes(),
+            avg_degree: self.graph.num_edges() as f64 / self.graph.num_nodes().max(1) as f64,
+            feat_dim: self.features.dim(),
+            num_classes: self.labels.num_classes(),
+            scale: self.scale,
+            kind: SyntheticKind::Rmat,
+            train_frac: self.train.len() as f64 / self.graph.num_nodes().max(1) as f64,
+            seed: 0,
+        };
+        Dataset {
+            spec,
+            graph: self.graph,
+            features: self.features,
+            labels: self.labels,
+            train: self.train,
+            val: self.val,
+            test: self.test,
+        }
+    }
+}
+
+/// A partitioned layout as stored on disk: the renumbered dataset plus
+/// the contiguous-range assignment (everything a DSP run needs; the
+/// per-GPU patches are re-extracted cheaply at load).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct StoredLayout {
+    /// Renumbered dataset.
+    pub dataset: StoredDataset,
+    /// Number of parts.
+    pub num_parts: usize,
+    /// Per-node part assignment (in renumbered id space — contiguous
+    /// ranges by construction).
+    pub assignment: Vec<u32>,
+}
+
+fn write_versioned(path: &Path, payload: Vec<u8>) -> Result<(), StoreError> {
+    let mut f = std::fs::File::create(path)?;
+    f.write_all(MAGIC)?;
+    f.write_all(&payload)?;
+    Ok(())
+}
+
+fn read_versioned(path: &Path) -> Result<Vec<u8>, StoreError> {
+    let mut f = std::fs::File::open(path)?;
+    let mut magic = [0u8; 8];
+    f.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(StoreError::Format(format!(
+            "bad header in {}: expected {:?}",
+            path.display(),
+            std::str::from_utf8(MAGIC).unwrap()
+        )));
+    }
+    let mut rest = Vec::new();
+    f.read_to_end(&mut rest)?;
+    Ok(rest)
+}
+
+fn encode<T: Serialize>(value: &T) -> Result<Vec<u8>, StoreError> {
+    bincode::serde::encode_to_vec(value, bincode::config::standard())
+        .map_err(|e| StoreError::Codec(e.to_string()))
+}
+
+fn decode<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T, StoreError> {
+    bincode::serde::decode_from_slice(bytes, bincode::config::standard())
+        .map(|(v, _)| v)
+        .map_err(|e| StoreError::Codec(e.to_string()))
+}
+
+/// Saves a dataset.
+pub fn save_dataset(path: impl AsRef<Path>, d: &Dataset) -> Result<(), StoreError> {
+    write_versioned(path.as_ref(), encode(&StoredDataset::from_dataset(d))?)
+}
+
+/// Loads a dataset.
+pub fn load_dataset(path: impl AsRef<Path>) -> Result<Dataset, StoreError> {
+    let bytes = read_versioned(path.as_ref())?;
+    Ok(decode::<StoredDataset>(&bytes)?.into_dataset())
+}
+
+/// Partitions a dataset for `parts` GPUs (multilevel + renumbering) and
+/// saves the renumbered layout — `partition.sh`'s job.
+pub fn partition_and_save(
+    path: impl AsRef<Path>,
+    d: &Dataset,
+    parts: usize,
+) -> Result<(), StoreError> {
+    let partition = MultilevelPartitioner::default().partition(&d.graph, parts);
+    let renum = Renumbering::from_partition(&partition);
+    let stored = StoredLayout {
+        dataset: StoredDataset {
+            name: d.spec.name.to_string(),
+            scale: d.spec.scale,
+            graph: renum.apply_graph(&d.graph),
+            features: renum.apply_features(&d.features),
+            labels: renum.apply_labels(&d.labels),
+            train: renum.apply_nodes(&d.train),
+            val: renum.apply_nodes(&d.val),
+            test: renum.apply_nodes(&d.test),
+        },
+        num_parts: parts,
+        assignment: renum.partition().assignment().to_vec(),
+    };
+    write_versioned(path.as_ref(), encode(&stored)?)
+}
+
+/// Loads a partitioned layout: (renumbered dataset, partition).
+pub fn load_layout(path: impl AsRef<Path>) -> Result<(Dataset, Partition), StoreError> {
+    let bytes = read_versioned(path.as_ref())?;
+    let stored: StoredLayout = decode(&bytes)?;
+    let partition = Partition::from_assignment(stored.num_parts, stored.assignment.clone());
+    Ok((stored.dataset.into_dataset(), partition))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_partition::quality;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ds-store-test-{}-{name}", std::process::id()))
+    }
+
+    #[test]
+    fn dataset_round_trips() {
+        let d = DatasetSpec::tiny(1200).build();
+        let p = tmp("dataset.bin");
+        save_dataset(&p, &d).unwrap();
+        let loaded = load_dataset(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(loaded.graph.num_nodes(), d.graph.num_nodes());
+        assert_eq!(loaded.graph.indices(), d.graph.indices());
+        assert_eq!(loaded.features.row(7), d.features.row(7));
+        assert_eq!(loaded.labels.get(11), d.labels.get(11));
+        assert_eq!(loaded.train, d.train);
+        assert!((loaded.spec.scale - d.spec.scale).abs() < 1e-12);
+    }
+
+    #[test]
+    fn layout_round_trips_with_contiguous_ranges() {
+        let d = DatasetSpec::tiny(1500).build();
+        let p = tmp("layout.bin");
+        partition_and_save(&p, &d, 4).unwrap();
+        let (renumbered, partition) = load_layout(&p).unwrap();
+        std::fs::remove_file(&p).ok();
+        assert_eq!(partition.num_parts(), 4);
+        assert_eq!(renumbered.graph.num_edges(), d.graph.num_edges());
+        // Renumbered assignment is contiguous (non-decreasing).
+        let a = partition.assignment();
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+        // Locality survived the round trip.
+        let cut = quality::edge_cut_fraction(&renumbered.graph, &partition);
+        assert!(cut < 0.7, "cut {cut}");
+    }
+
+    #[test]
+    fn bad_header_is_rejected() {
+        let p = tmp("garbage.bin");
+        std::fs::write(&p, b"NOTDSP00payload").unwrap();
+        let err = load_dataset(&p).unwrap_err();
+        std::fs::remove_file(&p).ok();
+        assert!(matches!(err, StoreError::Format(_)), "{err}");
+    }
+}

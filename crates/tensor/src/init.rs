@@ -1,0 +1,43 @@
+//! Parameter initialization.
+
+use crate::matrix::Matrix;
+use rand::prelude::*;
+use rand_chacha::ChaCha8Rng;
+
+/// Glorot/Xavier uniform initialization: `U(-a, a)` with
+/// `a = sqrt(6 / (fan_in + fan_out))`.
+pub fn xavier_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
+    let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Matrix::from_vec(
+        fan_in,
+        fan_out,
+        (0..fan_in * fan_out).map(|_| rng.gen_range(-a..a)).collect(),
+    )
+}
+
+/// Uniform init in `(-a, a)`.
+pub fn uniform(rows: usize, cols: usize, a: f32, seed: u64) -> Matrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn xavier_bounds_hold() {
+        let m = xavier_uniform(64, 32, 1);
+        let a = (6.0f64 / 96.0).sqrt() as f32;
+        assert!(m.data().iter().all(|&x| x.abs() <= a));
+        // Not all zero.
+        assert!(m.norm() > 0.0);
+    }
+
+    #[test]
+    fn init_is_deterministic() {
+        assert_eq!(xavier_uniform(8, 8, 42).data(), xavier_uniform(8, 8, 42).data());
+        assert_ne!(xavier_uniform(8, 8, 1).data(), xavier_uniform(8, 8, 2).data());
+    }
+}

@@ -1,0 +1,20 @@
+//! # ds-tensor
+//!
+//! Minimal dense f32 tensor library backing the GNN trainer: row-major
+//! matrices, rayon-parallel GEMM in the three orientations backprop
+//! needs (`A·B`, `Aᵀ·B`, `A·Bᵀ`), elementwise activations,
+//! softmax-cross-entropy, parameter initialization and optimizers
+//! (SGD, Adam).
+//!
+//! This is the PyTorch substitute of the reproduction: the math is real
+//! (losses decrease, gradient checks pass), while kernel *timing* on the
+//! simulated GPUs is charged by `ds-simgpu`'s model — the split described
+//! in DESIGN.md.
+
+pub mod init;
+pub mod matrix;
+pub mod ops;
+pub mod optim;
+
+pub use matrix::Matrix;
+pub use optim::{Adam, Optimizer, Sgd};

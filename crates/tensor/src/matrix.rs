@@ -1,0 +1,364 @@
+//! Row-major dense f32 matrices with rayon-parallel GEMM.
+
+use rayon::prelude::*;
+
+/// A dense row-major matrix.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl Matrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Wraps a data vector (length must be `rows * cols`).
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "shape mismatch");
+        Matrix { rows, cols, data }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Flat data slice.
+    #[inline]
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable flat data slice.
+    #[inline]
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes into the flat data vector.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Row `i` as a slice.
+    #[inline]
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Mutable row `i`.
+    #[inline]
+    pub fn row_mut(&mut self, i: usize) -> &mut [f32] {
+        &mut self.data[i * self.cols..(i + 1) * self.cols]
+    }
+
+    /// Element at `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f32 {
+        self.data[i * self.cols + j]
+    }
+
+    /// Sets element `(i, j)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f32) {
+        self.data[i * self.cols + j] = v;
+    }
+
+    /// `self · other` — (m×k)·(k×n). Parallel over row blocks; the inner
+    /// i-k-j loop order streams both operands row-major so the compiler
+    /// can vectorize the j loop (the perf-book "avoid bounds checks via
+    /// slices + iterators" idiom).
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.cols);
+        let mut out = Matrix::zeros(m, n);
+        out.data
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (kk, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// `selfᵀ · other` — (k×m)ᵀ·(k×n) = m×n. Used for weight gradients.
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
+        let (k, m, n) = (self.rows, self.cols, other.cols);
+        // Parallelize over output rows (columns of self): each output row
+        // i accumulates self[kk][i] * other[kk][:].
+        let mut out = Matrix::zeros(m, n);
+        out.data
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                for kk in 0..k {
+                    let a = self.data[kk * m + i];
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = &other.data[kk * n..(kk + 1) * n];
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
+                }
+            });
+        out
+    }
+
+    /// `self · otherᵀ` — (m×k)·(n×k)ᵀ = m×n. Used for input gradients.
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
+        let (m, k, n) = (self.rows, self.cols, other.rows);
+        let mut out = Matrix::zeros(m, n);
+        out.data
+            .par_chunks_mut(n)
+            .enumerate()
+            .for_each(|(i, out_row)| {
+                let a_row = &self.data[i * k..(i + 1) * k];
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = &other.data[j * k..(j + 1) * k];
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            });
+        out
+    }
+
+    /// Transposed copy.
+    pub fn transpose(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+            }
+        }
+        out
+    }
+
+    /// Elementwise in-place addition.
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert_eq!((self.rows, self.cols), (other.rows, other.cols));
+        self.data.par_iter_mut().zip(other.data.par_iter()).for_each(|(a, &b)| *a += b);
+    }
+
+    /// In-place scale.
+    pub fn scale(&mut self, s: f32) {
+        self.data.par_iter_mut().for_each(|x| *x *= s);
+    }
+
+    /// Adds a row vector (bias) to every row.
+    pub fn add_bias(&mut self, bias: &[f32]) {
+        assert_eq!(bias.len(), self.cols);
+        self.data.par_chunks_mut(self.cols).for_each(|row| {
+            for (x, &b) in row.iter_mut().zip(bias) {
+                *x += b;
+            }
+        });
+    }
+
+    /// Column-wise sum (the bias gradient of a batch).
+    pub fn col_sum(&self) -> Vec<f32> {
+        let mut out = vec![0.0f32; self.cols];
+        for i in 0..self.rows {
+            for (o, &x) in out.iter_mut().zip(self.row(i)) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Vertical concatenation `[self; other]` (same column count).
+    pub fn vstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols);
+        let mut data = Vec::with_capacity(self.data.len() + other.data.len());
+        data.extend_from_slice(&self.data);
+        data.extend_from_slice(&other.data);
+        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+    }
+
+    /// Horizontal concatenation `[self | other]` (same row count) — the
+    /// self/neighbor concat of GraphSAGE.
+    pub fn hstack(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows);
+        let cols = self.cols + other.cols;
+        let mut out = Matrix::zeros(self.rows, cols);
+        out.data.par_chunks_mut(cols).enumerate().for_each(|(i, row)| {
+            row[..self.cols].copy_from_slice(self.row(i));
+            row[self.cols..].copy_from_slice(other.row(i));
+        });
+        out
+    }
+
+    /// Splits horizontally at column `c`: returns (left, right).
+    pub fn hsplit(&self, c: usize) -> (Matrix, Matrix) {
+        assert!(c <= self.cols);
+        let mut left = Matrix::zeros(self.rows, c);
+        let mut right = Matrix::zeros(self.rows, self.cols - c);
+        for i in 0..self.rows {
+            left.row_mut(i).copy_from_slice(&self.row(i)[..c]);
+            right.row_mut(i).copy_from_slice(&self.row(i)[c..]);
+        }
+        (left, right)
+    }
+
+    /// Gathers rows by index into a new matrix.
+    pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(idx.len(), self.cols);
+        out.data
+            .par_chunks_mut(self.cols)
+            .zip(idx.par_iter())
+            .for_each(|(dst, &i)| dst.copy_from_slice(self.row(i as usize)));
+        out
+    }
+
+    /// Scatter-adds rows of `src` into `self` at `idx` (inverse of
+    /// gather, used in backward passes). Serial: indices may repeat.
+    pub fn scatter_add_rows(&mut self, idx: &[u32], src: &Matrix) {
+        assert_eq!(idx.len(), src.rows);
+        assert_eq!(self.cols, src.cols);
+        for (r, &i) in idx.iter().enumerate() {
+            let dst = self.row_mut(i as usize);
+            for (d, &s) in dst.iter_mut().zip(src.row(r)) {
+                *d += s;
+            }
+        }
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.par_iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(a.rows(), b.cols());
+        for i in 0..a.rows() {
+            for j in 0..b.cols() {
+                let mut acc = 0.0;
+                for k in 0..a.cols() {
+                    acc += a.get(i, k) * b.get(k, j);
+                }
+                out.set(i, j, acc);
+            }
+        }
+        out
+    }
+
+    fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    }
+
+    fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {
+        assert_eq!((a.rows(), a.cols()), (b.rows(), b.cols()));
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_naive() {
+        let a = rand_matrix(17, 23, 1);
+        let b = rand_matrix(23, 9, 2);
+        assert_close(&a.matmul(&b), &naive_matmul(&a, &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose_then_matmul() {
+        let a = rand_matrix(11, 7, 3);
+        let b = rand_matrix(11, 5, 4);
+        assert_close(&a.matmul_tn(&b), &a.transpose().matmul(&b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_matches_matmul_with_transpose() {
+        let a = rand_matrix(6, 13, 5);
+        let b = rand_matrix(8, 13, 6);
+        assert_close(&a.matmul_nt(&b), &a.matmul(&b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn bias_and_colsum_are_inverse_shapes() {
+        let mut m = Matrix::zeros(3, 2);
+        m.add_bias(&[1.0, 2.0]);
+        assert_eq!(m.col_sum(), vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn stack_and_split_round_trip() {
+        let a = rand_matrix(4, 3, 7);
+        let b = rand_matrix(4, 5, 8);
+        let h = a.hstack(&b);
+        assert_eq!((h.rows(), h.cols()), (4, 8));
+        let (l, r) = h.hsplit(3);
+        assert_close(&l, &a, 1e-12);
+        assert_close(&r, &b, 1e-12);
+        let v = a.vstack(&a);
+        assert_eq!(v.rows(), 8);
+        assert_eq!(v.row(5), a.row(1));
+    }
+
+    #[test]
+    fn gather_scatter_round_trip() {
+        let m = rand_matrix(6, 4, 9);
+        let idx = vec![5u32, 0, 5];
+        let g = m.gather_rows(&idx);
+        assert_eq!(g.row(0), m.row(5));
+        assert_eq!(g.row(1), m.row(0));
+        let mut acc = Matrix::zeros(6, 4);
+        acc.scatter_add_rows(&idx, &g);
+        // Row 5 gathered twice: accumulated twice.
+        for j in 0..4 {
+            assert!((acc.get(5, j) - 2.0 * m.get(5, j)).abs() < 1e-6);
+            assert!((acc.get(0, j) - m.get(0, j)).abs() < 1e-6);
+            assert_eq!(acc.get(1, j), 0.0);
+        }
+    }
+
+    #[test]
+    fn scale_and_add_assign() {
+        let mut a = Matrix::from_vec(1, 3, vec![1.0, 2.0, 3.0]);
+        let b = Matrix::from_vec(1, 3, vec![10.0, 20.0, 30.0]);
+        a.scale(2.0);
+        a.add_assign(&b);
+        assert_eq!(a.data(), &[12.0, 24.0, 36.0]);
+        assert!((a.norm() - (12f32 * 12. + 24. * 24. + 36. * 36.).sqrt()).abs() < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn matmul_rejects_bad_shapes() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(4, 2);
+        a.matmul(&b);
+    }
+}

@@ -1,0 +1,239 @@
+//! Activations, losses and reductions with explicit backward passes.
+
+use crate::matrix::Matrix;
+use rayon::prelude::*;
+
+/// ReLU forward: `max(x, 0)` elementwise.
+pub fn relu(x: &Matrix) -> Matrix {
+    let mut out = x.clone();
+    out.data_mut().par_iter_mut().for_each(|v| *v = v.max(0.0));
+    out
+}
+
+/// ReLU backward: gradient passes where the *input* was positive.
+pub fn relu_backward(input: &Matrix, grad_out: &Matrix) -> Matrix {
+    assert_eq!((input.rows(), input.cols()), (grad_out.rows(), grad_out.cols()));
+    let mut out = grad_out.clone();
+    out.data_mut()
+        .par_iter_mut()
+        .zip(input.data().par_iter())
+        .for_each(|(g, &x)| {
+            if x <= 0.0 {
+                *g = 0.0;
+            }
+        });
+    out
+}
+
+/// Row-wise L2 normalization (GraphSAGE's final-layer normalization).
+pub fn l2_normalize_rows(x: &Matrix) -> Matrix {
+    let cols = x.cols();
+    let mut out = x.clone();
+    out.data_mut().par_chunks_mut(cols).for_each(|row| {
+        let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
+        for v in row {
+            *v /= norm;
+        }
+    });
+    out
+}
+
+/// Softmax cross-entropy over rows. Returns (mean loss, probabilities).
+pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
+    assert_eq!(logits.rows(), labels.len());
+    let cols = logits.cols();
+    let mut probs = logits.clone();
+    let losses: Vec<f32> = probs
+        .data_mut()
+        .par_chunks_mut(cols)
+        .zip(labels.par_iter())
+        .map(|(row, &y)| {
+            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0f32;
+            for v in row.iter_mut() {
+                *v = (*v - max).exp();
+                sum += *v;
+            }
+            for v in row.iter_mut() {
+                *v /= sum;
+            }
+            -(row[y as usize].max(1e-12)).ln()
+        })
+        .collect();
+    let loss = losses.iter().sum::<f32>() / labels.len().max(1) as f32;
+    (loss, probs)
+}
+
+/// Gradient of mean softmax cross-entropy w.r.t. logits:
+/// `(probs - onehot) / batch`.
+pub fn softmax_cross_entropy_backward(probs: &Matrix, labels: &[u32]) -> Matrix {
+    assert_eq!(probs.rows(), labels.len());
+    let cols = probs.cols();
+    let scale = 1.0 / labels.len().max(1) as f32;
+    let mut grad = probs.clone();
+    grad.data_mut()
+        .par_chunks_mut(cols)
+        .zip(labels.par_iter())
+        .for_each(|(row, &y)| {
+            row[y as usize] -= 1.0;
+            for v in row {
+                *v *= scale;
+            }
+        });
+    grad
+}
+
+/// Classification accuracy of logits against labels.
+pub fn accuracy(logits: &Matrix, labels: &[u32]) -> f64 {
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct: usize = (0..logits.rows())
+        .filter(|&i| {
+            let row = logits.row(i);
+            let argmax = row
+                .iter()
+                .enumerate()
+                .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+                .map(|(j, _)| j as u32)
+                .unwrap();
+            argmax == labels[i]
+        })
+        .count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Mean of rows grouped by a segment id per row: `out[s] = mean of rows
+/// with segment == s` (the neighbor-mean aggregation of GraphSAGE).
+/// `num_segments` rows are produced; empty segments stay zero.
+pub fn segment_mean(x: &Matrix, segments: &[u32], num_segments: usize) -> Matrix {
+    assert_eq!(x.rows(), segments.len());
+    let mut out = Matrix::zeros(num_segments, x.cols());
+    let mut counts = vec![0u32; num_segments];
+    for (i, &s) in segments.iter().enumerate() {
+        counts[s as usize] += 1;
+        let dst = out.row_mut(s as usize);
+        for (d, &v) in dst.iter_mut().zip(x.row(i)) {
+            *d += v;
+        }
+    }
+    for (s, &c) in counts.iter().enumerate() {
+        if c > 1 {
+            let inv = 1.0 / c as f32;
+            for v in out.row_mut(s) {
+                *v *= inv;
+            }
+        }
+    }
+    out
+}
+
+/// Backward of [`segment_mean`]: distributes each segment's output
+/// gradient equally over its member rows.
+pub fn segment_mean_backward(
+    grad_out: &Matrix,
+    segments: &[u32],
+    num_rows: usize,
+) -> Matrix {
+    let mut counts = vec![0u32; grad_out.rows()];
+    for &s in segments {
+        counts[s as usize] += 1;
+    }
+    let mut grad_in = Matrix::zeros(num_rows, grad_out.cols());
+    for (i, &s) in segments.iter().enumerate() {
+        let inv = 1.0 / counts[s as usize].max(1) as f32;
+        let dst = grad_in.row_mut(i);
+        for (d, &g) in dst.iter_mut().zip(grad_out.row(s as usize)) {
+            *d += g * inv;
+        }
+    }
+    grad_in
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_zeroes_negatives_and_backward_masks() {
+        let x = Matrix::from_vec(1, 4, vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu(&x);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = relu_backward(&x, &Matrix::from_vec(1, 4, vec![1.0; 4]));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn softmax_ce_uniform_logits_give_log_c() {
+        let logits = Matrix::zeros(2, 4);
+        let (loss, probs) = softmax_cross_entropy(&logits, &[0, 3]);
+        assert!((loss - (4.0f32).ln()).abs() < 1e-5);
+        for v in probs.data() {
+            assert!((v - 0.25).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn softmax_ce_gradient_matches_finite_difference() {
+        let logits = Matrix::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]);
+        let labels = vec![2u32, 0];
+        let (_, probs) = softmax_cross_entropy(&logits, &labels);
+        let grad = softmax_cross_entropy_backward(&probs, &labels);
+        let eps = 1e-3f32;
+        for i in 0..2 {
+            for j in 0..3 {
+                let mut plus = logits.clone();
+                plus.set(i, j, plus.get(i, j) + eps);
+                let mut minus = logits.clone();
+                minus.set(i, j, minus.get(i, j) - eps);
+                let (lp, _) = softmax_cross_entropy(&plus, &labels);
+                let (lm, _) = softmax_cross_entropy(&minus, &labels);
+                let fd = (lp - lm) / (2.0 * eps);
+                assert!(
+                    (fd - grad.get(i, j)).abs() < 1e-3,
+                    "fd {fd} vs analytic {} at ({i},{j})",
+                    grad.get(i, j)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits = Matrix::from_vec(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        assert!((accuracy(&logits, &[0, 1, 1]) - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(accuracy(&Matrix::zeros(0, 2), &[]), 0.0);
+    }
+
+    #[test]
+    fn l2_normalize_gives_unit_rows() {
+        let x = Matrix::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]);
+        let y = l2_normalize_rows(&x);
+        assert!((y.get(0, 0) - 0.6).abs() < 1e-6);
+        assert!((y.get(0, 1) - 0.8).abs() < 1e-6);
+        // Zero rows stay finite.
+        assert_eq!(y.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn segment_mean_and_backward_are_consistent() {
+        // 4 rows into 2 segments: [0,0,1,0].
+        let x = Matrix::from_vec(4, 2, vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 5.0, 6.0]);
+        let seg = vec![0u32, 0, 1, 0];
+        let m = segment_mean(&x, &seg, 2);
+        assert_eq!(m.row(0), &[3.0, 4.0]);
+        assert_eq!(m.row(1), &[10.0, 20.0]);
+        let g = segment_mean_backward(&Matrix::from_vec(2, 2, vec![3.0, 3.0, 7.0, 7.0]), &seg, 4);
+        assert_eq!(g.row(0), &[1.0, 1.0]);
+        assert_eq!(g.row(2), &[7.0, 7.0]);
+    }
+
+    #[test]
+    fn empty_segment_stays_zero() {
+        let x = Matrix::from_vec(1, 1, vec![5.0]);
+        let m = segment_mean(&x, &[1], 3);
+        assert_eq!(m.row(0), &[0.0]);
+        assert_eq!(m.row(1), &[5.0]);
+        assert_eq!(m.row(2), &[0.0]);
+    }
+}

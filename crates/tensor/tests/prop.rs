@@ -1,0 +1,123 @@
+//! Property-based tests for the dense-math substrate.
+
+use ds_tensor::matrix::Matrix;
+use ds_tensor::ops;
+use proptest::prelude::*;
+
+fn arb_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-4.0f32..4.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in arb_matrix(1..12, 1..12),
+        seed in any::<u64>(),
+    ) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let k = a.cols();
+        let n = 1 + (seed % 9) as usize;
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let c = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        // a·(b+c) == a·b + a·c
+        let mut bc = b.clone();
+        bc.add_assign(&c);
+        let lhs = a.matmul(&bc);
+        let mut rhs = a.matmul(&b);
+        rhs.add_assign(&a.matmul(&c));
+        for (x, y) in lhs.data().iter().zip(rhs.data()) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()), "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involutive(m in arb_matrix(1..20, 1..20)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn tn_and_nt_agree_with_explicit_transposes(a in arb_matrix(1..10, 1..10), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let (r, c) = (a.rows(), a.cols());
+        let b = Matrix::from_vec(r, 5, (0..r * 5).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let tn = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        for (x, y) in tn.data().iter().zip(explicit.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        let d = Matrix::from_vec(7, c, (0..7 * c).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let nt = a.matmul_nt(&d);
+        let explicit2 = a.matmul(&d.transpose());
+        for (x, y) in nt.data().iter().zip(explicit2.data()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(m in arb_matrix(1..16, 2..10)) {
+        let labels: Vec<u32> = (0..m.rows()).map(|i| (i % m.cols()) as u32).collect();
+        let (loss, probs) = ops::softmax_cross_entropy(&m, &labels);
+        prop_assert!(loss.is_finite() && loss >= 0.0);
+        for i in 0..probs.rows() {
+            let s: f32 = probs.row(i).iter().sum();
+            prop_assert!((s - 1.0).abs() < 1e-4, "row {} sums to {}", i, s);
+            prop_assert!(probs.row(i).iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn ce_gradient_rows_sum_to_zero(m in arb_matrix(1..12, 2..8)) {
+        let labels: Vec<u32> = (0..m.rows()).map(|i| (i % m.cols()) as u32).collect();
+        let (_, probs) = ops::softmax_cross_entropy(&m, &labels);
+        let grad = ops::softmax_cross_entropy_backward(&probs, &labels);
+        for i in 0..grad.rows() {
+            let s: f32 = grad.row(i).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "gradient row {} sums to {}", i, s);
+        }
+    }
+
+    #[test]
+    fn segment_mean_of_constant_rows_is_constant(
+        n_rows in 1usize..20,
+        n_seg in 1usize..6,
+        value in -3.0f32..3.0,
+    ) {
+        let m = Matrix::from_vec(n_rows, 3, vec![value; n_rows * 3]);
+        let segments: Vec<u32> = (0..n_rows).map(|i| (i % n_seg) as u32).collect();
+        let out = ops::segment_mean(&m, &segments, n_seg);
+        for s in 0..n_seg {
+            let populated = segments.iter().any(|&x| x as usize == s);
+            for &x in out.row(s) {
+                if populated {
+                    prop_assert!((x - value).abs() < 1e-5);
+                } else {
+                    prop_assert_eq!(x, 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gather_then_scatter_preserves_column_sums(m in arb_matrix(2..10, 1..6), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let idx: Vec<u32> = (0..7).map(|_| rng.gen_range(0..m.rows() as u32)).collect();
+        let g = m.gather_rows(&idx);
+        let mut acc = Matrix::zeros(m.rows(), m.cols());
+        acc.scatter_add_rows(&idx, &g);
+        // Column sums of the scattered matrix equal column sums of the
+        // gathered rows.
+        let lhs = acc.col_sum();
+        let rhs = g.col_sum();
+        for (x, y) in lhs.iter().zip(&rhs) {
+            prop_assert!((x - y).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+}

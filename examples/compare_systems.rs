@@ -1,0 +1,43 @@
+//! Compare all five systems (PyG, DGL-CPU, Quiver, DGL-UVA, DSP) on the
+//! same workload — a miniature Table 4 row.
+//!
+//! ```sh
+//! cargo run --release --example compare_systems [gpus]
+//! ```
+
+use dsp::core::config::{SystemKind, TrainConfig};
+use dsp::core::runner::run_epoch_time;
+use dsp::graph::DatasetSpec;
+
+fn main() {
+    let gpus: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let dataset = DatasetSpec::products_s().scaled_down(4).build();
+    let cfg = TrainConfig::paper_default();
+    println!(
+        "{} on {gpus} simulated GPUs, GraphSAGE fan-out {:?}, batch {}\n",
+        dataset.spec.name, cfg.fanout, cfg.batch_size
+    );
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>8}",
+        "system", "epoch (s)", "sample (s)", "load (s)", "train (s)", "util"
+    );
+    let mut best = f64::INFINITY;
+    let mut rows = Vec::new();
+    for kind in SystemKind::paper_suite() {
+        let s = run_epoch_time(kind, &dataset, gpus, &cfg, 0, 1);
+        best = best.min(s.epoch_time);
+        rows.push((kind, s));
+    }
+    for (kind, s) in rows {
+        println!(
+            "{:<10} {:>12.5} {:>12.5} {:>12.5} {:>12.5} {:>7.0}%  ({:.2}x vs best)",
+            kind.name(),
+            s.epoch_time,
+            s.sample_time,
+            s.load_time,
+            s.train_time,
+            s.utilization * 100.0,
+            s.epoch_time / best
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! # dsp
+//!
+//! Umbrella crate for the DSP reproduction (*DSP: Efficient GNN Training
+//! with Multiple GPUs*, PPoPP '23). Re-exports the whole stack so
+//! examples and downstream users can depend on a single crate:
+//!
+//! * [`graph`] — CSR graphs, generators, synthetic datasets
+//! * [`partition`] — METIS-substitute multilevel partitioner
+//! * [`simgpu`] — simulated multi-GPU cluster and timing model
+//! * [`comm`] — NCCL-substitute collectives + CCC coordination
+//! * [`sampling`] — the Collective Sampling Primitive and baselines
+//! * [`cache`] — feature caching policies and loaders
+//! * [`tensor`] / [`gnn`] — dense math and GNN models/trainers
+//! * [`pipeline`] — producer-consumer pipeline machinery
+//! * [`core`] — the assembled DSP system and baseline systems
+//!
+//! See `examples/quickstart.rs` for a end-to-end walkthrough.
+
+pub use ds_cache as cache;
+pub use ds_comm as comm;
+pub use ds_gnn as gnn;
+pub use ds_graph as graph;
+pub use ds_partition as partition;
+pub use ds_pipeline as pipeline;
+pub use ds_sampling as sampling;
+pub use ds_simgpu as simgpu;
+pub use ds_store as store;
+pub use ds_tensor as tensor;
+pub use dsp_core as core;

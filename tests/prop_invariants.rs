@@ -1,0 +1,165 @@
+//! Property-based tests over the core invariants of the stack:
+//! generators → partitioner → CSP → collectives → pipeline schedule.
+
+use dsp::comm::Communicator;
+use dsp::graph::{gen, Csr, NodeId};
+use dsp::partition::{quality, simple, MultilevelPartitioner, Partitioner, Renumbering};
+use dsp::pipeline::queue::virtual_queue;
+use dsp::pipeline::schedule::{PipelineSchedule, StageTimes};
+use dsp::sampling::csp::{CspConfig, CspSampler};
+use dsp::sampling::{BatchSampler, DistGraph};
+use dsp::simgpu::{Clock, ClusterSpec};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+fn arb_graph() -> impl Strategy<Value = Csr> {
+    (50usize..400, 2usize..12, any::<u64>()).prop_map(|(n, d, seed)| {
+        gen::erdos_renyi(n, n * d, true, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn multilevel_partition_covers_and_balances(g in arb_graph(), k in 2usize..8) {
+        let p = MultilevelPartitioner::default().partition(&g, k);
+        prop_assert_eq!(p.num_nodes(), g.num_nodes());
+        prop_assert_eq!(p.sizes().iter().sum::<usize>(), g.num_nodes());
+        // Balance within the configured slack (plus integer rounding).
+        prop_assert!(quality::balance(&p) < 1.35, "balance {}", quality::balance(&p));
+        // Never worse than hash partitioning on expectation-scale cut.
+        let hash = simple::hash_partition(&g, k);
+        let f_ml = quality::edge_cut_fraction(&g, &p);
+        let f_h = quality::edge_cut_fraction(&g, &hash);
+        prop_assert!(f_ml <= f_h * 1.25, "multilevel {} vs hash {}", f_ml, f_h);
+    }
+
+    #[test]
+    fn renumbering_is_a_structure_preserving_permutation(g in arb_graph(), k in 2usize..6) {
+        let p = MultilevelPartitioner::default().partition(&g, k);
+        let r = Renumbering::from_partition(&p);
+        let h = r.apply_graph(&g);
+        prop_assert_eq!(h.num_edges(), g.num_edges());
+        for v in 0..g.num_nodes() as NodeId {
+            prop_assert_eq!(r.to_old(r.to_new(v)), v);
+            prop_assert_eq!(h.degree(r.to_new(v)), g.degree(v));
+            prop_assert_eq!(r.owner_of(r.to_new(v)), p.part_of(v));
+        }
+    }
+
+    #[test]
+    fn csp_samples_are_valid_and_bounded(
+        g in arb_graph(),
+        fan in 1usize..8,
+        seed in any::<u64>(),
+        nseeds in 1usize..12,
+    ) {
+        let n = g.num_nodes();
+        let dg = Arc::new(DistGraph::single(&g));
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let comm = Arc::new(Communicator::new(1, Arc::clone(&cluster)));
+        let cfg = CspConfig::node_wise(vec![fan, fan]).with_seed(seed);
+        let mut s = CspSampler::new(dg, cluster, comm, 0, cfg);
+        let mut clock = Clock::new();
+        let seeds: Vec<NodeId> = (0..nseeds).map(|i| ((i * 97) % n) as NodeId).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        prop_assume!(dedup.len() == seeds.len());
+        let sample = s.sample_batch(&mut clock, &seeds);
+        prop_assert_eq!(sample.num_layers(), 2);
+        for layer in &sample.layers {
+            for (i, &dst) in layer.dst.iter().enumerate() {
+                let sampled = layer.neighbors_of(i);
+                // Fan-out bound and no-replacement distinctness.
+                prop_assert!(sampled.len() <= fan.min(g.degree(dst)).max(g.degree(dst).min(fan)));
+                let mut d = sampled.to_vec();
+                d.sort_unstable();
+                d.dedup();
+                prop_assert_eq!(d.len(), sampled.len(), "duplicate neighbors sampled");
+                for &u in sampled {
+                    prop_assert!(g.neighbors(dst).contains(&u), "edge {}->{} missing", dst, u);
+                }
+            }
+        }
+        // Chaining invariant.
+        prop_assert_eq!(&sample.layers[0].src, &sample.layers[1].dst);
+    }
+
+    #[test]
+    fn allreduce_equals_serial_sum(
+        n in 2usize..5,
+        data in proptest::collection::vec(-100.0f32..100.0, 1..40),
+    ) {
+        let cluster = Arc::new(ClusterSpec::v100(n).build());
+        let comm = Arc::new(Communicator::new(1, cluster));
+        let len = data.len();
+        let handles: Vec<_> = (0..n)
+            .map(|rank| {
+                let comm = Arc::clone(&comm);
+                let mine: Vec<f32> = data.iter().map(|x| x * (rank as f32 + 1.0)).collect();
+                std::thread::spawn(move || {
+                    let mut clock = Clock::new();
+                    comm.all_reduce_sum(rank, &mut clock, mine)
+                })
+            })
+            .collect();
+        let factor: f32 = (1..=n).map(|r| r as f32).sum();
+        let expect: Vec<f32> = data.iter().map(|x| x * factor).collect();
+        for h in handles {
+            let got = h.join().unwrap();
+            prop_assert_eq!(got.len(), len);
+            for (g, e) in got.iter().zip(&expect) {
+                prop_assert!((g - e).abs() <= 1e-3 * (1.0 + e.abs()), "{} vs {}", g, e);
+            }
+        }
+    }
+
+    #[test]
+    fn threaded_queue_timeline_matches_analytic_schedule(
+        times in proptest::collection::vec((0.01f64..2.0, 0.01f64..2.0, 0.01f64..2.0), 1..20),
+        cap in 1usize..4,
+    ) {
+        // Run a real 3-stage pipeline over virtual queues and compare
+        // the trainer's final virtual time with the event-driven
+        // schedule computed analytically from the same stage durations.
+        let st = StageTimes {
+            sample: times.iter().map(|t| t.0).collect(),
+            load: times.iter().map(|t| t.1).collect(),
+            train: times.iter().map(|t| t.2).collect(),
+        };
+        let expected = PipelineSchedule::compute(&st, cap).makespan();
+
+        let (mut q1p, mut q1c) = virtual_queue::<usize>(cap);
+        let (mut q2p, mut q2c) = virtual_queue::<usize>(cap);
+        let s_times = st.sample.clone();
+        let l_times = st.load.clone();
+        let t_times = st.train.clone();
+        let h1 = std::thread::spawn(move || {
+            let mut clock = Clock::new();
+            for (i, dt) in s_times.iter().enumerate() {
+                clock.work(*dt);
+                q1p.push(&mut clock, i);
+            }
+        });
+        let h2 = std::thread::spawn(move || {
+            let mut clock = Clock::new();
+            while let Some(i) = q1c.pop(&mut clock) {
+                clock.work(l_times[i]);
+                q2p.push(&mut clock, i);
+            }
+        });
+        let h3 = std::thread::spawn(move || {
+            let mut clock = Clock::new();
+            while let Some(i) = q2c.pop(&mut clock) {
+                clock.work(t_times[i]);
+            }
+            clock.now()
+        });
+        h1.join().unwrap();
+        h2.join().unwrap();
+        let got = h3.join().unwrap();
+        prop_assert!((got - expected).abs() < 1e-9, "threaded {} vs analytic {}", got, expected);
+    }
+}
