@@ -1,12 +1,16 @@
 //! Criterion: multilevel partitioner throughput on power-law graphs.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ds_graph::gen;
 use ds_partition::{simple, MultilevelPartitioner, Partitioner};
+use ds_testkit::bench::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
 fn bench_partitioners(c: &mut Criterion) {
     let g = gen::rmat(
-        gen::RmatParams { num_nodes: 1 << 14, num_edges: 1 << 18, ..Default::default() },
+        gen::RmatParams {
+            num_nodes: 1 << 14,
+            num_edges: 1 << 18,
+            ..Default::default()
+        },
         3,
     );
     let mut group = c.benchmark_group("partition_16k_nodes");

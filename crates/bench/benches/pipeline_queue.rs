@@ -1,9 +1,9 @@
 //! Criterion: virtual-queue hand-off cost and the analytic schedule.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ds_pipeline::queue::virtual_queue;
 use ds_pipeline::schedule::{PipelineSchedule, StageTimes};
 use ds_simgpu::Clock;
+use ds_testkit::bench::{criterion_group, criterion_main, Criterion};
 
 fn bench_pipeline(c: &mut Criterion) {
     c.bench_function("queue_1000_items_through_3_stages", |b| {

@@ -3,18 +3,22 @@
 //! measure *our implementation's* speed, complementing the simulated
 //! times the table binaries report.
 
-use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use ds_comm::Communicator;
 use ds_graph::gen;
 use ds_sampling::baselines::{IdealSampler, UvaSampler, UvaVariant};
 use ds_sampling::csp::{CspConfig, CspSampler};
 use ds_sampling::{BatchSampler, DistGraph};
-use ds_comm::Communicator;
 use ds_simgpu::{Clock, ClusterSpec};
+use ds_testkit::bench::{criterion_group, criterion_main, BatchSize, Criterion};
 use std::sync::Arc;
 
 fn bench_samplers(c: &mut Criterion) {
     let g = Arc::new(gen::rmat(
-        gen::RmatParams { num_nodes: 1 << 15, num_edges: 1 << 19, ..Default::default() },
+        gen::RmatParams {
+            num_nodes: 1 << 15,
+            num_edges: 1 << 19,
+            ..Default::default()
+        },
         7,
     ));
     let seeds: Vec<u32> = (0..64u32).map(|i| i * 97).collect();
@@ -25,7 +29,8 @@ fn bench_samplers(c: &mut Criterion) {
         let dg = Arc::new(DistGraph::single(&g));
         let cluster = Arc::new(ClusterSpec::v100(1).build());
         let comm = Arc::new(Communicator::new(1, Arc::clone(&cluster)));
-        let mut sampler = CspSampler::new(dg, cluster, comm, 0, CspConfig::node_wise(fanout.clone()));
+        let mut sampler =
+            CspSampler::new(dg, cluster, comm, 0, CspConfig::node_wise(fanout.clone()));
         b.iter_batched(
             Clock::new,
             |mut clock| sampler.sample_batch(&mut clock, &seeds),
@@ -35,7 +40,13 @@ fn bench_samplers(c: &mut Criterion) {
     group.bench_function("uva", |b| {
         let cluster = Arc::new(ClusterSpec::v100(1).build());
         let mut sampler = UvaSampler::new(
-            Arc::clone(&g), cluster, 0, fanout.clone(), false, UvaVariant::DglUva, 0xD5,
+            Arc::clone(&g),
+            cluster,
+            0,
+            fanout.clone(),
+            false,
+            UvaVariant::DglUva,
+            0xD5,
         );
         b.iter_batched(
             Clock::new,

@@ -1,14 +1,19 @@
-//! Criterion: dense-math kernels backing the trainer (rayon GEMM in the
-//! three backprop orientations, softmax-CE).
+//! Bench: dense-math kernels backing the trainer (chunked-parallel GEMM
+//! in the three backprop orientations, softmax-CE).
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use ds_tensor::matrix::Matrix;
 use ds_tensor::ops;
-use rand::{Rng, SeedableRng};
+use ds_testkit::bench::{criterion_group, criterion_main, Criterion};
 
 fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
-    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+    let mut rng = ds_rng::Rng::seed_from_u64(seed);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+    )
 }
 
 fn bench_tensor(c: &mut Criterion) {
@@ -17,7 +22,9 @@ fn bench_tensor(c: &mut Criterion) {
     let bt = rand_matrix(2048, 256, 3);
     c.bench_function("gemm_2048x256x256", |bch| bch.iter(|| a.matmul(&b)));
     c.bench_function("gemm_tn_weight_grad", |bch| bch.iter(|| a.matmul_tn(&bt)));
-    c.bench_function("gemm_nt_input_grad", |bch| bch.iter(|| a.matmul_nt(&b.transpose())));
+    c.bench_function("gemm_nt_input_grad", |bch| {
+        bch.iter(|| a.matmul_nt(&b.transpose()))
+    });
     let logits = rand_matrix(2048, 64, 4);
     let labels: Vec<u32> = (0..2048).map(|i| (i % 64) as u32).collect();
     c.bench_function("softmax_ce_2048x64", |bch| {

@@ -1,6 +1,6 @@
+use ds_graph::DatasetSpec;
 use dsp_core::config::{SystemKind, TrainConfig};
 use dsp_core::runner::run_epoch_time;
-use ds_graph::DatasetSpec;
 
 fn main() {
     let d = DatasetSpec::papers_s().scaled_down(4).build();
@@ -10,7 +10,14 @@ fn main() {
             let s = run_epoch_time(kind, &d, gpus, &cfg, 0, 1);
             println!(
                 "{:?} {}g: epoch {:.4} sample {:.4} load {:.4} train {:.4} util {:.2} batches {}",
-                kind, gpus, s.epoch_time, s.sample_time, s.load_time, s.train_time, s.utilization, s.num_batches
+                kind,
+                gpus,
+                s.epoch_time,
+                s.sample_time,
+                s.load_time,
+                s.train_time,
+                s.utilization,
+                s.num_batches
             );
         }
     }

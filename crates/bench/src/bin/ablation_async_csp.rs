@@ -26,7 +26,10 @@ fn sampling_epoch(d: &ds_graph::Dataset, gpus: usize, fused: bool, cfg: &TrainCo
     for v in train_new {
         per_rank[renum.owner_of(v) as usize].push(v);
     }
-    let nb = SeedSchedule::common_batches(per_rank.iter().map(|s| s.len()).max().unwrap(), cfg.batch_size);
+    let nb = SeedSchedule::common_batches(
+        per_rank.iter().map(|s| s.len()).max().unwrap(),
+        cfg.batch_size,
+    );
     let handles: Vec<_> = (0..gpus)
         .map(|rank| {
             let dg = Arc::clone(&dg);
@@ -47,7 +50,10 @@ fn sampling_epoch(d: &ds_graph::Dataset, gpus: usize, fused: bool, cfg: &TrainCo
             })
         })
         .collect();
-    handles.into_iter().map(|h| h.join().unwrap()).fold(0.0, f64::max)
+    handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .fold(0.0, f64::max)
 }
 
 fn main() {
@@ -66,9 +72,14 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Ablation ({}): fused synchronous CSP vs asynchronous per-task CSP", d.spec.name),
+        &format!(
+            "Ablation ({}): fused synchronous CSP vs asynchronous per-task CSP",
+            d.spec.name
+        ),
         &["GPUs", "fused sync (s)", "async (s)", "async slowdown"],
         &rows,
     );
-    println!("\nPaper (§4.1): the async design \"is observed to have poor efficiency\" — reproduced.");
+    println!(
+        "\nPaper (§4.1): the async design \"is observed to have poor efficiency\" — reproduced."
+    );
 }

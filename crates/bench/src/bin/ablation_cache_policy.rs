@@ -33,7 +33,13 @@ fn main() {
     }
     print_table(
         "Ablation: cache policy vs epoch time (DSP, 8 GPUs)",
-        &["dataset", "policy", "epoch (s)", "load busy (s)", "PCIe volume"],
+        &[
+            "dataset",
+            "policy",
+            "epoch (s)",
+            "load busy (s)",
+            "PCIe volume",
+        ],
         &rows,
     );
 }

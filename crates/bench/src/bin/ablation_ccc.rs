@@ -16,18 +16,33 @@ fn adversarial_schedule(use_ccc: bool) -> bool {
     let cluster = Arc::new(ClusterSpec::v100(2).build());
     let slots = Arc::new(DeviceSlots::new(2, 1));
     let ccc = use_ccc.then(|| Arc::new(Coordinator::new(2)));
-    let a = Arc::new(Communicator::with_slots(1, Arc::clone(&cluster), Arc::clone(&slots), ccc.clone()));
-    let b = Arc::new(Communicator::with_slots(2, Arc::clone(&cluster), slots, ccc));
+    let a = Arc::new(Communicator::with_slots(
+        1,
+        Arc::clone(&cluster),
+        Arc::clone(&slots),
+        ccc.clone(),
+    ));
+    let b = Arc::new(Communicator::with_slots(
+        2,
+        Arc::clone(&cluster),
+        slots,
+        ccc,
+    ));
     let mut handles = Vec::new();
     for rank in 0..2usize {
         for worker in 0..2usize {
-            let comm = if worker == 0 { Arc::clone(&a) } else { Arc::clone(&b) };
+            let comm = if worker == 0 {
+                Arc::clone(&a)
+            } else {
+                Arc::clone(&b)
+            };
             handles.push(std::thread::spawn(move || {
                 if (rank + worker) % 2 == 1 {
                     std::thread::sleep(Duration::from_millis(80));
                 }
                 let mut clock = Clock::new();
-                comm.barrier_timeout(rank, &mut clock, Duration::from_millis(400)).is_ok()
+                comm.barrier_timeout(rank, &mut clock, Duration::from_millis(400))
+                    .is_ok()
             }));
         }
     }
@@ -39,8 +54,22 @@ fn main() {
     let no_ccc = adversarial_schedule(false);
     let with_ccc = adversarial_schedule(true);
     println!("adversarial inverted-launch schedule, 1 kernel slot/device:");
-    println!("  without CCC: {}", if no_ccc { "completed (lucky timing)" } else { "DEADLOCKED" });
-    println!("  with    CCC: {}", if with_ccc { "completed" } else { "DEADLOCKED (bug!)" });
+    println!(
+        "  without CCC: {}",
+        if no_ccc {
+            "completed (lucky timing)"
+        } else {
+            "DEADLOCKED"
+        }
+    );
+    println!(
+        "  with    CCC: {}",
+        if with_ccc {
+            "completed"
+        } else {
+            "DEADLOCKED (bug!)"
+        }
+    );
 
     // Part 2: overhead of CCC on the real pipelined system.
     let d = dataset("Products");
@@ -58,7 +87,10 @@ fn main() {
         rows.push(vec![label.to_string(), format!("{:.4}", stats.epoch_time)]);
     }
     print_table(
-        &format!("CCC overhead on the pipelined DSP ({}, 8 GPUs)", d.spec.name),
+        &format!(
+            "CCC overhead on the pipelined DSP ({}, 8 GPUs)",
+            d.spec.name
+        ),
         &["configuration", "epoch (s)"],
         &rows,
     );

@@ -41,7 +41,11 @@ fn main() {
             },
         )
         .makespan();
-        rows.push(vec![label.to_string(), format!("{t:.4}"), format!("{:.2}x", single / t)]);
+        rows.push(vec![
+            label.to_string(),
+            format!("{t:.4}"),
+            format!("{:.2}x", single / t),
+        ]);
     }
     print_table(
         &format!(

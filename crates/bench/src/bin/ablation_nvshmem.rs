@@ -26,7 +26,10 @@ fn sampling_epoch(d: &ds_graph::Dataset, gpus: usize, backend: Backend, cfg: &Tr
     for v in train_new {
         per_rank[renum.owner_of(v) as usize].push(v);
     }
-    let nb = SeedSchedule::common_batches(per_rank.iter().map(|s| s.len()).max().unwrap(), cfg.batch_size);
+    let nb = SeedSchedule::common_batches(
+        per_rank.iter().map(|s| s.len()).max().unwrap(),
+        cfg.batch_size,
+    );
     let handles: Vec<_> = (0..gpus)
         .map(|rank| {
             let dg = Arc::clone(&dg);
@@ -44,7 +47,10 @@ fn sampling_epoch(d: &ds_graph::Dataset, gpus: usize, backend: Backend, cfg: &Tr
             })
         })
         .collect();
-    handles.into_iter().map(|h| h.join().unwrap()).fold(0.0, f64::max)
+    handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .fold(0.0, f64::max)
 }
 
 fn main() {
@@ -76,6 +82,10 @@ fn main() {
     .is_err();
     println!(
         "\n8 GPUs (hybrid cube-mesh, no full NVLink mesh): NVSHMEM {}",
-        if refused { "correctly refused — NCCL required, as §3.2 explains" } else { "unexpectedly accepted (bug)" }
+        if refused {
+            "correctly refused — NCCL required, as §3.2 explains"
+        } else {
+            "unexpectedly accepted (bug)"
+        }
     );
 }

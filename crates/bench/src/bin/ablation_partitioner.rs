@@ -57,7 +57,10 @@ fn run_with_partition(
             })
         })
         .collect();
-    let t = handles.into_iter().map(|h| h.join().unwrap()).fold(0.0, f64::max);
+    let t = handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .fold(0.0, f64::max);
     let (nvlink, _, _) = cluster.traffic_totals();
     (t, nvlink, quality::edge_cut_fraction(&d.graph, partition))
 }
@@ -69,7 +72,10 @@ fn main() {
     for name in ["Products", "Papers"] {
         let d = dataset(name);
         for (label, p) in [
-            ("multilevel (METIS-like)", MultilevelPartitioner::default().partition(&d.graph, gpus)),
+            (
+                "multilevel (METIS-like)",
+                MultilevelPartitioner::default().partition(&d.graph, gpus),
+            ),
             ("range", simple::range_partition(&d.graph, gpus)),
             ("hash", simple::hash_partition(&d.graph, gpus)),
         ] {
@@ -85,7 +91,13 @@ fn main() {
     }
     print_table(
         "Ablation: partitioner quality vs CSP sampling traffic/time (8 GPUs)",
-        &["dataset", "partitioner", "edge cut", "NVLink volume", "sampling epoch (s)"],
+        &[
+            "dataset",
+            "partitioner",
+            "edge cut",
+            "NVLink volume",
+            "sampling epoch (s)",
+        ],
         &rows,
     );
 }

@@ -10,8 +10,15 @@ fn main() {
     let gpus = 8;
     let d = dataset("Papers");
     let mut rows = Vec::new();
-    let seq = run_epoch_time(SystemKind::DspSeq, d, gpus, &TrainConfig::paper_default(), 0, 1)
-        .epoch_time;
+    let seq = run_epoch_time(
+        SystemKind::DspSeq,
+        d,
+        gpus,
+        &TrainConfig::paper_default(),
+        0,
+        1,
+    )
+    .epoch_time;
     for cap in [1usize, 2, 3, 4, 8] {
         let mut cfg = TrainConfig::paper_default();
         cfg.queue_capacity = cap;
@@ -24,9 +31,17 @@ fn main() {
             format!("{:.1}%", stats.utilization * 100.0),
         ]);
     }
-    rows.push(vec!["(seq)".into(), format!("{seq:.4}"), "1.00x".into(), String::new()]);
+    rows.push(vec![
+        "(seq)".into(),
+        format!("{seq:.4}"),
+        "1.00x".into(),
+        String::new(),
+    ]);
     print_table(
-        &format!("Ablation ({}): queue capacity vs epoch time, 8 GPUs", d.spec.name),
+        &format!(
+            "Ablation ({}): queue capacity vs epoch time, 8 GPUs",
+            d.spec.name
+        ),
         &["capacity", "epoch (s)", "speedup vs DSP-Seq", "utilization"],
         &rows,
     );

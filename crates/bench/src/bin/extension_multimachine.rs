@@ -26,7 +26,13 @@ fn main() {
     );
     let mut rows = Vec::new();
     for m in [1usize, 2, 4, 8, 16] {
-        let e = project_epoch(&stats, cold, row_bytes, grad_bytes, MultiMachineSpec::rdma_100g(m));
+        let e = project_epoch(
+            &stats,
+            cold,
+            row_bytes,
+            grad_bytes,
+            MultiMachineSpec::rdma_100g(m),
+        );
         rows.push(vec![
             m.to_string(),
             format!("{:.5}", e.epoch_time),
@@ -37,8 +43,18 @@ fn main() {
         ]);
     }
     print_table(
-        &format!("Multi-machine projection ({}, 8 GPUs/machine, 100 Gb/s)", d.spec.name),
-        &["machines", "epoch (s)", "speedup", "local", "cold-feature net", "grad sync"],
+        &format!(
+            "Multi-machine projection ({}, 8 GPUs/machine, 100 Gb/s)",
+            d.spec.name
+        ),
+        &[
+            "machines",
+            "epoch (s)",
+            "speedup",
+            "local",
+            "cold-feature net",
+            "grad sync",
+        ],
         &rows,
     );
 }

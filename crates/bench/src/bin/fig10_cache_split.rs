@@ -39,9 +39,7 @@ fn main() {
             let stats = run_epoch_time(SystemKind::Dsp, d, gpus, &cfg, 0, 1);
             eprintln!(
                 "[fig10] {} cache {:.1}/6: epoch {:.4}s",
-                name,
-                step,
-                stats.epoch_time
+                name, step, stats.epoch_time
             );
             rows.push(vec![
                 format!("{step} GB (scaled: {:.1} MB)", feature_cache as f64 / 1e6),
@@ -55,7 +53,12 @@ fn main() {
                 "Fig. 10 ({}): epoch time vs feature-cache share of a 6 GB/GPU budget, 8 GPUs",
                 d.spec.name
             ),
-            &["feature cache", "epoch time (s)", "sample busy (s)", "load busy (s)"],
+            &[
+                "feature cache",
+                "epoch time (s)",
+                "sample busy (s)",
+                "load busy (s)",
+            ],
             &rows,
         );
     }

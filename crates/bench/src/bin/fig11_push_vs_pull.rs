@@ -4,11 +4,11 @@
 //! while CSP moves one task and `fanout` sampled ids.
 
 use ds_bench::{datasets, print_table};
+use ds_comm::Communicator;
+use ds_partition::{MultilevelPartitioner, Partitioner, Renumbering};
 use ds_sampling::baselines::PullDataSampler;
 use ds_sampling::csp::{CspConfig, CspSampler, Scheme};
 use ds_sampling::{BatchSampler, DistGraph, SeedSchedule};
-use ds_comm::Communicator;
-use ds_partition::{MultilevelPartitioner, Partitioner, Renumbering};
 use ds_simgpu::{Clock, ClusterSpec};
 use dsp_core::config::TrainConfig;
 use dsp_core::layout::biased_node_weights;
@@ -57,10 +57,19 @@ fn main() {
                                 cluster,
                                 comm,
                                 rank,
-                                CspConfig { fanout, scheme: Scheme::NodeWise, biased: true, fused: true, temporal_cutoff: None, seed },
+                                CspConfig {
+                                    fanout,
+                                    scheme: Scheme::NodeWise,
+                                    biased: true,
+                                    fused: true,
+                                    temporal_cutoff: None,
+                                    seed,
+                                },
                             ))
                         } else {
-                            Box::new(PullDataSampler::new(dg, cluster, comm, rank, fanout, true, seed))
+                            Box::new(PullDataSampler::new(
+                                dg, cluster, comm, rank, fanout, true, seed,
+                            ))
                         };
                         for batch in sched.epoch_batches(0) {
                             let _ = sampler.sample_batch(&mut clock, &batch);
@@ -69,24 +78,40 @@ fn main() {
                     })
                 })
                 .collect();
-            let t = handles.into_iter().map(|h| h.join().unwrap()).fold(0.0, f64::max);
+            let t = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .fold(0.0, f64::max);
             let (nvlink, pcie, _) = cluster.traffic_totals();
             times.push((t, nvlink + pcie));
         }
         let (t_push, b_push) = times[0];
         let (t_pull, b_pull) = times[1];
-        eprintln!("[fig11] {}: CSP {:.4}s PullData {:.4}s", d.spec.name, t_push, t_pull);
+        eprintln!(
+            "[fig11] {}: CSP {:.4}s PullData {:.4}s",
+            d.spec.name, t_push, t_pull
+        );
         rows.push(vec![
             d.spec.name.to_string(),
             format!("{t_push:.4}"),
             format!("{t_pull:.4}"),
             format!("-{:.0}%", (1.0 - t_push / t_pull) * 100.0),
-            format!("{:.1} MB vs {:.1} MB", b_push as f64 / 1e6, b_pull as f64 / 1e6),
+            format!(
+                "{:.1} MB vs {:.1} MB",
+                b_push as f64 / 1e6,
+                b_pull as f64 / 1e6
+            ),
         ]);
     }
     print_table(
         "Fig. 11: CSP (task push) vs Pull-Data, biased sampling, 4 GPUs",
-        &["dataset", "CSP (s)", "Pull Data (s)", "time reduction", "traffic (CSP vs pull)"],
+        &[
+            "dataset",
+            "CSP (s)",
+            "Pull Data (s)",
+            "time reduction",
+            "traffic (CSP vs pull)",
+        ],
         &rows,
     );
     println!("\nPaper shape: CSP reduces sampling time by up to 64%.");

@@ -50,7 +50,11 @@ fn main() {
             for (rank, seeds) in per_rank.into_iter().enumerate() {
                 let sched = SeedSchedule::new(seeds, cfg.batch_size, nb, cfg.seed);
                 let mut s = IdealSampler::new(
-                    Arc::clone(&graph), Arc::clone(&cluster), rank, cfg.fanout.clone(), cfg.seed,
+                    Arc::clone(&graph),
+                    Arc::clone(&cluster),
+                    rank,
+                    cfg.fanout.clone(),
+                    cfg.seed,
                 );
                 let mut clock = Clock::new();
                 for batch in sched.epoch_batches(0) {

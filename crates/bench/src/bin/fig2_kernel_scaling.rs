@@ -32,7 +32,13 @@ fn main() {
     }
     print_table(
         "Fig. 2: kernel time vs physical threads (one V100)",
-        &["threads", "sampling time", "speedup vs 512", "loading time", "speedup vs 512"],
+        &[
+            "threads",
+            "sampling time",
+            "speedup vs 512",
+            "loading time",
+            "speedup vs 512",
+        ],
         &rows,
     );
     println!("\nPaper shape: speed stabilizes before reaching all 5120 threads — the");

@@ -30,7 +30,10 @@ fn main() {
             ]);
         }
         print_table(
-            &format!("Fig. 6 ({}): GPU utilization, DSP-Seq vs pipeline", d.spec.name),
+            &format!(
+                "Fig. 6 ({}): GPU utilization, DSP-Seq vs pipeline",
+                d.spec.name
+            ),
             &["GPUs", "DSP-Seq", "DSP (pipeline)"],
             &rows,
         );

@@ -89,8 +89,16 @@ fn main() {
         * 0.98;
     let mut row = vec![format!("time to {:.3} acc", target)];
     for c in &curves {
-        let t = c.iter().find(|p| p.2 >= target).map(|p| p.1).unwrap_or(f64::NAN);
+        let t = c
+            .iter()
+            .find(|p| p.2 >= target)
+            .map(|p| p.1)
+            .unwrap_or(f64::NAN);
         row.push(format!("{}s", sig3(t)));
     }
-    print_table("Fig. 9 summary: time to common accuracy", &["metric", "DSP", "DGL-UVA", "Quiver"], &[row]);
+    print_table(
+        "Fig. 9 summary: time to common accuracy",
+        &["metric", "DSP", "DGL-UVA", "Quiver"],
+        &[row],
+    );
 }

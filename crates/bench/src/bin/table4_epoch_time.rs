@@ -43,7 +43,10 @@ fn main() {
             }
         }
         print_table(
-            &format!("Table 4 ({}): epoch time (simulated seconds), GraphSAGE", d.spec.name),
+            &format!(
+                "Table 4 ({}): epoch time (simulated seconds), GraphSAGE",
+                d.spec.name
+            ),
             &["system", "1-GPU", "2-GPU", "4-GPU", "8-GPU"],
             &rows,
         );

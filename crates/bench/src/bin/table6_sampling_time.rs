@@ -14,7 +14,13 @@ fn main() {
             for (si, &kind) in systems.iter().enumerate() {
                 let t = run_sampling_time(kind, d, gpus, &cfg, 1);
                 grid[si][gi] = t;
-                eprintln!("[table6] {} {} {}-GPU: {:.4}s", d.spec.name, kind.name(), gpus, t);
+                eprintln!(
+                    "[table6] {} {} {}-GPU: {:.4}s",
+                    d.spec.name,
+                    kind.name(),
+                    gpus,
+                    t
+                );
             }
         }
         let mut rows: Vec<Vec<String>> =
@@ -26,7 +32,10 @@ fn main() {
             }
         }
         print_table(
-            &format!("Table 6 ({}): sampling time per epoch (simulated seconds)", d.spec.name),
+            &format!(
+                "Table 6 ({}): sampling time per epoch (simulated seconds)",
+                d.spec.name
+            ),
             &["system", "1-GPU", "2-GPU", "4-GPU", "8-GPU"],
             &rows,
         );

@@ -24,7 +24,10 @@ fn main() {
     for d in datasets() {
         let t_fast = fastgcn_cpu_sampling_time(d, &cfg.fanout, cfg.batch_size);
         let t_dsp = run_sampling_time(SystemKind::Dsp, d, gpus, &cfg, 1);
-        eprintln!("[table7] {}: FastGCN {:.3}s DSP {:.4}s", d.spec.name, t_fast, t_dsp);
+        eprintln!(
+            "[table7] {}: FastGCN {:.3}s DSP {:.4}s",
+            d.spec.name, t_fast, t_dsp
+        );
         fast_row.push(sig3(t_fast));
         dsp_row.push(sig3(t_dsp));
         ratio_row.push(format!("{:.0}x", t_fast / t_dsp));

@@ -76,7 +76,14 @@ impl DspLoader {
         rank: usize,
     ) -> Self {
         let stats = Arc::new(LoaderStats::default());
-        DspLoader { cache, host, cluster, comm, rank, stats }
+        DspLoader {
+            cache,
+            host,
+            cluster,
+            comm,
+            rank,
+            stats,
+        }
     }
 }
 
@@ -86,7 +93,11 @@ impl FeatureLoader for DspLoader {
         let model = *self.cluster.model();
         let n = self.comm.num_ranks();
         // Partition requested ids by owner (scan kernel).
-        clock.work(model.gpu.time_full(nodes.len() as u64, model.scan_cycles_per_item));
+        clock.work(
+            model
+                .gpu
+                .time_full(nodes.len() as u64, model.scan_cycles_per_item),
+        );
         let mut sends: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         let mut placement = Vec::with_capacity(nodes.len());
         for &v in nodes {
@@ -117,7 +128,10 @@ impl FeatureLoader for DspLoader {
                 (flags, rows)
             })
             .collect();
-        clock.work_on(model.gather_time(local_hits, dim as u64 * 4), ds_simgpu::clock::ResKind::Hbm);
+        clock.work_on(
+            model.gather_time(local_hits, dim as u64 * 4),
+            ds_simgpu::clock::ResKind::Hbm,
+        );
         // Exchange 2+3: hit flags, then the hot rows (the NVLink path).
         let (flag_sends, row_sends): (Vec<Vec<u8>>, Vec<Vec<f32>>) = replies.into_iter().unzip();
         let recv_flags = self.comm.all_to_all_v(self.rank, clock, flag_sends, 1);
@@ -133,7 +147,8 @@ impl FeatureLoader for DspLoader {
             let (o, idx) = placement[i];
             if recv_flags[o][idx as usize] == 1 {
                 let start = row_cursor[o];
-                out.row_mut(i).copy_from_slice(&recv_rows[o][start..start + dim]);
+                out.row_mut(i)
+                    .copy_from_slice(&recv_rows[o][start..start + dim]);
                 row_cursor[o] += dim;
             } else {
                 cold_nodes.push((i, v));
@@ -142,7 +157,9 @@ impl FeatureLoader for DspLoader {
         // Cold path over UVA, overlapped with the NVLink path: the
         // slower of the two determines the elapsed time, so roll back
         // the NVLink row-transfer time if UVA dominates.
-        let uva_time = self.cluster.uva_read(self.rank, cold_nodes.len() as u64, dim as u64 * 4);
+        let uva_time = self
+            .cluster
+            .uva_read(self.rank, cold_nodes.len() as u64, dim as u64 * 4);
         if uva_time > nvlink_path {
             clock.work_on(uva_time - nvlink_path, ds_simgpu::clock::ResKind::Pcie);
         }
@@ -177,7 +194,13 @@ impl ReplicatedLoader {
         cluster: Arc<Cluster>,
         rank: usize,
     ) -> Self {
-        ReplicatedLoader { cache, host, cluster, rank, stats: Arc::new(LoaderStats::default()) }
+        ReplicatedLoader {
+            cache,
+            host,
+            cluster,
+            rank,
+            stats: Arc::new(LoaderStats::default()),
+        }
     }
 }
 
@@ -200,8 +223,14 @@ impl FeatureLoader for ReplicatedLoader {
                 }
             }
         }
-        clock.work_on(model.gather_time(hits, dim as u64 * 4), ds_simgpu::clock::ResKind::Hbm);
-        clock.work_on(self.cluster.uva_read(self.rank, cold, dim as u64 * 4), ds_simgpu::clock::ResKind::Pcie);
+        clock.work_on(
+            model.gather_time(hits, dim as u64 * 4),
+            ds_simgpu::clock::ResKind::Hbm,
+        );
+        clock.work_on(
+            self.cluster.uva_read(self.rank, cold, dim as u64 * 4),
+            ds_simgpu::clock::ResKind::Pcie,
+        );
         self.stats.add(hits, cold);
         out
     }
@@ -223,7 +252,12 @@ pub struct HostLoader {
 impl HostLoader {
     /// Creates the loader for `rank`.
     pub fn new(host: Arc<Features>, cluster: Arc<Cluster>, rank: usize) -> Self {
-        HostLoader { host, cluster, rank, stats: Arc::new(LoaderStats::default()) }
+        HostLoader {
+            host,
+            cluster,
+            rank,
+            stats: Arc::new(LoaderStats::default()),
+        }
     }
 }
 
@@ -231,7 +265,8 @@ impl FeatureLoader for HostLoader {
     fn load(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Matrix {
         let dim = self.host.dim();
         clock.work_on(
-            self.cluster.uva_read(self.rank, nodes.len() as u64, dim as u64 * 4),
+            self.cluster
+                .uva_read(self.rank, nodes.len() as u64, dim as u64 * 4),
             ds_simgpu::clock::ResKind::Pcie,
         );
         let mut out = Matrix::zeros(nodes.len(), dim);
@@ -263,7 +298,13 @@ pub struct CpuLoader {
 impl CpuLoader {
     /// Creates the loader for `rank` with full native gather efficiency.
     pub fn new(host: Arc<Features>, cluster: Arc<Cluster>, rank: usize) -> Self {
-        CpuLoader { host, cluster, rank, gather_efficiency: 1.0, stats: Arc::new(LoaderStats::default()) }
+        CpuLoader {
+            host,
+            cluster,
+            rank,
+            gather_efficiency: 1.0,
+            stats: Arc::new(LoaderStats::default()),
+        }
     }
 
     /// Derates the host gather bandwidth (Python collation overhead).
@@ -281,12 +322,21 @@ impl FeatureLoader for CpuLoader {
         let bytes = nodes.len() as u64 * dim as u64 * 4;
         // Host-side gather through the framework dataloader: cache-missy
         // row reads plus a staging write, far below DRAM peak.
-        self.cluster.device(self.rank).meter.record(ds_simgpu::Link::HostDram, 2 * bytes);
+        self.cluster
+            .device(self.rank)
+            .meter
+            .record(ds_simgpu::Link::HostDram, 2 * bytes);
         clock.work(2.0 * bytes as f64 / (model.cpu.host_gather_bw * self.gather_efficiency));
         // H2D copy from pageable memory (the CPU dataloader path does
         // not pin buffers), bounded also by the shared PCIe switch.
-        let bw = model.cpu.pageable_pcie_bw.min(self.cluster.topology().pcie_bw(self.rank));
-        self.cluster.device(self.rank).meter.record(ds_simgpu::Link::Pcie, bytes);
+        let bw = model
+            .cpu
+            .pageable_pcie_bw
+            .min(self.cluster.topology().pcie_bw(self.rank));
+        self.cluster
+            .device(self.rank)
+            .meter
+            .record(ds_simgpu::Link::Pcie, bytes);
         clock.work_on(
             ds_simgpu::topology::TRANSFER_LATENCY + bytes as f64 / bw,
             ds_simgpu::clock::ResKind::Pcie,

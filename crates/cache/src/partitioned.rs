@@ -40,10 +40,15 @@ impl PartitionedCache {
         let k = ranges.len();
         let rows_per_rank = (budget_bytes / row_bytes.max(1)) as usize;
         let owner = |v: NodeId| -> usize {
-            ranges.iter().position(|r| r.contains(&v)).expect("node outside all ranges")
+            ranges
+                .iter()
+                .position(|r| r.contains(&v))
+                .expect("node outside all ranges")
         };
-        let mut position: Vec<Vec<u32>> =
-            ranges.iter().map(|r| vec![COLD; (r.end - r.start) as usize]).collect();
+        let mut position: Vec<Vec<u32>> = ranges
+            .iter()
+            .map(|r| vec![COLD; (r.end - r.start) as usize])
+            .collect();
         let mut rows: Vec<Vec<f32>> = vec![Vec::new(); k];
         let mut counts = vec![0usize; k];
         for &v in hot_order {
@@ -66,7 +71,12 @@ impl PartitionedCache {
             .collect();
         let mut range_starts: Vec<NodeId> = ranges.iter().map(|r| r.start).collect();
         range_starts.push(ranges.last().map(|r| r.end).unwrap_or(0));
-        PartitionedCache { dim, range_starts, position, storage }
+        PartitionedCache {
+            dim,
+            range_starts,
+            position,
+            storage,
+        }
     }
 
     /// Feature dimension.
@@ -130,7 +140,9 @@ mod tests {
 
     fn ranges(k: usize, n: usize) -> Vec<Range<NodeId>> {
         let per = n / k;
-        (0..k).map(|i| (i * per) as u32..(((i + 1) * per).min(n)) as u32).collect()
+        (0..k)
+            .map(|i| (i * per) as u32..(((i + 1) * per).min(n)) as u32)
+            .collect()
     }
 
     #[test]

@@ -5,8 +5,6 @@
 //! to in-degree (§3.1). `Random` is the ablation control.
 
 use ds_graph::{algo, Csr, NodeId};
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
 
 /// How to rank nodes by expected feature-access frequency.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -42,8 +40,8 @@ impl CachePolicy {
             }
             CachePolicy::Random { seed } => {
                 let mut order: Vec<NodeId> = (0..g.num_nodes() as NodeId).collect();
-                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-                order.shuffle(&mut rng);
+                let mut rng = ds_rng::Rng::seed_from_u64(seed);
+                rng.shuffle(&mut order);
                 order
             }
         }
@@ -58,7 +56,11 @@ mod tests {
     #[test]
     fn in_degree_ranks_hubs_first() {
         let g = gen::rmat(
-            gen::RmatParams { num_nodes: 1024, num_edges: 16_384, ..Default::default() },
+            gen::RmatParams {
+                num_nodes: 1024,
+                num_edges: 16_384,
+                ..Default::default()
+            },
             5,
         );
         let order = CachePolicy::InDegree.rank_nodes(&g);

@@ -38,7 +38,11 @@ impl ReplicatedCache {
             data.extend_from_slice(features.row(v));
             count += 1;
         }
-        ReplicatedCache { dim, position, storage: Matrix::from_vec(count, dim, data) }
+        ReplicatedCache {
+            dim,
+            position,
+            storage: Matrix::from_vec(count, dim, data),
+        }
     }
 
     /// Feature dimension.

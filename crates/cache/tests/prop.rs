@@ -2,14 +2,19 @@
 
 use ds_cache::{CachePolicy, PartitionedCache, ReplicatedCache};
 use ds_graph::{gen, Features, NodeId};
-use proptest::prelude::*;
+use ds_testkit::prelude::*;
 
 fn features(n: usize, dim: usize, seed: u64) -> Features {
-    Features::from_raw(dim, (0..n * dim).map(|i| ((i as u64 ^ seed) % 97) as f32).collect())
+    Features::from_raw(
+        dim,
+        (0..n * dim)
+            .map(|i| ((i as u64 ^ seed) % 97) as f32)
+            .collect(),
+    )
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+props! {
+    #![cases(32)]
 
     #[test]
     fn partitioned_cache_never_exceeds_budget_and_serves_exact_rows(

@@ -14,7 +14,7 @@
 //! acquiring slots in the same order, circular waits are impossible.
 
 use crate::WorkerId;
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 #[derive(Debug, Default)]
@@ -37,7 +37,10 @@ impl Coordinator {
     /// A coordinator for `num_ranks` ranks with rank 0 as leader.
     pub fn new(num_ranks: usize) -> Self {
         Coordinator {
-            state: Mutex::new(State { order: Vec::new(), cursor: vec![0; num_ranks] }),
+            state: Mutex::new(State {
+                order: Vec::new(),
+                cursor: vec![0; num_ranks],
+            }),
             cv: Condvar::new(),
             leader: 0,
         }
@@ -53,7 +56,7 @@ impl Coordinator {
     /// advances the rank's cursor and wakes waiters. Returns whatever
     /// `acquire` returns.
     pub fn launch<R>(&self, rank: usize, worker: WorkerId, acquire: impl FnOnce() -> R) -> R {
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if rank == self.leader {
             // The leader registers readiness by appending to the order.
             st.order.push(worker);
@@ -67,7 +70,7 @@ impl Coordinator {
             // Either the leader hasn't scheduled this worker yet, or an
             // earlier-scheduled worker on this rank hasn't launched —
             // "waits for the worker to become ready" (§5).
-            self.cv.wait(&mut st);
+            st = self.cv.wait(st).unwrap();
         }
         // It is this worker's turn. Drop the coordinator lock during the
         // (potentially blocking) slot acquisition — other ranks must be
@@ -76,7 +79,7 @@ impl Coordinator {
         // cursor advances below.
         drop(st);
         let out = acquire();
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.cursor[rank] += 1;
         self.cv.notify_all();
         out
@@ -92,7 +95,7 @@ impl Coordinator {
         acquire: impl FnOnce() -> R,
     ) -> Option<R> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         if rank == self.leader {
             st.order.push(worker);
             self.cv.notify_all();
@@ -102,13 +105,22 @@ impl Coordinator {
             if pos < st.order.len() && st.order[pos] == worker {
                 break;
             }
-            if self.cv.wait_until(&mut st, deadline).timed_out() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
                 return None;
+            }
+            let (g, res) = self.cv.wait_timeout(st, deadline - now).unwrap();
+            st = g;
+            if res.timed_out() {
+                let pos = st.cursor[rank];
+                if !(pos < st.order.len() && st.order[pos] == worker) {
+                    return None;
+                }
             }
         }
         drop(st);
         let out = acquire();
-        let mut st = self.state.lock();
+        let mut st = self.state.lock().unwrap();
         st.cursor[rank] += 1;
         self.cv.notify_all();
         Some(out)
@@ -116,7 +128,7 @@ impl Coordinator {
 
     /// The global order decided so far (for inspection/tests).
     pub fn order_snapshot(&self) -> Vec<WorkerId> {
-        self.state.lock().order.clone()
+        self.state.lock().unwrap().order.clone()
     }
 }
 
@@ -139,14 +151,14 @@ mod tests {
             let o2 = Arc::clone(&order);
             let c3 = Arc::clone(&c2);
             let hb = std::thread::spawn(move || {
-                c3.launch(1, 9, || o2.lock().push(9));
+                c3.launch(1, 9, || o2.lock().unwrap().push(9));
             });
             std::thread::sleep(Duration::from_millis(30));
             // B should not have launched yet.
-            assert!(order.lock().is_empty());
-            c2.launch(1, 7, || order.lock().push(7));
+            assert!(order.lock().unwrap().is_empty());
+            c2.launch(1, 7, || order.lock().unwrap().push(7));
             hb.join().unwrap();
-            let launched = order.lock().clone();
+            let launched = order.lock().unwrap().clone();
             launched
         });
         assert_eq!(follower_b.join().unwrap(), vec![7, 9]);

@@ -19,9 +19,9 @@ use crate::slots::DeviceSlots;
 use crate::WorkerId;
 use ds_simgpu::topology::TRANSFER_LATENCY;
 use ds_simgpu::{Clock, Cluster};
-use parking_lot::{Condvar, Mutex};
 use std::any::Any;
 use std::sync::Arc;
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Errors surfaced by the timeout variants.
@@ -102,7 +102,16 @@ impl Communicator {
     /// structurally impossible.
     pub fn new(id: WorkerId, cluster: Arc<Cluster>) -> Self {
         let n = cluster.num_gpus();
-        Communicator { id, n, cluster, slots: None, ccc: None, backend: Backend::Nccl, round: Mutex::new(Round::new(n)), cv: Condvar::new() }
+        Communicator {
+            id,
+            n,
+            cluster,
+            slots: None,
+            ccc: None,
+            backend: Backend::Nccl,
+            round: Mutex::new(Round::new(n)),
+            cv: Condvar::new(),
+        }
     }
 
     /// A communicator whose collectives occupy a kernel slot for their
@@ -115,7 +124,16 @@ impl Communicator {
     ) -> Self {
         let n = cluster.num_gpus();
         assert_eq!(slots.num_devices(), n);
-        Communicator { id, n, cluster, slots: Some(slots), ccc, backend: Backend::Nccl, round: Mutex::new(Round::new(n)), cv: Condvar::new() }
+        Communicator {
+            id,
+            n,
+            cluster,
+            slots: Some(slots),
+            ccc,
+            backend: Backend::Nccl,
+            round: Mutex::new(Round::new(n)),
+            cv: Condvar::new(),
+        }
     }
 
     /// Switches to the NVSHMEM backend. Legal only when every pair of
@@ -162,10 +180,14 @@ impl Communicator {
             // One-sided puts: no peer kernel, no slot to occupy.
             return Ok(false);
         }
-        let Some(slots) = &self.slots else { return Ok(false) };
+        let Some(slots) = &self.slots else {
+            return Ok(false);
+        };
         let acquired = match &self.ccc {
             Some(ccc) => ccc
-                .launch_timeout(rank, self.id, timeout, || slots.device(rank).acquire_timeout(timeout))
+                .launch_timeout(rank, self.id, timeout, || {
+                    slots.device(rank).acquire_timeout(timeout)
+                })
                 .ok_or(CommError::Timeout)?,
             None => slots.device(rank).acquire_timeout(timeout),
         };
@@ -199,17 +221,29 @@ impl Communicator {
         debug_assert_eq!(bytes_row.len(), self.n);
         let launched = self.launch(rank, timeout)?;
         let deadline = std::time::Instant::now() + timeout;
-        let mut st = self.round.lock();
+        let mut st = self.round.lock().unwrap();
         // Wait out the drain phase of the previous round.
         while st.departed > 0 {
-            if self.cv.wait_until(&mut st, deadline).timed_out() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                drop(st);
+                self.land(rank, launched);
+                return Err(CommError::Timeout);
+            }
+            let (g, res) = self.cv.wait_timeout(st, deadline - now).unwrap();
+            st = g;
+            if res.timed_out() && st.departed > 0 {
                 drop(st);
                 self.land(rank, launched);
                 return Err(CommError::Timeout);
             }
         }
         let gen = st.generation;
-        debug_assert!(st.deposits[rank].is_none(), "rank {rank} double-entered collective {}", self.id);
+        debug_assert!(
+            st.deposits[rank].is_none(),
+            "rank {rank} double-entered collective {}",
+            self.id
+        );
         st.deposits[rank] = Some(payload);
         st.bytes_to[rank] = bytes_row;
         st.clocks[rank] = clock.now();
@@ -219,7 +253,15 @@ impl Communicator {
             self.cv.notify_all();
         }
         while st.generation == gen && st.arrived < self.n {
-            if self.cv.wait_until(&mut st, deadline).timed_out() {
+            let now = std::time::Instant::now();
+            let timed_out = if now >= deadline {
+                true
+            } else {
+                let (g, res) = self.cv.wait_timeout(st, deadline - now).unwrap();
+                st = g;
+                res.timed_out() && st.generation == gen && st.arrived < self.n
+            };
+            if timed_out {
                 // Withdraw our deposit so the round isn't corrupted.
                 st.deposits[rank] = None;
                 st.arrived -= 1;
@@ -232,7 +274,11 @@ impl Communicator {
         let out = pickup(&st);
         clock.wait_until(st.sync_time);
         let cost = self.cost_for(rank, &st.bytes_to);
-        let kind = if self.n == 1 { ds_simgpu::clock::ResKind::Hbm } else { ds_simgpu::clock::ResKind::NvLink };
+        let kind = if self.n == 1 {
+            ds_simgpu::clock::ResKind::Hbm
+        } else {
+            ds_simgpu::clock::ResKind::NvLink
+        };
         clock.work_on(cost, kind);
         // Meter this rank's own sends.
         for dst in 0..self.n {
@@ -274,7 +320,11 @@ impl Communicator {
             if local == 0 {
                 return 0.0;
             }
-            return self.cluster.model().gpu.bandwidth_time(local, self.cluster.model().hbm_bw);
+            return self
+                .cluster
+                .model()
+                .gpu
+                .bandwidth_time(local, self.cluster.model().hbm_bw);
         }
         let mut send = 0.0;
         let mut recv = 0.0;
@@ -307,7 +357,8 @@ impl Communicator {
         sends: Vec<Vec<T>>,
         item_bytes: u64,
     ) -> Vec<Vec<T>> {
-        self.all_to_all_v_timeout(rank, clock, sends, item_bytes, FOREVER).expect("collective timeout")
+        self.all_to_all_v_timeout(rank, clock, sends, item_bytes, FOREVER)
+            .expect("collective timeout")
     }
 
     /// Timeout variant of [`Self::all_to_all_v`].
@@ -319,18 +370,31 @@ impl Communicator {
         item_bytes: u64,
         timeout: Duration,
     ) -> Result<Vec<Vec<T>>, CommError> {
-        assert_eq!(sends.len(), self.n, "all_to_all_v needs one send vector per rank");
+        assert_eq!(
+            sends.len(),
+            self.n,
+            "all_to_all_v needs one send vector per rank"
+        );
         let bytes_row: Vec<u64> = sends.iter().map(|s| s.len() as u64 * item_bytes).collect();
         let n = self.n;
-        self.exchange(rank, clock, Box::new(sends), bytes_row, timeout, move |st| {
-            (0..n)
-                .map(|src| {
-                    let dep = st.deposits[src].as_ref().expect("peer deposit missing");
-                    let cols = dep.downcast_ref::<Vec<Vec<T>>>().expect("payload type mismatch");
-                    cols[rank].clone()
-                })
-                .collect()
-        })
+        self.exchange(
+            rank,
+            clock,
+            Box::new(sends),
+            bytes_row,
+            timeout,
+            move |st| {
+                (0..n)
+                    .map(|src| {
+                        let dep = st.deposits[src].as_ref().expect("peer deposit missing");
+                        let cols = dep
+                            .downcast_ref::<Vec<Vec<T>>>()
+                            .expect("payload type mismatch");
+                        cols[rank].clone()
+                    })
+                    .collect()
+            },
+        )
     }
 
     /// Allreduce (sum) over equal-length f32 buffers — the gradient
@@ -348,22 +412,31 @@ impl Communicator {
         let mut bytes_row = vec![0u64; n];
         bytes_row[(rank + 1) % n] = ring_bytes;
         let out = self
-            .exchange(rank, clock, Box::new(data.clone()), bytes_row, FOREVER, move |st| {
-                let mut acc = vec![0.0f32; 0];
-                for src in 0..n {
-                    let dep = st.deposits[src].as_ref().expect("peer deposit missing");
-                    let buf = dep.downcast_ref::<Vec<f32>>().expect("payload type mismatch");
-                    if acc.is_empty() {
-                        acc = buf.clone();
-                    } else {
-                        assert_eq!(acc.len(), buf.len(), "allreduce length mismatch");
-                        for (a, b) in acc.iter_mut().zip(buf) {
-                            *a += *b;
+            .exchange(
+                rank,
+                clock,
+                Box::new(data.clone()),
+                bytes_row,
+                FOREVER,
+                move |st| {
+                    let mut acc = vec![0.0f32; 0];
+                    for src in 0..n {
+                        let dep = st.deposits[src].as_ref().expect("peer deposit missing");
+                        let buf = dep
+                            .downcast_ref::<Vec<f32>>()
+                            .expect("payload type mismatch");
+                        if acc.is_empty() {
+                            acc = buf.clone();
+                        } else {
+                            assert_eq!(acc.len(), buf.len(), "allreduce length mismatch");
+                            for (a, b) in acc.iter_mut().zip(buf) {
+                                *a += *b;
+                            }
                         }
                     }
-                }
-                acc
-            })
+                    acc
+                },
+            )
             .expect("collective timeout");
         data = out;
         data
@@ -385,7 +458,9 @@ impl Communicator {
             (0..n)
                 .map(|src| {
                     let dep = st.deposits[src].as_ref().expect("peer deposit missing");
-                    dep.downcast_ref::<Vec<T>>().expect("payload type mismatch").clone()
+                    dep.downcast_ref::<Vec<T>>()
+                        .expect("payload type mismatch")
+                        .clone()
                 })
                 .collect()
         })
@@ -403,7 +478,11 @@ impl Communicator {
         item_bytes: u64,
     ) -> Vec<T> {
         assert!(root < self.n);
-        assert_eq!(rank == root, data.is_some(), "exactly the root provides data");
+        assert_eq!(
+            rank == root,
+            data.is_some(),
+            "exactly the root provides data"
+        );
         let n = self.n;
         let mut bytes_row = vec![0u64; n];
         if rank == root {
@@ -426,7 +505,8 @@ impl Communicator {
 
     /// Barrier: synchronizes clocks, charges latency only.
     pub fn barrier(&self, rank: usize, clock: &mut Clock) {
-        self.barrier_timeout(rank, clock, FOREVER).expect("collective timeout")
+        self.barrier_timeout(rank, clock, FOREVER)
+            .expect("collective timeout")
     }
 
     /// Timeout variant of [`Self::barrier`] (used by the deadlock tests).
@@ -487,7 +567,13 @@ mod tests {
         let c2 = Arc::clone(&cluster);
         let results = run_ranks(2, move |rank, clock| {
             let sends: Vec<Vec<u8>> = (0..2)
-                .map(|d| if d == rank { Vec::new() } else { vec![0u8; 1_000_000] })
+                .map(|d| {
+                    if d == rank {
+                        Vec::new()
+                    } else {
+                        vec![0u8; 1_000_000]
+                    }
+                })
                 .collect();
             comm.all_to_all_v(rank, clock, sends, 1);
             clock.now()
@@ -608,26 +694,38 @@ mod tests {
                     std::thread::spawn(move || {
                         let mut clock = Clock::new();
                         for _ in 0..4 {
-                            let sends: Vec<Vec<u8>> =
-                                (0..2).map(|d| vec![0u8; if d == rank { 0 } else { 4096 }]).collect();
+                            let sends: Vec<Vec<u8>> = (0..2)
+                                .map(|d| vec![0u8; if d == rank { 0 } else { 4096 }])
+                                .collect();
                             let _ = comm.all_to_all_v(rank, &mut clock, sends, 1);
                         }
                         clock.now()
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().unwrap()).fold(0.0, f64::max)
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .fold(0.0, f64::max)
         };
         let t_nccl = run(nccl);
         let t_shmem = run(nvshmem);
-        assert!(t_shmem < t_nccl, "nvshmem {t_shmem} should beat nccl {t_nccl}");
+        assert!(
+            t_shmem < t_nccl,
+            "nvshmem {t_shmem} should beat nccl {t_nccl}"
+        );
     }
 
     #[test]
     fn slots_are_held_for_the_duration() {
         let cluster = Arc::new(ClusterSpec::v100(2).build());
         let slots = Arc::new(DeviceSlots::new(2, 1));
-        let comm = Arc::new(Communicator::with_slots(9, cluster, Arc::clone(&slots), None));
+        let comm = Arc::new(Communicator::with_slots(
+            9,
+            cluster,
+            Arc::clone(&slots),
+            None,
+        ));
         let results = run_ranks(2, move |rank, clock| {
             comm.barrier(rank, clock);
             true

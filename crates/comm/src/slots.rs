@@ -6,7 +6,7 @@
 //! §5). Acquisition blocks; an optional timeout lets tests *observe* a
 //! deadlock instead of hanging.
 
-use parking_lot::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex};
 use std::time::Duration;
 
 /// Counting semaphore for one device's kernel slots.
@@ -19,14 +19,17 @@ pub struct Slots {
 impl Slots {
     /// A device with `n` kernel slots.
     pub fn new(n: u32) -> Self {
-        Slots { available: Mutex::new(n), cv: Condvar::new() }
+        Slots {
+            available: Mutex::new(n),
+            cv: Condvar::new(),
+        }
     }
 
     /// Acquires one slot, blocking until available.
     pub fn acquire(&self) {
-        let mut a = self.available.lock();
+        let mut a = self.available.lock().unwrap();
         while *a == 0 {
-            self.cv.wait(&mut a);
+            a = self.cv.wait(a).unwrap();
         }
         *a -= 1;
     }
@@ -34,9 +37,15 @@ impl Slots {
     /// Acquires one slot with a timeout; `false` on timeout.
     pub fn acquire_timeout(&self, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
-        let mut a = self.available.lock();
+        let mut a = self.available.lock().unwrap();
         while *a == 0 {
-            if self.cv.wait_until(&mut a, deadline).timed_out() {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, res) = self.cv.wait_timeout(a, deadline - now).unwrap();
+            a = g;
+            if res.timed_out() && *a == 0 {
                 return false;
             }
         }
@@ -46,14 +55,14 @@ impl Slots {
 
     /// Releases one slot.
     pub fn release(&self) {
-        let mut a = self.available.lock();
+        let mut a = self.available.lock().unwrap();
         *a += 1;
         self.cv.notify_one();
     }
 
     /// Currently free slots (racy; for tests/inspection).
     pub fn free(&self) -> u32 {
-        *self.available.lock()
+        *self.available.lock().unwrap()
     }
 }
 
@@ -70,7 +79,11 @@ impl DeviceSlots {
     /// contention deterministically; systems default to a small number.
     pub fn new(num_devices: usize, slots_per_device: u32) -> Self {
         assert!(slots_per_device >= 1);
-        DeviceSlots { slots: (0..num_devices).map(|_| Slots::new(slots_per_device)).collect() }
+        DeviceSlots {
+            slots: (0..num_devices)
+                .map(|_| Slots::new(slots_per_device))
+                .collect(),
+        }
     }
 
     /// The slot pool of device `rank`.

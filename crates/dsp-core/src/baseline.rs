@@ -46,7 +46,10 @@ impl BaselineSystem {
     /// Builds the baseline `kind` over `gpus` devices.
     pub fn new(kind: SystemKind, dataset: &Dataset, gpus: usize, cfg: &TrainConfig) -> Self {
         assert!(
-            matches!(kind, SystemKind::Quiver | SystemKind::DglUva | SystemKind::DglCpu | SystemKind::PyG),
+            matches!(
+                kind,
+                SystemKind::Quiver | SystemKind::DglUva | SystemKind::DglCpu | SystemKind::PyG
+            ),
             "use DspSystem for {kind:?}"
         );
         let layout = build_host_layout(dataset, gpus, cfg, kind == SystemKind::Quiver);
@@ -111,12 +114,8 @@ impl BaselineSystem {
                         rank,
                     )),
                     SystemKind::PyG => Box::new(
-                        CpuLoader::new(
-                            Arc::clone(&layout.features),
-                            Arc::clone(&cluster),
-                            rank,
-                        )
-                        .with_gather_efficiency(0.45),
+                        CpuLoader::new(Arc::clone(&layout.features), Arc::clone(&cluster), rank)
+                            .with_gather_efficiency(0.45),
                     ),
                     _ => unreachable!(),
                 };
@@ -138,7 +137,12 @@ impl BaselineSystem {
                 }
             })
             .collect();
-        BaselineSystem { kind, layout, cfg: cfg.clone(), ranks }
+        BaselineSystem {
+            kind,
+            layout,
+            cfg: cfg.clone(),
+            ranks,
+        }
     }
 
     /// The host layout (for inspection).
@@ -152,8 +156,12 @@ impl System for BaselineSystem {
         self.layout.cluster.reset_traffic();
         let exec = self.cfg.exec_compute;
         let labels = Arc::clone(&self.layout.labels);
-        let batches: Vec<Vec<Vec<NodeId>>> =
-            self.layout.schedules.iter().map(|s| s.epoch_batches(epoch)).collect();
+        let batches: Vec<Vec<Vec<NodeId>>> = self
+            .layout
+            .schedules
+            .iter()
+            .map(|s| s.epoch_batches(epoch))
+            .collect();
         let num_batches = batches.first().map(|b| b.len()).unwrap_or(0);
         struct RankOut {
             sample_busy: f64,
@@ -204,7 +212,10 @@ impl System for BaselineSystem {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
         });
         let mut metrics = MetricAccumulator::default();
         for r in &results {
@@ -233,8 +244,12 @@ impl System for BaselineSystem {
     }
 
     fn run_sampler_epoch(&mut self, epoch: u64) -> f64 {
-        let batches: Vec<Vec<Vec<NodeId>>> =
-            self.layout.schedules.iter().map(|s| s.epoch_batches(epoch)).collect();
+        let batches: Vec<Vec<Vec<NodeId>>> = self
+            .layout
+            .schedules
+            .iter()
+            .map(|s| s.epoch_batches(epoch))
+            .collect();
         let times: Vec<f64> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .ranks
@@ -299,7 +314,11 @@ pub fn fastgcn_cpu_sampling_time(dataset: &Dataset, fanout: &[usize], batch_size
 /// each layer scans the full adjacency lists of the frontier's candidate
 /// neighborhood to build the layer-sampling distribution — so cost grows
 /// with the *square* of the average degree.
-pub fn fastgcn_scanned_edges_per_batch(dataset: &Dataset, fanout: &[usize], batch_size: usize) -> f64 {
+pub fn fastgcn_scanned_edges_per_batch(
+    dataset: &Dataset,
+    fanout: &[usize],
+    batch_size: usize,
+) -> f64 {
     let g = &dataset.graph;
     let avg_deg = g.num_edges() as f64 / g.num_nodes() as f64;
     let mut frontier = batch_size as f64;
@@ -327,7 +346,10 @@ mod tests {
         let e_light = fastgcn_scanned_edges_per_batch(&light, &[100, 100], 64);
         let e_heavy = fastgcn_scanned_edges_per_batch(&heavy, &[100, 100], 64);
         // Degree enters quadratically (candidates × their degree).
-        assert!(e_heavy > 3.0 * e_light, "heavy {e_heavy} vs light {e_light}");
+        assert!(
+            e_heavy > 3.0 * e_light,
+            "heavy {e_heavy} vs light {e_light}"
+        );
         // And the end-to-end time is monotone in the scan volume.
         assert!(
             fastgcn_cpu_sampling_time(&heavy, &[100, 100], 64)

@@ -39,7 +39,13 @@ impl SystemKind {
 
     /// The five systems of Tables 4–6, in paper row order.
     pub fn paper_suite() -> Vec<SystemKind> {
-        vec![SystemKind::PyG, SystemKind::DglCpu, SystemKind::Quiver, SystemKind::DglUva, SystemKind::Dsp]
+        vec![
+            SystemKind::PyG,
+            SystemKind::DglCpu,
+            SystemKind::Quiver,
+            SystemKind::DglUva,
+            SystemKind::Dsp,
+        ]
     }
 }
 
@@ -126,7 +132,11 @@ impl TrainConfig {
 
     /// Validates internal consistency.
     pub fn validate(&self) {
-        assert_eq!(self.fanout.len(), self.num_layers, "fanout length must equal num_layers");
+        assert_eq!(
+            self.fanout.len(),
+            self.num_layers,
+            "fanout length must equal num_layers"
+        );
         assert!(self.batch_size > 0);
         assert!(self.queue_capacity >= 1);
         assert!((0.0..1.0).contains(&self.mem_reserve_frac));

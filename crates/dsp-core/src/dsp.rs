@@ -64,9 +64,24 @@ impl DspSystem {
             let slots = Arc::new(DeviceSlots::new(gpus, cfg.slots_per_device));
             let ccc = cfg.use_ccc.then(|| Arc::new(Coordinator::new(gpus)));
             (
-                Arc::new(Communicator::with_slots(SAMPLER_WORKER, Arc::clone(&cluster), Arc::clone(&slots), ccc.clone())),
-                Arc::new(Communicator::with_slots(LOADER_WORKER, Arc::clone(&cluster), Arc::clone(&slots), ccc.clone())),
-                Arc::new(Communicator::with_slots(TRAINER_WORKER, Arc::clone(&cluster), slots, ccc)),
+                Arc::new(Communicator::with_slots(
+                    SAMPLER_WORKER,
+                    Arc::clone(&cluster),
+                    Arc::clone(&slots),
+                    ccc.clone(),
+                )),
+                Arc::new(Communicator::with_slots(
+                    LOADER_WORKER,
+                    Arc::clone(&cluster),
+                    Arc::clone(&slots),
+                    ccc.clone(),
+                )),
+                Arc::new(Communicator::with_slots(
+                    TRAINER_WORKER,
+                    Arc::clone(&cluster),
+                    slots,
+                    ccc,
+                )),
             )
         } else {
             (
@@ -113,7 +128,12 @@ impl DspSystem {
                 ),
             })
             .collect();
-        DspSystem { layout, cfg: cfg.clone(), pipelined, ranks }
+        DspSystem {
+            layout,
+            cfg: cfg.clone(),
+            pipelined,
+            ranks,
+        }
     }
 
     /// The data layout (for inspection: cache hit rates, memory use).
@@ -128,7 +148,10 @@ impl DspSystem {
 
     /// All replicas' checksums (must be identical under BSP).
     pub fn all_checksums(&self) -> Vec<f64> {
-        self.ranks.iter().map(|r| r.trainer.param_checksum()).collect()
+        self.ranks
+            .iter()
+            .map(|r| r.trainer.param_checksum())
+            .collect()
     }
 
     /// Aggregate loader statistics across ranks: (cache hits, cold
@@ -158,7 +181,11 @@ fn run_rank_pipelined(
     exec: bool,
     labels: Arc<Labels>,
 ) -> RankEpoch {
-    let RankState { sampler, loader, trainer } = state;
+    let RankState {
+        sampler,
+        loader,
+        trainer,
+    } = state;
     let (mut sample_tx, mut sample_rx) = virtual_queue::<GraphSample>(cap);
     let (mut feat_tx, mut feat_rx) = virtual_queue::<(GraphSample, Matrix)>(cap);
     std::thread::scope(|s| {
@@ -218,7 +245,11 @@ fn run_rank_seq(
     exec: bool,
     labels: Arc<Labels>,
 ) -> RankEpoch {
-    let RankState { sampler, loader, trainer } = state;
+    let RankState {
+        sampler,
+        loader,
+        trainer,
+    } = state;
     let mut clock = Clock::new();
     let mut metrics = MetricAccumulator::default();
     let (mut sb, mut lb, mut tb) = (0.0, 0.0, 0.0);
@@ -257,8 +288,12 @@ impl System for DspSystem {
         let exec = self.cfg.exec_compute;
         let pipelined = self.pipelined;
         let labels = Arc::clone(&self.layout.labels);
-        let batches: Vec<Vec<Vec<NodeId>>> =
-            self.layout.schedules.iter().map(|s| s.epoch_batches(epoch)).collect();
+        let batches: Vec<Vec<Vec<NodeId>>> = self
+            .layout
+            .schedules
+            .iter()
+            .map(|s| s.epoch_batches(epoch))
+            .collect();
         let num_batches = batches.first().map(|b| b.len()).unwrap_or(0);
         let results: Vec<RankEpoch> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
@@ -276,7 +311,10 @@ impl System for DspSystem {
                     })
                 })
                 .collect();
-            handles.into_iter().map(|h| h.join().expect("rank thread panicked")).collect()
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("rank thread panicked"))
+                .collect()
         });
         let mut metrics = MetricAccumulator::default();
         for r in &results {
@@ -305,8 +343,12 @@ impl System for DspSystem {
     }
 
     fn run_sampler_epoch(&mut self, epoch: u64) -> f64 {
-        let batches: Vec<Vec<Vec<NodeId>>> =
-            self.layout.schedules.iter().map(|s| s.epoch_batches(epoch)).collect();
+        let batches: Vec<Vec<Vec<NodeId>>> = self
+            .layout
+            .schedules
+            .iter()
+            .map(|s| s.epoch_batches(epoch))
+            .collect();
         let times: Vec<f64> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .ranks

@@ -19,7 +19,10 @@ use std::sync::Arc;
 /// Node weights used by the biased-sampling experiments: `1 + in-degree`
 /// (any positive per-node weight works; degree keeps it deterministic).
 pub fn biased_node_weights(g: &Csr) -> Vec<f32> {
-    algo::in_degrees(g).iter().map(|&d| 1.0 + d as f32).collect()
+    algo::in_degrees(g)
+        .iter()
+        .map(|&d| 1.0 + d as f32)
+        .collect()
 }
 
 /// DSP's materialized layout.
@@ -53,7 +56,9 @@ pub fn build_dsp_layout(dataset: &Dataset, gpus: usize, cfg: &TrainConfig) -> Ds
     // Optionally weight edges for biased sampling (weights stored with
     // edges during data preparation, §4.2).
     let base = if cfg.biased {
-        dataset.graph.with_node_weights(&biased_node_weights(&dataset.graph))
+        dataset
+            .graph
+            .with_node_weights(&biased_node_weights(&dataset.graph))
     } else {
         dataset.graph.clone()
     };
@@ -75,7 +80,10 @@ pub fn build_dsp_layout(dataset: &Dataset, gpus: usize, cfg: &TrainConfig) -> Ds
         Some(c) => usable.saturating_sub(c.min(usable)),
         None => usable,
     };
-    let max_patch = (0..gpus).map(|r| dist_graph.patch_bytes(r)).max().unwrap_or(0);
+    let max_patch = (0..gpus)
+        .map(|r| dist_graph.patch_bytes(r))
+        .max()
+        .unwrap_or(0);
     if max_patch > topo_budget {
         dist_graph.apply_topology_budget(topo_budget);
     }
@@ -83,19 +91,38 @@ pub fn build_dsp_layout(dataset: &Dataset, gpus: usize, cfg: &TrainConfig) -> Ds
     let mut min_remaining = u64::MAX;
     for r in 0..gpus {
         let topo = dist_graph.resident_bytes(r);
-        cluster.device(r).mem.alloc(topo).expect("topology allocation");
+        cluster
+            .device(r)
+            .mem
+            .alloc(topo)
+            .expect("topology allocation");
         min_remaining = min_remaining.min(usable - topo);
     }
-    let cache_budget = cfg.cache_budget_override.unwrap_or(min_remaining).min(min_remaining);
+    let cache_budget = cfg
+        .cache_budget_override
+        .unwrap_or(min_remaining)
+        .min(min_remaining);
     let hot_order = cfg.cache_policy.rank_nodes(&graph);
     let ranges: Vec<_> = (0..gpus as u32).map(|p| renum.range_of(p)).collect();
-    let cache = Arc::new(PartitionedCache::build(&features, &ranges, &hot_order, cache_budget));
+    let cache = Arc::new(PartitionedCache::build(
+        &features,
+        &ranges,
+        &hot_order,
+        cache_budget,
+    ));
     for r in 0..gpus {
-        cluster.device(r).mem.alloc(cache.bytes(r)).expect("cache allocation");
+        cluster
+            .device(r)
+            .mem
+            .alloc(cache.bytes(r))
+            .expect("cache allocation");
     }
     // Host keeps the cold features (we conservatively charge the full
     // copy, as DSP does).
-    cluster.host_mem().alloc(features.total_bytes()).expect("host feature store");
+    cluster
+        .host_mem()
+        .alloc(features.total_bytes())
+        .expect("host feature store");
 
     // Seeds co-located with patches.
     let train_new = renum.apply_nodes(&dataset.train);
@@ -156,7 +183,11 @@ pub fn build_host_layout(
     cfg.validate();
     let cluster = Arc::new(ClusterSpec::v100_scaled(gpus, dataset.spec.scale).build());
     let graph = if cfg.biased {
-        Arc::new(dataset.graph.with_node_weights(&biased_node_weights(&dataset.graph)))
+        Arc::new(
+            dataset
+                .graph
+                .with_node_weights(&biased_node_weights(&dataset.graph)),
+        )
     } else {
         Arc::new(dataset.graph.clone())
     };
@@ -171,7 +202,11 @@ pub fn build_host_layout(
         let hot_order = cfg.cache_policy.rank_nodes(&graph);
         let cache = Arc::new(ReplicatedCache::build(&features, &hot_order, usable));
         for r in 0..gpus {
-            cluster.device(r).mem.alloc(cache.bytes()).expect("replicated cache allocation");
+            cluster
+                .device(r)
+                .mem
+                .alloc(cache.bytes())
+                .expect("replicated cache allocation");
         }
         cache
     });

@@ -30,7 +30,11 @@ pub struct MultiMachineSpec {
 impl MultiMachineSpec {
     /// A 100 Gb/s cluster of `machines` nodes.
     pub fn rdma_100g(machines: usize) -> Self {
-        MultiMachineSpec { machines, network_bw: 12.5e9, network_latency: 5.0e-6 }
+        MultiMachineSpec {
+            machines,
+            network_bw: 12.5e9,
+            network_latency: 5.0e-6,
+        }
     }
 }
 
@@ -89,7 +93,13 @@ pub fn project_epoch(
     // The cold-feature path overlaps the pipeline (it is the loader's
     // job); gradient sync is on the trainer's critical path.
     let epoch_time = local_time.max(cold_feature_time) + grad_sync_time;
-    MultiMachineEstimate { epoch_time, local_time, cold_feature_time, grad_sync_time, remote_cold_bytes }
+    MultiMachineEstimate {
+        epoch_time,
+        local_time,
+        cold_feature_time,
+        grad_sync_time,
+        remote_cold_bytes,
+    }
 }
 
 #[cfg(test)]
@@ -97,12 +107,22 @@ mod tests {
     use super::*;
 
     fn single() -> EpochStats {
-        EpochStats { epoch_time: 8.0, num_batches: 64, ..Default::default() }
+        EpochStats {
+            epoch_time: 8.0,
+            num_batches: 64,
+            ..Default::default()
+        }
     }
 
     #[test]
     fn one_machine_is_identity() {
-        let e = project_epoch(&single(), 1_000_000, 512, 4_000_000, MultiMachineSpec::rdma_100g(1));
+        let e = project_epoch(
+            &single(),
+            1_000_000,
+            512,
+            4_000_000,
+            MultiMachineSpec::rdma_100g(1),
+        );
         assert_eq!(e.epoch_time, 8.0);
         assert_eq!(e.cold_feature_time, 0.0);
         assert_eq!(e.grad_sync_time, 0.0);
@@ -115,7 +135,13 @@ mod tests {
         // parallelism.
         let mut times = Vec::new();
         for m in [1usize, 2, 4, 8] {
-            let e = project_epoch(&single(), 10_000, 512, 1_000_000, MultiMachineSpec::rdma_100g(m));
+            let e = project_epoch(
+                &single(),
+                10_000,
+                512,
+                1_000_000,
+                MultiMachineSpec::rdma_100g(m),
+            );
             times.push(e.epoch_time);
         }
         for w in times.windows(2) {
@@ -132,17 +158,50 @@ mod tests {
         // (much slower than PCIe-local) network, and adding machines
         // makes things *worse* than one machine — the flip side of the
         // §3.2 layout that the paper does not evaluate.
-        let short = EpochStats { epoch_time: 0.1, num_batches: 64, ..Default::default() };
-        let one = project_epoch(&short, 500_000_000, 512, 1_000_000, MultiMachineSpec::rdma_100g(1));
-        let two = project_epoch(&short, 500_000_000, 512, 1_000_000, MultiMachineSpec::rdma_100g(2));
-        assert!(two.epoch_time > one.epoch_time, "{} vs {}", two.epoch_time, one.epoch_time);
+        let short = EpochStats {
+            epoch_time: 0.1,
+            num_batches: 64,
+            ..Default::default()
+        };
+        let one = project_epoch(
+            &short,
+            500_000_000,
+            512,
+            1_000_000,
+            MultiMachineSpec::rdma_100g(1),
+        );
+        let two = project_epoch(
+            &short,
+            500_000_000,
+            512,
+            1_000_000,
+            MultiMachineSpec::rdma_100g(2),
+        );
+        assert!(
+            two.epoch_time > one.epoch_time,
+            "{} vs {}",
+            two.epoch_time,
+            one.epoch_time
+        );
         assert!(two.cold_feature_time > two.local_time);
     }
 
     #[test]
     fn remote_fraction_grows_with_machines() {
-        let e2 = project_epoch(&single(), 1_000_000, 512, 1_000_000, MultiMachineSpec::rdma_100g(2));
-        let e8 = project_epoch(&single(), 1_000_000, 512, 1_000_000, MultiMachineSpec::rdma_100g(8));
+        let e2 = project_epoch(
+            &single(),
+            1_000_000,
+            512,
+            1_000_000,
+            MultiMachineSpec::rdma_100g(2),
+        );
+        let e8 = project_epoch(
+            &single(),
+            1_000_000,
+            512,
+            1_000_000,
+            MultiMachineSpec::rdma_100g(8),
+        );
         // Per-machine remote share (m-1)/m grows, but each machine also
         // fetches fewer rows (1/m of the epoch): 2 machines → 1/4 of
         // rows remote per machine; 8 machines → 7/64.

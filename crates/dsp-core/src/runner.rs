@@ -8,7 +8,12 @@ use crate::system::System;
 use ds_graph::Dataset;
 
 /// Builds any of the evaluated systems.
-pub fn build_system(kind: SystemKind, dataset: &Dataset, gpus: usize, cfg: &TrainConfig) -> Box<dyn System> {
+pub fn build_system(
+    kind: SystemKind,
+    dataset: &Dataset,
+    gpus: usize,
+    cfg: &TrainConfig,
+) -> Box<dyn System> {
     match kind {
         SystemKind::Dsp => Box::new(DspSystem::new(dataset, gpus, cfg, true)),
         SystemKind::DspSeq => Box::new(DspSystem::new(dataset, gpus, cfg, false)),
@@ -98,7 +103,11 @@ mod tests {
         let p = dsp.run_epoch(0);
         let s = seq.run_epoch(0);
         assert!(p.epoch_time > 0.0 && s.epoch_time > 0.0);
-        assert!(p.num_batches >= 2, "need multiple batches, got {}", p.num_batches);
+        assert!(
+            p.num_batches >= 2,
+            "need multiple batches, got {}",
+            p.num_batches
+        );
         // Pipelining should never be slower than sequential execution
         // (same work, overlapped).
         assert!(
@@ -119,7 +128,10 @@ mod tests {
         let mut dsp = DspSystem::new(&d, 3, &cfg, true);
         let _ = dsp.run_epoch(0);
         let sums = dsp.all_checksums();
-        assert!(sums.windows(2).all(|w| w[0] == w[1]), "replicas diverged: {sums:?}");
+        assert!(
+            sums.windows(2).all(|w| w[0] == w[1]),
+            "replicas diverged: {sums:?}"
+        );
     }
 
     #[test]
@@ -130,7 +142,11 @@ mod tests {
         for kind in SystemKind::paper_suite() {
             let mut sys = build_system(kind, &d, 2, &cfg);
             let stats = sys.run_epoch(0);
-            assert!(stats.epoch_time > 0.0, "{} produced zero epoch time", sys.name());
+            assert!(
+                stats.epoch_time > 0.0,
+                "{} produced zero epoch time",
+                sys.name()
+            );
             assert!(stats.seeds > 0);
             let st = sys.run_sampler_epoch(1);
             assert!(st > 0.0);
@@ -151,7 +167,10 @@ mod tests {
             let _ = dsp.run_epoch(epoch);
         }
         let after = dsp.validation_accuracy();
-        assert!(after > 0.4, "val accuracy after training: {before} -> {after}");
+        assert!(
+            after > 0.4,
+            "val accuracy after training: {before} -> {after}"
+        );
         assert!(after > before);
     }
 

@@ -62,7 +62,11 @@ impl MetricAccumulator {
         if self.seeds == 0 {
             (0.0, 0.0, 0)
         } else {
-            (self.loss_weighted / self.seeds as f64, self.acc_weighted / self.seeds as f64, self.seeds)
+            (
+                self.loss_weighted / self.seeds as f64,
+                self.acc_weighted / self.seeds as f64,
+                self.seeds,
+            )
         }
     }
 }
@@ -101,7 +105,11 @@ mod tests {
 
     #[test]
     fn total_bytes_sums_links() {
-        let s = EpochStats { nvlink_bytes: 10, pcie_bytes: 5, ..Default::default() };
+        let s = EpochStats {
+            nvlink_bytes: 10,
+            pcie_bytes: 5,
+            ..Default::default()
+        };
         assert_eq!(s.total_bytes(), 15);
     }
 }

@@ -34,7 +34,12 @@ pub struct GatParam {
 impl GatParam {
     /// Xavier-initialized parameters.
     pub fn new(fan_in: usize, fan_out: usize, seed: u64) -> Self {
-        let a = ds_tensor::init::uniform(2, fan_out, (3.0 / fan_out as f64).sqrt() as f32, seed ^ 0xa77);
+        let a = ds_tensor::init::uniform(
+            2,
+            fan_out,
+            (3.0 / fan_out as f64).sqrt() as f32,
+            seed ^ 0xa77,
+        );
         GatParam {
             w: ds_tensor::init::xavier_uniform(fan_in, fan_out, seed),
             a_l: a.row(0).to_vec(),
@@ -107,7 +112,12 @@ pub struct GatGrads {
 }
 
 /// GAT forward over one block.
-pub fn gat_forward(p: &GatParam, block: &SampleLayer, h_src: &Matrix, relu: bool) -> (Matrix, GatTape) {
+pub fn gat_forward(
+    p: &GatParam,
+    block: &SampleLayer,
+    h_src: &Matrix,
+    relu: bool,
+) -> (Matrix, GatTape) {
     let out_dim = p.w.cols();
     let z = h_src.matmul(&p.w);
     // Extended edge list: sampled edges then one self-edge per dst.
@@ -123,16 +133,19 @@ pub fn gat_forward(p: &GatParam, block: &SampleLayer, h_src: &Matrix, relu: bool
 
     // Scores.
     let dot = |row: &[f32], a: &[f32]| -> f32 { row.iter().zip(a).map(|(x, y)| x * y).sum() };
-    let dst_score: Vec<f32> =
-        (0..block.num_dst()).map(|i| dot(z.row(block.dst_pos_in_src[i] as usize), &p.a_l)).collect();
+    let dst_score: Vec<f32> = (0..block.num_dst())
+        .map(|i| dot(z.row(block.dst_pos_in_src[i] as usize), &p.a_l))
+        .collect();
     let scores: Vec<f32> = edge_src
         .iter()
         .zip(&edge_dst)
         .map(|(&s, &d)| dst_score[d as usize] + dot(z.row(s as usize), &p.a_r))
         .collect();
     // Per-destination softmax over LeakyReLU(scores), numerically stable.
-    let act: Vec<f32> =
-        scores.iter().map(|&s| if s > 0.0 { s } else { LEAKY_SLOPE * s }).collect();
+    let act: Vec<f32> = scores
+        .iter()
+        .map(|&s| if s > 0.0 { s } else { LEAKY_SLOPE * s })
+        .collect();
     let mut max_per_dst = vec![f32::NEG_INFINITY; block.num_dst()];
     for (e, &d) in edge_dst.iter().enumerate() {
         max_per_dst[d as usize] = max_per_dst[d as usize].max(act[e]);
@@ -160,17 +173,39 @@ pub fn gat_forward(p: &GatParam, block: &SampleLayer, h_src: &Matrix, relu: bool
         }
     }
     z_out.add_bias(&p.b);
-    let out = if relu { ops::relu(&z_out) } else { z_out.clone() };
+    let out = if relu {
+        ops::relu(&z_out)
+    } else {
+        z_out.clone()
+    };
     (
         out,
-        GatTape { h_src: h_src.clone(), z, edge_src, edge_dst, scores, alpha, z_out, relu },
+        GatTape {
+            h_src: h_src.clone(),
+            z,
+            edge_src,
+            edge_dst,
+            scores,
+            alpha,
+            z_out,
+            relu,
+        },
     )
 }
 
 /// GAT backward over one block.
-pub fn gat_backward(p: &GatParam, block: &SampleLayer, tape: &GatTape, grad_out: &Matrix) -> GatGrads {
+pub fn gat_backward(
+    p: &GatParam,
+    block: &SampleLayer,
+    tape: &GatTape,
+    grad_out: &Matrix,
+) -> GatGrads {
     let out_dim = p.w.cols();
-    let gz_out = if tape.relu { ops::relu_backward(&tape.z_out, grad_out) } else { grad_out.clone() };
+    let gz_out = if tape.relu {
+        ops::relu_backward(&tape.z_out, grad_out)
+    } else {
+        grad_out.clone()
+    };
     let gb = gz_out.col_sum();
     let n_src = tape.z.rows();
     let mut gz = Matrix::zeros(n_src, out_dim);
@@ -195,7 +230,12 @@ pub fn gat_backward(p: &GatParam, block: &SampleLayer, tape: &GatTape, grad_out:
     let mut ga_r = vec![0.0f32; out_dim];
     for (e, (&s, &d)) in tape.edge_src.iter().zip(&tape.edge_dst).enumerate() {
         let gsigma = tape.alpha[e] * (galpha[e] - inner[d as usize]);
-        let gs = gsigma * if tape.scores[e] > 0.0 { 1.0 } else { LEAKY_SLOPE };
+        let gs = gsigma
+            * if tape.scores[e] > 0.0 {
+                1.0
+            } else {
+                LEAKY_SLOPE
+            };
         let zd = tape.z.row(block.dst_pos_in_src[d as usize] as usize);
         let zs = tape.z.row(s as usize);
         // Score path: s_e = a_l·z_dst + a_r·z_src.
@@ -220,7 +260,13 @@ pub fn gat_backward(p: &GatParam, block: &SampleLayer, tape: &GatTape, grad_out:
     // Linear path: z = h_src · W.
     let gw = tape.h_src.matmul_tn(&gz);
     let gh_src = gz.matmul_nt(&p.w);
-    GatGrads { gw, ga_l, ga_r, gb, gh_src }
+    GatGrads {
+        gw,
+        ga_l,
+        ga_r,
+        gb,
+        gh_src,
+    }
 }
 
 #[cfg(test)]
@@ -233,11 +279,7 @@ mod tests {
     }
 
     fn toy_input() -> Matrix {
-        Matrix::from_vec(
-            3,
-            2,
-            vec![0.9, -0.3, 0.1, 0.7, -0.5, 0.4],
-        )
+        Matrix::from_vec(3, 2, vec![0.9, -0.3, 0.1, 0.7, -0.5, 0.4])
     }
 
     #[test]
@@ -277,7 +319,10 @@ mod tests {
                 pm.w.set(i, j, pm.w.get(i, j) - eps);
                 let fd = (loss_of(&pp, &h) - loss_of(&pm, &h)) / (2.0 * eps);
                 let an = grads.gw.get(i, j);
-                assert!((fd - an).abs() < 3e-2 * (1.0 + an.abs()), "gW[{i}{j}] fd {fd} an {an}");
+                assert!(
+                    (fd - an).abs() < 3e-2 * (1.0 + an.abs()),
+                    "gW[{i}{j}] fd {fd} an {an}"
+                );
             }
         }
         // Attention vectors.
@@ -287,13 +332,21 @@ mod tests {
             let mut pm = p.clone();
             pm.a_l[j] -= eps;
             let fd = (loss_of(&pp, &h) - loss_of(&pm, &h)) / (2.0 * eps);
-            assert!((fd - grads.ga_l[j]).abs() < 3e-2, "ga_l[{j}] fd {fd} an {}", grads.ga_l[j]);
+            assert!(
+                (fd - grads.ga_l[j]).abs() < 3e-2,
+                "ga_l[{j}] fd {fd} an {}",
+                grads.ga_l[j]
+            );
             let mut pp = p.clone();
             pp.a_r[j] += eps;
             let mut pm = p.clone();
             pm.a_r[j] -= eps;
             let fd = (loss_of(&pp, &h) - loss_of(&pm, &h)) / (2.0 * eps);
-            assert!((fd - grads.ga_r[j]).abs() < 3e-2, "ga_r[{j}] fd {fd} an {}", grads.ga_r[j]);
+            assert!(
+                (fd - grads.ga_r[j]).abs() < 3e-2,
+                "ga_r[{j}] fd {fd} an {}",
+                grads.ga_r[j]
+            );
         }
         // Inputs.
         for r in 0..3 {
@@ -304,7 +357,10 @@ mod tests {
                 hm.set(r, c, hm.get(r, c) - eps);
                 let fd = (loss_of(&p, &hp) - loss_of(&p, &hm)) / (2.0 * eps);
                 let an = grads.gh_src.get(r, c);
-                assert!((fd - an).abs() < 3e-2 * (1.0 + an.abs()), "gh[{r}{c}] fd {fd} an {an}");
+                assert!(
+                    (fd - an).abs() < 3e-2 * (1.0 + an.abs()),
+                    "gh[{r}{c}] fd {fd} an {an}"
+                );
             }
         }
     }

@@ -37,7 +37,10 @@ pub struct DenseParam {
 impl DenseParam {
     /// Xavier-initialized parameters.
     pub fn new(fan_in: usize, fan_out: usize, seed: u64) -> Self {
-        DenseParam { w: ds_tensor::init::xavier_uniform(fan_in, fan_out, seed), b: vec![0.0; fan_out] }
+        DenseParam {
+            w: ds_tensor::init::xavier_uniform(fan_in, fan_out, seed),
+            b: vec![0.0; fan_out],
+        }
     }
 
     /// Number of scalar parameters.
@@ -93,7 +96,12 @@ pub struct LayerGrads {
 }
 
 /// GraphSAGE forward on one block. `relu` is false for the output layer.
-pub fn sage_forward(p: &DenseParam, block: &SampleLayer, h_src: &Matrix, relu: bool) -> (Matrix, LayerTape) {
+pub fn sage_forward(
+    p: &DenseParam,
+    block: &SampleLayer,
+    h_src: &Matrix,
+    relu: bool,
+) -> (Matrix, LayerTape) {
     let segments = edge_segments(block);
     let self_h = h_src.gather_rows(&block.dst_pos_in_src);
     let neigh_h = h_src.gather_rows(&block.neighbor_pos_in_src);
@@ -102,12 +110,30 @@ pub fn sage_forward(p: &DenseParam, block: &SampleLayer, h_src: &Matrix, relu: b
     let mut z = gemm_in.matmul(&p.w);
     z.add_bias(&p.b);
     let out = if relu { ops::relu(&z) } else { z.clone() };
-    (out, LayerTape { h_src: h_src.clone(), gemm_in, z, segments, relu })
+    (
+        out,
+        LayerTape {
+            h_src: h_src.clone(),
+            gemm_in,
+            z,
+            segments,
+            relu,
+        },
+    )
 }
 
 /// GraphSAGE backward on one block.
-pub fn sage_backward(p: &DenseParam, block: &SampleLayer, tape: &LayerTape, grad_out: &Matrix) -> LayerGrads {
-    let gz = if tape.relu { ops::relu_backward(&tape.z, grad_out) } else { grad_out.clone() };
+pub fn sage_backward(
+    p: &DenseParam,
+    block: &SampleLayer,
+    tape: &LayerTape,
+    grad_out: &Matrix,
+) -> LayerGrads {
+    let gz = if tape.relu {
+        ops::relu_backward(&tape.z, grad_out)
+    } else {
+        grad_out.clone()
+    };
     let gw = tape.gemm_in.matmul_tn(&gz);
     let gb = gz.col_sum();
     let gconcat = gz.matmul_nt(&p.w);
@@ -123,7 +149,12 @@ pub fn sage_backward(p: &DenseParam, block: &SampleLayer, tape: &LayerTape, grad
 /// GCN forward: mean over the closed neighborhood. The self node is
 /// appended as one extra "edge" per destination so the same segment
 /// machinery covers both terms.
-pub fn gcn_forward(p: &DenseParam, block: &SampleLayer, h_src: &Matrix, relu: bool) -> (Matrix, LayerTape) {
+pub fn gcn_forward(
+    p: &DenseParam,
+    block: &SampleLayer,
+    h_src: &Matrix,
+    relu: bool,
+) -> (Matrix, LayerTape) {
     let mut segments = edge_segments(block);
     segments.extend(0..block.num_dst() as u32);
     let neigh_h = h_src.gather_rows(&block.neighbor_pos_in_src);
@@ -133,12 +164,30 @@ pub fn gcn_forward(p: &DenseParam, block: &SampleLayer, h_src: &Matrix, relu: bo
     let mut z = gemm_in.matmul(&p.w);
     z.add_bias(&p.b);
     let out = if relu { ops::relu(&z) } else { z.clone() };
-    (out, LayerTape { h_src: h_src.clone(), gemm_in, z, segments, relu })
+    (
+        out,
+        LayerTape {
+            h_src: h_src.clone(),
+            gemm_in,
+            z,
+            segments,
+            relu,
+        },
+    )
 }
 
 /// GCN backward.
-pub fn gcn_backward(p: &DenseParam, block: &SampleLayer, tape: &LayerTape, grad_out: &Matrix) -> LayerGrads {
-    let gz = if tape.relu { ops::relu_backward(&tape.z, grad_out) } else { grad_out.clone() };
+pub fn gcn_backward(
+    p: &DenseParam,
+    block: &SampleLayer,
+    tape: &LayerTape,
+    grad_out: &Matrix,
+) -> LayerGrads {
+    let gz = if tape.relu {
+        ops::relu_backward(&tape.z, grad_out)
+    } else {
+        grad_out.clone()
+    };
     let gw = tape.gemm_in.matmul_tn(&gz);
     let gb = gz.col_sum();
     let g_agg = gz.matmul_nt(&p.w);
@@ -148,9 +197,16 @@ pub fn gcn_backward(p: &DenseParam, block: &SampleLayer, tape: &LayerTape, grad_
     // Split back into the neighbor part and the self part.
     let in_dim = tape.h_src.cols();
     let mut gh_src = Matrix::zeros(tape.h_src.rows(), in_dim);
-    let g_neigh = Matrix::from_vec(n_edges, in_dim, g_values.data()[..n_edges * in_dim].to_vec());
-    let g_self =
-        Matrix::from_vec(block.num_dst(), in_dim, g_values.data()[n_edges * in_dim..].to_vec());
+    let g_neigh = Matrix::from_vec(
+        n_edges,
+        in_dim,
+        g_values.data()[..n_edges * in_dim].to_vec(),
+    );
+    let g_self = Matrix::from_vec(
+        block.num_dst(),
+        in_dim,
+        g_values.data()[n_edges * in_dim..].to_vec(),
+    );
     gh_src.scatter_add_rows(&block.neighbor_pos_in_src, &g_neigh);
     gh_src.scatter_add_rows(&block.dst_pos_in_src, &g_self);
     LayerGrads { gw, gb, gh_src }
@@ -176,7 +232,10 @@ mod tests {
         let block = toy_block();
         let h = toy_input();
         // Identity-ish weights to observe the concat directly.
-        let p = DenseParam { w: ds_tensor::init::uniform(4, 3, 0.5, 1), b: vec![0.0; 3] };
+        let p = DenseParam {
+            w: ds_tensor::init::uniform(4, 3, 0.5, 1),
+            b: vec![0.0; 3],
+        };
         let (out, tape) = sage_forward(&p, &block, &h, false);
         assert_eq!(out.rows(), 2);
         assert_eq!(out.cols(), 3);
@@ -190,7 +249,10 @@ mod tests {
     fn gcn_forward_includes_self_in_mean() {
         let block = toy_block();
         let h = toy_input();
-        let p = DenseParam { w: ds_tensor::init::uniform(2, 2, 0.5, 2), b: vec![0.0; 2] };
+        let p = DenseParam {
+            w: ds_tensor::init::uniform(2, 2, 0.5, 2),
+            b: vec![0.0; 2],
+        };
         let (_, tape) = gcn_forward(&p, &block, &h, false);
         // dst 0: mean(h_1, h_2, h_0) = ((0,1)+(.5,.5)+(1,0))/3 = (.5, .5).
         assert_eq!(tape.gemm_in.row(0), &[0.5, 0.5]);
@@ -204,7 +266,10 @@ mod tests {
         let block = toy_block();
         let h = toy_input();
         let (fan_in, fan_out) = if kind == "sage" { (4, 3) } else { (2, 3) };
-        let p = DenseParam { w: ds_tensor::init::uniform(fan_in, fan_out, 0.5, 3), b: vec![0.1, -0.2, 0.3] };
+        let p = DenseParam {
+            w: ds_tensor::init::uniform(fan_in, fan_out, 0.5, 3),
+            b: vec![0.1, -0.2, 0.3],
+        };
         let forward = |p: &DenseParam, h: &Matrix| -> (Matrix, LayerTape) {
             if kind == "sage" {
                 sage_forward(p, &block, h, true)
@@ -233,7 +298,10 @@ mod tests {
                 pm.w.set(i, j, pm.w.get(i, j) - eps);
                 let fd = (loss_of(&pp, &h) - loss_of(&pm, &h)) / (2.0 * eps);
                 let an = grads.gw.get(i, j);
-                assert!((fd - an).abs() < 2e-2 * (1.0 + an.abs()), "{kind} gW[{i}{j}] fd {fd} an {an}");
+                assert!(
+                    (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                    "{kind} gW[{i}{j}] fd {fd} an {an}"
+                );
             }
         }
         // Bias gradient.
@@ -243,7 +311,11 @@ mod tests {
             let mut pm = p.clone();
             pm.b[j] -= eps;
             let fd = (loss_of(&pp, &h) - loss_of(&pm, &h)) / (2.0 * eps);
-            assert!((fd - grads.gb[j]).abs() < 2e-2, "{kind} gb[{j}] fd {fd} an {}", grads.gb[j]);
+            assert!(
+                (fd - grads.gb[j]).abs() < 2e-2,
+                "{kind} gb[{j}] fd {fd} an {}",
+                grads.gb[j]
+            );
         }
         // Input gradient.
         for r in 0..3 {
@@ -254,7 +326,10 @@ mod tests {
                 hm.set(r, c, hm.get(r, c) - eps);
                 let fd = (loss_of(&p, &hp) - loss_of(&p, &hm)) / (2.0 * eps);
                 let an = grads.gh_src.get(r, c);
-                assert!((fd - an).abs() < 2e-2 * (1.0 + an.abs()), "{kind} gh[{r}{c}] fd {fd} an {an}");
+                assert!(
+                    (fd - an).abs() < 2e-2 * (1.0 + an.abs()),
+                    "{kind} gh[{r}{c}] fd {fd} an {an}"
+                );
             }
         }
     }

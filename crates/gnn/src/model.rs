@@ -83,7 +83,14 @@ impl GnnModel {
     /// Builds a model: `num_layers` convolutions from `in_dim` through
     /// `hidden` to `classes`. The paper's default is 3 layers, hidden
     /// size 256.
-    pub fn new(kind: GnnKind, in_dim: usize, hidden: usize, classes: usize, num_layers: usize, seed: u64) -> Self {
+    pub fn new(
+        kind: GnnKind,
+        in_dim: usize,
+        hidden: usize,
+        classes: usize,
+        num_layers: usize,
+        seed: u64,
+    ) -> Self {
         assert!(num_layers >= 1);
         let mut dims = Vec::with_capacity(num_layers + 1);
         dims.push(in_dim);
@@ -101,7 +108,9 @@ impl GnnModel {
                     GnnKind::Gcn => {
                         LayerParams::Dense(DenseParam::new(dims[k], dims[k + 1], layer_seed))
                     }
-                    GnnKind::Gat => LayerParams::Gat(GatParam::new(dims[k], dims[k + 1], layer_seed)),
+                    GnnKind::Gat => {
+                        LayerParams::Gat(GatParam::new(dims[k], dims[k + 1], layer_seed))
+                    }
                 }
             })
             .collect();
@@ -149,10 +158,23 @@ impl GnnModel {
     /// Forward pass: `input` holds feature rows for
     /// `sample.input_nodes()` in order. Returns logits for the seeds and
     /// the tape for backward.
-    pub fn forward(&self, sample: &GraphSample, input: &Matrix, labels: &[u32]) -> (f32, ModelTape) {
+    pub fn forward(
+        &self,
+        sample: &GraphSample,
+        input: &Matrix,
+        labels: &[u32],
+    ) -> (f32, ModelTape) {
         let nl = self.num_layers();
-        assert_eq!(sample.num_layers(), nl, "sample depth must match model depth");
-        assert_eq!(input.rows(), sample.input_nodes().len(), "input rows must cover the input set");
+        assert_eq!(
+            sample.num_layers(),
+            nl,
+            "sample depth must match model depth"
+        );
+        assert_eq!(
+            input.rows(),
+            sample.input_nodes().len(),
+            "input rows must cover the input set"
+        );
         assert_eq!(input.cols(), self.dims[0]);
         let mut h = input.clone();
         let mut tapes = Vec::with_capacity(nl);
@@ -179,7 +201,14 @@ impl GnnModel {
         }
         let logits = h;
         let (loss, probs) = ops::softmax_cross_entropy(&logits, labels);
-        (loss, ModelTape { tapes, logits, probs })
+        (
+            loss,
+            ModelTape {
+                tapes,
+                logits,
+                probs,
+            },
+        )
     }
 
     /// Backward pass: returns the flat gradient vector.
@@ -275,7 +304,13 @@ mod tests {
         // Hash-scrambled values: smooth inputs (e.g. a sine ramp) make
         // row 1 ≈ mean(row 0, row 2), which renders the two seeds
         // indistinguishable under GCN's mean aggregation.
-        Matrix::from_vec(3, dim, (0..3 * dim).map(|i| ((i * 2654435761) % 101) as f32 / 50.0 - 1.0).collect())
+        Matrix::from_vec(
+            3,
+            dim,
+            (0..3 * dim)
+                .map(|i| ((i * 2654435761) % 101) as f32 / 50.0 - 1.0)
+                .collect(),
+        )
     }
 
     #[test]

@@ -50,7 +50,13 @@ impl Trainer {
     ) -> Self {
         let model = GnnModel::new(kind, in_dim, hidden, classes, num_layers, seed);
         let opt = Adam::new(lr, model.num_params());
-        Trainer { model, opt, comm, cluster, rank, }
+        Trainer {
+            model,
+            opt,
+            comm,
+            cluster,
+            rank,
+        }
     }
 
     /// The model replica.
@@ -97,7 +103,14 @@ impl Trainer {
         } else {
             self.charge_compute(clock, sample);
             let (loss, acc, grads) = self.model.loss_and_grad(sample, input, labels);
-            (BatchResult { loss, accuracy: acc, seeds: sample.seeds.len() }, grads)
+            (
+                BatchResult {
+                    loss,
+                    accuracy: acc,
+                    seeds: sample.seeds.len(),
+                },
+                grads,
+            )
         };
         // Synchronous gradient allreduce (average) — "GNN models are
         // small, gradient communication is usually much cheaper than
@@ -124,7 +137,11 @@ impl Trainer {
     /// skips the actual GEMM math. Used by the timing-focused
     /// experiments where convergence is irrelevant; BSP lockstep and all
     /// communication stay fully real.
-    pub fn train_batch_timing_only(&mut self, clock: &mut Clock, sample: &GraphSample) -> BatchResult {
+    pub fn train_batch_timing_only(
+        &mut self,
+        clock: &mut Clock,
+        sample: &GraphSample,
+    ) -> BatchResult {
         if !sample.seeds.is_empty() {
             self.charge_compute(clock, sample);
         }
@@ -132,7 +149,11 @@ impl Trainer {
         let _ = self.comm.all_reduce_sum(self.rank, clock, grads);
         let m = *self.cluster.model();
         clock.work(m.gpu.time_full(self.model.num_params() as u64, 4.0));
-        BatchResult { loss: 0.0, accuracy: 0.0, seeds: sample.seeds.len() }
+        BatchResult {
+            loss: 0.0,
+            accuracy: 0.0,
+            seeds: sample.seeds.len(),
+        }
     }
 
     /// Evaluation without gradients (validation/test accuracy).
@@ -142,7 +163,11 @@ impl Trainer {
         }
         let (loss, tape) = self.model.forward(sample, input, labels);
         let accuracy = ds_tensor::ops::accuracy(tape.logits(), labels);
-        BatchResult { loss, accuracy, seeds: sample.seeds.len() }
+        BatchResult {
+            loss,
+            accuracy,
+            seeds: sample.seeds.len(),
+        }
     }
 
     /// Fingerprint of the replica parameters (for BSP-equality tests).
@@ -168,7 +193,13 @@ mod tests {
 
     fn input_for(sample: &GraphSample, dim: usize) -> Matrix {
         let n = sample.input_nodes().len();
-        Matrix::from_vec(n, dim, (0..n * dim).map(|i| ((i * 31 % 17) as f32) / 17.0).collect())
+        Matrix::from_vec(
+            n,
+            dim,
+            (0..n * dim)
+                .map(|i| ((i * 31 % 17) as f32) / 17.0)
+                .collect(),
+        )
     }
 
     #[test]
@@ -198,9 +229,8 @@ mod tests {
                 let comm = Arc::clone(&comm);
                 let cluster = Arc::clone(&cluster);
                 std::thread::spawn(move || {
-                    let mut t = Trainer::new(
-                        GnnKind::Gcn, 4, 8, 3, 1, 0.05, comm, cluster, rank, 1,
-                    );
+                    let mut t =
+                        Trainer::new(GnnKind::Gcn, 4, 8, 3, 1, 0.05, comm, cluster, rank, 1);
                     // Different data per rank.
                     let sample = toy_sample(vec![2 + rank as u32 * 3, 3 + rank as u32 * 3]);
                     let input = input_for(&sample, 4);
@@ -226,9 +256,8 @@ mod tests {
                 let comm = Arc::clone(&comm);
                 let cluster = Arc::clone(&cluster);
                 std::thread::spawn(move || {
-                    let mut t = Trainer::new(
-                        GnnKind::GraphSage, 4, 8, 3, 1, 0.05, comm, cluster, rank, 1,
-                    );
+                    let mut t =
+                        Trainer::new(GnnKind::GraphSage, 4, 8, 3, 1, 0.05, comm, cluster, rank, 1);
                     let mut clock = Clock::new();
                     // Rank 1 has no seeds (padding batch) but must not hang.
                     let result = if rank == 0 {
@@ -236,7 +265,10 @@ mod tests {
                         let input = input_for(&sample, 4);
                         t.train_batch(&mut clock, &sample, &input, &[0, 1])
                     } else {
-                        let sample = GraphSample::new(vec![], vec![SampleLayer::new(vec![], vec![0], vec![])]);
+                        let sample = GraphSample::new(
+                            vec![],
+                            vec![SampleLayer::new(vec![], vec![0], vec![])],
+                        );
                         t.train_batch(&mut clock, &sample, &Matrix::zeros(0, 4), &[])
                     };
                     (result.seeds, t.param_checksum())

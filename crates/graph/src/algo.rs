@@ -7,7 +7,7 @@
 
 use crate::csr::Csr;
 use crate::NodeId;
-use rayon::prelude::*;
+use ds_simgpu::par;
 
 /// In-degrees of all nodes (degree in the reverse graph). For the
 /// symmetric synthetic datasets this equals the out-degree.
@@ -21,7 +21,9 @@ pub fn in_degrees(g: &Csr) -> Vec<u32> {
 
 /// Out-degrees of all nodes.
 pub fn out_degrees(g: &Csr) -> Vec<u32> {
-    (0..g.num_nodes() as NodeId).map(|v| g.degree(v) as u32).collect()
+    (0..g.num_nodes() as NodeId)
+        .map(|v| g.degree(v) as u32)
+        .collect()
 }
 
 /// Power-iteration PageRank with damping `d`, `iters` iterations.
@@ -48,7 +50,7 @@ pub fn pagerank(g: &Csr, d: f64, iters: usize) -> Vec<f64> {
             }
         }
         let base = (1.0 - d) / n as f64 + d * dangling / n as f64;
-        next.par_iter_mut().for_each(|x| *x = base + d * *x);
+        par::apply_indexed(&mut next, |_, x| *x = base + d * *x);
         std::mem::swap(&mut rank, &mut next);
     }
     rank
@@ -63,9 +65,9 @@ pub fn reverse_pagerank(g: &Csr, d: f64, iters: usize) -> Vec<f64> {
 
 /// Ranks nodes by a score vector, descending; ties broken by node id for
 /// determinism. Returns the permutation (hottest first).
-pub fn rank_by_desc<T: PartialOrd + Copy + Sync>(scores: &[T]) -> Vec<NodeId> {
+pub fn rank_by_desc<T: PartialOrd + Copy>(scores: &[T]) -> Vec<NodeId> {
     let mut order: Vec<NodeId> = (0..scores.len() as NodeId).collect();
-    order.par_sort_unstable_by(|&a, &b| {
+    order.sort_unstable_by(|&a, &b| {
         scores[b as usize]
             .partial_cmp(&scores[a as usize])
             .unwrap_or(std::cmp::Ordering::Equal)
@@ -146,7 +148,11 @@ mod tests {
     #[test]
     fn pagerank_sums_to_one_and_favors_hubs() {
         let g = gen::rmat(
-            gen::RmatParams { num_nodes: 512, num_edges: 8192, ..Default::default() },
+            gen::RmatParams {
+                num_nodes: 512,
+                num_edges: 8192,
+                ..Default::default()
+            },
             9,
         );
         let pr = pagerank(&g, 0.85, 30);

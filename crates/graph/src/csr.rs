@@ -11,7 +11,7 @@
 use crate::{EdgeIdx, NodeId};
 
 /// An immutable CSR graph (optionally edge-weighted for biased sampling).
-#[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug, Default)]
 pub struct Csr {
     /// `indptr[v]..indptr[v+1]` delimits node `v`'s adjacency list.
     indptr: Vec<EdgeIdx>,
@@ -32,7 +32,10 @@ impl Csr {
     pub fn from_raw(indptr: Vec<EdgeIdx>, indices: Vec<NodeId>, weights: Option<Vec<f32>>) -> Self {
         assert!(!indptr.is_empty(), "indptr must have at least one entry");
         assert_eq!(*indptr.last().unwrap() as usize, indices.len());
-        assert!(indptr.windows(2).all(|w| w[0] <= w[1]), "indptr must be monotone");
+        assert!(
+            indptr.windows(2).all(|w| w[0] <= w[1]),
+            "indptr must be monotone"
+        );
         let n = indptr.len() - 1;
         assert!(
             indices.iter().all(|&u| (u as usize) < n),
@@ -41,7 +44,11 @@ impl Csr {
         if let Some(w) = &weights {
             assert_eq!(w.len(), indices.len(), "weights length mismatch");
         }
-        Csr { indptr, indices, weights }
+        Csr {
+            indptr,
+            indices,
+            weights,
+        }
     }
 
     /// Number of nodes.
@@ -128,7 +135,11 @@ impl Csr {
     /// neighbor's weight with the edge, §4.2).
     pub fn with_node_weights(&self, node_weights: &[f32]) -> Csr {
         assert_eq!(node_weights.len(), self.num_nodes());
-        let weights = self.indices.iter().map(|&u| node_weights[u as usize]).collect();
+        let weights = self
+            .indices
+            .iter()
+            .map(|&u| node_weights[u as usize])
+            .collect();
         Csr {
             indptr: self.indptr.clone(),
             indices: self.indices.clone(),
@@ -150,7 +161,10 @@ impl Csr {
         }
         let mut cursor = indptr.clone();
         let mut indices = vec![0 as NodeId; self.indices.len()];
-        let mut weights = self.weights.as_ref().map(|_| vec![0f32; self.indices.len()]);
+        let mut weights = self
+            .weights
+            .as_ref()
+            .map(|_| vec![0f32; self.indices.len()]);
         for v in 0..n as NodeId {
             let lo = self.indptr[v as usize] as usize;
             for (k, &u) in self.neighbors(v).iter().enumerate() {
@@ -162,7 +176,11 @@ impl Csr {
                 }
             }
         }
-        Csr { indptr, indices, weights }
+        Csr {
+            indptr,
+            indices,
+            weights,
+        }
     }
 
     /// Extracts the sub-CSR of a set of nodes, *keeping global ids in the
@@ -178,7 +196,10 @@ impl Csr {
             indptr.push(nnz);
         }
         let mut indices = Vec::with_capacity(nnz as usize);
-        let mut weights = self.weights.as_ref().map(|_| Vec::with_capacity(nnz as usize));
+        let mut weights = self
+            .weights
+            .as_ref()
+            .map(|_| Vec::with_capacity(nnz as usize));
         for &v in nodes {
             indices.extend_from_slice(self.neighbors(v));
             if let (Some(dst), Some(src)) = (&mut weights, self.neighbor_weights(v)) {
@@ -187,7 +208,48 @@ impl Csr {
         }
         // Patch rows are local, contents global: bypass the range check of
         // `from_raw` (global ids can exceed the patch's row count).
-        Csr { indptr, indices, weights }
+        Csr {
+            indptr,
+            indices,
+            weights,
+        }
+    }
+}
+
+impl crate::wire::Wire for Csr {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.indptr.encode(out);
+        self.indices.encode(out);
+        self.weights.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, crate::wire::WireError> {
+        use crate::wire::WireError;
+        let indptr = Vec::<EdgeIdx>::decode(buf)?;
+        let indices = Vec::<NodeId>::decode(buf)?;
+        let weights = Option::<Vec<f32>>::decode(buf)?;
+        // Structural validation, but NOT the neighbor-range check of
+        // `from_raw`: patch CSRs legitimately store global ids that
+        // exceed their local row count.
+        if indptr.is_empty() {
+            return Err(WireError::Invalid("csr: empty indptr"));
+        }
+        if *indptr.last().unwrap() as usize != indices.len() {
+            return Err(WireError::Invalid("csr: indptr/indices mismatch"));
+        }
+        if !indptr.windows(2).all(|w| w[0] <= w[1]) {
+            return Err(WireError::Invalid("csr: non-monotone indptr"));
+        }
+        if let Some(w) = &weights {
+            if w.len() != indices.len() {
+                return Err(WireError::Invalid("csr: weights length mismatch"));
+            }
+        }
+        Ok(Csr {
+            indptr,
+            indices,
+            weights,
+        })
     }
 }
 
@@ -204,7 +266,12 @@ pub struct CsrBuilder {
 impl CsrBuilder {
     /// Creates a builder for a graph with `num_nodes` nodes.
     pub fn new(num_nodes: usize) -> Self {
-        CsrBuilder { num_nodes, edges: Vec::new(), symmetrize: false, dedup: false }
+        CsrBuilder {
+            num_nodes,
+            edges: Vec::new(),
+            symmetrize: false,
+            dedup: false,
+        }
     }
 
     /// Adds a directed edge `src -> dst` (meaning: `dst` appears in
@@ -268,7 +335,11 @@ impl CsrBuilder {
             cursor[s as usize] += 1;
             indices[slot] = d;
         }
-        Csr { indptr, indices, weights: None }
+        Csr {
+            indptr,
+            indices,
+            weights: None,
+        }
     }
 }
 
@@ -366,5 +437,40 @@ mod tests {
     #[should_panic(expected = "monotone")]
     fn from_raw_rejects_bad_indptr() {
         Csr::from_raw(vec![0, 2, 1, 2], vec![0, 1], None);
+    }
+
+    #[test]
+    fn wire_round_trip_preserves_topology_and_weights() {
+        use crate::wire::Wire;
+        let g = toy().with_node_weights(&[0.5, 1.0, 2.0, 4.0]);
+        let bytes = g.to_bytes();
+        let mut buf = bytes.as_slice();
+        let back = Csr::decode(&mut buf).unwrap();
+        assert!(buf.is_empty());
+        assert_eq!(back.indptr(), g.indptr());
+        assert_eq!(back.indices(), g.indices());
+        assert_eq!(back.weights(), g.weights());
+    }
+
+    #[test]
+    fn wire_round_trip_accepts_patches_with_global_ids() {
+        use crate::wire::Wire;
+        let p = toy().extract_patch(&[3, 0]);
+        let bytes = p.to_bytes();
+        let back = Csr::decode(&mut bytes.as_slice()).unwrap();
+        assert_eq!(back.neighbors(1), &[1, 2]);
+    }
+
+    #[test]
+    fn wire_decode_rejects_corrupt_indptr() {
+        use crate::wire::{Wire, WireError};
+        let mut bytes = Vec::new();
+        vec![0u64, 2, 1].encode(&mut bytes); // non-monotone, last != len
+        Vec::<NodeId>::new().encode(&mut bytes);
+        None::<Vec<f32>>.encode(&mut bytes);
+        assert!(matches!(
+            Csr::decode(&mut bytes.as_slice()),
+            Err(WireError::Invalid(_))
+        ));
     }
 }

@@ -144,8 +144,13 @@ impl DatasetSpec {
         // Generators emit directed edges that are then symmetrized and
         // deduplicated, so aim for ~target/4 draws each.
         let half = target_edges / 4;
-        let (planted, blocks) =
-            gen::planted_partition(n, self.num_classes, self.avg_degree / 2.0, 0.85, self.seed ^ 0xb10c);
+        let (planted, blocks) = gen::planted_partition(
+            n,
+            self.num_classes,
+            self.avg_degree / 2.0,
+            0.85,
+            self.seed ^ 0xb10c,
+        );
         let skewed = match self.kind {
             SyntheticKind::Rmat => gen::rmat(
                 gen::RmatParams {
@@ -159,7 +164,12 @@ impl DatasetSpec {
                 self.seed,
             ),
             SyntheticKind::ChungLu => gen::chung_lu(
-                gen::ChungLuParams { num_nodes: n, num_edges: half, gamma: 2.2, symmetric: true },
+                gen::ChungLuParams {
+                    num_nodes: n,
+                    num_edges: half,
+                    gamma: 2.2,
+                    symmetric: true,
+                },
                 self.seed,
             ),
         };
@@ -196,7 +206,15 @@ impl DatasetSpec {
                 test.push(v);
             }
         }
-        Dataset { spec: self.clone(), graph, features, labels, train, val, test }
+        Dataset {
+            spec: self.clone(),
+            graph,
+            features,
+            labels,
+            train,
+            val,
+            test,
+        }
     }
 }
 

@@ -5,12 +5,11 @@
 //! convergence experiment (Fig. 9).
 
 use crate::NodeId;
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
+use ds_rng::Rng;
+use ds_simgpu::par;
 
 /// A dense row-major node-feature matrix.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Features {
     dim: usize,
     data: Vec<f32>,
@@ -26,7 +25,10 @@ impl Features {
 
     /// All-zero features for `n` nodes.
     pub fn zeros(n: usize, dim: usize) -> Self {
-        Features { dim, data: vec![0.0; n * dim] }
+        Features {
+            dim,
+            data: vec![0.0; n * dim],
+        }
     }
 
     /// Feature dimension.
@@ -78,8 +80,8 @@ impl Features {
     pub fn gather(&self, nodes: &[NodeId]) -> Features {
         let dim = self.dim;
         let mut data = vec![0.0f32; nodes.len() * dim];
-        data.par_chunks_mut(dim).zip(nodes.par_iter()).for_each(|(dst, &v)| {
-            dst.copy_from_slice(self.row(v));
+        par::chunk_map_mut(&mut data, dim, |i, dst| {
+            dst.copy_from_slice(self.row(nodes[i]));
         });
         Features { dim, data }
     }
@@ -95,13 +97,14 @@ impl Features {
         noise: f32,
         seed: u64,
     ) -> Features {
-        let mut crng = ChaCha8Rng::seed_from_u64(seed);
-        let centroids: Vec<f32> =
-            (0..num_communities * dim).map(|_| crng.gen_range(-1.0..1.0f32)).collect();
+        let mut crng = Rng::seed_from_u64(seed);
+        let centroids: Vec<f32> = (0..num_communities * dim)
+            .map(|_| crng.gen_range(-1.0..1.0f32))
+            .collect();
         let mut data = vec![0.0f32; communities.len() * dim];
-        data.par_chunks_mut(dim).enumerate().for_each(|(v, dst)| {
+        par::chunk_map_mut(&mut data, dim, |v, dst| {
             let c = communities[v] as usize % num_communities;
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (v as u64).wrapping_mul(0xc2b2_ae35));
+            let mut rng = Rng::seed_from_u64(seed ^ (v as u64).wrapping_mul(0xc2b2_ae35));
             for (j, x) in dst.iter_mut().enumerate() {
                 *x = centroids[c * dim + j] + noise * rng.gen_range(-1.0..1.0f32);
             }
@@ -110,8 +113,25 @@ impl Features {
     }
 }
 
+impl crate::wire::Wire for Features {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.dim.encode(out);
+        self.data.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, crate::wire::WireError> {
+        use crate::wire::WireError;
+        let dim = usize::decode(buf)?;
+        let data = Vec::<f32>::decode(buf)?;
+        if dim == 0 || data.len() % dim != 0 {
+            return Err(WireError::Invalid("features: data not a multiple of dim"));
+        }
+        Ok(Features { dim, data })
+    }
+}
+
 /// Node class labels.
-#[derive(Clone, Debug, serde::Serialize, serde::Deserialize)]
+#[derive(Clone, Debug)]
 pub struct Labels {
     num_classes: usize,
     data: Vec<u32>,
@@ -152,6 +172,23 @@ impl Labels {
     #[inline]
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
+    }
+}
+
+impl crate::wire::Wire for Labels {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.num_classes.encode(out);
+        self.data.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, crate::wire::WireError> {
+        use crate::wire::WireError;
+        let num_classes = usize::decode(buf)?;
+        let data = Vec::<u32>::decode(buf)?;
+        if data.iter().any(|&c| c as usize >= num_classes) {
+            return Err(WireError::Invalid("labels: class id out of range"));
+        }
+        Ok(Labels { num_classes, data })
     }
 }
 
@@ -202,5 +239,28 @@ mod tests {
     #[should_panic]
     fn labels_reject_out_of_range() {
         Labels::from_raw(2, vec![0, 2]);
+    }
+
+    #[test]
+    fn wire_round_trips_features_and_labels() {
+        use crate::wire::{Wire, WireError};
+        let f = Features::from_raw(2, vec![0., 0., 1., 1., 2., 2.]);
+        let back = Features::decode(&mut f.to_bytes().as_slice()).unwrap();
+        assert_eq!(back.dim(), 2);
+        assert_eq!(back.data(), f.data());
+
+        let l = Labels::from_raw(3, vec![0, 1, 2, 1]);
+        let back = Labels::decode(&mut l.to_bytes().as_slice()).unwrap();
+        assert_eq!(back.num_classes(), 3);
+        assert_eq!(back.data(), l.data());
+
+        // Corrupt labels (class id >= num_classes) fail decode.
+        let mut bytes = Vec::new();
+        2usize.encode(&mut bytes);
+        vec![0u32, 5].encode(&mut bytes);
+        assert!(matches!(
+            Labels::decode(&mut bytes.as_slice()),
+            Err(WireError::Invalid(_))
+        ));
     }
 }

@@ -11,15 +11,14 @@
 //! * [`erdos_renyi`] — uniform random graphs, mostly for tests and
 //!   adversarial inputs (no locality for the partitioner to find).
 //!
-//! All generators are deterministic given a seed and use rayon for the
-//! edge-generation loop (the guides' `par_iter` idiom: each chunk owns an
-//! independent, seed-derived RNG stream).
+//! All generators are deterministic given a seed; the edge-generation
+//! loop runs through `ds_simgpu::par` (each chunk owns an independent,
+//! seed-derived RNG stream, so results do not depend on thread count).
 
 use crate::csr::{Csr, CsrBuilder};
 use crate::NodeId;
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
-use rayon::prelude::*;
+use ds_rng::Rng;
+use ds_simgpu::par;
 
 /// Parameters for an RMAT generator.
 #[derive(Clone, Copy, Debug)]
@@ -38,7 +37,14 @@ pub struct RmatParams {
 
 impl Default for RmatParams {
     fn default() -> Self {
-        RmatParams { num_nodes: 1 << 14, num_edges: 1 << 18, a: 0.57, b: 0.19, c: 0.19, symmetric: true }
+        RmatParams {
+            num_nodes: 1 << 14,
+            num_edges: 1 << 18,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            symmetric: true,
+        }
     }
 }
 
@@ -46,43 +52,50 @@ impl Default for RmatParams {
 /// power-of-two recursion are folded back with a modulo, which slightly
 /// smooths the tail but keeps the skew.
 pub fn rmat(params: RmatParams, seed: u64) -> Csr {
-    let RmatParams { num_nodes, num_edges, a, b, c, symmetric } = params;
+    let RmatParams {
+        num_nodes,
+        num_edges,
+        a,
+        b,
+        c,
+        symmetric,
+    } = params;
     assert!(num_nodes >= 2);
-    assert!(a + b + c < 1.0 + 1e-9, "quadrant probabilities must sum below 1");
+    assert!(
+        a + b + c < 1.0 + 1e-9,
+        "quadrant probabilities must sum below 1"
+    );
     let levels = (num_nodes as f64).log2().ceil() as u32;
     let chunk = 1 << 14;
     let nchunks = num_edges.div_ceil(chunk);
-    let edges: Vec<(NodeId, NodeId)> = (0..nchunks)
-        .into_par_iter()
-        .flat_map_iter(|ci| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x9e37_79b9 + ci as u64));
-            let count = chunk.min(num_edges - ci * chunk);
-            (0..count)
-                .map(move |_| {
-                    let (mut src, mut dst) = (0u64, 0u64);
-                    for _ in 0..levels {
-                        src <<= 1;
-                        dst <<= 1;
-                        let r: f64 = rng.gen();
-                        if r < a {
-                            // top-left: neither bit set
-                        } else if r < a + b {
-                            dst |= 1;
-                        } else if r < a + b + c {
-                            src |= 1;
-                        } else {
-                            src |= 1;
-                            dst |= 1;
-                        }
+    let edges: Vec<(NodeId, NodeId)> = par::flat_map_indexed(nchunks, |ci| {
+        let mut rng = Rng::seed_from_u64(seed ^ (0x9e37_79b9 + ci as u64));
+        let count = chunk.min(num_edges - ci * chunk);
+        (0..count)
+            .map(move |_| {
+                let (mut src, mut dst) = (0u64, 0u64);
+                for _ in 0..levels {
+                    src <<= 1;
+                    dst <<= 1;
+                    let r: f64 = rng.gen();
+                    if r < a {
+                        // top-left: neither bit set
+                    } else if r < a + b {
+                        dst |= 1;
+                    } else if r < a + b + c {
+                        src |= 1;
+                    } else {
+                        src |= 1;
+                        dst |= 1;
                     }
-                    (
-                        (src % num_nodes as u64) as NodeId,
-                        (dst % num_nodes as u64) as NodeId,
-                    )
-                })
-                .collect::<Vec<_>>()
-        })
-        .collect();
+                }
+                (
+                    (src % num_nodes as u64) as NodeId,
+                    (dst % num_nodes as u64) as NodeId,
+                )
+            })
+            .collect::<Vec<_>>()
+    });
     let mut b = CsrBuilder::new(num_nodes).symmetrize(symmetric).dedup(true);
     b.add_edges(edges);
     b.build()
@@ -102,7 +115,12 @@ pub struct ChungLuParams {
 
 impl Default for ChungLuParams {
     fn default() -> Self {
-        ChungLuParams { num_nodes: 1 << 14, num_edges: 1 << 18, gamma: 2.2, symmetric: true }
+        ChungLuParams {
+            num_nodes: 1 << 14,
+            num_edges: 1 << 18,
+            gamma: 2.2,
+            symmetric: true,
+        }
     }
 }
 
@@ -111,7 +129,12 @@ impl Default for ChungLuParams {
 /// independently proportional to the weights (via inverse-CDF lookup on a
 /// prefix-sum table).
 pub fn chung_lu(params: ChungLuParams, seed: u64) -> Csr {
-    let ChungLuParams { num_nodes, num_edges, gamma, symmetric } = params;
+    let ChungLuParams {
+        num_nodes,
+        num_edges,
+        gamma,
+        symmetric,
+    } = params;
     assert!(gamma > 1.0);
     let alpha = 1.0 / (gamma - 1.0);
     // Prefix sums of node weights for O(log n) inverse-CDF sampling.
@@ -123,7 +146,7 @@ pub fn chung_lu(params: ChungLuParams, seed: u64) -> Csr {
         cdf.push(acc);
     }
     let total = acc;
-    let draw = |rng: &mut ChaCha8Rng| -> NodeId {
+    let draw = |rng: &mut Rng| -> NodeId {
         let x = rng.gen::<f64>() * total;
         // partition_point: first index with cdf[idx] > x, minus one.
         let idx = cdf.partition_point(|&c| c <= x);
@@ -131,14 +154,13 @@ pub fn chung_lu(params: ChungLuParams, seed: u64) -> Csr {
     };
     let chunk = 1 << 14;
     let nchunks = num_edges.div_ceil(chunk);
-    let edges: Vec<(NodeId, NodeId)> = (0..nchunks)
-        .into_par_iter()
-        .flat_map_iter(|ci| {
-            let mut rng = ChaCha8Rng::seed_from_u64(seed ^ (0x85eb_ca6b + ci as u64));
-            let count = chunk.min(num_edges - ci * chunk);
-            (0..count).map(move |_| (draw(&mut rng), draw(&mut rng))).collect::<Vec<_>>()
-        })
-        .collect();
+    let edges: Vec<(NodeId, NodeId)> = par::flat_map_indexed(nchunks, |ci| {
+        let mut rng = Rng::seed_from_u64(seed ^ (0x85eb_ca6b + ci as u64));
+        let count = chunk.min(num_edges - ci * chunk);
+        (0..count)
+            .map(|_| (draw(&mut rng), draw(&mut rng)))
+            .collect::<Vec<_>>()
+    });
     let mut b = CsrBuilder::new(num_nodes).symmetrize(symmetric).dedup(true);
     b.add_edges(edges);
     b.build()
@@ -146,7 +168,7 @@ pub fn chung_lu(params: ChungLuParams, seed: u64) -> Csr {
 
 /// Generates a directed Erdős–Rényi graph with `num_edges` random edges.
 pub fn erdos_renyi(num_nodes: usize, num_edges: usize, symmetric: bool, seed: u64) -> Csr {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let mut b = CsrBuilder::new(num_nodes).symmetrize(symmetric).dedup(true);
     for _ in 0..num_edges {
         let s = rng.gen_range(0..num_nodes) as NodeId;
@@ -181,7 +203,7 @@ pub fn planted_partition(
 ) -> (Csr, Vec<u32>) {
     assert!(num_blocks >= 1 && num_blocks <= num_nodes);
     assert!((0.0..=1.0).contains(&p_intra));
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let blocks: Vec<u32> = (0..num_nodes).map(|i| (i % num_blocks) as u32).collect();
     // Bucket nodes per block for O(1) intra draws.
     let mut members: Vec<Vec<NodeId>> = vec![Vec::new(); num_blocks];
@@ -209,26 +231,42 @@ mod tests {
 
     #[test]
     fn rmat_is_deterministic_and_skewed() {
-        let p = RmatParams { num_nodes: 1 << 10, num_edges: 1 << 14, ..Default::default() };
+        let p = RmatParams {
+            num_nodes: 1 << 10,
+            num_edges: 1 << 14,
+            ..Default::default()
+        };
         let g1 = rmat(p, 7);
         let g2 = rmat(p, 7);
         assert_eq!(g1.indices(), g2.indices());
         assert_eq!(g1.num_nodes(), 1 << 10);
         // Skew: max degree far above the average.
         let avg = g1.num_edges() as f64 / g1.num_nodes() as f64;
-        let max = (0..g1.num_nodes() as NodeId).map(|v| g1.degree(v)).max().unwrap();
+        let max = (0..g1.num_nodes() as NodeId)
+            .map(|v| g1.degree(v))
+            .max()
+            .unwrap();
         assert!(max as f64 > 4.0 * avg, "max degree {max} vs avg {avg}");
     }
 
     #[test]
     fn rmat_different_seed_differs() {
-        let p = RmatParams { num_nodes: 1 << 10, num_edges: 1 << 13, ..Default::default() };
+        let p = RmatParams {
+            num_nodes: 1 << 10,
+            num_edges: 1 << 13,
+            ..Default::default()
+        };
         assert_ne!(rmat(p, 1).indices(), rmat(p, 2).indices());
     }
 
     #[test]
     fn chung_lu_head_nodes_have_high_degree() {
-        let p = ChungLuParams { num_nodes: 4096, num_edges: 1 << 15, gamma: 2.2, symmetric: true };
+        let p = ChungLuParams {
+            num_nodes: 4096,
+            num_edges: 1 << 15,
+            gamma: 2.2,
+            symmetric: true,
+        };
         let g = chung_lu(p, 3);
         let head: usize = (0..40u32).map(|v| g.degree(v)).sum();
         let tail: usize = (4056..4096u32).map(|v| g.degree(v)).sum();

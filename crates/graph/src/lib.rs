@@ -18,10 +18,12 @@ pub mod csr;
 pub mod datasets;
 pub mod features;
 pub mod gen;
+pub mod wire;
 
 pub use csr::{Csr, CsrBuilder};
 pub use datasets::{Dataset, DatasetSpec, SyntheticKind};
 pub use features::{Features, Labels};
+pub use wire::{Wire, WireError};
 
 /// Node identifier. Global ids are dense in `0..n`.
 pub type NodeId = u32;

@@ -1,0 +1,216 @@
+//! Hand-rolled binary serialization.
+//!
+//! The in-tree replacement for the serde/bincode pair: a small
+//! little-endian, length-prefixed codec with explicit `impl`s for
+//! exactly the types the on-disk store needs. The format is
+//! position-dependent (no field tags), so readers and writers must
+//! agree on struct layout; `ds-store` versions its files with a magic
+//! header for that reason.
+
+/// Decode failure: truncated input or a structural invariant violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// Input ended before the value was complete.
+    Eof,
+    /// Decoded data violates a structural invariant.
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Eof => write!(f, "unexpected end of input"),
+            WireError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Types with a binary wire encoding. `decode` consumes from the front
+/// of `buf`, leaving any trailing bytes for the caller.
+pub trait Wire: Sized {
+    fn encode(&self, out: &mut Vec<u8>);
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError>;
+
+    /// Encodes into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+}
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Result<&'a [u8], WireError> {
+    if buf.len() < n {
+        return Err(WireError::Eof);
+    }
+    let (head, tail) = buf.split_at(n);
+    *buf = tail;
+    Ok(head)
+}
+
+macro_rules! wire_primitive {
+    ($($t:ty),*) => {$(
+        impl Wire for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+
+            fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+                let bytes = take(buf, std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+
+wire_primitive!(u8, u16, u32, u64, i32, i64, f32, f64);
+
+impl Wire for usize {
+    fn encode(&self, out: &mut Vec<u8>) {
+        (*self as u64).encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let v = u64::decode(buf)?;
+        usize::try_from(v).map_err(|_| WireError::Invalid("usize overflow"))
+    }
+}
+
+impl Wire for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Invalid("bool tag")),
+        }
+    }
+}
+
+impl Wire for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        out.extend_from_slice(self.as_bytes());
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let len = usize::decode(buf)?;
+        let bytes = take(buf, len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::Invalid("utf-8 string"))
+    }
+}
+
+impl<T: Wire> Wire for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.len().encode(out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        let len = usize::decode(buf)?;
+        // Every element occupies at least one byte, so a length beyond
+        // the remaining input is corrupt — reject before allocating.
+        if len > buf.len() {
+            return Err(WireError::Eof);
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(buf)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Wire> Wire for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        match u8::decode(buf)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(buf)?)),
+            _ => Err(WireError::Invalid("option tag")),
+        }
+    }
+}
+
+impl<A: Wire, B: Wire> Wire for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok((A::decode(buf)?, B::decode(buf)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Wire + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        let mut buf = bytes.as_slice();
+        assert_eq!(T::decode(&mut buf).unwrap(), v);
+        assert!(buf.is_empty(), "trailing bytes after decode");
+    }
+
+    #[test]
+    fn primitives_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-7i64);
+        round_trip(3.25f32);
+        round_trip(f64::MIN_POSITIVE);
+        round_trip(true);
+        round_trip(false);
+        round_trip(usize::MAX);
+        round_trip(String::from("dsp — graph store"));
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<f32>::new());
+        round_trip(Some(9u64));
+        round_trip(None::<Vec<f32>>);
+        round_trip((42u32, vec![0.5f32]));
+    }
+
+    #[test]
+    fn truncated_input_is_eof() {
+        let bytes = vec![5u64, 6, 7].to_bytes();
+        let mut buf = &bytes[..bytes.len() - 3];
+        assert_eq!(Vec::<u64>::decode(&mut buf), Err(WireError::Eof));
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_allocating() {
+        let mut bytes = Vec::new();
+        u64::MAX.encode(&mut bytes);
+        let mut buf = bytes.as_slice();
+        assert_eq!(Vec::<u8>::decode(&mut buf), Err(WireError::Eof));
+    }
+
+    #[test]
+    fn bad_tags_are_invalid() {
+        let mut buf: &[u8] = &[2];
+        assert!(matches!(bool::decode(&mut buf), Err(WireError::Invalid(_))));
+        let mut buf: &[u8] = &[7];
+        assert!(matches!(
+            Option::<u8>::decode(&mut buf),
+            Err(WireError::Invalid(_))
+        ));
+    }
+}

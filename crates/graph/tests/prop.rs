@@ -2,17 +2,17 @@
 
 use ds_graph::csr::{Csr, CsrBuilder};
 use ds_graph::{algo, gen, NodeId};
-use proptest::prelude::*;
+use ds_testkit::prelude::*;
 
 fn arb_edges(max_n: usize) -> impl Strategy<Value = (usize, Vec<(NodeId, NodeId)>)> {
     (2usize..max_n).prop_flat_map(|n| {
-        let edges = proptest::collection::vec((0..n as NodeId, 0..n as NodeId), 0..n * 4);
+        let edges = collection::vec((0..n as NodeId, 0..n as NodeId), 0..n * 4);
         (Just(n), edges)
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    #![cases(48)]
 
     #[test]
     fn builder_preserves_edge_multiset((n, edges) in arb_edges(200)) {

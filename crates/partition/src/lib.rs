@@ -37,7 +37,10 @@ impl Partition {
     /// Wraps an assignment vector. Every entry must be `< k`.
     pub fn from_assignment(k: usize, assign: Vec<u32>) -> Self {
         assert!(k >= 1);
-        assert!(assign.iter().all(|&p| (p as usize) < k), "part id out of range");
+        assert!(
+            assign.iter().all(|&p| (p as usize) < k),
+            "part id out of range"
+        );
         Partition { k, assign }
     }
 

@@ -16,8 +16,7 @@
 
 use crate::{Partition, Partitioner};
 use ds_graph::{Csr, NodeId};
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use ds_rng::Rng;
 
 /// Weighted working graph used inside the multilevel algorithm.
 struct WGraph {
@@ -52,7 +51,11 @@ impl WGraph {
             }
             xadj.push(adj.len());
         }
-        WGraph { xadj, adj, nw: vec![1; n] }
+        WGraph {
+            xadj,
+            adj,
+            nw: vec![1; n],
+        }
     }
 
     #[inline]
@@ -86,7 +89,12 @@ pub struct MultilevelConfig {
 
 impl Default for MultilevelConfig {
     fn default() -> Self {
-        MultilevelConfig { coarsen_to: 40, imbalance: 1.05, refine_passes: 4, seed: 0x4d45_5449 }
+        MultilevelConfig {
+            coarsen_to: 40,
+            imbalance: 1.05,
+            refine_passes: 4,
+            seed: 0x4d45_5449,
+        }
     }
 }
 
@@ -114,7 +122,7 @@ impl Partitioner for MultilevelPartitioner {
             return Partition::from_assignment(k, assign);
         }
         let cfg = self.config;
-        let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+        let mut rng = Rng::seed_from_u64(cfg.seed);
 
         // --- Coarsening ---------------------------------------------------
         let mut levels: Vec<WGraph> = vec![WGraph::from_csr(g)];
@@ -158,10 +166,10 @@ impl Partitioner for MultilevelPartitioner {
 /// Heavy-edge matching: visit nodes in random order; match each unmatched
 /// node with its heaviest-edge unmatched neighbor. Returns `mate[v]`
 /// (`v` itself when unmatched).
-fn heavy_edge_matching(g: &WGraph, rng: &mut ChaCha8Rng) -> Vec<u32> {
+fn heavy_edge_matching(g: &WGraph, rng: &mut Rng) -> Vec<u32> {
     let n = g.n();
     let mut order: Vec<u32> = (0..n as u32).collect();
-    order.shuffle(rng);
+    rng.shuffle(&mut order);
     let mut mate: Vec<u32> = (0..n as u32).collect();
     let mut matched = vec![false; n];
     for &v in &order {
@@ -248,7 +256,7 @@ fn contract(g: &WGraph, mate: Vec<u32>) -> (WGraph, Vec<u32>) {
 }
 
 /// Greedy region growing for the initial partition on the coarsest graph.
-fn region_growing(g: &WGraph, k: usize, imbalance: f64, rng: &mut ChaCha8Rng) -> Vec<u32> {
+fn region_growing(g: &WGraph, k: usize, imbalance: f64, rng: &mut Rng) -> Vec<u32> {
     let n = g.n();
     let total = g.total_weight();
     let budget = ((total as f64 / k as f64) * imbalance).ceil() as u64;
@@ -273,16 +281,17 @@ fn region_growing(g: &WGraph, k: usize, imbalance: f64, rng: &mut ChaCha8Rng) ->
         // fine: the coarsest graph is tiny by construction).
         let mut gain: Vec<u64> = vec![0; n];
         let mut frontier: Vec<u32> = Vec::new();
-        let push_frontier = |v: u32, gain: &mut Vec<u64>, frontier: &mut Vec<u32>, assign: &[u32]| {
-            for &(u, w) in g.neighbors(v) {
-                if assign[u as usize] == u32::MAX {
-                    if gain[u as usize] == 0 {
-                        frontier.push(u);
+        let push_frontier =
+            |v: u32, gain: &mut Vec<u64>, frontier: &mut Vec<u32>, assign: &[u32]| {
+                for &(u, w) in g.neighbors(v) {
+                    if assign[u as usize] == u32::MAX {
+                        if gain[u as usize] == 0 {
+                            frontier.push(u);
+                        }
+                        gain[u as usize] += w;
                     }
-                    gain[u as usize] += w;
                 }
-            }
-        };
+            };
         push_frontier(seed, &mut gain, &mut frontier, &assign);
         while part_w[p as usize] < total / k as u64 {
             // Pick the unassigned frontier node with max gain.
@@ -307,9 +316,10 @@ fn region_growing(g: &WGraph, k: usize, imbalance: f64, rng: &mut ChaCha8Rng) ->
         }
     }
     // Leftovers: assign to the lightest part (random tiebreak).
-    let mut leftovers: Vec<u32> =
-        (0..n as u32).filter(|&v| assign[v as usize] == u32::MAX).collect();
-    leftovers.shuffle(rng);
+    let mut leftovers: Vec<u32> = (0..n as u32)
+        .filter(|&v| assign[v as usize] == u32::MAX)
+        .collect();
+    rng.shuffle(&mut leftovers);
     for v in leftovers {
         let p = (0..k).min_by_key(|&p| part_w[p]).unwrap();
         assign[v as usize] = p as u32;
@@ -428,7 +438,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let g = gen::rmat(
-            gen::RmatParams { num_nodes: 2048, num_edges: 16_384, ..Default::default() },
+            gen::RmatParams {
+                num_nodes: 2048,
+                num_edges: 16_384,
+                ..Default::default()
+            },
             5,
         );
         let a = MultilevelPartitioner::default().partition(&g, 4);

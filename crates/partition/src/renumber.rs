@@ -40,7 +40,11 @@ impl Renumbering {
             new_of_old[old as usize] = new;
             old_of_new[new as usize] = old;
         }
-        Renumbering { new_of_old, old_of_new, range_starts }
+        Renumbering {
+            new_of_old,
+            old_of_new,
+            range_starts,
+        }
     }
 
     /// Number of nodes.
@@ -111,14 +115,18 @@ impl Renumbering {
     /// Remaps a feature matrix.
     pub fn apply_features(&self, f: &Features) -> Features {
         assert_eq!(f.num_nodes(), self.num_nodes());
-        let order: Vec<NodeId> = (0..self.num_nodes() as NodeId).map(|v| self.to_old(v)).collect();
+        let order: Vec<NodeId> = (0..self.num_nodes() as NodeId)
+            .map(|v| self.to_old(v))
+            .collect();
         f.gather(&order)
     }
 
     /// Remaps labels.
     pub fn apply_labels(&self, l: &Labels) -> Labels {
         assert_eq!(l.len(), self.num_nodes());
-        let data = (0..self.num_nodes() as NodeId).map(|v| l.get(self.to_old(v))).collect();
+        let data = (0..self.num_nodes() as NodeId)
+            .map(|v| l.get(self.to_old(v)))
+            .collect();
         Labels::from_raw(l.num_classes(), data)
     }
 

@@ -2,10 +2,10 @@
 
 use ds_graph::{gen, NodeId};
 use ds_partition::{quality, simple, MultilevelPartitioner, Partitioner, Renumbering};
-use proptest::prelude::*;
+use ds_testkit::prelude::*;
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
+props! {
+    #![cases(32)]
 
     #[test]
     fn every_partitioner_is_a_total_assignment(

@@ -1,0 +1,279 @@
+//! Mutex+Condvar MPMC channels — the in-tree replacement for the
+//! crossbeam channels the virtual-time queues were built on.
+//!
+//! Semantics match what [`crate::queue`] relies on: `bounded(cap)`
+//! blocks senders while full, `unbounded()` never blocks senders,
+//! `recv` blocks until an item arrives and returns `Err(RecvError)`
+//! only once every sender is dropped *and* the buffer is drained, and
+//! `send` returns `Err(SendError(item))` once every receiver is gone.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The channel's receivers were all dropped; the item comes back.
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+impl<T> std::fmt::Debug for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SendError(..)")
+    }
+}
+
+impl<T> std::fmt::Display for SendError<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "sending on a channel with no receivers")
+    }
+}
+
+/// The channel is drained and all senders were dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecvError;
+
+impl std::fmt::Display for RecvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "receiving on an empty channel with no senders")
+    }
+}
+
+impl std::error::Error for RecvError {}
+
+struct State<T> {
+    buf: VecDeque<T>,
+    senders: usize,
+    receivers: usize,
+}
+
+struct Shared<T> {
+    state: Mutex<State<T>>,
+    /// `None` capacity = unbounded.
+    capacity: Option<usize>,
+    /// Receivers wait here for items; senders for free slots.
+    items: Condvar,
+    slots: Condvar,
+}
+
+/// Sending half; clonable.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half; clonable.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// A channel whose buffer holds at most `capacity` items; senders block
+/// while it is full.
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    assert!(capacity >= 1, "bounded channel needs capacity >= 1");
+    channel(Some(capacity))
+}
+
+/// A channel with an unbounded buffer; senders never block.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(None)
+}
+
+fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        state: Mutex::new(State {
+            buf: VecDeque::new(),
+            senders: 1,
+            receivers: 1,
+        }),
+        capacity,
+        items: Condvar::new(),
+        slots: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: Arc::clone(&shared),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Sends an item, blocking while a bounded channel is full.
+    pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(item));
+            }
+            match self.shared.capacity {
+                Some(cap) if st.buf.len() >= cap => {
+                    st = self.shared.slots.wait(st).unwrap();
+                }
+                _ => break,
+            }
+        }
+        st.buf.push_back(item);
+        drop(st);
+        self.shared.items.notify_one();
+        Ok(())
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().senders += 1;
+        Sender {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.senders -= 1;
+        if st.senders == 0 {
+            drop(st);
+            // Wake receivers blocked on an empty buffer so they can
+            // observe the disconnect.
+            self.shared.items.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Receives the next item, blocking while the channel is empty.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut st = self.shared.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.buf.pop_front() {
+                drop(st);
+                self.shared.slots.notify_one();
+                return Ok(item);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st = self.shared.items.wait(st).unwrap();
+        }
+    }
+
+    /// Receives without blocking; `None` if the channel is currently
+    /// empty (regardless of sender liveness).
+    pub fn try_recv(&self) -> Option<T> {
+        let mut st = self.shared.state.lock().unwrap();
+        let item = st.buf.pop_front();
+        if item.is_some() {
+            drop(st);
+            self.shared.slots.notify_one();
+        }
+        item
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.state.lock().unwrap().receivers += 1;
+        Receiver {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut st = self.shared.state.lock().unwrap();
+        st.receivers -= 1;
+        if st.receivers == 0 {
+            drop(st);
+            // Wake senders blocked on a full buffer so `send` can fail.
+            self.shared.slots.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn items_arrive_in_fifo_order() {
+        let (tx, rx) = unbounded();
+        for i in 0..10 {
+            tx.send(i).unwrap();
+        }
+        for i in 0..10 {
+            assert_eq!(rx.recv(), Ok(i));
+        }
+    }
+
+    #[test]
+    fn recv_errors_after_last_sender_drops() {
+        let (tx, rx) = bounded(4);
+        tx.send(1u32).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_errors_after_last_receiver_drops() {
+        let (tx, rx) = bounded::<u32>(1);
+        drop(rx);
+        assert_eq!(tx.send(7), Err(SendError(7)));
+    }
+
+    #[test]
+    fn bounded_sender_blocks_until_a_slot_frees() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let h = std::thread::spawn(move || {
+            tx.send(1).unwrap();
+            true
+        });
+        std::thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.recv(), Ok(0));
+        assert!(h.join().unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_send() {
+        let (tx, rx) = unbounded();
+        let h = std::thread::spawn(move || rx.recv());
+        std::thread::sleep(Duration::from_millis(20));
+        tx.send(99u64).unwrap();
+        assert_eq!(h.join().unwrap(), Ok(99));
+    }
+
+    #[test]
+    fn blocked_sender_errors_if_receiver_vanishes() {
+        let (tx, rx) = bounded(1);
+        tx.send(0u32).unwrap();
+        let h = std::thread::spawn(move || tx.send(1));
+        std::thread::sleep(Duration::from_millis(20));
+        drop(rx);
+        assert_eq!(h.join().unwrap(), Err(SendError(1)));
+    }
+
+    #[test]
+    fn try_recv_never_blocks() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.try_recv(), None);
+        tx.send(5u8).unwrap();
+        assert_eq!(rx.try_recv(), Some(5));
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn clones_share_the_stream() {
+        let (tx, rx) = unbounded();
+        let tx2 = tx.clone();
+        let rx2 = rx.clone();
+        tx.send(1u32).unwrap();
+        tx2.send(2).unwrap();
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx2.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+}

@@ -2,6 +2,7 @@
 //!
 //! The producer-consumer training pipeline of §5.
 //!
+//! * [`chan`] — Mutex+Condvar MPMC channels (crossbeam substitute).
 //! * [`queue`] — bounded queues connecting the sampler → loader →
 //!   trainer workers. They carry real payloads between real threads
 //!   *and* enforce the same backpressure in virtual time: an item's
@@ -15,6 +16,7 @@
 //!   independent check of the threaded implementation (tests assert the
 //!   two agree exactly).
 
+pub mod chan;
 pub mod queue;
 pub mod schedule;
 

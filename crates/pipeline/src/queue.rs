@@ -12,7 +12,7 @@
 //! Together these make the virtual timeline of a pipelined epoch exactly
 //! the event-driven schedule of [`crate::schedule`].
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crate::chan::{bounded, unbounded, Receiver, Sender};
 use ds_simgpu::Clock;
 
 /// Producer half of a virtual-time bounded queue.
@@ -34,7 +34,15 @@ pub fn virtual_queue<T>(capacity: usize) -> (QueueProducer<T>, QueueConsumer<T>)
     assert!(capacity >= 1);
     let (tx, rx) = bounded(capacity);
     let (feedback_tx, feedback_rx) = unbounded();
-    (QueueProducer { tx, feedback_rx, capacity, sent: 0 }, QueueConsumer { rx, feedback_tx })
+    (
+        QueueProducer {
+            tx,
+            feedback_rx,
+            capacity,
+            sent: 0,
+        },
+        QueueConsumer { rx, feedback_tx },
+    )
 }
 
 impl<T> QueueProducer<T> {
@@ -95,7 +103,10 @@ mod tests {
             got.push((i, clock.now()));
         }
         let _ = producer.join().unwrap();
-        assert_eq!(got.iter().map(|&(i, _)| i).collect::<Vec<_>>(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            got.iter().map(|&(i, _)| i).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4]
+        );
         // Item i can't be seen before virtual time i+1.
         for &(i, t) in &got {
             assert!(t >= (i + 1) as f64, "item {i} popped at {t}");

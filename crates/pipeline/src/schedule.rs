@@ -19,7 +19,11 @@ pub struct StageTimes {
 impl StageTimes {
     /// Uniform durations for `n` batches (convenient in tests/analyses).
     pub fn uniform(n: usize, sample: f64, load: f64, train: f64) -> Self {
-        StageTimes { sample: vec![sample; n], load: vec![load; n], train: vec![train; n] }
+        StageTimes {
+            sample: vec![sample; n],
+            load: vec![load; n],
+            train: vec![train; n],
+        }
     }
 
     /// Number of batches.
@@ -35,7 +39,11 @@ impl StageTimes {
 
     /// Total busy time across stages.
     pub fn total_busy(&self) -> f64 {
-        self.sample.iter().chain(&self.load).chain(&self.train).sum()
+        self.sample
+            .iter()
+            .chain(&self.load)
+            .chain(&self.train)
+            .sum()
     }
 }
 
@@ -95,7 +103,11 @@ impl PipelineSchedule {
             train_pop[i] = t_pop;
             train_finish[i] = t_pop + times.train[i];
         }
-        PipelineSchedule { sample_finish, load_finish, train_finish }
+        PipelineSchedule {
+            sample_finish,
+            load_finish,
+            train_finish,
+        }
     }
 
     /// Pipelined epoch makespan.
@@ -190,7 +202,11 @@ impl PipelineSchedule {
             train_pop[i] = t_pop;
             train_finish[i] = t_pop + times.train[i] * cont;
         }
-        PipelineSchedule { sample_finish, load_finish, train_finish }
+        PipelineSchedule {
+            sample_finish,
+            load_finish,
+            train_finish,
+        }
     }
 }
 
@@ -262,7 +278,11 @@ mod tests {
         let multi = PipelineSchedule::compute_multi(
             &times,
             2,
-            MultiWorkerConfig { sampler_instances: 2, loader_instances: 1, contention_per_extra: 0.0 },
+            MultiWorkerConfig {
+                sampler_instances: 2,
+                loader_instances: 1,
+                contention_per_extra: 0.0,
+            },
         )
         .makespan();
         assert!(multi < 0.6 * single, "multi {multi} vs single {single}");
@@ -277,10 +297,17 @@ mod tests {
         let multi = PipelineSchedule::compute_multi(
             &times,
             2,
-            MultiWorkerConfig { sampler_instances: 2, loader_instances: 2, contention_per_extra: 0.25 },
+            MultiWorkerConfig {
+                sampler_instances: 2,
+                loader_instances: 2,
+                contention_per_extra: 0.25,
+            },
         )
         .makespan();
-        assert!(multi > single, "multi {multi} should lose to single {single}");
+        assert!(
+            multi > single,
+            "multi {multi} should lose to single {single}"
+        );
     }
 
     #[test]
@@ -294,7 +321,11 @@ mod tests {
         let b = PipelineSchedule::compute_multi(
             &times,
             2,
-            MultiWorkerConfig { sampler_instances: 1, loader_instances: 1, contention_per_extra: 0.3 },
+            MultiWorkerConfig {
+                sampler_instances: 1,
+                loader_instances: 1,
+                contention_per_extra: 0.3,
+            },
         )
         .makespan();
         assert!((a - b).abs() < 1e-12, "{a} vs {b}");

@@ -1,0 +1,453 @@
+//! # ds-rng
+//!
+//! In-tree deterministic PRNG — the single source of randomness for the
+//! whole workspace. Everything the paper's reproduction randomizes
+//! (graph generation, neighbor sampling, cache ablations, partitioner
+//! tie-breaking, parameter init) draws through [`Rng`], so a seed fully
+//! determines an experiment on every platform: the generator is pure
+//! `u64` arithmetic with no platform-, thread- or allocation-dependent
+//! state.
+//!
+//! The core generator is **xoshiro256\*\*** (Blackman & Vigna), seeded
+//! through a splitmix64 expansion so that any `u64` seed yields a
+//! well-mixed 256-bit state. Two derivation helpers make multi-GPU
+//! determinism ergonomic:
+//!
+//! * [`Rng::seed_from_u64`] — the root stream of an experiment;
+//! * [`Rng::split_stream`] — an independent child stream per logical
+//!   index (device rank, chunk id, epoch), so parallel workers draw
+//!   from disjoint sequences regardless of scheduling.
+//!
+//! Determinism contract: the sequence produced by any seed is frozen by
+//! golden-value tests in this crate. Changing the generator is a
+//! breaking change to every seeded experiment and must bump those
+//! goldens deliberately.
+
+/// splitmix64 step: advances `x` and returns a well-mixed output.
+#[inline]
+fn splitmix64(x: &mut u64) -> u64 {
+    *x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seedable xoshiro256** generator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Seeds the generator from a single `u64` via splitmix64 expansion
+    /// (the construction recommended by the xoshiro authors).
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut x = seed;
+        let s = [
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+            splitmix64(&mut x),
+        ];
+        // All-zero state is the one fixed point of xoshiro; splitmix
+        // expansion cannot hit it for any u64 seed, but guard anyway.
+        let s = if s == [0; 4] { [1, 0, 0, 0] } else { s };
+        Rng { s }
+    }
+
+    /// Builds a generator from raw state words (for tests and resume).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s != [0; 4], "xoshiro state must not be all zero");
+        Rng { s }
+    }
+
+    /// The raw state words.
+    pub fn state(&self) -> [u64; 4] {
+        self.s
+    }
+
+    /// Derives an independent stream for logical index `index` (device
+    /// rank, chunk id, ...). Children of distinct indices — and of
+    /// distinct parent states — are statistically independent, and the
+    /// parent is not advanced, so stream layout is scheduling-invariant.
+    pub fn split_stream(&self, index: u64) -> Rng {
+        let mut x = index.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x6a09_e667_f3bc_c909;
+        for &w in &self.s {
+            x = x.wrapping_add(w);
+            splitmix64(&mut x);
+        }
+        Rng::seed_from_u64(splitmix64(&mut x))
+    }
+
+    /// Next raw `u64` (xoshiro256** output function).
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let out = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        out
+    }
+
+    /// A uniformly distributed value of a primitive type: floats in
+    /// `[0, 1)`, integers over their whole domain, fair `bool`s.
+    #[inline]
+    pub fn gen<T: Sample>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    #[inline]
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.gen::<f64>() < p
+    }
+
+    /// A uniform value in `range` (half-open or inclusive; integer or
+    /// float). Panics on an empty range.
+    #[inline]
+    pub fn gen_range<R: RangeSample>(&mut self, range: R) -> R::Output {
+        range.sample_in(self)
+    }
+
+    /// A uniform index in `0..n` (`n > 0`).
+    #[inline]
+    pub fn gen_index(&mut self, n: usize) -> usize {
+        assert!(n > 0, "gen_index needs a non-empty range");
+        // Widening multiply maps the 64-bit draw onto 0..n with bias
+        // below n / 2^64 — immeasurable for any in-memory n, and it
+        // keeps sampling single-draw (important for stream stability).
+        (((self.next_u64() as u128) * (n as u128)) >> 64) as usize
+    }
+
+    /// Fisher–Yates shuffle.
+    pub fn shuffle<T>(&mut self, slice: &mut [T]) {
+        for i in (1..slice.len()).rev() {
+            let j = self.gen_index(i + 1);
+            slice.swap(i, j);
+        }
+    }
+
+    /// A uniformly chosen element (`None` on an empty slice).
+    pub fn choose<'a, T>(&mut self, slice: &'a [T]) -> Option<&'a T> {
+        if slice.is_empty() {
+            None
+        } else {
+            Some(&slice[self.gen_index(slice.len())])
+        }
+    }
+
+    /// An index drawn proportionally to non-negative `weights`
+    /// (inverse-CDF). Returns `None` if the weights are empty or sum to
+    /// a non-positive value.
+    pub fn weighted_index(&mut self, weights: &[f64]) -> Option<usize> {
+        let total: f64 = weights.iter().sum();
+        if weights.is_empty() || !(total > 0.0) {
+            return None;
+        }
+        let mut x = self.gen::<f64>() * total;
+        for (i, &w) in weights.iter().enumerate() {
+            if x < w {
+                return Some(i);
+            }
+            x -= w;
+        }
+        // Float accumulation can leave us past the last bucket.
+        Some(weights.len() - 1)
+    }
+}
+
+/// Types [`Rng::gen`] can produce.
+pub trait Sample {
+    /// Draws one value.
+    fn sample(rng: &mut Rng) -> Self;
+}
+
+impl Sample for u64 {
+    #[inline]
+    fn sample(rng: &mut Rng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Sample for u32 {
+    #[inline]
+    fn sample(rng: &mut Rng) -> u32 {
+        (rng.next_u64() >> 32) as u32
+    }
+}
+
+impl Sample for usize {
+    #[inline]
+    fn sample(rng: &mut Rng) -> usize {
+        rng.next_u64() as usize
+    }
+}
+
+impl Sample for bool {
+    #[inline]
+    fn sample(rng: &mut Rng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Sample for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn sample(rng: &mut Rng) -> f64 {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Sample for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn sample(rng: &mut Rng) -> f32 {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample from.
+pub trait RangeSample {
+    /// The element type of the range.
+    type Output;
+    /// Draws one value in the range.
+    fn sample_in(self, rng: &mut Rng) -> Self::Output;
+}
+
+macro_rules! int_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for std::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_in(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (self.start as i128 + off) as $t
+            }
+        }
+        impl RangeSample for std::ops::RangeInclusive<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_in(self, rng: &mut Rng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "gen_range on empty range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = ((rng.next_u64() as u128 * span) >> 64) as i128;
+                (lo as i128 + off) as $t
+            }
+        }
+    )*};
+}
+
+int_range_sample!(u32, u64, usize, i32, i64);
+
+macro_rules! float_range_sample {
+    ($($t:ty),*) => {$(
+        impl RangeSample for std::ops::Range<$t> {
+            type Output = $t;
+            #[inline]
+            fn sample_in(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range on empty range");
+                self.start + rng.gen::<$t>() * (self.end - self.start)
+            }
+        }
+    )*};
+}
+
+float_range_sample!(f32, f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Freezes the exact output streams. These values are part of the
+    /// determinism contract: every seeded experiment in the workspace
+    /// depends on them, so a failure here means reproducibility broke.
+    #[test]
+    fn golden_values_are_frozen() {
+        let mut r = Rng::seed_from_u64(0);
+        let v: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            v,
+            [
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532,
+                13521403990117723737,
+                18442103541295991498,
+                7788427924976520344,
+                9881088229871127103,
+            ]
+        );
+
+        let mut r = Rng::seed_from_u64(0xD5B0_2023);
+        let v: Vec<u64> = (0..8).map(|_| r.next_u64()).collect();
+        assert_eq!(
+            v,
+            [
+                7386973375044623545,
+                5625632143765824591,
+                1391359300365775706,
+                1387805040115838735,
+                15869499441674950211,
+                15112697989062337092,
+                12871478362537581739,
+                17254003768547466092,
+            ]
+        );
+
+        let mut r = Rng::seed_from_u64(123);
+        let f: Vec<f64> = (0..4).map(|_| r.gen::<f64>()).collect();
+        assert_eq!(
+            f,
+            [
+                0.19669435215621578,
+                0.9695722925002218,
+                0.46744032361670884,
+                0.12698379756585432,
+            ]
+        );
+
+        let mut r = Rng::seed_from_u64(123);
+        let f: Vec<f32> = (0..4).map(|_| r.gen::<f32>()).collect();
+        assert_eq!(f, [0.19669431, 0.96957225, 0.4674403, 0.12698376]);
+
+        let mut r = Rng::seed_from_u64(7);
+        let g: Vec<usize> = (0..8).map(|_| r.gen_range(0usize..1000)).collect();
+        assert_eq!(g, [700, 278, 839, 981, 990, 872, 60, 104]);
+
+        let mut v: Vec<u32> = (0..10).collect();
+        Rng::seed_from_u64(99).shuffle(&mut v);
+        assert_eq!(v, [2, 7, 0, 6, 1, 4, 8, 9, 5, 3]);
+
+        assert_eq!(
+            Rng::seed_from_u64(2026).split_stream(3).state(),
+            [
+                10254494632325855413,
+                1176016766446782405,
+                7242105884689284045,
+                3564289538087850056,
+            ]
+        );
+    }
+
+    #[test]
+    fn seeding_is_deterministic_and_seed_sensitive() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        let mut c = Rng::seed_from_u64(43);
+        let va: Vec<u64> = (0..16).map(|_| a.next_u64()).collect();
+        let vb: Vec<u64> = (0..16).map(|_| b.next_u64()).collect();
+        let vc: Vec<u64> = (0..16).map(|_| c.next_u64()).collect();
+        assert_eq!(va, vb);
+        assert_ne!(va, vc);
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut r = Rng::seed_from_u64(7);
+        for _ in 0..10_000 {
+            let x = r.gen_range(3usize..17);
+            assert!((3..17).contains(&x));
+            let y = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&y));
+            let z = r.gen_range(-1.0f32..1.0);
+            assert!((-1.0..1.0).contains(&z));
+            let w = r.gen_range(0u32..=4);
+            assert!(w <= 4);
+            let u = r.gen::<f64>();
+            assert!((0.0..1.0).contains(&u));
+        }
+    }
+
+    #[test]
+    fn integer_ranges_are_roughly_uniform() {
+        let mut r = Rng::seed_from_u64(11);
+        let mut hits = [0u32; 10];
+        for _ in 0..100_000 {
+            hits[r.gen_range(0usize..10)] += 1;
+        }
+        for &h in &hits {
+            assert!((9_300..10_700).contains(&h), "bucket count {h}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_seeded_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        let mut r = Rng::seed_from_u64(3);
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        let mut v2: Vec<u32> = (0..100).collect();
+        Rng::seed_from_u64(3).shuffle(&mut v2);
+        assert_eq!(v, v2);
+        assert_ne!(v, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn split_streams_are_independent_of_parent_draws() {
+        let parent = Rng::seed_from_u64(9);
+        let mut advanced = parent.clone();
+        advanced.next_u64();
+        // Splitting does not consume parent state...
+        assert_eq!(
+            parent.split_stream(4).state(),
+            Rng::seed_from_u64(9).split_stream(4).state()
+        );
+        // ...and distinct indices give distinct streams.
+        assert_ne!(
+            parent.split_stream(0).state(),
+            parent.split_stream(1).state()
+        );
+        // ...and the parent's own position changes the child.
+        assert_ne!(
+            parent.split_stream(0).state(),
+            advanced.split_stream(0).state()
+        );
+    }
+
+    #[test]
+    fn weighted_index_tracks_weights() {
+        let mut r = Rng::seed_from_u64(5);
+        let mut counts = [0u32; 3];
+        for _ in 0..30_000 {
+            counts[r.weighted_index(&[1.0, 2.0, 7.0]).unwrap()] += 1;
+        }
+        assert!((2_400..3_600).contains(&counts[0]), "{counts:?}");
+        assert!((5_200..6_800).contains(&counts[1]), "{counts:?}");
+        assert!((19_800..22_200).contains(&counts[2]), "{counts:?}");
+        assert_eq!(r.weighted_index(&[]), None);
+        assert_eq!(r.weighted_index(&[0.0, 0.0]), None);
+    }
+
+    #[test]
+    fn gen_bool_matches_probability() {
+        let mut r = Rng::seed_from_u64(1);
+        let hits = (0..100_000).filter(|_| r.gen_bool(0.25)).count();
+        assert!((24_000..26_000).contains(&hits), "{hits}");
+        assert!(!Rng::seed_from_u64(2).gen_bool(0.0));
+        assert!(Rng::seed_from_u64(2).gen_bool(1.0));
+    }
+
+    #[test]
+    fn choose_covers_all_elements() {
+        let mut r = Rng::seed_from_u64(8);
+        let v = [10u32, 20, 30];
+        let mut seen = [false; 3];
+        for _ in 0..200 {
+            let x = *r.choose(&v).unwrap();
+            seen[(x / 10 - 1) as usize] = true;
+        }
+        assert_eq!(seen, [true; 3]);
+        assert_eq!(r.choose::<u32>(&[]), None);
+    }
+}

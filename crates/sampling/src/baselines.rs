@@ -34,7 +34,9 @@ fn sample_layer_local(
         let sampled = if nb.is_empty() {
             Vec::new()
         } else if biased {
-            let ws = g.neighbor_weights(v).expect("biased sampling on unweighted graph");
+            let ws = g
+                .neighbor_weights(v)
+                .expect("biased sampling on unweighted graph");
             local::sample_weighted(nb, ws, fanout, &mut rng)
         } else {
             local::sample_uniform(nb, fanout, &mut rng)
@@ -80,7 +82,16 @@ impl UvaSampler {
         variant: UvaVariant,
         seed: u64,
     ) -> Self {
-        UvaSampler { graph, cluster, rank, fanout, biased, variant, seed, batch_index: 0 }
+        UvaSampler {
+            graph,
+            cluster,
+            rank,
+            fanout,
+            biased,
+            variant,
+            seed,
+            batch_index: 0,
+        }
     }
 }
 
@@ -112,7 +123,13 @@ impl BatchSampler for UvaSampler {
                 ds_simgpu::clock::ResKind::Pcie,
             );
             let (offsets, neighbors) = sample_layer_local(
-                &self.graph, self.seed, batch, l, &frontier, fan, self.biased,
+                &self.graph,
+                self.seed,
+                batch,
+                l,
+                &frontier,
+                fan,
+                self.biased,
             );
             if self.biased {
                 // Biased sampling must read each node's whole adjacency
@@ -134,9 +151,17 @@ impl BatchSampler for UvaSampler {
                     ds_simgpu::clock::ResKind::Pcie,
                 );
             }
-            clock.work(model.gpu.time_full(neighbors.len() as u64, model.sample_cycles_per_item));
+            clock.work(
+                model
+                    .gpu
+                    .time_full(neighbors.len() as u64, model.sample_cycles_per_item),
+            );
             let layer = SampleLayer::new(frontier.clone(), offsets, neighbors);
-            clock.work(model.gpu.time_full(layer.src.len() as u64, 4.0 * model.scan_cycles_per_item));
+            clock.work(
+                model
+                    .gpu
+                    .time_full(layer.src.len() as u64, 4.0 * model.scan_cycles_per_item),
+            );
             frontier = layer.src.clone();
             layers.push(layer);
         }
@@ -179,7 +204,16 @@ impl CpuSampler {
         variant: CpuVariant,
         seed: u64,
     ) -> Self {
-        CpuSampler { graph, cluster, rank, workers, fanout, variant, seed, batch_index: 0 }
+        CpuSampler {
+            graph,
+            cluster,
+            rank,
+            workers,
+            fanout,
+            variant,
+            seed,
+            batch_index: 0,
+        }
     }
 }
 
@@ -219,8 +253,7 @@ impl BatchSampler for CpuSampler {
         // Ship the sample structure (node ids + CSR offsets per layer)
         // to the GPU as one bulk PCIe copy.
         let sample = GraphSample::new(seeds.to_vec(), layers);
-        let struct_bytes =
-            sample.num_nodes() as u64 * 4 + sample.num_edges() as u64 * 8;
+        let struct_bytes = sample.num_nodes() as u64 * 4 + sample.num_edges() as u64 * 8;
         clock.work_on(
             self.cluster.pcie_copy(self.rank, struct_bytes),
             ds_simgpu::clock::ResKind::Pcie,
@@ -255,7 +288,16 @@ impl PullDataSampler {
         biased: bool,
         seed: u64,
     ) -> Self {
-        PullDataSampler { graph, cluster, comm, rank, fanout, biased, seed, batch_index: 0 }
+        PullDataSampler {
+            graph,
+            cluster,
+            comm,
+            rank,
+            fanout,
+            biased,
+            seed,
+            batch_index: 0,
+        }
     }
 }
 
@@ -268,7 +310,11 @@ impl BatchSampler for PullDataSampler {
         let mut frontier: Vec<NodeId> = seeds.to_vec();
         let mut layers = Vec::with_capacity(self.fanout.len());
         for (l, &fan) in self.fanout.clone().iter().enumerate() {
-            clock.work(model.gpu.time_full(frontier.len() as u64, model.scan_cycles_per_item));
+            clock.work(
+                model
+                    .gpu
+                    .time_full(frontier.len() as u64, model.scan_cycles_per_item),
+            );
             // Request each frontier node's adjacency list from its owner.
             let mut sends: Vec<Vec<NodeId>> = vec![Vec::new(); n];
             let mut placement = Vec::with_capacity(frontier.len());
@@ -337,9 +383,17 @@ impl BatchSampler for PullDataSampler {
                 neighbors.extend(sampled);
                 offsets.push(neighbors.len() as u32);
             }
-            clock.work(model.gpu.time_full(neighbors.len() as u64, model.sample_cycles_per_item));
+            clock.work(
+                model
+                    .gpu
+                    .time_full(neighbors.len() as u64, model.sample_cycles_per_item),
+            );
             let layer = SampleLayer::new(frontier.clone(), offsets, neighbors);
-            clock.work(model.gpu.time_full(layer.src.len() as u64, 4.0 * model.scan_cycles_per_item));
+            clock.work(
+                model
+                    .gpu
+                    .time_full(layer.src.len() as u64, 4.0 * model.scan_cycles_per_item),
+            );
             frontier = layer.src.clone();
             layers.push(layer);
         }
@@ -361,8 +415,21 @@ pub struct IdealSampler {
 
 impl IdealSampler {
     /// Creates the ideal sampler for `rank`.
-    pub fn new(graph: Arc<Csr>, cluster: Arc<Cluster>, rank: usize, fanout: Vec<usize>, seed: u64) -> Self {
-        IdealSampler { graph, cluster, rank, fanout, seed, batch_index: 0 }
+    pub fn new(
+        graph: Arc<Csr>,
+        cluster: Arc<Cluster>,
+        rank: usize,
+        fanout: Vec<usize>,
+        seed: u64,
+    ) -> Self {
+        IdealSampler {
+            graph,
+            cluster,
+            rank,
+            fanout,
+            seed,
+            batch_index: 0,
+        }
     }
 }
 
@@ -377,8 +444,15 @@ impl BatchSampler for IdealSampler {
                 sample_layer_local(&self.graph, self.seed, batch, l, &frontier, fan, false);
             // Exactly 4 bytes per sampled id, over NVLink, all remote.
             let bytes = neighbors.len() as u64 * 4;
-            self.cluster.device(self.rank).meter.record(ds_simgpu::Link::NvLink, bytes);
-            let bw = self.cluster.topology().nvlink_egress_bw(self.rank).max(ds_simgpu::topology::NVLINK_LINK_BW);
+            self.cluster
+                .device(self.rank)
+                .meter
+                .record(ds_simgpu::Link::NvLink, bytes);
+            let bw = self
+                .cluster
+                .topology()
+                .nvlink_egress_bw(self.rank)
+                .max(ds_simgpu::topology::NVLINK_LINK_BW);
             clock.work_on(bytes as f64 / bw, ds_simgpu::clock::ResKind::NvLink);
             let layer = SampleLayer::new(frontier.clone(), offsets, neighbors);
             frontier = layer.src.clone();
@@ -406,10 +480,23 @@ mod tests {
         let fanout = vec![5, 3];
         let seeds = vec![3u32, 77, 140];
         let mut uva = UvaSampler::new(
-            Arc::clone(&g), Arc::clone(&cluster), 0, fanout.clone(), false, UvaVariant::DglUva, 9,
+            Arc::clone(&g),
+            Arc::clone(&cluster),
+            0,
+            fanout.clone(),
+            false,
+            UvaVariant::DglUva,
+            9,
         );
-        let mut cpu =
-            CpuSampler::new(Arc::clone(&g), Arc::clone(&cluster), 0, 1, fanout.clone(), CpuVariant::PyG, 9);
+        let mut cpu = CpuSampler::new(
+            Arc::clone(&g),
+            Arc::clone(&cluster),
+            0,
+            1,
+            fanout.clone(),
+            CpuVariant::PyG,
+            9,
+        );
         let mut ideal = IdealSampler::new(Arc::clone(&g), Arc::clone(&cluster), 0, fanout, 9);
         let mut c1 = Clock::new();
         let mut c2 = Clock::new();
@@ -425,8 +512,15 @@ mod tests {
     fn uva_pays_read_amplification() {
         let g = Arc::new(test_graph());
         let cluster = Arc::new(ClusterSpec::v100(1).build());
-        let mut uva =
-            UvaSampler::new(Arc::clone(&g), Arc::clone(&cluster), 0, vec![5], false, UvaVariant::DglUva, 9);
+        let mut uva = UvaSampler::new(
+            Arc::clone(&g),
+            Arc::clone(&cluster),
+            0,
+            vec![5],
+            false,
+            UvaVariant::DglUva,
+            9,
+        );
         let mut clock = Clock::new();
         let s = uva.sample_batch(&mut clock, &[1, 2, 3, 4, 5]);
         let pcie = cluster.device(0).meter.pcie_bytes();
@@ -442,16 +536,33 @@ mod tests {
         let cluster = Arc::new(ClusterSpec::v100(1).build());
         let seeds: Vec<NodeId> = (0..50).collect();
         let mut q = UvaSampler::new(
-            Arc::clone(&g), Arc::clone(&cluster), 0, vec![5, 3], false, UvaVariant::Quiver, 9,
+            Arc::clone(&g),
+            Arc::clone(&cluster),
+            0,
+            vec![5, 3],
+            false,
+            UvaVariant::Quiver,
+            9,
         );
         let mut d = UvaSampler::new(
-            Arc::clone(&g), Arc::clone(&cluster), 0, vec![5, 3], false, UvaVariant::DglUva, 9,
+            Arc::clone(&g),
+            Arc::clone(&cluster),
+            0,
+            vec![5, 3],
+            false,
+            UvaVariant::DglUva,
+            9,
         );
         let mut cq = Clock::new();
         let mut cd = Clock::new();
         q.sample_batch(&mut cq, &seeds);
         d.sample_batch(&mut cd, &seeds);
-        assert!(cq.now() > cd.now(), "quiver {} vs dgl-uva {}", cq.now(), cd.now());
+        assert!(
+            cq.now() > cd.now(),
+            "quiver {} vs dgl-uva {}",
+            cq.now(),
+            cd.now()
+        );
     }
 
     #[test]
@@ -459,15 +570,32 @@ mod tests {
         let g = Arc::new(test_graph());
         let cluster = Arc::new(ClusterSpec::v100(8).build());
         let seeds: Vec<NodeId> = (0..100).collect();
-        let mut one =
-            CpuSampler::new(Arc::clone(&g), Arc::clone(&cluster), 0, 1, vec![10, 10], CpuVariant::DglCpu, 9);
-        let mut eight =
-            CpuSampler::new(Arc::clone(&g), Arc::clone(&cluster), 0, 8, vec![10, 10], CpuVariant::DglCpu, 9);
+        let mut one = CpuSampler::new(
+            Arc::clone(&g),
+            Arc::clone(&cluster),
+            0,
+            1,
+            vec![10, 10],
+            CpuVariant::DglCpu,
+            9,
+        );
+        let mut eight = CpuSampler::new(
+            Arc::clone(&g),
+            Arc::clone(&cluster),
+            0,
+            8,
+            vec![10, 10],
+            CpuVariant::DglCpu,
+            9,
+        );
         let mut c1 = Clock::new();
         let mut c8 = Clock::new();
         one.sample_batch(&mut c1, &seeds);
         eight.sample_batch(&mut c8, &seeds);
-        assert!(c8.now() > c1.now(), "8-worker share should be slower per worker");
+        assert!(
+            c8.now() > c1.now(),
+            "8-worker share should be slower per worker"
+        );
     }
 
     #[test]
@@ -481,7 +609,11 @@ mod tests {
         let comm_pull = Arc::new(Communicator::new(21, Arc::clone(&cluster_pull)));
         let comm_csp = Arc::new(Communicator::new(22, Arc::clone(&cluster_csp)));
         let seeds_of = |rank: usize| -> Vec<NodeId> {
-            if rank == 0 { vec![0, 10, 20, 30] } else { vec![90, 100, 110] }
+            if rank == 0 {
+                vec![0, 10, 20, 30]
+            } else {
+                vec![90, 100, 110]
+            }
         };
         let mut handles = Vec::new();
         for rank in 0..2 {
@@ -492,15 +624,21 @@ mod tests {
             let comm_c = Arc::clone(&comm_csp);
             let seeds = seeds_of(rank);
             handles.push(std::thread::spawn(move || {
-                let mut pull = PullDataSampler::new(
-                    Arc::clone(&dg), cp, comm_p, rank, vec![4, 4], false, 9,
-                );
+                let mut pull =
+                    PullDataSampler::new(Arc::clone(&dg), cp, comm_p, rank, vec![4, 4], false, 9);
                 let mut csp = crate::csp::CspSampler::new(
                     dg,
                     cc,
                     comm_c,
                     rank,
-                    crate::csp::CspConfig { fanout: vec![4, 4], scheme: crate::csp::Scheme::NodeWise, biased: false, fused: true, temporal_cutoff: None, seed: 9 },
+                    crate::csp::CspConfig {
+                        fanout: vec![4, 4],
+                        scheme: crate::csp::Scheme::NodeWise,
+                        biased: false,
+                        fused: true,
+                        temporal_cutoff: None,
+                        seed: 9,
+                    },
                 );
                 let mut c1 = Clock::new();
                 let mut c2 = Clock::new();

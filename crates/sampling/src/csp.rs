@@ -81,17 +81,38 @@ impl CspConfig {
     /// The paper's default workload: node-wise, unbiased, fan-out
     /// [15, 10, 5] (§7.1).
     pub fn paper_default() -> Self {
-        CspConfig { fanout: vec![15, 10, 5], scheme: Scheme::NodeWise, biased: false, fused: true, temporal_cutoff: None, seed: 0xD5 }
+        CspConfig {
+            fanout: vec![15, 10, 5],
+            scheme: Scheme::NodeWise,
+            biased: false,
+            fused: true,
+            temporal_cutoff: None,
+            seed: 0xD5,
+        }
     }
 
     /// Node-wise with a custom fan-out.
     pub fn node_wise(fanout: Vec<usize>) -> Self {
-        CspConfig { fanout, scheme: Scheme::NodeWise, biased: false, fused: true, temporal_cutoff: None, seed: 0xD5 }
+        CspConfig {
+            fanout,
+            scheme: Scheme::NodeWise,
+            biased: false,
+            fused: true,
+            temporal_cutoff: None,
+            seed: 0xD5,
+        }
     }
 
     /// Layer-wise with a custom fan-out.
     pub fn layer_wise(fanout: Vec<usize>, replace: bool) -> Self {
-        CspConfig { fanout, scheme: Scheme::LayerWise { replace }, biased: false, fused: true, temporal_cutoff: None, seed: 0xD5 }
+        CspConfig {
+            fanout,
+            scheme: Scheme::LayerWise { replace },
+            biased: false,
+            fused: true,
+            temporal_cutoff: None,
+            seed: 0xD5,
+        }
     }
 
     /// Returns a copy with a different base seed.
@@ -137,13 +158,27 @@ impl CspSampler {
         rank: usize,
         cfg: CspConfig,
     ) -> Self {
-        assert_eq!(graph.num_ranks(), cluster.num_gpus(), "graph patches must match GPU count");
-        assert!(!cfg.fanout.is_empty(), "fan-out must have at least one layer");
+        assert_eq!(
+            graph.num_ranks(),
+            cluster.num_gpus(),
+            "graph patches must match GPU count"
+        );
+        assert!(
+            !cfg.fanout.is_empty(),
+            "fan-out must have at least one layer"
+        );
         assert!(
             !(cfg.biased && cfg.temporal_cutoff.is_some()),
             "biased and temporal sampling both use the edge-weight array; pick one"
         );
-        CspSampler { graph, cluster, comm, rank, cfg, batch_index: 0 }
+        CspSampler {
+            graph,
+            cluster,
+            comm,
+            rank,
+            cfg,
+            batch_index: 0,
+        }
     }
 
     /// The configuration in use.
@@ -186,7 +221,11 @@ impl CspSampler {
     ) -> (Vec<u32>, Vec<NodeId>) {
         let model = *self.cluster.model();
         // Partition kernel (compute owner per frontier node + compact).
-        clock.work(model.gpu.time_full(frontier.len() as u64, model.scan_cycles_per_item));
+        clock.work(
+            model
+                .gpu
+                .time_full(frontier.len() as u64, model.scan_cycles_per_item),
+        );
         let (sends, placement) = self.partition_by_owner(frontier, |i| counts[i]);
 
         // --- shuffle: (node, count) pairs to owners, 8 B per item.
@@ -197,7 +236,11 @@ impl CspSampler {
         // alternative — launch overhead per request dominates).
         let total_requested: u64 = requests.iter().flatten().map(|&(_, c)| c as u64).sum();
         if self.cfg.fused {
-            clock.work(model.gpu.time_full(total_requested, model.sample_cycles_per_item));
+            clock.work(
+                model
+                    .gpu
+                    .time_full(total_requested, model.sample_cycles_per_item),
+            );
         } else {
             // Async execution: one kernel per peer message instead of a
             // fused stage kernel, plus serialized per-task dispatch
@@ -209,7 +252,9 @@ impl CspSampler {
             clock.work(
                 peers * model.gpu.launch_overhead_s
                     + n_tasks as f64 * TASK_DISPATCH_S
-                    + model.gpu.time_full(total_requested, model.sample_cycles_per_item),
+                    + model
+                        .gpu
+                        .time_full(total_requested, model.sample_cycles_per_item),
             );
             // Per-peer eager messages replace the single all-to-all:
             // each stage pays (n-1) extra point-to-point latencies.
@@ -317,7 +362,11 @@ impl CspSampler {
             neighbors.extend_from_slice(&recv_flat[owner][lo..hi]);
             offsets.push(neighbors.len() as u32);
         }
-        clock.work(model.gpu.time_full(neighbors.len() as u64, model.scan_cycles_per_item));
+        clock.work(
+            model
+                .gpu
+                .time_full(neighbors.len() as u64, model.scan_cycles_per_item),
+        );
         (offsets, neighbors)
     }
 
@@ -325,15 +374,26 @@ impl CspSampler {
     /// extra lightweight exchange layer-wise sampling needs.
     fn fetch_total_weights(&mut self, clock: &mut Clock, frontier: &[NodeId]) -> Vec<f64> {
         let model = *self.cluster.model();
-        clock.work(model.gpu.time_full(frontier.len() as u64, model.scan_cycles_per_item));
+        clock.work(
+            model
+                .gpu
+                .time_full(frontier.len() as u64, model.scan_cycles_per_item),
+        );
         let (sends, placement) = self.partition_by_owner(frontier, |_| ());
         let queries = self.comm.all_to_all_v(self.rank, clock, sends, 4);
         let replies: Vec<Vec<f32>> = queries
             .into_iter()
-            .map(|qs| qs.into_iter().map(|(v, ())| self.graph.total_weight(v) as f32).collect())
+            .map(|qs| {
+                qs.into_iter()
+                    .map(|(v, ())| self.graph.total_weight(v) as f32)
+                    .collect()
+            })
             .collect();
         let recv = self.comm.all_to_all_v(self.rank, clock, replies, 4);
-        placement.iter().map(|&(owner, idx)| recv[owner][idx as usize] as f64).collect()
+        placement
+            .iter()
+            .map(|&(owner, idx)| recv[owner][idx as usize] as f64)
+            .collect()
     }
 }
 
@@ -356,7 +416,11 @@ impl BatchSampler for CspSampler {
             let layer = SampleLayer::new(frontier.clone(), offsets, neighbors);
             // Dedup/sort kernel for the next frontier.
             let model = *self.cluster.model();
-            clock.work(model.gpu.time_full(layer.src.len() as u64, 4.0 * model.scan_cycles_per_item));
+            clock.work(
+                model
+                    .gpu
+                    .time_full(layer.src.len() as u64, 4.0 * model.scan_cycles_per_item),
+            );
             frontier = layer.src.clone();
             layers.push(layer);
         }
@@ -425,7 +489,11 @@ mod tests {
         let g2 = g.clone();
         let results = with_two_ranks(g, CspConfig::node_wise(vec![4, 3]), move |s, clock| {
             // Each rank seeds with nodes it owns.
-            let seeds: Vec<NodeId> = if s.rank == 0 { vec![0, 5, 17] } else { vec![150, 160] };
+            let seeds: Vec<NodeId> = if s.rank == 0 {
+                vec![0, 5, 17]
+            } else {
+                vec![150, 160]
+            };
             s.sample_batch(clock, &seeds)
         });
         for (rank, sample) in results.iter().enumerate() {
@@ -459,7 +527,11 @@ mod tests {
         // Two ranks: rank 0 uses the same seeds, rank 1 idles with its own.
         let seeds2 = seeds.clone();
         let results = with_two_ranks(g, cfg, move |s, clock| {
-            let seeds: Vec<NodeId> = if s.rank == 0 { seeds2.clone() } else { vec![60] };
+            let seeds: Vec<NodeId> = if s.rank == 0 {
+                seeds2.clone()
+            } else {
+                vec![60]
+            };
             s.sample_batch(clock, &seeds)
         });
         assert_eq!(results[0], s1);
@@ -474,7 +546,11 @@ mod tests {
         let mut cfg = CspConfig::node_wise(vec![5]);
         cfg.biased = true;
         let results = with_two_ranks(wg, cfg, move |s, clock| {
-            let seeds: Vec<NodeId> = if s.rank == 0 { (0..50).collect() } else { (50..100).collect() };
+            let seeds: Vec<NodeId> = if s.rank == 0 {
+                (0..50).collect()
+            } else {
+                (50..100).collect()
+            };
             s.sample_batch(clock, &seeds)
         });
         for sample in &results {
@@ -496,7 +572,11 @@ mod tests {
         let g = gen::erdos_renyi(300, 6000, true, 5);
         let cfg = CspConfig::layer_wise(vec![64, 32], true);
         let results = with_two_ranks(g, cfg, move |s, clock| {
-            let seeds: Vec<NodeId> = if s.rank == 0 { (0..16).collect() } else { (150..166).collect() };
+            let seeds: Vec<NodeId> = if s.rank == 0 {
+                (0..16).collect()
+            } else {
+                (150..166).collect()
+            };
             s.sample_batch(clock, &seeds)
         });
         for sample in &results {
@@ -511,7 +591,11 @@ mod tests {
     fn sampler_charges_virtual_time() {
         let g = gen::erdos_renyi(200, 3000, true, 11);
         let results = with_two_ranks(g, CspConfig::paper_default(), move |s, clock| {
-            let seeds: Vec<NodeId> = if s.rank == 0 { (0..32).collect() } else { (100..132).collect() };
+            let seeds: Vec<NodeId> = if s.rank == 0 {
+                (0..32).collect()
+            } else {
+                (100..132).collect()
+            };
             let _ = s.sample_batch(clock, &seeds);
             (clock.now(), clock.busy())
         });
@@ -530,10 +614,18 @@ mod tests {
         let ts: Vec<f32> = (0..200).map(|i| i as f32).collect();
         let tg = g.with_node_weights(&ts);
         let cutoff = 120.0f32;
-        let results = with_two_ranks(tg, CspConfig::node_wise(vec![5, 3]).temporal(cutoff), move |s, clock| {
-            let seeds: Vec<NodeId> = if s.rank == 0 { (0..20).collect() } else { (150..170).collect() };
-            s.sample_batch(clock, &seeds)
-        });
+        let results = with_two_ranks(
+            tg,
+            CspConfig::node_wise(vec![5, 3]).temporal(cutoff),
+            move |s, clock| {
+                let seeds: Vec<NodeId> = if s.rank == 0 {
+                    (0..20).collect()
+                } else {
+                    (150..170).collect()
+                };
+                s.sample_batch(clock, &seeds)
+            },
+        );
         let mut sampled_any = false;
         for sample in &results {
             for layer in &sample.layers {
@@ -558,15 +650,30 @@ mod tests {
         let g2 = g.clone();
         let seeds2 = seeds.clone();
         let fused = with_two_ranks(g, CspConfig::node_wise(vec![4, 4]), move |s, clock| {
-            let seeds: Vec<NodeId> = if s.rank == 0 { seeds2.clone() } else { vec![100] };
+            let seeds: Vec<NodeId> = if s.rank == 0 {
+                seeds2.clone()
+            } else {
+                vec![100]
+            };
             (s.sample_batch(clock, &seeds), clock.now())
         });
         let seeds3 = seeds.clone();
-        let unfused = with_two_ranks(g2, CspConfig::node_wise(vec![4, 4]).unfused(), move |s, clock| {
-            let seeds: Vec<NodeId> = if s.rank == 0 { seeds3.clone() } else { vec![100] };
-            (s.sample_batch(clock, &seeds), clock.now())
-        });
-        assert_eq!(fused[0].0, unfused[0].0, "async must construct the same sample");
+        let unfused = with_two_ranks(
+            g2,
+            CspConfig::node_wise(vec![4, 4]).unfused(),
+            move |s, clock| {
+                let seeds: Vec<NodeId> = if s.rank == 0 {
+                    seeds3.clone()
+                } else {
+                    vec![100]
+                };
+                (s.sample_batch(clock, &seeds), clock.now())
+            },
+        );
+        assert_eq!(
+            fused[0].0, unfused[0].0,
+            "async must construct the same sample"
+        );
         assert!(
             unfused[0].1 > fused[0].1,
             "async {} should cost more than fused {}",

@@ -43,7 +43,13 @@ impl DistGraph {
             patches.push(g.extract_patch(&nodes));
         }
         range_starts.push(g.num_nodes() as NodeId);
-        DistGraph { patches, range_starts, residency: None, num_nodes: g.num_nodes(), num_edges: g.num_edges() }
+        DistGraph {
+            patches,
+            range_starts,
+            residency: None,
+            num_nodes: g.num_nodes(),
+            num_edges: g.num_edges(),
+        }
     }
 
     /// Single-rank layout (the whole graph is one patch) — DSP on one
@@ -139,7 +145,11 @@ impl DistGraph {
     /// + weights when present).
     fn node_bytes(&self, rank: usize, local: NodeId) -> u64 {
         let deg = self.patches[rank].degree(local) as u64;
-        let per_edge = if self.patches[rank].is_weighted() { 8 } else { 4 };
+        let per_edge = if self.patches[rank].is_weighted() {
+            8
+        } else {
+            4
+        };
         8 + deg * per_edge
     }
 
@@ -270,7 +280,10 @@ mod tests {
         for (n, w) in nb.iter().zip(ws) {
             assert_eq!(*w, (*n + 1) as f32);
         }
-        assert_eq!(dg.total_weight(10), nb.iter().map(|&n| (n + 1) as f64).sum::<f64>());
+        assert_eq!(
+            dg.total_weight(10),
+            nb.iter().map(|&n| (n + 1) as f64).sum::<f64>()
+        );
     }
 
     #[test]
@@ -279,7 +292,11 @@ mod tests {
         let full = dg.patch_bytes(0);
         dg.apply_topology_budget(full / 3);
         let resident = dg.resident_bytes(0);
-        assert!(resident <= full / 3, "resident {resident} budget {}", full / 3);
+        assert!(
+            resident <= full / 3,
+            "resident {resident} budget {}",
+            full / 3
+        );
         assert!(resident > 0);
         // High-degree nodes stay resident; count both classes.
         let mut in_gpu = 0;
@@ -303,7 +320,12 @@ mod tests {
             }
             s as f64 / c.max(1) as f64
         };
-        assert!(avg(true) >= avg(false), "hot {} vs cold {}", avg(true), avg(false));
+        assert!(
+            avg(true) >= avg(false),
+            "hot {} vs cold {}",
+            avg(true),
+            avg(false)
+        );
     }
 
     #[test]

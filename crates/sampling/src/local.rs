@@ -2,8 +2,7 @@
 //! *sample* stage (and what the UVA/CPU baselines run per frontier node).
 
 use ds_graph::NodeId;
-use rand::{Rng, SeedableRng};
-use rand_chacha::ChaCha8Rng;
+use ds_rng::Rng;
 
 /// Derives the RNG for one sampling request from logical identifiers
 /// only — (base seed, batch, layer, node) — never from placement. Every
@@ -11,7 +10,7 @@ use rand_chacha::ChaCha8Rng;
 /// graph samples are identical across systems and GPU counts. That makes
 /// the paper's §7.1 correctness property ("accuracy-vs-batch curves of
 /// all systems overlap") an exact, testable invariant here.
-pub fn request_rng(seed: u64, batch: u64, layer: usize, node: NodeId) -> ChaCha8Rng {
+pub fn request_rng(seed: u64, batch: u64, layer: usize, node: NodeId) -> Rng {
     let mut x = seed
         ^ batch.wrapping_mul(0x9e37_79b9_7f4a_7c15)
         ^ ((layer as u64) << 56)
@@ -19,13 +18,13 @@ pub fn request_rng(seed: u64, batch: u64, layer: usize, node: NodeId) -> ChaCha8
     // splitmix64 finalizer.
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    ChaCha8Rng::seed_from_u64(x ^ (x >> 31))
+    Rng::seed_from_u64(x ^ (x >> 31))
 }
 
 /// Samples `k` neighbors uniformly **without replacement**; returns the
 /// whole list if it has ≤ `k` entries (DGL `replace=false` semantics).
 /// Partial Fisher–Yates over an index array, O(k) extra space.
-pub fn sample_uniform<R: Rng>(neighbors: &[NodeId], k: usize, rng: &mut R) -> Vec<NodeId> {
+pub fn sample_uniform(neighbors: &[NodeId], k: usize, rng: &mut Rng) -> Vec<NodeId> {
     let n = neighbors.len();
     if n <= k {
         return neighbors.to_vec();
@@ -45,25 +44,27 @@ pub fn sample_uniform<R: Rng>(neighbors: &[NodeId], k: usize, rng: &mut R) -> Ve
 }
 
 /// Samples `k` neighbors **with replacement**, uniformly.
-pub fn sample_uniform_with_replacement<R: Rng>(
+pub fn sample_uniform_with_replacement(
     neighbors: &[NodeId],
     k: usize,
-    rng: &mut R,
+    rng: &mut Rng,
 ) -> Vec<NodeId> {
     if neighbors.is_empty() {
         return Vec::new();
     }
-    (0..k).map(|_| neighbors[rng.gen_range(0..neighbors.len())]).collect()
+    (0..k)
+        .map(|_| neighbors[rng.gen_range(0..neighbors.len())])
+        .collect()
 }
 
 /// Weighted sampling without replacement via the Efraimidis–Spirakis
 /// exponential-key trick: key_i = rand()^(1/w_i); take the k largest.
 /// Zero-weight neighbors are never sampled (unless everything is zero).
-pub fn sample_weighted<R: Rng>(
+pub fn sample_weighted(
     neighbors: &[NodeId],
     weights: &[f32],
     k: usize,
-    rng: &mut R,
+    rng: &mut Rng,
 ) -> Vec<NodeId> {
     assert_eq!(neighbors.len(), weights.len());
     let n = neighbors.len();
@@ -91,7 +92,7 @@ pub fn sample_weighted<R: Rng>(
 /// Multinomial draw: `n` draws over `probs ∝ weights` with replacement;
 /// returns the per-index draw counts. This is how CSP turns a layer-wise
 /// fan-out into per-frontier-node neighbor counts (Eq. 2).
-pub fn multinomial_counts<R: Rng>(weights: &[f64], n: usize, rng: &mut R) -> Vec<u32> {
+pub fn multinomial_counts(weights: &[f64], n: usize, rng: &mut Rng) -> Vec<u32> {
     let total: f64 = weights.iter().sum();
     let mut counts = vec![0u32; weights.len()];
     if total <= 0.0 || weights.is_empty() {
@@ -115,11 +116,9 @@ pub fn multinomial_counts<R: Rng>(weights: &[f64], n: usize, rng: &mut R) -> Vec
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
 
-    fn rng() -> ChaCha8Rng {
-        ChaCha8Rng::seed_from_u64(42)
+    fn rng() -> Rng {
+        Rng::seed_from_u64(42)
     }
 
     #[test]

@@ -33,7 +33,11 @@ impl SampleLayer {
     /// Assembles a layer from the raw sampling output and computes the
     /// src set and index maps.
     pub fn new(dst: Vec<NodeId>, offsets: Vec<u32>, neighbors: Vec<NodeId>) -> Self {
-        assert_eq!(offsets.len(), dst.len() + 1, "offsets must have dst.len()+1 entries");
+        assert_eq!(
+            offsets.len(),
+            dst.len() + 1,
+            "offsets must have dst.len()+1 entries"
+        );
         assert_eq!(*offsets.last().unwrap() as usize, neighbors.len());
         let mut src: Vec<NodeId> = Vec::with_capacity(dst.len() + neighbors.len());
         src.extend_from_slice(&dst);
@@ -43,7 +47,14 @@ impl SampleLayer {
         let pos = |v: NodeId| -> u32 { src.binary_search(&v).expect("node in src set") as u32 };
         let dst_pos_in_src = dst.iter().map(|&v| pos(v)).collect();
         let neighbor_pos_in_src = neighbors.iter().map(|&v| pos(v)).collect();
-        SampleLayer { dst, offsets, neighbors, src, dst_pos_in_src, neighbor_pos_in_src }
+        SampleLayer {
+            dst,
+            offsets,
+            neighbors,
+            src,
+            dst_pos_in_src,
+            neighbor_pos_in_src,
+        }
     }
 
     /// Number of destination nodes.
@@ -91,7 +102,10 @@ impl GraphSample {
     /// The nodes whose input features are required: the innermost
     /// layer's source set (covers every node in the sample).
     pub fn input_nodes(&self) -> &[NodeId] {
-        self.layers.last().map(|l| l.src.as_slice()).unwrap_or(&self.seeds)
+        self.layers
+            .last()
+            .map(|l| l.src.as_slice())
+            .unwrap_or(&self.seeds)
     }
 
     /// Total sampled edges across layers.

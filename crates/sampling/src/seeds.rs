@@ -7,9 +7,7 @@
 //! (empty batches still participate in collectives).
 
 use ds_graph::NodeId;
-use rand::seq::SliceRandom;
-use rand::SeedableRng;
-use rand_chacha::ChaCha8Rng;
+use ds_rng::Rng;
 
 /// Deterministic per-epoch batching of one rank's seeds.
 #[derive(Clone, Debug)]
@@ -25,7 +23,12 @@ impl SeedSchedule {
     /// (use [`SeedSchedule::common_batches`] on the global maximum).
     pub fn new(my_seeds: Vec<NodeId>, batch_size: usize, num_batches: usize, seed: u64) -> Self {
         assert!(batch_size > 0);
-        SeedSchedule { my_seeds, batch_size, num_batches, seed }
+        SeedSchedule {
+            my_seeds,
+            batch_size,
+            num_batches,
+            seed,
+        }
     }
 
     /// The batch count every rank must run so that the rank with the
@@ -48,8 +51,8 @@ impl SeedSchedule {
     /// padded with empty batches up to the common count.
     pub fn epoch_batches(&self, epoch: u64) -> Vec<Vec<NodeId>> {
         let mut seeds = self.my_seeds.clone();
-        let mut rng = ChaCha8Rng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9e37_79b9));
-        seeds.shuffle(&mut rng);
+        let mut rng = Rng::seed_from_u64(self.seed ^ epoch.wrapping_mul(0x9e37_79b9));
+        rng.shuffle(&mut seeds);
         let mut batches: Vec<Vec<NodeId>> =
             seeds.chunks(self.batch_size).map(|c| c.to_vec()).collect();
         while batches.len() < self.num_batches {

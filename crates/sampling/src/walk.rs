@@ -12,7 +12,6 @@ use crate::local::{self, request_rng};
 use ds_comm::Communicator;
 use ds_graph::NodeId;
 use ds_simgpu::{Clock, Cluster};
-use rand::Rng;
 use std::sync::Arc;
 
 /// Random-walk configuration.
@@ -28,7 +27,11 @@ pub struct RandomWalkConfig {
 
 impl Default for RandomWalkConfig {
     fn default() -> Self {
-        RandomWalkConfig { length: 8, stop_prob: 0.0, seed: 0x77a1 }
+        RandomWalkConfig {
+            length: 8,
+            stop_prob: 0.0,
+            seed: 0x77a1,
+        }
     }
 }
 
@@ -61,7 +64,14 @@ impl RandomWalker {
         rank: usize,
         cfg: RandomWalkConfig,
     ) -> Self {
-        RandomWalker { graph, cluster, comm, rank, cfg, batch_index: 0 }
+        RandomWalker {
+            graph,
+            cluster,
+            comm,
+            rank,
+            cfg,
+            batch_index: 0,
+        }
     }
 
     /// Runs one batch of walks from `starts` (this rank's start nodes).
@@ -102,7 +112,11 @@ impl RandomWalker {
                 break;
             }
             // One fused step kernel for all local walks.
-            clock.work(model.gpu.time_full(active.len() as u64, model.sample_cycles_per_item));
+            clock.work(
+                model
+                    .gpu
+                    .time_full(active.len() as u64, model.sample_cycles_per_item),
+            );
             sends = vec![Vec::new(); n];
             for mut item in active.drain(..) {
                 let head = *item.path.last().unwrap();
@@ -134,7 +148,10 @@ impl RandomWalker {
         // Assemble this rank's walks by id.
         let mut out: Vec<Vec<NodeId>> = vec![Vec::new(); starts.len()];
         for item in finished {
-            assert_eq!(item.origin as usize, self.rank, "walk returned to wrong origin");
+            assert_eq!(
+                item.origin as usize, self.rank,
+                "walk returned to wrong origin"
+            );
             out[item.id as usize] = item.path;
         }
         for (i, path) in out.iter().enumerate() {
@@ -183,14 +200,29 @@ mod tests {
     fn walks_follow_graph_edges() {
         let (g, results) = run_walks(
             2,
-            RandomWalkConfig { length: 6, stop_prob: 0.0, seed: 1 },
-            |rank| if rank == 0 { vec![0, 10, 20] } else { vec![100, 110] },
+            RandomWalkConfig {
+                length: 6,
+                stop_prob: 0.0,
+                seed: 1,
+            },
+            |rank| {
+                if rank == 0 {
+                    vec![0, 10, 20]
+                } else {
+                    vec![100, 110]
+                }
+            },
         );
         for paths in &results {
             for path in paths {
                 assert!(path.len() >= 1 && path.len() <= 7);
                 for w in path.windows(2) {
-                    assert!(g.neighbors(w[0]).contains(&w[1]), "edge {}->{} missing", w[0], w[1]);
+                    assert!(
+                        g.neighbors(w[0]).contains(&w[1]),
+                        "edge {}->{} missing",
+                        w[0],
+                        w[1]
+                    );
                 }
             }
         }
@@ -204,25 +236,54 @@ mod tests {
     fn stop_probability_shortens_walks() {
         let (_, eager) = run_walks(
             2,
-            RandomWalkConfig { length: 12, stop_prob: 0.7, seed: 2 },
-            |rank| if rank == 0 { (0..30).collect() } else { (70..100).collect() },
+            RandomWalkConfig {
+                length: 12,
+                stop_prob: 0.7,
+                seed: 2,
+            },
+            |rank| {
+                if rank == 0 {
+                    (0..30).collect()
+                } else {
+                    (70..100).collect()
+                }
+            },
         );
         let (_, patient) = run_walks(
             2,
-            RandomWalkConfig { length: 12, stop_prob: 0.0, seed: 2 },
-            |rank| if rank == 0 { (0..30).collect() } else { (70..100).collect() },
+            RandomWalkConfig {
+                length: 12,
+                stop_prob: 0.0,
+                seed: 2,
+            },
+            |rank| {
+                if rank == 0 {
+                    (0..30).collect()
+                } else {
+                    (70..100).collect()
+                }
+            },
         );
         let avg = |rs: &Vec<Vec<Vec<NodeId>>>| {
             let total: usize = rs.iter().flatten().map(|p| p.len()).sum();
             let count: usize = rs.iter().map(|r| r.len()).sum();
             total as f64 / count as f64
         };
-        assert!(avg(&eager) < avg(&patient) * 0.6, "{} vs {}", avg(&eager), avg(&patient));
+        assert!(
+            avg(&eager) < avg(&patient) * 0.6,
+            "{} vs {}",
+            avg(&eager),
+            avg(&patient)
+        );
     }
 
     #[test]
     fn walks_are_deterministic() {
-        let cfg = RandomWalkConfig { length: 5, stop_prob: 0.3, seed: 3 };
+        let cfg = RandomWalkConfig {
+            length: 5,
+            stop_prob: 0.3,
+            seed: 3,
+        };
         let (_, a) = run_walks(2, cfg, |r| vec![r as u32 * 60 + 5]);
         let (_, b) = run_walks(2, cfg, |r| vec![r as u32 * 60 + 5]);
         assert_eq!(a, b);

@@ -77,9 +77,17 @@ impl Cluster {
     pub fn new(spec: ClusterSpec) -> Self {
         let topology = Topology::dgx1(spec.num_gpus);
         let devices = (0..spec.num_gpus)
-            .map(|_| DeviceState { mem: MemoryPool::new(spec.gpu_mem_bytes), meter: TrafficMeter::new() })
+            .map(|_| DeviceState {
+                mem: MemoryPool::new(spec.gpu_mem_bytes),
+                meter: TrafficMeter::new(),
+            })
             .collect();
-        Cluster { spec, topology, devices, host_mem: MemoryPool::new(spec.host_mem_bytes) }
+        Cluster {
+            spec,
+            topology,
+            devices,
+            host_mem: MemoryPool::new(spec.host_mem_bytes),
+        }
     }
 
     /// The spec this cluster was built from.

@@ -25,6 +25,7 @@ pub mod clock;
 pub mod cluster;
 pub mod memory;
 pub mod model;
+pub mod par;
 pub mod topology;
 pub mod traffic;
 

@@ -5,7 +5,7 @@
 //! pools, and exceeding capacity is a hard error — exactly the constraint
 //! that forces the paper's hot/cold feature split.
 
-use parking_lot::Mutex;
+use std::sync::Mutex;
 
 /// A capacity-checked memory pool (bytes).
 #[derive(Debug)]
@@ -25,7 +25,11 @@ pub struct OutOfMemory {
 
 impl std::fmt::Display for OutOfMemory {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "out of device memory: requested {} B, {} B available", self.requested, self.available)
+        write!(
+            f,
+            "out of device memory: requested {} B, {} B available",
+            self.requested, self.available
+        )
     }
 }
 
@@ -34,7 +38,10 @@ impl std::error::Error for OutOfMemory {}
 impl MemoryPool {
     /// A pool with `capacity` bytes.
     pub fn new(capacity: u64) -> Self {
-        MemoryPool { capacity, used: Mutex::new(0) }
+        MemoryPool {
+            capacity,
+            used: Mutex::new(0),
+        }
     }
 
     /// Total capacity.
@@ -45,7 +52,7 @@ impl MemoryPool {
 
     /// Bytes currently allocated.
     pub fn used(&self) -> u64 {
-        *self.used.lock()
+        *self.used.lock().unwrap()
     }
 
     /// Bytes currently free.
@@ -55,10 +62,13 @@ impl MemoryPool {
 
     /// Reserves `bytes`; fails if they don't fit.
     pub fn alloc(&self, bytes: u64) -> Result<(), OutOfMemory> {
-        let mut used = self.used.lock();
+        let mut used = self.used.lock().unwrap();
         let available = self.capacity - *used;
         if bytes > available {
-            return Err(OutOfMemory { requested: bytes, available });
+            return Err(OutOfMemory {
+                requested: bytes,
+                available,
+            });
         }
         *used += bytes;
         Ok(())
@@ -69,8 +79,12 @@ impl MemoryPool {
     /// # Panics
     /// Panics if more is freed than was allocated (accounting bug).
     pub fn free(&self, bytes: u64) {
-        let mut used = self.used.lock();
-        assert!(*used >= bytes, "freeing {bytes} B but only {} B allocated", *used);
+        let mut used = self.used.lock().unwrap();
+        assert!(
+            *used >= bytes,
+            "freeing {bytes} B but only {} B allocated",
+            *used
+        );
         *used -= bytes;
     }
 }

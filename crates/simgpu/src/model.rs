@@ -23,7 +23,11 @@ pub struct KernelModel {
 
 impl Default for KernelModel {
     fn default() -> Self {
-        KernelModel { launch_overhead_s: 5.0e-6, physical_threads: 5120, clock_hz: 1.53e9 }
+        KernelModel {
+            launch_overhead_s: 5.0e-6,
+            physical_threads: 5120,
+            clock_hz: 1.53e9,
+        }
     }
 }
 
@@ -224,7 +228,10 @@ mod tests {
     fn small_kernels_are_overhead_bound() {
         let m = KernelModel::default();
         let t = m.time_full(100, 64.0);
-        assert!(t < 2.0 * m.launch_overhead_s, "tiny kernel should be ~overhead, got {t}");
+        assert!(
+            t < 2.0 * m.launch_overhead_s,
+            "tiny kernel should be ~overhead, got {t}"
+        );
     }
 
     #[test]

@@ -1,0 +1,232 @@
+//! Deterministic chunked parallel-map on OS threads.
+//!
+//! The in-tree replacement for the rayon hot paths in `ds-tensor` and
+//! `ds-graph`: data is split into fixed-size chunks, contiguous runs of
+//! chunks are handed to scoped threads, and per-chunk results come back
+//! **in chunk order**. Because the chunk boundaries (not the thread
+//! count) define the work units, results are bit-identical whatever
+//! parallelism the host machine offers — a requirement for the seeded
+//! per-chunk RNG streams used by the graph generators.
+//!
+//! Thread count comes from `available_parallelism`, overridable with
+//! `DS_PAR_THREADS` (set `DS_PAR_THREADS=1` to force serial execution).
+
+use std::sync::OnceLock;
+
+/// Worker threads used by the parallel maps.
+pub fn num_threads() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| {
+        if let Ok(v) = std::env::var("DS_PAR_THREADS") {
+            if let Ok(n) = v.parse::<usize>() {
+                return n.max(1);
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+/// Below this many elements the scoped-thread setup costs more than it
+/// saves; run serially.
+const SERIAL_CUTOFF: usize = 4096;
+
+/// Applies `f` to each `chunk`-sized slice of `data` (last one may be
+/// shorter), passing the chunk index; returns per-chunk results in
+/// chunk order.
+pub fn chunk_map_mut<T, R, F>(data: &mut [T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let len = data.len();
+    let nchunks = len.div_ceil(chunk);
+    let threads = num_threads().min(nchunks);
+    if threads <= 1 || len <= SERIAL_CUTOFF {
+        return data
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(i, c)| f(i, c))
+            .collect();
+    }
+    let chunks_per_thread = nchunks.div_ceil(threads);
+    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(threads);
+    let mut rest = data;
+    let mut next_chunk = 0usize;
+    while !rest.is_empty() {
+        let take = (chunks_per_thread * chunk).min(rest.len());
+        let (head, tail) = rest.split_at_mut(take);
+        parts.push((next_chunk, head));
+        next_chunk += chunks_per_thread;
+        rest = tail;
+    }
+    let f = &f;
+    let per_thread: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = parts
+            .into_iter()
+            .map(|(first, slice)| {
+                s.spawn(move || {
+                    slice
+                        .chunks_mut(chunk)
+                        .enumerate()
+                        .map(|(j, c)| f(first + j, c))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    });
+    per_thread.into_iter().flatten().collect()
+}
+
+/// Read-only variant of [`chunk_map_mut`].
+pub fn chunk_map<T, R, F>(data: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
+    assert!(chunk > 0, "chunk size must be positive");
+    let len = data.len();
+    let nchunks = len.div_ceil(chunk);
+    let threads = num_threads().min(nchunks);
+    if threads <= 1 || len <= SERIAL_CUTOFF {
+        return data
+            .chunks(chunk)
+            .enumerate()
+            .map(|(i, c)| f(i, c))
+            .collect();
+    }
+    let chunks_per_thread = nchunks.div_ceil(threads);
+    let f = &f;
+    let per_thread: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let first = t * chunks_per_thread;
+                let lo = (first * chunk).min(len);
+                let hi = ((first + chunks_per_thread) * chunk).min(len);
+                let slice = &data[lo..hi];
+                s.spawn(move || {
+                    slice
+                        .chunks(chunk)
+                        .enumerate()
+                        .map(|(j, c)| f(first + j, c))
+                        .collect::<Vec<R>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    });
+    per_thread.into_iter().flatten().collect()
+}
+
+/// Applies `f(index, &mut element)` across `data` in parallel.
+pub fn apply_indexed<T, F>(data: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let len = data.len();
+    if len == 0 {
+        return;
+    }
+    let chunk = len.div_ceil(num_threads() * 4).max(1);
+    chunk_map_mut(data, chunk, |ci, slice| {
+        let base = ci * chunk;
+        for (j, x) in slice.iter_mut().enumerate() {
+            f(base + j, x);
+        }
+    });
+}
+
+/// Runs `f(0..n)` in parallel and concatenates the produced vectors in
+/// index order — the replacement for `into_par_iter().flat_map_iter()`.
+pub fn flat_map_indexed<R, F>(n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> Vec<R> + Sync,
+{
+    let threads = num_threads().min(n);
+    if threads <= 1 {
+        return (0..n).flat_map(&f).collect();
+    }
+    let per_thread_n = n.div_ceil(threads);
+    let f = &f;
+    let per_thread: Vec<Vec<R>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lo = t * per_thread_n;
+                let hi = ((t + 1) * per_thread_n).min(n);
+                s.spawn(move || (lo..hi).flat_map(f).collect::<Vec<R>>())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par worker panicked"))
+            .collect()
+    });
+    per_thread.into_iter().flatten().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_map_mut_matches_serial_and_preserves_order() {
+        let mut data: Vec<u64> = (0..20_000).collect();
+        let sums = chunk_map_mut(&mut data, 173, |i, c| {
+            for x in c.iter_mut() {
+                *x += i as u64;
+            }
+            c.iter().sum::<u64>()
+        });
+        let mut expect: Vec<u64> = (0..20_000).collect();
+        let expect_sums: Vec<u64> = expect
+            .chunks_mut(173)
+            .enumerate()
+            .map(|(i, c)| {
+                for x in c.iter_mut() {
+                    *x += i as u64;
+                }
+                c.iter().sum::<u64>()
+            })
+            .collect();
+        assert_eq!(data, expect);
+        assert_eq!(sums, expect_sums);
+    }
+
+    #[test]
+    fn chunk_map_handles_tiny_inputs() {
+        let data = [1u32, 2, 3];
+        assert_eq!(
+            chunk_map(&data, 2, |i, c| (i, c.to_vec())),
+            vec![(0, vec![1, 2]), (1, vec![3]),]
+        );
+        let empty: [u32; 0] = [];
+        assert!(chunk_map(&empty, 4, |_, c| c.len()).is_empty());
+    }
+
+    #[test]
+    fn apply_indexed_sees_global_indices() {
+        let mut data = vec![0usize; 10_000];
+        apply_indexed(&mut data, |i, x| *x = i * 3);
+        assert!(data.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn flat_map_indexed_concatenates_in_order() {
+        let got = flat_map_indexed(57, |i| vec![i; i % 4]);
+        let expect: Vec<usize> = (0..57).flat_map(|i| vec![i; i % 4]).collect();
+        assert_eq!(got, expect);
+    }
+}

@@ -56,7 +56,11 @@ impl Topology {
             // Mirror links across the quads.
             add(i, i + 4, 2);
         }
-        let links = links.into_iter().take(8).map(|row| row.into_iter().take(8).collect()).collect();
+        let links = links
+            .into_iter()
+            .take(8)
+            .map(|row| row.into_iter().take(8).collect())
+            .collect();
         Topology { n, links }
     }
 
@@ -120,7 +124,9 @@ impl Topology {
     /// `n` in-use GPUs are active: GPUs sharing a switch contend for it
     /// (the paper's explanation for DGL-UVA's poor 1→2 GPU scaling).
     pub fn pcie_bw(&self, r: Rank) -> f64 {
-        let sharers = (0..self.n).filter(|&b| self.pcie_switch(b) == self.pcie_switch(r)).count();
+        let sharers = (0..self.n)
+            .filter(|&b| self.pcie_switch(b) == self.pcie_switch(r))
+            .count();
         PCIE_GPU_BW / sharers.max(1) as f64
     }
 
@@ -162,7 +168,12 @@ mod tests {
     fn reproduces_table1_aggregates() {
         // Paper Table 1 (GBps): PCIe 32/32/64/128, NVLink 0/100/400/1200.
         let gb = 1.0e9;
-        for (n, pcie, nvlink) in [(1, 32.0, 0.0), (2, 32.0, 100.0), (4, 64.0, 400.0), (8, 128.0, 1200.0)] {
+        for (n, pcie, nvlink) in [
+            (1, 32.0, 0.0),
+            (2, 32.0, 100.0),
+            (4, 64.0, 400.0),
+            (8, 128.0, 1200.0),
+        ] {
             let t = Topology::dgx1(n);
             assert_eq!(t.aggregate_pcie_bw() / gb, pcie, "PCIe at {n} GPUs");
             assert_eq!(t.aggregate_nvlink_bw() / gb, nvlink, "NVLink at {n} GPUs");

@@ -94,7 +94,11 @@ impl TrafficMeter {
 
     /// Snapshot of (nvlink, pcie, host_dram) bytes.
     pub fn snapshot(&self) -> (u64, u64, u64) {
-        (self.nvlink_bytes(), self.pcie_bytes(), self.host_dram_bytes())
+        (
+            self.nvlink_bytes(),
+            self.pcie_bytes(),
+            self.host_dram_bytes(),
+        )
     }
 }
 

@@ -12,7 +12,9 @@
 use ds_graph::DatasetSpec;
 
 fn usage() -> ! {
-    eprintln!("usage: dsp-prep <products|papers|friendster|tiny:N> <parts> <output.bin> [--scale-down N]");
+    eprintln!(
+        "usage: dsp-prep <products|papers|friendster|tiny:N> <parts> <output.bin> [--scale-down N]"
+    );
     std::process::exit(2);
 }
 
@@ -23,13 +25,19 @@ fn main() {
     }
     let mut scale_down = 1usize;
     if let Some(pos) = args.iter().position(|a| a == "--scale-down") {
-        scale_down = args.get(pos + 1).and_then(|v| v.parse().ok()).unwrap_or_else(|| usage());
+        scale_down = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| usage());
     }
     let spec = match args[0].as_str() {
         "products" => DatasetSpec::products_s(),
         "papers" => DatasetSpec::papers_s(),
         "friendster" => DatasetSpec::friendster_s(),
-        other => match other.strip_prefix("tiny:").and_then(|n| n.parse::<usize>().ok()) {
+        other => match other
+            .strip_prefix("tiny:")
+            .and_then(|n| n.parse::<usize>().ok())
+        {
             Some(n) => DatasetSpec::tiny(n),
             None => usage(),
         },

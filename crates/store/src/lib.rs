@@ -6,12 +6,12 @@
 //! partition it for a GPU count, store the result, and let every
 //! subsequent run load it instead of re-partitioning.
 //!
-//! Format: bincode-encoded (`serde`) with a small versioned header.
-//! The `dsp-prep` binary drives the same flow from the command line.
+//! Format: the in-tree [`Wire`] codec (little-endian, length-prefixed,
+//! position-dependent) with a small versioned header. The `dsp-prep`
+//! binary drives the same flow from the command line.
 
-use ds_graph::{Csr, Dataset, DatasetSpec, Features, Labels, NodeId, SyntheticKind};
+use ds_graph::{Csr, Dataset, DatasetSpec, Features, Labels, NodeId, SyntheticKind, Wire};
 use ds_partition::{MultilevelPartitioner, Partition, Partitioner, Renumbering};
-use serde::{Deserialize, Serialize};
 use std::io::{Read, Write};
 use std::path::Path;
 
@@ -49,7 +49,7 @@ impl From<std::io::Error> for StoreError {
 
 /// A dataset as stored on disk (spec metadata flattened so the format
 /// is self-contained and independent of built-in spec constants).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct StoredDataset {
     /// Dataset name.
     pub name: String,
@@ -114,7 +114,7 @@ impl StoredDataset {
 /// A partitioned layout as stored on disk: the renumbered dataset plus
 /// the contiguous-range assignment (everything a DSP run needs; the
 /// per-GPU patches are re-extracted cheaply at load).
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug)]
 pub struct StoredLayout {
     /// Renumbered dataset.
     pub dataset: StoredDataset,
@@ -148,15 +148,61 @@ fn read_versioned(path: &Path) -> Result<Vec<u8>, StoreError> {
     Ok(rest)
 }
 
-fn encode<T: Serialize>(value: &T) -> Result<Vec<u8>, StoreError> {
-    bincode::serde::encode_to_vec(value, bincode::config::standard())
-        .map_err(|e| StoreError::Codec(e.to_string()))
+impl Wire for StoredDataset {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.name.encode(out);
+        self.scale.encode(out);
+        self.graph.encode(out);
+        self.features.encode(out);
+        self.labels.encode(out);
+        self.train.encode(out);
+        self.val.encode(out);
+        self.test.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, ds_graph::WireError> {
+        Ok(StoredDataset {
+            name: String::decode(buf)?,
+            scale: f64::decode(buf)?,
+            graph: Csr::decode(buf)?,
+            features: Features::decode(buf)?,
+            labels: Labels::decode(buf)?,
+            train: Vec::decode(buf)?,
+            val: Vec::decode(buf)?,
+            test: Vec::decode(buf)?,
+        })
+    }
 }
 
-fn decode<T: for<'de> Deserialize<'de>>(bytes: &[u8]) -> Result<T, StoreError> {
-    bincode::serde::decode_from_slice(bytes, bincode::config::standard())
-        .map(|(v, _)| v)
-        .map_err(|e| StoreError::Codec(e.to_string()))
+impl Wire for StoredLayout {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.dataset.encode(out);
+        self.num_parts.encode(out);
+        self.assignment.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, ds_graph::WireError> {
+        Ok(StoredLayout {
+            dataset: StoredDataset::decode(buf)?,
+            num_parts: usize::decode(buf)?,
+            assignment: Vec::decode(buf)?,
+        })
+    }
+}
+
+fn encode<T: Wire>(value: &T) -> Result<Vec<u8>, StoreError> {
+    Ok(value.to_bytes())
+}
+
+fn decode<T: Wire>(mut bytes: &[u8]) -> Result<T, StoreError> {
+    let v = T::decode(&mut bytes).map_err(|e| StoreError::Codec(e.to_string()))?;
+    if !bytes.is_empty() {
+        return Err(StoreError::Codec(format!(
+            "{} trailing bytes after payload",
+            bytes.len()
+        )));
+    }
+    Ok(v)
 }
 
 /// Saves a dataset.

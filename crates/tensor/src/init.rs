@@ -1,25 +1,30 @@
 //! Parameter initialization.
 
 use crate::matrix::Matrix;
-use rand::prelude::*;
-use rand_chacha::ChaCha8Rng;
+use ds_rng::Rng;
 
 /// Glorot/Xavier uniform initialization: `U(-a, a)` with
 /// `a = sqrt(6 / (fan_in + fan_out))`.
 pub fn xavier_uniform(fan_in: usize, fan_out: usize, seed: u64) -> Matrix {
     let a = (6.0 / (fan_in + fan_out) as f64).sqrt() as f32;
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     Matrix::from_vec(
         fan_in,
         fan_out,
-        (0..fan_in * fan_out).map(|_| rng.gen_range(-a..a)).collect(),
+        (0..fan_in * fan_out)
+            .map(|_| rng.gen_range(-a..a))
+            .collect(),
     )
 }
 
 /// Uniform init in `(-a, a)`.
 pub fn uniform(rows: usize, cols: usize, a: f32, seed: u64) -> Matrix {
-    let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect())
+    let mut rng = Rng::seed_from_u64(seed);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols).map(|_| rng.gen_range(-a..a)).collect(),
+    )
 }
 
 #[cfg(test)]
@@ -37,7 +42,13 @@ mod tests {
 
     #[test]
     fn init_is_deterministic() {
-        assert_eq!(xavier_uniform(8, 8, 42).data(), xavier_uniform(8, 8, 42).data());
-        assert_ne!(xavier_uniform(8, 8, 1).data(), xavier_uniform(8, 8, 2).data());
+        assert_eq!(
+            xavier_uniform(8, 8, 42).data(),
+            xavier_uniform(8, 8, 42).data()
+        );
+        assert_ne!(
+            xavier_uniform(8, 8, 1).data(),
+            xavier_uniform(8, 8, 2).data()
+        );
     }
 }

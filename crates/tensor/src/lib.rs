@@ -1,7 +1,7 @@
 //! # ds-tensor
 //!
 //! Minimal dense f32 tensor library backing the GNN trainer: row-major
-//! matrices, rayon-parallel GEMM in the three orientations backprop
+//! matrices, chunked-parallel GEMM in the three orientations backprop
 //! needs (`A·B`, `Aᵀ·B`, `A·Bᵀ`), elementwise activations,
 //! softmax-cross-entropy, parameter initialization and optimizers
 //! (SGD, Adam).

@@ -1,6 +1,7 @@
-//! Row-major dense f32 matrices with rayon-parallel GEMM.
+//! Row-major dense f32 matrices with chunked-parallel GEMM
+//! (`ds_simgpu::par` row blocks on scoped threads).
 
-use rayon::prelude::*;
+use ds_simgpu::par;
 
 /// A dense row-major matrix.
 #[derive(Clone, Debug, PartialEq)]
@@ -13,7 +14,11 @@ pub struct Matrix {
 impl Matrix {
     /// All-zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+        Matrix {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Wraps a data vector (length must be `rows * cols`).
@@ -83,21 +88,18 @@ impl Matrix {
         assert_eq!(self.cols, other.rows, "matmul shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
-        out.data
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, out_row)| {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                for (kk, &a) in a_row.iter().enumerate() {
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[kk * n..(kk + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
+        par::chunk_map_mut(&mut out.data, n, |i, out_row| {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for (kk, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
                 }
-            });
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        });
         out
     }
 
@@ -108,21 +110,18 @@ impl Matrix {
         // Parallelize over output rows (columns of self): each output row
         // i accumulates self[kk][i] * other[kk][:].
         let mut out = Matrix::zeros(m, n);
-        out.data
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, out_row)| {
-                for kk in 0..k {
-                    let a = self.data[kk * m + i];
-                    if a == 0.0 {
-                        continue;
-                    }
-                    let b_row = &other.data[kk * n..(kk + 1) * n];
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
+        par::chunk_map_mut(&mut out.data, n, |i, out_row| {
+            for kk in 0..k {
+                let a = self.data[kk * m + i];
+                if a == 0.0 {
+                    continue;
                 }
-            });
+                let b_row = &other.data[kk * n..(kk + 1) * n];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        });
         out
     }
 
@@ -131,20 +130,17 @@ impl Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
         let (m, k, n) = (self.rows, self.cols, other.rows);
         let mut out = Matrix::zeros(m, n);
-        out.data
-            .par_chunks_mut(n)
-            .enumerate()
-            .for_each(|(i, out_row)| {
-                let a_row = &self.data[i * k..(i + 1) * k];
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = &other.data[j * k..(j + 1) * k];
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    *o = acc;
+        par::chunk_map_mut(&mut out.data, n, |i, out_row| {
+            let a_row = &self.data[i * k..(i + 1) * k];
+            for (j, o) in out_row.iter_mut().enumerate() {
+                let b_row = &other.data[j * k..(j + 1) * k];
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
                 }
-            });
+                *o = acc;
+            }
+        });
         out
     }
 
@@ -162,18 +158,19 @@ impl Matrix {
     /// Elementwise in-place addition.
     pub fn add_assign(&mut self, other: &Matrix) {
         assert_eq!((self.rows, self.cols), (other.rows, other.cols));
-        self.data.par_iter_mut().zip(other.data.par_iter()).for_each(|(a, &b)| *a += b);
+        par::apply_indexed(&mut self.data, |i, a| *a += other.data[i]);
     }
 
     /// In-place scale.
     pub fn scale(&mut self, s: f32) {
-        self.data.par_iter_mut().for_each(|x| *x *= s);
+        par::apply_indexed(&mut self.data, |_, x| *x *= s);
     }
 
     /// Adds a row vector (bias) to every row.
     pub fn add_bias(&mut self, bias: &[f32]) {
         assert_eq!(bias.len(), self.cols);
-        self.data.par_chunks_mut(self.cols).for_each(|row| {
+        let cols = self.cols;
+        par::chunk_map_mut(&mut self.data, cols, |_, row| {
             for (x, &b) in row.iter_mut().zip(bias) {
                 *x += b;
             }
@@ -197,7 +194,11 @@ impl Matrix {
         let mut data = Vec::with_capacity(self.data.len() + other.data.len());
         data.extend_from_slice(&self.data);
         data.extend_from_slice(&other.data);
-        Matrix { rows: self.rows + other.rows, cols: self.cols, data }
+        Matrix {
+            rows: self.rows + other.rows,
+            cols: self.cols,
+            data,
+        }
     }
 
     /// Horizontal concatenation `[self | other]` (same row count) — the
@@ -206,7 +207,7 @@ impl Matrix {
         assert_eq!(self.rows, other.rows);
         let cols = self.cols + other.cols;
         let mut out = Matrix::zeros(self.rows, cols);
-        out.data.par_chunks_mut(cols).enumerate().for_each(|(i, row)| {
+        par::chunk_map_mut(&mut out.data, cols, |i, row| {
             row[..self.cols].copy_from_slice(self.row(i));
             row[self.cols..].copy_from_slice(other.row(i));
         });
@@ -228,10 +229,9 @@ impl Matrix {
     /// Gathers rows by index into a new matrix.
     pub fn gather_rows(&self, idx: &[u32]) -> Matrix {
         let mut out = Matrix::zeros(idx.len(), self.cols);
-        out.data
-            .par_chunks_mut(self.cols)
-            .zip(idx.par_iter())
-            .for_each(|(dst, &i)| dst.copy_from_slice(self.row(i as usize)));
+        par::chunk_map_mut(&mut out.data, self.cols, |r, dst| {
+            dst.copy_from_slice(self.row(idx[r] as usize))
+        });
         out
     }
 
@@ -250,7 +250,13 @@ impl Matrix {
 
     /// Frobenius norm.
     pub fn norm(&self) -> f32 {
-        self.data.par_iter().map(|x| x * x).sum::<f32>().sqrt()
+        let chunk = self.data.len().div_ceil(par::num_threads().max(1)).max(1);
+        par::chunk_map(&self.data, chunk, |_, c| {
+            c.iter().map(|x| x * x).sum::<f32>()
+        })
+        .into_iter()
+        .sum::<f32>()
+        .sqrt()
     }
 }
 
@@ -273,9 +279,14 @@ mod tests {
     }
 
     fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
-        Matrix::from_vec(rows, cols, (0..rows * cols).map(|_| rng.gen_range(-1.0..1.0)).collect())
+        let mut rng = ds_rng::Rng::seed_from_u64(seed);
+        Matrix::from_vec(
+            rows,
+            cols,
+            (0..rows * cols)
+                .map(|_| rng.gen_range(-1.0f32..1.0))
+                .collect(),
+        )
     }
 
     fn assert_close(a: &Matrix, b: &Matrix, tol: f32) {

@@ -1,27 +1,28 @@
 //! Activations, losses and reductions with explicit backward passes.
 
 use crate::matrix::Matrix;
-use rayon::prelude::*;
+use ds_simgpu::par;
 
 /// ReLU forward: `max(x, 0)` elementwise.
 pub fn relu(x: &Matrix) -> Matrix {
     let mut out = x.clone();
-    out.data_mut().par_iter_mut().for_each(|v| *v = v.max(0.0));
+    par::apply_indexed(out.data_mut(), |_, v| *v = v.max(0.0));
     out
 }
 
 /// ReLU backward: gradient passes where the *input* was positive.
 pub fn relu_backward(input: &Matrix, grad_out: &Matrix) -> Matrix {
-    assert_eq!((input.rows(), input.cols()), (grad_out.rows(), grad_out.cols()));
+    assert_eq!(
+        (input.rows(), input.cols()),
+        (grad_out.rows(), grad_out.cols())
+    );
     let mut out = grad_out.clone();
-    out.data_mut()
-        .par_iter_mut()
-        .zip(input.data().par_iter())
-        .for_each(|(g, &x)| {
-            if x <= 0.0 {
-                *g = 0.0;
-            }
-        });
+    let input_data = input.data();
+    par::apply_indexed(out.data_mut(), |i, g| {
+        if input_data[i] <= 0.0 {
+            *g = 0.0;
+        }
+    });
     out
 }
 
@@ -29,7 +30,7 @@ pub fn relu_backward(input: &Matrix, grad_out: &Matrix) -> Matrix {
 pub fn l2_normalize_rows(x: &Matrix) -> Matrix {
     let cols = x.cols();
     let mut out = x.clone();
-    out.data_mut().par_chunks_mut(cols).for_each(|row| {
+    par::chunk_map_mut(out.data_mut(), cols, |_, row| {
         let norm = row.iter().map(|v| v * v).sum::<f32>().sqrt().max(1e-12);
         for v in row {
             *v /= norm;
@@ -43,23 +44,19 @@ pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
     assert_eq!(logits.rows(), labels.len());
     let cols = logits.cols();
     let mut probs = logits.clone();
-    let losses: Vec<f32> = probs
-        .data_mut()
-        .par_chunks_mut(cols)
-        .zip(labels.par_iter())
-        .map(|(row, &y)| {
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut sum = 0.0f32;
-            for v in row.iter_mut() {
-                *v = (*v - max).exp();
-                sum += *v;
-            }
-            for v in row.iter_mut() {
-                *v /= sum;
-            }
-            -(row[y as usize].max(1e-12)).ln()
-        })
-        .collect();
+    let losses: Vec<f32> = par::chunk_map_mut(probs.data_mut(), cols, |i, row| {
+        let y = labels[i];
+        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let mut sum = 0.0f32;
+        for v in row.iter_mut() {
+            *v = (*v - max).exp();
+            sum += *v;
+        }
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+        -(row[y as usize].max(1e-12)).ln()
+    });
     let loss = losses.iter().sum::<f32>() / labels.len().max(1) as f32;
     (loss, probs)
 }
@@ -71,15 +68,12 @@ pub fn softmax_cross_entropy_backward(probs: &Matrix, labels: &[u32]) -> Matrix 
     let cols = probs.cols();
     let scale = 1.0 / labels.len().max(1) as f32;
     let mut grad = probs.clone();
-    grad.data_mut()
-        .par_chunks_mut(cols)
-        .zip(labels.par_iter())
-        .for_each(|(row, &y)| {
-            row[y as usize] -= 1.0;
-            for v in row {
-                *v *= scale;
-            }
-        });
+    par::chunk_map_mut(grad.data_mut(), cols, |i, row| {
+        row[labels[i] as usize] -= 1.0;
+        for v in row {
+            *v *= scale;
+        }
+    });
     grad
 }
 
@@ -130,11 +124,7 @@ pub fn segment_mean(x: &Matrix, segments: &[u32], num_segments: usize) -> Matrix
 
 /// Backward of [`segment_mean`]: distributes each segment's output
 /// gradient equally over its member rows.
-pub fn segment_mean_backward(
-    grad_out: &Matrix,
-    segments: &[u32],
-    num_rows: usize,
-) -> Matrix {
+pub fn segment_mean_backward(grad_out: &Matrix, segments: &[u32], num_rows: usize) -> Matrix {
     let mut counts = vec![0u32; grad_out.rows()];
     for &s in segments {
         counts[s as usize] += 1;

@@ -23,7 +23,10 @@ pub struct Sgd {
 impl Sgd {
     /// SGD with learning rate `lr`.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, weight_decay: 0.0 }
+        Sgd {
+            lr,
+            weight_decay: 0.0,
+        }
     }
 }
 
@@ -55,14 +58,26 @@ pub struct Adam {
 impl Adam {
     /// Adam with standard betas for `num_params` parameters.
     pub fn new(lr: f32, num_params: usize) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: vec![0.0; num_params], v: vec![0.0; num_params] }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: vec![0.0; num_params],
+            v: vec![0.0; num_params],
+        }
     }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [f32], grads: &[f32]) {
         assert_eq!(params.len(), grads.len());
-        assert_eq!(params.len(), self.m.len(), "Adam state sized for a different model");
+        assert_eq!(
+            params.len(),
+            self.m.len(),
+            "Adam state sized for a different model"
+        );
         self.t += 1;
         let b1t = 1.0 - self.beta1.powi(self.t as i32);
         let b2t = 1.0 - self.beta2.powi(self.t as i32);
@@ -107,7 +122,10 @@ mod tests {
 
     #[test]
     fn weight_decay_shrinks_params() {
-        let mut opt = Sgd { lr: 0.1, weight_decay: 0.5 };
+        let mut opt = Sgd {
+            lr: 0.1,
+            weight_decay: 0.5,
+        };
         let mut p = vec![1.0f32];
         opt.step(&mut p, &[0.0]);
         assert!((p[0] - 0.95).abs() < 1e-6);

@@ -2,29 +2,30 @@
 
 use ds_tensor::matrix::Matrix;
 use ds_tensor::ops;
-use proptest::prelude::*;
+use ds_testkit::prelude::*;
 
-fn arb_matrix(rows: std::ops::Range<usize>, cols: std::ops::Range<usize>) -> impl Strategy<Value = Matrix> {
+fn arb_matrix(
+    rows: std::ops::Range<usize>,
+    cols: std::ops::Range<usize>,
+) -> impl Strategy<Value = Matrix> {
     (rows, cols).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-4.0f32..4.0, r * c)
-            .prop_map(move |data| Matrix::from_vec(r, c, data))
+        collection::vec(-4.0f32..4.0, r * c).prop_map(move |data| Matrix::from_vec(r, c, data))
     })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+props! {
+    #![cases(48)]
 
     #[test]
     fn matmul_distributes_over_addition(
         a in arb_matrix(1..12, 1..12),
         seed in any::<u64>(),
     ) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = ds_rng::Rng::seed_from_u64(seed);
         let k = a.cols();
         let n = 1 + (seed % 9) as usize;
-        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect());
-        let c = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-2.0f32..2.0)).collect());
+        let c = Matrix::from_vec(k, n, (0..k * n).map(|_| rng.gen_range(-2.0f32..2.0)).collect());
         // a·(b+c) == a·b + a·c
         let mut bc = b.clone();
         bc.add_assign(&c);
@@ -43,16 +44,15 @@ proptest! {
 
     #[test]
     fn tn_and_nt_agree_with_explicit_transposes(a in arb_matrix(1..10, 1..10), seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = ds_rng::Rng::seed_from_u64(seed);
         let (r, c) = (a.rows(), a.cols());
-        let b = Matrix::from_vec(r, 5, (0..r * 5).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let b = Matrix::from_vec(r, 5, (0..r * 5).map(|_| rng.gen_range(-2.0f32..2.0)).collect());
         let tn = a.matmul_tn(&b);
         let explicit = a.transpose().matmul(&b);
         for (x, y) in tn.data().iter().zip(explicit.data()) {
             prop_assert!((x - y).abs() < 1e-3);
         }
-        let d = Matrix::from_vec(7, c, (0..7 * c).map(|_| rng.gen_range(-2.0..2.0)).collect());
+        let d = Matrix::from_vec(7, c, (0..7 * c).map(|_| rng.gen_range(-2.0f32..2.0)).collect());
         let nt = a.matmul_nt(&d);
         let explicit2 = a.matmul(&d.transpose());
         for (x, y) in nt.data().iter().zip(explicit2.data()) {
@@ -106,8 +106,7 @@ proptest! {
 
     #[test]
     fn gather_then_scatter_preserves_column_sums(m in arb_matrix(2..10, 1..6), seed in any::<u64>()) {
-        use rand::{Rng, SeedableRng};
-        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        let mut rng = ds_rng::Rng::seed_from_u64(seed);
         let idx: Vec<u32> = (0..7).map(|_| rng.gen_range(0..m.rows() as u32)).collect();
         let g = m.gather_rows(&idx);
         let mut acc = Matrix::zeros(m.rows(), m.cols());

@@ -1,0 +1,344 @@
+//! # ds-testkit
+//!
+//! In-tree property-testing harness plus a micro-bench runner — the
+//! workspace's replacement for `proptest` and `criterion`, built on
+//! [`ds_rng`] so case generation is deterministic and hermetic.
+//!
+//! A property suite looks like the `proptest!` suites it replaces:
+//!
+//! ```
+//! use ds_testkit::prelude::*;
+//!
+//! props! {
+//!     #![cases(64)]
+//!
+//!     #[test]
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! ```
+//!
+//! Each property runs `cases` seeded inputs. On failure the harness
+//! greedily shrinks the input through the strategy's `shrink` candidates
+//! and panics with the **minimal counterexample** and the **base seed**;
+//! setting `DS_TESTKIT_SEED=<seed>` reruns the exact same case sequence.
+//! `prop_assume!(cond)` rejects a case without counting it (bounded, so
+//! an impossible assumption still fails loudly).
+
+pub mod bench;
+mod strategy;
+
+pub use strategy::{any, collection, Any, Arbitrary, FlatMap, Just, Map, Strategy};
+
+use ds_rng::Rng;
+use std::cell::Cell;
+use std::panic::{self, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Panic payload used by [`prop_assume!`] to reject a case.
+pub struct Rejected;
+
+/// Like `assert!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Like `assert_eq!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Like `assert_ne!`, inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Discards the current case (without failing) when `cond` is false.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            ::std::panic::panic_any($crate::Rejected);
+        }
+    };
+}
+
+/// Declares property tests. Mirrors the shape of the `proptest!` macro:
+/// an optional `#![cases(N)]` config line, then `#[test]` functions
+/// whose arguments are `pattern in strategy` bindings.
+#[macro_export]
+macro_rules! props {
+    (#![cases($n:expr)] $($rest:tt)*) => {
+        $crate::__props_fns! { $n; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__props_fns! { 64; $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __props_fns {
+    ($cases:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __strategy = ($($strat,)+);
+            $crate::run(stringify!($name), $cases, &__strategy, |($($pat,)+)| $body);
+        }
+    )*};
+}
+
+/// What happened when a property body ran one case.
+enum Outcome {
+    Pass,
+    Reject,
+    Fail(String),
+}
+
+thread_local! {
+    /// While set, the panic hook swallows output — failing cases during
+    /// search/shrink would otherwise spam the test log.
+    static QUIET: Cell<bool> = const { Cell::new(false) };
+}
+
+fn install_quiet_hook() {
+    static INIT: Once = Once::new();
+    INIT.call_once(|| {
+        let prev = panic::take_hook();
+        panic::set_hook(Box::new(move |info| {
+            if !QUIET.with(|q| q.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+fn quietly<R>(f: impl FnOnce() -> R) -> R {
+    QUIET.with(|q| q.set(true));
+    let out = f();
+    QUIET.with(|q| q.set(false));
+    out
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+fn run_one<S: Strategy>(strat: &S, repr: &S::Repr, test: &impl Fn(S::Value)) -> Outcome {
+    let value = strat.realize(repr);
+    match quietly(|| panic::catch_unwind(AssertUnwindSafe(|| test(value)))) {
+        Ok(()) => Outcome::Pass,
+        Err(payload) => {
+            if payload.downcast_ref::<Rejected>().is_some() {
+                Outcome::Reject
+            } else {
+                Outcome::Fail(panic_message(payload))
+            }
+        }
+    }
+}
+
+/// FNV-1a of the property name: a stable per-property default seed, so
+/// runs are reproducible without any environment setup.
+fn default_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+const MAX_SHRINK_STEPS: usize = 4_096;
+
+/// Runs `cases` seeded instances of a property. Called by [`props!`];
+/// use directly only for programmatic harnesses.
+///
+/// # Panics
+/// On the first failing case, after shrinking, with the minimal
+/// counterexample and the seed reproducing the run.
+pub fn run<S: Strategy>(name: &str, cases: u32, strat: &S, test: impl Fn(S::Value)) {
+    install_quiet_hook();
+    let (base_seed, seed_source) = match std::env::var("DS_TESTKIT_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+    {
+        Some(s) => (s, "DS_TESTKIT_SEED"),
+        None => (default_seed(name), "default"),
+    };
+    let root = Rng::seed_from_u64(base_seed);
+    let max_rejects = cases as u64 * 16 + 256;
+    let mut rejects = 0u64;
+    let mut passed = 0u32;
+    let mut draw = 0u64;
+    while passed < cases {
+        let mut rng = root.split_stream(draw);
+        draw += 1;
+        let repr = strat.generate(&mut rng);
+        match run_one(strat, &repr, &test) {
+            Outcome::Pass => passed += 1,
+            Outcome::Reject => {
+                rejects += 1;
+                assert!(
+                    rejects <= max_rejects,
+                    "property '{name}': prop_assume! rejected {rejects} cases \
+                     (only {passed}/{cases} passed) — assumption is too restrictive"
+                );
+            }
+            Outcome::Fail(first_msg) => {
+                let (min_repr, min_msg) = shrink_failure(strat, repr, first_msg, &test);
+                panic!(
+                    "property '{name}' failed after {passed} passing case(s).\n\
+                     minimal counterexample: {:?}\n\
+                     failure: {min_msg}\n\
+                     reproduce with: DS_TESTKIT_SEED={base_seed} (seed source: {seed_source})",
+                    strat.realize(&min_repr),
+                );
+            }
+        }
+    }
+}
+
+/// Greedy descent: repeatedly move to the first shrink candidate that
+/// still fails, until none do (or the step budget runs out).
+fn shrink_failure<S: Strategy>(
+    strat: &S,
+    failing: S::Repr,
+    mut msg: String,
+    test: &impl Fn(S::Value),
+) -> (S::Repr, String) {
+    let mut cur = failing;
+    let mut steps = 0usize;
+    'descend: while steps < MAX_SHRINK_STEPS {
+        for cand in strat.shrink(&cur) {
+            steps += 1;
+            if let Outcome::Fail(m) = run_one(strat, &cand, test) {
+                cur = cand;
+                msg = m;
+                continue 'descend;
+            }
+            if steps >= MAX_SHRINK_STEPS {
+                break;
+            }
+        }
+        break;
+    }
+    (cur, msg)
+}
+
+/// One-stop imports for property suites.
+pub mod prelude {
+    pub use crate::strategy::{any, collection, Any, Arbitrary, Just, Strategy};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, props};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use std::sync::Mutex;
+
+    props! {
+        #![cases(48)]
+
+        #[test]
+        fn ranges_and_tuples_stay_in_bounds(n in 2usize..50, x in -3.0f64..3.0) {
+            prop_assert!((2..50).contains(&n));
+            prop_assert!((-3.0..3.0).contains(&x));
+        }
+
+        #[test]
+        fn assume_filters_cases(v in 0u64..1000) {
+            prop_assume!(v % 2 == 0);
+            prop_assert_eq!(v % 2, 0);
+        }
+
+        #[test]
+        fn flat_map_respects_dependent_bounds(
+            (n, idx) in (1usize..40).prop_flat_map(|n| (Just(n), 0usize..n))
+        ) {
+            prop_assert!(idx < n);
+        }
+
+        #[test]
+        fn vec_lengths_follow_the_range(v in collection::vec(0u32..10, 3usize..9)) {
+            prop_assert!((3..9).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    #[test]
+    fn failing_property_shrinks_and_reports_seed() {
+        let result = super::quietly(|| {
+            std::panic::catch_unwind(|| {
+                super::run("meta_shrink", 64, &(0usize..1000,), |(x,)| {
+                    assert!(x < 17, "value too large");
+                })
+            })
+        });
+        let msg = super::panic_message(result.expect_err("property must fail"));
+        assert!(
+            msg.contains("minimal counterexample: (17,)"),
+            "report was: {msg}"
+        );
+        assert!(msg.contains("DS_TESTKIT_SEED="), "report was: {msg}");
+        assert!(msg.contains("value too large"), "report was: {msg}");
+    }
+
+    #[test]
+    fn vec_counterexamples_shrink_to_minimal_length() {
+        let strat = (collection::vec(0u32..100, 0usize..64),);
+        let result = super::quietly(|| {
+            std::panic::catch_unwind(|| {
+                super::run("meta_vec_shrink", 64, &strat, |(v,)| {
+                    assert!(v.iter().sum::<u32>() < 40);
+                })
+            })
+        });
+        let msg = super::panic_message(result.expect_err("property must fail"));
+        // The minimal failing vec under "sum < 40" is a single element.
+        assert!(
+            msg.contains("minimal counterexample: ([40],)"),
+            "report was: {msg}"
+        );
+    }
+
+    #[test]
+    fn case_generation_is_deterministic() {
+        let seen = Mutex::new(Vec::new());
+        super::run("meta_det", 20, &(0u64..1_000_000, 0usize..77), |pair| {
+            seen.lock().unwrap().push(pair);
+        });
+        let first = std::mem::take(&mut *seen.lock().unwrap());
+        super::run("meta_det", 20, &(0u64..1_000_000, 0usize..77), |pair| {
+            seen.lock().unwrap().push(pair);
+        });
+        assert_eq!(first, *seen.lock().unwrap());
+        assert_eq!(first.len(), 20);
+    }
+
+    #[test]
+    fn rejection_budget_is_enforced() {
+        let result = super::quietly(|| {
+            std::panic::catch_unwind(|| {
+                super::run("meta_reject", 16, &(0u64..10,), |(_x,)| {
+                    prop_assume!(false);
+                })
+            })
+        });
+        let msg = super::panic_message(result.expect_err("must exhaust rejections"));
+        assert!(msg.contains("too restrictive"), "report was: {msg}");
+    }
+}

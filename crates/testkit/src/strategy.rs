@@ -1,0 +1,455 @@
+//! Strategy combinators: how property inputs are generated and shrunk.
+//!
+//! A [`Strategy`] describes a distribution of test inputs. It produces
+//! an internal representation (`Repr`) from a seeded [`Rng`], realizes
+//! the user-facing `Value` from it, and can propose *smaller* reprs when
+//! a case fails. Shrinking operates on reprs, not values, so mapped and
+//! flat-mapped strategies shrink through their source distribution and
+//! every shrunk candidate is still a legal output of the strategy.
+
+use ds_rng::Rng;
+use std::fmt::Debug;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+pub trait Strategy {
+    /// Internal representation a value is realized from (and shrunk in).
+    type Repr: Clone;
+    /// The value handed to the property body.
+    type Value: Clone + Debug;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Repr;
+    fn realize(&self, repr: &Self::Repr) -> Self::Value;
+    /// Candidate simpler reprs, most aggressive first. Every candidate
+    /// must itself be realizable by this strategy.
+    fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr>;
+
+    /// Transforms generated values; shrinks through the source.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        U: Clone + Debug,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Derives a second strategy from each generated value (dependent
+    /// generation, e.g. "a graph size, then edges bounded by it").
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, S2, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap {
+            inner: self,
+            f,
+            _marker: PhantomData,
+        }
+    }
+}
+
+// ---------------------------------------------------------------- ranges
+
+macro_rules! int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Repr = $t;
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn realize(&self, repr: &$t) -> $t {
+                *repr
+            }
+
+            fn shrink(&self, repr: &$t) -> Vec<$t> {
+                let v = *repr;
+                let mut out = Vec::new();
+                if v > self.start {
+                    out.push(self.start);
+                    let mid = self.start + (v - self.start) / 2;
+                    if mid != self.start && mid != v {
+                        out.push(mid);
+                    }
+                    if v - 1 != mid && v - 1 != self.start {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(usize, u32, u64, i32, i64);
+
+macro_rules! float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Repr = $t;
+            type Value = $t;
+
+            fn generate(&self, rng: &mut Rng) -> $t {
+                rng.gen_range(self.clone())
+            }
+
+            fn realize(&self, repr: &$t) -> $t {
+                *repr
+            }
+
+            fn shrink(&self, repr: &$t) -> Vec<$t> {
+                let v = *repr;
+                // Shrink toward zero when the range allows it, else
+                // toward the low end.
+                let target = if self.start <= 0.0 && 0.0 < self.end { 0.0 } else { self.start };
+                let mut out = Vec::new();
+                if v != target {
+                    out.push(target);
+                    let mid = target + (v - target) / 2.0;
+                    if mid != target && mid != v {
+                        out.push(mid);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+float_range_strategy!(f32, f64);
+
+// ------------------------------------------------------------------ any
+
+/// Uniform over a type's whole domain; shrinks toward zero/false.
+pub trait Arbitrary: Clone + Debug + Sized {
+    fn arbitrary(rng: &mut Rng) -> Self;
+    fn shrink_value(&self) -> Vec<Self>;
+}
+
+macro_rules! uint_arbitrary {
+    ($($t:ty => $gen:expr),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut Rng) -> $t {
+                #[allow(clippy::redundant_closure_call)]
+                ($gen)(rng)
+            }
+
+            fn shrink_value(&self) -> Vec<$t> {
+                let v = *self;
+                let mut out = Vec::new();
+                if v > 0 {
+                    out.push(0);
+                    if v / 2 != 0 && v / 2 != v {
+                        out.push(v / 2);
+                    }
+                    if v - 1 != v / 2 && v != 1 {
+                        out.push(v - 1);
+                    }
+                }
+                out
+            }
+        }
+    )*};
+}
+
+uint_arbitrary!(
+    u64 => |r: &mut Rng| r.gen::<u64>(),
+    u32 => |r: &mut Rng| r.gen::<u32>(),
+    usize => |r: &mut Rng| r.gen::<usize>()
+);
+
+impl Arbitrary for i64 {
+    fn arbitrary(rng: &mut Rng) -> i64 {
+        rng.gen::<u64>() as i64
+    }
+
+    fn shrink_value(&self) -> Vec<i64> {
+        let v = *self;
+        if v == 0 {
+            return Vec::new();
+        }
+        let mut out = vec![0, v / 2];
+        if v < 0 {
+            out.push(-v);
+        }
+        out.retain(|&c| c != v);
+        out.dedup();
+        out
+    }
+}
+
+impl Arbitrary for i32 {
+    fn arbitrary(rng: &mut Rng) -> i32 {
+        rng.gen::<u32>() as i32
+    }
+
+    fn shrink_value(&self) -> Vec<i32> {
+        (*self as i64)
+            .shrink_value()
+            .into_iter()
+            .map(|v| v as i32)
+            .collect()
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut Rng) -> bool {
+        rng.gen::<bool>()
+    }
+
+    fn shrink_value(&self) -> Vec<bool> {
+        if *self {
+            vec![false]
+        } else {
+            Vec::new()
+        }
+    }
+}
+
+pub struct Any<T>(PhantomData<T>);
+
+/// `any::<T>()` — uniform over `T`'s whole domain.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Repr = T;
+    type Value = T;
+
+    fn generate(&self, rng: &mut Rng) -> T {
+        T::arbitrary(rng)
+    }
+
+    fn realize(&self, repr: &T) -> T {
+        repr.clone()
+    }
+
+    fn shrink(&self, repr: &T) -> Vec<T> {
+        repr.shrink_value()
+    }
+}
+
+// ----------------------------------------------------------------- just
+
+/// Always produces a clone of the given value; never shrinks.
+#[derive(Clone)]
+pub struct Just<T: Clone + Debug>(pub T);
+
+impl<T: Clone + Debug> Strategy for Just<T> {
+    type Repr = ();
+    type Value = T;
+
+    fn generate(&self, _rng: &mut Rng) -> () {}
+
+    fn realize(&self, _repr: &()) -> T {
+        self.0.clone()
+    }
+
+    fn shrink(&self, _repr: &()) -> Vec<()> {
+        Vec::new()
+    }
+}
+
+// --------------------------------------------------------------- tuples
+
+macro_rules! impl_tuple_strategy {
+    ($($s:ident / $i:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Repr = ($($s::Repr,)+);
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut Rng) -> Self::Repr {
+                ($(self.$i.generate(rng),)+)
+            }
+
+            fn realize(&self, repr: &Self::Repr) -> Self::Value {
+                ($(self.$i.realize(&repr.$i),)+)
+            }
+
+            fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+                let mut out = Vec::new();
+                $(
+                    for cand in self.$i.shrink(&repr.$i) {
+                        let mut next = repr.clone();
+                        next.$i = cand;
+                        out.push(next);
+                    }
+                )+
+                out
+            }
+        }
+    };
+}
+
+impl_tuple_strategy!(A / 0);
+impl_tuple_strategy!(A / 0, B / 1);
+impl_tuple_strategy!(A / 0, B / 1, C / 2);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4);
+impl_tuple_strategy!(A / 0, B / 1, C / 2, D / 3, E / 4, F / 5);
+
+// ------------------------------------------------------------ map / flat_map
+
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, U, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    U: Clone + Debug,
+    F: Fn(S::Value) -> U,
+{
+    type Repr = S::Repr;
+    type Value = U;
+
+    fn generate(&self, rng: &mut Rng) -> S::Repr {
+        self.inner.generate(rng)
+    }
+
+    fn realize(&self, repr: &S::Repr) -> U {
+        (self.f)(self.inner.realize(repr))
+    }
+
+    fn shrink(&self, repr: &S::Repr) -> Vec<S::Repr> {
+        self.inner.shrink(repr)
+    }
+}
+
+pub struct FlatMap<S, S2, F> {
+    inner: S,
+    f: F,
+    pub(crate) _marker: PhantomData<fn() -> S2>,
+}
+
+impl<S, S2, F> Strategy for FlatMap<S, S2, F>
+where
+    S: Strategy,
+    S2: Strategy,
+    F: Fn(S::Value) -> S2,
+{
+    /// (source repr, seed for the derived strategy, derived repr). The
+    /// seed is kept so that shrinking the *source* can regenerate a
+    /// valid derived repr under the new derived strategy.
+    type Repr = (S::Repr, u64, S2::Repr);
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut Rng) -> Self::Repr {
+        let src = self.inner.generate(rng);
+        let seed = rng.next_u64();
+        let derived = (self.f)(self.inner.realize(&src));
+        let repr2 = derived.generate(&mut Rng::seed_from_u64(seed));
+        (src, seed, repr2)
+    }
+
+    fn realize(&self, (src, _seed, repr2): &Self::Repr) -> Self::Value {
+        (self.f)(self.inner.realize(src)).realize(repr2)
+    }
+
+    fn shrink(&self, (src, seed, repr2): &Self::Repr) -> Vec<Self::Repr> {
+        let mut out = Vec::new();
+        // Shrink the source, regenerating the dependent part so it is
+        // valid under the shrunk source.
+        for cand in self.inner.shrink(src) {
+            let derived = (self.f)(self.inner.realize(&cand));
+            let repr2 = derived.generate(&mut Rng::seed_from_u64(*seed));
+            out.push((cand, *seed, repr2));
+        }
+        // Shrink the dependent part with the source fixed.
+        let derived = (self.f)(self.inner.realize(src));
+        for cand in derived.shrink(repr2) {
+            out.push((src.clone(), *seed, cand));
+        }
+        out
+    }
+}
+
+// ----------------------------------------------------------- collections
+
+pub mod collection {
+    use super::*;
+
+    /// Lengths a [`vec`] strategy accepts: a fixed `usize` or a
+    /// half-open range.
+    pub trait IntoSizeRange {
+        fn into_size_range(self) -> Range<usize>;
+    }
+
+    impl IntoSizeRange for usize {
+        fn into_size_range(self) -> Range<usize> {
+            self..self + 1
+        }
+    }
+
+    impl IntoSizeRange for Range<usize> {
+        fn into_size_range(self) -> Range<usize> {
+            self
+        }
+    }
+
+    /// `collection::vec(elem, len)` — a vector of `elem`-generated
+    /// values with length drawn from `len`.
+    pub fn vec<E: Strategy>(elem: E, len: impl IntoSizeRange) -> VecStrategy<E> {
+        VecStrategy {
+            elem,
+            len: len.into_size_range(),
+        }
+    }
+
+    pub struct VecStrategy<E> {
+        elem: E,
+        len: Range<usize>,
+    }
+
+    impl<E: Strategy> Strategy for VecStrategy<E> {
+        type Repr = Vec<E::Repr>;
+        type Value = Vec<E::Value>;
+
+        fn generate(&self, rng: &mut Rng) -> Self::Repr {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.elem.generate(rng)).collect()
+        }
+
+        fn realize(&self, repr: &Self::Repr) -> Self::Value {
+            repr.iter().map(|r| self.elem.realize(r)).collect()
+        }
+
+        fn shrink(&self, repr: &Self::Repr) -> Vec<Self::Repr> {
+            let min = self.len.start;
+            let len = repr.len();
+            let mut out = Vec::new();
+            // Shorter prefixes first: most aggressive cut, then halving,
+            // then dropping single elements from either end.
+            if len > min {
+                out.push(repr[..min].to_vec());
+                let half = min + (len - min) / 2;
+                if half != min && half != len {
+                    out.push(repr[..half].to_vec());
+                }
+                if len - 1 > min {
+                    out.push(repr[..len - 1].to_vec());
+                    out.push(repr[1..].to_vec());
+                }
+            }
+            // Then elementwise shrinks.
+            for (i, er) in repr.iter().enumerate() {
+                for cand in self.elem.shrink(er) {
+                    let mut v = repr.clone();
+                    v[i] = cand;
+                    out.push(v);
+                }
+            }
+            out
+        }
+    }
+}

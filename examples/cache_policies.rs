@@ -20,7 +20,10 @@ fn main() {
         dataset.graph.num_nodes(),
         dataset.spec.feat_dim
     );
-    println!("{:<18} {:>12} {:>10} {:>14}", "policy", "cached rows", "hit rate", "epoch time (s)");
+    println!(
+        "{:<18} {:>12} {:>10} {:>14}",
+        "policy", "cached rows", "hit rate", "epoch time (s)"
+    );
     for (name, policy) in [
         ("in-degree", CachePolicy::InDegree),
         ("PageRank", CachePolicy::PageRank),

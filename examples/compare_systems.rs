@@ -10,7 +10,10 @@ use dsp::core::runner::run_epoch_time;
 use dsp::graph::DatasetSpec;
 
 fn main() {
-    let gpus: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(4);
+    let gpus: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4);
     let dataset = DatasetSpec::products_s().scaled_down(4).build();
     let cfg = TrainConfig::paper_default();
     println!(

@@ -26,10 +26,25 @@ fn main() {
 
     for (label, scheme, fanout) in [
         ("node-wise [15,10]", Scheme::NodeWise, vec![15usize, 10]),
-        ("layer-wise [256,256] w/ replacement", Scheme::LayerWise { replace: true }, vec![256, 256]),
-        ("layer-wise [256,256] w/o replacement", Scheme::LayerWise { replace: false }, vec![256, 256]),
+        (
+            "layer-wise [256,256] w/ replacement",
+            Scheme::LayerWise { replace: true },
+            vec![256, 256],
+        ),
+        (
+            "layer-wise [256,256] w/o replacement",
+            Scheme::LayerWise { replace: false },
+            vec![256, 256],
+        ),
     ] {
-        let cfg = CspConfig { fanout: fanout.clone(), scheme, biased: false, fused: true, temporal_cutoff: None, seed: 11 };
+        let cfg = CspConfig {
+            fanout: fanout.clone(),
+            scheme,
+            biased: false,
+            fused: true,
+            temporal_cutoff: None,
+            seed: 11,
+        };
         let handles: Vec<_> = (0..gpus)
             .map(|rank| {
                 let dg = Arc::clone(&dg);

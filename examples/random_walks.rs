@@ -17,7 +17,11 @@ use std::sync::Arc;
 fn main() {
     let gpus = 4;
     let g = gen::rmat(
-        gen::RmatParams { num_nodes: 20_000, num_edges: 200_000, ..Default::default() },
+        gen::RmatParams {
+            num_nodes: 20_000,
+            num_edges: 200_000,
+            ..Default::default()
+        },
         42,
     );
     let partition = MultilevelPartitioner::default().partition(&g, gpus);
@@ -26,7 +30,11 @@ fn main() {
     let dg = Arc::new(DistGraph::from_renumbered(&graph, &renum));
     let cluster = Arc::new(ClusterSpec::v100(gpus).build());
     let comm = Arc::new(Communicator::new(1, Arc::clone(&cluster)));
-    let cfg = RandomWalkConfig { length: 10, stop_prob: 0.05, seed: 7 };
+    let cfg = RandomWalkConfig {
+        length: 10,
+        stop_prob: 0.05,
+        seed: 7,
+    };
 
     let handles: Vec<_> = (0..gpus)
         .map(|rank| {

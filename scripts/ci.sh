@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Tier-1 verification — the hermetic offline build-and-test gate.
+#
+# The workspace has zero registry dependencies (tests/hermetic.rs
+# enforces it), so everything here must succeed with no network:
+# --offline is not an optimization but part of the contract.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo fmt --check
+cargo build --release --offline
+# `cargo test` does not compile harness=false benches; build them so
+# the ds-testkit bench API stays honest.
+cargo build --offline --benches
+cargo test -q --offline --workspace

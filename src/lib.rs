@@ -13,6 +13,7 @@
 //! * [`tensor`] / [`gnn`] — dense math and GNN models/trainers
 //! * [`pipeline`] — producer-consumer pipeline machinery
 //! * [`core`] — the assembled DSP system and baseline systems
+//! * [`rng`] — the in-tree deterministic PRNG every component seeds from
 //!
 //! See `examples/quickstart.rs` for a end-to-end walkthrough.
 
@@ -22,6 +23,7 @@ pub use ds_gnn as gnn;
 pub use ds_graph as graph;
 pub use ds_partition as partition;
 pub use ds_pipeline as pipeline;
+pub use ds_rng as rng;
 pub use ds_sampling as sampling;
 pub use ds_simgpu as simgpu;
 pub use ds_store as store;

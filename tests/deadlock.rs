@@ -21,14 +21,28 @@ fn run_inverted_schedule(use_ccc: bool) -> bool {
     let cluster = Arc::new(ClusterSpec::v100(2).build());
     let slots = Arc::new(DeviceSlots::new(2, 1)); // 1 kernel slot per device
     let ccc = use_ccc.then(|| Arc::new(Coordinator::new(2)));
-    let comm_a = Arc::new(Communicator::with_slots(1, Arc::clone(&cluster), Arc::clone(&slots), ccc.clone()));
-    let comm_b = Arc::new(Communicator::with_slots(2, Arc::clone(&cluster), Arc::clone(&slots), ccc));
+    let comm_a = Arc::new(Communicator::with_slots(
+        1,
+        Arc::clone(&cluster),
+        Arc::clone(&slots),
+        ccc.clone(),
+    ));
+    let comm_b = Arc::new(Communicator::with_slots(
+        2,
+        Arc::clone(&cluster),
+        Arc::clone(&slots),
+        ccc,
+    ));
     let timeout = Duration::from_millis(600);
 
     let mut handles = Vec::new();
     for rank in 0..2usize {
         for worker in 0..2usize {
-            let comm = if worker == 0 { Arc::clone(&comm_a) } else { Arc::clone(&comm_b) };
+            let comm = if worker == 0 {
+                Arc::clone(&comm_a)
+            } else {
+                Arc::clone(&comm_b)
+            };
             handles.push(std::thread::spawn(move || {
                 // Invert launch order across ranks: rank 0 starts worker
                 // A first, rank 1 starts worker B first.
@@ -54,32 +68,42 @@ fn inverted_launch_order_deadlocks_without_ccc() {
 
 #[test]
 fn ccc_prevents_the_deadlock() {
-    assert!(run_inverted_schedule(true), "CCC-coordinated launches must complete");
+    assert!(
+        run_inverted_schedule(true),
+        "CCC-coordinated launches must complete"
+    );
 }
 
 #[test]
 fn ccc_under_many_interleaved_rounds() {
     // Stress: 3 worker groups × 3 ranks × several rounds with random
     // per-thread delays; CCC must keep everything live.
-    use rand::Rng;
     let n = 3usize;
     let cluster = Arc::new(ClusterSpec::v100(n).build());
     let slots = Arc::new(DeviceSlots::new(n, 1));
     let ccc = Some(Arc::new(Coordinator::new(n)));
     let comms: Vec<Arc<Communicator>> = (0..3)
-        .map(|w| Arc::new(Communicator::with_slots(w as u32 + 1, Arc::clone(&cluster), Arc::clone(&slots), ccc.clone())))
+        .map(|w| {
+            Arc::new(Communicator::with_slots(
+                w as u32 + 1,
+                Arc::clone(&cluster),
+                Arc::clone(&slots),
+                ccc.clone(),
+            ))
+        })
         .collect();
     let mut handles = Vec::new();
     for rank in 0..n {
         for (w, comm) in comms.iter().enumerate() {
             let comm = Arc::clone(comm);
             handles.push(std::thread::spawn(move || {
-                let mut rng = rand::thread_rng();
+                let mut rng = dsp::rng::Rng::seed_from_u64((rank as u64) << 8 | w as u64);
                 let mut clock = Clock::new();
                 for round in 0..5u32 {
-                    std::thread::sleep(Duration::from_millis(rng.gen_range(0..10)));
-                    let sends: Vec<Vec<u32>> =
-                        (0..3).map(|d| vec![round * 100 + (w as u32) * 10 + d as u32]).collect();
+                    std::thread::sleep(Duration::from_millis(rng.gen_range(0u64..10)));
+                    let sends: Vec<Vec<u32>> = (0..3)
+                        .map(|d| vec![round * 100 + (w as u32) * 10 + d as u32])
+                        .collect();
                     let recv = comm.all_to_all_v(rank, &mut clock, sends, 4);
                     // Every source delivered its tagged value for us.
                     for (src, col) in recv.iter().enumerate() {

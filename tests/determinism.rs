@@ -1,0 +1,88 @@
+//! Determinism regression tests: the whole stack must be a pure
+//! function of its seeds. These lock in (a) the ds-rng golden stream
+//! through the umbrella re-export and (b) bit-identical CSP sampling
+//! for a fixed seed across independently constructed samplers.
+
+use dsp::comm::Communicator;
+use dsp::graph::{gen, Csr, NodeId};
+use dsp::rng::Rng;
+use dsp::sampling::csp::{CspConfig, CspSampler};
+use dsp::sampling::{BatchSampler, DistGraph, GraphSample};
+use dsp::simgpu::{Clock, ClusterSpec};
+use std::sync::Arc;
+
+fn sample_once(g: &Csr, seed: u64, batches: usize) -> Vec<GraphSample> {
+    let dg = Arc::new(DistGraph::single(g));
+    let cluster = Arc::new(ClusterSpec::v100(1).build());
+    let comm = Arc::new(Communicator::new(1, Arc::clone(&cluster)));
+    let cfg = CspConfig::node_wise(vec![5, 5]).with_seed(seed);
+    let mut s = CspSampler::new(dg, cluster, comm, 0, cfg);
+    let mut clock = Clock::new();
+    let seeds: Vec<NodeId> = (0..16u32)
+        .map(|i| (i * 13) % g.num_nodes() as u32)
+        .collect();
+    (0..batches)
+        .map(|_| s.sample_batch(&mut clock, &seeds))
+        .collect()
+}
+
+#[test]
+fn csp_frontiers_are_identical_for_identical_seeds() {
+    let g = gen::erdos_renyi(300, 2400, true, 11);
+    let a = sample_once(&g, 0xD5B0, 3);
+    let b = sample_once(&g, 0xD5B0, 3);
+    assert_eq!(a, b, "same seed must reproduce every frontier bit-for-bit");
+    // The batch counter advances the stream: batches must differ.
+    assert_ne!(a[0], a[1], "distinct batches should not repeat the sample");
+}
+
+#[test]
+fn csp_frontiers_differ_across_seeds() {
+    let g = gen::erdos_renyi(300, 2400, true, 11);
+    let a = sample_once(&g, 1, 1);
+    let b = sample_once(&g, 2, 1);
+    assert_ne!(a, b, "different seeds should draw different neighborhoods");
+}
+
+#[test]
+fn umbrella_rng_reexport_matches_the_golden_stream() {
+    // First values of the seed-0 stream, frozen in ds-rng's own golden
+    // test; checked here through `dsp::rng` so a re-export mix-up (or a
+    // second PRNG sneaking into the tree) cannot go unnoticed.
+    let mut r = Rng::seed_from_u64(0);
+    assert_eq!(r.next_u64(), 11091344671253066420);
+    assert_eq!(r.next_u64(), 13793997310169335082);
+    let mut r = Rng::seed_from_u64(123);
+    assert_eq!(r.gen::<f64>(), 0.19669435215621578);
+}
+
+#[test]
+fn graph_generators_are_seed_pure() {
+    let a = gen::rmat(
+        gen::RmatParams {
+            num_nodes: 1 << 10,
+            num_edges: 1 << 13,
+            ..Default::default()
+        },
+        9,
+    );
+    let b = gen::rmat(
+        gen::RmatParams {
+            num_nodes: 1 << 10,
+            num_edges: 1 << 13,
+            ..Default::default()
+        },
+        9,
+    );
+    assert_eq!(a.indptr(), b.indptr());
+    assert_eq!(a.indices(), b.indices());
+    let c = gen::rmat(
+        gen::RmatParams {
+            num_nodes: 1 << 10,
+            num_edges: 1 << 13,
+            ..Default::default()
+        },
+        10,
+    );
+    assert_ne!(a.indices(), c.indices());
+}

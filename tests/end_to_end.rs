@@ -32,9 +32,18 @@ fn dsp_beats_every_baseline_on_epoch_time() {
     let mut cfg = TrainConfig::test_default();
     cfg.exec_compute = false;
     let dsp = run_epoch_time(SystemKind::Dsp, &d, 4, &cfg, 0, 1).epoch_time;
-    for kind in [SystemKind::PyG, SystemKind::DglCpu, SystemKind::Quiver, SystemKind::DglUva] {
+    for kind in [
+        SystemKind::PyG,
+        SystemKind::DglCpu,
+        SystemKind::Quiver,
+        SystemKind::DglUva,
+    ] {
         let t = run_epoch_time(kind, &d, 4, &cfg, 0, 1).epoch_time;
-        assert!(t > dsp, "{:?} ({t}) should be slower than DSP ({dsp})", kind);
+        assert!(
+            t > dsp,
+            "{:?} ({t}) should be slower than DSP ({dsp})",
+            kind
+        );
     }
 }
 
@@ -112,7 +121,12 @@ fn traffic_meters_reflect_system_designs() {
     // DGL-UVA: zero NVLink (no peer traffic), heavy PCIe.
     let mut uva = build_system(SystemKind::DglUva, &d, 2, &cfg);
     let u = uva.run_epoch(0);
-    assert!(u.pcie_bytes > s.pcie_bytes, "UVA pcie {} vs DSP pcie {}", u.pcie_bytes, s.pcie_bytes);
+    assert!(
+        u.pcie_bytes > s.pcie_bytes,
+        "UVA pcie {} vs DSP pcie {}",
+        u.pcie_bytes,
+        s.pcie_bytes
+    );
 }
 
 #[test]
@@ -128,7 +142,14 @@ fn all_systems_report_consistent_stats_shape() {
         assert!(s.load_time > 0.0);
         assert!(s.train_time > 0.0);
         assert!(s.utilization > 0.0 && s.utilization <= 1.0);
-        assert!(s.epoch_time >= s.sample_time.max(s.load_time).max(s.train_time) * 0.99,
-            "{}: epoch {} vs stages {}/{}/{}", sys.name(), s.epoch_time, s.sample_time, s.load_time, s.train_time);
+        assert!(
+            s.epoch_time >= s.sample_time.max(s.load_time).max(s.train_time) * 0.99,
+            "{}: epoch {} vs stages {}/{}/{}",
+            sys.name(),
+            s.epoch_time,
+            s.sample_time,
+            s.load_time,
+            s.train_time
+        );
     }
 }

@@ -1,0 +1,87 @@
+//! Hermeticity smoke test: the workspace must build from the source
+//! tree alone. Every dependency in every manifest has to resolve to an
+//! in-tree path crate — a registry dependency anywhere breaks the
+//! offline tier-1 build, so this test walks all Cargo.toml files and
+//! rejects any dependency entry that is neither `path = ...` nor
+//! `workspace = true`.
+
+use std::path::{Path, PathBuf};
+
+fn workspace_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn manifests(root: &Path) -> Vec<PathBuf> {
+    let mut out = vec![root.join("Cargo.toml")];
+    let crates = root.join("crates");
+    for entry in std::fs::read_dir(&crates).expect("crates/ directory") {
+        let dir = entry.unwrap().path();
+        let m = dir.join("Cargo.toml");
+        if m.is_file() {
+            out.push(m);
+        }
+    }
+    out
+}
+
+/// Returns the offending `(section, line)` pairs of one manifest.
+fn non_path_deps(text: &str) -> Vec<(String, String)> {
+    let mut bad = Vec::new();
+    let mut section = String::new();
+    for raw in text.lines() {
+        let line = raw.trim();
+        if line.starts_with('[') {
+            section = line.to_string();
+            continue;
+        }
+        let in_deps = section.contains("dependencies]") || section.contains("dependencies.");
+        if !in_deps || line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        // A dependency line is hermetic if it resolves in-tree.
+        let hermetic = line.contains("workspace = true") || line.contains("path =");
+        if !hermetic {
+            bad.push((section.clone(), line.to_string()));
+        }
+    }
+    bad
+}
+
+#[test]
+fn every_manifest_dependency_is_an_in_tree_path() {
+    let root = workspace_root();
+    let mut offenders = Vec::new();
+    for manifest in manifests(&root) {
+        let text = std::fs::read_to_string(&manifest).unwrap();
+        for (section, line) in non_path_deps(&text) {
+            offenders.push(format!("{}: {section}: {line}", manifest.display()));
+        }
+    }
+    assert!(
+        offenders.is_empty(),
+        "registry dependencies found (the build must stay hermetic):\n{}",
+        offenders.join("\n")
+    );
+}
+
+#[test]
+fn workspace_covers_the_expected_crates() {
+    // A crate silently dropped from the workspace would dodge the check
+    // above; pin the census.
+    let root = workspace_root();
+    let found = manifests(&root).len();
+    assert!(
+        found >= 14,
+        "expected >= 14 manifests (root + 13 crates), found {found}"
+    );
+}
+
+#[test]
+fn detector_flags_registry_style_lines() {
+    let toml = "[dependencies]\nserde = { version = \"1\" }\nds-rng = { workspace = true }\n";
+    let bad = non_path_deps(toml);
+    assert_eq!(bad.len(), 1);
+    assert!(bad[0].1.contains("serde"));
+    let clean = "[dependencies]\nds-rng = { path = \"crates/rng\" }\n\n[dev-dependencies]\nds-testkit = { workspace = true }\n";
+    assert!(non_path_deps(clean).is_empty());
+}

@@ -1,6 +1,7 @@
 //! Property-based tests over the core invariants of the stack:
 //! generators → partitioner → CSP → collectives → pipeline schedule.
 
+use ds_testkit::prelude::*;
 use dsp::comm::Communicator;
 use dsp::graph::{gen, Csr, NodeId};
 use dsp::partition::{quality, simple, MultilevelPartitioner, Partitioner, Renumbering};
@@ -9,17 +10,15 @@ use dsp::pipeline::schedule::{PipelineSchedule, StageTimes};
 use dsp::sampling::csp::{CspConfig, CspSampler};
 use dsp::sampling::{BatchSampler, DistGraph};
 use dsp::simgpu::{Clock, ClusterSpec};
-use proptest::prelude::*;
 use std::sync::Arc;
 
 fn arb_graph() -> impl Strategy<Value = Csr> {
-    (50usize..400, 2usize..12, any::<u64>()).prop_map(|(n, d, seed)| {
-        gen::erdos_renyi(n, n * d, true, seed)
-    })
+    (50usize..400, 2usize..12, any::<u64>())
+        .prop_map(|(n, d, seed)| gen::erdos_renyi(n, n * d, true, seed))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+props! {
+    #![cases(24)]
 
     #[test]
     fn multilevel_partition_covers_and_balances(g in arb_graph(), k in 2usize..8) {
@@ -90,7 +89,7 @@ proptest! {
     #[test]
     fn allreduce_equals_serial_sum(
         n in 2usize..5,
-        data in proptest::collection::vec(-100.0f32..100.0, 1..40),
+        data in collection::vec(-100.0f32..100.0, 1..40),
     ) {
         let cluster = Arc::new(ClusterSpec::v100(n).build());
         let comm = Arc::new(Communicator::new(1, cluster));
@@ -118,7 +117,7 @@ proptest! {
 
     #[test]
     fn threaded_queue_timeline_matches_analytic_schedule(
-        times in proptest::collection::vec((0.01f64..2.0, 0.01f64..2.0, 0.01f64..2.0), 1..20),
+        times in collection::vec((0.01f64..2.0, 0.01f64..2.0, 0.01f64..2.0), 1..20),
         cap in 1usize..4,
     ) {
         // Run a real 3-stage pipeline over virtual queues and compare

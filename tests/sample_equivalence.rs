@@ -32,15 +32,29 @@ fn csp_sample(g: &Csr, k: usize, seeds: Vec<NodeId>, fanout: Vec<usize>) -> Grap
             let cluster = Arc::clone(&cluster);
             let comm = Arc::clone(&comm);
             let fanout = fanout.clone();
-            let seeds = if rank == 0 { seeds.clone() } else { vec![(rank * 37) as NodeId] };
+            let seeds = if rank == 0 {
+                seeds.clone()
+            } else {
+                vec![(rank * 37) as NodeId]
+            };
             std::thread::spawn(move || {
-                let mut s = CspSampler::new(dg, cluster, comm, rank, CspConfig::node_wise(fanout).with_seed(SEED));
+                let mut s = CspSampler::new(
+                    dg,
+                    cluster,
+                    comm,
+                    rank,
+                    CspConfig::node_wise(fanout).with_seed(SEED),
+                );
                 let mut clock = Clock::new();
                 s.sample_batch(&mut clock, &seeds)
             })
         })
         .collect();
-    handles.into_iter().map(|h| h.join().unwrap()).next().unwrap()
+    handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .next()
+        .unwrap()
 }
 
 #[test]
@@ -65,17 +79,36 @@ fn all_sampler_designs_construct_the_same_sample() {
     let reference = csp_sample(&g, 2, seeds.clone(), fanout.clone());
 
     let mut uva = UvaSampler::new(
-        Arc::clone(&g), Arc::clone(&cluster), 0, fanout.clone(), false, UvaVariant::DglUva, SEED,
+        Arc::clone(&g),
+        Arc::clone(&cluster),
+        0,
+        fanout.clone(),
+        false,
+        UvaVariant::DglUva,
+        SEED,
     );
     assert_eq!(uva.sample_batch(&mut clock, &seeds), reference);
 
     let mut quiver = UvaSampler::new(
-        Arc::clone(&g), Arc::clone(&cluster), 0, fanout.clone(), false, UvaVariant::Quiver, SEED,
+        Arc::clone(&g),
+        Arc::clone(&cluster),
+        0,
+        fanout.clone(),
+        false,
+        UvaVariant::Quiver,
+        SEED,
     );
     assert_eq!(quiver.sample_batch(&mut clock, &seeds), reference);
 
-    let mut cpu =
-        CpuSampler::new(Arc::clone(&g), Arc::clone(&cluster), 0, 1, fanout.clone(), CpuVariant::PyG, SEED);
+    let mut cpu = CpuSampler::new(
+        Arc::clone(&g),
+        Arc::clone(&cluster),
+        0,
+        1,
+        fanout.clone(),
+        CpuVariant::PyG,
+        SEED,
+    );
     assert_eq!(cpu.sample_batch(&mut clock, &seeds), reference);
 }
 
@@ -105,16 +138,29 @@ fn csp_invariance_holds_on_multilevel_partitions_too() {
             // Note: sampling randomness is keyed by *new* node ids here,
             // so we compare structure (per-node degree histogram), not
             // exact neighbor identity.
-            let seeds = if rank == 0 { new_seeds.clone() } else { vec![dg.range_of(1).start] };
+            let seeds = if rank == 0 {
+                new_seeds.clone()
+            } else {
+                vec![dg.range_of(1).start]
+            };
             std::thread::spawn(move || {
-                let mut s = CspSampler::new(dg, cluster, comm, rank, CspConfig::node_wise(fanout).with_seed(SEED));
+                let mut s = CspSampler::new(
+                    dg,
+                    cluster,
+                    comm,
+                    rank,
+                    CspConfig::node_wise(fanout).with_seed(SEED),
+                );
                 let mut clock = Clock::new();
                 s.sample_batch(&mut clock, &seeds)
             })
         })
         .collect();
-    let renumbered_sample: GraphSample =
-        handles.into_iter().map(|h| h.join().unwrap()).next().unwrap();
+    let renumbered_sample: GraphSample = handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .next()
+        .unwrap();
     // Structural equivalence: same per-layer edge counts per seed.
     assert_eq!(renumbered_sample.num_layers(), single.num_layers());
     for (a, b) in renumbered_sample.layers.iter().zip(&single.layers) {
