@@ -15,14 +15,14 @@ fn bench_pipeline(c: &mut Criterion) {
                     let mut clock = Clock::new();
                     for i in 0..1000u32 {
                         clock.work(1e-6);
-                        q1p.push(&mut clock, i);
+                        q1p.push(&mut clock, i).unwrap();
                     }
                 });
                 s.spawn(move || {
                     let mut clock = Clock::new();
                     while let Some(i) = q1c.pop(&mut clock) {
                         clock.work(1e-6);
-                        q2p.push(&mut clock, i);
+                        q2p.push(&mut clock, i).unwrap();
                     }
                 });
                 s.spawn(move || {

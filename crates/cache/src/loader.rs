@@ -10,7 +10,7 @@
 
 use crate::partitioned::PartitionedCache;
 use crate::replicated::ReplicatedCache;
-use ds_comm::Communicator;
+use ds_comm::{CommError, Communicator};
 use ds_graph::{Features, NodeId};
 use ds_simgpu::{Clock, Cluster};
 use ds_tensor::Matrix;
@@ -85,10 +85,12 @@ impl DspLoader {
             stats,
         }
     }
-}
 
-impl FeatureLoader for DspLoader {
-    fn load(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Matrix {
+    /// Fallible [`FeatureLoader::load`]: surfaces collective failures
+    /// (dead peer, deadlock timeout) instead of panicking, for the
+    /// supervised pipeline. A lost cache shard (fault hook) degrades
+    /// gracefully — its rows simply miss and fall to the UVA cold path.
+    pub fn try_load(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Result<Matrix, CommError> {
         let dim = self.cache.dim();
         let model = *self.cluster.model();
         let n = self.comm.num_ranks();
@@ -107,8 +109,14 @@ impl FeatureLoader for DspLoader {
         }
         // Exchange 1: requested ids (this doubles as the paper's
         // "fetch the positions of features managed by remote GPUs").
-        let queries = self.comm.all_to_all_v(self.rank, clock, sends, 4);
-        // Serve hits from the local cache slice (gather kernel).
+        let queries = self.comm.try_all_to_all_v(self.rank, clock, sends, 4)?;
+        // Serve hits from the local cache slice (gather kernel). A lost
+        // shard on this rank answers every query with a miss; the
+        // requesters' cold path picks the rows up from host memory.
+        let shard_lost = self
+            .cluster
+            .fault_hook()
+            .is_some_and(|h| h.cache_shard_lost(self.rank));
         let mut local_hits = 0u64;
         let replies: Vec<(Vec<u8>, Vec<f32>)> = queries
             .iter()
@@ -116,7 +124,10 @@ impl FeatureLoader for DspLoader {
                 let mut flags = Vec::with_capacity(qs.len());
                 let mut rows = Vec::new();
                 for &v in qs {
-                    match self.cache.lookup(self.rank, v) {
+                    match (!shard_lost)
+                        .then(|| self.cache.lookup(self.rank, v))
+                        .flatten()
+                    {
                         Some(row) => {
                             flags.push(1u8);
                             rows.extend_from_slice(row);
@@ -134,9 +145,11 @@ impl FeatureLoader for DspLoader {
         );
         // Exchange 2+3: hit flags, then the hot rows (the NVLink path).
         let (flag_sends, row_sends): (Vec<Vec<u8>>, Vec<Vec<f32>>) = replies.into_iter().unzip();
-        let recv_flags = self.comm.all_to_all_v(self.rank, clock, flag_sends, 1);
+        let recv_flags = self
+            .comm
+            .try_all_to_all_v(self.rank, clock, flag_sends, 1)?;
         let before_rows = clock.now();
-        let recv_rows = self.comm.all_to_all_v(self.rank, clock, row_sends, 4);
+        let recv_rows = self.comm.try_all_to_all_v(self.rank, clock, row_sends, 4)?;
         let nvlink_path = clock.now() - before_rows;
 
         // Assemble; collect cold nodes for the UVA path.
@@ -168,7 +181,14 @@ impl FeatureLoader for DspLoader {
         }
         let hits = (nodes.len() - cold_nodes.len()) as u64;
         self.stats.add(hits, cold_nodes.len() as u64);
-        out
+        Ok(out)
+    }
+}
+
+impl FeatureLoader for DspLoader {
+    fn load(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Matrix {
+        self.try_load(clock, nodes)
+            .unwrap_or_else(|e| panic!("feature load failed: {e}"))
     }
 
     fn stats(&self) -> &LoaderStats {
@@ -410,6 +430,51 @@ mod tests {
         // Exactly the useful bytes on PCIe.
         assert_eq!(cluster.device(0).meter.pcie_bytes(), 4 * 16 * 4);
         assert_eq!(cluster.device(0).meter.uva_requests(), 0);
+    }
+
+    #[test]
+    fn lost_shard_degrades_to_cold_fetches_with_exact_rows() {
+        let (f, _) = setup(100, 4);
+        let ranges = vec![0u32..50, 50u32..100];
+        let order: Vec<NodeId> = (0..10).chain(50..60).collect();
+        let cache = Arc::new(PartitionedCache::build(&f, &ranges, &order, 10 * 16));
+        let cluster = Arc::new(ClusterSpec::v100(2).build());
+        // Rank 1's shard is gone: its hot rows must silently become
+        // cold fetches everywhere; results stay exact.
+        struct ShardLoss;
+        impl ds_simgpu::FaultHook for ShardLoss {
+            fn cache_shard_lost(&self, rank: usize) -> bool {
+                rank == 1
+            }
+        }
+        assert!(cluster.install_fault_hook(Arc::new(ShardLoss)));
+        let comm = Arc::new(Communicator::new(32, Arc::clone(&cluster)));
+        let f0 = Arc::clone(&f);
+        let handles: Vec<_> = (0..2)
+            .map(|rank| {
+                let cache = Arc::clone(&cache);
+                let f = Arc::clone(&f);
+                let cluster = Arc::clone(&cluster);
+                let comm = Arc::clone(&comm);
+                std::thread::spawn(move || {
+                    let mut l = DspLoader::new(cache, f, cluster, comm, rank);
+                    let mut clock = Clock::new();
+                    // Node 55 is hot in rank 1's (lost) shard; node 3 is
+                    // hot in rank 0's (healthy) shard.
+                    let m = l.try_load(&mut clock, &[3, 55]).unwrap();
+                    let hits = l.stats().cache_hits.load(Ordering::Relaxed);
+                    let cold = l.stats().cold_fetches.load(Ordering::Relaxed);
+                    (m, hits, cold)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (m, hits, cold) = h.join().unwrap();
+            assert_eq!(m.row(0), f0.row(3));
+            assert_eq!(m.row(1), f0.row(55));
+            assert_eq!(hits, 1, "only the healthy shard serves");
+            assert_eq!(cold, 1, "lost-shard row degrades to UVA");
+        }
     }
 
     #[test]

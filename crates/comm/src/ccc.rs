@@ -13,8 +13,10 @@
 //! (slot acquisition) and advances this rank's cursor. With every device
 //! acquiring slots in the same order, circular waits are impossible.
 
+use crate::collective::CccHead;
+use crate::lock_unpoisoned;
 use crate::WorkerId;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 #[derive(Debug, Default)]
@@ -23,6 +25,40 @@ struct State {
     order: Vec<WorkerId>,
     /// Per-rank cursor: how many entries of `order` this rank launched.
     cursor: Vec<usize>,
+    /// Per-rank worker ids whose entries are auto-skipped: a crashed
+    /// worker never launches its queued entries, and without skipping
+    /// them every later worker on that rank would wedge behind the
+    /// corpse.
+    skipped: Vec<Vec<WorkerId>>,
+}
+
+impl State {
+    /// Advances `rank`'s cursor past entries of skipped workers.
+    /// Returns true if the cursor moved (waiters must be notified).
+    fn drain_skipped(&mut self, rank: usize) -> bool {
+        let mut advanced = false;
+        while let Some(&w) = self.order.get(self.cursor[rank]) {
+            if self.skipped[rank].contains(&w) {
+                self.cursor[rank] += 1;
+                advanced = true;
+            } else {
+                break;
+            }
+        }
+        advanced
+    }
+}
+
+/// Result of an abortable coordinated launch.
+#[derive(Debug)]
+pub enum LaunchOutcome<R> {
+    /// The turn arrived and `acquire` ran.
+    Launched(R),
+    /// The turn never arrived within the deadline.
+    TimedOut,
+    /// The abort predicate fired while waiting (e.g. a peer died and
+    /// the scheduled entry will never be launched).
+    Aborted,
 }
 
 /// The CCC coordinator shared by all ranks.
@@ -40,6 +76,7 @@ impl Coordinator {
             state: Mutex::new(State {
                 order: Vec::new(),
                 cursor: vec![0; num_ranks],
+                skipped: vec![Vec::new(); num_ranks],
             }),
             cv: Condvar::new(),
             leader: 0,
@@ -56,13 +93,16 @@ impl Coordinator {
     /// advances the rank's cursor and wakes waiters. Returns whatever
     /// `acquire` returns.
     pub fn launch<R>(&self, rank: usize, worker: WorkerId, acquire: impl FnOnce() -> R) -> R {
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.state);
         if rank == self.leader {
             // The leader registers readiness by appending to the order.
             st.order.push(worker);
             self.cv.notify_all();
         }
         loop {
+            if st.drain_skipped(rank) {
+                self.cv.notify_all();
+            }
             let pos = st.cursor[rank];
             if pos < st.order.len() && st.order[pos] == worker {
                 break;
@@ -70,7 +110,7 @@ impl Coordinator {
             // Either the leader hasn't scheduled this worker yet, or an
             // earlier-scheduled worker on this rank hasn't launched —
             // "waits for the worker to become ready" (§5).
-            st = self.cv.wait(st).unwrap();
+            st = self.cv.wait(st).unwrap_or_else(PoisonError::into_inner);
         }
         // It is this worker's turn. Drop the coordinator lock during the
         // (potentially blocking) slot acquisition — other ranks must be
@@ -79,14 +119,14 @@ impl Coordinator {
         // cursor advances below.
         drop(st);
         let out = acquire();
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.state);
         st.cursor[rank] += 1;
         self.cv.notify_all();
         out
     }
 
-    /// Timeout variant used by tests; returns `None` if the turn never
-    /// arrives (e.g. the leader is deadlocked elsewhere).
+    /// Timeout variant; returns `None` if the turn never arrives (e.g.
+    /// the leader is deadlocked elsewhere).
     pub fn launch_timeout<R>(
         &self,
         rank: usize,
@@ -94,41 +134,112 @@ impl Coordinator {
         timeout: Duration,
         acquire: impl FnOnce() -> R,
     ) -> Option<R> {
+        match self.launch_abortable(rank, worker, timeout, || false, acquire) {
+            LaunchOutcome::Launched(r) => Some(r),
+            LaunchOutcome::TimedOut | LaunchOutcome::Aborted => None,
+        }
+    }
+
+    /// Like [`Self::launch_timeout`] but also gives up as soon as
+    /// `abort()` turns true. The abort predicate must not take locks a
+    /// notifier could hold — callers pass an atomic-flag check (see
+    /// [`Self::poke`]). An aborted launch consumes nothing: the caller's
+    /// scheduled entry stays queued, so pair aborts of a worker that
+    /// will never launch again with [`Self::skip_worker`].
+    pub fn launch_abortable<R>(
+        &self,
+        rank: usize,
+        worker: WorkerId,
+        timeout: Duration,
+        abort: impl Fn() -> bool,
+        acquire: impl FnOnce() -> R,
+    ) -> LaunchOutcome<R> {
         let deadline = std::time::Instant::now() + timeout;
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.state);
         if rank == self.leader {
             st.order.push(worker);
             self.cv.notify_all();
         }
         loop {
+            if st.drain_skipped(rank) {
+                self.cv.notify_all();
+            }
             let pos = st.cursor[rank];
             if pos < st.order.len() && st.order[pos] == worker {
                 break;
             }
+            if abort() {
+                return LaunchOutcome::Aborted;
+            }
             let now = std::time::Instant::now();
             if now >= deadline {
-                return None;
+                return LaunchOutcome::TimedOut;
             }
-            let (g, res) = self.cv.wait_timeout(st, deadline - now).unwrap();
+            let (g, res) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             st = g;
             if res.timed_out() {
+                st.drain_skipped(rank);
                 let pos = st.cursor[rank];
                 if !(pos < st.order.len() && st.order[pos] == worker) {
-                    return None;
+                    return if abort() {
+                        LaunchOutcome::Aborted
+                    } else {
+                        LaunchOutcome::TimedOut
+                    };
                 }
             }
         }
         drop(st);
         let out = acquire();
-        let mut st = self.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.state);
         st.cursor[rank] += 1;
         self.cv.notify_all();
-        Some(out)
+        LaunchOutcome::Launched(out)
+    }
+
+    /// Declares that `worker` on `rank` will never launch again (it
+    /// crashed): its queued entries — present and future — are skipped
+    /// so later workers on that rank are not wedged behind the corpse.
+    pub fn skip_worker(&self, rank: usize, worker: WorkerId) {
+        let mut st = lock_unpoisoned(&self.state);
+        if !st.skipped[rank].contains(&worker) {
+            st.skipped[rank].push(worker);
+        }
+        st.drain_skipped(rank);
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Wakes every waiter so abortable launches re-check their abort
+    /// predicate. Briefly takes the coordinator lock to close the
+    /// check-then-wait race with a waiter about to sleep.
+    pub fn poke(&self) {
+        drop(lock_unpoisoned(&self.state));
+        self.cv.notify_all();
     }
 
     /// The global order decided so far (for inspection/tests).
     pub fn order_snapshot(&self) -> Vec<WorkerId> {
-        self.state.lock().unwrap().order.clone()
+        lock_unpoisoned(&self.state).order.clone()
+    }
+
+    /// Launch-queue head for diagnostics: entries issued by the leader,
+    /// every rank's cursor, and the worker id each rank would launch
+    /// next (`None` when that rank has drained the order).
+    pub fn head_snapshot(&self) -> CccHead {
+        let st = lock_unpoisoned(&self.state);
+        CccHead {
+            issued: st.order.len(),
+            cursors: st.cursor.clone(),
+            next: st
+                .cursor
+                .iter()
+                .map(|&pos| st.order.get(pos).copied())
+                .collect(),
+        }
     }
 }
 
@@ -180,5 +291,52 @@ mod tests {
             c.launch(0, 5, || ());
         }
         assert_eq!(c.order_snapshot(), vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn skip_worker_unwedges_entries_behind_a_corpse() {
+        let c = Coordinator::new(2);
+        // Leader schedules sampler (7) then loader (9) and launches both.
+        c.launch(0, 7, || ());
+        c.launch(0, 9, || ());
+        // On rank 1 the sampler crashed and will never launch entry 7;
+        // without the skip, the loader would block behind it forever.
+        c.skip_worker(1, 7);
+        let r = c.launch_timeout(1, 9, Duration::from_millis(200), || 42);
+        assert_eq!(r, Some(42));
+        assert_eq!(c.head_snapshot().cursors, vec![2, 2]);
+    }
+
+    #[test]
+    fn skip_worker_applies_to_entries_scheduled_later() {
+        let c = Coordinator::new(2);
+        c.skip_worker(1, 7);
+        // The sampler entry arrives only after the skip was recorded.
+        c.launch(0, 7, || ());
+        c.launch(0, 9, || ());
+        let r = c.launch_timeout(1, 9, Duration::from_millis(200), || ());
+        assert!(r.is_some());
+    }
+
+    #[test]
+    fn abortable_launch_gives_up_when_poked() {
+        use std::sync::atomic::{AtomicBool, Ordering};
+        let c = Arc::new(Coordinator::new(2));
+        let dead = Arc::new(AtomicBool::new(false));
+        let (c2, d2) = (Arc::clone(&c), Arc::clone(&dead));
+        // Rank 1 waits for an entry the leader will never schedule.
+        let h = std::thread::spawn(move || {
+            c2.launch_abortable(
+                1,
+                3,
+                Duration::from_secs(30),
+                || d2.load(Ordering::Relaxed),
+                || (),
+            )
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        dead.store(true, Ordering::Relaxed);
+        c.poke();
+        assert!(matches!(h.join().unwrap(), LaunchOutcome::Aborted));
     }
 }

@@ -13,37 +13,158 @@
 //! device for the whole operation — optionally through the CCC
 //! coordinator. This reproduces the deadlock conditions of §5 faithfully:
 //! see `tests/deadlock.rs` in the workspace integration tests.
+//!
+//! Failure semantics: every blocking entry point is bounded by the
+//! communicator's [`CommConfig::deadline`] and fails with a typed
+//! [`CommError`] carrying a [`Diagnostics`] snapshot (slot occupancy,
+//! CCC queue head, last completed round) instead of wedging. A peer
+//! declared dead via [`Communicator::mark_failed`] wakes every blocked
+//! participant with [`CommError::PeerFailed`], which is what lets the
+//! supervisor re-route work instead of hanging the whole device group.
 
-use crate::ccc::Coordinator;
+use crate::ccc::{Coordinator, LaunchOutcome};
+use crate::lock_unpoisoned;
 use crate::slots::DeviceSlots;
 use crate::WorkerId;
 use ds_simgpu::topology::TRANSFER_LATENCY;
 use ds_simgpu::{Clock, Cluster};
 use std::any::Any;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
-/// Errors surfaced by the timeout variants.
+/// Tunables of a communicator group.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CommConfig {
+    /// Watchdog deadline for every blocking collective: a round that
+    /// has not completed within this (real-time) bound returns
+    /// [`CommError::Timeout`] with diagnostics — the observable symptom
+    /// of a communication deadlock. Replaces the historical hard-coded
+    /// one-hour `FOREVER` constant.
+    pub deadline: Duration,
+}
+
+impl Default for CommConfig {
+    fn default() -> Self {
+        CommConfig {
+            deadline: Duration::from_secs(30),
+        }
+    }
+}
+
+/// State of the CCC launch queue at failure time (per-rank view).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct CccHead {
+    /// Entries the leader has appended to the global order so far.
+    pub issued: usize,
+    /// Per-rank launch cursor into that order.
+    pub cursors: Vec<usize>,
+    /// Worker id at the head of each rank's queue (`None` = drained).
+    pub next: Vec<Option<WorkerId>>,
+}
+
+/// Snapshot attached to every [`CommError`]: what the group looked like
+/// when the operation failed, so a wedged collective is debuggable
+/// instead of a bare timeout.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Diagnostics {
+    /// Worker-group id of the failing communicator.
+    pub group: WorkerId,
+    /// Completed collective rounds before the failure (the round
+    /// generation counter).
+    pub last_completed: u64,
+    /// Deposits present in the wedged round when the snapshot was taken.
+    pub arrived: usize,
+    /// Ranks of the group (deposit slots) — `arrived`/`expected`.
+    pub expected: usize,
+    /// Ranks marked failed at snapshot time.
+    pub failed: Vec<usize>,
+    /// Free kernel slots per device (empty when slot-less).
+    pub slot_free: Vec<u32>,
+    /// CCC launch-queue head (when coordinated).
+    pub ccc: Option<CccHead>,
+}
+
+impl Diagnostics {
+    /// One-line operator summary.
+    pub fn summary(&self) -> String {
+        let ccc = match &self.ccc {
+            None => String::from("none"),
+            Some(h) => format!(
+                "issued={} cursors={:?} next={:?}",
+                h.issued, h.cursors, h.next
+            ),
+        };
+        format!(
+            "group={} round={} arrived={}/{} failed={:?} slots_free={:?} ccc=[{}]",
+            self.group,
+            self.last_completed,
+            self.arrived,
+            self.expected,
+            self.failed,
+            self.slot_free,
+            ccc
+        )
+    }
+}
+
+/// Errors surfaced by collectives (see module docs for semantics).
+#[derive(Clone, Debug, PartialEq)]
 pub enum CommError {
-    /// The operation did not complete in time — in the deadlock tests
-    /// this is the observable symptom of a communication deadlock.
-    Timeout,
+    /// The operation did not complete within the configured deadline —
+    /// in the deadlock tests this is the observable symptom of a
+    /// communication deadlock.
+    Timeout(Diagnostics),
+    /// A peer rank was declared dead while this rank was inside (or
+    /// entering) a collective.
+    PeerFailed {
+        /// The dead peer.
+        rank: usize,
+        /// Snapshot at detection time.
+        diag: Diagnostics,
+    },
+    /// The group is unusable (e.g. this rank itself was marked failed).
+    Disconnected(Diagnostics),
+}
+
+impl CommError {
+    /// The attached diagnostics snapshot.
+    pub fn diagnostics(&self) -> &Diagnostics {
+        match self {
+            CommError::Timeout(d) | CommError::Disconnected(d) => d,
+            CommError::PeerFailed { diag, .. } => diag,
+        }
+    }
+
+    /// Whether this is a deadline expiry.
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, CommError::Timeout(_))
+    }
+
+    /// Whether this is a dead-peer detection.
+    pub fn is_peer_failed(&self) -> bool {
+        matches!(self, CommError::PeerFailed { .. })
+    }
 }
 
 impl std::fmt::Display for CommError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CommError::Timeout => write!(f, "collective timed out (deadlock?)"),
+            CommError::Timeout(d) => {
+                write!(f, "collective timed out (deadlock?): {}", d.summary())
+            }
+            CommError::PeerFailed { rank, diag } => {
+                write!(f, "peer rank {rank} failed: {}", diag.summary())
+            }
+            CommError::Disconnected(d) => {
+                write!(f, "communicator disconnected: {}", d.summary())
+            }
         }
     }
 }
 
 impl std::error::Error for CommError {}
-
-/// Effectively-infinite timeout for the blocking entry points.
-const FOREVER: Duration = Duration::from_secs(3600);
 
 /// Communication library being modelled (§3.2's discussion): DSP uses
 /// NCCL because NVSHMEM "can only handle GPUs with direct NVLink
@@ -68,6 +189,8 @@ struct Round {
     departed: usize,
     generation: u64,
     sync_time: f64,
+    /// Ranks declared dead (persists across rounds).
+    failed: Vec<bool>,
 }
 
 impl Round {
@@ -80,7 +203,12 @@ impl Round {
             departed: 0,
             generation: 0,
             sync_time: 0.0,
+            failed: vec![false; n],
         }
+    }
+
+    fn first_failed(&self) -> Option<usize> {
+        self.failed.iter().position(|&f| f)
     }
 }
 
@@ -92,8 +220,12 @@ pub struct Communicator {
     slots: Option<Arc<DeviceSlots>>,
     ccc: Option<Arc<Coordinator>>,
     backend: Backend,
+    cfg: CommConfig,
     round: Mutex<Round>,
     cv: Condvar,
+    /// Lock-free mirror of "some rank is marked failed", readable from
+    /// inside the CCC wait loop (which must not touch `round`).
+    any_failed: AtomicBool,
 }
 
 impl Communicator {
@@ -109,8 +241,10 @@ impl Communicator {
             slots: None,
             ccc: None,
             backend: Backend::Nccl,
+            cfg: CommConfig::default(),
             round: Mutex::new(Round::new(n)),
             cv: Condvar::new(),
+            any_failed: AtomicBool::new(false),
         }
     }
 
@@ -131,9 +265,22 @@ impl Communicator {
             slots: Some(slots),
             ccc,
             backend: Backend::Nccl,
+            cfg: CommConfig::default(),
             round: Mutex::new(Round::new(n)),
             cv: Condvar::new(),
+            any_failed: AtomicBool::new(false),
         }
+    }
+
+    /// Overrides the communicator configuration (watchdog deadline).
+    pub fn with_config(mut self, cfg: CommConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CommConfig {
+        &self.cfg
     }
 
     /// Switches to the NVSHMEM backend. Legal only when every pair of
@@ -171,6 +318,77 @@ impl Communicator {
         self.n
     }
 
+    // --- failure handling ------------------------------------------------
+
+    /// Declares `rank` dead: every participant currently blocked in (or
+    /// later entering) a collective on this communicator returns
+    /// [`CommError::PeerFailed`] instead of waiting for the dead peer.
+    /// Idempotent. A deposit the dead rank left in an incomplete round
+    /// is withdrawn so the round state stays consistent.
+    pub fn mark_failed(&self, rank: usize) {
+        assert!(rank < self.n);
+        let mut st = lock_unpoisoned(&self.round);
+        if st.failed[rank] {
+            return;
+        }
+        st.failed[rank] = true;
+        if st.deposits[rank].is_some() && st.arrived < self.n {
+            st.deposits[rank] = None;
+            st.bytes_to[rank] = vec![0; self.n];
+            st.arrived -= 1;
+        }
+        drop(st);
+        self.any_failed.store(true, Ordering::Release);
+        self.cv.notify_all();
+        // Wake peers parked in the CCC launch queue too: the entry they
+        // are waiting for may belong to the dead rank and never come.
+        if let Some(ccc) = &self.ccc {
+            ccc.poke();
+        }
+    }
+
+    /// Ranks currently marked failed.
+    pub fn failed_ranks(&self) -> Vec<usize> {
+        let st = lock_unpoisoned(&self.round);
+        st.failed
+            .iter()
+            .enumerate()
+            .filter_map(|(r, &f)| f.then_some(r))
+            .collect()
+    }
+
+    /// Completed collective rounds so far.
+    pub fn last_completed(&self) -> u64 {
+        lock_unpoisoned(&self.round).generation
+    }
+
+    /// Diagnostics snapshot of the group's current state.
+    pub fn diagnostics(&self) -> Diagnostics {
+        let st = lock_unpoisoned(&self.round);
+        self.diag_locked(&st)
+    }
+
+    fn diag_locked(&self, st: &Round) -> Diagnostics {
+        Diagnostics {
+            group: self.id,
+            last_completed: st.generation,
+            arrived: st.arrived,
+            expected: self.n,
+            failed: st
+                .failed
+                .iter()
+                .enumerate()
+                .filter_map(|(r, &f)| f.then_some(r))
+                .collect(),
+            slot_free: self
+                .slots
+                .as_ref()
+                .map(|s| (0..s.num_devices()).map(|d| s.device(d).free()).collect())
+                .unwrap_or_default(),
+            ccc: self.ccc.as_ref().map(|c| c.head_snapshot()),
+        }
+    }
+
     // --- launch/landing discipline -------------------------------------
 
     /// Occupies a kernel slot on `rank` (via CCC if configured). Returns
@@ -184,15 +402,31 @@ impl Communicator {
             return Ok(false);
         };
         let acquired = match &self.ccc {
-            Some(ccc) => ccc
-                .launch_timeout(rank, self.id, timeout, || {
+            Some(ccc) => {
+                let abort = || self.any_failed.load(Ordering::Acquire);
+                match ccc.launch_abortable(rank, self.id, timeout, abort, || {
                     slots.device(rank).acquire_timeout(timeout)
-                })
-                .ok_or(CommError::Timeout)?,
+                }) {
+                    LaunchOutcome::Launched(a) => a,
+                    LaunchOutcome::TimedOut => return Err(CommError::Timeout(self.diagnostics())),
+                    LaunchOutcome::Aborted => {
+                        // A peer died while we queued for our launch
+                        // turn; report it like any other dead-peer
+                        // detection.
+                        let diag = self.diagnostics();
+                        return Err(match diag.failed.first() {
+                            Some(&dead) if dead != rank => {
+                                CommError::PeerFailed { rank: dead, diag }
+                            }
+                            _ => CommError::Disconnected(diag),
+                        });
+                    }
+                }
+            }
             None => slots.device(rank).acquire_timeout(timeout),
         };
         if !acquired {
-            return Err(CommError::Timeout);
+            return Err(CommError::Timeout(self.diagnostics()));
         }
         Ok(true)
     }
@@ -219,23 +453,60 @@ impl Communicator {
         pickup: impl FnOnce(&Round) -> R,
     ) -> Result<R, CommError> {
         debug_assert_eq!(bytes_row.len(), self.n);
+        // Fail fast before queueing for a launch turn: a collective on a
+        // group with a known-dead member can never complete.
+        {
+            let st = lock_unpoisoned(&self.round);
+            if st.failed[rank] {
+                return Err(CommError::Disconnected(self.diag_locked(&st)));
+            }
+            if let Some(dead) = st.first_failed() {
+                return Err(CommError::PeerFailed {
+                    rank: dead,
+                    diag: self.diag_locked(&st),
+                });
+            }
+        }
         let launched = self.launch(rank, timeout)?;
         let deadline = std::time::Instant::now() + timeout;
-        let mut st = self.round.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.round);
+        if st.failed[rank] {
+            let diag = self.diag_locked(&st);
+            drop(st);
+            self.land(rank, launched);
+            return Err(CommError::Disconnected(diag));
+        }
+        if let Some(dead) = st.first_failed() {
+            let diag = self.diag_locked(&st);
+            drop(st);
+            self.land(rank, launched);
+            return Err(CommError::PeerFailed { rank: dead, diag });
+        }
         // Wait out the drain phase of the previous round.
         while st.departed > 0 {
             let now = std::time::Instant::now();
             if now >= deadline {
+                let diag = self.diag_locked(&st);
                 drop(st);
                 self.land(rank, launched);
-                return Err(CommError::Timeout);
+                return Err(CommError::Timeout(diag));
             }
-            let (g, res) = self.cv.wait_timeout(st, deadline - now).unwrap();
+            let (g, res) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             st = g;
-            if res.timed_out() && st.departed > 0 {
+            if let Some(dead) = st.first_failed() {
+                let diag = self.diag_locked(&st);
                 drop(st);
                 self.land(rank, launched);
-                return Err(CommError::Timeout);
+                return Err(CommError::PeerFailed { rank: dead, diag });
+            }
+            if res.timed_out() && st.departed > 0 {
+                let diag = self.diag_locked(&st);
+                drop(st);
+                self.land(rank, launched);
+                return Err(CommError::Timeout(diag));
             }
         }
         let gen = st.generation;
@@ -254,20 +525,40 @@ impl Communicator {
         }
         while st.generation == gen && st.arrived < self.n {
             let now = std::time::Instant::now();
-            let timed_out = if now >= deadline {
-                true
+            let mut failure = None;
+            if let Some(dead) = st.first_failed() {
+                failure = Some(CommError::PeerFailed {
+                    rank: dead,
+                    diag: self.diag_locked(&st),
+                });
+            } else if now >= deadline {
+                failure = Some(CommError::Timeout(self.diag_locked(&st)));
             } else {
-                let (g, res) = self.cv.wait_timeout(st, deadline - now).unwrap();
+                let (g, res) = self
+                    .cv
+                    .wait_timeout(st, deadline - now)
+                    .unwrap_or_else(PoisonError::into_inner);
                 st = g;
-                res.timed_out() && st.generation == gen && st.arrived < self.n
-            };
-            if timed_out {
+                if let Some(dead) = st.first_failed() {
+                    failure = Some(CommError::PeerFailed {
+                        rank: dead,
+                        diag: self.diag_locked(&st),
+                    });
+                } else if res.timed_out() && st.generation == gen && st.arrived < self.n {
+                    failure = Some(CommError::Timeout(self.diag_locked(&st)));
+                }
+            }
+            if let Some(err) = failure {
                 // Withdraw our deposit so the round isn't corrupted.
-                st.deposits[rank] = None;
-                st.arrived -= 1;
+                if st.generation == gen && st.deposits[rank].is_some() {
+                    st.deposits[rank] = None;
+                    st.bytes_to[rank] = vec![0; self.n];
+                    st.arrived -= 1;
+                }
                 drop(st);
+                self.cv.notify_all();
                 self.land(rank, launched);
-                return Err(CommError::Timeout);
+                return Err(err);
             }
         }
         // All peers arrived: synchronize clock and charge cost.
@@ -312,19 +603,23 @@ impl Communicator {
     /// (hop-weighted) send and receive loads over its NVLink egress
     /// bandwidth, plus the handshake latency. Single-rank groups pay a
     /// local-copy cost through HBM instead (§3.2: "cross-GPU
-    /// communications become local memory access").
+    /// communications become local memory access"). An installed fault
+    /// hook perturbs the caller's share (slow device, flapping link).
     fn cost_for(&self, rank: usize, bytes_to: &[Vec<u64>]) -> f64 {
         let topo = self.cluster.topology();
+        let (slow, delay) = self.cluster.fault_transfer(rank);
         if self.n == 1 {
             let local = bytes_to[0][0];
             if local == 0 {
                 return 0.0;
             }
-            return self
-                .cluster
-                .model()
-                .gpu
-                .bandwidth_time(local, self.cluster.model().hbm_bw);
+            return slow
+                * self
+                    .cluster
+                    .model()
+                    .gpu
+                    .bandwidth_time(local, self.cluster.model().hbm_bw)
+                + delay;
         }
         let mut send = 0.0;
         let mut recv = 0.0;
@@ -341,7 +636,7 @@ impl Communicator {
             // No kernel handshake: a put's latency is link-level only.
             Backend::Nvshmem => TRANSFER_LATENCY / 5.0,
         };
-        latency + send.max(recv) / bw
+        slow * (latency + send.max(recv) / bw) + delay
     }
 
     // --- collectives ------------------------------------------------------
@@ -349,7 +644,8 @@ impl Communicator {
     /// All-to-all with per-destination payload vectors: `sends[d]` goes
     /// to rank `d`. Returns what every source sent to this rank
     /// (`result[s]` came from rank `s`; `result[rank]` is the local
-    /// column, moved not copied in spirit).
+    /// column, moved not copied in spirit). Panics on failure — use
+    /// [`Self::try_all_to_all_v`] on supervised paths.
     pub fn all_to_all_v<T: Clone + Send + 'static>(
         &self,
         rank: usize,
@@ -357,8 +653,20 @@ impl Communicator {
         sends: Vec<Vec<T>>,
         item_bytes: u64,
     ) -> Vec<Vec<T>> {
-        self.all_to_all_v_timeout(rank, clock, sends, item_bytes, FOREVER)
-            .expect("collective timeout")
+        self.try_all_to_all_v(rank, clock, sends, item_bytes)
+            .unwrap_or_else(|e| panic!("collective failed: {e}"))
+    }
+
+    /// Fallible [`Self::all_to_all_v`] bounded by the configured
+    /// deadline.
+    pub fn try_all_to_all_v<T: Clone + Send + 'static>(
+        &self,
+        rank: usize,
+        clock: &mut Clock,
+        sends: Vec<Vec<T>>,
+        item_bytes: u64,
+    ) -> Result<Vec<Vec<T>>, CommError> {
+        self.all_to_all_v_timeout(rank, clock, sends, item_bytes, self.cfg.deadline)
     }
 
     /// Timeout variant of [`Self::all_to_all_v`].
@@ -399,11 +707,24 @@ impl Communicator {
 
     /// Allreduce (sum) over equal-length f32 buffers — the gradient
     /// synchronization of BSP data-parallel training. Cost follows the
-    /// ring-allreduce law: each rank moves `2(n-1)/n · B` bytes.
-    pub fn all_reduce_sum(&self, rank: usize, clock: &mut Clock, mut data: Vec<f32>) -> Vec<f32> {
+    /// ring-allreduce law: each rank moves `2(n-1)/n · B` bytes. Panics
+    /// on failure — use [`Self::try_all_reduce_sum`] on supervised paths.
+    pub fn all_reduce_sum(&self, rank: usize, clock: &mut Clock, data: Vec<f32>) -> Vec<f32> {
+        self.try_all_reduce_sum(rank, clock, data)
+            .unwrap_or_else(|e| panic!("collective failed: {e}"))
+    }
+
+    /// Fallible [`Self::all_reduce_sum`] bounded by the configured
+    /// deadline.
+    pub fn try_all_reduce_sum(
+        &self,
+        rank: usize,
+        clock: &mut Clock,
+        data: Vec<f32>,
+    ) -> Result<Vec<f32>, CommError> {
         let n = self.n;
         if n == 1 {
-            return data;
+            return Ok(data);
         }
         let bytes = (data.len() * std::mem::size_of::<f32>()) as u64;
         // Express the ring volume through the byte matrix: each rank
@@ -411,35 +732,31 @@ impl Communicator {
         let ring_bytes = (2 * bytes * (n as u64 - 1)) / n as u64;
         let mut bytes_row = vec![0u64; n];
         bytes_row[(rank + 1) % n] = ring_bytes;
-        let out = self
-            .exchange(
-                rank,
-                clock,
-                Box::new(data.clone()),
-                bytes_row,
-                FOREVER,
-                move |st| {
-                    let mut acc = vec![0.0f32; 0];
-                    for src in 0..n {
-                        let dep = st.deposits[src].as_ref().expect("peer deposit missing");
-                        let buf = dep
-                            .downcast_ref::<Vec<f32>>()
-                            .expect("payload type mismatch");
-                        if acc.is_empty() {
-                            acc = buf.clone();
-                        } else {
-                            assert_eq!(acc.len(), buf.len(), "allreduce length mismatch");
-                            for (a, b) in acc.iter_mut().zip(buf) {
-                                *a += *b;
-                            }
+        self.exchange(
+            rank,
+            clock,
+            Box::new(data),
+            bytes_row,
+            self.cfg.deadline,
+            move |st| {
+                let mut acc = vec![0.0f32; 0];
+                for src in 0..n {
+                    let dep = st.deposits[src].as_ref().expect("peer deposit missing");
+                    let buf = dep
+                        .downcast_ref::<Vec<f32>>()
+                        .expect("payload type mismatch");
+                    if acc.is_empty() {
+                        acc = buf.clone();
+                    } else {
+                        assert_eq!(acc.len(), buf.len(), "allreduce length mismatch");
+                        for (a, b) in acc.iter_mut().zip(buf) {
+                            *a += *b;
                         }
                     }
-                    acc
-                },
-            )
-            .expect("collective timeout");
-        data = out;
-        data
+                }
+                acc
+            },
+        )
     }
 
     /// Allgather: every rank contributes a vector; all ranks receive all
@@ -454,17 +771,24 @@ impl Communicator {
         let n = self.n;
         let mut bytes_row = vec![data.len() as u64 * item_bytes; n];
         bytes_row[rank] = 0;
-        self.exchange(rank, clock, Box::new(data), bytes_row, FOREVER, move |st| {
-            (0..n)
-                .map(|src| {
-                    let dep = st.deposits[src].as_ref().expect("peer deposit missing");
-                    dep.downcast_ref::<Vec<T>>()
-                        .expect("payload type mismatch")
-                        .clone()
-                })
-                .collect()
-        })
-        .expect("collective timeout")
+        self.exchange(
+            rank,
+            clock,
+            Box::new(data),
+            bytes_row,
+            self.cfg.deadline,
+            move |st| {
+                (0..n)
+                    .map(|src| {
+                        let dep = st.deposits[src].as_ref().expect("peer deposit missing");
+                        dep.downcast_ref::<Vec<T>>()
+                            .expect("payload type mismatch")
+                            .clone()
+                    })
+                    .collect()
+            },
+        )
+        .unwrap_or_else(|e| panic!("collective failed: {e}"))
     }
 
     /// Broadcast from `root`: non-root ranks pass `None` and receive the
@@ -493,20 +817,27 @@ impl Communicator {
                 }
             }
         }
-        self.exchange(rank, clock, Box::new(data), bytes_row, FOREVER, move |st| {
-            let dep = st.deposits[root].as_ref().expect("root deposit missing");
-            dep.downcast_ref::<Option<Vec<T>>>()
-                .expect("payload type mismatch")
-                .clone()
-                .expect("root sent no data")
-        })
-        .expect("collective timeout")
+        self.exchange(
+            rank,
+            clock,
+            Box::new(data),
+            bytes_row,
+            self.cfg.deadline,
+            move |st| {
+                let dep = st.deposits[root].as_ref().expect("root deposit missing");
+                dep.downcast_ref::<Option<Vec<T>>>()
+                    .expect("payload type mismatch")
+                    .clone()
+                    .expect("root sent no data")
+            },
+        )
+        .unwrap_or_else(|e| panic!("collective failed: {e}"))
     }
 
     /// Barrier: synchronizes clocks, charges latency only.
     pub fn barrier(&self, rank: usize, clock: &mut Clock) {
-        self.barrier_timeout(rank, clock, FOREVER)
-            .expect("collective timeout")
+        self.barrier_timeout(rank, clock, self.cfg.deadline)
+            .unwrap_or_else(|e| panic!("collective failed: {e}"))
     }
 
     /// Timeout variant of [`Self::barrier`] (used by the deadlock tests).
@@ -734,5 +1065,112 @@ mod tests {
         // All slots released afterwards.
         assert_eq!(slots.device(0).free(), 1);
         assert_eq!(slots.device(1).free(), 1);
+    }
+
+    #[test]
+    fn timeout_carries_a_nonempty_diagnostics_snapshot() {
+        let cluster = Arc::new(ClusterSpec::v100(2).build());
+        let slots = Arc::new(DeviceSlots::new(2, 1));
+        let comm =
+            Communicator::with_slots(11, cluster, slots, Some(Arc::new(Coordinator::new(2))));
+        let mut clock = Clock::new();
+        // Rank 1 waits for a peer that never comes (and is never
+        // scheduled by the leader): the deadline must fire with a
+        // populated snapshot, not hang.
+        let t0 = std::time::Instant::now();
+        let err = comm
+            .barrier_timeout(1, &mut clock, Duration::from_millis(80))
+            .unwrap_err();
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert!(err.is_timeout(), "expected timeout, got {err}");
+        let d = err.diagnostics();
+        assert_eq!(d.group, 11);
+        assert_eq!(d.expected, 2);
+        assert_eq!(d.slot_free, vec![1, 1]);
+        let ccc = d.ccc.as_ref().expect("ccc head missing");
+        assert_eq!(ccc.cursors, vec![0, 0]);
+        assert!(!d.summary().is_empty());
+    }
+
+    #[test]
+    fn mark_failed_wakes_blocked_peers_with_peer_failed() {
+        let cluster = Arc::new(ClusterSpec::v100(3).build());
+        let comm = Arc::new(Communicator::new(12, cluster).with_config(CommConfig {
+            deadline: Duration::from_secs(20),
+        }));
+        let c2 = Arc::clone(&comm);
+        // Ranks 0 and 1 enter a barrier; rank 2 never arrives and is
+        // then declared dead. Both blocked ranks must return PeerFailed
+        // quickly (well before the 20 s deadline).
+        let waiters: Vec<_> = (0..2)
+            .map(|rank| {
+                let comm = Arc::clone(&comm);
+                std::thread::spawn(move || {
+                    let mut clock = Clock::new();
+                    comm.barrier_timeout(rank, &mut clock, Duration::from_secs(20))
+                })
+            })
+            .collect();
+        std::thread::sleep(Duration::from_millis(50));
+        let t0 = std::time::Instant::now();
+        c2.mark_failed(2);
+        for h in waiters {
+            let err = h.join().unwrap().unwrap_err();
+            match &err {
+                CommError::PeerFailed { rank, diag } => {
+                    assert_eq!(*rank, 2);
+                    assert_eq!(diag.failed, vec![2]);
+                }
+                other => panic!("expected PeerFailed, got {other}"),
+            }
+        }
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        // Later entries fail fast too.
+        let mut clock = Clock::new();
+        let err = c2
+            .barrier_timeout(0, &mut clock, Duration::from_secs(20))
+            .unwrap_err();
+        assert!(err.is_peer_failed());
+        assert_eq!(c2.failed_ranks(), vec![2]);
+    }
+
+    #[test]
+    fn failed_rank_itself_gets_disconnected() {
+        let cluster = Arc::new(ClusterSpec::v100(2).build());
+        let comm = Communicator::new(13, cluster);
+        comm.mark_failed(0);
+        let mut clock = Clock::new();
+        let err = comm
+            .barrier_timeout(0, &mut clock, Duration::from_millis(100))
+            .unwrap_err();
+        assert!(matches!(err, CommError::Disconnected(_)), "got {err}");
+    }
+
+    #[test]
+    fn mark_failed_withdraws_a_pending_deposit() {
+        let cluster = Arc::new(ClusterSpec::v100(2).build());
+        let comm = Arc::new(Communicator::new(14, cluster));
+        // Rank 0 deposits and blocks; declaring rank 0 dead must
+        // withdraw its deposit so the round state stays clean.
+        let c2 = Arc::clone(&comm);
+        let h = std::thread::spawn(move || {
+            let mut clock = Clock::new();
+            c2.barrier_timeout(0, &mut clock, Duration::from_secs(10))
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        comm.mark_failed(0);
+        assert!(h.join().unwrap().is_err());
+        assert_eq!(comm.diagnostics().arrived, 0);
+    }
+
+    #[test]
+    fn default_deadline_is_configurable_and_not_an_hour() {
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let comm = Communicator::new(15, Arc::clone(&cluster)).with_config(CommConfig {
+            deadline: Duration::from_millis(123),
+        });
+        assert_eq!(comm.config().deadline, Duration::from_millis(123));
+        let default = Communicator::new(16, cluster);
+        assert!(default.config().deadline < Duration::from_secs(3600));
     }
 }

@@ -22,9 +22,18 @@ pub mod ccc;
 pub mod collective;
 pub mod slots;
 
-pub use ccc::Coordinator;
-pub use collective::{CommError, Communicator};
+pub use ccc::{Coordinator, LaunchOutcome};
+pub use collective::{Backend, CccHead, CommConfig, CommError, Communicator, Diagnostics};
 pub use slots::DeviceSlots;
 
 /// Identifies a worker group (peer workers across ranks share the id).
 pub type WorkerId = u32;
+
+/// Locks a mutex, recovering the guard if a holder panicked. Poisoning
+/// only records that a panic happened while the lock was held; all comm
+/// state transitions here are atomic under the lock, so the data is
+/// consistent and the right response to a crashed peer is a typed
+/// `CommError`, not a cascading `PoisonError` panic.
+pub(crate) fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}

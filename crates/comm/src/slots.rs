@@ -6,7 +6,8 @@
 //! §5). Acquisition blocks; an optional timeout lets tests *observe* a
 //! deadlock instead of hanging.
 
-use std::sync::{Condvar, Mutex};
+use crate::lock_unpoisoned;
+use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Counting semaphore for one device's kernel slots.
@@ -27,9 +28,9 @@ impl Slots {
 
     /// Acquires one slot, blocking until available.
     pub fn acquire(&self) {
-        let mut a = self.available.lock().unwrap();
+        let mut a = lock_unpoisoned(&self.available);
         while *a == 0 {
-            a = self.cv.wait(a).unwrap();
+            a = self.cv.wait(a).unwrap_or_else(PoisonError::into_inner);
         }
         *a -= 1;
     }
@@ -37,13 +38,16 @@ impl Slots {
     /// Acquires one slot with a timeout; `false` on timeout.
     pub fn acquire_timeout(&self, timeout: Duration) -> bool {
         let deadline = std::time::Instant::now() + timeout;
-        let mut a = self.available.lock().unwrap();
+        let mut a = lock_unpoisoned(&self.available);
         while *a == 0 {
             let now = std::time::Instant::now();
             if now >= deadline {
                 return false;
             }
-            let (g, res) = self.cv.wait_timeout(a, deadline - now).unwrap();
+            let (g, res) = self
+                .cv
+                .wait_timeout(a, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
             a = g;
             if res.timed_out() && *a == 0 {
                 return false;
@@ -55,14 +59,14 @@ impl Slots {
 
     /// Releases one slot.
     pub fn release(&self) {
-        let mut a = self.available.lock().unwrap();
+        let mut a = lock_unpoisoned(&self.available);
         *a += 1;
         self.cv.notify_one();
     }
 
     /// Currently free slots (racy; for tests/inspection).
     pub fn free(&self) -> u32 {
-        *self.available.lock().unwrap()
+        *lock_unpoisoned(&self.available)
     }
 }
 

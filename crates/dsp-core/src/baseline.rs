@@ -240,6 +240,10 @@ impl System for BaselineSystem {
             pcie_bytes: pcie,
             num_batches,
             seeds,
+            // Baselines run unsupervised: no retry or degradation
+            // machinery (faults still perturb their transfer timings).
+            retried_batches: 0,
+            degraded_ranks: 0,
         }
     }
 

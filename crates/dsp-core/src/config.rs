@@ -94,6 +94,16 @@ pub struct TrainConfig {
     /// modelled time is still charged. Convergence experiments (Fig. 9)
     /// keep it on.
     pub exec_compute: bool,
+    /// Watchdog deadline (real seconds) for every blocking collective —
+    /// the bound after which a wedged round returns a typed timeout with
+    /// diagnostics instead of hanging (replaces the old hard-coded
+    /// one-hour wait).
+    pub comm_deadline_secs: f64,
+    /// Retries per batch before a supervised worker gives up.
+    pub max_retries: u32,
+    /// Base virtual-seconds backoff before a retry (doubles per
+    /// attempt).
+    pub retry_backoff_secs: f64,
 }
 
 impl TrainConfig {
@@ -117,15 +127,20 @@ impl TrainConfig {
             slots_per_device: 2,
             use_ccc: true,
             exec_compute: false,
+            comm_deadline_secs: 30.0,
+            max_retries: 3,
+            retry_backoff_secs: 1e-3,
         }
     }
 
-    /// A light configuration for tests: tiny model, real compute.
+    /// A light configuration for tests: tiny model, real compute, and a
+    /// short watchdog so induced failures surface quickly.
     pub fn test_default() -> Self {
         TrainConfig {
             hidden: 16,
             batch_size: 32,
             exec_compute: true,
+            comm_deadline_secs: 10.0,
             ..Self::paper_default()
         }
     }
@@ -140,6 +155,11 @@ impl TrainConfig {
         assert!(self.batch_size > 0);
         assert!(self.queue_capacity >= 1);
         assert!((0.0..1.0).contains(&self.mem_reserve_frac));
+        assert!(
+            self.comm_deadline_secs > 0.0,
+            "comm deadline must be positive"
+        );
+        assert!(self.retry_backoff_secs >= 0.0);
     }
 }
 

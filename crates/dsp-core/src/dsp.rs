@@ -5,21 +5,35 @@
 //! `DspSystem` also implements **DSP-Seq** (pipeline disabled): the same
 //! workers run back-to-back inside one thread per GPU — the Fig. 6 /
 //! Fig. 12 ablation.
+//!
+//! Every worker loop is *supervised*: it heartbeats at batch
+//! boundaries, consults the cluster's fault hook for injected stalls
+//! and crashes, and routes failures through the [`Supervisor`]'s
+//! bounded-retry policy. Two failures degrade instead of failing the
+//! epoch: a dead sampler peer (survivors and the crashed rank's
+//! replacement fall back to degraded local pull-path sampling, which
+//! reproduces the exact same samples because the sampling RNG is keyed
+//! on `(seed, batch, layer, node)`) and a lost cache shard (requests
+//! against it miss and fall back to UVA cold fetches inside the
+//! loader). Everything else terminates with a typed [`DspError`].
 
 use crate::config::TrainConfig;
+use crate::error::DspError;
 use crate::layout::{build_dsp_layout, DspLayout};
 use crate::stats::{EpochStats, MetricAccumulator};
+use crate::supervisor::{FaultReport, RetryPolicy, Supervisor};
 use crate::system::{evaluate_model, System};
 use ds_cache::{DspLoader, FeatureLoader};
-use ds_comm::{Communicator, Coordinator, DeviceSlots};
+use ds_comm::{CommConfig, CommError, Communicator, Coordinator, DeviceSlots};
 use ds_gnn::Trainer;
 use ds_graph::{Dataset, Labels, NodeId};
 use ds_pipeline::queue::virtual_queue;
 use ds_sampling::csp::{CspConfig, CspSampler};
 use ds_sampling::{BatchSampler, GraphSample};
-use ds_simgpu::{Clock, Cluster};
+use ds_simgpu::{Clock, Cluster, WorkerKind};
 use ds_tensor::matrix::Matrix;
 use std::sync::Arc;
+use std::time::Duration;
 
 /// Worker-group ids (peer workers share these across ranks).
 const SAMPLER_WORKER: u32 = 1;
@@ -43,12 +57,399 @@ struct RankEpoch {
     metrics: MetricAccumulator,
 }
 
+/// Everything a supervised worker loop needs besides its own pipeline
+/// stage: fault hooks, the communicators (for declaring deaths), the
+/// CCC coordinator (for unwedging launch queues) and the supervisor.
+struct RankCtx {
+    rank: usize,
+    exec: bool,
+    labels: Arc<Labels>,
+    cluster: Arc<Cluster>,
+    sampler_comm: Arc<Communicator>,
+    loader_comm: Arc<Communicator>,
+    trainer_comm: Arc<Communicator>,
+    ccc: Option<Arc<Coordinator>>,
+    sup: Arc<Supervisor>,
+}
+
+impl RankCtx {
+    fn comm_for(&self, worker: WorkerKind) -> &Communicator {
+        match worker {
+            WorkerKind::Sampler => &self.sampler_comm,
+            WorkerKind::Loader => &self.loader_comm,
+            WorkerKind::Trainer => &self.trainer_comm,
+        }
+    }
+
+    /// Injected stall: the worker is alive but wedged for a while.
+    fn stall(&self, clock: &mut Clock, worker: WorkerKind, batch: u64) {
+        if let Some(h) = self.cluster.fault_hook() {
+            let s = h.worker_stall(self.rank, worker, batch);
+            if s > 0.0 {
+                let t = clock.now() + s;
+                clock.wait_until(t);
+            }
+        }
+    }
+
+    /// Whether the fault plan crashes `worker` at the start of `batch`.
+    fn crashes(&self, worker: WorkerKind, batch: u64) -> bool {
+        self.cluster
+            .fault_hook()
+            .is_some_and(|h| h.worker_crashes(self.rank, worker, batch))
+    }
+
+    /// Declares `worker` on this rank dead: peers blocked on it wake
+    /// with `PeerFailed`, and its queued CCC launch entries are skipped
+    /// so the rest of this rank's pipeline is not wedged behind the
+    /// corpse.
+    fn declare_dead(&self, worker: WorkerKind, batch: u64) {
+        self.sup.record_crash(self.rank, worker, batch);
+        let comm = self.comm_for(worker);
+        comm.mark_failed(self.rank);
+        if let Some(ccc) = &self.ccc {
+            ccc.skip_worker(self.rank, comm.id());
+        }
+    }
+
+    /// Switches this rank's sampler to degraded local (pull-path)
+    /// sampling. Its collective launches stop, so pending CCC entries
+    /// for the sampler group are skipped on this rank.
+    fn degrade_sampler(&self, sampler: &mut CspSampler) {
+        if !sampler.is_degraded() {
+            sampler.set_degraded(true);
+            self.sup.mark_degraded(self.rank);
+            if let Some(ccc) = &self.ccc {
+                ccc.skip_worker(self.rank, self.sampler_comm.id());
+            }
+        }
+    }
+
+    /// Charges the policy's exponential backoff before retry `attempt`.
+    fn backoff(&self, clock: &mut Clock, attempt: u32) {
+        let t = clock.now() + self.sup.policy.backoff(attempt);
+        clock.wait_until(t);
+    }
+}
+
+/// One supervised sampling attempt cycle: degrade on dead peers, retry
+/// with backoff on transient failures, give up after the policy budget.
+fn supervised_sample(
+    sampler: &mut CspSampler,
+    clock: &mut Clock,
+    seeds: &[NodeId],
+    batch: u64,
+    ctx: &RankCtx,
+) -> Result<GraphSample, DspError> {
+    let mut attempts = 0u32;
+    loop {
+        match sampler.try_sample_batch(clock, seeds) {
+            Ok(sample) => return Ok(sample),
+            Err(e) => {
+                // A dead peer never comes back: fall back to degraded
+                // local sampling, which needs no collectives and — by
+                // placement-independent RNG — reproduces the identical
+                // samples. Timeouts may be transient; retry as-is.
+                if !e.is_timeout() {
+                    ctx.degrade_sampler(sampler);
+                }
+                attempts += 1;
+                if attempts > ctx.sup.policy.max_retries {
+                    return Err(DspError::RetriesExhausted {
+                        rank: ctx.rank,
+                        worker: WorkerKind::Sampler,
+                        batch,
+                        attempts,
+                        last: e,
+                    });
+                }
+                ctx.sup.record_retry(ctx.rank, batch);
+                ctx.backoff(clock, attempts);
+            }
+        }
+    }
+}
+
+/// Supervised feature load. Features live on the peers, so a dead
+/// loader peer has no degradation path — only timeouts are retried.
+/// (A *lost cache shard* is handled below this level: the loader's
+/// lookups miss and fall back to UVA cold fetches.)
+fn supervised_load(
+    loader: &mut DspLoader,
+    clock: &mut Clock,
+    nodes: &[NodeId],
+    batch: u64,
+    ctx: &RankCtx,
+) -> Result<Matrix, DspError> {
+    let mut attempts = 0u32;
+    loop {
+        match loader.try_load(clock, nodes) {
+            Ok(feats) => return Ok(feats),
+            Err(e @ CommError::Timeout(_)) => {
+                attempts += 1;
+                if attempts > ctx.sup.policy.max_retries {
+                    return Err(DspError::RetriesExhausted {
+                        rank: ctx.rank,
+                        worker: WorkerKind::Loader,
+                        batch,
+                        attempts,
+                        last: e,
+                    });
+                }
+                ctx.sup.record_retry(ctx.rank, batch);
+                ctx.backoff(clock, attempts);
+            }
+            Err(e) => return Err(DspError::Comm(e)),
+        }
+    }
+}
+
+/// Supervised training step. The gradient allreduce fails *before* the
+/// optimizer step, so a retried batch never double-applies gradients.
+/// BSP lockstep cannot survive a dead trainer peer, so only timeouts
+/// are retried.
+fn supervised_train(
+    trainer: &mut Trainer,
+    clock: &mut Clock,
+    sample: &GraphSample,
+    feats: &Matrix,
+    batch: u64,
+    ctx: &RankCtx,
+) -> Result<ds_gnn::BatchResult, DspError> {
+    let mut attempts = 0u32;
+    loop {
+        let r = if ctx.exec {
+            let lab: Vec<u32> = sample.seeds.iter().map(|&v| ctx.labels.get(v)).collect();
+            trainer.try_train_batch(clock, sample, feats, &lab)
+        } else {
+            trainer.try_train_batch_timing_only(clock, sample)
+        };
+        match r {
+            Ok(result) => return Ok(result),
+            Err(e @ CommError::Timeout(_)) => {
+                attempts += 1;
+                if attempts > ctx.sup.policy.max_retries {
+                    return Err(DspError::RetriesExhausted {
+                        rank: ctx.rank,
+                        worker: WorkerKind::Trainer,
+                        batch,
+                        attempts,
+                        last: e,
+                    });
+                }
+                ctx.sup.record_retry(ctx.rank, batch);
+                ctx.backoff(clock, attempts);
+            }
+            Err(e) => return Err(DspError::Comm(e)),
+        }
+    }
+}
+
+/// Ranks errors by how much they explain: a crash is the root cause, an
+/// exhausted retry budget is a consequence, a bare comm error is
+/// usually collateral from a peer's failure.
+fn pick_error(errs: Vec<DspError>) -> Option<DspError> {
+    errs.into_iter().min_by_key(|e| match e {
+        DspError::WorkerCrashed { .. } => 0u8,
+        DspError::RetriesExhausted { .. } => 1,
+        DspError::Comm(_) => 2,
+    })
+}
+
+fn run_rank_pipelined(
+    state: &mut RankState,
+    batches: Vec<Vec<NodeId>>,
+    cap: usize,
+    ctx: &RankCtx,
+) -> Result<RankEpoch, DspError> {
+    let RankState {
+        sampler,
+        loader,
+        trainer,
+    } = state;
+    let (mut sample_tx, mut sample_rx) = virtual_queue::<GraphSample>(cap);
+    let (mut feat_tx, mut feat_rx) = virtual_queue::<(GraphSample, Matrix)>(cap);
+    std::thread::scope(|s| {
+        let sampler_thread = s.spawn(move || -> Result<Clock, DspError> {
+            let mut clock = Clock::new();
+            let mut crashed = false;
+            let mut batch = 0usize;
+            while batch < batches.len() {
+                let b = batch as u64;
+                ctx.stall(&mut clock, WorkerKind::Sampler, b);
+                if !crashed && ctx.crashes(WorkerKind::Sampler, b) {
+                    // The sampler dies; the supervisor stands up a
+                    // degraded replacement on this rank and tells the
+                    // peers, who degrade too and retry their in-flight
+                    // batch (bit-identical by RNG keying).
+                    crashed = true;
+                    ctx.declare_dead(WorkerKind::Sampler, b);
+                    ctx.degrade_sampler(sampler);
+                }
+                ctx.sup
+                    .heartbeat(ctx.rank, WorkerKind::Sampler, b, clock.now());
+                let sample = supervised_sample(sampler, &mut clock, &batches[batch], b, ctx)?;
+                if sample_tx.push(&mut clock, sample).is_err() {
+                    // Downstream died; its own error is the story.
+                    break;
+                }
+                batch += 1;
+            }
+            Ok(clock)
+        });
+        let loader_thread = s.spawn(move || -> Result<Clock, DspError> {
+            let mut clock = Clock::new();
+            let mut b = 0u64;
+            while let Some(sample) = sample_rx.pop(&mut clock) {
+                ctx.stall(&mut clock, WorkerKind::Loader, b);
+                if ctx.crashes(WorkerKind::Loader, b) {
+                    ctx.declare_dead(WorkerKind::Loader, b);
+                    return Err(DspError::WorkerCrashed {
+                        rank: ctx.rank,
+                        worker: WorkerKind::Loader,
+                        batch: b,
+                    });
+                }
+                ctx.sup
+                    .heartbeat(ctx.rank, WorkerKind::Loader, b, clock.now());
+                let feats = supervised_load(loader, &mut clock, sample.input_nodes(), b, ctx)?;
+                if feat_tx.push(&mut clock, (sample, feats)).is_err() {
+                    break;
+                }
+                b += 1;
+            }
+            Ok(clock)
+        });
+        let trainer_thread = s.spawn(move || -> Result<(Clock, MetricAccumulator), DspError> {
+            let mut clock = Clock::new();
+            let mut metrics = MetricAccumulator::default();
+            let mut b = 0u64;
+            while let Some((sample, feats)) = feat_rx.pop(&mut clock) {
+                ctx.stall(&mut clock, WorkerKind::Trainer, b);
+                if ctx.crashes(WorkerKind::Trainer, b) {
+                    ctx.declare_dead(WorkerKind::Trainer, b);
+                    return Err(DspError::WorkerCrashed {
+                        rank: ctx.rank,
+                        worker: WorkerKind::Trainer,
+                        batch: b,
+                    });
+                }
+                ctx.sup
+                    .heartbeat(ctx.rank, WorkerKind::Trainer, b, clock.now());
+                let r = supervised_train(trainer, &mut clock, &sample, &feats, b, ctx)?;
+                metrics.add(r.loss, r.accuracy, r.seeds);
+                b += 1;
+            }
+            Ok((clock, metrics))
+        });
+        let r1 = sampler_thread.join().expect("sampler worker panicked");
+        let r2 = loader_thread.join().expect("loader worker panicked");
+        let r3 = trainer_thread.join().expect("trainer worker panicked");
+        let mut errs = Vec::new();
+        let mut keep = |e: DspError| errs.push(e);
+        let c1 = r1.map_err(&mut keep).ok();
+        let c2 = r2.map_err(&mut keep).ok();
+        let c3m = r3.map_err(&mut keep).ok();
+        if let Some(e) = pick_error(errs) {
+            return Err(e);
+        }
+        let (c1, c2, (c3, metrics)) = (c1.unwrap(), c2.unwrap(), c3m.unwrap());
+        // Overlapped workers still share the device's serial resources
+        // (SMs for GEMM, HBM, the PCIe and NVLink links): the pipeline
+        // cannot compress below the busiest single resource. Only the
+        // overhead-bound "light" kernels overlap freely (Fig. 2's
+        // observation is exactly that those can't fill the device).
+        let floor = Clock::resource_floor(&[&c1, &c2, &c3]);
+        Ok(RankEpoch {
+            sample_busy: c1.busy(),
+            load_busy: c2.busy(),
+            train_busy: c3.busy(),
+            useful: c1.device_useful() + c2.device_useful() + c3.device_useful(),
+            makespan: c1.now().max(c2.now()).max(c3.now()).max(floor),
+            metrics,
+        })
+    })
+}
+
+fn run_rank_seq(
+    state: &mut RankState,
+    batches: Vec<Vec<NodeId>>,
+    ctx: &RankCtx,
+) -> Result<RankEpoch, DspError> {
+    let RankState {
+        sampler,
+        loader,
+        trainer,
+    } = state;
+    let mut clock = Clock::new();
+    let mut metrics = MetricAccumulator::default();
+    let (mut sb, mut lb, mut tb) = (0.0, 0.0, 0.0);
+    let mut sampler_crashed = false;
+    for (batch, seeds) in batches.iter().enumerate() {
+        let b = batch as u64;
+        ctx.stall(&mut clock, WorkerKind::Sampler, b);
+        if !sampler_crashed && ctx.crashes(WorkerKind::Sampler, b) {
+            sampler_crashed = true;
+            ctx.declare_dead(WorkerKind::Sampler, b);
+            ctx.degrade_sampler(sampler);
+        }
+        ctx.sup
+            .heartbeat(ctx.rank, WorkerKind::Sampler, b, clock.now());
+        let b0 = clock.busy();
+        let sample = supervised_sample(sampler, &mut clock, seeds, b, ctx)?;
+        let b1 = clock.busy();
+        ctx.stall(&mut clock, WorkerKind::Loader, b);
+        if ctx.crashes(WorkerKind::Loader, b) {
+            ctx.declare_dead(WorkerKind::Loader, b);
+            return Err(DspError::WorkerCrashed {
+                rank: ctx.rank,
+                worker: WorkerKind::Loader,
+                batch: b,
+            });
+        }
+        ctx.sup
+            .heartbeat(ctx.rank, WorkerKind::Loader, b, clock.now());
+        let feats = supervised_load(loader, &mut clock, sample.input_nodes(), b, ctx)?;
+        let b2 = clock.busy();
+        ctx.stall(&mut clock, WorkerKind::Trainer, b);
+        if ctx.crashes(WorkerKind::Trainer, b) {
+            ctx.declare_dead(WorkerKind::Trainer, b);
+            return Err(DspError::WorkerCrashed {
+                rank: ctx.rank,
+                worker: WorkerKind::Trainer,
+                batch: b,
+            });
+        }
+        ctx.sup
+            .heartbeat(ctx.rank, WorkerKind::Trainer, b, clock.now());
+        let r = supervised_train(trainer, &mut clock, &sample, &feats, b, ctx)?;
+        let b3 = clock.busy();
+        sb += b1 - b0;
+        lb += b2 - b1;
+        tb += b3 - b2;
+        metrics.add(r.loss, r.accuracy, r.seeds);
+    }
+    Ok(RankEpoch {
+        sample_busy: sb,
+        load_busy: lb,
+        train_busy: tb,
+        useful: clock.device_useful(),
+        makespan: clock.now(),
+        metrics,
+    })
+}
+
 /// The assembled DSP system (or DSP-Seq when `pipelined` is false).
 pub struct DspSystem {
     layout: DspLayout,
     cfg: TrainConfig,
     pipelined: bool,
     ranks: Vec<RankState>,
+    sampler_comm: Arc<Communicator>,
+    loader_comm: Arc<Communicator>,
+    trainer_comm: Arc<Communicator>,
+    ccc: Option<Arc<Coordinator>>,
+    supervisor: Arc<Supervisor>,
 }
 
 impl DspSystem {
@@ -56,38 +457,56 @@ impl DspSystem {
     pub fn new(dataset: &Dataset, gpus: usize, cfg: &TrainConfig, pipelined: bool) -> Self {
         let layout = build_dsp_layout(dataset, gpus, cfg);
         let cluster = Arc::clone(&layout.cluster);
+        let comm_cfg = CommConfig {
+            deadline: Duration::from_secs_f64(cfg.comm_deadline_secs),
+        };
         // With the pipeline on, three workers per device launch
         // communication kernels concurrently: give them finite kernel
         // slots and (by default) CCC coordination — without CCC this
         // configuration can deadlock (see tests/deadlock.rs).
+        let ccc = (pipelined && cfg.use_ccc).then(|| Arc::new(Coordinator::new(gpus)));
         let (sampler_comm, loader_comm, trainer_comm) = if pipelined {
             let slots = Arc::new(DeviceSlots::new(gpus, cfg.slots_per_device));
-            let ccc = cfg.use_ccc.then(|| Arc::new(Coordinator::new(gpus)));
             (
-                Arc::new(Communicator::with_slots(
-                    SAMPLER_WORKER,
-                    Arc::clone(&cluster),
-                    Arc::clone(&slots),
-                    ccc.clone(),
-                )),
-                Arc::new(Communicator::with_slots(
-                    LOADER_WORKER,
-                    Arc::clone(&cluster),
-                    Arc::clone(&slots),
-                    ccc.clone(),
-                )),
-                Arc::new(Communicator::with_slots(
-                    TRAINER_WORKER,
-                    Arc::clone(&cluster),
-                    slots,
-                    ccc,
-                )),
+                Arc::new(
+                    Communicator::with_slots(
+                        SAMPLER_WORKER,
+                        Arc::clone(&cluster),
+                        Arc::clone(&slots),
+                        ccc.clone(),
+                    )
+                    .with_config(comm_cfg),
+                ),
+                Arc::new(
+                    Communicator::with_slots(
+                        LOADER_WORKER,
+                        Arc::clone(&cluster),
+                        Arc::clone(&slots),
+                        ccc.clone(),
+                    )
+                    .with_config(comm_cfg),
+                ),
+                Arc::new(
+                    Communicator::with_slots(
+                        TRAINER_WORKER,
+                        Arc::clone(&cluster),
+                        slots,
+                        ccc.clone(),
+                    )
+                    .with_config(comm_cfg),
+                ),
             )
         } else {
             (
-                Arc::new(Communicator::new(SAMPLER_WORKER, Arc::clone(&cluster))),
-                Arc::new(Communicator::new(LOADER_WORKER, Arc::clone(&cluster))),
-                Arc::new(Communicator::new(TRAINER_WORKER, Arc::clone(&cluster))),
+                Arc::new(
+                    Communicator::new(SAMPLER_WORKER, Arc::clone(&cluster)).with_config(comm_cfg),
+                ),
+                Arc::new(
+                    Communicator::new(LOADER_WORKER, Arc::clone(&cluster)).with_config(comm_cfg),
+                ),
+                Arc::new(
+                    Communicator::new(TRAINER_WORKER, Arc::clone(&cluster)).with_config(comm_cfg),
+                ),
             )
         };
         let csp_cfg = CspConfig {
@@ -128,11 +547,20 @@ impl DspSystem {
                 ),
             })
             .collect();
+        let supervisor = Arc::new(Supervisor::new(RetryPolicy {
+            max_retries: cfg.max_retries,
+            base_backoff: cfg.retry_backoff_secs,
+        }));
         DspSystem {
             layout,
             cfg: cfg.clone(),
             pipelined,
             ranks,
+            sampler_comm,
+            loader_comm,
+            trainer_comm,
+            ccc,
+            supervisor,
         }
     }
 
@@ -172,122 +600,22 @@ impl DspSystem {
     pub fn grad_bytes(&self) -> u64 {
         self.ranks[0].trainer.model().num_params() as u64 * 4
     }
-}
 
-fn run_rank_pipelined(
-    state: &mut RankState,
-    batches: Vec<Vec<NodeId>>,
-    cap: usize,
-    exec: bool,
-    labels: Arc<Labels>,
-) -> RankEpoch {
-    let RankState {
-        sampler,
-        loader,
-        trainer,
-    } = state;
-    let (mut sample_tx, mut sample_rx) = virtual_queue::<GraphSample>(cap);
-    let (mut feat_tx, mut feat_rx) = virtual_queue::<(GraphSample, Matrix)>(cap);
-    std::thread::scope(|s| {
-        let sampler_thread = s.spawn(move || {
-            let mut clock = Clock::new();
-            for seeds in &batches {
-                let sample = sampler.sample_batch(&mut clock, seeds);
-                sample_tx.push(&mut clock, sample);
-            }
-            clock
-        });
-        let loader_thread = s.spawn(move || {
-            let mut clock = Clock::new();
-            while let Some(sample) = sample_rx.pop(&mut clock) {
-                let feats = loader.load(&mut clock, sample.input_nodes());
-                feat_tx.push(&mut clock, (sample, feats));
-            }
-            clock
-        });
-        let trainer_thread = s.spawn(move || {
-            let mut clock = Clock::new();
-            let mut metrics = MetricAccumulator::default();
-            while let Some((sample, feats)) = feat_rx.pop(&mut clock) {
-                let r = if exec {
-                    let lab: Vec<u32> = sample.seeds.iter().map(|&v| labels.get(v)).collect();
-                    trainer.train_batch(&mut clock, &sample, &feats, &lab)
-                } else {
-                    trainer.train_batch_timing_only(&mut clock, &sample)
-                };
-                metrics.add(r.loss, r.accuracy, r.seeds);
-            }
-            (clock, metrics)
-        });
-        let c1 = sampler_thread.join().expect("sampler worker panicked");
-        let c2 = loader_thread.join().expect("loader worker panicked");
-        let (c3, metrics) = trainer_thread.join().expect("trainer worker panicked");
-        // Overlapped workers still share the device's serial resources
-        // (SMs for GEMM, HBM, the PCIe and NVLink links): the pipeline
-        // cannot compress below the busiest single resource. Only the
-        // overhead-bound "light" kernels overlap freely (Fig. 2's
-        // observation is exactly that those can't fill the device).
-        let floor = Clock::resource_floor(&[&c1, &c2, &c3]);
-        RankEpoch {
-            sample_busy: c1.busy(),
-            load_busy: c2.busy(),
-            train_busy: c3.busy(),
-            useful: c1.device_useful() + c2.device_useful() + c3.device_useful(),
-            makespan: c1.now().max(c2.now()).max(c3.now()).max(floor),
-            metrics,
-        }
-    })
-}
-
-fn run_rank_seq(
-    state: &mut RankState,
-    batches: Vec<Vec<NodeId>>,
-    exec: bool,
-    labels: Arc<Labels>,
-) -> RankEpoch {
-    let RankState {
-        sampler,
-        loader,
-        trainer,
-    } = state;
-    let mut clock = Clock::new();
-    let mut metrics = MetricAccumulator::default();
-    let (mut sb, mut lb, mut tb) = (0.0, 0.0, 0.0);
-    for seeds in &batches {
-        let b0 = clock.busy();
-        let sample = sampler.sample_batch(&mut clock, seeds);
-        let b1 = clock.busy();
-        let feats = loader.load(&mut clock, sample.input_nodes());
-        let b2 = clock.busy();
-        let r = if exec {
-            let lab: Vec<u32> = sample.seeds.iter().map(|&v| labels.get(v)).collect();
-            trainer.train_batch(&mut clock, &sample, &feats, &lab)
-        } else {
-            trainer.train_batch_timing_only(&mut clock, &sample)
-        };
-        let b3 = clock.busy();
-        sb += b1 - b0;
-        lb += b2 - b1;
-        tb += b3 - b2;
-        metrics.add(r.loss, r.accuracy, r.seeds);
+    /// Everything the supervisor observed since construction: retried
+    /// batches, crashed workers, degraded ranks (sorted, deterministic).
+    pub fn last_fault_report(&self) -> FaultReport {
+        self.supervisor.report()
     }
-    RankEpoch {
-        sample_busy: sb,
-        load_busy: lb,
-        train_busy: tb,
-        useful: clock.device_useful(),
-        makespan: clock.now(),
-        metrics,
-    }
-}
 
-impl System for DspSystem {
-    fn run_epoch(&mut self, epoch: u64) -> EpochStats {
+    /// Supervised epoch: `Ok(stats)` even under injected faults the
+    /// supervisor can absorb (stalls, retries, sampler degradation,
+    /// cache-shard loss); a typed [`DspError`] when a failure has no
+    /// degradation path (dead loader/trainer peer, exhausted retries).
+    pub fn try_run_epoch(&mut self, epoch: u64) -> Result<EpochStats, DspError> {
         self.layout.cluster.reset_traffic();
         let cap = self.cfg.queue_capacity;
-        let exec = self.cfg.exec_compute;
         let pipelined = self.pipelined;
-        let labels = Arc::clone(&self.layout.labels);
+        let before = self.supervisor.report();
         let batches: Vec<Vec<Vec<NodeId>>> = self
             .layout
             .schedules
@@ -295,18 +623,31 @@ impl System for DspSystem {
             .map(|s| s.epoch_batches(epoch))
             .collect();
         let num_batches = batches.first().map(|b| b.len()).unwrap_or(0);
-        let results: Vec<RankEpoch> = std::thread::scope(|scope| {
+        let ctxs: Vec<RankCtx> = (0..self.ranks.len())
+            .map(|rank| RankCtx {
+                rank,
+                exec: self.cfg.exec_compute,
+                labels: Arc::clone(&self.layout.labels),
+                cluster: Arc::clone(&self.layout.cluster),
+                sampler_comm: Arc::clone(&self.sampler_comm),
+                loader_comm: Arc::clone(&self.loader_comm),
+                trainer_comm: Arc::clone(&self.trainer_comm),
+                ccc: self.ccc.clone(),
+                sup: Arc::clone(&self.supervisor),
+            })
+            .collect();
+        let results: Vec<Result<RankEpoch, DspError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = self
                 .ranks
                 .iter_mut()
                 .zip(batches)
-                .map(|(state, rank_batches)| {
-                    let labels = Arc::clone(&labels);
+                .zip(&ctxs)
+                .map(|((state, rank_batches), ctx)| {
                     scope.spawn(move || {
                         if pipelined {
-                            run_rank_pipelined(state, rank_batches, cap, exec, labels)
+                            run_rank_pipelined(state, rank_batches, cap, ctx)
                         } else {
-                            run_rank_seq(state, rank_batches, exec, labels)
+                            run_rank_seq(state, rank_batches, ctx)
                         }
                     })
                 })
@@ -316,30 +657,51 @@ impl System for DspSystem {
                 .map(|h| h.join().expect("rank thread panicked"))
                 .collect()
         });
+        let mut oks = Vec::new();
+        let mut errs = Vec::new();
+        for r in results {
+            match r {
+                Ok(e) => oks.push(e),
+                Err(e) => errs.push(e),
+            }
+        }
+        if let Some(e) = pick_error(errs) {
+            return Err(e);
+        }
         let mut metrics = MetricAccumulator::default();
-        for r in &results {
+        for r in &oks {
             metrics.merge(&r.metrics);
         }
         let (loss, accuracy, seeds) = metrics.finish();
         let (nvlink, pcie, _) = self.layout.cluster.traffic_totals();
-        let fmax = |f: fn(&RankEpoch) -> f64| results.iter().map(f).fold(0.0, f64::max);
-        EpochStats {
+        let fmax = |f: fn(&RankEpoch) -> f64| oks.iter().map(f).fold(0.0, f64::max);
+        let after = self.supervisor.report();
+        Ok(EpochStats {
             epoch_time: fmax(|r| r.makespan),
             sample_time: fmax(|r| r.sample_busy),
             load_time: fmax(|r| r.load_busy),
             train_time: fmax(|r| r.train_busy),
-            utilization: results
+            utilization: oks
                 .iter()
                 .map(|r| (r.useful / r.makespan.max(1e-12)).min(1.0))
                 .sum::<f64>()
-                / results.len().max(1) as f64,
+                / oks.len().max(1) as f64,
             loss,
             accuracy,
             nvlink_bytes: nvlink,
             pcie_bytes: pcie,
             num_batches,
             seeds,
-        }
+            retried_batches: after.retried.len() - before.retried.len(),
+            degraded_ranks: after.degraded.len() - before.degraded.len(),
+        })
+    }
+}
+
+impl System for DspSystem {
+    fn run_epoch(&mut self, epoch: u64) -> EpochStats {
+        self.try_run_epoch(epoch)
+            .unwrap_or_else(|e| panic!("epoch {epoch} failed: {e}"))
     }
 
     fn run_sampler_epoch(&mut self, epoch: u64) -> f64 {

@@ -1,0 +1,135 @@
+//! Typed workspace errors: what a supervised epoch reports instead of
+//! wedging or panicking.
+
+use ds_comm::CommError;
+use ds_simgpu::WorkerKind;
+
+/// Why a supervised epoch could not complete.
+#[derive(Clone, Debug)]
+pub enum DspError {
+    /// A collective failed (timeout, dead peer, disconnect) on a path
+    /// with no degradation to fall back to. The embedded diagnostics
+    /// snapshot says which group, which round, and who was missing.
+    Comm(CommError),
+    /// An injected (or real) worker crash with no degraded replacement:
+    /// the epoch terminates instead of hanging the surviving ranks.
+    WorkerCrashed {
+        /// The rank that lost a worker.
+        rank: usize,
+        /// Which pipeline stage died.
+        worker: WorkerKind,
+        /// Mini-batch the worker was starting when it died.
+        batch: u64,
+    },
+    /// The retry policy gave up: `attempts` tries (with exponential
+    /// backoff) all failed, `last` being the final straw.
+    RetriesExhausted {
+        /// The retrying rank.
+        rank: usize,
+        /// The retrying worker.
+        worker: WorkerKind,
+        /// The mini-batch being retried.
+        batch: u64,
+        /// Attempts made (> the policy's `max_retries`).
+        attempts: u32,
+        /// The last failure observed.
+        last: CommError,
+    },
+}
+
+impl DspError {
+    /// The communication diagnostics attached to this error, if any.
+    pub fn diagnostics(&self) -> Option<&ds_comm::Diagnostics> {
+        match self {
+            DspError::Comm(e) => Some(e.diagnostics()),
+            DspError::RetriesExhausted { last, .. } => Some(last.diagnostics()),
+            DspError::WorkerCrashed { .. } => None,
+        }
+    }
+}
+
+impl std::fmt::Display for DspError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DspError::Comm(e) => write!(f, "communication failed: {e}"),
+            DspError::WorkerCrashed {
+                rank,
+                worker,
+                batch,
+            } => {
+                write!(f, "{worker} worker on rank {rank} crashed at batch {batch}")
+            }
+            DspError::RetriesExhausted {
+                rank,
+                worker,
+                batch,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "{worker} on rank {rank} gave up on batch {batch} after {attempts} attempts: {last}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DspError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DspError::Comm(e) | DspError::RetriesExhausted { last: e, .. } => Some(e),
+            DspError::WorkerCrashed { .. } => None,
+        }
+    }
+}
+
+impl From<CommError> for DspError {
+    fn from(e: CommError) -> Self {
+        DspError::Comm(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_comm::Diagnostics;
+
+    #[test]
+    fn display_names_the_failing_worker() {
+        let e = DspError::WorkerCrashed {
+            rank: 2,
+            worker: WorkerKind::Sampler,
+            batch: 3,
+        };
+        assert_eq!(e.to_string(), "sampler worker on rank 2 crashed at batch 3");
+        assert!(e.diagnostics().is_none());
+    }
+
+    #[test]
+    fn comm_errors_carry_their_diagnostics_through() {
+        let diag = Diagnostics {
+            group: 7,
+            arrived: 1,
+            expected: 4,
+            ..Default::default()
+        };
+        let e = DspError::from(CommError::Timeout(diag));
+        let d = e.diagnostics().expect("diagnostics");
+        assert_eq!(d.group, 7);
+        assert_eq!((d.arrived, d.expected), (1, 4));
+        assert!(e.to_string().contains("timed out"));
+    }
+
+    #[test]
+    fn retries_exhausted_reports_the_last_failure() {
+        let e = DspError::RetriesExhausted {
+            rank: 1,
+            worker: WorkerKind::Loader,
+            batch: 9,
+            attempts: 4,
+            last: CommError::Timeout(Diagnostics::default()),
+        };
+        let s = e.to_string();
+        assert!(s.contains("loader") && s.contains("4 attempts"), "{s}");
+        assert!(e.diagnostics().is_some());
+    }
+}

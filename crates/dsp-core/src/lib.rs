@@ -26,14 +26,18 @@
 pub mod baseline;
 pub mod config;
 pub mod dsp;
+pub mod error;
 pub mod layout;
 pub mod multimachine;
 pub mod runner;
 pub mod stats;
+pub mod supervisor;
 pub mod system;
 
 pub use config::{SystemKind, TrainConfig};
 pub use dsp::DspSystem;
+pub use error::DspError;
 pub use runner::build_system;
 pub use stats::EpochStats;
+pub use supervisor::{FaultReport, RetryPolicy, Supervisor};
 pub use system::System;

@@ -7,18 +7,28 @@ use crate::stats::EpochStats;
 use crate::system::System;
 use ds_graph::Dataset;
 
-/// Builds any of the evaluated systems.
+/// Builds any of the evaluated systems. If the `DS_FAULT_PLAN`
+/// environment variable is set, the seed-driven fault plan it describes
+/// (seeded by `DS_FAULT_SEED`) is installed on the system's cluster, so
+/// every entry point — benches, examples, tests — can run under chaos
+/// without code changes.
 pub fn build_system(
     kind: SystemKind,
     dataset: &Dataset,
     gpus: usize,
     cfg: &TrainConfig,
 ) -> Box<dyn System> {
-    match kind {
+    let system: Box<dyn System> = match kind {
         SystemKind::Dsp => Box::new(DspSystem::new(dataset, gpus, cfg, true)),
         SystemKind::DspSeq => Box::new(DspSystem::new(dataset, gpus, cfg, false)),
         _ => Box::new(BaselineSystem::new(kind, dataset, gpus, cfg)),
+    };
+    if let Some(plan) = ds_fault::FaultPlan::from_env(gpus) {
+        system
+            .cluster()
+            .install_fault_hook(std::sync::Arc::new(plan));
     }
+    system
 }
 
 /// Builds the system, runs `warmup` epochs, then returns the mean stats

@@ -25,6 +25,10 @@ pub struct EpochStats {
     pub num_batches: usize,
     /// Total seeds processed across ranks.
     pub seeds: usize,
+    /// Batches retried by the supervisor this epoch (summed over ranks).
+    pub retried_batches: usize,
+    /// Ranks that newly fell back to degraded local sampling this epoch.
+    pub degraded_ranks: usize,
 }
 
 impl EpochStats {

@@ -1,0 +1,225 @@
+//! Epoch supervision: heartbeats, retry policy, and the fault report.
+//!
+//! Every worker thread reports a heartbeat (rank, worker, batch,
+//! virtual time) at each batch boundary and routes its failures through
+//! the shared [`Supervisor`], which decides between bounded retry with
+//! exponential backoff and the degradation paths (degraded local
+//! sampling for a dead sampler peer, UVA cold fetches for a lost cache
+//! shard). The [`FaultReport`] accumulates what actually happened so
+//! chaos tests — and operators — can see retries and degradations
+//! instead of inferring them from timing.
+
+use ds_simgpu::WorkerKind;
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Bounded-retry policy with exponential backoff (virtual seconds).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct RetryPolicy {
+    /// Retries allowed per batch before the worker gives up with
+    /// [`crate::error::DspError::RetriesExhausted`].
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_backoff: f64,
+}
+
+impl RetryPolicy {
+    /// Backoff before retry number `attempt` (1-based): `base · 2^(a-1)`.
+    pub fn backoff(&self, attempt: u32) -> f64 {
+        self.base_backoff * f64::powi(2.0, attempt.max(1) as i32 - 1)
+    }
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 3,
+            base_backoff: 1e-3,
+        }
+    }
+}
+
+/// Last observed progress of one worker.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Beat {
+    /// Mini-batch the worker reported starting.
+    pub batch: u64,
+    /// Its virtual clock at that point.
+    pub vtime: f64,
+}
+
+/// What the supervisor observed (accumulates across epochs; entries are
+/// reported sorted so thread scheduling cannot reorder them).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultReport {
+    /// `(rank, batch)` pairs that were retried after a failure.
+    pub retried: Vec<(usize, u64)>,
+    /// Workers that crashed: `(rank, worker, batch)`.
+    pub crashed: Vec<(usize, WorkerKind, u64)>,
+    /// Ranks whose sampler fell back to degraded local (pull-path)
+    /// sampling.
+    pub degraded: Vec<usize>,
+}
+
+impl FaultReport {
+    /// True when nothing went wrong.
+    pub fn is_clean(&self) -> bool {
+        self.retried.is_empty() && self.crashed.is_empty() && self.degraded.is_empty()
+    }
+
+    /// One-line operator summary.
+    pub fn summary(&self) -> String {
+        if self.is_clean() {
+            return String::from("no faults observed");
+        }
+        format!(
+            "{} retried batch(es) {:?}, {} crash(es) {:?}, degraded ranks {:?}",
+            self.retried.len(),
+            self.retried,
+            self.crashed.len(),
+            self.crashed
+                .iter()
+                .map(|(r, w, b)| format!("{w}@rank{r}/batch{b}"))
+                .collect::<Vec<_>>(),
+            self.degraded,
+        )
+    }
+}
+
+/// Shared supervision state for one system's worker threads.
+#[derive(Debug, Default)]
+pub struct Supervisor {
+    /// The retry policy every worker consults.
+    pub policy: RetryPolicy,
+    beats: Mutex<HashMap<(usize, WorkerKind), Beat>>,
+    report: Mutex<FaultReport>,
+}
+
+impl Supervisor {
+    /// A supervisor applying `policy`.
+    pub fn new(policy: RetryPolicy) -> Self {
+        Supervisor {
+            policy,
+            ..Self::default()
+        }
+    }
+
+    /// Records that `worker` on `rank` reached `batch` at virtual time
+    /// `vtime`.
+    pub fn heartbeat(&self, rank: usize, worker: WorkerKind, batch: u64, vtime: f64) {
+        lock_unpoisoned(&self.beats).insert((rank, worker), Beat { batch, vtime });
+    }
+
+    /// Last heartbeat of one worker.
+    pub fn last_beat(&self, rank: usize, worker: WorkerKind) -> Option<Beat> {
+        lock_unpoisoned(&self.beats).get(&(rank, worker)).copied()
+    }
+
+    /// The worker with the oldest virtual-time heartbeat — where a
+    /// watchdog should look first when the epoch stops progressing.
+    pub fn stalest(&self) -> Option<((usize, WorkerKind), Beat)> {
+        lock_unpoisoned(&self.beats)
+            .iter()
+            .min_by(|a, b| a.1.vtime.total_cmp(&b.1.vtime))
+            .map(|(&k, &v)| (k, v))
+    }
+
+    /// Records one retry of `batch` on `rank`.
+    pub fn record_retry(&self, rank: usize, batch: u64) {
+        lock_unpoisoned(&self.report).retried.push((rank, batch));
+    }
+
+    /// Records a worker crash. Idempotent per `(rank, worker)`: a fault
+    /// plan that crashes a worker at batch `b` fires again when a later
+    /// epoch reaches the same batch index, but the worker only dies
+    /// once.
+    pub fn record_crash(&self, rank: usize, worker: WorkerKind, batch: u64) {
+        let mut r = lock_unpoisoned(&self.report);
+        if !r
+            .crashed
+            .iter()
+            .any(|&(cr, cw, _)| (cr, cw) == (rank, worker))
+        {
+            r.crashed.push((rank, worker, batch));
+        }
+    }
+
+    /// Records that `rank`'s sampler switched to degraded local
+    /// sampling (idempotent).
+    pub fn mark_degraded(&self, rank: usize) {
+        let mut r = lock_unpoisoned(&self.report);
+        if !r.degraded.contains(&rank) {
+            r.degraded.push(rank);
+        }
+    }
+
+    /// Snapshot of everything observed so far, sorted for determinism.
+    pub fn report(&self) -> FaultReport {
+        let mut r = lock_unpoisoned(&self.report).clone();
+        r.retried.sort_unstable();
+        r.crashed
+            .sort_unstable_by_key(|&(rank, w, b)| (rank, w as u8, b));
+        r.degraded.sort_unstable();
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_doubles_per_attempt() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_backoff: 0.5,
+        };
+        assert_eq!(p.backoff(1), 0.5);
+        assert_eq!(p.backoff(2), 1.0);
+        assert_eq!(p.backoff(3), 2.0);
+        // Attempt 0 is clamped to the base.
+        assert_eq!(p.backoff(0), 0.5);
+    }
+
+    #[test]
+    fn heartbeats_track_the_stalest_worker() {
+        let s = Supervisor::default();
+        s.heartbeat(0, WorkerKind::Sampler, 4, 2.0);
+        s.heartbeat(1, WorkerKind::Trainer, 3, 0.5);
+        s.heartbeat(0, WorkerKind::Loader, 4, 1.5);
+        let ((rank, worker), beat) = s.stalest().unwrap();
+        assert_eq!((rank, worker), (1, WorkerKind::Trainer));
+        assert_eq!(beat.batch, 3);
+        assert_eq!(s.last_beat(0, WorkerKind::Sampler).unwrap().batch, 4);
+    }
+
+    #[test]
+    fn report_is_sorted_and_degradation_is_idempotent() {
+        let s = Supervisor::default();
+        s.record_retry(2, 5);
+        s.record_retry(0, 5);
+        s.mark_degraded(1);
+        s.mark_degraded(1);
+        s.record_crash(1, WorkerKind::Sampler, 5);
+        // Re-declaring the same corpse (e.g. next epoch reaches the
+        // crash batch again) does not duplicate the entry.
+        s.record_crash(1, WorkerKind::Sampler, 5);
+        let r = s.report();
+        assert_eq!(r.retried, vec![(0, 5), (2, 5)]);
+        assert_eq!(r.degraded, vec![1]);
+        assert_eq!(r.crashed, vec![(1, WorkerKind::Sampler, 5)]);
+        assert!(!r.is_clean());
+        assert!(r.summary().contains("sampler@rank1/batch5"));
+    }
+
+    #[test]
+    fn clean_report_says_so() {
+        let s = Supervisor::new(RetryPolicy::default());
+        assert!(s.report().is_clean());
+        assert_eq!(s.report().summary(), "no faults observed");
+    }
+}

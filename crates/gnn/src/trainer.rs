@@ -6,7 +6,7 @@
 //! replicas stay bit-equal, which integration tests assert.
 
 use crate::model::{GnnKind, GnnModel};
-use ds_comm::Communicator;
+use ds_comm::{CommError, Communicator};
 use ds_sampling::GraphSample;
 use ds_simgpu::{Clock, Cluster};
 use ds_tensor::matrix::Matrix;
@@ -98,6 +98,21 @@ impl Trainer {
         input: &Matrix,
         labels: &[u32],
     ) -> BatchResult {
+        self.try_train_batch(clock, sample, input, labels)
+            .unwrap_or_else(|e| panic!("training step failed: {e}"))
+    }
+
+    /// Fallible [`Self::train_batch`] for the supervised pipeline: a
+    /// failed gradient allreduce surfaces as a typed error *before* the
+    /// optimizer step, so the replica is untouched and the batch can be
+    /// retried without double-applying gradients.
+    pub fn try_train_batch(
+        &mut self,
+        clock: &mut Clock,
+        sample: &GraphSample,
+        input: &Matrix,
+        labels: &[u32],
+    ) -> Result<BatchResult, CommError> {
         let (result, grads) = if sample.seeds.is_empty() {
             (BatchResult::default(), vec![0.0; self.model.num_params()])
         } else {
@@ -116,7 +131,7 @@ impl Trainer {
         // small, gradient communication is usually much cheaper than
         // sampling and loading" (§3.2); the ring volume model reflects it.
         let n = self.comm.num_ranks() as f32;
-        let mut summed = self.comm.all_reduce_sum(self.rank, clock, grads);
+        let mut summed = self.comm.try_all_reduce_sum(self.rank, clock, grads)?;
         if n > 1.0 {
             for g in &mut summed {
                 *g /= n;
@@ -128,7 +143,7 @@ impl Trainer {
         // Optimizer kernel.
         let m = *self.cluster.model();
         clock.work(m.gpu.time_full(self.model.num_params() as u64, 4.0));
-        result
+        Ok(result)
     }
 
     /// Timing-only variant of [`Self::train_batch`]: charges the full
@@ -142,18 +157,28 @@ impl Trainer {
         clock: &mut Clock,
         sample: &GraphSample,
     ) -> BatchResult {
+        self.try_train_batch_timing_only(clock, sample)
+            .unwrap_or_else(|e| panic!("training step failed: {e}"))
+    }
+
+    /// Fallible [`Self::train_batch_timing_only`].
+    pub fn try_train_batch_timing_only(
+        &mut self,
+        clock: &mut Clock,
+        sample: &GraphSample,
+    ) -> Result<BatchResult, CommError> {
         if !sample.seeds.is_empty() {
             self.charge_compute(clock, sample);
         }
         let grads = vec![0.0f32; self.model.num_params()];
-        let _ = self.comm.all_reduce_sum(self.rank, clock, grads);
+        let _ = self.comm.try_all_reduce_sum(self.rank, clock, grads)?;
         let m = *self.cluster.model();
         clock.work(m.gpu.time_full(self.model.num_params() as u64, 4.0));
-        BatchResult {
+        Ok(BatchResult {
             loss: 0.0,
             accuracy: 0.0,
             seeds: sample.seeds.len(),
-        }
+        })
     }
 
     /// Evaluation without gradients (validation/test accuracy).

@@ -7,8 +7,18 @@
 //! only once every sender is dropped *and* the buffer is drained, and
 //! `send` returns `Err(SendError(item))` once every receiver is gone.
 
+//! A worker that panics mid-operation must surface to its peers as a
+//! disconnect (`SendError`/`RecvError`), never as a cascading
+//! `PoisonError` panic: the lock below is held only for atomic state
+//! transitions, so a poisoned guard still protects consistent data and
+//! is safe to recover.
+
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// The channel's receivers were all dropped; the item comes back.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -97,14 +107,18 @@ fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
 impl<T> Sender<T> {
     /// Sends an item, blocking while a bounded channel is full.
     pub fn send(&self, item: T) -> Result<(), SendError<T>> {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.shared.state);
         loop {
             if st.receivers == 0 {
                 return Err(SendError(item));
             }
             match self.shared.capacity {
                 Some(cap) if st.buf.len() >= cap => {
-                    st = self.shared.slots.wait(st).unwrap();
+                    st = self
+                        .shared
+                        .slots
+                        .wait(st)
+                        .unwrap_or_else(PoisonError::into_inner);
                 }
                 _ => break,
             }
@@ -118,7 +132,7 @@ impl<T> Sender<T> {
 
 impl<T> Clone for Sender<T> {
     fn clone(&self) -> Self {
-        self.shared.state.lock().unwrap().senders += 1;
+        lock_unpoisoned(&self.shared.state).senders += 1;
         Sender {
             shared: Arc::clone(&self.shared),
         }
@@ -127,7 +141,7 @@ impl<T> Clone for Sender<T> {
 
 impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.shared.state);
         st.senders -= 1;
         if st.senders == 0 {
             drop(st);
@@ -141,7 +155,7 @@ impl<T> Drop for Sender<T> {
 impl<T> Receiver<T> {
     /// Receives the next item, blocking while the channel is empty.
     pub fn recv(&self) -> Result<T, RecvError> {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.shared.state);
         loop {
             if let Some(item) = st.buf.pop_front() {
                 drop(st);
@@ -151,14 +165,18 @@ impl<T> Receiver<T> {
             if st.senders == 0 {
                 return Err(RecvError);
             }
-            st = self.shared.items.wait(st).unwrap();
+            st = self
+                .shared
+                .items
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 
     /// Receives without blocking; `None` if the channel is currently
     /// empty (regardless of sender liveness).
     pub fn try_recv(&self) -> Option<T> {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.shared.state);
         let item = st.buf.pop_front();
         if item.is_some() {
             drop(st);
@@ -170,7 +188,7 @@ impl<T> Receiver<T> {
 
 impl<T> Clone for Receiver<T> {
     fn clone(&self) -> Self {
-        self.shared.state.lock().unwrap().receivers += 1;
+        lock_unpoisoned(&self.shared.state).receivers += 1;
         Receiver {
             shared: Arc::clone(&self.shared),
         }
@@ -179,7 +197,7 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        let mut st = self.shared.state.lock().unwrap();
+        let mut st = lock_unpoisoned(&self.shared.state);
         st.receivers -= 1;
         if st.receivers == 0 {
             drop(st);
@@ -261,6 +279,50 @@ mod tests {
         tx.send(5u8).unwrap();
         assert_eq!(rx.try_recv(), Some(5));
         assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn worker_panic_mid_send_surfaces_as_disconnect() {
+        // A sender thread that dies mid-stream (its Sender dropped by
+        // unwinding) must look like a clean disconnect to the receiver:
+        // buffered items drain, then Err(RecvError) — no poison panic.
+        let (tx, rx) = bounded(4);
+        let h = std::thread::spawn(move || {
+            tx.send(1u32).unwrap();
+            tx.send(2).unwrap();
+            panic!("worker crashed mid-send");
+        });
+        assert!(h.join().is_err());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn poisoned_lock_does_not_cascade() {
+        // Poison the channel mutex for real (panic while holding it),
+        // then verify every operation still works: a poisoned guard
+        // protects consistent data here, so peers see normal channel
+        // semantics, not PoisonError panics.
+        let (tx, rx) = unbounded();
+        tx.send(1u32).unwrap();
+        let shared = Arc::clone(&tx.shared);
+        let poisoner = Arc::clone(&shared);
+        let h = std::thread::spawn(move || {
+            let _guard = poisoner.state.lock().unwrap();
+            panic!("poison the channel lock");
+        });
+        assert!(h.join().is_err());
+        assert!(shared.state.is_poisoned());
+        tx.send(2).unwrap();
+        let tx2 = tx.clone();
+        tx2.send(3).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Some(2));
+        assert_eq!(rx.recv(), Ok(3));
+        drop(tx);
+        drop(tx2);
+        assert_eq!(rx.recv(), Err(RecvError));
     }
 
     #[test]

@@ -15,6 +15,20 @@
 use crate::chan::{bounded, unbounded, Receiver, Sender};
 use ds_simgpu::Clock;
 
+/// The other half of the queue is gone (its worker exited or panicked).
+/// Surfaced instead of panicking so a supervisor can wind the pipeline
+/// down and report a typed error.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Disconnected;
+
+impl std::fmt::Display for Disconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "pipeline queue peer disconnected")
+    }
+}
+
+impl std::error::Error for Disconnected {}
+
 /// Producer half of a virtual-time bounded queue.
 pub struct QueueProducer<T> {
     tx: Sender<(T, f64)>,
@@ -47,21 +61,21 @@ pub fn virtual_queue<T>(capacity: usize) -> (QueueProducer<T>, QueueConsumer<T>)
 
 impl<T> QueueProducer<T> {
     /// Pushes an item, blocking (really and virtually) while the queue
-    /// is full. The item carries the producer's virtual time.
-    pub fn push(&mut self, clock: &mut Clock, item: T) {
+    /// is full. The item carries the producer's virtual time. Errors if
+    /// the consumer is gone (dropped or panicked) instead of panicking,
+    /// so the producing worker can exit cleanly.
+    pub fn push(&mut self, clock: &mut Clock, item: T) -> Result<(), Disconnected> {
         if self.sent >= self.capacity as u64 {
             // Virtual backpressure: our slot frees when the consumer
             // popped item `sent - capacity`.
-            let pop_time = self
-                .feedback_rx
-                .recv()
-                .expect("queue consumer dropped while producer still pushing");
+            let pop_time = self.feedback_rx.recv().map_err(|_| Disconnected)?;
             clock.wait_until(pop_time);
         }
         self.sent += 1;
         self.tx
             .send((item, clock.now()))
-            .expect("queue consumer dropped while producer still pushing");
+            .map_err(|_| Disconnected)?;
+        Ok(())
     }
 }
 
@@ -93,7 +107,7 @@ mod tests {
             let mut clock = Clock::new();
             for i in 0..5u32 {
                 clock.work(1.0); // one virtual second per item
-                p.push(&mut clock, i);
+                p.push(&mut clock, i).unwrap();
             }
             clock.now()
         });
@@ -120,7 +134,7 @@ mod tests {
             let mut clock = Clock::new();
             for i in 0..6u32 {
                 clock.work(0.1); // fast
-                p.push(&mut clock, i);
+                p.push(&mut clock, i).unwrap();
             }
             clock.now()
         });
@@ -142,11 +156,22 @@ mod tests {
     fn consumer_sees_none_after_producer_drop() {
         let (mut p, mut c) = virtual_queue(1);
         let mut clock = Clock::new();
-        p.push(&mut clock, 42u32);
+        p.push(&mut clock, 42u32).unwrap();
         drop(p);
         let mut cclock = Clock::new();
         assert_eq!(c.pop(&mut cclock), Some(42));
         assert_eq!(c.pop(&mut cclock), None);
+    }
+
+    #[test]
+    fn push_errors_when_consumer_is_gone() {
+        let (mut p, c) = virtual_queue(1);
+        let mut clock = Clock::new();
+        p.push(&mut clock, 0u32).unwrap();
+        drop(c);
+        // Second push needs a freed slot that will never come; it must
+        // error, not hang or panic.
+        assert_eq!(p.push(&mut clock, 1), Err(Disconnected));
     }
 
     #[test]
@@ -157,7 +182,7 @@ mod tests {
             let mut push_times = Vec::new();
             for i in 0..4u32 {
                 clock.work(1.0);
-                p.push(&mut clock, i);
+                p.push(&mut clock, i).unwrap();
                 push_times.push(clock.now());
             }
             push_times

@@ -25,7 +25,7 @@ use crate::dist_graph::DistGraph;
 use crate::local;
 use crate::sample::{GraphSample, SampleLayer};
 use crate::BatchSampler;
-use ds_comm::Communicator;
+use ds_comm::{CommError, Communicator};
 use ds_graph::NodeId;
 use ds_simgpu::{Clock, Cluster};
 use std::sync::Arc;
@@ -146,6 +146,12 @@ pub struct CspSampler {
     rank: usize,
     cfg: CspConfig,
     batch_index: u64,
+    /// Degraded pull-path mode: sample every frontier node locally
+    /// (no collectives), paying UVA reads for non-local adjacency.
+    /// Because the sampling RNG is keyed by `(seed, batch, layer,
+    /// node)`, the constructed samples are bit-identical to the
+    /// collective path's — only the virtual time differs.
+    degraded: bool,
 }
 
 impl CspSampler {
@@ -178,6 +184,7 @@ impl CspSampler {
             rank,
             cfg,
             batch_index: 0,
+            degraded: false,
         }
     }
 
@@ -189,6 +196,24 @@ impl CspSampler {
     /// Resets the batch counter (e.g. between epochs in tests).
     pub fn reset_batches(&mut self) {
         self.batch_index = 0;
+    }
+
+    /// Switches the degraded pull path on or off (see the `degraded`
+    /// field). The supervisor flips this when a sampler peer dies.
+    pub fn set_degraded(&mut self, on: bool) {
+        self.degraded = on;
+    }
+
+    /// Whether the sampler is in degraded pull-path mode.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
+
+    /// The batch index the next `sample_batch` call will use (advances
+    /// only on success, so a failed batch is retried under the same
+    /// index and reproduces the same sample).
+    pub fn next_batch_index(&self) -> u64 {
+        self.batch_index
     }
 
     /// Groups `(node, payload)` pairs by owning rank, preserving order
@@ -210,15 +235,75 @@ impl CspSampler {
         (sends, placement)
     }
 
+    /// One node's draw for `layer` of the current batch — the same
+    /// result regardless of which rank executes it (placement-
+    /// independent RNG), which is what makes a degraded local re-sample
+    /// bit-identical to the collective version. Spill accounting for
+    /// host-resident adjacency accumulates into the two counters.
+    fn sample_node(
+        &self,
+        layer: usize,
+        node: NodeId,
+        count: u32,
+        spilled_nodes: &mut u64,
+        spilled_reads: &mut u64,
+    ) -> Vec<NodeId> {
+        let biased = self.cfg.biased;
+        let without_replacement = !matches!(self.cfg.scheme, Scheme::LayerWise { replace: true });
+        let mut rng = request_rng(self.cfg.seed, self.batch_index, layer, node);
+        let nb = self.graph.neighbors(node);
+        if !self.graph.is_resident(node) {
+            *spilled_nodes += 1;
+            *spilled_reads += if biased {
+                // Whole adjacency + weight list.
+                (nb.len() as u64 * 8).div_ceil(32)
+            } else {
+                count.min(nb.len() as u32) as u64
+            };
+        }
+        // Temporal predicate pushed with the task: restrict to edges no
+        // newer than the cutoff.
+        let filtered: Vec<NodeId>;
+        let nb = if let Some(cutoff) = self.cfg.temporal_cutoff {
+            let ts = self
+                .graph
+                .neighbor_weights(node)
+                .expect("temporal sampling needs edge timestamps");
+            filtered = nb
+                .iter()
+                .zip(ts)
+                .filter(|&(_, &t)| t <= cutoff)
+                .map(|(&u, _)| u)
+                .collect();
+            &filtered[..]
+        } else {
+            nb
+        };
+        if count == 0 || nb.is_empty() {
+            Vec::new()
+        } else if biased {
+            let ws = self
+                .graph
+                .neighbor_weights(node)
+                .expect("biased sampling on an unweighted graph");
+            local::sample_weighted(nb, ws, count as usize, &mut rng)
+        } else if without_replacement {
+            local::sample_uniform(nb, count as usize, &mut rng)
+        } else {
+            local::sample_uniform_with_replacement(nb, count as usize, &mut rng)
+        }
+    }
+
     /// Stage 1+2+3 for one layer given per-frontier-node counts.
-    /// Returns (offsets, neighbors) in frontier order.
-    fn sample_layer(
+    /// Returns (offsets, neighbors) in frontier order. Errors when a
+    /// collective fails (dead peer / deadline).
+    fn try_sample_layer(
         &mut self,
         clock: &mut Clock,
         layer: usize,
         frontier: &[NodeId],
         counts: &[u32],
-    ) -> (Vec<u32>, Vec<NodeId>) {
+    ) -> Result<(Vec<u32>, Vec<NodeId>), CommError> {
         let model = *self.cluster.model();
         // Partition kernel (compute owner per frontier node + compact).
         clock.work(
@@ -229,7 +314,7 @@ impl CspSampler {
         let (sends, placement) = self.partition_by_owner(frontier, |i| counts[i]);
 
         // --- shuffle: (node, count) pairs to owners, 8 B per item.
-        let requests = self.comm.all_to_all_v(self.rank, clock, sends, 8);
+        let requests = self.comm.try_all_to_all_v(self.rank, clock, sends, 8)?;
 
         // --- sample: one fused kernel over all received requests (the
         // paper's design), or one small kernel per task (the async
@@ -260,11 +345,6 @@ impl CspSampler {
             // each stage pays (n-1) extra point-to-point latencies.
             clock.work(2.0 * peers * ds_simgpu::topology::TRANSFER_LATENCY);
         }
-        let biased = self.cfg.biased;
-        let temporal = self.cfg.temporal_cutoff;
-        let without_replacement = !matches!(self.cfg.scheme, Scheme::LayerWise { replace: true });
-        let batch = self.batch_index;
-        let seed = self.cfg.seed;
         // Spilled adjacency lists (§6's adjacency position list): lists
         // not resident on this GPU are read from host memory over UVA.
         let mut spilled_nodes = 0u64;
@@ -275,48 +355,13 @@ impl CspSampler {
                 let mut counts_out = Vec::with_capacity(reqs.len());
                 let mut flat = Vec::new();
                 for (node, count) in reqs {
-                    let mut rng = request_rng(seed, batch, layer, node);
-                    let nb = self.graph.neighbors(node);
-                    if !self.graph.is_resident(node) {
-                        spilled_nodes += 1;
-                        spilled_reads += if biased {
-                            // Whole adjacency + weight list.
-                            (nb.len() as u64 * 8).div_ceil(32)
-                        } else {
-                            count.min(nb.len() as u32) as u64
-                        };
-                    }
-                    // Temporal predicate pushed with the task: restrict
-                    // to edges no newer than the cutoff.
-                    let filtered: Vec<NodeId>;
-                    let nb = if let Some(cutoff) = temporal {
-                        let ts = self
-                            .graph
-                            .neighbor_weights(node)
-                            .expect("temporal sampling needs edge timestamps");
-                        filtered = nb
-                            .iter()
-                            .zip(ts)
-                            .filter(|&(_, &t)| t <= cutoff)
-                            .map(|(&u, _)| u)
-                            .collect();
-                        &filtered[..]
-                    } else {
-                        nb
-                    };
-                    let sampled = if count == 0 || nb.is_empty() {
-                        Vec::new()
-                    } else if biased {
-                        let ws = self
-                            .graph
-                            .neighbor_weights(node)
-                            .expect("biased sampling on an unweighted graph");
-                        local::sample_weighted(nb, ws, count as usize, &mut rng)
-                    } else if without_replacement {
-                        local::sample_uniform(nb, count as usize, &mut rng)
-                    } else {
-                        local::sample_uniform_with_replacement(nb, count as usize, &mut rng)
-                    };
+                    let sampled = self.sample_node(
+                        layer,
+                        node,
+                        count,
+                        &mut spilled_nodes,
+                        &mut spilled_reads,
+                    );
                     counts_out.push(sampled.len() as u32);
                     flat.extend(sampled);
                 }
@@ -336,8 +381,12 @@ impl CspSampler {
         // --- reshuffle: per-request counts, then the flat neighbor ids.
         let (count_sends, flat_sends): (Vec<Vec<u32>>, Vec<Vec<NodeId>>) =
             replies.into_iter().unzip();
-        let recv_counts = self.comm.all_to_all_v(self.rank, clock, count_sends, 4);
-        let recv_flat = self.comm.all_to_all_v(self.rank, clock, flat_sends, 4);
+        let recv_counts = self
+            .comm
+            .try_all_to_all_v(self.rank, clock, count_sends, 4)?;
+        let recv_flat = self
+            .comm
+            .try_all_to_all_v(self.rank, clock, flat_sends, 4)?;
 
         // Assemble in frontier order (compact kernel).
         let flat_offsets: Vec<Vec<u32>> = recv_counts
@@ -367,12 +416,65 @@ impl CspSampler {
                 .gpu
                 .time_full(neighbors.len() as u64, model.scan_cycles_per_item),
         );
+        Ok((offsets, neighbors))
+    }
+
+    /// Degraded pull-path version of [`Self::try_sample_layer`]: every
+    /// frontier node is sampled on this rank, no collectives. Adjacency
+    /// this rank doesn't hold (remote or host-spilled) is pulled over
+    /// UVA — the Fig. 1 pull cost the push paradigm normally avoids,
+    /// paid here deliberately to survive dead sampler peers.
+    fn sample_layer_local(
+        &mut self,
+        clock: &mut Clock,
+        layer: usize,
+        frontier: &[NodeId],
+        counts: &[u32],
+    ) -> (Vec<u32>, Vec<NodeId>) {
+        let model = *self.cluster.model();
+        let total_requested: u64 = counts.iter().map(|&c| c as u64).sum();
+        clock.work(
+            model
+                .gpu
+                .time_full(total_requested, model.sample_cycles_per_item),
+        );
+        let mut pulled_nodes = 0u64;
+        let mut pulled_reads = 0u64;
+        let mut offsets = Vec::with_capacity(frontier.len() + 1);
+        offsets.push(0u32);
+        let mut neighbors = Vec::new();
+        for (i, &node) in frontier.iter().enumerate() {
+            // Remote adjacency is a UVA pull here even when its owner
+            // had it resident; host-spilled local lists charge as usual.
+            if self.graph.owner(node) != self.rank {
+                pulled_nodes += 1;
+                pulled_reads += counts[i].min(self.graph.degree(node) as u32) as u64;
+                let mut ignored = (0u64, 0u64);
+                let sampled =
+                    self.sample_node(layer, node, counts[i], &mut ignored.0, &mut ignored.1);
+                neighbors.extend(sampled);
+            } else {
+                let sampled =
+                    self.sample_node(layer, node, counts[i], &mut pulled_nodes, &mut pulled_reads);
+                neighbors.extend(sampled);
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        if pulled_nodes > 0 {
+            let t = self.cluster.uva_read(self.rank, pulled_nodes, 16)
+                + self.cluster.uva_read(self.rank, pulled_reads, 32);
+            clock.work_on(t, ds_simgpu::clock::ResKind::Pcie);
+        }
         (offsets, neighbors)
     }
 
     /// Fetches `W_u` (Eq. 2) for each frontier node from its owner — the
     /// extra lightweight exchange layer-wise sampling needs.
-    fn fetch_total_weights(&mut self, clock: &mut Clock, frontier: &[NodeId]) -> Vec<f64> {
+    fn try_fetch_total_weights(
+        &mut self,
+        clock: &mut Clock,
+        frontier: &[NodeId],
+    ) -> Result<Vec<f64>, CommError> {
         let model = *self.cluster.model();
         clock.work(
             model
@@ -380,7 +482,7 @@ impl CspSampler {
                 .time_full(frontier.len() as u64, model.scan_cycles_per_item),
         );
         let (sends, placement) = self.partition_by_owner(frontier, |_| ());
-        let queries = self.comm.all_to_all_v(self.rank, clock, sends, 4);
+        let queries = self.comm.try_all_to_all_v(self.rank, clock, sends, 4)?;
         let replies: Vec<Vec<f32>> = queries
             .into_iter()
             .map(|qs| {
@@ -389,16 +491,39 @@ impl CspSampler {
                     .collect()
             })
             .collect();
-        let recv = self.comm.all_to_all_v(self.rank, clock, replies, 4);
-        placement
+        let recv = self.comm.try_all_to_all_v(self.rank, clock, replies, 4)?;
+        Ok(placement
             .iter()
             .map(|&(owner, idx)| recv[owner][idx as usize] as f64)
+            .collect())
+    }
+
+    /// Degraded (no-collective) version of
+    /// [`Self::try_fetch_total_weights`]. The f32 round-trip mirrors the
+    /// wire format so the multinomial allocation is bit-identical.
+    fn total_weights_local(&mut self, clock: &mut Clock, frontier: &[NodeId]) -> Vec<f64> {
+        let model = *self.cluster.model();
+        clock.work(
+            model
+                .gpu
+                .time_full(frontier.len() as u64, model.scan_cycles_per_item),
+        );
+        frontier
+            .iter()
+            .map(|&v| self.graph.total_weight(v) as f32 as f64)
             .collect()
     }
-}
 
-impl BatchSampler for CspSampler {
-    fn sample_batch(&mut self, clock: &mut Clock, seeds: &[NodeId]) -> GraphSample {
+    /// Fallible [`BatchSampler::sample_batch`]: surfaces collective
+    /// failures instead of panicking. The batch index advances only on
+    /// success, so a failed batch retried (typically after
+    /// [`Self::set_degraded`]) reproduces the exact sample the
+    /// collective path would have built.
+    pub fn try_sample_batch(
+        &mut self,
+        clock: &mut Clock,
+        seeds: &[NodeId],
+    ) -> Result<GraphSample, CommError> {
         let batch = self.batch_index;
         let mut frontier: Vec<NodeId> = seeds.to_vec();
         let fanout = self.cfg.fanout.clone();
@@ -407,12 +532,20 @@ impl BatchSampler for CspSampler {
             let counts: Vec<u32> = match self.cfg.scheme {
                 Scheme::NodeWise => vec![fan as u32; frontier.len()],
                 Scheme::LayerWise { .. } => {
-                    let weights = self.fetch_total_weights(clock, &frontier);
+                    let weights = if self.degraded {
+                        self.total_weights_local(clock, &frontier)
+                    } else {
+                        self.try_fetch_total_weights(clock, &frontier)?
+                    };
                     let mut rng = request_rng(self.cfg.seed, batch, l, u32::MAX);
                     local::multinomial_counts(&weights, fan, &mut rng)
                 }
             };
-            let (offsets, neighbors) = self.sample_layer(clock, l, &frontier, &counts);
+            let (offsets, neighbors) = if self.degraded {
+                self.sample_layer_local(clock, l, &frontier, &counts)
+            } else {
+                self.try_sample_layer(clock, l, &frontier, &counts)?
+            };
             let layer = SampleLayer::new(frontier.clone(), offsets, neighbors);
             // Dedup/sort kernel for the next frontier.
             let model = *self.cluster.model();
@@ -425,7 +558,14 @@ impl BatchSampler for CspSampler {
             layers.push(layer);
         }
         self.batch_index += 1;
-        GraphSample::new(seeds.to_vec(), layers)
+        Ok(GraphSample::new(seeds.to_vec(), layers))
+    }
+}
+
+impl BatchSampler for CspSampler {
+    fn sample_batch(&mut self, clock: &mut Clock, seeds: &[NodeId]) -> GraphSample {
+        self.try_sample_batch(clock, seeds)
+            .unwrap_or_else(|e| panic!("sampling failed: {e}"))
     }
 }
 
@@ -680,6 +820,42 @@ mod tests {
             unfused[0].1,
             fused[0].1
         );
+    }
+
+    #[test]
+    fn degraded_pull_path_reproduces_collective_samples() {
+        // The supervisor's crashed-peer fallback: a rank re-sampling
+        // locally (no collectives) must build bit-identical samples to
+        // the collective path, for both schemes.
+        for cfg in [
+            CspConfig::node_wise(vec![4, 3]),
+            CspConfig::layer_wise(vec![32, 16], true),
+        ] {
+            let g = gen::erdos_renyi(200, 4000, true, 21);
+            let g2 = g.clone();
+            let cfg2 = cfg.clone();
+            let collective = with_two_ranks(g, cfg, move |s, clock| {
+                let seeds: Vec<NodeId> = if s.rank == 0 {
+                    vec![0, 5, 17]
+                } else {
+                    vec![150, 160]
+                };
+                s.sample_batch(clock, &seeds)
+            });
+            let degraded = with_two_ranks(g2, cfg2, move |s, clock| {
+                s.set_degraded(true);
+                assert!(s.is_degraded());
+                let seeds: Vec<NodeId> = if s.rank == 0 {
+                    vec![0, 5, 17]
+                } else {
+                    vec![150, 160]
+                };
+                // No peer coordination happens at all in degraded mode,
+                // yet the sample matches.
+                s.try_sample_batch(clock, &seeds).unwrap()
+            });
+            assert_eq!(collective, degraded);
+        }
     }
 
     #[test]

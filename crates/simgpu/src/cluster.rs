@@ -1,10 +1,12 @@
 //! The assembled simulated machine: devices + host + topology + model.
 
+use crate::fault::{FaultHandle, FaultHook};
 use crate::memory::MemoryPool;
 use crate::model::MachineModel;
 use crate::topology::{Topology, TRANSFER_LATENCY};
 use crate::traffic::{Link, TrafficMeter};
 use crate::Rank;
+use std::sync::OnceLock;
 
 /// Static description of the machine to simulate.
 #[derive(Clone, Copy, Debug)]
@@ -64,12 +66,26 @@ pub struct DeviceState {
 }
 
 /// The simulated machine.
-#[derive(Debug)]
 pub struct Cluster {
     spec: ClusterSpec,
     topology: Topology,
     devices: Vec<DeviceState>,
     host_mem: MemoryPool,
+    /// Installed fault-injection hook; empty = fault-free (the zero-cost
+    /// default: one `get()` on the happy path).
+    fault: OnceLock<FaultHandle>,
+}
+
+impl std::fmt::Debug for Cluster {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Cluster")
+            .field("spec", &self.spec)
+            .field("topology", &self.topology)
+            .field("devices", &self.devices)
+            .field("host_mem", &self.host_mem)
+            .field("fault", &self.fault.get().map(|_| "installed"))
+            .finish()
+    }
 }
 
 impl Cluster {
@@ -87,6 +103,30 @@ impl Cluster {
             topology,
             devices,
             host_mem: MemoryPool::new(spec.host_mem_bytes),
+            fault: OnceLock::new(),
+        }
+    }
+
+    /// Installs a fault-injection hook. May be called at most once per
+    /// cluster; returns `false` if a hook was already installed.
+    pub fn install_fault_hook(&self, hook: FaultHandle) -> bool {
+        self.fault.set(hook).is_ok()
+    }
+
+    /// The installed fault hook, if any.
+    #[inline]
+    pub fn fault_hook(&self) -> Option<&dyn FaultHook> {
+        self.fault.get().map(|h| h.as_ref())
+    }
+
+    /// Fault perturbation for a transfer initiated by `rank`: the
+    /// slowdown factor (≥ 1) and additive delay (virtual seconds).
+    /// `(1.0, 0.0)` when no hook is installed — the no-op fast path.
+    #[inline]
+    pub fn fault_transfer(&self, rank: Rank) -> (f64, f64) {
+        match self.fault.get() {
+            None => (1.0, 0.0),
+            Some(h) => (h.device_slowdown(rank).max(1.0), h.transfer_delay(rank)),
         }
     }
 
@@ -128,7 +168,9 @@ impl Cluster {
         }
         let hops = self.topology.nvlink_hops(from, to) as u64;
         self.devices[from].meter.record(Link::NvLink, bytes * hops);
-        TRANSFER_LATENCY * hops as f64 + bytes as f64 / self.topology.nvlink_bw(from, to)
+        let (slow, delay) = self.fault_transfer(from);
+        slow * (TRANSFER_LATENCY * hops as f64 + bytes as f64 / self.topology.nvlink_bw(from, to))
+            + delay
     }
 
     /// Time for a UVA read of `payload_bytes` useful bytes from host
@@ -149,7 +191,8 @@ impl Cluster {
         // close. This is why spilled-topology sampling hurts more per
         // byte than cold-feature fetching (the Fig. 10 trade-off).
         let efficiency = (payload_per_request as f64 / 256.0).clamp(0.35, 1.0);
-        TRANSFER_LATENCY + wire as f64 / (self.topology.pcie_bw(r) * efficiency)
+        let (slow, delay) = self.fault_transfer(r);
+        slow * (TRANSFER_LATENCY + wire as f64 / (self.topology.pcie_bw(r) * efficiency)) + delay
     }
 
     /// Time for a plain (DMA, non-UVA) host→device copy of `bytes` by
@@ -159,7 +202,8 @@ impl Cluster {
             return 0.0;
         }
         self.devices[r].meter.record(Link::Pcie, bytes);
-        TRANSFER_LATENCY + bytes as f64 / self.topology.pcie_bw(r)
+        let (slow, delay) = self.fault_transfer(r);
+        slow * (TRANSFER_LATENCY + bytes as f64 / self.topology.pcie_bw(r)) + delay
     }
 
     /// Aggregate traffic snapshot over all devices: (nvlink, pcie,

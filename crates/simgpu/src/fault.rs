@@ -1,0 +1,104 @@
+//! Fault-injection hook points for the simulated cluster.
+//!
+//! The trait lives here (not in `ds-fault`) so every layer that already
+//! holds an [`crate::Cluster`] — collectives, loaders, samplers, the
+//! pipeline — can consult the installed hook without new dependencies.
+//! `ds-fault` provides the seed-driven implementation; when no hook is
+//! installed every query short-circuits to the fault-free default, so
+//! the happy path costs one `Option` check.
+//!
+//! All delays are *virtual* seconds: injected faults perturb the
+//! simulated timeline (and, for crashes/shard loss, the data placement)
+//! but never the sampled data itself — sampling randomness is keyed on
+//! `(seed, batch, layer, node)`, which is what makes delay-only chaos
+//! runs bit-identical to fault-free runs.
+
+use std::sync::Arc;
+
+/// Worker kinds a fault plan can target (the three §5 pipeline stages).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum WorkerKind {
+    /// The CSP sampler worker.
+    Sampler,
+    /// The feature-loader worker.
+    Loader,
+    /// The trainer worker.
+    Trainer,
+}
+
+impl std::fmt::Display for WorkerKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WorkerKind::Sampler => write!(f, "sampler"),
+            WorkerKind::Loader => write!(f, "loader"),
+            WorkerKind::Trainer => write!(f, "trainer"),
+        }
+    }
+}
+
+/// Injection points consulted by the stack. Every method has a
+/// fault-free default, so implementations override only what they
+/// schedule.
+pub trait FaultHook: Send + Sync {
+    /// Multiplier (≥ 1.0) applied to kernel/transfer durations on
+    /// `rank` — a slow (thermally throttled, contended) device.
+    fn device_slowdown(&self, _rank: usize) -> f64 {
+        1.0
+    }
+
+    /// Extra virtual seconds added to one transfer touching `rank`
+    /// (NVLink, PCIe or UVA). Dropped transfers are modelled as a
+    /// retransmit: a large delay rather than lost data.
+    fn transfer_delay(&self, _rank: usize) -> f64 {
+        0.0
+    }
+
+    /// Virtual seconds `worker` on `rank` stalls before `batch` (a
+    /// wedged-but-alive worker). `0.0` = no stall.
+    fn worker_stall(&self, _rank: usize, _worker: WorkerKind, _batch: u64) -> f64 {
+        0.0
+    }
+
+    /// Whether `worker` on `rank` crashes at the start of `batch`.
+    fn worker_crashes(&self, _rank: usize, _worker: WorkerKind, _batch: u64) -> bool {
+        false
+    }
+
+    /// Whether `rank`'s feature-cache shard is lost (ECC poisoning,
+    /// eviction under memory pressure). Lookups against a lost shard
+    /// miss and fall back to UVA cold fetches.
+    fn cache_shard_lost(&self, _rank: usize) -> bool {
+        false
+    }
+}
+
+/// A hook that never injects anything (the explicit no-op).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {}
+
+/// Shared handle used by [`crate::Cluster`].
+pub type FaultHandle = Arc<dyn FaultHook>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_fault_free() {
+        let h = NoFaults;
+        assert_eq!(h.device_slowdown(3), 1.0);
+        assert_eq!(h.transfer_delay(0), 0.0);
+        assert_eq!(h.worker_stall(0, WorkerKind::Sampler, 7), 0.0);
+        assert!(!h.worker_crashes(1, WorkerKind::Trainer, 0));
+        assert!(!h.cache_shard_lost(2));
+    }
+
+    #[test]
+    fn worker_kind_displays_lowercase() {
+        assert_eq!(WorkerKind::Sampler.to_string(), "sampler");
+        assert_eq!(WorkerKind::Loader.to_string(), "loader");
+        assert_eq!(WorkerKind::Trainer.to_string(), "trainer");
+    }
+}

@@ -23,6 +23,7 @@
 
 pub mod clock;
 pub mod cluster;
+pub mod fault;
 pub mod memory;
 pub mod model;
 pub mod par;
@@ -31,6 +32,7 @@ pub mod traffic;
 
 pub use clock::Clock;
 pub use cluster::{Cluster, ClusterSpec, DeviceState};
+pub use fault::{FaultHandle, FaultHook, NoFaults, WorkerKind};
 pub use memory::MemoryPool;
 pub use model::{CpuModel, KernelModel, MachineModel};
 pub use topology::Topology;

@@ -32,6 +32,13 @@ fn main() {
     //    of the hot-feature cache on each GPU, and wires up the
     //    sampler→loader→trainer pipeline with CCC coordination.
     let mut dsp = DspSystem::new(&dataset, 2, &cfg, true);
+
+    // Optional chaos: DS_FAULT_PLAN (seeded by DS_FAULT_SEED) installs a
+    // deterministic fault plan — slowdowns, stalls, even a sampler crash
+    // survive via degraded local sampling.
+    if let Some(plan) = dsp::fault::FaultPlan::from_env(2) {
+        dsp.cluster().install_fault_hook(std::sync::Arc::new(plan));
+    }
     println!(
         "layout: {} feature rows cached across GPUs ({} per GPU budgeted)",
         dsp.layout().cache.total_cached(),

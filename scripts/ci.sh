@@ -8,8 +8,18 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo fmt --check
+scripts/lint_locks.sh
 cargo build --release --offline
 # `cargo test` does not compile harness=false benches; build them so
 # the ds-testkit bench API stays honest.
 cargo build --offline --benches
 cargo test -q --offline --workspace
+
+# Chaos stage: the full system under seed-driven fault injection, swept
+# over two fixed seeds via the env plumbing (delay-class chaos must be
+# invisible to convergence), on top of the crash/degradation scenarios
+# in tests/chaos.rs that already ran with the workspace suite.
+for seed in 1 2; do
+    DS_FAULT_PLAN="chaos:n=4" DS_FAULT_SEED="$seed" \
+        cargo test -q --offline --test fault_env
+done

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Lock-discipline lint: production code in the comm and pipeline crates
+# must not unwrap mutex locks. A worker that panics while holding a lock
+# poisons it; `lock().unwrap()` then cascades that panic into every
+# other worker touching the structure, turning one fault into a hang or
+# a pile of secondary panics. Production code routes through the local
+# `lock_unpoisoned` helpers (`unwrap_or_else(PoisonError::into_inner)`)
+# instead. Test modules (after `mod tests`) may unwrap freely.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for f in crates/comm/src/*.rs crates/pipeline/src/*.rs; do
+    # Only lint lines above the file's test module, if any.
+    hits=$(awk '/^(#\[cfg\(test\)\]|mod tests)/ { exit }
+                /\.lock\(\)[[:space:]]*\.unwrap\(\)|\.lock\(\)\.unwrap\(\)/ {
+                    printf "%s:%d: %s\n", FILENAME, NR, $0
+                }' "$f")
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "error: lock().unwrap() in production comm/pipeline code —" \
+         "use the crate's lock_unpoisoned helper instead." >&2
+fi
+exit "$status"

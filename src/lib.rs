@@ -12,6 +12,7 @@
 //! * [`cache`] — feature caching policies and loaders
 //! * [`tensor`] / [`gnn`] — dense math and GNN models/trainers
 //! * [`pipeline`] — producer-consumer pipeline machinery
+//! * [`fault`] — seed-driven deterministic fault injection
 //! * [`core`] — the assembled DSP system and baseline systems
 //! * [`rng`] — the in-tree deterministic PRNG every component seeds from
 //!
@@ -19,6 +20,7 @@
 
 pub use ds_cache as cache;
 pub use ds_comm as comm;
+pub use ds_fault as fault;
 pub use ds_gnn as gnn;
 pub use ds_graph as graph;
 pub use ds_partition as partition;

@@ -1,0 +1,220 @@
+//! Chaos tests: seed-driven fault injection against the full DSP
+//! system.
+//!
+//! Three properties are locked in:
+//! 1. **Delay-class chaos is invisible to convergence** — slowdowns,
+//!    transfer delays and worker stalls perturb only the virtual
+//!    timeline, so the loss trajectory stays bit-identical to the
+//!    fault-free run.
+//! 2. **A crashed sampler degrades, never hangs** — survivors fall back
+//!    to degraded local pull-path sampling, retry their in-flight batch
+//!    (bit-identical by RNG keying), and the epoch completes with the
+//!    retries reported. Same seed twice → identical outcome.
+//! 3. **A wedged collective terminates with a typed error** — dead-peer
+//!    detection or the watchdog deadline, both carrying a non-empty
+//!    diagnostics snapshot.
+
+use dsp::comm::{CommConfig, CommError, Communicator};
+use dsp::core::config::TrainConfig;
+use dsp::core::dsp::DspSystem;
+use dsp::core::error::DspError;
+use dsp::core::System;
+use dsp::fault::FaultPlan;
+use dsp::graph::{Dataset, DatasetSpec};
+use dsp::simgpu::{Clock, ClusterSpec, WorkerKind};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The two fixed seeds the CI chaos stage sweeps.
+const CHAOS_SEEDS: [u64; 2] = [11, 23];
+
+fn tiny() -> Dataset {
+    DatasetSpec::tiny(1500).build()
+}
+
+fn chaos_cfg() -> TrainConfig {
+    TrainConfig {
+        batch_size: 16,
+        comm_deadline_secs: 8.0,
+        ..TrainConfig::test_default()
+    }
+}
+
+/// Losses and replica checksums of `epochs` epochs, plus the final
+/// fault report.
+fn run_epochs(
+    plan: Option<FaultPlan>,
+    gpus: usize,
+    epochs: u64,
+) -> (Vec<f64>, Vec<f64>, dsp::core::FaultReport, usize) {
+    let d = tiny();
+    let cfg = chaos_cfg();
+    let mut sys = DspSystem::new(&d, gpus, &cfg, true);
+    if let Some(p) = plan {
+        assert!(sys.cluster().install_fault_hook(Arc::new(p)));
+    }
+    let mut losses = Vec::new();
+    let mut retried = 0;
+    for e in 0..epochs {
+        let stats = sys.try_run_epoch(e).expect("epoch should complete");
+        losses.push(stats.loss);
+        retried += stats.retried_batches;
+    }
+    (
+        losses,
+        sys.all_checksums(),
+        sys.last_fault_report(),
+        retried,
+    )
+}
+
+#[test]
+fn delay_chaos_leaves_the_loss_trajectory_bit_identical() {
+    for seed in CHAOS_SEEDS {
+        let (base_loss, base_sums, base_report, _) = run_epochs(None, 2, 2);
+        assert!(base_report.is_clean());
+        let plan = FaultPlan::new(seed).chaos(2, 6);
+        let (loss, sums, report, _) = run_epochs(Some(plan), 2, 2);
+        // Delay-class faults shift timing, never data: exact equality.
+        assert_eq!(base_loss, loss, "seed {seed}: loss trajectory diverged");
+        assert_eq!(base_sums, sums, "seed {seed}: replicas diverged");
+        assert!(report.crashed.is_empty() && report.degraded.is_empty());
+    }
+}
+
+#[test]
+fn sampler_crash_degrades_and_the_epoch_completes() {
+    let gpus = 3;
+    let (base_loss, base_sums, _, _) = run_epochs(None, gpus, 2);
+    for seed in CHAOS_SEEDS {
+        let plan = FaultPlan::new(seed).crash(1, WorkerKind::Sampler, 2);
+        let (loss, sums, report, retried) = run_epochs(Some(plan), gpus, 2);
+        // The crash is absorbed: every rank degrades to local pull-path
+        // sampling, survivors retry the in-flight batch, and because the
+        // sampling RNG is keyed on (seed, batch, layer, node) the
+        // retried/degraded samples are bit-identical — so is the loss.
+        assert_eq!(base_loss, loss, "seed {seed}: degraded run diverged");
+        assert_eq!(base_sums, sums, "seed {seed}: replicas diverged");
+        assert_eq!(report.crashed, vec![(1, WorkerKind::Sampler, 2)]);
+        assert_eq!(report.degraded, vec![0, 1, 2]);
+        assert!(
+            retried >= gpus - 1,
+            "each survivor retries its in-flight batch, got {retried}"
+        );
+        assert_eq!(report.retried.len(), retried);
+    }
+}
+
+#[test]
+fn same_seed_crash_runs_are_identical() {
+    let plan = || FaultPlan::new(CHAOS_SEEDS[0]).crash(0, WorkerKind::Sampler, 1);
+    let (loss_a, sums_a, report_a, retried_a) = run_epochs(Some(plan()), 2, 2);
+    let (loss_b, sums_b, report_b, retried_b) = run_epochs(Some(plan()), 2, 2);
+    assert_eq!(loss_a, loss_b);
+    assert_eq!(sums_a, sums_b);
+    assert_eq!(report_a, report_b);
+    assert_eq!(retried_a, retried_b);
+}
+
+#[test]
+fn lost_cache_shard_degrades_to_cold_fetches_not_wrong_features() {
+    let (base_loss, base_sums, _, _) = run_epochs(None, 2, 1);
+    let d = tiny();
+    let cfg = chaos_cfg();
+    let mut sys = DspSystem::new(&d, 2, &cfg, true);
+    assert!(sys
+        .cluster()
+        .install_fault_hook(Arc::new(FaultPlan::new(0).lose_shard(1))));
+    let stats = sys.try_run_epoch(0).expect("shard loss must not fail");
+    // Cold fetches return the same bytes the cache would have: the loss
+    // is unchanged, only the fetch path (and its cost) differs.
+    assert_eq!(vec![stats.loss], base_loss);
+    assert_eq!(sys.all_checksums(), base_sums);
+    let (_, cold) = sys.loader_totals();
+    assert!(cold > 0, "lost shard should force cold fetches");
+}
+
+#[test]
+fn trainer_crash_terminates_with_a_typed_error() {
+    let d = tiny();
+    let cfg = TrainConfig {
+        comm_deadline_secs: 2.0,
+        ..chaos_cfg()
+    };
+    let mut sys = DspSystem::new(&d, 2, &cfg, true);
+    assert!(sys
+        .cluster()
+        .install_fault_hook(Arc::new(
+            FaultPlan::new(0).crash(1, WorkerKind::Trainer, 1,)
+        )));
+    let start = Instant::now();
+    let err = sys
+        .try_run_epoch(0)
+        .expect_err("trainer has no replacement");
+    // BSP lockstep cannot survive a dead trainer: the epoch fails fast
+    // with the crash as root cause, not a hang.
+    match &err {
+        DspError::WorkerCrashed {
+            rank,
+            worker,
+            batch,
+        } => {
+            assert_eq!((*rank, *worker, *batch), (1, WorkerKind::Trainer, 1));
+        }
+        other => panic!("expected WorkerCrashed, got: {other}"),
+    }
+    let budget = Duration::from_secs_f64(cfg.comm_deadline_secs * (cfg.max_retries + 2) as f64);
+    assert!(
+        start.elapsed() < budget,
+        "termination took {:?}, budget {budget:?}",
+        start.elapsed()
+    );
+    let report = sys.last_fault_report();
+    assert_eq!(report.crashed, vec![(1, WorkerKind::Trainer, 1)]);
+}
+
+#[test]
+fn wedged_collective_reports_peer_failure_with_diagnostics() {
+    let cluster = Arc::new(ClusterSpec::v100(2).build());
+    let comm = Arc::new(Communicator::new(9, cluster).with_config(CommConfig {
+        deadline: Duration::from_secs(30),
+    }));
+    let c2 = Arc::clone(&comm);
+    let h = std::thread::spawn(move || {
+        let mut clock = Clock::new();
+        c2.try_all_reduce_sum(0, &mut clock, vec![1.0f32; 8])
+    });
+    std::thread::sleep(Duration::from_millis(50));
+    let start = Instant::now();
+    comm.mark_failed(1);
+    let err = h.join().unwrap().expect_err("peer 1 never arrives");
+    // Detection is event-driven: far faster than the 30s deadline.
+    assert!(start.elapsed() < Duration::from_secs(5));
+    match &err {
+        CommError::PeerFailed { rank, diag } => {
+            assert_eq!(*rank, 1);
+            assert_eq!(diag.expected, 2);
+            assert_eq!(diag.failed, vec![1]);
+            assert!(!diag.summary().is_empty());
+        }
+        other => panic!("expected PeerFailed, got: {other}"),
+    }
+}
+
+#[test]
+fn wedged_collective_times_out_within_the_deadline() {
+    let cluster = Arc::new(ClusterSpec::v100(2).build());
+    let comm = Communicator::new(9, cluster).with_config(CommConfig {
+        deadline: Duration::from_millis(300),
+    });
+    let mut clock = Clock::new();
+    let start = Instant::now();
+    let err = comm
+        .try_all_reduce_sum(0, &mut clock, vec![1.0f32; 8])
+        .expect_err("peer 1 never arrives");
+    assert!(err.is_timeout(), "expected timeout, got: {err}");
+    assert!(start.elapsed() < Duration::from_secs(5));
+    let diag = err.diagnostics();
+    assert_eq!((diag.arrived, diag.expected), (1, 2));
+    assert!(!diag.summary().is_empty());
+}

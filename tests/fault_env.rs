@@ -1,0 +1,32 @@
+//! `DS_FAULT_PLAN` / `DS_FAULT_SEED` environment plumbing through
+//! [`dsp::core::build_system`].
+//!
+//! Kept in its own integration-test binary: each test file runs as a
+//! separate process, so mutating the process environment here cannot
+//! leak a fault plan into unrelated tests running in parallel.
+
+use dsp::core::{build_system, SystemKind, TrainConfig};
+use dsp::graph::DatasetSpec;
+
+#[test]
+fn env_fault_plan_is_installed_and_is_timing_only() {
+    let d = DatasetSpec::tiny(1200).build();
+    let cfg = TrainConfig {
+        batch_size: 16,
+        ..TrainConfig::test_default()
+    };
+    let base = build_system(SystemKind::Dsp, &d, 2, &cfg).run_epoch(0);
+
+    // SAFETY: this binary's only test — no concurrent env readers.
+    unsafe {
+        std::env::set_var("DS_FAULT_PLAN", "chaos:n=5");
+        std::env::set_var("DS_FAULT_SEED", "7");
+    }
+    let mut sys = build_system(SystemKind::Dsp, &d, 2, &cfg);
+    let chaotic = sys.run_epoch(0);
+
+    // Delay-class chaos perturbs timing, never data.
+    assert_eq!(base.loss, chaotic.loss);
+    assert_eq!(base.accuracy, chaotic.accuracy);
+    assert_eq!(base.num_batches, chaotic.num_batches);
+}

@@ -139,14 +139,14 @@ props! {
             let mut clock = Clock::new();
             for (i, dt) in s_times.iter().enumerate() {
                 clock.work(*dt);
-                q1p.push(&mut clock, i);
+                q1p.push(&mut clock, i).unwrap();
             }
         });
         let h2 = std::thread::spawn(move || {
             let mut clock = Clock::new();
             while let Some(i) = q1c.pop(&mut clock) {
                 clock.work(l_times[i]);
-                q2p.push(&mut clock, i);
+                q2p.push(&mut clock, i).unwrap();
             }
         });
         let h3 = std::thread::spawn(move || {
