@@ -1,0 +1,59 @@
+//! Machine-readable pipeline telemetry: runs a short DSP training under
+//! tracing and folds the event stream into `BENCH_pipeline.json` —
+//! epoch time, utilization, per-stage times, queue occupancy, cache and
+//! communication counters. Every number is consumed from the trace
+//! stream (not recomputed by hand), so this file is also an end-to-end
+//! check that the instrumentation carries the whole story.
+//!
+//! ```sh
+//! cargo run --release -p ds-bench --bin bench_pipeline
+//! ```
+
+use ds_graph::DatasetSpec;
+use dsp_core::config::TrainConfig;
+use dsp_core::dsp::DspSystem;
+use dsp_core::system::System;
+
+fn main() {
+    // Tracing on programmatically — no env needed; clear any events a
+    // DS_TRACE=1 environment may already have buffered.
+    ds_trace::recorder().set_enabled(true);
+    ds_trace::recorder().clear();
+
+    let scale = if ds_bench::quick_mode() { 2 } else { 1 };
+    let dataset = DatasetSpec::tiny(4000 / scale).build();
+    let mut cfg = TrainConfig::paper_default();
+    cfg.hidden = 32;
+    cfg.batch_size = 64;
+    let epochs = if ds_bench::quick_mode() { 2 } else { 4 };
+
+    let mut dsp = DspSystem::new(&dataset, 2, &cfg, true);
+    for epoch in 0..epochs {
+        let stats = dsp.run_epoch(epoch);
+        eprintln!(
+            "[bench_pipeline] epoch {epoch}: {} batches, epoch time {:.2} ms",
+            stats.num_batches,
+            stats.epoch_time * 1e3
+        );
+    }
+
+    let events = ds_trace::recorder().take();
+    let t = ds_trace::summary::telemetry(&events);
+    assert!(t.events > 0, "trace stream is empty — instrumentation lost");
+    assert!(t.epoch_time_s > 0.0, "trace carries no epoch makespan");
+    assert!(
+        !t.stages.is_empty() && !t.queues.is_empty(),
+        "telemetry must include per-stage times and queue occupancy"
+    );
+    std::fs::write("BENCH_pipeline.json", t.to_json()).expect("write BENCH_pipeline.json");
+    println!(
+        "BENCH_pipeline.json: {} epochs, epoch_time {:.3} ms, utilization {:.0}%, \
+         {} stages, {} queues ({} events)",
+        t.epochs,
+        t.epoch_time_s * 1e3,
+        t.utilization * 100.0,
+        t.stages.len(),
+        t.queues.len(),
+        t.events
+    );
+}

@@ -1,0 +1,29 @@
+//! CI validator for exported Chrome traces: parses the JSON with the
+//! in-tree parser, checks `traceEvents` is non-empty and that every
+//! `B` has a matching `E` per `(pid, tid)` lane. Exits non-zero (with a
+//! reason) on any violation.
+//!
+//! ```sh
+//! cargo run -p ds-bench --bin trace_check -- results/quickstart_trace.json
+//! ```
+
+fn main() {
+    let paths: Vec<String> = std::env::args().skip(1).collect();
+    if paths.is_empty() {
+        eprintln!("usage: trace_check <trace.json> [...]");
+        std::process::exit(2);
+    }
+    for path in &paths {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("trace_check: cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match ds_trace::chrome::check_chrome_text(&text) {
+            Ok(spans) => println!("trace_check: {path} ok ({spans} spans, balanced)"),
+            Err(why) => {
+                eprintln!("trace_check: {path} INVALID: {why}");
+                std::process::exit(1);
+            }
+        }
+    }
+}

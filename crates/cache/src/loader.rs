@@ -90,7 +90,18 @@ impl DspLoader {
     /// (dead peer, deadlock timeout) instead of panicking, for the
     /// supervised pipeline. A lost cache shard (fault hook) degrades
     /// gracefully — its rows simply miss and fall to the UVA cold path.
+    /// Trace wrapper: on error, spans opened by the failed stage are
+    /// closed at the failure time so retries keep the stream balanced.
     pub fn try_load(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Result<Matrix, CommError> {
+        let depth = ds_trace::open_depth();
+        let out = self.load_stages(clock, nodes);
+        if out.is_err() {
+            ds_trace::close_open_spans_to(depth, clock.now());
+        }
+        out
+    }
+
+    fn load_stages(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Result<Matrix, CommError> {
         let dim = self.cache.dim();
         let model = *self.cluster.model();
         let n = self.comm.num_ranks();
@@ -100,6 +111,7 @@ impl DspLoader {
                 .gpu
                 .time_full(nodes.len() as u64, model.scan_cycles_per_item),
         );
+        ds_trace::span_begin(clock.now(), "load.hot");
         let mut sends: Vec<Vec<NodeId>> = vec![Vec::new(); n];
         let mut placement = Vec::with_capacity(nodes.len());
         for &v in nodes {
@@ -151,6 +163,8 @@ impl DspLoader {
         let before_rows = clock.now();
         let recv_rows = self.comm.try_all_to_all_v(self.rank, clock, row_sends, 4)?;
         let nvlink_path = clock.now() - before_rows;
+        ds_trace::span_end(clock.now());
+        ds_trace::span_begin(clock.now(), "load.cold");
 
         // Assemble; collect cold nodes for the UVA path.
         let mut row_cursor = vec![0usize; n];
@@ -181,6 +195,9 @@ impl DspLoader {
         }
         let hits = (nodes.len() - cold_nodes.len()) as u64;
         self.stats.add(hits, cold_nodes.len() as u64);
+        ds_trace::span_end(clock.now());
+        ds_trace::counter(clock.now(), "cache", "hits", hits as f64);
+        ds_trace::counter(clock.now(), "cache", "cold", cold_nodes.len() as f64);
         Ok(out)
     }
 }

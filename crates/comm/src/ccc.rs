@@ -226,6 +226,15 @@ impl Coordinator {
         lock_unpoisoned(&self.state).order.clone()
     }
 
+    /// Launch-queue length as seen by `rank`: entries the leader issued
+    /// that this rank has not launched yet. Real-time dependent — the
+    /// trace layer only records it behind the opt-in realtime flag, so
+    /// the deterministic export stream never sees it.
+    pub fn pending(&self, rank: usize) -> usize {
+        let st = lock_unpoisoned(&self.state);
+        st.order.len().saturating_sub(st.cursor[rank])
+    }
+
     /// Launch-queue head for diagnostics: entries issued by the leader,
     /// every rank's cursor, and the worker id each rank would launch
     /// next (`None` when that rank has drained the order).
@@ -291,6 +300,18 @@ mod tests {
             c.launch(0, 5, || ());
         }
         assert_eq!(c.order_snapshot(), vec![5, 5, 5]);
+    }
+
+    #[test]
+    fn pending_counts_issued_entries_not_yet_launched() {
+        let c = Coordinator::new(2);
+        c.launch(0, 7, || ());
+        c.launch(0, 9, || ());
+        // The leader launched both of its own entries; rank 1 none.
+        assert_eq!(c.pending(0), 0);
+        assert_eq!(c.pending(1), 2);
+        c.launch_timeout(1, 7, Duration::from_millis(200), || ());
+        assert_eq!(c.pending(1), 1);
     }
 
     #[test]

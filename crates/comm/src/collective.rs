@@ -392,8 +392,10 @@ impl Communicator {
     // --- launch/landing discipline -------------------------------------
 
     /// Occupies a kernel slot on `rank` (via CCC if configured). Returns
-    /// false on timeout.
-    fn launch(&self, rank: usize, timeout: Duration) -> Result<bool, CommError> {
+    /// false on timeout. `t` is the caller's virtual time, used to stamp
+    /// the CCC launch-order trace instant (the launch itself charges no
+    /// virtual time).
+    fn launch(&self, rank: usize, timeout: Duration, t: f64) -> Result<bool, CommError> {
         if self.backend == Backend::Nvshmem {
             // One-sided puts: no peer kernel, no slot to occupy.
             return Ok(false);
@@ -405,6 +407,13 @@ impl Communicator {
             Some(ccc) => {
                 let abort = || self.any_failed.load(Ordering::Acquire);
                 match ccc.launch_abortable(rank, self.id, timeout, abort, || {
+                    // This closure runs exactly when CCC grants the
+                    // launch turn: the per-worker instants are the
+                    // virtual-timeline view of the launch order.
+                    ds_trace::instant(t, "ccc.launch", self.id as u64);
+                    if ds_trace::realtime() {
+                        ds_trace::counter(t, "ccc", "queue_len", ccc.pending(rank) as f64);
+                    }
                     slots.device(rank).acquire_timeout(timeout)
                 }) {
                     LaunchOutcome::Launched(a) => a,
@@ -443,7 +452,30 @@ impl Communicator {
 
     /// Deposits a payload + byte row, waits for all peers, then calls
     /// `pickup` under the round lock and departs. Returns pickup's value.
+    /// `op` names the collective in the trace (span per round, plus a
+    /// `comm.round_s` latency counter on success).
     fn exchange<R>(
+        &self,
+        rank: usize,
+        clock: &mut Clock,
+        op: &'static str,
+        payload: Box<dyn Any + Send>,
+        bytes_row: Vec<u64>,
+        timeout: Duration,
+        pickup: impl FnOnce(&Round) -> R,
+    ) -> Result<R, CommError> {
+        let t0 = clock.now();
+        ds_trace::span_begin_arg(t0, op, self.id as u64);
+        let out = self.exchange_inner(rank, clock, payload, bytes_row, timeout, pickup);
+        let t1 = clock.now();
+        ds_trace::span_end(t1);
+        if out.is_ok() {
+            ds_trace::counter(t1, "comm", "round_s", t1 - t0);
+        }
+        out
+    }
+
+    fn exchange_inner<R>(
         &self,
         rank: usize,
         clock: &mut Clock,
@@ -467,7 +499,7 @@ impl Communicator {
                 });
             }
         }
-        let launched = self.launch(rank, timeout)?;
+        let launched = self.launch(rank, timeout, clock.now())?;
         let deadline = std::time::Instant::now() + timeout;
         let mut st = lock_unpoisoned(&self.round);
         if st.failed[rank] {
@@ -688,6 +720,7 @@ impl Communicator {
         self.exchange(
             rank,
             clock,
+            "comm.a2a",
             Box::new(sends),
             bytes_row,
             timeout,
@@ -735,6 +768,7 @@ impl Communicator {
         self.exchange(
             rank,
             clock,
+            "comm.allreduce",
             Box::new(data),
             bytes_row,
             self.cfg.deadline,
@@ -774,6 +808,7 @@ impl Communicator {
         self.exchange(
             rank,
             clock,
+            "comm.allgather",
             Box::new(data),
             bytes_row,
             self.cfg.deadline,
@@ -820,6 +855,7 @@ impl Communicator {
         self.exchange(
             rank,
             clock,
+            "comm.bcast",
             Box::new(data),
             bytes_row,
             self.cfg.deadline,
@@ -848,7 +884,15 @@ impl Communicator {
         timeout: Duration,
     ) -> Result<(), CommError> {
         let bytes_row = vec![0u64; self.n];
-        self.exchange(rank, clock, Box::new(()), bytes_row, timeout, |_| ())
+        self.exchange(
+            rank,
+            clock,
+            "comm.barrier",
+            Box::new(()),
+            bytes_row,
+            timeout,
+            |_| (),
+        )
     }
 }
 

@@ -27,7 +27,7 @@ use ds_cache::{DspLoader, FeatureLoader};
 use ds_comm::{CommConfig, CommError, Communicator, Coordinator, DeviceSlots};
 use ds_gnn::Trainer;
 use ds_graph::{Dataset, Labels, NodeId};
-use ds_pipeline::queue::virtual_queue;
+use ds_pipeline::queue::virtual_queue_labeled;
 use ds_sampling::csp::{CspConfig, CspSampler};
 use ds_sampling::{BatchSampler, GraphSample};
 use ds_simgpu::{Clock, Cluster, WorkerKind};
@@ -164,6 +164,7 @@ fn supervised_sample(
                     });
                 }
                 ctx.sup.record_retry(ctx.rank, batch);
+                ds_trace::instant(clock.now(), "retry", batch);
                 ctx.backoff(clock, attempts);
             }
         }
@@ -197,6 +198,7 @@ fn supervised_load(
                     });
                 }
                 ctx.sup.record_retry(ctx.rank, batch);
+                ds_trace::instant(clock.now(), "retry", batch);
                 ctx.backoff(clock, attempts);
             }
             Err(e) => return Err(DspError::Comm(e)),
@@ -238,6 +240,7 @@ fn supervised_train(
                     });
                 }
                 ctx.sup.record_retry(ctx.rank, batch);
+                ds_trace::instant(clock.now(), "retry", batch);
                 ctx.backoff(clock, attempts);
             }
             Err(e) => return Err(DspError::Comm(e)),
@@ -267,11 +270,14 @@ fn run_rank_pipelined(
         loader,
         trainer,
     } = state;
-    let (mut sample_tx, mut sample_rx) = virtual_queue::<GraphSample>(cap);
-    let (mut feat_tx, mut feat_rx) = virtual_queue::<(GraphSample, Matrix)>(cap);
+    let (mut sample_tx, mut sample_rx) = virtual_queue_labeled::<GraphSample>(cap, "q.sample");
+    let (mut feat_tx, mut feat_rx) = virtual_queue_labeled::<(GraphSample, Matrix)>(cap, "q.feat");
+    let rank = ctx.rank as u32;
     std::thread::scope(|s| {
         let sampler_thread = s.spawn(move || -> Result<Clock, DspError> {
+            let _trace = ds_trace::worker(rank, ds_trace::TID_SAMPLER);
             let mut clock = Clock::new();
+            ds_trace::span_begin(clock.now(), "sampler");
             let mut crashed = false;
             let mut batch = 0usize;
             while batch < batches.len() {
@@ -283,26 +289,33 @@ fn run_rank_pipelined(
                     // peers, who degrade too and retry their in-flight
                     // batch (bit-identical by RNG keying).
                     crashed = true;
+                    ds_trace::instant(clock.now(), "crash", b);
                     ctx.declare_dead(WorkerKind::Sampler, b);
                     ctx.degrade_sampler(sampler);
                 }
                 ctx.sup
                     .heartbeat(ctx.rank, WorkerKind::Sampler, b, clock.now());
+                ds_trace::span_begin_arg(clock.now(), "sample", b);
                 let sample = supervised_sample(sampler, &mut clock, &batches[batch], b, ctx)?;
+                ds_trace::span_end(clock.now());
                 if sample_tx.push(&mut clock, sample).is_err() {
                     // Downstream died; its own error is the story.
                     break;
                 }
                 batch += 1;
             }
+            ds_trace::span_end(clock.now());
             Ok(clock)
         });
         let loader_thread = s.spawn(move || -> Result<Clock, DspError> {
+            let _trace = ds_trace::worker(rank, ds_trace::TID_LOADER);
             let mut clock = Clock::new();
+            ds_trace::span_begin(clock.now(), "loader");
             let mut b = 0u64;
             while let Some(sample) = sample_rx.pop(&mut clock) {
                 ctx.stall(&mut clock, WorkerKind::Loader, b);
                 if ctx.crashes(WorkerKind::Loader, b) {
+                    ds_trace::instant(clock.now(), "crash", b);
                     ctx.declare_dead(WorkerKind::Loader, b);
                     return Err(DspError::WorkerCrashed {
                         rank: ctx.rank,
@@ -312,21 +325,27 @@ fn run_rank_pipelined(
                 }
                 ctx.sup
                     .heartbeat(ctx.rank, WorkerKind::Loader, b, clock.now());
+                ds_trace::span_begin_arg(clock.now(), "load", b);
                 let feats = supervised_load(loader, &mut clock, sample.input_nodes(), b, ctx)?;
+                ds_trace::span_end(clock.now());
                 if feat_tx.push(&mut clock, (sample, feats)).is_err() {
                     break;
                 }
                 b += 1;
             }
+            ds_trace::span_end(clock.now());
             Ok(clock)
         });
         let trainer_thread = s.spawn(move || -> Result<(Clock, MetricAccumulator), DspError> {
+            let _trace = ds_trace::worker(rank, ds_trace::TID_TRAINER);
             let mut clock = Clock::new();
+            ds_trace::span_begin(clock.now(), "trainer");
             let mut metrics = MetricAccumulator::default();
             let mut b = 0u64;
             while let Some((sample, feats)) = feat_rx.pop(&mut clock) {
                 ctx.stall(&mut clock, WorkerKind::Trainer, b);
                 if ctx.crashes(WorkerKind::Trainer, b) {
+                    ds_trace::instant(clock.now(), "crash", b);
                     ctx.declare_dead(WorkerKind::Trainer, b);
                     return Err(DspError::WorkerCrashed {
                         rank: ctx.rank,
@@ -336,10 +355,13 @@ fn run_rank_pipelined(
                 }
                 ctx.sup
                     .heartbeat(ctx.rank, WorkerKind::Trainer, b, clock.now());
+                ds_trace::span_begin_arg(clock.now(), "train", b);
                 let r = supervised_train(trainer, &mut clock, &sample, &feats, b, ctx)?;
+                ds_trace::span_end(clock.now());
                 metrics.add(r.loss, r.accuracy, r.seeds);
                 b += 1;
             }
+            ds_trace::span_end(clock.now());
             Ok((clock, metrics))
         });
         let r1 = sampler_thread.join().expect("sampler worker panicked");
@@ -381,7 +403,9 @@ fn run_rank_seq(
         loader,
         trainer,
     } = state;
+    let _trace = ds_trace::worker(ctx.rank as u32, ds_trace::TID_MAIN);
     let mut clock = Clock::new();
+    ds_trace::span_begin(clock.now(), "rank");
     let mut metrics = MetricAccumulator::default();
     let (mut sb, mut lb, mut tb) = (0.0, 0.0, 0.0);
     let mut sampler_crashed = false;
@@ -390,16 +414,20 @@ fn run_rank_seq(
         ctx.stall(&mut clock, WorkerKind::Sampler, b);
         if !sampler_crashed && ctx.crashes(WorkerKind::Sampler, b) {
             sampler_crashed = true;
+            ds_trace::instant(clock.now(), "crash", b);
             ctx.declare_dead(WorkerKind::Sampler, b);
             ctx.degrade_sampler(sampler);
         }
         ctx.sup
             .heartbeat(ctx.rank, WorkerKind::Sampler, b, clock.now());
         let b0 = clock.busy();
+        ds_trace::span_begin_arg(clock.now(), "sample", b);
         let sample = supervised_sample(sampler, &mut clock, seeds, b, ctx)?;
+        ds_trace::span_end(clock.now());
         let b1 = clock.busy();
         ctx.stall(&mut clock, WorkerKind::Loader, b);
         if ctx.crashes(WorkerKind::Loader, b) {
+            ds_trace::instant(clock.now(), "crash", b);
             ctx.declare_dead(WorkerKind::Loader, b);
             return Err(DspError::WorkerCrashed {
                 rank: ctx.rank,
@@ -409,10 +437,13 @@ fn run_rank_seq(
         }
         ctx.sup
             .heartbeat(ctx.rank, WorkerKind::Loader, b, clock.now());
+        ds_trace::span_begin_arg(clock.now(), "load", b);
         let feats = supervised_load(loader, &mut clock, sample.input_nodes(), b, ctx)?;
+        ds_trace::span_end(clock.now());
         let b2 = clock.busy();
         ctx.stall(&mut clock, WorkerKind::Trainer, b);
         if ctx.crashes(WorkerKind::Trainer, b) {
+            ds_trace::instant(clock.now(), "crash", b);
             ctx.declare_dead(WorkerKind::Trainer, b);
             return Err(DspError::WorkerCrashed {
                 rank: ctx.rank,
@@ -422,13 +453,16 @@ fn run_rank_seq(
         }
         ctx.sup
             .heartbeat(ctx.rank, WorkerKind::Trainer, b, clock.now());
+        ds_trace::span_begin_arg(clock.now(), "train", b);
         let r = supervised_train(trainer, &mut clock, &sample, &feats, b, ctx)?;
+        ds_trace::span_end(clock.now());
         let b3 = clock.busy();
         sb += b1 - b0;
         lb += b2 - b1;
         tb += b3 - b2;
         metrics.add(r.loss, r.accuracy, r.seeds);
     }
+    ds_trace::span_end(clock.now());
     Ok(RankEpoch {
         sample_busy: sb,
         load_busy: lb,
@@ -612,6 +646,7 @@ impl DspSystem {
     /// cache-shard loss); a typed [`DspError`] when a failure has no
     /// degradation path (dead loader/trainer peer, exhausted retries).
     pub fn try_run_epoch(&mut self, epoch: u64) -> Result<EpochStats, DspError> {
+        ds_trace::begin_epoch(epoch);
         self.layout.cluster.reset_traffic();
         let cap = self.cfg.queue_capacity;
         let pipelined = self.pipelined;

@@ -52,6 +52,10 @@ struct State<T> {
     buf: VecDeque<T>,
     senders: usize,
     receivers: usize,
+    /// Receivers currently blocked in `recv`/`recv_many`.
+    item_waiters: usize,
+    /// Senders currently blocked on a full bounded buffer.
+    slot_waiters: usize,
 }
 
 struct Shared<T> {
@@ -91,6 +95,8 @@ fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
             buf: VecDeque::new(),
             senders: 1,
             receivers: 1,
+            item_waiters: 0,
+            slot_waiters: 0,
         }),
         capacity,
         items: Condvar::new(),
@@ -104,8 +110,20 @@ fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
     )
 }
 
+/// Wake `progress` potential waiters: nothing when no one waits, one
+/// waiter for one transferable item, everyone only when more than one
+/// waiter can actually make progress (batched wake).
+fn wake(cv: &Condvar, progress: usize) {
+    match progress {
+        0 => {}
+        1 => cv.notify_one(),
+        _ => cv.notify_all(),
+    }
+}
+
 impl<T> Sender<T> {
-    /// Sends an item, blocking while a bounded channel is full.
+    /// Sends an item, blocking while a bounded channel is full. Wakes a
+    /// receiver only if one is actually blocked.
     pub fn send(&self, item: T) -> Result<(), SendError<T>> {
         let mut st = lock_unpoisoned(&self.shared.state);
         loop {
@@ -114,19 +132,78 @@ impl<T> Sender<T> {
             }
             match self.shared.capacity {
                 Some(cap) if st.buf.len() >= cap => {
+                    st.slot_waiters += 1;
                     st = self
                         .shared
                         .slots
                         .wait(st)
                         .unwrap_or_else(PoisonError::into_inner);
+                    st.slot_waiters -= 1;
                 }
                 _ => break,
             }
         }
         st.buf.push_back(item);
+        let progress = st.item_waiters.min(1);
         drop(st);
-        self.shared.items.notify_one();
+        wake(&self.shared.items, progress);
         Ok(())
+    }
+
+    /// Sends a whole batch, blocking for slots as needed. Items are
+    /// pushed in chunks under one lock acquisition each, and blocked
+    /// receivers get a *batched* wake: `notify_all` only when more than
+    /// one of them can take one of the newly buffered items, a single
+    /// `notify_one` otherwise. On receiver disconnect the unsent tail
+    /// comes back in the error.
+    pub fn send_many(&self, items: impl IntoIterator<Item = T>) -> Result<(), SendError<Vec<T>>> {
+        let mut queue: VecDeque<T> = items.into_iter().collect();
+        let mut st = lock_unpoisoned(&self.shared.state);
+        loop {
+            if st.receivers == 0 {
+                return Err(SendError(queue.into()));
+            }
+            let mut pushed = 0usize;
+            while !queue.is_empty() {
+                if matches!(self.shared.capacity, Some(cap) if st.buf.len() >= cap) {
+                    break;
+                }
+                st.buf.push_back(queue.pop_front().expect("non-empty"));
+                pushed += 1;
+            }
+            let done = queue.is_empty();
+            let progress = pushed.min(st.item_waiters);
+            if done {
+                drop(st);
+                wake(&self.shared.items, progress);
+                return Ok(());
+            }
+            if pushed > 0 {
+                // Buffer full with items left: hand the chunk over
+                // before blocking for slots.
+                drop(st);
+                wake(&self.shared.items, progress);
+                st = lock_unpoisoned(&self.shared.state);
+                continue;
+            }
+            st.slot_waiters += 1;
+            st = self
+                .shared
+                .slots
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+            st.slot_waiters -= 1;
+        }
+    }
+
+    /// Current buffer occupancy (racy probe; observability only).
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.shared.state).buf.len()
+    }
+
+    /// Whether the buffer is currently empty (racy probe).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -154,22 +231,55 @@ impl<T> Drop for Sender<T> {
 
 impl<T> Receiver<T> {
     /// Receives the next item, blocking while the channel is empty.
+    /// Wakes a blocked sender only if one is actually waiting for the
+    /// freed slot.
     pub fn recv(&self) -> Result<T, RecvError> {
         let mut st = lock_unpoisoned(&self.shared.state);
         loop {
             if let Some(item) = st.buf.pop_front() {
+                let progress = st.slot_waiters.min(1);
                 drop(st);
-                self.shared.slots.notify_one();
+                wake(&self.shared.slots, progress);
                 return Ok(item);
             }
             if st.senders == 0 {
                 return Err(RecvError);
             }
+            st.item_waiters += 1;
             st = self
                 .shared
                 .items
                 .wait(st)
                 .unwrap_or_else(PoisonError::into_inner);
+            st.item_waiters -= 1;
+        }
+    }
+
+    /// Receives up to `max` items in one lock acquisition, blocking
+    /// while the channel is empty. Blocked senders get a batched wake:
+    /// `notify_all` only when more than one can claim a freed slot.
+    pub fn recv_many(&self, max: usize) -> Result<Vec<T>, RecvError> {
+        assert!(max >= 1);
+        let mut st = lock_unpoisoned(&self.shared.state);
+        loop {
+            if !st.buf.is_empty() {
+                let n = max.min(st.buf.len());
+                let out: Vec<T> = st.buf.drain(..n).collect();
+                let progress = n.min(st.slot_waiters);
+                drop(st);
+                wake(&self.shared.slots, progress);
+                return Ok(out);
+            }
+            if st.senders == 0 {
+                return Err(RecvError);
+            }
+            st.item_waiters += 1;
+            st = self
+                .shared
+                .items
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+            st.item_waiters -= 1;
         }
     }
 
@@ -179,10 +289,21 @@ impl<T> Receiver<T> {
         let mut st = lock_unpoisoned(&self.shared.state);
         let item = st.buf.pop_front();
         if item.is_some() {
+            let progress = st.slot_waiters.min(1);
             drop(st);
-            self.shared.slots.notify_one();
+            wake(&self.shared.slots, progress);
         }
         item
+    }
+
+    /// Current buffer occupancy (racy probe; observability only).
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.shared.state).buf.len()
+    }
+
+    /// Whether the buffer is currently empty (racy probe).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
     }
 }
 
@@ -323,6 +444,71 @@ mod tests {
         drop(tx);
         drop(tx2);
         assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn send_many_crosses_a_bounded_buffer_in_order() {
+        let (tx, rx) = bounded(2);
+        let h = std::thread::spawn(move || tx.send_many(0..10u32));
+        let mut got = Vec::new();
+        for _ in 0..10 {
+            got.push(rx.recv().unwrap());
+        }
+        assert!(h.join().unwrap().is_ok());
+        assert_eq!(got, (0..10).collect::<Vec<_>>());
+        assert_eq!(rx.try_recv(), None);
+    }
+
+    #[test]
+    fn send_many_returns_the_unsent_tail_on_disconnect() {
+        let (tx, rx) = bounded(2);
+        let h = std::thread::spawn(move || tx.send_many(0..6u32));
+        std::thread::sleep(Duration::from_millis(20));
+        // Two items fit; dropping the receiver bounces the rest.
+        drop(rx);
+        let err = h.join().unwrap().unwrap_err();
+        assert_eq!(err.0, vec![2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn recv_many_drains_up_to_max_in_one_call() {
+        let (tx, rx) = unbounded();
+        tx.send_many(0..5u32).unwrap();
+        assert_eq!(rx.recv_many(3), Ok(vec![0, 1, 2]));
+        assert_eq!(rx.recv_many(10), Ok(vec![3, 4]));
+        drop(tx);
+        assert_eq!(rx.recv_many(1), Err(RecvError));
+    }
+
+    #[test]
+    fn batched_send_wakes_every_blocked_receiver_that_can_progress() {
+        let (tx, rx) = unbounded();
+        let mut readers = Vec::new();
+        for _ in 0..3 {
+            let rx = rx.clone();
+            readers.push(std::thread::spawn(move || rx.recv()));
+        }
+        // Give all three readers time to block, then hand over three
+        // items in one batch: every reader must wake and get one.
+        std::thread::sleep(Duration::from_millis(30));
+        tx.send_many([7u32, 8, 9]).unwrap();
+        let mut got: Vec<u32> = readers
+            .into_iter()
+            .map(|h| h.join().unwrap().unwrap())
+            .collect();
+        got.sort_unstable();
+        assert_eq!(got, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn occupancy_probe_tracks_buffer_length() {
+        let (tx, rx) = unbounded();
+        assert_eq!(rx.len(), 0);
+        assert!(tx.is_empty());
+        tx.send_many(0..4u32).unwrap();
+        assert_eq!(tx.len(), 4);
+        assert_eq!(rx.recv(), Ok(0));
+        assert_eq!(rx.len(), 3);
     }
 
     #[test]

@@ -35,16 +35,30 @@ pub struct QueueProducer<T> {
     feedback_rx: Receiver<f64>,
     capacity: usize,
     sent: u64,
+    label: &'static str,
 }
 
 /// Consumer half of a virtual-time bounded queue.
 pub struct QueueConsumer<T> {
     rx: Receiver<(T, f64)>,
     feedback_tx: Sender<f64>,
+    popped: u64,
+    label: &'static str,
 }
 
 /// Creates a connected producer/consumer pair with the given capacity.
 pub fn virtual_queue<T>(capacity: usize) -> (QueueProducer<T>, QueueConsumer<T>) {
+    virtual_queue_labeled(capacity, "")
+}
+
+/// [`virtual_queue`] with a trace label (`"q.<name>"` by convention).
+/// When tracing is enabled, push/pop emit cumulative counters on the
+/// virtual timeline — occupancy over time is reconstructed from them —
+/// and the producer reports virtual seconds spent in backpressure.
+pub fn virtual_queue_labeled<T>(
+    capacity: usize,
+    label: &'static str,
+) -> (QueueProducer<T>, QueueConsumer<T>) {
     assert!(capacity >= 1);
     let (tx, rx) = bounded(capacity);
     let (feedback_tx, feedback_rx) = unbounded();
@@ -54,8 +68,14 @@ pub fn virtual_queue<T>(capacity: usize) -> (QueueProducer<T>, QueueConsumer<T>)
             feedback_rx,
             capacity,
             sent: 0,
+            label,
         },
-        QueueConsumer { rx, feedback_tx },
+        QueueConsumer {
+            rx,
+            feedback_tx,
+            popped: 0,
+            label,
+        },
     )
 }
 
@@ -68,13 +88,20 @@ impl<T> QueueProducer<T> {
         if self.sent >= self.capacity as u64 {
             // Virtual backpressure: our slot frees when the consumer
             // popped item `sent - capacity`.
+            let before = clock.now();
             let pop_time = self.feedback_rx.recv().map_err(|_| Disconnected)?;
             clock.wait_until(pop_time);
+            if !self.label.is_empty() && pop_time > before {
+                ds_trace::counter(clock.now(), self.label, "wait_s", pop_time - before);
+            }
         }
         self.sent += 1;
         self.tx
             .send((item, clock.now()))
             .map_err(|_| Disconnected)?;
+        if !self.label.is_empty() {
+            ds_trace::counter(clock.now(), self.label, "push", self.sent as f64);
+        }
         Ok(())
     }
 }
@@ -89,6 +116,10 @@ impl<T> QueueConsumer<T> {
                 clock.wait_until(ready);
                 // Slot freed at our (synchronized) current time.
                 let _ = self.feedback_tx.send(clock.now());
+                self.popped += 1;
+                if !self.label.is_empty() {
+                    ds_trace::counter(clock.now(), self.label, "pop", self.popped as f64);
+                }
                 Some(item)
             }
             Err(_) => None,

@@ -296,7 +296,11 @@ impl CspSampler {
 
     /// Stage 1+2+3 for one layer given per-frontier-node counts.
     /// Returns (offsets, neighbors) in frontier order. Errors when a
-    /// collective fails (dead peer / deadline).
+    /// collective fails (dead peer / deadline). A trace wrapper around
+    /// [`Self::sample_layer_stages`]: a failed collective leaves the
+    /// current stage span open, so on error every span this call opened
+    /// is closed at the failure time — the exported stream stays
+    /// balanced across supervised retries.
     fn try_sample_layer(
         &mut self,
         clock: &mut Clock,
@@ -304,7 +308,23 @@ impl CspSampler {
         frontier: &[NodeId],
         counts: &[u32],
     ) -> Result<(Vec<u32>, Vec<NodeId>), CommError> {
+        let depth = ds_trace::open_depth();
+        let out = self.sample_layer_stages(clock, layer, frontier, counts);
+        if out.is_err() {
+            ds_trace::close_open_spans_to(depth, clock.now());
+        }
+        out
+    }
+
+    fn sample_layer_stages(
+        &mut self,
+        clock: &mut Clock,
+        layer: usize,
+        frontier: &[NodeId],
+        counts: &[u32],
+    ) -> Result<(Vec<u32>, Vec<NodeId>), CommError> {
         let model = *self.cluster.model();
+        ds_trace::span_begin_arg(clock.now(), "csp.shuffle", layer as u64);
         // Partition kernel (compute owner per frontier node + compact).
         clock.work(
             model
@@ -315,10 +335,12 @@ impl CspSampler {
 
         // --- shuffle: (node, count) pairs to owners, 8 B per item.
         let requests = self.comm.try_all_to_all_v(self.rank, clock, sends, 8)?;
+        ds_trace::span_end(clock.now());
 
         // --- sample: one fused kernel over all received requests (the
         // paper's design), or one small kernel per task (the async
         // alternative — launch overhead per request dominates).
+        ds_trace::span_begin_arg(clock.now(), "csp.sample", layer as u64);
         let total_requested: u64 = requests.iter().flatten().map(|&(_, c)| c as u64).sum();
         if self.cfg.fused {
             clock.work(
@@ -376,9 +398,12 @@ impl CspSampler {
             let t = self.cluster.uva_read(self.rank, spilled_nodes, 16)
                 + self.cluster.uva_read(self.rank, spilled_reads, 32);
             clock.work_on(t, ds_simgpu::clock::ResKind::Pcie);
+            ds_trace::counter(clock.now(), "csp", "spilled_nodes", spilled_nodes as f64);
         }
+        ds_trace::span_end(clock.now());
 
         // --- reshuffle: per-request counts, then the flat neighbor ids.
+        ds_trace::span_begin_arg(clock.now(), "csp.reshuffle", layer as u64);
         let (count_sends, flat_sends): (Vec<Vec<u32>>, Vec<Vec<NodeId>>) =
             replies.into_iter().unzip();
         let recv_counts = self
@@ -416,6 +441,7 @@ impl CspSampler {
                 .gpu
                 .time_full(neighbors.len() as u64, model.scan_cycles_per_item),
         );
+        ds_trace::span_end(clock.now());
         Ok((offsets, neighbors))
     }
 
@@ -471,6 +497,21 @@ impl CspSampler {
     /// Fetches `W_u` (Eq. 2) for each frontier node from its owner — the
     /// extra lightweight exchange layer-wise sampling needs.
     fn try_fetch_total_weights(
+        &mut self,
+        clock: &mut Clock,
+        frontier: &[NodeId],
+    ) -> Result<Vec<f64>, CommError> {
+        let depth = ds_trace::open_depth();
+        ds_trace::span_begin(clock.now(), "csp.weights");
+        let out = self.fetch_total_weights_inner(clock, frontier);
+        match out.is_ok() {
+            true => ds_trace::span_end(clock.now()),
+            false => ds_trace::close_open_spans_to(depth, clock.now()),
+        }
+        out
+    }
+
+    fn fetch_total_weights_inner(
         &mut self,
         clock: &mut Clock,
         frontier: &[NodeId],

@@ -10,6 +10,9 @@
 //!
 //! Thread count comes from `available_parallelism`, overridable with
 //! `DS_PAR_THREADS` (set `DS_PAR_THREADS=1` to force serial execution).
+//! The serial cutoff below which the thread setup is skipped is
+//! likewise overridable with `DS_PAR_SERIAL_CUTOFF` (set it to `0` so
+//! tests exercise the parallel path on small inputs).
 
 use std::sync::OnceLock;
 
@@ -28,9 +31,24 @@ pub fn num_threads() -> usize {
     })
 }
 
-/// Below this many elements the scoped-thread setup costs more than it
-/// saves; run serially.
-const SERIAL_CUTOFF: usize = 4096;
+/// Default for [`serial_cutoff`]: below this many elements the
+/// scoped-thread setup costs more than it saves.
+const SERIAL_CUTOFF_DEFAULT: usize = 4096;
+
+/// Parses a `DS_PAR_SERIAL_CUTOFF` value; `None` falls back to the
+/// default. Split out so the parsing is testable without racing on the
+/// process environment.
+fn parse_serial_cutoff(var: Option<&str>) -> usize {
+    var.and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(SERIAL_CUTOFF_DEFAULT)
+}
+
+/// Input length at or below which the parallel maps run serially.
+/// Cached on first use, like [`num_threads`].
+pub fn serial_cutoff() -> usize {
+    static N: OnceLock<usize> = OnceLock::new();
+    *N.get_or_init(|| parse_serial_cutoff(std::env::var("DS_PAR_SERIAL_CUTOFF").ok().as_deref()))
+}
 
 /// Applies `f` to each `chunk`-sized slice of `data` (last one may be
 /// shorter), passing the chunk index; returns per-chunk results in
@@ -45,7 +63,7 @@ where
     let len = data.len();
     let nchunks = len.div_ceil(chunk);
     let threads = num_threads().min(nchunks);
-    if threads <= 1 || len <= SERIAL_CUTOFF {
+    if threads <= 1 || len <= serial_cutoff() {
         return data
             .chunks_mut(chunk)
             .enumerate()
@@ -96,7 +114,7 @@ where
     let len = data.len();
     let nchunks = len.div_ceil(chunk);
     let threads = num_threads().min(nchunks);
-    if threads <= 1 || len <= SERIAL_CUTOFF {
+    if threads <= 1 || len <= serial_cutoff() {
         return data
             .chunks(chunk)
             .enumerate()
@@ -221,6 +239,16 @@ mod tests {
         let mut data = vec![0usize; 10_000];
         apply_indexed(&mut data, |i, x| *x = i * 3);
         assert!(data.iter().enumerate().all(|(i, &x)| x == i * 3));
+    }
+
+    #[test]
+    fn serial_cutoff_parsing_accepts_numbers_and_falls_back() {
+        assert_eq!(parse_serial_cutoff(None), SERIAL_CUTOFF_DEFAULT);
+        assert_eq!(parse_serial_cutoff(Some("0")), 0);
+        assert_eq!(parse_serial_cutoff(Some("128")), 128);
+        // Garbage falls back instead of panicking.
+        assert_eq!(parse_serial_cutoff(Some("tiny")), SERIAL_CUTOFF_DEFAULT);
+        assert_eq!(parse_serial_cutoff(Some("")), SERIAL_CUTOFF_DEFAULT);
     }
 
     #[test]

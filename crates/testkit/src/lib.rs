@@ -316,6 +316,34 @@ mod tests {
     }
 
     #[test]
+    fn chunk_removal_shrinks_interior_of_pinned_ends() {
+        // Fails iff both ends are 2 with at least 4 elements — a trigger
+        // spanning the whole vector. Prefix/suffix cuts all break it, so
+        // before the ddmin pass the shrinker was stuck at the original
+        // length and could only zero the interior elementwise; chunk
+        // removal must now delete the interior down to the minimal
+        // 4-element counterexample.
+        let strat = collection::vec(0u32..100, 0usize..64);
+        let failing: Vec<u32> = vec![2, 7, 7, 7, 7, 7, 7, 2];
+        let test = |v: Vec<u32>| {
+            assert!(
+                !(v.len() >= 4 && v[0] == 2 && v[v.len() - 1] == 2),
+                "ends pinned"
+            );
+        };
+        let (min_repr, _msg) = super::shrink_failure(&strat, failing.clone(), "seed".into(), &test);
+        assert!(
+            min_repr.len() < failing.len(),
+            "counterexample must get strictly shorter, got {min_repr:?}"
+        );
+        assert_eq!(
+            min_repr,
+            vec![2, 0, 0, 2],
+            "minimal interior-removal result"
+        );
+    }
+
+    #[test]
     fn case_generation_is_deterministic() {
         let seen = Mutex::new(Vec::new());
         super::run("meta_det", 20, &(0u64..1_000_000, 0usize..77), |pair| {

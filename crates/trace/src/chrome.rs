@@ -1,0 +1,270 @@
+//! Chrome trace-event exporter (`chrome://tracing` / Perfetto).
+//!
+//! One `pid` per rank, one `tid` per pipeline worker. Virtual clocks
+//! restart at zero every epoch, so the exporter lays epochs out
+//! back-to-back on the display timeline (each epoch offset by the
+//! previous epochs' makespans plus a 5% gap). Timestamps are emitted
+//! in microseconds with fixed precision, and events are written in the
+//! canonical `(epoch, t, rank, tid, seq)` order — two runs with the
+//! same seed produce byte-identical JSON.
+
+use crate::{full_name, sort_events, tid_name, Event, Payload};
+use std::collections::{BTreeMap, BTreeSet};
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Microsecond timestamp with deterministic fixed-point formatting.
+fn ts(offset_s: f64, t_s: f64) -> String {
+    format!("{:.3}", (offset_s + t_s) * 1e6)
+}
+
+/// Render an event stream as a Chrome trace JSON document.
+pub fn chrome_json(events: &[Event]) -> String {
+    let mut evs: Vec<Event> = events.to_vec();
+    sort_events(&mut evs);
+
+    // Epoch layout: each epoch starts after the longest timeline of
+    // every earlier epoch, plus a small visual gap.
+    let mut makespan: BTreeMap<u64, f64> = BTreeMap::new();
+    for e in &evs {
+        let m = makespan.entry(e.epoch).or_insert(0.0);
+        if e.t > *m {
+            *m = e.t;
+        }
+    }
+    let mut offsets: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut running = 0.0f64;
+    for (&epoch, &span) in &makespan {
+        offsets.insert(epoch, running);
+        running += span * 1.05 + 1e-6;
+    }
+
+    let mut lines: Vec<String> = Vec::with_capacity(evs.len() + 16);
+
+    // Metadata: stable names for every (pid, tid) pair seen.
+    let mut pids: BTreeSet<u32> = BTreeSet::new();
+    let mut threads: BTreeSet<(u32, u32)> = BTreeSet::new();
+    for e in &evs {
+        pids.insert(e.rank);
+        threads.insert((e.rank, e.tid));
+    }
+    for pid in &pids {
+        lines.push(format!(
+            r#"{{"ph":"M","name":"process_name","pid":{pid},"tid":0,"args":{{"name":"rank {pid}"}}}}"#
+        ));
+    }
+    for (pid, tid) in &threads {
+        lines.push(format!(
+            r#"{{"ph":"M","name":"thread_name","pid":{pid},"tid":{tid},"args":{{"name":"{}"}}}}"#,
+            esc(tid_name(*tid))
+        ));
+    }
+
+    for e in &evs {
+        let off = offsets.get(&e.epoch).copied().unwrap_or(0.0);
+        let ts = ts(off, e.t);
+        let (pid, tid) = (e.rank, e.tid);
+        let line = match &e.payload {
+            Payload::Begin { label, name, arg } => format!(
+                r#"{{"ph":"B","pid":{pid},"tid":{tid},"ts":{ts},"name":"{}","args":{{"arg":{arg},"epoch":{}}}}}"#,
+                esc(&full_name(label, name)),
+                e.epoch
+            ),
+            Payload::End { name } => format!(
+                r#"{{"ph":"E","pid":{pid},"tid":{tid},"ts":{ts},"name":"{}"}}"#,
+                esc(name)
+            ),
+            Payload::Instant { label, name, arg } => format!(
+                r#"{{"ph":"i","pid":{pid},"tid":{tid},"ts":{ts},"name":"{}","s":"t","args":{{"arg":{arg}}}}}"#,
+                esc(&full_name(label, name))
+            ),
+            Payload::Counter { label, name, value } => format!(
+                r#"{{"ph":"C","pid":{pid},"tid":{tid},"ts":{ts},"name":"{}","args":{{"value":{value:.6}}}}}"#,
+                esc(&full_name(label, name))
+            ),
+        };
+        lines.push(line);
+    }
+
+    let mut out = String::from("{\"traceEvents\":[\n");
+    out.push_str(&lines.join(",\n"));
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+/// Verify that every `Begin` has a matching `End` per worker stream
+/// (and that no `End` arrives without an open span).
+pub fn check_balance(events: &[Event]) -> Result<(), String> {
+    let mut evs: Vec<Event> = events.to_vec();
+    sort_events(&mut evs);
+    let mut stacks: BTreeMap<(u64, u32, u32), Vec<&'static str>> = BTreeMap::new();
+    for e in &evs {
+        let stack = stacks.entry((e.epoch, e.rank, e.tid)).or_default();
+        match &e.payload {
+            Payload::Begin { name, .. } => stack.push(name),
+            Payload::End { name } => match stack.pop() {
+                Some(open) if open == *name => {}
+                Some(open) => {
+                    return Err(format!(
+                        "epoch {} rank {} tid {}: end '{name}' closes open span '{open}'",
+                        e.epoch, e.rank, e.tid
+                    ))
+                }
+                None => {
+                    return Err(format!(
+                        "epoch {} rank {} tid {}: end '{name}' with no open span",
+                        e.epoch, e.rank, e.tid
+                    ))
+                }
+            },
+            _ => {}
+        }
+    }
+    for ((epoch, rank, tid), stack) in stacks {
+        if !stack.is_empty() {
+            return Err(format!(
+                "epoch {epoch} rank {rank} tid {tid}: dangling open spans {stack:?}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Validate an exported Chrome-trace JSON *document*: well-formed
+/// JSON, a non-empty `traceEvents` array, and balanced `B`/`E` pairs
+/// per `(pid, tid)`. This is the CI-facing check — it re-parses the
+/// bytes on disk rather than trusting the in-process stream.
+pub fn check_chrome_text(text: &str) -> Result<usize, String> {
+    let doc = crate::json::parse(text)?;
+    let events = doc
+        .get("traceEvents")
+        .and_then(|v| v.as_array())
+        .ok_or_else(|| "missing traceEvents array".to_string())?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".to_string());
+    }
+    let mut stacks: BTreeMap<(i64, i64), Vec<String>> = BTreeMap::new();
+    let mut spans = 0usize;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let pid = ev.get("pid").and_then(|v| v.as_i64()).unwrap_or(0);
+        let tid = ev.get("tid").and_then(|v| v.as_i64()).unwrap_or(0);
+        let name = ev
+            .get("name")
+            .and_then(|v| v.as_str())
+            .unwrap_or("")
+            .to_string();
+        match ph {
+            "B" => {
+                stacks.entry((pid, tid)).or_default().push(name);
+                spans += 1;
+            }
+            "E" => match stacks.entry((pid, tid)).or_default().pop() {
+                Some(open) if open == name || name.is_empty() => {}
+                Some(open) => {
+                    return Err(format!(
+                        "event {i}: E '{name}' does not match open span '{open}'"
+                    ))
+                }
+                None => return Err(format!("event {i}: E '{name}' with no open span")),
+            },
+            "M" | "C" | "i" | "I" | "X" => {}
+            other => return Err(format!("event {i}: unexpected ph '{other}'")),
+        }
+    }
+    for ((pid, tid), stack) in stacks {
+        if !stack.is_empty() {
+            return Err(format!("pid {pid} tid {tid}: dangling spans {stack:?}"));
+        }
+    }
+    Ok(spans)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceSink;
+
+    fn sample_events() -> Vec<Event> {
+        let mut a = TraceSink::new(0, 1, 0);
+        a.begin(0.0, "", "sampler", 0);
+        a.begin(0.5, "", "sample", 3);
+        a.counter(0.7, "q.sample", "push", 1.0);
+        a.end(1.5);
+        a.end(2.0);
+        let mut b = TraceSink::new(1, 2, 1);
+        b.begin(0.0, "", "loader", 0);
+        b.instant(0.25, "", "ccc.launch", 2);
+        b.end(0.75);
+        let mut events = Vec::new();
+        events.extend(a.events().to_vec());
+        events.extend(b.events().to_vec());
+        events
+    }
+
+    #[test]
+    fn export_is_deterministic_under_input_shuffling() {
+        let events = sample_events();
+        let mut reversed = events.clone();
+        reversed.reverse();
+        let a = chrome_json(&events);
+        let b = chrome_json(&reversed);
+        assert_eq!(a, b);
+        assert!(a.contains(r#""ph":"B""#));
+        assert!(a.contains(r#""name":"q.sample.push""#));
+        assert!(a.contains(r#""name":"rank 0""#));
+        assert!(a.contains(r#""name":"loader""#));
+    }
+
+    #[test]
+    fn exported_document_passes_its_own_validator() {
+        let text = chrome_json(&sample_events());
+        let spans = check_chrome_text(&text).expect("well-formed export");
+        assert_eq!(spans, 3);
+    }
+
+    #[test]
+    fn balance_checker_flags_dangling_and_mismatched_spans() {
+        let mut sink = TraceSink::new(0, 0, 0);
+        sink.begin(0.0, "", "a", 0);
+        assert!(check_balance(sink.events()).is_err());
+        sink.end(1.0);
+        assert!(check_balance(sink.events()).is_ok());
+
+        let dangling = chrome_json(&[Event {
+            epoch: 0,
+            t: 0.0,
+            rank: 0,
+            tid: 0,
+            seq: 0,
+            payload: Payload::Begin {
+                label: "",
+                name: "a",
+                arg: 0,
+            },
+        }]);
+        assert!(check_chrome_text(&dangling).is_err());
+    }
+
+    #[test]
+    fn epochs_are_laid_out_back_to_back() {
+        let text = chrome_json(&sample_events());
+        // Epoch 1 starts after epoch 0's 2.0s makespan * 1.05 + 1µs.
+        assert!(text.contains(r#""ts":2100001.000"#), "{text}");
+    }
+}

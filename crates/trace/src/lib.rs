@@ -1,0 +1,553 @@
+//! # ds-trace
+//!
+//! Always-on observability for the DSP reproduction. Every timestamp is
+//! a *virtual* time read from a `ds_simgpu::Clock` (passed in as plain
+//! `f64` seconds so this crate stays dependency-free), which makes
+//! traces bit-reproducible: the simulated timeline is deterministic per
+//! seed, so the exported bytes are too.
+//!
+//! Three pieces:
+//!
+//! * [`Recorder`] — process-global collector, **no-op unless enabled**
+//!   (`DS_TRACE=1` in the environment, or [`Recorder::set_enabled`]).
+//!   When disabled, instrumentation costs one thread-local `Option`
+//!   check and allocates nothing.
+//! * [`TraceSink`] — per-worker buffer installed thread-locally by
+//!   [`worker`]. Each sampler/loader/trainer thread owns its own sink,
+//!   so recording an event is lock-free (an append to a local `Vec`);
+//!   the sink flushes into the recorder exactly once, when its
+//!   [`WorkerGuard`] drops — including on crash/error unwinds, where
+//!   any still-open spans are closed at the last timestamp seen so
+//!   fault-injected runs never leave dangling `B` events.
+//! * Exporters — [`chrome::chrome_json`] (`chrome://tracing` /
+//!   Perfetto), [`summary::stage_breakdown`] (plain-text flamegraph)
+//!   and [`summary::telemetry`] (machine-readable `BENCH_pipeline.json`
+//!   points), all derived from the same event stream.
+//!
+//! Determinism contract: events are ordered by
+//! `(epoch, virtual time, rank, tid, seq)` where `seq` is the
+//! per-sink append index. Real-thread interleaving never leaks into
+//! the export: two runs with the same seed produce byte-identical
+//! output. Real-time artifacts (e.g. the CCC leader's arrival order)
+//! are deliberately *not* exported; the per-worker launch instants on
+//! the virtual timeline are.
+
+pub mod chrome;
+pub mod json;
+pub mod summary;
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Thread ids used by the DSP pipeline (Chrome `tid`s). `0` is the
+/// main / sequential-mode thread.
+pub const TID_MAIN: u32 = 0;
+pub const TID_SAMPLER: u32 = 1;
+pub const TID_LOADER: u32 = 2;
+pub const TID_TRAINER: u32 = 3;
+
+/// Human name for a thread id, used by exporters.
+pub fn tid_name(tid: u32) -> &'static str {
+    match tid {
+        TID_MAIN => "main",
+        TID_SAMPLER => "sampler",
+        TID_LOADER => "loader",
+        TID_TRAINER => "trainer",
+        _ => "worker",
+    }
+}
+
+/// What one [`Event`] records. Labels and names are `&'static str` so
+/// the hot path never allocates; `label` scopes a name to an instance
+/// (e.g. the `"q.sample"` queue emitting `"push"` counters).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Payload {
+    Begin {
+        label: &'static str,
+        name: &'static str,
+        arg: u64,
+    },
+    End {
+        name: &'static str,
+    },
+    Instant {
+        label: &'static str,
+        name: &'static str,
+        arg: u64,
+    },
+    Counter {
+        label: &'static str,
+        name: &'static str,
+        value: f64,
+    },
+}
+
+/// One trace event on the virtual timeline.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Event {
+    /// Training epoch the event belongs to (virtual clocks restart at
+    /// zero each epoch; exporters lay epochs out back-to-back).
+    pub epoch: u64,
+    /// Virtual time in seconds.
+    pub t: f64,
+    /// Rank (Chrome `pid`).
+    pub rank: u32,
+    /// Worker thread id (Chrome `tid`).
+    pub tid: u32,
+    /// Per-sink append index — the stable tiebreak for equal times.
+    pub seq: u32,
+    pub payload: Payload,
+}
+
+/// Joined `label.name` for display. Allocates; exporter-side only.
+pub fn full_name(label: &str, name: &str) -> String {
+    if label.is_empty() {
+        name.to_string()
+    } else {
+        format!("{label}.{name}")
+    }
+}
+
+/// Sort events into the canonical deterministic order:
+/// `(epoch, t, rank, tid, seq)`.
+pub fn sort_events(events: &mut [Event]) {
+    events.sort_by(|a, b| {
+        a.epoch
+            .cmp(&b.epoch)
+            .then(a.t.total_cmp(&b.t))
+            .then(a.rank.cmp(&b.rank))
+            .then(a.tid.cmp(&b.tid))
+            .then(a.seq.cmp(&b.seq))
+    });
+}
+
+/// Per-worker event buffer. Normally managed through [`worker`] /
+/// thread-local free functions; constructible directly for tests.
+#[derive(Debug)]
+pub struct TraceSink {
+    rank: u32,
+    tid: u32,
+    epoch: u64,
+    seq: u32,
+    last_t: f64,
+    open: Vec<&'static str>,
+    events: Vec<Event>,
+}
+
+impl TraceSink {
+    pub fn new(rank: u32, tid: u32, epoch: u64) -> Self {
+        TraceSink {
+            rank,
+            tid,
+            epoch,
+            seq: 0,
+            last_t: 0.0,
+            open: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, t: f64, payload: Payload) {
+        if t > self.last_t {
+            self.last_t = t;
+        }
+        let seq = self.seq;
+        self.seq = self.seq.wrapping_add(1);
+        self.events.push(Event {
+            epoch: self.epoch,
+            t,
+            rank: self.rank,
+            tid: self.tid,
+            seq,
+            payload,
+        });
+    }
+
+    pub fn begin(&mut self, t: f64, label: &'static str, name: &'static str, arg: u64) {
+        self.open.push(name);
+        self.push(t, Payload::Begin { label, name, arg });
+    }
+
+    /// Close the innermost open span. A stray `end` with no open span
+    /// is ignored rather than corrupting the stream.
+    pub fn end(&mut self, t: f64) {
+        if let Some(name) = self.open.pop() {
+            self.push(t, Payload::End { name });
+        }
+    }
+
+    pub fn instant(&mut self, t: f64, label: &'static str, name: &'static str, arg: u64) {
+        self.push(t, Payload::Instant { label, name, arg });
+    }
+
+    pub fn counter(&mut self, t: f64, label: &'static str, name: &'static str, value: f64) {
+        self.push(t, Payload::Counter { label, name, value });
+    }
+
+    /// Number of currently open spans.
+    pub fn depth(&self) -> usize {
+        self.open.len()
+    }
+
+    /// Close spans until only `depth` remain open, stamping the ends
+    /// at `t`. Used by fallible instrumented functions on error paths.
+    pub fn close_to_depth(&mut self, depth: usize, t: f64) {
+        while self.open.len() > depth {
+            self.end(t);
+        }
+    }
+
+    /// Close every open span at the last timestamp seen. Guarantees
+    /// B/E balance even when a worker crashes mid-span.
+    pub fn close_all(&mut self) {
+        let t = self.last_t;
+        self.close_to_depth(0, t);
+    }
+
+    /// Events recorded so far (test hook).
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Bytes the sink has ever allocated for events. Zero for a sink
+    /// that never recorded — the disabled-recorder guarantee.
+    pub fn buffered_capacity(&self) -> usize {
+        self.events.capacity() + self.open.capacity()
+    }
+
+    fn into_events(mut self) -> Vec<Event> {
+        self.close_all();
+        self.events
+    }
+}
+
+/// Process-global trace collector.
+pub struct Recorder {
+    enabled: AtomicBool,
+    realtime: AtomicBool,
+    epoch: AtomicU64,
+    buf: Mutex<Vec<Event>>,
+}
+
+impl Recorder {
+    fn from_env() -> Self {
+        let flag = |name: &str| {
+            matches!(
+                std::env::var(name).ok().as_deref(),
+                Some(v) if !v.is_empty() && v != "0"
+            )
+        };
+        Recorder {
+            enabled: AtomicBool::new(flag("DS_TRACE")),
+            realtime: AtomicBool::new(flag("DS_TRACE_REALTIME")),
+            epoch: AtomicU64::new(0),
+            buf: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Programmatic override of the `DS_TRACE` gate.
+    pub fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// `true` when real-time-dependent metrics (CCC queue length) may be
+    /// recorded. Off by default: such values vary run-to-run, so the
+    /// byte-determinism guarantee only holds with this flag off.
+    pub fn realtime(&self) -> bool {
+        self.realtime.load(Ordering::Relaxed)
+    }
+
+    /// Programmatic override of the `DS_TRACE_REALTIME` gate.
+    pub fn set_realtime(&self, on: bool) {
+        self.realtime.store(on, Ordering::Relaxed);
+    }
+
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    /// Stamp subsequent sinks with `epoch`. Called once per epoch by
+    /// the pipeline driver *before* worker threads spawn.
+    pub fn begin_epoch(&self, epoch: u64) {
+        self.epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// Merge a finished sink's events into the global buffer.
+    pub fn absorb(&self, events: Vec<Event>) {
+        if events.is_empty() {
+            return;
+        }
+        let mut buf = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
+        buf.extend(events);
+    }
+
+    /// Drain everything recorded so far, in canonical order.
+    pub fn take(&self) -> Vec<Event> {
+        let mut events = {
+            let mut buf = self.buf.lock().unwrap_or_else(PoisonError::into_inner);
+            std::mem::take(&mut *buf)
+        };
+        sort_events(&mut events);
+        events
+    }
+
+    /// Drop any buffered events and reset the epoch stamp.
+    pub fn clear(&self) {
+        self.buf
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.epoch.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The process-global recorder (lazily initialised from `DS_TRACE`).
+pub fn recorder() -> &'static Recorder {
+    static REC: OnceLock<Recorder> = OnceLock::new();
+    REC.get_or_init(Recorder::from_env)
+}
+
+/// `true` when the global recorder is collecting.
+pub fn enabled() -> bool {
+    recorder().enabled()
+}
+
+/// `true` when real-time-dependent metrics should be recorded too
+/// (`DS_TRACE_REALTIME=1`); implies an actively recording thread.
+pub fn realtime() -> bool {
+    active() && recorder().realtime()
+}
+
+/// Convenience alias for [`Recorder::begin_epoch`] that skips the lock
+/// entirely when tracing is off.
+pub fn begin_epoch(epoch: u64) {
+    let r = recorder();
+    if r.enabled() {
+        r.begin_epoch(epoch);
+    }
+}
+
+thread_local! {
+    static SINK: RefCell<Option<TraceSink>> = const { RefCell::new(None) };
+}
+
+/// RAII registration of the current thread as `(rank, tid)`. While the
+/// guard lives, the free functions below record into a thread-local
+/// sink; on drop the sink closes open spans and flushes into the
+/// global recorder. When tracing is disabled the guard is inert and
+/// nothing is ever allocated.
+pub struct WorkerGuard(());
+
+impl Drop for WorkerGuard {
+    fn drop(&mut self) {
+        flush_current();
+    }
+}
+
+/// Install a sink for this thread (replacing and flushing any previous
+/// one). No-op when the recorder is disabled.
+pub fn worker(rank: u32, tid: u32) -> WorkerGuard {
+    flush_current();
+    let r = recorder();
+    if r.enabled() {
+        let sink = TraceSink::new(rank, tid, r.epoch());
+        SINK.with(|s| *s.borrow_mut() = Some(sink));
+    }
+    WorkerGuard(())
+}
+
+fn flush_current() {
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().take() {
+            recorder().absorb(sink.into_events());
+        }
+    });
+}
+
+#[inline]
+fn with_sink(f: impl FnOnce(&mut TraceSink)) {
+    SINK.with(|s| {
+        if let Some(sink) = s.borrow_mut().as_mut() {
+            f(sink);
+        }
+    });
+}
+
+/// `true` when this thread currently records (guard installed *and*
+/// tracing enabled at installation time).
+pub fn active() -> bool {
+    SINK.with(|s| s.borrow().is_some())
+}
+
+/// Open a span named `name` at virtual time `t`.
+#[inline]
+pub fn span_begin(t: f64, name: &'static str) {
+    with_sink(|s| s.begin(t, "", name, 0));
+}
+
+/// Open a span carrying an argument (batch index, layer, ...).
+#[inline]
+pub fn span_begin_arg(t: f64, name: &'static str, arg: u64) {
+    with_sink(|s| s.begin(t, "", name, arg));
+}
+
+/// Close the innermost open span at virtual time `t`.
+#[inline]
+pub fn span_end(t: f64) {
+    with_sink(|s| s.end(t));
+}
+
+/// Point event (crash, retry, CCC launch, ...).
+#[inline]
+pub fn instant(t: f64, name: &'static str, arg: u64) {
+    with_sink(|s| s.instant(t, "", name, arg));
+}
+
+/// Labelled counter sample (queue depth, cache hits, latency...).
+#[inline]
+pub fn counter(t: f64, label: &'static str, name: &'static str, value: f64) {
+    with_sink(|s| s.counter(t, label, name, value));
+}
+
+/// Current open-span depth of this thread's sink (0 when inactive).
+#[inline]
+pub fn open_depth() -> usize {
+    SINK.with(|s| s.borrow().as_ref().map_or(0, |k| k.depth()))
+}
+
+/// Close spans opened past `depth` at time `t` — the error-path
+/// cleanup for fallible instrumented functions:
+///
+/// ```ignore
+/// let d = ds_trace::open_depth();
+/// let r = self.fallible_instrumented_step(clock, ...);
+/// if r.is_err() {
+///     ds_trace::close_open_spans_to(d, clock.now());
+/// }
+/// ```
+#[inline]
+pub fn close_open_spans_to(depth: usize, t: f64) {
+    with_sink(|s| s.close_to_depth(depth, t));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The recorder is process-global and unit tests share one process;
+    // serialize every test that touches it.
+    fn lock() -> std::sync::MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_recorder_emits_zero_events_and_allocates_nothing() {
+        let _g = lock();
+        recorder().set_enabled(false);
+        recorder().clear();
+        {
+            let _w = worker(0, TID_SAMPLER);
+            assert!(!active());
+            for i in 0..100 {
+                span_begin(i as f64, "sample");
+                counter(i as f64, "q.sample", "push", i as f64);
+                span_end(i as f64 + 0.5);
+            }
+        }
+        assert!(recorder().take().is_empty());
+
+        // A sink that never records holds no heap memory either.
+        let sink = TraceSink::new(0, 0, 0);
+        assert_eq!(sink.buffered_capacity(), 0);
+    }
+
+    #[test]
+    fn events_flush_in_canonical_order_regardless_of_thread_timing() {
+        let _g = lock();
+        recorder().set_enabled(true);
+        recorder().clear();
+        std::thread::scope(|scope| {
+            for rank in [1u32, 0u32] {
+                scope.spawn(move || {
+                    let _w = worker(rank, TID_SAMPLER);
+                    span_begin_arg(0.0, "sample", 7);
+                    instant(0.5, "ccc.launch", 1);
+                    span_end(1.0);
+                });
+            }
+        });
+        let events = recorder().take();
+        recorder().set_enabled(false);
+        assert_eq!(events.len(), 6);
+        // Same t=0.0 begin on both ranks: rank breaks the tie.
+        assert_eq!(events[0].rank, 0);
+        assert_eq!(events[1].rank, 1);
+        let ranks: Vec<u32> = events.iter().map(|e| e.rank).collect();
+        assert_eq!(ranks, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn guard_drop_closes_dangling_spans_at_last_seen_time() {
+        let _g = lock();
+        recorder().set_enabled(true);
+        recorder().clear();
+        {
+            let _w = worker(2, TID_LOADER);
+            span_begin(1.0, "loader");
+            span_begin(2.0, "load");
+            counter(5.0, "cache", "hits", 3.0);
+            // Simulated crash: neither span is closed.
+        }
+        let events = recorder().take();
+        recorder().set_enabled(false);
+        chrome::check_balance(&events).expect("auto-closed spans must balance");
+        let ends: Vec<&Event> = events
+            .iter()
+            .filter(|e| matches!(e.payload, Payload::End { .. }))
+            .collect();
+        assert_eq!(ends.len(), 2);
+        assert!(ends.iter().all(|e| e.t == 5.0));
+        // Innermost closes first.
+        assert_eq!(ends[0].payload, Payload::End { name: "load" });
+        assert_eq!(ends[1].payload, Payload::End { name: "loader" });
+    }
+
+    #[test]
+    fn close_open_spans_to_restores_error_path_balance() {
+        let mut sink = TraceSink::new(0, 0, 0);
+        sink.begin(0.0, "", "outer", 0);
+        let d = sink.depth();
+        sink.begin(1.0, "", "shuffle", 0);
+        sink.begin(1.5, "", "a2a", 0);
+        // Error in the nested exchange: unwind to the saved depth.
+        sink.close_to_depth(d, 2.0);
+        assert_eq!(sink.depth(), 1);
+        sink.end(3.0);
+        chrome::check_balance(sink.events()).unwrap();
+    }
+
+    #[test]
+    fn epoch_stamp_is_captured_at_sink_creation() {
+        let _g = lock();
+        recorder().set_enabled(true);
+        recorder().clear();
+        for epoch in 0..2u64 {
+            recorder().begin_epoch(epoch);
+            let _w = worker(0, TID_MAIN);
+            span_begin(0.0, "rank");
+            span_end(1.0);
+        }
+        let events = recorder().take();
+        recorder().set_enabled(false);
+        recorder().clear();
+        assert_eq!(events.len(), 4);
+        assert_eq!(events[0].epoch, 0);
+        assert_eq!(events[3].epoch, 1);
+    }
+}

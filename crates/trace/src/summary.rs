@@ -1,0 +1,387 @@
+//! Post-processing of the event stream: a plain-text flamegraph-style
+//! per-epoch stage breakdown, and the machine-readable pipeline
+//! telemetry behind `BENCH_pipeline.json`. Everything here is derived
+//! from trace events — nothing is hand-computed by the pipeline.
+
+use crate::{full_name, sort_events, tid_name, Event, Payload};
+use std::collections::BTreeMap;
+
+/// Aggregated span tree node; children ordered by first occurrence.
+#[derive(Debug, Default)]
+struct Node {
+    total: f64,
+    count: u64,
+    children: Vec<(String, Node)>,
+}
+
+impl Node {
+    fn child(&mut self, name: &str) -> &mut Node {
+        if let Some(i) = self.children.iter().position(|(n, _)| n == name) {
+            return &mut self.children[i].1;
+        }
+        self.children.push((name.to_string(), Node::default()));
+        &mut self.children.last_mut().unwrap().1
+    }
+}
+
+/// Fold one worker stream (already time-ordered) into a span tree.
+fn fold_stream(events: &[&Event]) -> Node {
+    let mut root = Node::default();
+    // Stack of (path indices resolved lazily) — track open begins.
+    let mut stack: Vec<(String, f64)> = Vec::new();
+    for e in events {
+        match &e.payload {
+            Payload::Begin { label, name, .. } => {
+                stack.push((full_name(label, name), e.t));
+            }
+            Payload::End { .. } => {
+                if let Some((name, t0)) = stack.pop() {
+                    // Walk the tree along the still-open ancestry.
+                    let mut node = &mut root;
+                    for (anc, _) in &stack {
+                        node = node.child(anc);
+                    }
+                    let leaf = node.child(&name);
+                    leaf.total += e.t - t0;
+                    leaf.count += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    root
+}
+
+fn render_node(out: &mut String, name: &str, node: &Node, depth: usize) {
+    out.push_str(&format!(
+        "{:indent$}{name:<width$} {total:>10.6}s  n={count}\n",
+        "",
+        indent = depth * 2,
+        width = 28usize.saturating_sub(depth * 2),
+        total = node.total,
+        count = node.count,
+    ));
+    for (child_name, child) in &node.children {
+        render_node(out, child_name, child, depth + 1);
+    }
+}
+
+/// Plain-text per-epoch stage breakdown: for each epoch and worker
+/// stream, the aggregated span tree with total virtual seconds and
+/// call counts (a textual flamegraph).
+pub fn stage_breakdown(events: &[Event]) -> String {
+    let mut evs: Vec<Event> = events.to_vec();
+    sort_events(&mut evs);
+    let mut streams: BTreeMap<(u64, u32, u32), Vec<&Event>> = BTreeMap::new();
+    for e in &evs {
+        streams.entry((e.epoch, e.rank, e.tid)).or_default().push(e);
+    }
+    let mut out = String::new();
+    let mut current_epoch = None;
+    for ((epoch, rank, tid), stream) in &streams {
+        if current_epoch != Some(*epoch) {
+            out.push_str(&format!("== epoch {epoch} ==\n"));
+            current_epoch = Some(*epoch);
+        }
+        let root = fold_stream(stream);
+        if root.children.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("rank {rank} / {}\n", tid_name(*tid)));
+        for (name, node) in &root.children {
+            render_node(&mut out, name, node, 1);
+        }
+    }
+    out
+}
+
+/// Occupancy statistics for one labelled queue, reconstructed from
+/// the producer/consumer `push`/`pop` cumulative counters.
+#[derive(Clone, Debug, PartialEq)]
+pub struct QueueStat {
+    pub label: String,
+    pub pushes: u64,
+    pub pops: u64,
+    pub max_depth: i64,
+    /// Time-weighted mean depth over the span of queue activity.
+    pub mean_depth: f64,
+}
+
+/// Total virtual time and invocation count of one span name.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageTime {
+    pub name: String,
+    pub total_s: f64,
+    pub count: u64,
+}
+
+/// Machine-readable pipeline perf point, derived from a trace.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Telemetry {
+    pub epochs: u64,
+    /// Mean per-epoch makespan (max virtual time seen in the epoch).
+    pub epoch_time_s: f64,
+    /// Mean fraction of worker-stream time covered by batch-level
+    /// spans (children of each worker's lifecycle span).
+    pub utilization: f64,
+    pub stages: Vec<StageTime>,
+    pub queues: Vec<QueueStat>,
+    /// Summed counter values keyed by `label.name` (cache hits, ...).
+    pub counters: Vec<(String, f64)>,
+    /// Count of `retry` instants across the stream.
+    pub retries: u64,
+    pub events: u64,
+}
+
+/// Derive pipeline telemetry from the raw event stream.
+pub fn telemetry(events: &[Event]) -> Telemetry {
+    let mut evs: Vec<Event> = events.to_vec();
+    sort_events(&mut evs);
+
+    let mut makespans: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut streams: BTreeMap<(u64, u32, u32), Vec<&Event>> = BTreeMap::new();
+    let mut counters: BTreeMap<String, f64> = BTreeMap::new();
+    let mut retries = 0u64;
+    // (epoch, queue label) -> time-ordered (t, is_push) samples.
+    let mut queue_ops: BTreeMap<(u64, String), Vec<(f64, bool)>> = BTreeMap::new();
+    for e in &evs {
+        let m = makespans.entry(e.epoch).or_insert(0.0);
+        if e.t > *m {
+            *m = e.t;
+        }
+        streams.entry((e.epoch, e.rank, e.tid)).or_default().push(e);
+        match &e.payload {
+            Payload::Counter { label, name, value } => {
+                if label.starts_with("q.") && (*name == "push" || *name == "pop") {
+                    queue_ops
+                        .entry((e.epoch, label.to_string()))
+                        .or_default()
+                        .push((e.t, *name == "push"));
+                } else {
+                    *counters.entry(full_name(label, name)).or_insert(0.0) += value;
+                }
+            }
+            Payload::Instant { name, .. } if *name == "retry" => retries += 1,
+            _ => {}
+        }
+    }
+
+    // Stage totals and utilization from span trees: depth-0 spans are
+    // worker lifecycles, depth-1 spans are batch-level work.
+    let mut stages: BTreeMap<String, (f64, u64)> = BTreeMap::new();
+    let mut busy_fracs: Vec<f64> = Vec::new();
+    for ((epoch, _, _), stream) in &streams {
+        let root = fold_stream(stream);
+        let makespan = makespans.get(epoch).copied().unwrap_or(0.0);
+        for (_, lifecycle) in &root.children {
+            let mut busy = 0.0;
+            for (name, node) in &lifecycle.children {
+                let s = stages.entry(name.clone()).or_insert((0.0, 0));
+                s.0 += node.total;
+                s.1 += node.count;
+                busy += node.total;
+            }
+            if makespan > 0.0 && !lifecycle.children.is_empty() {
+                busy_fracs.push((busy / makespan).min(1.0));
+            }
+        }
+    }
+    let utilization = if busy_fracs.is_empty() {
+        0.0
+    } else {
+        busy_fracs.iter().sum::<f64>() / busy_fracs.len() as f64
+    };
+
+    // Queue occupancy: merge push/pop cumulative ops per epoch+label.
+    let mut per_label: BTreeMap<String, Vec<QueueStat>> = BTreeMap::new();
+    for ((_, label), mut ops) in queue_ops {
+        ops.sort_by(|a, b| a.0.total_cmp(&b.0));
+        let mut depth = 0i64;
+        let mut max_depth = 0i64;
+        let mut pushes = 0u64;
+        let mut pops = 0u64;
+        let mut weighted = 0.0f64;
+        let mut last_t = ops.first().map(|(t, _)| *t).unwrap_or(0.0);
+        let t0 = last_t;
+        for (t, is_push) in ops {
+            weighted += depth as f64 * (t - last_t);
+            last_t = t;
+            if is_push {
+                depth += 1;
+                pushes += 1;
+            } else {
+                depth -= 1;
+                pops += 1;
+            }
+            max_depth = max_depth.max(depth);
+        }
+        let span = last_t - t0;
+        per_label.entry(label.clone()).or_default().push(QueueStat {
+            label,
+            pushes,
+            pops,
+            max_depth,
+            mean_depth: if span > 0.0 { weighted / span } else { 0.0 },
+        });
+    }
+    let queues: Vec<QueueStat> = per_label
+        .into_iter()
+        .map(|(label, per_epoch)| {
+            let n = per_epoch.len() as f64;
+            QueueStat {
+                label,
+                pushes: per_epoch.iter().map(|q| q.pushes).sum(),
+                pops: per_epoch.iter().map(|q| q.pops).sum(),
+                max_depth: per_epoch.iter().map(|q| q.max_depth).max().unwrap_or(0),
+                mean_depth: per_epoch.iter().map(|q| q.mean_depth).sum::<f64>() / n,
+            }
+        })
+        .collect();
+
+    let epochs = makespans.len() as u64;
+    let epoch_time_s = if epochs == 0 {
+        0.0
+    } else {
+        makespans.values().sum::<f64>() / epochs as f64
+    };
+    Telemetry {
+        epochs,
+        epoch_time_s,
+        utilization,
+        stages: stages
+            .into_iter()
+            .map(|(name, (total_s, count))| StageTime {
+                name,
+                total_s,
+                count,
+            })
+            .collect(),
+        queues,
+        counters: counters.into_iter().collect(),
+        retries,
+        events: evs.len() as u64,
+    }
+}
+
+impl Telemetry {
+    /// Deterministic JSON rendering (the `BENCH_pipeline.json` body).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"epochs\": {},\n", self.epochs));
+        out.push_str(&format!("  \"epoch_time_s\": {:.9},\n", self.epoch_time_s));
+        out.push_str(&format!("  \"utilization\": {:.6},\n", self.utilization));
+        out.push_str("  \"stages\": {\n");
+        let stage_lines: Vec<String> = self
+            .stages
+            .iter()
+            .map(|s| {
+                format!(
+                    "    \"{}\": {{\"total_s\": {:.9}, \"count\": {}}}",
+                    s.name, s.total_s, s.count
+                )
+            })
+            .collect();
+        out.push_str(&stage_lines.join(",\n"));
+        out.push_str("\n  },\n  \"queues\": {\n");
+        let queue_lines: Vec<String> = self
+            .queues
+            .iter()
+            .map(|q| {
+                format!(
+                    "    \"{}\": {{\"pushes\": {}, \"pops\": {}, \"max_depth\": {}, \"mean_depth\": {:.6}}}",
+                    q.label, q.pushes, q.pops, q.max_depth, q.mean_depth
+                )
+            })
+            .collect();
+        out.push_str(&queue_lines.join(",\n"));
+        out.push_str("\n  },\n  \"counters\": {\n");
+        let counter_lines: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(k, v)| format!("    \"{k}\": {v:.6}"))
+            .collect();
+        out.push_str(&counter_lines.join(",\n"));
+        out.push_str("\n  },\n");
+        out.push_str(&format!("  \"retries\": {},\n", self.retries));
+        out.push_str(&format!("  \"events\": {}\n", self.events));
+        out.push_str("}\n");
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TraceSink;
+
+    fn pipeline_events() -> Vec<Event> {
+        let mut s = TraceSink::new(0, crate::TID_SAMPLER, 0);
+        s.begin(0.0, "", "sampler", 0);
+        for b in 0..2u64 {
+            let t0 = b as f64;
+            s.begin(t0, "", "sample", b);
+            s.begin(t0 + 0.1, "", "csp.shuffle", 0);
+            s.end(t0 + 0.3);
+            s.end(t0 + 0.8);
+            s.counter(t0 + 0.8, "q.sample", "push", (b + 1) as f64);
+        }
+        s.instant(1.9, "", "retry", 1);
+        s.end(2.0);
+        let mut l = TraceSink::new(0, crate::TID_LOADER, 0);
+        l.begin(0.0, "", "loader", 0);
+        for b in 0..2u64 {
+            let t0 = b as f64 + 0.9;
+            l.counter(t0, "q.sample", "pop", (b + 1) as f64);
+            l.begin(t0, "", "load", b);
+            l.counter(t0 + 0.2, "cache", "hits", 10.0);
+            l.counter(t0 + 0.2, "cache", "cold", 2.0);
+            l.end(t0 + 0.5);
+        }
+        l.end(2.4);
+        let mut events = s.events().to_vec();
+        events.extend(l.events().to_vec());
+        events
+    }
+
+    #[test]
+    fn telemetry_aggregates_stages_queues_and_counters() {
+        let t = telemetry(&pipeline_events());
+        assert_eq!(t.epochs, 1);
+        assert!((t.epoch_time_s - 2.4).abs() < 1e-12);
+        let sample = t.stages.iter().find(|s| s.name == "sample").unwrap();
+        assert_eq!(sample.count, 2);
+        assert!((sample.total_s - 1.6).abs() < 1e-12);
+        let q = t.queues.iter().find(|q| q.label == "q.sample").unwrap();
+        assert_eq!((q.pushes, q.pops), (2, 2));
+        assert_eq!(q.max_depth, 1);
+        assert!(q.mean_depth > 0.0);
+        let hits = t.counters.iter().find(|(k, _)| k == "cache.hits").unwrap();
+        assert!((hits.1 - 20.0).abs() < 1e-12);
+        assert_eq!(t.retries, 1);
+        assert!(t.utilization > 0.0 && t.utilization <= 1.0);
+    }
+
+    #[test]
+    fn breakdown_renders_nested_spans_deterministically() {
+        let events = pipeline_events();
+        let a = stage_breakdown(&events);
+        let mut reversed = events.clone();
+        reversed.reverse();
+        let b = stage_breakdown(&reversed);
+        assert_eq!(a, b);
+        assert!(a.contains("== epoch 0 =="));
+        assert!(a.contains("rank 0 / sampler"));
+        assert!(a.contains("csp.shuffle"));
+        assert!(a.contains("n=2"));
+    }
+
+    #[test]
+    fn telemetry_json_is_valid_and_non_empty() {
+        let t = telemetry(&pipeline_events());
+        let text = t.to_json();
+        let doc = crate::json::parse(&text).expect("valid json");
+        assert!(doc.get("epoch_time_s").unwrap().as_f64().unwrap() > 0.0);
+        assert!(doc.get("stages").unwrap().get("sample").is_some());
+        assert!(doc.get("queues").unwrap().get("q.sample").is_some());
+    }
+}

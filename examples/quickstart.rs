@@ -4,6 +4,12 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! With `DS_TRACE=1` the run additionally exports the virtual-clock
+//! trace: `results/quickstart_trace.json` (load it in `chrome://tracing`
+//! or Perfetto — one process per rank, one thread per pipeline worker)
+//! and `results/quickstart_stages.txt` (per-epoch stage breakdown).
+//! Same seed, same bytes: the export is deterministic.
 
 use dsp::core::config::TrainConfig;
 use dsp::core::{DspSystem, System};
@@ -69,4 +75,20 @@ fn main() {
         pcie as f64 / 1e6,
         host as f64 / 1e6
     );
+
+    // 6. Trace export (DS_TRACE=1): Chrome/Perfetto timeline + a
+    //    plain-text per-epoch stage breakdown.
+    if dsp::trace::enabled() {
+        let events = dsp::trace::recorder().take();
+        std::fs::create_dir_all("results").expect("create results/");
+        let json = dsp::trace::chrome::chrome_json(&events);
+        std::fs::write("results/quickstart_trace.json", &json).expect("write trace json");
+        let breakdown = dsp::trace::summary::stage_breakdown(&events);
+        std::fs::write("results/quickstart_stages.txt", &breakdown).expect("write stages");
+        println!(
+            "trace: {} events -> results/quickstart_trace.json (chrome://tracing), \
+             stage breakdown -> results/quickstart_stages.txt",
+            events.len()
+        );
+    }
 }

@@ -23,3 +23,15 @@ for seed in 1 2; do
     DS_FAULT_PLAN="chaos:n=4" DS_FAULT_SEED="$seed" \
         cargo test -q --offline --test fault_env
 done
+
+# Trace stage: observability end to end. The traced quickstart must
+# export a well-formed Chrome trace (valid JSON, every B matched by an
+# E per lane — trace_check re-parses the file from disk), and the
+# telemetry emitter must produce non-empty machine-readable perf points
+# folded from the trace stream.
+DS_TRACE=1 cargo run -q --release --offline --example quickstart > /dev/null
+cargo run -q --release --offline -p ds-bench --bin trace_check -- \
+    results/quickstart_trace.json
+rm -f BENCH_pipeline.json
+DSP_BENCH_QUICK=1 cargo run -q --release --offline -p ds-bench --bin bench_pipeline
+test -s BENCH_pipeline.json

@@ -30,4 +30,5 @@ pub use ds_sampling as sampling;
 pub use ds_simgpu as simgpu;
 pub use ds_store as store;
 pub use ds_tensor as tensor;
+pub use ds_trace as trace;
 pub use dsp_core as core;
