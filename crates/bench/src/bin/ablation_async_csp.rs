@@ -40,7 +40,7 @@ fn sampling_epoch(d: &ds_graph::Dataset, gpus: usize, fused: bool, cfg: &TrainCo
             if !fused {
                 csp_cfg = csp_cfg.unfused();
             }
-            std::thread::spawn(move || {
+            ds_exec::spawn_device(rank, move || {
                 let mut s = CspSampler::new(dg, cluster, comm, rank, csp_cfg);
                 let mut clock = Clock::new();
                 for batch in sched.epoch_batches(0) {

@@ -36,7 +36,7 @@ fn adversarial_schedule(use_ccc: bool) -> bool {
             } else {
                 Arc::clone(&b)
             };
-            handles.push(std::thread::spawn(move || {
+            handles.push(ds_exec::spawn_device(rank * 2 + worker, move || {
                 if (rank + worker) % 2 == 1 {
                     std::thread::sleep(Duration::from_millis(80));
                 }

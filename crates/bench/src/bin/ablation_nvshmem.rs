@@ -37,7 +37,7 @@ fn sampling_epoch(d: &ds_graph::Dataset, gpus: usize, backend: Backend, cfg: &Tr
             let comm = Arc::clone(&comm);
             let sched = SeedSchedule::new(per_rank[rank].clone(), cfg.batch_size, nb, cfg.seed);
             let csp_cfg = CspConfig::node_wise(cfg.fanout.clone()).with_seed(cfg.seed);
-            std::thread::spawn(move || {
+            ds_exec::spawn_device(rank, move || {
                 let mut s = CspSampler::new(dg, cluster, comm, rank, csp_cfg);
                 let mut clock = Clock::new();
                 for batch in sched.epoch_batches(0) {

@@ -41,7 +41,7 @@ fn run_with_partition(
             let sched = SeedSchedule::new(per_rank[rank].clone(), cfg.batch_size, nb, cfg.seed);
             let fanout = cfg.fanout.clone();
             let seed = cfg.seed;
-            std::thread::spawn(move || {
+            ds_exec::spawn_device(rank, move || {
                 let mut s = CspSampler::new(
                     dg,
                     cluster,

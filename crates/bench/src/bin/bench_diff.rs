@@ -1,0 +1,101 @@
+//! bench_diff: CI regression gate over the pipeline benchmark.
+//!
+//! Compares a freshly generated `BENCH_pipeline.json` against the
+//! committed baseline `results/BENCH_baseline.json`. Both files hold
+//! virtual-clock times, which are bit-deterministic for a given source
+//! tree, so any drift is a real modelling or code change — not machine
+//! noise. Fails (exit 1) when the epoch makespan or any stage's mean
+//! per-batch time regresses by more than 25%; improvements pass (the
+//! baseline should then be refreshed alongside the change). A stage
+//! present in the baseline but missing from the fresh run also fails;
+//! new stages are additive and pass.
+//!
+//! Usage: bench_diff [fresh.json] [baseline.json]
+
+use ds_trace::json::{parse, Json};
+use std::process::ExitCode;
+
+const THRESHOLD: f64 = 0.25;
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+/// Mean per-batch seconds for every stage, sorted by name.
+fn stage_means(j: &Json) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    if let Some(Json::Obj(stages)) = j.get("stages") {
+        for (name, s) in stages {
+            let total = s.get("total_s").and_then(Json::as_f64).unwrap_or(0.0);
+            let count = s.get("count").and_then(Json::as_f64).unwrap_or(0.0);
+            if count > 0.0 {
+                out.push((name.clone(), total / count));
+            }
+        }
+    }
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    out
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let fresh_path = args.next().unwrap_or_else(|| "BENCH_pipeline.json".into());
+    let base_path = args
+        .next()
+        .unwrap_or_else(|| "results/BENCH_baseline.json".into());
+    let fresh = load(&fresh_path);
+    let base = load(&base_path);
+
+    let mut rows: Vec<(String, f64, f64)> = Vec::new();
+    let be = base
+        .get("epoch_time_s")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    let fe = fresh
+        .get("epoch_time_s")
+        .and_then(Json::as_f64)
+        .unwrap_or(0.0);
+    rows.push(("epoch_time".into(), be, fe));
+    let fresh_means = stage_means(&fresh);
+    for (name, bmean) in stage_means(&base) {
+        match fresh_means.iter().find(|(n, _)| *n == name) {
+            Some((_, fmean)) => rows.push((format!("stage.{name}"), bmean, *fmean)),
+            None => {
+                eprintln!(
+                    "bench_diff: stage `{name}` present in baseline, missing from {fresh_path}"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+
+    let mut failed = false;
+    println!(
+        "{:<16} {:>14} {:>14} {:>9}",
+        "metric", "baseline_s", "fresh_s", "delta"
+    );
+    for (name, b, f) in &rows {
+        let delta = if *b > 0.0 { (f - b) / b } else { 0.0 };
+        let flag = if delta > THRESHOLD {
+            failed = true;
+            "  REGRESSION"
+        } else {
+            ""
+        };
+        println!(
+            "{name:<16} {b:>14.9} {f:>14.9} {:>+8.1}%{flag}",
+            delta * 100.0
+        );
+    }
+    if failed {
+        eprintln!(
+            "bench_diff: regression over {:.0}% threshold vs {base_path}",
+            THRESHOLD * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!("bench_diff: OK (threshold {:.0}%)", THRESHOLD * 100.0);
+        ExitCode::SUCCESS
+    }
+}

@@ -45,6 +45,12 @@ fn main() {
         !t.stages.is_empty() && !t.queues.is_empty(),
         "telemetry must include per-stage times and queue occupancy"
     );
+    let ex = ds_exec::stats();
+    eprintln!(
+        "[bench_pipeline] pool: {} submitted, {} executed, {} helped, {} stolen, \
+         peak depth {} (injector {})",
+        ex.submitted, ex.executed, ex.helped, ex.stolen, ex.max_deque_depth, ex.max_injector_depth
+    );
     std::fs::write("BENCH_pipeline.json", t.to_json()).expect("write BENCH_pipeline.json");
     println!(
         "BENCH_pipeline.json: {} epochs, epoch_time {:.3} ms, utilization {:.0}%, \

@@ -49,7 +49,7 @@ fn main() {
                     );
                     let fanout = cfg.fanout.clone();
                     let seed = cfg.seed;
-                    std::thread::spawn(move || {
+                    ds_exec::spawn_device(rank, move || {
                         let mut clock = Clock::new();
                         let mut sampler: Box<dyn BatchSampler> = if push {
                             Box::new(CspSampler::new(

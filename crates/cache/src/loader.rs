@@ -12,7 +12,7 @@ use crate::partitioned::PartitionedCache;
 use crate::replicated::ReplicatedCache;
 use ds_comm::{CommError, Communicator};
 use ds_graph::{Features, NodeId};
-use ds_simgpu::{Clock, Cluster};
+use ds_simgpu::{par, Clock, Cluster};
 use ds_tensor::Matrix;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -166,38 +166,49 @@ impl DspLoader {
         ds_trace::span_end(clock.now());
         ds_trace::span_begin(clock.now(), "load.cold");
 
-        // Assemble; collect cold nodes for the UVA path.
+        // Resolve each row's source serially (the per-owner cursors are
+        // order-dependent), then gather all rows — hot and cold — on the
+        // shared pool in one parallel pass.
+        enum RowSrc {
+            Hot { owner: usize, start: usize },
+            Cold(NodeId),
+        }
         let mut row_cursor = vec![0usize; n];
-        let mut out = Matrix::zeros(nodes.len(), dim);
-        let mut cold_nodes: Vec<(usize, NodeId)> = Vec::new();
+        let mut srcs: Vec<RowSrc> = Vec::with_capacity(nodes.len());
+        let mut cold = 0u64;
         for (i, &v) in nodes.iter().enumerate() {
             let (o, idx) = placement[i];
             if recv_flags[o][idx as usize] == 1 {
-                let start = row_cursor[o];
-                out.row_mut(i)
-                    .copy_from_slice(&recv_rows[o][start..start + dim]);
+                srcs.push(RowSrc::Hot {
+                    owner: o,
+                    start: row_cursor[o],
+                });
                 row_cursor[o] += dim;
             } else {
-                cold_nodes.push((i, v));
+                srcs.push(RowSrc::Cold(v));
+                cold += 1;
             }
         }
         // Cold path over UVA, overlapped with the NVLink path: the
         // slower of the two determines the elapsed time, so roll back
         // the NVLink row-transfer time if UVA dominates.
-        let uva_time = self
-            .cluster
-            .uva_read(self.rank, cold_nodes.len() as u64, dim as u64 * 4);
+        let uva_time = self.cluster.uva_read(self.rank, cold, dim as u64 * 4);
         if uva_time > nvlink_path {
             clock.work_on(uva_time - nvlink_path, ds_simgpu::clock::ResKind::Pcie);
         }
-        for (i, v) in &cold_nodes {
-            out.row_mut(*i).copy_from_slice(self.host.row(*v));
-        }
-        let hits = (nodes.len() - cold_nodes.len()) as u64;
-        self.stats.add(hits, cold_nodes.len() as u64);
+        let mut out = Matrix::zeros(nodes.len(), dim);
+        let host = &self.host;
+        par::chunk_map_mut(out.data_mut(), dim, |i, dst| match srcs[i] {
+            RowSrc::Hot { owner, start } => {
+                dst.copy_from_slice(&recv_rows[owner][start..start + dim])
+            }
+            RowSrc::Cold(v) => dst.copy_from_slice(host.row(v)),
+        });
+        let hits = nodes.len() as u64 - cold;
+        self.stats.add(hits, cold);
         ds_trace::span_end(clock.now());
         ds_trace::counter(clock.now(), "cache", "hits", hits as f64);
-        ds_trace::counter(clock.now(), "cache", "cold", cold_nodes.len() as f64);
+        ds_trace::counter(clock.now(), "cache", "cold", cold as f64);
         Ok(out)
     }
 }
@@ -246,20 +257,23 @@ impl FeatureLoader for ReplicatedLoader {
         let dim = self.cache.dim();
         let model = *self.cluster.model();
         let mut out = Matrix::zeros(nodes.len(), dim);
-        let mut hits = 0u64;
-        let mut cold = 0u64;
-        for (i, &v) in nodes.iter().enumerate() {
-            match self.cache.lookup(v) {
+        let (cache, host) = (&self.cache, &self.host);
+        // One pooled pass: each chunk gathers its row and reports
+        // hit/miss; the per-chunk counts are summed in chunk order.
+        let hits: u64 =
+            par::chunk_map_mut(out.data_mut(), dim, |i, dst| match cache.lookup(nodes[i]) {
                 Some(row) => {
-                    out.row_mut(i).copy_from_slice(row);
-                    hits += 1;
+                    dst.copy_from_slice(row);
+                    1u64
                 }
                 None => {
-                    out.row_mut(i).copy_from_slice(self.host.row(v));
-                    cold += 1;
+                    dst.copy_from_slice(host.row(nodes[i]));
+                    0u64
                 }
-            }
-        }
+            })
+            .into_iter()
+            .sum();
+        let cold = nodes.len() as u64 - hits;
         clock.work_on(
             model.gather_time(hits, dim as u64 * 4),
             ds_simgpu::clock::ResKind::Hbm,
@@ -307,9 +321,10 @@ impl FeatureLoader for HostLoader {
             ds_simgpu::clock::ResKind::Pcie,
         );
         let mut out = Matrix::zeros(nodes.len(), dim);
-        for (i, &v) in nodes.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(self.host.row(v));
-        }
+        let host = &self.host;
+        par::chunk_map_mut(out.data_mut(), dim, |i, dst| {
+            dst.copy_from_slice(host.row(nodes[i]))
+        });
         self.stats.add(0, nodes.len() as u64);
         out
     }
@@ -379,9 +394,10 @@ impl FeatureLoader for CpuLoader {
             ds_simgpu::clock::ResKind::Pcie,
         );
         let mut out = Matrix::zeros(nodes.len(), dim);
-        for (i, &v) in nodes.iter().enumerate() {
-            out.row_mut(i).copy_from_slice(self.host.row(v));
-        }
+        let host = &self.host;
+        par::chunk_map_mut(out.data_mut(), dim, |i, dst| {
+            dst.copy_from_slice(host.row(nodes[i]))
+        });
         self.stats.add(0, nodes.len() as u64);
         out
     }

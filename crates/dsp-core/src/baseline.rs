@@ -176,9 +176,10 @@ impl System for BaselineSystem {
                 .ranks
                 .iter_mut()
                 .zip(batches)
-                .map(|(state, rank_batches)| {
+                .enumerate()
+                .map(|(rank, (state, rank_batches))| {
                     let labels = Arc::clone(&labels);
-                    scope.spawn(move || {
+                    ds_exec::spawn_scoped_named(scope, format!("dev-{rank}"), move || {
                         let mut clock = Clock::new();
                         let mut metrics = MetricAccumulator::default();
                         let (mut sb, mut lb, mut tb) = (0.0, 0.0, 0.0);
@@ -259,8 +260,9 @@ impl System for BaselineSystem {
                 .ranks
                 .iter_mut()
                 .zip(batches)
-                .map(|(state, rank_batches)| {
-                    scope.spawn(move || {
+                .enumerate()
+                .map(|(rank, (state, rank_batches))| {
+                    ds_exec::spawn_scoped_named(scope, format!("dev-{rank}"), move || {
                         let mut clock = Clock::new();
                         for seeds in &rank_batches {
                             let _ = state.sampler.sample_batch(&mut clock, seeds);

@@ -274,96 +274,108 @@ fn run_rank_pipelined(
     let (mut feat_tx, mut feat_rx) = virtual_queue_labeled::<(GraphSample, Matrix)>(cap, "q.feat");
     let rank = ctx.rank as u32;
     std::thread::scope(|s| {
-        let sampler_thread = s.spawn(move || -> Result<Clock, DspError> {
-            let _trace = ds_trace::worker(rank, ds_trace::TID_SAMPLER);
-            let mut clock = Clock::new();
-            ds_trace::span_begin(clock.now(), "sampler");
-            let mut crashed = false;
-            let mut batch = 0usize;
-            while batch < batches.len() {
-                let b = batch as u64;
-                ctx.stall(&mut clock, WorkerKind::Sampler, b);
-                if !crashed && ctx.crashes(WorkerKind::Sampler, b) {
-                    // The sampler dies; the supervisor stands up a
-                    // degraded replacement on this rank and tells the
-                    // peers, who degrade too and retry their in-flight
-                    // batch (bit-identical by RNG keying).
-                    crashed = true;
-                    ds_trace::instant(clock.now(), "crash", b);
-                    ctx.declare_dead(WorkerKind::Sampler, b);
-                    ctx.degrade_sampler(sampler);
+        let sampler_thread = ds_exec::spawn_scoped_named(
+            s,
+            format!("dev-{rank}-sampler"),
+            move || -> Result<Clock, DspError> {
+                let _trace = ds_trace::worker(rank, ds_trace::TID_SAMPLER);
+                let mut clock = Clock::new();
+                ds_trace::span_begin(clock.now(), "sampler");
+                let mut crashed = false;
+                let mut batch = 0usize;
+                while batch < batches.len() {
+                    let b = batch as u64;
+                    ctx.stall(&mut clock, WorkerKind::Sampler, b);
+                    if !crashed && ctx.crashes(WorkerKind::Sampler, b) {
+                        // The sampler dies; the supervisor stands up a
+                        // degraded replacement on this rank and tells the
+                        // peers, who degrade too and retry their in-flight
+                        // batch (bit-identical by RNG keying).
+                        crashed = true;
+                        ds_trace::instant(clock.now(), "crash", b);
+                        ctx.declare_dead(WorkerKind::Sampler, b);
+                        ctx.degrade_sampler(sampler);
+                    }
+                    ctx.sup
+                        .heartbeat(ctx.rank, WorkerKind::Sampler, b, clock.now());
+                    ds_trace::span_begin_arg(clock.now(), "sample", b);
+                    let sample = supervised_sample(sampler, &mut clock, &batches[batch], b, ctx)?;
+                    ds_trace::span_end(clock.now());
+                    if sample_tx.push(&mut clock, sample).is_err() {
+                        // Downstream died; its own error is the story.
+                        break;
+                    }
+                    batch += 1;
                 }
-                ctx.sup
-                    .heartbeat(ctx.rank, WorkerKind::Sampler, b, clock.now());
-                ds_trace::span_begin_arg(clock.now(), "sample", b);
-                let sample = supervised_sample(sampler, &mut clock, &batches[batch], b, ctx)?;
                 ds_trace::span_end(clock.now());
-                if sample_tx.push(&mut clock, sample).is_err() {
-                    // Downstream died; its own error is the story.
-                    break;
+                Ok(clock)
+            },
+        );
+        let loader_thread = ds_exec::spawn_scoped_named(
+            s,
+            format!("dev-{rank}-loader"),
+            move || -> Result<Clock, DspError> {
+                let _trace = ds_trace::worker(rank, ds_trace::TID_LOADER);
+                let mut clock = Clock::new();
+                ds_trace::span_begin(clock.now(), "loader");
+                let mut b = 0u64;
+                while let Some(sample) = sample_rx.pop(&mut clock) {
+                    ctx.stall(&mut clock, WorkerKind::Loader, b);
+                    if ctx.crashes(WorkerKind::Loader, b) {
+                        ds_trace::instant(clock.now(), "crash", b);
+                        ctx.declare_dead(WorkerKind::Loader, b);
+                        return Err(DspError::WorkerCrashed {
+                            rank: ctx.rank,
+                            worker: WorkerKind::Loader,
+                            batch: b,
+                        });
+                    }
+                    ctx.sup
+                        .heartbeat(ctx.rank, WorkerKind::Loader, b, clock.now());
+                    ds_trace::span_begin_arg(clock.now(), "load", b);
+                    let feats = supervised_load(loader, &mut clock, sample.input_nodes(), b, ctx)?;
+                    ds_trace::span_end(clock.now());
+                    if feat_tx.push(&mut clock, (sample, feats)).is_err() {
+                        break;
+                    }
+                    b += 1;
                 }
-                batch += 1;
-            }
-            ds_trace::span_end(clock.now());
-            Ok(clock)
-        });
-        let loader_thread = s.spawn(move || -> Result<Clock, DspError> {
-            let _trace = ds_trace::worker(rank, ds_trace::TID_LOADER);
-            let mut clock = Clock::new();
-            ds_trace::span_begin(clock.now(), "loader");
-            let mut b = 0u64;
-            while let Some(sample) = sample_rx.pop(&mut clock) {
-                ctx.stall(&mut clock, WorkerKind::Loader, b);
-                if ctx.crashes(WorkerKind::Loader, b) {
-                    ds_trace::instant(clock.now(), "crash", b);
-                    ctx.declare_dead(WorkerKind::Loader, b);
-                    return Err(DspError::WorkerCrashed {
-                        rank: ctx.rank,
-                        worker: WorkerKind::Loader,
-                        batch: b,
-                    });
-                }
-                ctx.sup
-                    .heartbeat(ctx.rank, WorkerKind::Loader, b, clock.now());
-                ds_trace::span_begin_arg(clock.now(), "load", b);
-                let feats = supervised_load(loader, &mut clock, sample.input_nodes(), b, ctx)?;
                 ds_trace::span_end(clock.now());
-                if feat_tx.push(&mut clock, (sample, feats)).is_err() {
-                    break;
+                Ok(clock)
+            },
+        );
+        let trainer_thread = ds_exec::spawn_scoped_named(
+            s,
+            format!("dev-{rank}-trainer"),
+            move || -> Result<(Clock, MetricAccumulator), DspError> {
+                let _trace = ds_trace::worker(rank, ds_trace::TID_TRAINER);
+                let mut clock = Clock::new();
+                ds_trace::span_begin(clock.now(), "trainer");
+                let mut metrics = MetricAccumulator::default();
+                let mut b = 0u64;
+                while let Some((sample, feats)) = feat_rx.pop(&mut clock) {
+                    ctx.stall(&mut clock, WorkerKind::Trainer, b);
+                    if ctx.crashes(WorkerKind::Trainer, b) {
+                        ds_trace::instant(clock.now(), "crash", b);
+                        ctx.declare_dead(WorkerKind::Trainer, b);
+                        return Err(DspError::WorkerCrashed {
+                            rank: ctx.rank,
+                            worker: WorkerKind::Trainer,
+                            batch: b,
+                        });
+                    }
+                    ctx.sup
+                        .heartbeat(ctx.rank, WorkerKind::Trainer, b, clock.now());
+                    ds_trace::span_begin_arg(clock.now(), "train", b);
+                    let r = supervised_train(trainer, &mut clock, &sample, &feats, b, ctx)?;
+                    ds_trace::span_end(clock.now());
+                    metrics.add(r.loss, r.accuracy, r.seeds);
+                    b += 1;
                 }
-                b += 1;
-            }
-            ds_trace::span_end(clock.now());
-            Ok(clock)
-        });
-        let trainer_thread = s.spawn(move || -> Result<(Clock, MetricAccumulator), DspError> {
-            let _trace = ds_trace::worker(rank, ds_trace::TID_TRAINER);
-            let mut clock = Clock::new();
-            ds_trace::span_begin(clock.now(), "trainer");
-            let mut metrics = MetricAccumulator::default();
-            let mut b = 0u64;
-            while let Some((sample, feats)) = feat_rx.pop(&mut clock) {
-                ctx.stall(&mut clock, WorkerKind::Trainer, b);
-                if ctx.crashes(WorkerKind::Trainer, b) {
-                    ds_trace::instant(clock.now(), "crash", b);
-                    ctx.declare_dead(WorkerKind::Trainer, b);
-                    return Err(DspError::WorkerCrashed {
-                        rank: ctx.rank,
-                        worker: WorkerKind::Trainer,
-                        batch: b,
-                    });
-                }
-                ctx.sup
-                    .heartbeat(ctx.rank, WorkerKind::Trainer, b, clock.now());
-                ds_trace::span_begin_arg(clock.now(), "train", b);
-                let r = supervised_train(trainer, &mut clock, &sample, &feats, b, ctx)?;
                 ds_trace::span_end(clock.now());
-                metrics.add(r.loss, r.accuracy, r.seeds);
-                b += 1;
-            }
-            ds_trace::span_end(clock.now());
-            Ok((clock, metrics))
-        });
+                Ok((clock, metrics))
+            },
+        );
         let r1 = sampler_thread.join().expect("sampler worker panicked");
         let r2 = loader_thread.join().expect("loader worker panicked");
         let r3 = trainer_thread.join().expect("trainer worker panicked");
@@ -678,7 +690,7 @@ impl DspSystem {
                 .zip(batches)
                 .zip(&ctxs)
                 .map(|((state, rank_batches), ctx)| {
-                    scope.spawn(move || {
+                    ds_exec::spawn_scoped_named(scope, format!("dev-{}", ctx.rank), move || {
                         if pipelined {
                             run_rank_pipelined(state, rank_batches, cap, ctx)
                         } else {
@@ -751,8 +763,9 @@ impl System for DspSystem {
                 .ranks
                 .iter_mut()
                 .zip(batches)
-                .map(|(state, rank_batches)| {
-                    scope.spawn(move || {
+                .enumerate()
+                .map(|(rank, (state, rank_batches))| {
+                    ds_exec::spawn_scoped_named(scope, format!("dev-{rank}"), move || {
                         let mut clock = Clock::new();
                         for seeds in &rank_batches {
                             let _ = state.sampler.sample_batch(&mut clock, seeds);

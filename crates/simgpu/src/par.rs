@@ -1,18 +1,35 @@
-//! Deterministic chunked parallel-map on OS threads.
+//! Deterministic chunked parallel-map, executed on the shared
+//! [`ds_exec`] work-stealing pool.
 //!
 //! The in-tree replacement for the rayon hot paths in `ds-tensor` and
 //! `ds-graph`: data is split into fixed-size chunks, contiguous runs of
-//! chunks are handed to scoped threads, and per-chunk results come back
-//! **in chunk order**. Because the chunk boundaries (not the thread
-//! count) define the work units, results are bit-identical whatever
-//! parallelism the host machine offers — a requirement for the seeded
-//! per-chunk RNG streams used by the graph generators.
+//! chunks become pool tasks, and per-chunk results come back **in chunk
+//! order**. Because the chunk boundaries (not the thread count or the
+//! steal order) define the work units, results are bit-identical
+//! whatever parallelism the host machine offers — a requirement for the
+//! seeded per-chunk RNG streams used by the graph generators.
+//!
+//! Earlier revisions spawned scoped OS threads on every call; the hot
+//! GEMM and gather paths now ride the one-time process-global pool
+//! instead (`ds_exec::global()`), so overlapping pipeline stages share
+//! a bounded set of compute threads rather than oversubscribing the
+//! host. The submitting thread executes the first part inline and then
+//! helps the pool while waiting, which also makes nested maps (a GEMM
+//! issued from inside a pool task) deadlock-free.
 //!
 //! Thread count comes from `available_parallelism`, overridable with
 //! `DS_PAR_THREADS` (set `DS_PAR_THREADS=1` to force serial execution).
-//! The serial cutoff below which the thread setup is skipped is
+//! The serial cutoff below which the pool hand-off is skipped is
 //! likewise overridable with `DS_PAR_SERIAL_CUTOFF` (set it to `0` so
-//! tests exercise the parallel path on small inputs).
+//! tests exercise the parallel path on small inputs). The `*_with`
+//! variants take an explicit part count so the determinism suite can
+//! compare thread counts within one process.
+//!
+//! When `DS_TRACE_REALTIME` tracing is active, each pooled map folds
+//! the pool's cumulative `exec.*` counters (executed/stolen tasks,
+//! queue high-water) into the calling worker's trace stream. These
+//! depend on real thread timing, which is exactly why they sit behind
+//! the realtime gate: default traces stay byte-deterministic.
 
 use std::sync::OnceLock;
 
@@ -31,8 +48,8 @@ pub fn num_threads() -> usize {
     })
 }
 
-/// Default for [`serial_cutoff`]: below this many elements the
-/// scoped-thread setup costs more than it saves.
+/// Default for [`serial_cutoff`]: below this many elements the pool
+/// hand-off costs more than it saves.
 const SERIAL_CUTOFF_DEFAULT: usize = 4096;
 
 /// Parses a `DS_PAR_SERIAL_CUTOFF` value; `None` falls back to the
@@ -50,6 +67,23 @@ pub fn serial_cutoff() -> usize {
     *N.get_or_init(|| parse_serial_cutoff(std::env::var("DS_PAR_SERIAL_CUTOFF").ok().as_deref()))
 }
 
+/// Folds the pool's cumulative counters into the calling worker's
+/// trace stream. Steal counts and queue depths depend on real thread
+/// timing, so they are gated behind `DS_TRACE_REALTIME` — default
+/// traces must stay byte-identical across same-seed runs.
+fn emit_pool_trace() {
+    if ds_trace::realtime() {
+        let s = ds_exec::stats();
+        ds_trace::counter_at_last_seen("exec", "executed", (s.executed + s.helped) as f64);
+        ds_trace::counter_at_last_seen("exec", "stolen", s.stolen as f64);
+        ds_trace::counter_at_last_seen(
+            "exec",
+            "queue_peak",
+            s.max_injector_depth.max(s.max_deque_depth) as f64,
+        );
+    }
+}
+
 /// Applies `f` to each `chunk`-sized slice of `data` (last one may be
 /// shorter), passing the chunk index; returns per-chunk results in
 /// chunk order.
@@ -59,10 +93,22 @@ where
     R: Send,
     F: Fn(usize, &mut [T]) -> R + Sync,
 {
+    chunk_map_mut_with(num_threads(), data, chunk, f)
+}
+
+/// [`chunk_map_mut`] with an explicit part count. Output is identical
+/// for every `threads` value — chunk boundaries define the work units —
+/// which is what the determinism suite asserts.
+pub fn chunk_map_mut_with<T, R, F>(threads: usize, data: &mut [T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, &mut [T]) -> R + Sync,
+{
     assert!(chunk > 0, "chunk size must be positive");
     let len = data.len();
     let nchunks = len.div_ceil(chunk);
-    let threads = num_threads().min(nchunks);
+    let threads = threads.min(nchunks);
     if threads <= 1 || len <= serial_cutoff() {
         return data
             .chunks_mut(chunk)
@@ -70,37 +116,34 @@ where
             .map(|(i, c)| f(i, c))
             .collect();
     }
-    let chunks_per_thread = nchunks.div_ceil(threads);
-    let mut parts: Vec<(usize, &mut [T])> = Vec::with_capacity(threads);
+    let chunks_per_part = nchunks.div_ceil(threads);
+    // Hand each task its disjoint `&mut` part through a take-once slot;
+    // the pool's map keeps every borrow alive until the whole set ran.
+    let mut parts: Vec<std::sync::Mutex<Option<(usize, &mut [T])>>> = Vec::with_capacity(threads);
     let mut rest = data;
     let mut next_chunk = 0usize;
     while !rest.is_empty() {
-        let take = (chunks_per_thread * chunk).min(rest.len());
+        let take = (chunks_per_part * chunk).min(rest.len());
         let (head, tail) = rest.split_at_mut(take);
-        parts.push((next_chunk, head));
-        next_chunk += chunks_per_thread;
+        parts.push(std::sync::Mutex::new(Some((next_chunk, head))));
+        next_chunk += chunks_per_part;
         rest = tail;
     }
     let f = &f;
-    let per_thread: Vec<Vec<R>> = std::thread::scope(|s| {
-        let handles: Vec<_> = parts
-            .into_iter()
-            .map(|(first, slice)| {
-                s.spawn(move || {
-                    slice
-                        .chunks_mut(chunk)
-                        .enumerate()
-                        .map(|(j, c)| f(first + j, c))
-                        .collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("par worker panicked"))
-            .collect()
+    let per_part: Vec<Vec<R>> = ds_exec::global().map_indexed(parts.len(), |pi| {
+        let (first, slice) = parts[pi]
+            .lock()
+            .expect("part slot")
+            .take()
+            .expect("part taken once");
+        slice
+            .chunks_mut(chunk)
+            .enumerate()
+            .map(|(j, c)| f(first + j, c))
+            .collect::<Vec<R>>()
     });
-    per_thread.into_iter().flatten().collect()
+    emit_pool_trace();
+    per_part.into_iter().flatten().collect()
 }
 
 /// Read-only variant of [`chunk_map_mut`].
@@ -110,10 +153,21 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
+    chunk_map_with(num_threads(), data, chunk, f)
+}
+
+/// [`chunk_map`] with an explicit part count (see
+/// [`chunk_map_mut_with`]).
+pub fn chunk_map_with<T, R, F>(threads: usize, data: &[T], chunk: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &[T]) -> R + Sync,
+{
     assert!(chunk > 0, "chunk size must be positive");
     let len = data.len();
     let nchunks = len.div_ceil(chunk);
-    let threads = num_threads().min(nchunks);
+    let threads = threads.min(nchunks);
     if threads <= 1 || len <= serial_cutoff() {
         return data
             .chunks(chunk)
@@ -121,30 +175,20 @@ where
             .map(|(i, c)| f(i, c))
             .collect();
     }
-    let chunks_per_thread = nchunks.div_ceil(threads);
+    let chunks_per_part = nchunks.div_ceil(threads);
     let f = &f;
-    let per_thread: Vec<Vec<R>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let first = t * chunks_per_thread;
-                let lo = (first * chunk).min(len);
-                let hi = ((first + chunks_per_thread) * chunk).min(len);
-                let slice = &data[lo..hi];
-                s.spawn(move || {
-                    slice
-                        .chunks(chunk)
-                        .enumerate()
-                        .map(|(j, c)| f(first + j, c))
-                        .collect::<Vec<R>>()
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("par worker panicked"))
-            .collect()
+    let per_part: Vec<Vec<R>> = ds_exec::global().map_indexed(threads, |t| {
+        let first = t * chunks_per_part;
+        let lo = (first * chunk).min(len);
+        let hi = ((first + chunks_per_part) * chunk).min(len);
+        data[lo..hi]
+            .chunks(chunk)
+            .enumerate()
+            .map(|(j, c)| f(first + j, c))
+            .collect::<Vec<R>>()
     });
-    per_thread.into_iter().flatten().collect()
+    emit_pool_trace();
+    per_part.into_iter().flatten().collect()
 }
 
 /// Applies `f(index, &mut element)` across `data` in parallel.
@@ -173,26 +217,29 @@ where
     R: Send,
     F: Fn(usize) -> Vec<R> + Sync,
 {
-    let threads = num_threads().min(n);
+    flat_map_indexed_with(num_threads(), n, f)
+}
+
+/// [`flat_map_indexed`] with an explicit part count (see
+/// [`chunk_map_mut_with`]).
+pub fn flat_map_indexed_with<R, F>(threads: usize, n: usize, f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(usize) -> Vec<R> + Sync,
+{
+    let threads = threads.min(n);
     if threads <= 1 {
         return (0..n).flat_map(&f).collect();
     }
-    let per_thread_n = n.div_ceil(threads);
+    let per_part_n = n.div_ceil(threads);
     let f = &f;
-    let per_thread: Vec<Vec<R>> = std::thread::scope(|s| {
-        let handles: Vec<_> = (0..threads)
-            .map(|t| {
-                let lo = t * per_thread_n;
-                let hi = ((t + 1) * per_thread_n).min(n);
-                s.spawn(move || (lo..hi).flat_map(f).collect::<Vec<R>>())
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("par worker panicked"))
-            .collect()
+    let per_part: Vec<Vec<R>> = ds_exec::global().map_indexed(threads, |t| {
+        let lo = t * per_part_n;
+        let hi = ((t + 1) * per_part_n).min(n);
+        (lo..hi).flat_map(f).collect::<Vec<R>>()
     });
-    per_thread.into_iter().flatten().collect()
+    emit_pool_trace();
+    per_part.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -255,6 +302,60 @@ mod tests {
     fn flat_map_indexed_concatenates_in_order() {
         let got = flat_map_indexed(57, |i| vec![i; i % 4]);
         let expect: Vec<usize> = (0..57).flat_map(|i| vec![i; i % 4]).collect();
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn explicit_part_counts_are_bit_identical() {
+        // The `*_with` contract behind the determinism suite: the part
+        // count changes scheduling, never results. Large enough to pass
+        // the default serial cutoff on the multi-part runs.
+        let data: Vec<u64> = (0..50_000).map(|i| i * 7 + 1).collect();
+        let serial = chunk_map_with(1, &data, 97, |i, c| (i as u64) ^ c.iter().sum::<u64>());
+        for threads in [2usize, 3, 8, 64] {
+            let got = chunk_map_with(threads, &data, 97, |i, c| {
+                (i as u64) ^ c.iter().sum::<u64>()
+            });
+            assert_eq!(got, serial, "threads={threads}");
+        }
+        let fserial = flat_map_indexed_with(1, 301, |i| vec![i as u32; i % 5]);
+        for threads in [2usize, 8] {
+            assert_eq!(
+                flat_map_indexed_with(threads, 301, |i| vec![i as u32; i % 5]),
+                fserial
+            );
+        }
+        let mut a: Vec<u64> = (0..50_000).collect();
+        let mut b = a.clone();
+        chunk_map_mut_with(2, &mut a, 173, |i, c| {
+            c.iter_mut().for_each(|x| *x += i as u64)
+        });
+        chunk_map_mut_with(8, &mut b, 173, |i, c| {
+            c.iter_mut().for_each(|x| *x += i as u64)
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn nested_maps_complete_on_the_shared_pool() {
+        // A pooled map issued from inside a pooled map (the pipeline
+        // worker → GEMM shape) must not deadlock however busy the pool.
+        // Both levels exceed the default serial cutoff, so both really
+        // ride the pool.
+        let outer: Vec<u64> = (0..5_000).map(|i| i as u64).collect();
+        let got = chunk_map_with(8, &outer, 100, |ci, c| {
+            let inner: Vec<u64> = (0..8_192).map(|j| j as u64 + c[0]).collect();
+            let sums = chunk_map_with(4, &inner, 512, |_, s| s.iter().sum::<u64>());
+            (ci as u64) + sums.into_iter().sum::<u64>()
+        });
+        let expect = outer
+            .chunks(100)
+            .enumerate()
+            .map(|(ci, c)| {
+                let inner: Vec<u64> = (0..8_192).map(|j| j as u64 + c[0]).collect();
+                (ci as u64) + inner.iter().sum::<u64>()
+            })
+            .collect::<Vec<_>>();
         assert_eq!(got, expect);
     }
 }

@@ -140,21 +140,12 @@ mod tests {
 
     #[test]
     fn concurrent_recording_is_lossless() {
-        use std::sync::Arc;
-        let m = Arc::new(TrafficMeter::new());
-        let handles: Vec<_> = (0..8)
-            .map(|_| {
-                let m = Arc::clone(&m);
-                std::thread::spawn(move || {
-                    for _ in 0..10_000 {
-                        m.record(Link::NvLink, 3);
-                    }
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().unwrap();
-        }
+        let m = TrafficMeter::new();
+        ds_exec::global().map_indexed(8, |_| {
+            for _ in 0..10_000 {
+                m.record(Link::NvLink, 3);
+            }
+        });
         assert_eq!(m.nvlink_bytes(), 8 * 10_000 * 3);
     }
 }

@@ -248,9 +248,11 @@ impl Matrix {
         }
     }
 
-    /// Frobenius norm.
+    /// Frobenius norm. The chunk size is a fixed constant (not derived
+    /// from the thread count) so the float summation tree — and hence
+    /// the result bits — are identical for any `DS_PAR_THREADS`.
     pub fn norm(&self) -> f32 {
-        let chunk = self.data.len().div_ceil(par::num_threads().max(1)).max(1);
+        let chunk = 4096;
         par::chunk_map(&self.data, chunk, |_, c| {
             c.iter().map(|x| x * x).sum::<f32>()
         })

@@ -185,6 +185,14 @@ impl TraceSink {
         self.push(t, Payload::Counter { label, name, value });
     }
 
+    /// Counter stamped at the last timestamp this sink has seen — for
+    /// instrumentation points (the ds-exec pool) that have no virtual
+    /// clock of their own and piggyback on the worker's timeline.
+    pub fn counter_at_last(&mut self, label: &'static str, name: &'static str, value: f64) {
+        let t = self.last_t;
+        self.counter(t, label, name, value);
+    }
+
     /// Number of currently open spans.
     pub fn depth(&self) -> usize {
         self.open.len()
@@ -412,6 +420,14 @@ pub fn instant(t: f64, name: &'static str, arg: u64) {
 #[inline]
 pub fn counter(t: f64, label: &'static str, name: &'static str, value: f64) {
     with_sink(|s| s.counter(t, label, name, value));
+}
+
+/// Labelled counter stamped at the sink's last-seen virtual time —
+/// used by clock-less layers (the ds-exec pool counters) to land on
+/// the recording worker's timeline instead of inventing `t = 0`.
+#[inline]
+pub fn counter_at_last_seen(label: &'static str, name: &'static str, value: f64) {
+    with_sink(|s| s.counter_at_last(label, name, value));
 }
 
 /// Current open-span depth of this thread's sink (0 when inactive).

@@ -9,6 +9,7 @@ cd "$(dirname "$0")/.."
 
 cargo fmt --check
 scripts/lint_locks.sh
+scripts/lint_threads.sh
 cargo build --release --offline
 # `cargo test` does not compile harness=false benches; build them so
 # the ds-testkit bench API stays honest.
@@ -35,3 +36,7 @@ cargo run -q --release --offline -p ds-bench --bin trace_check -- \
 rm -f BENCH_pipeline.json
 DSP_BENCH_QUICK=1 cargo run -q --release --offline -p ds-bench --bin bench_pipeline
 test -s BENCH_pipeline.json
+# Regression gate: virtual-clock times are deterministic, so the fresh
+# run must sit within 25% of the committed baseline on every stage.
+cargo run -q --release --offline -p ds-bench --bin bench_diff -- \
+    BENCH_pipeline.json results/BENCH_baseline.json

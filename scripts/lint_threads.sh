@@ -1,0 +1,35 @@
+#!/usr/bin/env bash
+# Thread-discipline lint: production code must not spawn raw OS threads.
+# Per-call `std::thread::spawn` is exactly the overhead ds-exec exists
+# to eliminate, and anonymous threads defeat the `ds-exec-N` / `dev-R`
+# naming contract that traces and debuggers rely on. Compute rides the
+# shared pool (`ds_simgpu::par`, `ds_exec::global()`); long-lived device
+# workers go through `ds_exec::spawn_device` / `spawn_scoped_named`.
+# Allowed exceptions: crates/exec itself (the pool's own workers) and
+# test modules (after `mod tests`).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+for f in crates/*/src/*.rs crates/*/src/bin/*.rs src/*.rs; do
+    [ -e "$f" ] || continue
+    case "$f" in
+        crates/exec/src/*) continue ;;
+    esac
+    # Only lint lines above the file's test module, if any.
+    hits=$(awk '/^(#\[cfg\(test\)\]|mod tests)/ { exit }
+                /std::thread::spawn[[:space:]]*\(/ {
+                    printf "%s:%d: %s\n", FILENAME, NR, $0
+                }' "$f")
+    if [ -n "$hits" ]; then
+        echo "$hits"
+        status=1
+    fi
+done
+
+if [ "$status" -ne 0 ]; then
+    echo "error: raw std::thread::spawn in production code — use the" \
+         "ds-exec pool (ds_simgpu::par / ds_exec::global()) or the named" \
+         "launchers ds_exec::spawn_device / spawn_scoped_named." >&2
+fi
+exit "$status"

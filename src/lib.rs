@@ -20,6 +20,7 @@
 
 pub use ds_cache as cache;
 pub use ds_comm as comm;
+pub use ds_exec as exec;
 pub use ds_fault as fault;
 pub use ds_gnn as gnn;
 pub use ds_graph as graph;

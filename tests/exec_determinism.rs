@@ -1,0 +1,141 @@
+//! The executor determinism contract, end to end: same-seed GEMM
+//! outputs and CSP frontiers are bit-identical for `DS_PAR_THREADS`
+//! in {1, 2, 8}. Chunk boundaries — not the thread count or steal
+//! order — define the work units, so the float summation trees and
+//! RNG streams never depend on how work lands on pool workers.
+//!
+//! The thread count is latched once per process (`OnceLock`), so each
+//! count needs a fresh process: the driver test re-execs this test
+//! binary with `DS_EXEC_DET_CHILD=1` and a different `DS_PAR_THREADS`,
+//! and compares the emitted `DET_HASH` lines. `DS_PAR_SERIAL_CUTOFF=0`
+//! forces every map through the pool's parallel path.
+
+use dsp::comm::Communicator;
+use dsp::graph::{gen, NodeId};
+use dsp::partition::{simple::range_partition, Renumbering};
+use dsp::sampling::csp::{CspConfig, CspSampler};
+use dsp::sampling::{BatchSampler, DistGraph};
+use dsp::simgpu::{Clock, ClusterSpec};
+use dsp::tensor::matrix::Matrix;
+use std::sync::Arc;
+
+const SEED: u64 = 2024;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn hash_matrix(m: &Matrix) -> u64 {
+    let mut bytes = Vec::with_capacity(m.data().len() * 4);
+    for &x in m.data() {
+        bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = dsp::rng::Rng::seed_from_u64(seed);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+    )
+}
+
+/// CSP over two ranks; hashes rank 0's sample for fixed seeds.
+fn csp_frontier_hash() -> u64 {
+    let g = gen::erdos_renyi(600, 12_000, true, 31);
+    let k = 2;
+    let p = range_partition(&g, k);
+    let renum = Renumbering::from_partition(&p);
+    let dg = Arc::new(DistGraph::from_renumbered(&g, &renum));
+    let cluster = Arc::new(ClusterSpec::v100(k).build());
+    let comm = Arc::new(Communicator::new(1, Arc::clone(&cluster)));
+    let handles: Vec<_> = (0..k)
+        .map(|rank| {
+            let dg = Arc::clone(&dg);
+            let cluster = Arc::clone(&cluster);
+            let comm = Arc::clone(&comm);
+            let seeds: Vec<NodeId> = if rank == 0 {
+                vec![5, 100, 333, 590]
+            } else {
+                vec![(rank * 37) as NodeId]
+            };
+            dsp::exec::spawn_device(rank, move || {
+                let mut s = CspSampler::new(
+                    dg,
+                    cluster,
+                    comm,
+                    rank,
+                    CspConfig::node_wise(vec![6, 4]).with_seed(SEED),
+                );
+                let mut clock = Clock::new();
+                s.sample_batch(&mut clock, &seeds)
+            })
+        })
+        .collect();
+    let sample = handles
+        .into_iter()
+        .map(|h| h.join().unwrap())
+        .next()
+        .unwrap();
+    fnv1a(format!("{sample:?}").as_bytes())
+}
+
+/// Child mode: compute the hashes under whatever DS_PAR_THREADS the
+/// driver set and print them. A no-op in a normal test run.
+#[test]
+fn child_emit_hashes() {
+    if std::env::var("DS_EXEC_DET_CHILD").is_err() {
+        return;
+    }
+    let a = rand_matrix(512, 96, SEED);
+    let b = rand_matrix(96, 64, SEED + 1);
+    let g = rand_matrix(512, 64, SEED + 2);
+    let h_fwd = hash_matrix(&a.matmul(&b));
+    let h_grad = hash_matrix(&a.matmul_tn(&g));
+    let h_csp = csp_frontier_hash();
+    println!("DET_HASH {h_fwd:016x} {h_grad:016x} {h_csp:016x}");
+}
+
+#[test]
+fn bit_identical_across_thread_counts() {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut lines: Vec<(String, String)> = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let out = std::process::Command::new(&exe)
+            .args(["--exact", "child_emit_hashes", "--nocapture"])
+            .env("DS_EXEC_DET_CHILD", "1")
+            .env("DS_PAR_THREADS", threads)
+            .env("DS_PAR_SERIAL_CUTOFF", "0")
+            .output()
+            .expect("re-exec test binary");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "child with DS_PAR_THREADS={threads} failed:\n{stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        // The libtest harness may glue its "test ... " prefix onto the
+        // same line, so search by substring rather than line start.
+        let line = stdout
+            .lines()
+            .find_map(|l| l.find("DET_HASH").map(|i| l[i..].trim().to_string()))
+            .unwrap_or_else(|| panic!("no DET_HASH line in:\n{stdout}"));
+        lines.push((threads.to_string(), line));
+    }
+    let (_, reference) = &lines[0];
+    for (threads, line) in &lines[1..] {
+        assert_eq!(
+            line, reference,
+            "outputs differ between DS_PAR_THREADS=1 and {threads}"
+        );
+    }
+}
