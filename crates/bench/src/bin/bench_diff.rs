@@ -8,7 +8,9 @@
 //! per-batch time regresses by more than 25%; improvements pass (the
 //! baseline should then be refreshed alongside the change). A stage
 //! present in the baseline but missing from the fresh run also fails;
-//! new stages are additive and pass.
+//! new stages are additive and pass. A malformed file — missing or
+//! non-numeric `epoch_time_s` or stage `total_s`/`count` — fails
+//! rather than defaulting to 0 and zeroing the delta.
 //!
 //! Usage: bench_diff [fresh.json] [baseline.json]
 
@@ -22,13 +24,22 @@ fn load(path: &str) -> Json {
     parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
 }
 
+/// Required numeric field. A missing or non-numeric value means a
+/// malformed benchmark file; defaulting it to 0 would zero the delta
+/// and sail through the regression gate, so fail loudly instead.
+fn num(j: &Json, key: &str, path: &str) -> f64 {
+    j.get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("{path}: missing or non-numeric `{key}`"))
+}
+
 /// Mean per-batch seconds for every stage, sorted by name.
-fn stage_means(j: &Json) -> Vec<(String, f64)> {
+fn stage_means(j: &Json, path: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     if let Some(Json::Obj(stages)) = j.get("stages") {
         for (name, s) in stages {
-            let total = s.get("total_s").and_then(Json::as_f64).unwrap_or(0.0);
-            let count = s.get("count").and_then(Json::as_f64).unwrap_or(0.0);
+            let total = num(s, "total_s", path);
+            let count = num(s, "count", path);
             if count > 0.0 {
                 out.push((name.clone(), total / count));
             }
@@ -48,17 +59,11 @@ fn main() -> ExitCode {
     let base = load(&base_path);
 
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
-    let be = base
-        .get("epoch_time_s")
-        .and_then(Json::as_f64)
-        .unwrap_or(0.0);
-    let fe = fresh
-        .get("epoch_time_s")
-        .and_then(Json::as_f64)
-        .unwrap_or(0.0);
+    let be = num(&base, "epoch_time_s", &base_path);
+    let fe = num(&fresh, "epoch_time_s", &fresh_path);
     rows.push(("epoch_time".into(), be, fe));
-    let fresh_means = stage_means(&fresh);
-    for (name, bmean) in stage_means(&base) {
+    let fresh_means = stage_means(&fresh, &fresh_path);
+    for (name, bmean) in stage_means(&base, &base_path) {
         match fresh_means.iter().find(|(n, _)| *n == name) {
             Some((_, fmean)) => rows.push((format!("stage.{name}"), bmean, *fmean)),
             None => {

@@ -60,7 +60,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
@@ -254,17 +254,23 @@ pub struct Pool {
 /// its own index, so disjoint `UnsafeCell` access is race-free.
 struct Slots<R>(Vec<std::cell::UnsafeCell<Option<R>>>);
 
-// SAFETY: tasks touch disjoint indices; the pending-counter release /
-// acquire pair orders every write before the collecting read.
+// SAFETY: tasks touch disjoint indices; the `remaining` mutex orders
+// every slot write (done before the task's decrement under the lock)
+// before the collecting read (done after observing zero under it).
 unsafe impl<R: Send> Sync for Slots<R> {}
 
 struct MapCtx<'a, R, F> {
     f: &'a F,
     slots: Slots<R>,
-    pending: AtomicUsize,
-    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
-    done: Mutex<bool>,
+    /// Tasks of this set that have not yet finished. This mutex is the
+    /// *whole* completion protocol: the final decrement, the `done_cv`
+    /// notification, and the caller's observation of zero all happen
+    /// under it, so the last thing a completing worker touches is the
+    /// lock itself — the caller cannot observe completion (and free
+    /// this stack-allocated ctx) until that worker has released it.
+    remaining: Mutex<usize>,
     done_cv: Condvar,
+    panic: Mutex<Option<Box<dyn std::any::Any + Send>>>,
 }
 
 impl<R: Send, F: Fn(usize) -> R + Sync> MapCtx<'_, R, F> {
@@ -281,9 +287,31 @@ impl<R: Send, F: Fn(usize) -> R + Sync> MapCtx<'_, R, F> {
 
     fn run_one(&self, i: usize) {
         self.run_inline(i);
-        if self.pending.fetch_sub(1, Ordering::Release) == 1 {
-            *lock_unpoisoned(&self.done) = true;
+        let mut remaining = lock_unpoisoned(&self.remaining);
+        *remaining -= 1;
+        if *remaining == 0 {
+            // Notify while still holding the lock: a waiter can only
+            // wake (or freshly lock and see zero) after this guard
+            // drops, which is this task's final access to the ctx.
             self.done_cv.notify_all();
+        }
+    }
+
+    /// True once every task of the set has finished. Checked under the
+    /// `remaining` lock so a `true` answer happens-after the final
+    /// worker's unlock.
+    fn is_done(&self) -> bool {
+        *lock_unpoisoned(&self.remaining) == 0
+    }
+
+    /// Blocks until every task of the set has finished.
+    fn wait_done(&self) {
+        let mut remaining = lock_unpoisoned(&self.remaining);
+        while *remaining > 0 {
+            remaining = self
+                .done_cv
+                .wait(remaining)
+                .unwrap_or_else(PoisonError::into_inner);
         }
     }
 }
@@ -348,42 +376,44 @@ impl Pool {
         let ctx = MapCtx {
             f: &f,
             slots: Slots((0..n).map(|_| std::cell::UnsafeCell::new(None)).collect()),
-            pending: AtomicUsize::new(n - 1),
-            panic: Mutex::new(None),
-            done: Mutex::new(false),
+            remaining: Mutex::new(n - 1),
             done_cv: Condvar::new(),
+            panic: Mutex::new(None),
         };
         for i in 1..n {
             let ctx_ref: &MapCtx<'_, R, F> = &ctx;
             let job: Box<dyn FnOnce() + Send + '_> = Box::new(move || ctx_ref.run_one(i));
-            // SAFETY: lifetime erasure. Every submitted job runs before
-            // this function returns — the loop below leaves only when
-            // `pending` reaches zero, and each job decrements `pending`
-            // exactly once after running (its panics are caught) — so no
-            // job can observe `ctx`, `f`, or their borrows after free.
+            // SAFETY: lifetime erasure. Every submitted job has finished
+            // before this function returns: the caller leaves the loop
+            // below only after observing `remaining == 0` under the
+            // `remaining` mutex; each job decrements `remaining` under
+            // that same mutex as its final act (its panics are caught),
+            // notifying while still holding the lock — so the caller's
+            // exit happens-after the completing worker's unlock, and no
+            // job can touch `ctx`, `f`, or their borrows after free.
             let job: Job =
                 unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + '_>, Job>(job) };
             self.shared.submit(job);
         }
         ctx.run_inline(0);
-        while ctx.pending.load(Ordering::Acquire) > 0 {
+        while !ctx.is_done() {
             if let Some(job) = self.shared.find_job() {
                 // Helping: possibly a task from an unrelated set — still
                 // progress, and the only alternative to deadlock when
                 // every worker is busy beneath a nested submission.
                 self.shared.stats.helped.fetch_add(1, Ordering::Relaxed);
-                job();
+                // A helped job may be a raw submission that panics; our
+                // own set must fully drain before the unwind frees `ctx`
+                // out from under workers still borrowing it.
+                if let Err(p) = catch_unwind(AssertUnwindSafe(move || job())) {
+                    ctx.wait_done();
+                    resume_unwind(p);
+                }
             } else {
                 // Every queue empty ⇒ the remaining tasks of this set
                 // are executing on other threads; sleep until the last
-                // one flips `done`.
-                let mut done = lock_unpoisoned(&ctx.done);
-                while !*done && ctx.pending.load(Ordering::Acquire) > 0 {
-                    done = ctx
-                        .done_cv
-                        .wait(done)
-                        .unwrap_or_else(PoisonError::into_inner);
-                }
+                // one notifies under the `remaining` lock.
+                ctx.wait_done();
                 break;
             }
         }
@@ -526,6 +556,20 @@ mod tests {
             assert_eq!(total, (0..64).sum::<usize>(), "workers={workers}");
             pool.shutdown();
         }
+    }
+
+    #[test]
+    fn rapid_small_maps_complete_under_contention() {
+        // Hammers the completion protocol: tiny sets where the caller
+        // returns (freeing the stack ctx) immediately after the last
+        // task finishes. Workers must never touch the ctx after the
+        // caller can observe `remaining == 0`.
+        let pool = Pool::new(4);
+        for round in 0..2_000 {
+            let out = pool.map_indexed(3, |i| i + round);
+            assert_eq!(out, vec![round, round + 1, round + 2]);
+        }
+        pool.shutdown();
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Property-based tests for the graph substrate.
 
-use ds_graph::csr::{Csr, CsrBuilder};
+use ds_graph::csr::CsrBuilder;
 use ds_graph::{algo, gen, NodeId};
 use ds_testkit::prelude::*;
 

@@ -105,6 +105,12 @@ where
     R: Send,
     F: Fn(usize, &mut [T]) -> R + Sync,
 {
+    // An empty buffer has no chunks whatever `chunk` is — tolerate it
+    // before the assert so zero-dim matrices (gathers with `dim == 0`)
+    // stay the no-op the old serial copy loops made them.
+    if data.is_empty() {
+        return Vec::new();
+    }
     assert!(chunk > 0, "chunk size must be positive");
     let len = data.len();
     let nchunks = len.div_ceil(chunk);
@@ -164,6 +170,10 @@ where
     R: Send,
     F: Fn(usize, &[T]) -> R + Sync,
 {
+    // See chunk_map_mut_with: empty data has no chunks even at chunk 0.
+    if data.is_empty() {
+        return Vec::new();
+    }
     assert!(chunk > 0, "chunk size must be positive");
     let len = data.len();
     let nchunks = len.div_ceil(chunk);
@@ -279,6 +289,15 @@ mod tests {
         );
         let empty: [u32; 0] = [];
         assert!(chunk_map(&empty, 4, |_, c| c.len()).is_empty());
+    }
+
+    #[test]
+    fn zero_chunk_on_empty_data_is_a_noop() {
+        // A zero-dim feature matrix hands the gathers an empty buffer
+        // with chunk == dim == 0; that must be a no-op, not a panic.
+        let mut empty: [f32; 0] = [];
+        assert!(chunk_map_mut(&mut empty, 0, |_, c| c.len()).is_empty());
+        assert!(chunk_map(&empty, 0, |_, c| c.len()).is_empty());
     }
 
     #[test]

@@ -11,11 +11,9 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 status=0
-for f in crates/*/src/*.rs crates/*/src/bin/*.rs src/*.rs; do
-    [ -e "$f" ] || continue
-    case "$f" in
-        crates/exec/src/*) continue ;;
-    esac
+# Recursive over every source tree (nested module dirs included), not
+# just top-level src files.
+while IFS= read -r f; do
     # Only lint lines above the file's test module, if any.
     hits=$(awk '/^(#\[cfg\(test\)\]|mod tests)/ { exit }
                 /std::thread::spawn[[:space:]]*\(/ {
@@ -25,7 +23,7 @@ for f in crates/*/src/*.rs crates/*/src/bin/*.rs src/*.rs; do
         echo "$hits"
         status=1
     fi
-done
+done < <(find crates/*/src src -name '*.rs' ! -path 'crates/exec/*' | LC_ALL=C sort)
 
 if [ "$status" -ne 0 ]; then
     echo "error: raw std::thread::spawn in production code — use the" \
