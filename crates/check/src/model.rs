@@ -1,0 +1,410 @@
+//! The exploration driver: run a model closure under many schedules and
+//! report the first failing one as a replayable, shrinkable script.
+//!
+//! Two phases, both deterministic:
+//!
+//! 1. **Bounded exhaustive DFS.** Executions are steered by a *script*
+//!    of branch indices; past the script the scheduler always picks the
+//!    first enabled thread. After each execution the driver backtracks
+//!    to the deepest decision (within [`Config::max_branch_depth`])
+//!    that still has an untried alternative and extends the script with
+//!    it — classic stateless model checking. If the tree is exhausted
+//!    without truncation the run is *complete*: every interleaving at
+//!    shim-operation granularity was executed.
+//! 2. **PCT randomized sampling.** For larger models, each iteration
+//!    derives a fresh seed from [`Config::seed`], assigns random
+//!    per-thread priorities and demotes them at sampled change points
+//!    (Burckhardt et al.'s probabilistic concurrency testing). Because
+//!    every choice is recorded as an index into the enabled set, a PCT
+//!    failure replays (and shrinks) as a plain script — no RNG needed.
+//!
+//! Failing schedules are minimized with [`ds_testkit::ddmin`] before
+//! being reported; [`replay`] re-runs a script verbatim.
+
+use std::panic::resume_unwind;
+use std::sync::{Arc, Mutex as StdMutex, PoisonError};
+
+use crate::sched::{self, Mode, RunResult};
+use ds_rng::Rng;
+
+/// Why an execution failed.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FailureKind {
+    /// No thread runnable and no timed waiter to expire; the string
+    /// describes what every blocked thread was waiting on.
+    Deadlock(String),
+    /// A model thread panicked (assertion failure in the model body).
+    Panic(String),
+    /// The execution exceeded [`Config::max_steps`] decisions —
+    /// usually a livelock in the modeled protocol.
+    StepLimit(usize),
+}
+
+impl std::fmt::Display for FailureKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FailureKind::Deadlock(d) => write!(f, "deadlock: {d}"),
+            FailureKind::Panic(m) => write!(f, "panic: {m}"),
+            FailureKind::StepLimit(n) => write!(f, "step limit exceeded after {n} decisions"),
+        }
+    }
+}
+
+/// Exploration budgets. `Default` is a balanced profile; use
+/// [`Config::dfs`] for small models you want exhausted and
+/// [`Config::pct`] for seed-driven randomized runs.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Cap on DFS executions (0 disables the DFS phase).
+    pub max_schedules: usize,
+    /// DFS only branches within this prefix of each execution; deeper
+    /// decisions follow first-enabled order. Deeper branching marks the
+    /// report incomplete.
+    pub max_branch_depth: usize,
+    /// Per-execution decision cap; exceeding it is a failure.
+    pub max_steps: usize,
+    /// Number of PCT iterations after the DFS phase (0 disables PCT).
+    pub pct_iters: usize,
+    /// PCT bug depth `d`: number of priority change points is `d - 1`.
+    pub pct_depth: usize,
+    /// Change points are sampled uniformly from `0..pct_horizon`
+    /// decision indices.
+    pub pct_horizon: usize,
+    /// Root seed for the PCT phase; each iteration derives its own
+    /// stream from it.
+    pub seed: u64,
+    /// Minimize failing schedules with ddmin before reporting.
+    pub shrink: bool,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            max_schedules: 4096,
+            max_branch_depth: 256,
+            max_steps: 20_000,
+            pct_iters: 0,
+            pct_depth: 3,
+            pct_horizon: 128,
+            seed: 0xD5C4_EC4B,
+            shrink: true,
+        }
+    }
+}
+
+impl Config {
+    /// Pure bounded-exhaustive exploration.
+    pub fn dfs(max_schedules: usize) -> Self {
+        Config {
+            max_schedules,
+            pct_iters: 0,
+            ..Config::default()
+        }
+    }
+
+    /// Pure PCT sampling from `seed` (no DFS phase).
+    pub fn pct(seed: u64, iters: usize) -> Self {
+        Config {
+            max_schedules: 0,
+            pct_iters: iters,
+            seed,
+            ..Config::default()
+        }
+    }
+}
+
+/// A failing execution: the schedule replays it deterministically.
+#[derive(Clone, Debug)]
+pub struct Failure {
+    pub kind: FailureKind,
+    /// Branch indices, one per decision point: pass to [`replay`].
+    pub schedule: Vec<u32>,
+    /// The derived PCT iteration seed that first found it, if the
+    /// failure came from the PCT phase.
+    pub seed: Option<u64>,
+    /// Executions run before the failure surfaced.
+    pub schedules_run: usize,
+}
+
+impl std::fmt::Display for Failure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "schedule exploration failed: {}", self.kind)?;
+        writeln!(
+            f,
+            "  after {} execution(s){}",
+            self.schedules_run,
+            match self.seed {
+                Some(s) => format!(" (found by PCT iteration seed {s:#x})"),
+                None => String::new(),
+            }
+        )?;
+        write!(f, "  replay: ds_check::replay(&{:?}, model)", self.schedule)
+    }
+}
+
+impl std::error::Error for Failure {}
+
+/// Summary of a failure-free exploration.
+#[derive(Clone, Debug)]
+pub struct Report {
+    /// Total executions run (DFS + PCT).
+    pub schedules: usize,
+    /// True iff the DFS phase exhausted the schedule tree without
+    /// hitting [`Config::max_schedules`] or branching deeper than
+    /// [`Config::max_branch_depth`] — i.e. the absence result is
+    /// unconditional at shim granularity.
+    pub complete: bool,
+    /// Longest decision trace observed across executions.
+    pub max_decisions: usize,
+}
+
+fn run_once(
+    script: Vec<u32>,
+    mode: Mode,
+    max_steps: usize,
+    body: &Arc<dyn Fn() + Send + Sync>,
+) -> RunResult {
+    sched::run_model(script, mode, max_steps, Arc::clone(body))
+}
+
+fn chosens(r: &RunResult) -> Vec<u32> {
+    r.trace.iter().map(|d| d.chosen).collect()
+}
+
+fn shrink_schedule(
+    cfg: &Config,
+    schedule: Vec<u32>,
+    kind: FailureKind,
+    body: &Arc<dyn Fn() + Send + Sync>,
+) -> (Vec<u32>, FailureKind) {
+    if !cfg.shrink {
+        return (schedule, kind);
+    }
+    let min = ds_testkit::ddmin::ddmin(&schedule, |cand| {
+        run_once(cand.to_vec(), Mode::First, cfg.max_steps, body)
+            .failure
+            .is_some()
+    });
+    // Re-run the minimized script once to report its (possibly
+    // different) failure kind alongside the schedule that triggers it.
+    match run_once(min.clone(), Mode::First, cfg.max_steps, body).failure {
+        Some(k) => (min, k),
+        None => (schedule, kind), // shrink oracle raced a flaky model; keep the original
+    }
+}
+
+fn pct_mode(cfg: &Config, iter: usize) -> (Mode, u64) {
+    let iter_seed = Rng::seed_from_u64(cfg.seed)
+        .split_stream(iter as u64)
+        .next_u64();
+    let mut rng = Rng::seed_from_u64(iter_seed);
+    let mut change_points = Vec::with_capacity(cfg.pct_depth.saturating_sub(1));
+    for _ in 1..cfg.pct_depth.max(1) {
+        change_points.push((rng.next_u64() % cfg.pct_horizon.max(1) as u64) as usize);
+    }
+    (
+        Mode::Pct {
+            priorities: Vec::new(),
+            change_points,
+            next_demotion: (1u64 << 32) - 1,
+            rng,
+        },
+        iter_seed,
+    )
+}
+
+/// Explores `model` under many schedules. Returns the exploration
+/// summary, or the first failure (minimized when [`Config::shrink`]).
+///
+/// The model closure runs once per schedule on a fresh thread; build
+/// all shared state inside it. Threads spawned with [`spawn`] and every
+/// operation on [`crate::sync`] primitives become scheduler decision
+/// points.
+pub fn explore(
+    cfg: &Config,
+    model: impl Fn() + Send + Sync + 'static,
+) -> Result<Report, Box<Failure>> {
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let mut schedules = 0usize;
+    let mut max_decisions = 0usize;
+    let mut truncated = false;
+
+    // Phase 1: bounded exhaustive DFS over branch indices.
+    let mut script: Vec<u32> = Vec::new();
+    let mut dfs_exhausted = cfg.max_schedules == 0;
+    while schedules < cfg.max_schedules {
+        let r = run_once(script.clone(), Mode::First, cfg.max_steps, &body);
+        schedules += 1;
+        max_decisions = max_decisions.max(r.trace.len());
+        if let Some(kind) = r.failure.clone() {
+            let (schedule, kind) = shrink_schedule(cfg, chosens(&r), kind, &body);
+            return Err(Box::new(Failure {
+                kind,
+                schedule,
+                seed: None,
+                schedules_run: schedules,
+            }));
+        }
+        if r.trace
+            .iter()
+            .skip(cfg.max_branch_depth)
+            .any(|d| d.enabled > 1)
+        {
+            truncated = true;
+        }
+        // Backtrack: deepest in-bounds decision with an untried branch.
+        let branch = r
+            .trace
+            .iter()
+            .enumerate()
+            .take(cfg.max_branch_depth)
+            .rev()
+            .find(|(_, d)| d.chosen + 1 < d.enabled);
+        match branch {
+            Some((pos, d)) => {
+                script = r.trace[..pos].iter().map(|d| d.chosen).collect();
+                script.push(d.chosen + 1);
+            }
+            None => {
+                dfs_exhausted = true;
+                break;
+            }
+        }
+    }
+
+    // Phase 2: PCT sampling.
+    for iter in 0..cfg.pct_iters {
+        let (mode, iter_seed) = pct_mode(cfg, iter);
+        let r = run_once(Vec::new(), mode, cfg.max_steps, &body);
+        schedules += 1;
+        max_decisions = max_decisions.max(r.trace.len());
+        if let Some(kind) = r.failure.clone() {
+            let (schedule, kind) = shrink_schedule(cfg, chosens(&r), kind, &body);
+            return Err(Box::new(Failure {
+                kind,
+                schedule,
+                seed: Some(iter_seed),
+                schedules_run: schedules,
+            }));
+        }
+    }
+
+    Ok(Report {
+        schedules,
+        complete: dfs_exhausted && !truncated && cfg.max_schedules > 0,
+        max_decisions,
+    })
+}
+
+/// Re-runs `model` under a previously reported failing schedule.
+/// Returns the failure it reproduces, or `None` if the schedule now
+/// passes (e.g. after a fix).
+pub fn replay(schedule: &[u32], model: impl Fn() + Send + Sync + 'static) -> Option<Failure> {
+    let body: Arc<dyn Fn() + Send + Sync> = Arc::new(model);
+    let r = run_once(
+        schedule.to_vec(),
+        Mode::First,
+        Config::default().max_steps,
+        &body,
+    );
+    r.failure.clone().map(|kind| Failure {
+        kind,
+        schedule: chosens(&r),
+        seed: None,
+        schedules_run: 1,
+    })
+}
+
+/// [`explore`], but panics with a readable report on failure — the
+/// form model *tests* use.
+pub fn check(name: &str, cfg: &Config, model: impl Fn() + Send + Sync + 'static) -> Report {
+    match explore(cfg, model) {
+        Ok(report) => report,
+        Err(failure) => panic!("ds-check model '{name}' failed\n{failure}"),
+    }
+}
+
+// ------------------------------------------------------------- spawning
+
+enum JoinInner<T> {
+    /// No scheduler installed: a plain std thread.
+    Std(std::thread::JoinHandle<T>),
+    /// Model thread: result parked in the cell by the child.
+    Model {
+        tid: sched::Tid,
+        cell: Arc<StdMutex<Option<T>>>,
+    },
+}
+
+/// Handle returned by [`spawn`]; [`JoinHandle::join`] propagates the
+/// child's panic (under a model, via the abort protocol).
+pub struct JoinHandle<T> {
+    inner: JoinInner<T>,
+}
+
+impl<T> JoinHandle<T> {
+    pub fn join(self) -> T {
+        match self.inner {
+            JoinInner::Std(h) => match h.join() {
+                Ok(v) => v,
+                Err(p) => resume_unwind(p),
+            },
+            JoinInner::Model { tid, cell } => {
+                let h = sched::current().expect("model JoinHandle joined off-model");
+                let ok = h.join(tid);
+                let v = cell.lock().unwrap_or_else(PoisonError::into_inner).take();
+                match v {
+                    Some(v) if ok => v,
+                    // Child panicked (its failure is already recorded)
+                    // or the execution is aborting: unwind quietly.
+                    _ => std::panic::panic_any(sched::Abort),
+                }
+            }
+        }
+    }
+}
+
+/// Spawns a thread. Under a model it registers with the scheduler and
+/// becomes part of the explored interleavings; otherwise it is a plain
+/// `std::thread::spawn`.
+pub fn spawn<T, F>(f: F) -> JoinHandle<T>
+where
+    T: Send + 'static,
+    F: FnOnce() -> T + Send + 'static,
+{
+    match sched::current() {
+        None => JoinHandle {
+            inner: JoinInner::Std(std::thread::spawn(f)),
+        },
+        Some(h) => {
+            let tid = h.register_child();
+            let cell = Arc::new(StdMutex::new(None));
+            let c2 = Arc::clone(&cell);
+            let s2 = Arc::clone(&h.sched);
+            let os = std::thread::Builder::new()
+                .name(format!("ds-check-{tid}"))
+                .spawn(move || {
+                    sched::thread_main(s2, tid, move || {
+                        let v = f();
+                        *c2.lock().unwrap_or_else(PoisonError::into_inner) = Some(v);
+                    })
+                })
+                .expect("spawn ds-check model thread");
+            h.adopt_os_thread(os);
+            // Decision point: the child is runnable from here on.
+            h.preempt();
+            JoinHandle {
+                inner: JoinInner::Model { tid, cell },
+            }
+        }
+    }
+}
+
+/// A pure decision point: lets the scheduler interleave other threads
+/// here. No-op outside a model (maps to [`std::thread::yield_now`]).
+pub fn yield_now() {
+    match sched::current() {
+        None => std::thread::yield_now(),
+        Some(h) => h.preempt(),
+    }
+}

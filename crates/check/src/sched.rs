@@ -1,0 +1,789 @@
+//! The cooperative scheduler behind the [`crate::sync`] shims.
+//!
+//! Model threads are real OS threads serialized onto a baton: exactly
+//! one runs at a time, and the baton only changes hands at *decision
+//! points* — the entry of every shim operation (lock, unlock is free,
+//! condvar wait/notify, atomic access, spawn, join). At each decision
+//! point the scheduler picks the next runnable thread either from a
+//! replayed script, by always-first order (the DFS driver appends one
+//! branch index per execution), or by PCT priorities. Every choice is
+//! recorded as `(enabled, chosen)` so any execution — including a PCT
+//! one — can be replayed and shrunk as a plain index script.
+//!
+//! Blocking is *modeled*: a thread that cannot proceed (mutex held,
+//! condvar wait, join on a live thread) parks in the scheduler, not on
+//! the real primitive. When no thread is runnable the scheduler either
+//! wakes a timed waiter (virtual-time quiescence: a `wait_timeout`
+//! "times out" exactly when nothing else can run) or reports a
+//! deadlock. A detected failure aborts the execution by unwinding every
+//! model thread with a private [`Abort`] payload.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, panic_any, AssertUnwindSafe};
+use std::sync::{Arc, Condvar as StdCondvar, Mutex as StdMutex, MutexGuard as StdMutexGuard};
+use std::sync::{PoisonError, TryLockError};
+use std::time::Duration;
+
+use crate::model::FailureKind;
+use ds_rng::Rng;
+
+pub(crate) type Tid = usize;
+
+/// Panic payload used to unwind model threads when an execution aborts.
+/// Caught by the thread wrappers; never escapes to user code.
+pub(crate) struct Abort;
+
+/// What a shared object is, for readable deadlock reports.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum ObjKind {
+    Mutex,
+    Rwlock,
+    Condvar,
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum BlockKind {
+    /// Waiting to acquire a lock (exclusive).
+    Write(usize),
+    /// Waiting to acquire a lock (shared).
+    Read(usize),
+    /// Parked on a condvar; `timed` waits are eligible for the
+    /// quiescence timeout rule.
+    Cond { cv: usize, timed: bool },
+    /// Joining another model thread.
+    Join(Tid),
+}
+
+#[derive(Clone, Debug, PartialEq, Eq)]
+enum RunState {
+    Runnable,
+    Blocked(BlockKind),
+    Finished,
+}
+
+/// One scheduling decision: `chosen` indexes the sorted list of the
+/// `enabled` runnable threads at that point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) struct Decision {
+    pub enabled: u32,
+    pub chosen: u32,
+}
+
+#[derive(Debug, Default)]
+struct LockState {
+    writer: Option<Tid>,
+    readers: Vec<Tid>,
+}
+
+/// How unscripted decisions are made.
+pub(crate) enum Mode {
+    /// Always run the lowest-tid enabled thread. The DFS driver steers
+    /// by extending the script one branch at a time.
+    First,
+    /// PCT: random per-thread priorities (highest runs), demoted at the
+    /// sampled change points. Finds depth-d bugs with known probability.
+    Pct {
+        priorities: Vec<u64>,
+        change_points: Vec<usize>,
+        next_demotion: u64,
+        rng: Rng,
+    },
+}
+
+/// Initial PCT priorities live above every demotion value so demoted
+/// threads always sink below non-demoted ones.
+const PCT_PRIORITY_BASE: u64 = 1 << 32;
+
+struct Inner {
+    threads: Vec<RunState>,
+    timed_out: Vec<bool>,
+    current: Option<Tid>,
+    script: Vec<u32>,
+    mode: Mode,
+    trace: Vec<Decision>,
+    locks: HashMap<usize, LockState>,
+    cv_q: HashMap<usize, Vec<Tid>>,
+    objs: HashMap<usize, (ObjKind, usize)>,
+    failure: Option<FailureKind>,
+    aborting: bool,
+    steps: usize,
+    max_steps: usize,
+}
+
+pub(crate) struct Sched {
+    inner: StdMutex<Inner>,
+    cv: StdCondvar,
+    handles: StdMutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+thread_local! {
+    static CURRENT: std::cell::RefCell<Option<Handle>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// The calling thread's scheduler registration, if it is a model thread.
+#[derive(Clone)]
+pub(crate) struct Handle {
+    pub(crate) sched: Arc<Sched>,
+    pub(crate) tid: Tid,
+}
+
+pub(crate) fn current() -> Option<Handle> {
+    CURRENT.with(|c| c.borrow().clone())
+}
+
+fn set_current(h: Option<Handle>) {
+    CURRENT.with(|c| *c.borrow_mut() = h);
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+impl Sched {
+    fn new(script: Vec<u32>, mode: Mode, max_steps: usize) -> Arc<Sched> {
+        Arc::new(Sched {
+            inner: StdMutex::new(Inner {
+                threads: Vec::new(),
+                timed_out: Vec::new(),
+                current: None,
+                script,
+                mode,
+                trace: Vec::new(),
+                locks: HashMap::new(),
+                cv_q: HashMap::new(),
+                objs: HashMap::new(),
+                failure: None,
+                aborting: false,
+                steps: 0,
+                max_steps,
+            }),
+            cv: StdCondvar::new(),
+            handles: StdMutex::new(Vec::new()),
+        })
+    }
+
+    fn locked(&self) -> StdMutexGuard<'_, Inner> {
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn register_locked(g: &mut Inner) -> Tid {
+        let tid = g.threads.len();
+        g.threads.push(RunState::Runnable);
+        g.timed_out.push(false);
+        if let Mode::Pct {
+            priorities, rng, ..
+        } = &mut g.mode
+        {
+            priorities.push(PCT_PRIORITY_BASE + (rng.next_u64() & 0xFFFF_FFFF));
+        }
+        tid
+    }
+
+    fn obj_id(g: &mut Inner, kind: ObjKind, addr: usize) {
+        let n = g.objs.len();
+        g.objs.entry(addr).or_insert((kind, n));
+    }
+
+    fn obj_name(g: &Inner, addr: usize) -> String {
+        match g.objs.get(&addr) {
+            Some((ObjKind::Mutex, i)) => format!("mutex #{i}"),
+            Some((ObjKind::Rwlock, i)) => format!("rwlock #{i}"),
+            Some((ObjKind::Condvar, i)) => format!("condvar #{i}"),
+            None => format!("object {addr:#x}"),
+        }
+    }
+
+    fn describe_deadlock(g: &Inner) -> String {
+        let mut parts = Vec::new();
+        for (t, s) in g.threads.iter().enumerate() {
+            let part = match s {
+                RunState::Blocked(BlockKind::Write(a)) => {
+                    format!("thread {t} acquiring {}", Self::obj_name(g, *a))
+                }
+                RunState::Blocked(BlockKind::Read(a)) => {
+                    format!("thread {t} read-acquiring {}", Self::obj_name(g, *a))
+                }
+                RunState::Blocked(BlockKind::Cond { cv, timed }) => format!(
+                    "thread {t} waiting on {}{}",
+                    Self::obj_name(g, *cv),
+                    if *timed { " (timed)" } else { "" }
+                ),
+                RunState::Blocked(BlockKind::Join(w)) => format!("thread {t} joining thread {w}"),
+                _ => continue,
+            };
+            parts.push(part);
+        }
+        parts.join("; ")
+    }
+
+    fn abort_locked(&self, g: &mut Inner) {
+        g.aborting = true;
+        g.current = None;
+        self.cv.notify_all();
+    }
+
+    /// Hands the baton to the next thread. Called with the baton in
+    /// hand: by the running thread before it blocks/yields, or by the
+    /// driver to start the execution.
+    fn reschedule<'a>(&'a self, mut g: StdMutexGuard<'a, Inner>) -> StdMutexGuard<'a, Inner> {
+        if g.aborting {
+            return g;
+        }
+        let mut enabled: Vec<Tid> = g
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| matches!(s, RunState::Runnable))
+            .map(|(t, _)| t)
+            .collect();
+        if enabled.is_empty() {
+            if g.threads.iter().all(|s| matches!(s, RunState::Finished)) {
+                g.current = None;
+                self.cv.notify_all();
+                return g;
+            }
+            // Quiescence rule: a timed wait only "times out" when no
+            // other thread can run — virtual time advances exactly at
+            // quiescence, so untimed peers still count as deadlocks.
+            let timed = g.threads.iter().enumerate().find_map(|(t, s)| match s {
+                RunState::Blocked(BlockKind::Cond { cv, timed: true }) => Some((t, *cv)),
+                _ => None,
+            });
+            match timed {
+                Some((t, cv_addr)) => {
+                    g.timed_out[t] = true;
+                    if let Some(q) = g.cv_q.get_mut(&cv_addr) {
+                        q.retain(|&w| w != t);
+                    }
+                    g.threads[t] = RunState::Runnable;
+                    enabled.push(t);
+                }
+                None => {
+                    let msg = Self::describe_deadlock(&g);
+                    g.failure.get_or_insert(FailureKind::Deadlock(msg));
+                    self.abort_locked(&mut g);
+                    return g;
+                }
+            }
+        }
+        if g.steps >= g.max_steps {
+            let steps = g.steps;
+            g.failure.get_or_insert(FailureKind::StepLimit(steps));
+            self.abort_locked(&mut g);
+            return g;
+        }
+        g.steps += 1;
+        let pos = g.trace.len();
+        let idx = if pos < g.script.len() {
+            // Replay: clamp so edited (shrunk) scripts stay valid.
+            (g.script[pos] as usize).min(enabled.len() - 1)
+        } else {
+            match &mut g.mode {
+                Mode::First => 0,
+                Mode::Pct {
+                    priorities,
+                    change_points,
+                    next_demotion,
+                    ..
+                } => {
+                    let i = (0..enabled.len())
+                        .max_by_key(|&i| (priorities[enabled[i]], enabled[i]))
+                        .expect("non-empty enabled set");
+                    if change_points.contains(&pos) {
+                        priorities[enabled[i]] = *next_demotion;
+                        *next_demotion = next_demotion.saturating_sub(1);
+                    }
+                    i
+                }
+            }
+        };
+        g.trace.push(Decision {
+            enabled: enabled.len() as u32,
+            chosen: idx as u32,
+        });
+        g.current = Some(enabled[idx]);
+        self.cv.notify_all();
+        g
+    }
+
+    /// Parks until it is `tid`'s turn; `Err` when the execution aborted.
+    fn wait_turn<'a>(
+        &'a self,
+        mut g: StdMutexGuard<'a, Inner>,
+        tid: Tid,
+    ) -> Result<StdMutexGuard<'a, Inner>, StdMutexGuard<'a, Inner>> {
+        loop {
+            if g.aborting {
+                return Err(g);
+            }
+            if g.current == Some(tid) {
+                return Ok(g);
+            }
+            g = self.cv.wait(g).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    fn release_locked(g: &mut Inner, tid: Tid, addr: usize, write: bool) {
+        let freed = match g.locks.get_mut(&addr) {
+            Some(st) => {
+                if write {
+                    if st.writer == Some(tid) {
+                        st.writer = None;
+                    }
+                } else {
+                    st.readers.retain(|&r| r != tid);
+                }
+                st.writer.is_none() && st.readers.is_empty()
+            }
+            None => return,
+        };
+        if freed {
+            for s in g.threads.iter_mut() {
+                match s {
+                    RunState::Blocked(BlockKind::Write(a)) if *a == addr => {
+                        *s = RunState::Runnable;
+                    }
+                    RunState::Blocked(BlockKind::Read(a)) if *a == addr => {
+                        *s = RunState::Runnable;
+                    }
+                    _ => {}
+                }
+            }
+        } else if !write {
+            // A reader left but readers remain: other readers may enter.
+            for s in g.threads.iter_mut() {
+                if matches!(s, RunState::Blocked(BlockKind::Read(a)) if *a == addr) {
+                    *s = RunState::Runnable;
+                }
+            }
+        }
+    }
+
+    fn finish(&self, tid: Tid, payload: Option<Box<dyn std::any::Any + Send>>) {
+        let mut g = self.locked();
+        g.threads[tid] = RunState::Finished;
+        for s in g.threads.iter_mut() {
+            if matches!(s, RunState::Blocked(BlockKind::Join(w)) if *w == tid) {
+                *s = RunState::Runnable;
+            }
+        }
+        if let Some(p) = payload {
+            if !p.is::<Abort>() && g.failure.is_none() {
+                g.failure = Some(FailureKind::Panic(panic_message(p.as_ref())));
+                self.abort_locked(&mut g);
+            }
+        }
+        if g.aborting {
+            self.cv.notify_all();
+            return;
+        }
+        if g.current == Some(tid) {
+            g.current = None;
+        }
+        drop(self.reschedule(g));
+    }
+}
+
+impl Handle {
+    fn exit_abort(&self) -> ! {
+        panic_any(Abort)
+    }
+
+    /// A plain decision point: the caller stays runnable; the scheduler
+    /// may hand the baton to any other runnable thread first.
+    pub(crate) fn preempt(&self) {
+        let can_unwind = !std::thread::panicking();
+        let g = self.sched.locked();
+        if g.aborting {
+            drop(g);
+            if can_unwind {
+                self.exit_abort();
+            }
+            return;
+        }
+        let g = self.sched.reschedule(g);
+        match self.sched.wait_turn(g, self.tid) {
+            Ok(g) => drop(g),
+            Err(g) => {
+                drop(g);
+                if can_unwind {
+                    self.exit_abort();
+                }
+            }
+        }
+    }
+
+    /// Model-acquires `addr` exclusively. Returns `false` when the
+    /// execution is aborting and the caller should degrade to the real
+    /// primitive (every other model thread is unwinding).
+    pub(crate) fn acquire_write(&self, addr: usize, kind: ObjKind) -> bool {
+        self.acquire(addr, kind, true)
+    }
+
+    /// Model-acquires `addr` shared.
+    pub(crate) fn acquire_read(&self, addr: usize, kind: ObjKind) -> bool {
+        self.acquire(addr, kind, false)
+    }
+
+    fn acquire(&self, addr: usize, kind: ObjKind, write: bool) -> bool {
+        let can_unwind = !std::thread::panicking();
+        let mut g = self.sched.locked();
+        if g.aborting {
+            drop(g);
+            if can_unwind {
+                self.exit_abort();
+            }
+            return false;
+        }
+        Sched::obj_id(&mut g, kind, addr);
+        // Decision point before the (atomic) acquire attempt.
+        g = self.sched.reschedule(g);
+        g = match self.sched.wait_turn(g, self.tid) {
+            Ok(g) => g,
+            Err(g) => {
+                drop(g);
+                if can_unwind {
+                    self.exit_abort();
+                }
+                return false;
+            }
+        };
+        loop {
+            let st = g.locks.entry(addr).or_default();
+            let free = if write {
+                st.writer.is_none() && st.readers.is_empty()
+            } else {
+                st.writer.is_none()
+            };
+            if free {
+                if write {
+                    st.writer = Some(self.tid);
+                } else {
+                    st.readers.push(self.tid);
+                }
+                return true;
+            }
+            g.threads[self.tid] = RunState::Blocked(if write {
+                BlockKind::Write(addr)
+            } else {
+                BlockKind::Read(addr)
+            });
+            g = self.sched.reschedule(g);
+            g = match self.sched.wait_turn(g, self.tid) {
+                Ok(g) => g,
+                Err(g) => {
+                    drop(g);
+                    if can_unwind {
+                        self.exit_abort();
+                    }
+                    return false;
+                }
+            };
+        }
+    }
+
+    /// Non-blocking model acquire; `None` means degrade to real.
+    pub(crate) fn try_acquire_write(&self, addr: usize, kind: ObjKind) -> Option<bool> {
+        let can_unwind = !std::thread::panicking();
+        let mut g = self.sched.locked();
+        if g.aborting {
+            drop(g);
+            if can_unwind {
+                self.exit_abort();
+            }
+            return None;
+        }
+        Sched::obj_id(&mut g, kind, addr);
+        g = self.sched.reschedule(g);
+        g = match self.sched.wait_turn(g, self.tid) {
+            Ok(g) => g,
+            Err(g) => {
+                drop(g);
+                if can_unwind {
+                    self.exit_abort();
+                }
+                return None;
+            }
+        };
+        let st = g.locks.entry(addr).or_default();
+        if st.writer.is_none() && st.readers.is_empty() {
+            st.writer = Some(self.tid);
+            Some(true)
+        } else {
+            Some(false)
+        }
+    }
+
+    /// Model-releases `addr`. Never a decision point and never unwinds —
+    /// guards drop during panics.
+    pub(crate) fn release(&self, addr: usize, write: bool) {
+        let mut g = self.sched.locked();
+        if g.aborting {
+            return;
+        }
+        Sched::release_locked(&mut g, self.tid, addr, write);
+    }
+
+    /// Atomically releases the mutex at `lock_addr`, parks on the
+    /// condvar at `cv_addr`, and — once woken — reacquires the mutex.
+    /// Returns `(timed_out, model)`; `model == false` means the caller
+    /// must take the real lock directly (abort degrade).
+    pub(crate) fn cv_wait(&self, cv_addr: usize, lock_addr: usize, timed: bool) -> (bool, bool) {
+        let can_unwind = !std::thread::panicking();
+        let mut g = self.sched.locked();
+        if g.aborting {
+            drop(g);
+            if can_unwind {
+                self.exit_abort();
+            }
+            return (false, false);
+        }
+        Sched::obj_id(&mut g, ObjKind::Condvar, cv_addr);
+        // Decision point before the atomic release+park (std's park is
+        // atomic with the unlock, so no state change sneaks in between;
+        // delays *before* the wait call are real and explored here).
+        g = self.sched.reschedule(g);
+        g = match self.sched.wait_turn(g, self.tid) {
+            Ok(g) => g,
+            Err(g) => {
+                drop(g);
+                if can_unwind {
+                    self.exit_abort();
+                }
+                return (false, false);
+            }
+        };
+        Sched::release_locked(&mut g, self.tid, lock_addr, true);
+        g.cv_q.entry(cv_addr).or_default().push(self.tid);
+        g.timed_out[self.tid] = false;
+        g.threads[self.tid] = RunState::Blocked(BlockKind::Cond { cv: cv_addr, timed });
+        g = self.sched.reschedule(g);
+        let timed_out = match self.sched.wait_turn(g, self.tid) {
+            Ok(g) => {
+                let to = g.timed_out[self.tid];
+                drop(g);
+                to
+            }
+            Err(g) => {
+                drop(g);
+                if can_unwind {
+                    self.exit_abort();
+                }
+                return (false, false);
+            }
+        };
+        let model = self.acquire_write(lock_addr, ObjKind::Mutex);
+        (timed_out, model)
+    }
+
+    /// Wakes one (FIFO) or all threads parked on the condvar.
+    pub(crate) fn notify(&self, cv_addr: usize, all: bool) {
+        let can_unwind = !std::thread::panicking();
+        let mut g = self.sched.locked();
+        if g.aborting {
+            drop(g);
+            if can_unwind {
+                self.exit_abort();
+            }
+            return;
+        }
+        Sched::obj_id(&mut g, ObjKind::Condvar, cv_addr);
+        // Decision point before the notify lands.
+        g = self.sched.reschedule(g);
+        g = match self.sched.wait_turn(g, self.tid) {
+            Ok(g) => g,
+            Err(g) => {
+                drop(g);
+                if can_unwind {
+                    self.exit_abort();
+                }
+                return;
+            }
+        };
+        let woken: Vec<Tid> = match g.cv_q.get_mut(&cv_addr) {
+            Some(q) if !q.is_empty() => {
+                let n = if all { q.len() } else { 1 };
+                q.drain(..n).collect()
+            }
+            _ => Vec::new(),
+        };
+        for t in woken {
+            g.threads[t] = RunState::Runnable;
+        }
+    }
+
+    /// Registers a child thread (runnable immediately). The caller must
+    /// spawn the OS thread with [`thread_main`] and hand its handle to
+    /// [`Handle::adopt_os_thread`].
+    pub(crate) fn register_child(&self) -> Tid {
+        let mut g = self.sched.locked();
+        Sched::register_locked(&mut g)
+    }
+
+    pub(crate) fn adopt_os_thread(&self, h: std::thread::JoinHandle<()>) {
+        self.sched
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .push(h);
+    }
+
+    /// Blocks until `target` finishes. `false` means abort degrade.
+    pub(crate) fn join(&self, target: Tid) -> bool {
+        let can_unwind = !std::thread::panicking();
+        let mut g = self.sched.locked();
+        if g.aborting {
+            drop(g);
+            if can_unwind {
+                self.exit_abort();
+            }
+            return false;
+        }
+        g = self.sched.reschedule(g);
+        g = match self.sched.wait_turn(g, self.tid) {
+            Ok(g) => g,
+            Err(g) => {
+                drop(g);
+                if can_unwind {
+                    self.exit_abort();
+                }
+                return false;
+            }
+        };
+        if !matches!(g.threads[target], RunState::Finished) {
+            g.threads[self.tid] = RunState::Blocked(BlockKind::Join(target));
+            g = self.sched.reschedule(g);
+            g = match self.sched.wait_turn(g, self.tid) {
+                Ok(g) => g,
+                Err(g) => {
+                    drop(g);
+                    if can_unwind {
+                        self.exit_abort();
+                    }
+                    return false;
+                }
+            };
+        }
+        drop(g);
+        true
+    }
+}
+
+/// Body of every model OS thread: registers the TLS handle, waits for
+/// its first turn, runs `f` with panic output suppressed, and reports
+/// the outcome (a non-[`Abort`] panic is a model violation).
+pub(crate) fn thread_main(sched: Arc<Sched>, tid: Tid, f: impl FnOnce()) {
+    set_current(Some(Handle {
+        sched: Arc::clone(&sched),
+        tid,
+    }));
+    let payload = ds_testkit::quiet_panics(|| {
+        catch_unwind(AssertUnwindSafe(|| {
+            let h = current().expect("model handle installed above");
+            let g = h.sched.locked();
+            match h.sched.wait_turn(g, tid) {
+                Ok(g) => drop(g),
+                Err(g) => {
+                    drop(g);
+                    panic_any(Abort);
+                }
+            }
+            f();
+        }))
+        .err()
+    });
+    sched.finish(tid, payload);
+    set_current(None);
+}
+
+/// Outcome of one complete execution of a model.
+pub(crate) struct RunResult {
+    pub trace: Vec<Decision>,
+    pub failure: Option<FailureKind>,
+}
+
+/// Runs the model body once under `script`/`mode`, to completion or
+/// abort, and returns the recorded decision trace.
+pub(crate) fn run_model(
+    script: Vec<u32>,
+    mode: Mode,
+    max_steps: usize,
+    body: Arc<dyn Fn() + Send + Sync>,
+) -> RunResult {
+    let sched = Sched::new(script, mode, max_steps);
+    {
+        let mut g = sched.locked();
+        let tid = Sched::register_locked(&mut g);
+        debug_assert_eq!(tid, 0);
+    }
+    let s2 = Arc::clone(&sched);
+    let b2 = Arc::clone(&body);
+    let h = std::thread::Builder::new()
+        .name("ds-check-0".into())
+        .spawn(move || thread_main(s2, 0, move || b2()))
+        .expect("spawn ds-check model thread");
+    sched
+        .handles
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(h);
+    {
+        let g = sched.locked();
+        drop(sched.reschedule(g));
+    }
+    {
+        let mut g = sched.locked();
+        while !g.threads.iter().all(|s| matches!(s, RunState::Finished)) {
+            let (ng, to) = sched
+                .cv
+                .wait_timeout(g, Duration::from_secs(60))
+                .unwrap_or_else(PoisonError::into_inner);
+            g = ng;
+            if to.timed_out() && !g.threads.iter().all(|s| matches!(s, RunState::Finished)) {
+                panic!(
+                    "ds-check: model wedged outside shim operations — model threads \
+                     must only block through ds_check::sync primitives ({})",
+                    Sched::describe_deadlock(&g)
+                );
+            }
+        }
+    }
+    loop {
+        let h = sched
+            .handles
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .pop();
+        match h {
+            Some(h) => {
+                let _ = h.join();
+            }
+            None => break,
+        }
+    }
+    let mut g = sched.locked();
+    RunResult {
+        trace: std::mem::take(&mut g.trace),
+        failure: g.failure.take(),
+    }
+}
+
+/// Maps a real `try_lock` result after a successful *model* acquire.
+/// `WouldBlock` is only possible while an abort unwinds degraded
+/// threads, so blocking on the real primitive is safe and bounded.
+pub(crate) fn real_lock_after_model<'a, T>(
+    m: &'a StdMutex<T>,
+) -> Result<StdMutexGuard<'a, T>, PoisonError<StdMutexGuard<'a, T>>> {
+    match m.try_lock() {
+        Ok(g) => Ok(g),
+        Err(TryLockError::Poisoned(p)) => Err(p),
+        Err(TryLockError::WouldBlock) => m.lock(),
+    }
+}

@@ -1,0 +1,311 @@
+//! Model tests for ds-check itself: known-buggy protocols the explorer
+//! must catch (with deterministic, replayable, shrunk schedules) and
+//! known-correct ones it must exhaust without complaint.
+//!
+//! The two `map_completion_*` models re-create the executor
+//! map-completion race fixed in an earlier change: completion signaled
+//! through an atomic counter the waiter reads outside the lock, letting
+//! the waiter observe "done", return, and free the completion context
+//! while the last worker still has the mutex/condvar touch ahead of it.
+
+use ds_check::sync::{Arc, AtomicBool, AtomicUsize, Condvar, Mutex, Ordering, RwLock};
+use ds_check::{check, explore, replay, Config, FailureKind};
+use std::time::Duration;
+
+fn kind_is_panic(k: &FailureKind) -> bool {
+    matches!(k, FailureKind::Panic(_))
+}
+
+// ---------------------------------------------------------------------
+// Races the explorer must find
+// ---------------------------------------------------------------------
+
+#[test]
+fn dfs_finds_lost_update_race() {
+    let failure = explore(&Config::dfs(4096), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = ds_check::spawn(move || {
+            // Non-atomic read-modify-write: the classic lost update.
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    })
+    .expect_err("DFS must find the lost update");
+    assert!(kind_is_panic(&failure.kind), "got {}", failure.kind);
+    // The shrunk schedule replays deterministically.
+    let again = replay(&failure.schedule, || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = ds_check::spawn(move || {
+            let v = n2.load(Ordering::SeqCst);
+            n2.store(v + 1, Ordering::SeqCst);
+        });
+        let v = n.load(Ordering::SeqCst);
+        n.store(v + 1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2, "lost update");
+    })
+    .expect("shrunk schedule must still fail");
+    assert!(kind_is_panic(&again.kind));
+}
+
+#[test]
+fn dfs_proves_fetch_add_has_no_lost_update() {
+    let report = check("fetch_add", &Config::dfs(4096), || {
+        let n = Arc::new(AtomicUsize::new(0));
+        let n2 = Arc::clone(&n);
+        let t = ds_check::spawn(move || {
+            n2.fetch_add(1, Ordering::SeqCst);
+        });
+        n.fetch_add(1, Ordering::SeqCst);
+        t.join();
+        assert_eq!(n.load(Ordering::SeqCst), 2);
+    });
+    assert!(report.complete, "small model must be exhausted");
+}
+
+#[test]
+fn dfs_finds_missing_notify_lost_wake() {
+    let failure = explore(&Config::dfs(4096), || {
+        let shared = Arc::new((Mutex::new(false), Condvar::new()));
+        let s2 = Arc::clone(&shared);
+        let t = ds_check::spawn(move || {
+            *s2.0.lock().unwrap() = true;
+            // Bug: no notify after setting the flag.
+        });
+        let (m, cv) = &*shared;
+        let mut g = m.lock().unwrap();
+        while !*g {
+            g = cv.wait(g).unwrap();
+        }
+        drop(g);
+        t.join();
+    })
+    .expect_err("DFS must find the lost wake");
+    match &failure.kind {
+        FailureKind::Deadlock(d) => assert!(d.contains("condvar"), "got: {d}"),
+        k => panic!("expected deadlock, got {k}"),
+    }
+}
+
+#[test]
+fn dfs_finds_lock_order_deadlock_and_proves_ordered_version() {
+    let failure = explore(&Config::dfs(4096), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = ds_check::spawn(move || {
+            let _gb = b2.lock().unwrap();
+            let _ga = a2.lock().unwrap();
+        });
+        let _ga = a.lock().unwrap();
+        let _gb = b.lock().unwrap();
+        drop((_ga, _gb));
+        t.join();
+    })
+    .expect_err("opposite acquisition order must deadlock somewhere");
+    match &failure.kind {
+        FailureKind::Deadlock(d) => assert!(d.contains("mutex"), "got: {d}"),
+        k => panic!("expected deadlock, got {k}"),
+    }
+
+    let report = check("ordered-locks", &Config::dfs(4096), || {
+        let a = Arc::new(Mutex::new(()));
+        let b = Arc::new(Mutex::new(()));
+        let (a2, b2) = (Arc::clone(&a), Arc::clone(&b));
+        let t = ds_check::spawn(move || {
+            let _ga = a2.lock().unwrap();
+            let _gb = b2.lock().unwrap();
+        });
+        let _ga = a.lock().unwrap();
+        let _gb = b.lock().unwrap();
+        drop((_ga, _gb));
+        t.join();
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn step_limit_flags_livelock() {
+    let cfg = Config {
+        max_schedules: 4,
+        max_steps: 200,
+        shrink: false,
+        ..Config::default()
+    };
+    let failure = explore(&cfg, || {
+        let flag = AtomicBool::new(false);
+        // Spin with no one to set the flag: pure livelock.
+        while !flag.load(Ordering::SeqCst) {}
+    })
+    .expect_err("unbounded spin must trip the step limit");
+    assert!(
+        matches!(failure.kind, FailureKind::StepLimit(_)),
+        "got {}",
+        failure.kind
+    );
+}
+
+// ---------------------------------------------------------------------
+// Protocols the explorer must exhaust cleanly
+// ---------------------------------------------------------------------
+
+#[test]
+fn timed_wait_expires_at_quiescence_not_as_deadlock() {
+    let report = check("timed-wait", &Config::dfs(256), || {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let g = m.lock().unwrap();
+        let (_g, r) = cv.wait_timeout(g, Duration::from_millis(1)).unwrap();
+        assert!(r.timed_out(), "no notifier exists; must time out");
+    });
+    assert!(report.complete);
+}
+
+#[test]
+fn rwlock_model_allows_concurrent_readers() {
+    let report = check("rwlock", &Config::dfs(4096), || {
+        let lk = Arc::new(RwLock::new(0u32));
+        let l2 = Arc::clone(&lk);
+        let t = ds_check::spawn(move || {
+            *l2.write().unwrap() += 1;
+        });
+        let a = *lk.read().unwrap();
+        let b = *lk.read().unwrap();
+        assert!(a <= b, "reads never go backwards");
+        t.join();
+        assert_eq!(*lk.read().unwrap(), 1);
+    });
+    assert!(report.complete);
+}
+
+// ---------------------------------------------------------------------
+// The executor map-completion race (modeled)
+// ---------------------------------------------------------------------
+
+/// The *buggy* pre-fix completion protocol: workers decrement an atomic
+/// counter; the waiter polls that counter (under its own lock, but the
+/// counter is read outside any happens-before with the worker's
+/// follow-up), so it can observe completion and free the context while
+/// the last worker still has a mutex/condvar touch ahead.
+fn buggy_map_completion() {
+    let pending = Arc::new(AtomicUsize::new(1));
+    let slot = Arc::new((Mutex::new(()), Condvar::new()));
+    let freed = Arc::new(AtomicBool::new(false));
+
+    let (p2, s2, f2) = (Arc::clone(&pending), Arc::clone(&slot), Arc::clone(&freed));
+    let worker = ds_check::spawn(move || {
+        p2.fetch_sub(1, Ordering::AcqRel);
+        // From here on the waiter may already consider the map done.
+        assert!(
+            !f2.load(Ordering::Acquire),
+            "worker touched freed completion context"
+        );
+        let g = s2.0.lock().unwrap();
+        s2.1.notify_all();
+        assert!(
+            !f2.load(Ordering::Acquire),
+            "worker touched freed completion context"
+        );
+        drop(g);
+    });
+
+    let (m, cv) = (&slot.0, &slot.1);
+    let mut g = m.lock().unwrap();
+    while pending.load(Ordering::Acquire) != 0 {
+        let (ng, _) = cv.wait_timeout(g, Duration::from_millis(1)).unwrap();
+        g = ng;
+    }
+    drop(g);
+    // Counter hit zero: the waiter returns and frees the context.
+    freed.store(true, Ordering::Release);
+    worker.join();
+}
+
+/// The *fixed* protocol: the remaining-count lives under the mutex, the
+/// last worker's decrement + notify + final context touches all happen
+/// under one critical section, and the waiter can only observe zero
+/// (and free) strictly after the worker released.
+fn fixed_map_completion() {
+    let state = Arc::new((Mutex::new(1usize), Condvar::new()));
+    let freed = Arc::new(AtomicBool::new(false));
+
+    let (s2, f2) = (Arc::clone(&state), Arc::clone(&freed));
+    let worker = ds_check::spawn(move || {
+        let mut g = s2.0.lock().unwrap();
+        assert!(!f2.load(Ordering::Acquire), "context freed under the lock");
+        *g -= 1;
+        if *g == 0 {
+            s2.1.notify_all();
+        }
+        assert!(!f2.load(Ordering::Acquire), "context freed under the lock");
+        drop(g);
+    });
+
+    let (m, cv) = (&state.0, &state.1);
+    let mut g = m.lock().unwrap();
+    while *g != 0 {
+        g = cv.wait(g).unwrap();
+    }
+    drop(g);
+    freed.store(true, Ordering::Release);
+    worker.join();
+}
+
+#[test]
+fn dfs_refinds_map_completion_race_on_buggy_protocol() {
+    let failure =
+        explore(&Config::dfs(4096), buggy_map_completion).expect_err("DFS must re-find the race");
+    match &failure.kind {
+        FailureKind::Panic(m) => assert!(m.contains("freed completion context"), "got: {m}"),
+        k => panic!("expected the use-after-free assertion, got {k}"),
+    }
+    let again =
+        replay(&failure.schedule, buggy_map_completion).expect("shrunk schedule must still fail");
+    assert!(kind_is_panic(&again.kind));
+}
+
+#[test]
+fn dfs_proves_fixed_map_completion_protocol() {
+    let report = check(
+        "map-completion-fixed",
+        &Config::dfs(8192),
+        fixed_map_completion,
+    );
+    assert!(report.complete, "fixed protocol must be fully exhausted");
+}
+
+// ---------------------------------------------------------------------
+// PCT phase
+// ---------------------------------------------------------------------
+
+/// Root seed for the PCT reproduction below. Found empirically and
+/// committed: `Config::pct(PCT_ROOT_SEED, 64)` deterministically finds
+/// the buggy-protocol race without any DFS help.
+const PCT_ROOT_SEED: u64 = 0xD5C4_0001;
+
+#[test]
+fn pct_finds_map_completion_race_with_committed_seed() {
+    let failure = explore(&Config::pct(PCT_ROOT_SEED, 64), buggy_map_completion)
+        .expect_err("PCT with the committed seed must find the race");
+    assert!(kind_is_panic(&failure.kind), "got {}", failure.kind);
+    assert!(failure.seed.is_some(), "PCT failures carry their seed");
+    let again = replay(&failure.schedule, buggy_map_completion)
+        .expect("PCT schedule must replay as a script");
+    assert!(kind_is_panic(&again.kind));
+}
+
+#[test]
+fn pct_exploration_is_deterministic() {
+    let run = || explore(&Config::pct(PCT_ROOT_SEED, 64), buggy_map_completion);
+    let a = run().expect_err("must fail");
+    let b = run().expect_err("must fail");
+    assert_eq!(a.schedule, b.schedule, "same root seed, same schedule");
+    assert_eq!(a.seed, b.seed, "same iteration seed");
+    assert_eq!(a.schedules_run, b.schedules_run);
+}

@@ -15,8 +15,8 @@
 
 use crate::collective::CccHead;
 use crate::lock_unpoisoned;
+use crate::sync::{Condvar, Mutex, PoisonError};
 use crate::WorkerId;
-use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 #[derive(Debug, Default)]
@@ -255,7 +255,7 @@ impl Coordinator {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use crate::sync::Arc;
 
     #[test]
     fn leader_defines_order_follower_obeys() {
@@ -340,8 +340,62 @@ mod tests {
     }
 
     #[test]
+    fn skip_worker_drains_multiple_corpse_entries_at_the_head() {
+        let c = Coordinator::new(2);
+        // The leader schedules the sampler twice, then the loader:
+        // order = [7, 7, 9] with both corpse entries at rank 1's head.
+        c.launch(0, 7, || ());
+        c.launch(0, 7, || ());
+        c.launch(0, 9, || ());
+        assert_eq!(c.head_snapshot().next[1], Some(7), "corpse at the head");
+        c.skip_worker(1, 7);
+        // Both 7-entries must be drained in one skip, not just the head.
+        assert_eq!(c.head_snapshot().next[1], Some(9));
+        let r = c.launch_timeout(1, 9, Duration::from_millis(200), || 42);
+        assert_eq!(r, Some(42));
+        assert_eq!(c.head_snapshot().cursors, vec![3, 3]);
+    }
+
+    #[test]
+    fn skip_worker_wakes_a_successor_already_blocked_behind_the_corpse() {
+        let c = Arc::new(Coordinator::new(2));
+        c.launch(0, 7, || ());
+        c.launch(0, 9, || ());
+        // The successor blocks in a plain (untimed) launch behind the
+        // corpse entry *before* the failure is declared: the skip alone
+        // must wake and unwedge it.
+        let c2 = Arc::clone(&c);
+        let successor = std::thread::spawn(move || c2.launch(1, 9, || 99));
+        while c.pending(1) != 2 || !matches!(c.head_snapshot().next[1], Some(7)) {
+            std::thread::yield_now();
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        c.skip_worker(1, 7);
+        assert_eq!(successor.join().unwrap(), 99);
+        assert_eq!(c.head_snapshot().cursors[1], 2);
+    }
+
+    #[test]
+    fn interleaved_corpse_entries_are_all_skipped() {
+        let c = Coordinator::new(2);
+        // order = [7, 9, 7, 9]: corpse entries interleaved with live
+        // ones, so draining must resume at each later corpse entry as
+        // the cursor reaches it.
+        for w in [7, 9, 7, 9] {
+            c.launch(0, w, || ());
+        }
+        c.skip_worker(1, 7);
+        let a = c.launch_timeout(1, 9, Duration::from_millis(200), || "first");
+        let b = c.launch_timeout(1, 9, Duration::from_millis(200), || "second");
+        assert_eq!(a, Some("first"));
+        assert_eq!(b, Some("second"));
+        assert_eq!(c.head_snapshot().cursors, vec![4, 4]);
+        assert_eq!(c.pending(1), 0);
+    }
+
+    #[test]
     fn abortable_launch_gives_up_when_poked() {
-        use std::sync::atomic::{AtomicBool, Ordering};
+        use crate::sync::{AtomicBool, Ordering};
         let c = Arc::new(Coordinator::new(2));
         let dead = Arc::new(AtomicBool::new(false));
         let (c2, d2) = (Arc::clone(&c), Arc::clone(&dead));

@@ -25,13 +25,11 @@
 use crate::ccc::{Coordinator, LaunchOutcome};
 use crate::lock_unpoisoned;
 use crate::slots::DeviceSlots;
+use crate::sync::{Arc, AtomicBool, Condvar, Mutex, Ordering, PoisonError};
 use crate::WorkerId;
 use ds_simgpu::topology::TRANSFER_LATENCY;
 use ds_simgpu::{Clock, Cluster};
 use std::any::Any;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
-use std::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Tunables of a communicator group.

@@ -21,6 +21,7 @@
 pub mod ccc;
 pub mod collective;
 pub mod slots;
+pub(crate) mod sync;
 
 pub use ccc::{Coordinator, LaunchOutcome};
 pub use collective::{Backend, CccHead, CommConfig, CommError, Communicator, Diagnostics};
@@ -34,6 +35,7 @@ pub type WorkerId = u32;
 /// state transitions here are atomic under the lock, so the data is
 /// consistent and the right response to a crashed peer is a typed
 /// `CommError`, not a cascading `PoisonError` panic.
-pub(crate) fn lock_unpoisoned<T>(m: &std::sync::Mutex<T>) -> std::sync::MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+pub(crate) fn lock_unpoisoned<T>(m: &crate::sync::Mutex<T>) -> crate::sync::MutexGuard<'_, T> {
+    m.lock()
+        .unwrap_or_else(crate::sync::PoisonError::into_inner)
 }

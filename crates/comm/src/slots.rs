@@ -7,7 +7,7 @@
 //! deadlock instead of hanging.
 
 use crate::lock_unpoisoned;
-use std::sync::{Condvar, Mutex, PoisonError};
+use crate::sync::{Condvar, Mutex, PoisonError};
 use std::time::Duration;
 
 /// Counting semaphore for one device's kernel slots.
@@ -104,7 +104,7 @@ impl DeviceSlots {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::Arc;
+    use crate::sync::Arc;
 
     #[test]
     fn acquire_release_cycle() {

@@ -58,11 +58,13 @@
 //! queue depths depend on real thread timing and would break the
 //! byte-determinism contract of default traces.
 
+use crate::sync::{Arc, AtomicU64, Condvar, Mutex, MutexGuard, Ordering, PoisonError};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
+use std::sync::OnceLock;
 use std::thread::JoinHandle;
+
+pub(crate) mod sync;
 
 /// Lock acquisition that survives poisoning: a panicking task must not
 /// cascade into every other thread touching the pool.
@@ -396,18 +398,22 @@ impl Pool {
             self.shared.submit(job);
         }
         ctx.run_inline(0);
+        // A helped job may be a raw submission that panics; our own set
+        // must fully drain before the unwind frees `ctx` out from under
+        // workers still borrowing it. Waiting is not enough: with zero
+        // workers (or all workers parked beneath a nested submission)
+        // this thread is the only one that will ever run the set, so it
+        // must *keep helping* — the first panic is stashed and rethrown
+        // once the set is done.
+        let mut helped_panic: Option<Box<dyn std::any::Any + Send>> = None;
         while !ctx.is_done() {
             if let Some(job) = self.shared.find_job() {
                 // Helping: possibly a task from an unrelated set — still
                 // progress, and the only alternative to deadlock when
                 // every worker is busy beneath a nested submission.
                 self.shared.stats.helped.fetch_add(1, Ordering::Relaxed);
-                // A helped job may be a raw submission that panics; our
-                // own set must fully drain before the unwind frees `ctx`
-                // out from under workers still borrowing it.
                 if let Err(p) = catch_unwind(AssertUnwindSafe(move || job())) {
-                    ctx.wait_done();
-                    resume_unwind(p);
+                    helped_panic.get_or_insert(p);
                 }
             } else {
                 // Every queue empty ⇒ the remaining tasks of this set
@@ -416,6 +422,9 @@ impl Pool {
                 ctx.wait_done();
                 break;
             }
+        }
+        if let Some(p) = helped_panic {
+            resume_unwind(p);
         }
         if let Some(p) = lock_unpoisoned(&ctx.panic).take() {
             resume_unwind(p);
@@ -517,7 +526,7 @@ where
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicU32;
+    use crate::sync::AtomicU32;
 
     #[test]
     fn map_indexed_returns_results_in_index_order() {
@@ -659,6 +668,63 @@ mod tests {
         // The pool survives a panicked set.
         assert_eq!(pool.map_indexed(3, |i| i), vec![0, 1, 2]);
         pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_helped_job_does_not_wedge_the_zero_worker_pool() {
+        // Regression: the helping loop used to wait for the set and
+        // rethrow immediately on a helped panic — but with zero workers
+        // the caller is the only thread that will ever run the set, so
+        // that wait could never return. The panic must be stashed, the
+        // set drained by continued helping, and the panic rethrown then.
+        let pool = Pool::new(0);
+        let ran = Arc::new(AtomicU32::new(0));
+        pool.shared.submit(Box::new(|| panic!("raw job exploded")));
+        let ran2 = Arc::clone(&ran);
+        let r = catch_unwind(AssertUnwindSafe(|| {
+            pool.map_indexed(8, |i| {
+                ran2.fetch_add(1, Ordering::Relaxed);
+                i
+            })
+        }));
+        assert!(r.is_err(), "the helped panic must propagate");
+        assert_eq!(
+            ran.load(Ordering::Relaxed),
+            8,
+            "the whole set drained before the rethrow"
+        );
+        let s = pool.stats();
+        assert_eq!(s.submitted, 8, "one raw job + seven map tasks");
+        assert_eq!(s.executed + s.helped, 8, "no queued job leaked");
+        // The pool still serves maps afterwards.
+        assert_eq!(pool.map_indexed(3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn map_survives_concurrent_shutdown_with_a_panicking_helped_job() {
+        // Shutdown racing an in-flight map whose helping caller hits a
+        // panicking raw job: the map must still drain its whole set,
+        // rethrow, and leave no job unexecuted (leak-free by stats).
+        let pool = Arc::new(Pool::new(0));
+        pool.shared.submit(Box::new(|| panic!("raw job exploded")));
+        let pool2 = Arc::clone(&pool);
+        let mapper = std::thread::spawn(move || {
+            catch_unwind(AssertUnwindSafe(|| pool2.map_indexed(64, |i| i * 2)))
+        });
+        pool.shutdown();
+        let r = mapper.join().expect("mapper thread itself must not die");
+        assert!(r.is_err(), "the helped panic must propagate");
+        let s = pool.stats();
+        assert_eq!(s.submitted, 64, "one raw job + sixty-three map tasks");
+        assert_eq!(
+            s.executed + s.helped,
+            64,
+            "every queued job ran exactly once"
+        );
+        assert!(
+            lock_unpoisoned(&pool.handles).is_empty(),
+            "shutdown joined every worker"
+        );
     }
 
     #[test]

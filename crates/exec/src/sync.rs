@@ -1,0 +1,21 @@
+//! Concurrency-primitive alias layer.
+//!
+//! Normal builds re-export `std::sync` — a zero-cost passthrough.
+//! Under the `check` feature the same names resolve to the
+//! `ds_check::sync` shims, so the pool's parking/completion handshake
+//! can run under deterministic schedule exploration.
+//!
+//! Code in this crate must import these names from here, never from
+//! `std::sync` directly — enforced by `scripts/lint_sync.sh`.
+
+#[cfg(not(feature = "check"))]
+#[allow(unused_imports)] // alias surface: test builds use more names than lib builds
+pub(crate) use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+#[cfg(not(feature = "check"))]
+pub(crate) use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+
+#[cfg(feature = "check")]
+#[allow(unused_imports)] // alias surface: test builds use more names than lib builds
+pub(crate) use ds_check::sync::{
+    Arc, AtomicU32, AtomicU64, Condvar, Mutex, MutexGuard, Ordering, PoisonError,
+};

@@ -13,8 +13,8 @@
 //! transitions, so a poisoned guard still protects consistent data and
 //! is safe to recover.
 
+use crate::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 use std::collections::VecDeque;
-use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
 
 fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
@@ -56,6 +56,12 @@ struct State<T> {
     item_waiters: usize,
     /// Senders currently blocked on a full bounded buffer.
     slot_waiters: usize,
+    /// Bumped under the lock at every waiter-relevant transition (items
+    /// pushed, items popped, a side disconnecting). Waiters sleep until
+    /// the generation moves, which makes wakes *stateful*: a notify that
+    /// raced ahead of the waiter, or was stolen by a peer, can't strand
+    /// anyone — the transition it announced is visible in `gen`.
+    gen: u64,
 }
 
 struct Shared<T> {
@@ -97,6 +103,7 @@ fn channel<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
             receivers: 1,
             item_waiters: 0,
             slot_waiters: 0,
+            gen: 0,
         }),
         capacity,
         items: Condvar::new(),
@@ -121,6 +128,22 @@ fn wake(cv: &Condvar, progress: usize) {
     }
 }
 
+/// Parks on `cv` until the channel generation moves past the one the
+/// caller observed under the lock — i.e. until a transition actually
+/// happened that is worth re-checking the predicate for. Spurious wakes
+/// go back to sleep; wakes whose transition already happened before the
+/// caller parked return immediately instead of being lost.
+fn wait_for_transition<'a, T>(
+    cv: &Condvar,
+    mut st: MutexGuard<'a, State<T>>,
+) -> MutexGuard<'a, State<T>> {
+    let gen = st.gen;
+    while st.gen == gen {
+        st = cv.wait(st).unwrap_or_else(PoisonError::into_inner);
+    }
+    st
+}
+
 impl<T> Sender<T> {
     /// Sends an item, blocking while a bounded channel is full. Wakes a
     /// receiver only if one is actually blocked.
@@ -133,17 +156,14 @@ impl<T> Sender<T> {
             match self.shared.capacity {
                 Some(cap) if st.buf.len() >= cap => {
                     st.slot_waiters += 1;
-                    st = self
-                        .shared
-                        .slots
-                        .wait(st)
-                        .unwrap_or_else(PoisonError::into_inner);
+                    st = wait_for_transition(&self.shared.slots, st);
                     st.slot_waiters -= 1;
                 }
                 _ => break,
             }
         }
         st.buf.push_back(item);
+        st.gen = st.gen.wrapping_add(1);
         let progress = st.item_waiters.min(1);
         drop(st);
         wake(&self.shared.items, progress);
@@ -171,6 +191,9 @@ impl<T> Sender<T> {
                 st.buf.push_back(queue.pop_front().expect("non-empty"));
                 pushed += 1;
             }
+            if pushed > 0 {
+                st.gen = st.gen.wrapping_add(1);
+            }
             let done = queue.is_empty();
             let progress = pushed.min(st.item_waiters);
             if done {
@@ -187,11 +210,7 @@ impl<T> Sender<T> {
                 continue;
             }
             st.slot_waiters += 1;
-            st = self
-                .shared
-                .slots
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            st = wait_for_transition(&self.shared.slots, st);
             st.slot_waiters -= 1;
         }
     }
@@ -220,10 +239,16 @@ impl<T> Drop for Sender<T> {
     fn drop(&mut self) {
         let mut st = lock_unpoisoned(&self.shared.state);
         st.senders -= 1;
-        if st.senders == 0 {
+        // Wake receivers when they must observe the disconnect (last
+        // sender gone) — and also when this producer died between
+        // buffering items and delivering its wake (a crashed-producer
+        // fault plan unwinds exactly there; this Drop is the last code
+        // of that thread that still runs, so it re-delivers the wake).
+        let disconnect = st.senders == 0;
+        let undelivered = st.item_waiters > 0 && !st.buf.is_empty();
+        if disconnect || undelivered {
+            st.gen = st.gen.wrapping_add(1);
             drop(st);
-            // Wake receivers blocked on an empty buffer so they can
-            // observe the disconnect.
             self.shared.items.notify_all();
         }
     }
@@ -237,6 +262,7 @@ impl<T> Receiver<T> {
         let mut st = lock_unpoisoned(&self.shared.state);
         loop {
             if let Some(item) = st.buf.pop_front() {
+                st.gen = st.gen.wrapping_add(1);
                 let progress = st.slot_waiters.min(1);
                 drop(st);
                 wake(&self.shared.slots, progress);
@@ -246,11 +272,7 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             st.item_waiters += 1;
-            st = self
-                .shared
-                .items
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            st = wait_for_transition(&self.shared.items, st);
             st.item_waiters -= 1;
         }
     }
@@ -265,6 +287,7 @@ impl<T> Receiver<T> {
             if !st.buf.is_empty() {
                 let n = max.min(st.buf.len());
                 let out: Vec<T> = st.buf.drain(..n).collect();
+                st.gen = st.gen.wrapping_add(1);
                 let progress = n.min(st.slot_waiters);
                 drop(st);
                 wake(&self.shared.slots, progress);
@@ -274,11 +297,7 @@ impl<T> Receiver<T> {
                 return Err(RecvError);
             }
             st.item_waiters += 1;
-            st = self
-                .shared
-                .items
-                .wait(st)
-                .unwrap_or_else(PoisonError::into_inner);
+            st = wait_for_transition(&self.shared.items, st);
             st.item_waiters -= 1;
         }
     }
@@ -289,6 +308,7 @@ impl<T> Receiver<T> {
         let mut st = lock_unpoisoned(&self.shared.state);
         let item = st.buf.pop_front();
         if item.is_some() {
+            st.gen = st.gen.wrapping_add(1);
             let progress = st.slot_waiters.min(1);
             drop(st);
             wake(&self.shared.slots, progress);
@@ -320,9 +340,15 @@ impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
         let mut st = lock_unpoisoned(&self.shared.state);
         st.receivers -= 1;
-        if st.receivers == 0 {
+        // Mirror of the Sender backstop: wake senders so `send` can
+        // fail (last receiver gone), or so a slot freed by a consumer
+        // that unwound before its wake landed is not lost.
+        let disconnect = st.receivers == 0;
+        let undelivered = st.slot_waiters > 0
+            && !matches!(self.shared.capacity, Some(cap) if st.buf.len() >= cap);
+        if disconnect || undelivered {
+            st.gen = st.gen.wrapping_add(1);
             drop(st);
-            // Wake senders blocked on a full buffer so `send` can fail.
             self.shared.slots.notify_all();
         }
     }

@@ -19,6 +19,7 @@
 pub mod chan;
 pub mod queue;
 pub mod schedule;
+pub(crate) mod sync;
 
 pub use queue::{virtual_queue, QueueConsumer, QueueProducer};
 pub use schedule::{MultiWorkerConfig, PipelineSchedule, StageTimes};

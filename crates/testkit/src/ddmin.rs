@@ -1,0 +1,127 @@
+//! Delta-debugging minimization (ddmin).
+//!
+//! Two entry points share the chunk-removal core:
+//!
+//! * [`chunk_removals`] enumerates aligned chunk-removal *candidates*
+//!   (halving chunk sizes, interior chunks only) — the vec shrinker
+//!   feeds these into its greedy descent.
+//! * [`ddmin`] runs the full iterative minimization loop against a
+//!   caller-supplied failure oracle — ds-check uses it to shrink
+//!   failing schedules down to a minimal replayable interleaving.
+
+/// Aligned chunk-removal candidates for a vector that must keep at
+/// least `min_len` elements. Chunk sizes halve from `(len - min_len)/2`
+/// down to 1; removals touching either end are skipped (prefix/suffix
+/// cuts are proposed separately by the shrinker and would be
+/// duplicates). Counterexamples whose trigger spans both ends cannot
+/// shrink through prefix cuts alone — interior removal is what gets
+/// them past full length.
+pub fn chunk_removals<T: Clone>(input: &[T], min_len: usize) -> Vec<Vec<T>> {
+    let len = input.len();
+    let mut out = Vec::new();
+    if len <= min_len {
+        return out;
+    }
+    let mut size = (len - min_len) / 2;
+    while size >= 1 {
+        let mut start = 0;
+        while start + size <= len {
+            if start > 0 && start + size < len {
+                let mut v = Vec::with_capacity(len - size);
+                v.extend_from_slice(&input[..start]);
+                v.extend_from_slice(&input[start + size..]);
+                out.push(v);
+            }
+            start += size;
+        }
+        size /= 2;
+    }
+    out
+}
+
+/// Iterative ddmin: repeatedly removes aligned chunks of halving sizes
+/// while `still_fails` accepts the candidate, returning a subsequence
+/// that is minimal at chunk granularity (no single remaining element
+/// can be removed without the failure disappearing). `still_fails` must
+/// be deterministic; it is never called on the unmodified input.
+pub fn ddmin<T: Clone>(input: &[T], mut still_fails: impl FnMut(&[T]) -> bool) -> Vec<T> {
+    let mut cur = input.to_vec();
+    if cur.is_empty() {
+        return cur;
+    }
+    if still_fails(&[]) {
+        return Vec::new();
+    }
+    let mut size = (cur.len() / 2).max(1);
+    loop {
+        let mut removed_any = false;
+        let mut start = 0;
+        while start + size <= cur.len() {
+            let mut cand = Vec::with_capacity(cur.len() - size);
+            cand.extend_from_slice(&cur[..start]);
+            cand.extend_from_slice(&cur[start + size..]);
+            if still_fails(&cand) {
+                cur = cand;
+                removed_any = true;
+                // Keep `start` in place: the next chunk slid into it.
+            } else {
+                start += size;
+            }
+        }
+        if removed_any {
+            // Retry at the same granularity — new neighbours may now be
+            // jointly removable.
+            size = size.min((cur.len() / 2).max(1));
+        } else if size == 1 {
+            return cur;
+        } else {
+            size /= 2;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ddmin_reaches_the_minimal_triggering_subset() {
+        // Failure iff the sequence contains both 3 and 8.
+        let input: Vec<u32> = (0..16).collect();
+        let min = ddmin(&input, |c| c.contains(&3) && c.contains(&8));
+        assert_eq!(min, vec![3, 8]);
+    }
+
+    #[test]
+    fn ddmin_handles_always_failing_and_empty_inputs() {
+        assert_eq!(ddmin(&[1, 2, 3], |_| true), Vec::<i32>::new());
+        assert_eq!(ddmin(&[] as &[i32], |_| true), Vec::<i32>::new());
+    }
+
+    #[test]
+    fn ddmin_is_one_minimal_at_element_granularity() {
+        // Failure iff sum >= 10: minimal subsets keep just enough mass.
+        let input = vec![1u32, 9, 1, 1];
+        let min = ddmin(&input, |c| c.iter().sum::<u32>() >= 10);
+        assert!(min.iter().sum::<u32>() >= 10);
+        for i in 0..min.len() {
+            let mut smaller = min.clone();
+            smaller.remove(i);
+            assert!(
+                smaller.iter().sum::<u32>() < 10,
+                "removing index {i} from {min:?} should break the failure"
+            );
+        }
+    }
+
+    #[test]
+    fn chunk_removals_skip_prefix_and_suffix_cuts() {
+        let input: Vec<u32> = (0..8).collect();
+        for cand in chunk_removals(&input, 0) {
+            assert!(cand.len() < input.len());
+            // Interior removals keep both ends.
+            assert_eq!(cand.first(), Some(&0));
+            assert_eq!(cand.last(), Some(&7));
+        }
+    }
+}

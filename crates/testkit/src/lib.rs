@@ -27,6 +27,7 @@
 //! an impossible assumption still fails loudly).
 
 pub mod bench;
+pub mod ddmin;
 mod strategy;
 
 pub use strategy::{any, collection, Any, Arbitrary, FlatMap, Just, Map, Strategy};
@@ -125,6 +126,15 @@ fn quietly<R>(f: impl FnOnce() -> R) -> R {
     let out = f();
     QUIET.with(|q| q.set(false));
     out
+}
+
+/// Runs `f` with panic-hook output suppressed on this thread. For
+/// harnesses (ds-check schedule exploration, programmatic shrink loops)
+/// that intentionally provoke panics and would otherwise spam the test
+/// log with expected backtraces.
+pub fn quiet_panics<R>(f: impl FnOnce() -> R) -> R {
+    install_quiet_hook();
+    quietly(f)
 }
 
 fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {

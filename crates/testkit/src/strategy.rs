@@ -446,21 +446,7 @@ pub mod collection {
             // alone cannot reach counterexamples whose trigger spans
             // both ends — interior elements would be stuck at full
             // length and only shrink elementwise.
-            let mut size = (len - min) / 2;
-            while size >= 1 {
-                let mut start = 0;
-                while start + size <= len {
-                    // Skip removals the prefix cuts already proposed.
-                    if start > 0 && start + size < len {
-                        let mut v = Vec::with_capacity(len - size);
-                        v.extend_from_slice(&repr[..start]);
-                        v.extend_from_slice(&repr[start + size..]);
-                        out.push(v);
-                    }
-                    start += size;
-                }
-                size /= 2;
-            }
+            out.extend(crate::ddmin::chunk_removals(repr, min));
             // Then elementwise shrinks.
             for (i, er) in repr.iter().enumerate() {
                 for cand in self.elem.shrink(er) {

@@ -95,6 +95,64 @@ pub fn stage_breakdown(events: &[Event]) -> String {
     out
 }
 
+/// Collapse the event stream into folded stacks — the
+/// `frame;frame;frame value` line format consumed by `flamegraph.pl`,
+/// speedscope and friends. Each worker stream becomes a
+/// `rankN;<tid-name>` root; nested spans append frames; the value is
+/// the frame's *self* time (span duration minus time spent in child
+/// spans) in integer virtual nanoseconds, summed over epochs and
+/// invocations.
+///
+/// Values are integers on the virtual timeline, so the output is
+/// byte-deterministic for a fixed seed — same contract as
+/// [`crate::chrome::chrome_json`].
+pub fn folded_stacks(events: &[Event]) -> String {
+    let mut evs: Vec<Event> = events.to_vec();
+    sort_events(&mut evs);
+    let mut streams: BTreeMap<(u64, u32, u32), Vec<&Event>> = BTreeMap::new();
+    for e in &evs {
+        streams.entry((e.epoch, e.rank, e.tid)).or_default().push(e);
+    }
+    let mut folded: BTreeMap<String, u64> = BTreeMap::new();
+    for ((_, rank, tid), stream) in &streams {
+        let base = format!("rank{rank};{}", tid_name(*tid));
+        // Open frames: (full name, begin time, time covered by children).
+        let mut stack: Vec<(String, f64, f64)> = Vec::new();
+        for e in stream {
+            match &e.payload {
+                Payload::Begin { label, name, .. } => {
+                    stack.push((full_name(label, name), e.t, 0.0));
+                }
+                Payload::End { .. } => {
+                    if let Some((name, t0, child_time)) = stack.pop() {
+                        let total = e.t - t0;
+                        if let Some(parent) = stack.last_mut() {
+                            parent.2 += total;
+                        }
+                        let self_ns = ((total - child_time).max(0.0) * 1e9).round() as u64;
+                        if self_ns > 0 {
+                            let mut key = base.clone();
+                            for (ancestor, _, _) in &stack {
+                                key.push(';');
+                                key.push_str(ancestor);
+                            }
+                            key.push(';');
+                            key.push_str(&name);
+                            *folded.entry(key).or_insert(0) += self_ns;
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    let mut out = String::new();
+    for (stack, ns) in &folded {
+        out.push_str(&format!("{stack} {ns}\n"));
+    }
+    out
+}
+
 /// Occupancy statistics for one labelled queue, reconstructed from
 /// the producer/consumer `push`/`pop` cumulative counters.
 #[derive(Clone, Debug, PartialEq)]
@@ -373,6 +431,38 @@ mod tests {
         assert!(a.contains("rank 0 / sampler"));
         assert!(a.contains("csp.shuffle"));
         assert!(a.contains("n=2"));
+    }
+
+    #[test]
+    fn folded_stacks_report_self_time_in_integer_nanos() {
+        let out = folded_stacks(&pipeline_events());
+        // sampler span: 2.0s total, 2×0.8s in `sample` → 0.4s self.
+        assert!(out.contains("rank0;sampler;sampler 400000000\n"), "{out}");
+        // sample: 2×0.8s total, 2×0.2s in the shuffle → 1.2s self.
+        assert!(
+            out.contains("rank0;sampler;sampler;sample 1200000000\n"),
+            "{out}"
+        );
+        assert!(
+            out.contains("rank0;sampler;sampler;sample;csp.shuffle 400000000\n"),
+            "{out}"
+        );
+        assert!(out.contains("rank0;loader;loader 1400000000\n"), "{out}");
+        // Every line is `stack space integer`.
+        for line in out.lines() {
+            let (stack, value) = line.rsplit_once(' ').unwrap();
+            assert!(stack.starts_with("rank"));
+            value.parse::<u64>().unwrap();
+        }
+    }
+
+    #[test]
+    fn folded_stacks_are_order_independent() {
+        let events = pipeline_events();
+        let a = folded_stacks(&events);
+        let mut reversed = events;
+        reversed.reverse();
+        assert_eq!(a, folded_stacks(&reversed));
     }
 
     #[test]

@@ -7,9 +7,10 @@
 //!
 //! With `DS_TRACE=1` the run additionally exports the virtual-clock
 //! trace: `results/quickstart_trace.json` (load it in `chrome://tracing`
-//! or Perfetto — one process per rank, one thread per pipeline worker)
-//! and `results/quickstart_stages.txt` (per-epoch stage breakdown).
-//! Same seed, same bytes: the export is deterministic.
+//! or Perfetto — one process per rank, one thread per pipeline worker),
+//! `results/quickstart_stages.txt` (per-epoch stage breakdown) and
+//! `results/quickstart_folded.txt` (folded stacks for `flamegraph.pl`
+//! or speedscope). Same seed, same bytes: the exports are deterministic.
 
 use dsp::core::config::TrainConfig;
 use dsp::core::{DspSystem, System};
@@ -76,8 +77,9 @@ fn main() {
         host as f64 / 1e6
     );
 
-    // 6. Trace export (DS_TRACE=1): Chrome/Perfetto timeline + a
-    //    plain-text per-epoch stage breakdown.
+    // 6. Trace export (DS_TRACE=1): Chrome/Perfetto timeline, a
+    //    plain-text per-epoch stage breakdown, and folded stacks for
+    //    flamegraph tooling.
     if dsp::trace::enabled() {
         let events = dsp::trace::recorder().take();
         std::fs::create_dir_all("results").expect("create results/");
@@ -85,9 +87,12 @@ fn main() {
         std::fs::write("results/quickstart_trace.json", &json).expect("write trace json");
         let breakdown = dsp::trace::summary::stage_breakdown(&events);
         std::fs::write("results/quickstart_stages.txt", &breakdown).expect("write stages");
+        let folded = dsp::trace::summary::folded_stacks(&events);
+        std::fs::write("results/quickstart_folded.txt", &folded).expect("write folded stacks");
         println!(
             "trace: {} events -> results/quickstart_trace.json (chrome://tracing), \
-             stage breakdown -> results/quickstart_stages.txt",
+             stage breakdown -> results/quickstart_stages.txt, \
+             folded stacks -> results/quickstart_folded.txt",
             events.len()
         );
     }

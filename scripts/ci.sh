@@ -10,6 +10,7 @@ cd "$(dirname "$0")/.."
 cargo fmt --check
 scripts/lint_locks.sh
 scripts/lint_threads.sh
+scripts/lint_sync.sh
 cargo build --release --offline
 # `cargo test` does not compile harness=false benches; build them so
 # the ds-testkit bench API stays honest.
@@ -24,6 +25,19 @@ for seed in 1 2; do
     DS_FAULT_PLAN="chaos:n=4" DS_FAULT_SEED="$seed" \
         cargo test -q --offline --test fault_env
 done
+
+# Check stage: deterministic schedule exploration of the concurrency
+# core. `--features check` swaps pipeline/comm/exec onto the
+# `ds_check::sync` shims; the model suites run bounded-exhaustive DFS
+# plus a fixed-seed PCT budget over the real chan / slots / CCC
+# protocols (tests/check_models.rs) and over the harness's own
+# regression models (crates/check). The existing pipeline/comm suites
+# also rerun on the shimmed build to prove the alias layer is inert
+# outside a model.
+cargo test -q --offline --features check --test check_models
+cargo test -q --offline -p ds-check
+cargo test -q --offline -p ds-pipeline --features check
+cargo test -q --offline -p ds-comm --features check
 
 # Trace stage: observability end to end. The traced quickstart must
 # export a well-formed Chrome trace (valid JSON, every B matched by an

@@ -1,0 +1,33 @@
+#!/usr/bin/env bash
+# Sync-alias lint: the concurrency crates (pipeline, comm, exec) must
+# import their lock/condvar/atomic primitives from the crate-local
+# `sync` alias module, never from `std::sync` directly. The alias is a
+# zero-cost `std::sync` re-export in normal builds; under
+# `--features check` it resolves to the `ds_check::sync` shims so the
+# real protocols run under deterministic schedule exploration. A direct
+# `std::sync::Mutex` import silently opts that code out of model
+# checking — the whole point of the alias layer.
+#
+# `sync.rs` itself is the one place allowed to name std::sync; types
+# the shims don't model (OnceLock, mpsc, ...) are also fine.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+status=0
+while IFS= read -r f; do
+    hits=$(grep -nE \
+        'std::sync::(Mutex|Condvar|RwLock|MutexGuard|RwLockReadGuard|RwLockWriteGuard|Barrier|atomic)' \
+        "$f" || true)
+    if [ -n "$hits" ]; then
+        echo "$hits" | sed "s|^|$f:|"
+        status=1
+    fi
+done < <(find crates/pipeline/src crates/comm/src crates/exec/src \
+            -name '*.rs' ! -name 'sync.rs' | LC_ALL=C sort)
+
+if [ "$status" -ne 0 ]; then
+    echo "error: direct std::sync primitive in a shimmed crate — import" \
+         "it from the crate's \`sync\` alias module so the code stays" \
+         "model-checkable under --features check." >&2
+fi
+exit "$status"

@@ -33,3 +33,8 @@ pub use ds_store as store;
 pub use ds_tensor as tensor;
 pub use ds_trace as trace;
 pub use dsp_core as core;
+
+/// Schedule-exploration harness; only present with `--features check`,
+/// which also swaps the concurrency crates onto its sync shims.
+#[cfg(feature = "check")]
+pub use ds_check as check;

@@ -1,0 +1,216 @@
+//! Schedule-exploration models over the *real* concurrency core.
+//!
+//! Compiled only with `--features check`, which swaps the `crate::sync`
+//! alias layer of ds-pipeline / ds-comm / ds-exec onto the
+//! `ds_check::sync` shims — the code under test here is the production
+//! channel, kernel-slot and CCC implementation, not a re-model of it.
+//!
+//! Run with: `cargo test --offline --features check --test check_models`
+//! (the `check` CI stage does).
+
+#![cfg(feature = "check")]
+
+use ds_check::{check, explore, Config, FailureKind};
+use ds_comm::{Coordinator, DeviceSlots};
+use ds_pipeline::chan;
+use std::sync::Arc;
+
+/// Fixed root seed for the PCT phase of every model here, so the CI
+/// budget is deterministic run to run.
+const PCT_SEED: u64 = 0xD5C4_C1;
+
+fn dfs_plus_pct(max_schedules: usize, pct_iters: usize) -> Config {
+    Config {
+        max_schedules,
+        pct_iters,
+        seed: PCT_SEED,
+        ..Config::default()
+    }
+}
+
+// ---------------------------------------------------------------------
+// ds-pipeline: chan
+// ---------------------------------------------------------------------
+
+#[test]
+fn chan_bounded_handoff_has_no_deadlock_or_lost_wake() {
+    let report = check("chan-bounded-handoff", &dfs_plus_pct(1500, 100), || {
+        let (tx, rx) = chan::bounded::<u32>(1);
+        let producer = ds_check::spawn(move || {
+            tx.send(1).unwrap();
+            tx.send(2).unwrap();
+        });
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        producer.join();
+        assert_eq!(rx.recv(), Err(chan::RecvError));
+    });
+    assert!(report.schedules > 100, "exploration actually branched");
+}
+
+#[test]
+fn chan_send_many_recv_many_drain_without_lost_wakes() {
+    check("chan-batched-handoff", &dfs_plus_pct(1500, 100), || {
+        let (tx, rx) = chan::bounded::<u32>(2);
+        let producer = ds_check::spawn(move || {
+            // 5 items through a capacity-2 buffer: the producer parks
+            // for slots mid-batch and hands chunks over with batched
+            // wakes.
+            tx.send_many(0..5).unwrap();
+        });
+        let mut got = Vec::new();
+        loop {
+            match rx.recv_many(2) {
+                Ok(v) => got.extend(v),
+                Err(chan::RecvError) => break,
+            }
+        }
+        assert_eq!(got, vec![0, 1, 2, 3, 4], "in order, nothing dropped");
+        producer.join();
+    });
+}
+
+#[test]
+fn chan_producer_death_always_delivers_the_final_wake() {
+    // Two consumers parked in `recv_many`, a producer that buffers one
+    // item and dies (its Sender drops): in every interleaving exactly
+    // one consumer must get the item and the other must observe the
+    // disconnect — no schedule may leave a consumer parked forever.
+    // This pins the generation check and the Drop-side backstop wake in
+    // `chan` (remove either and this model deadlocks).
+    check("chan-crashed-producer", &dfs_plus_pct(3000, 150), || {
+        let (tx, rx) = chan::bounded::<u32>(1);
+        let rx2 = rx.clone();
+        let c1 = ds_check::spawn(move || rx.recv_many(2).ok());
+        let c2 = ds_check::spawn(move || rx2.recv_many(2).ok());
+        tx.send(7).unwrap();
+        drop(tx); // producer crashed right after buffering
+        let (a, b) = (c1.join(), c2.join());
+        match (&a, &b) {
+            (Some(v), None) | (None, Some(v)) => assert_eq!(v, &vec![7]),
+            _ => panic!("exactly one consumer must get the item, got {a:?} / {b:?}"),
+        }
+    });
+}
+
+// ---------------------------------------------------------------------
+// ds-comm: kernel slots + CCC
+// ---------------------------------------------------------------------
+
+/// Count-down gate built on the shims: models "a communication kernel
+/// completes only once all peers have launched it" (§5).
+struct Gate {
+    n: ds_check::sync::Mutex<u32>,
+    cv: ds_check::sync::Condvar,
+}
+
+impl Gate {
+    fn new(n: u32) -> Gate {
+        Gate {
+            n: ds_check::sync::Mutex::new(n),
+            cv: ds_check::sync::Condvar::new(),
+        }
+    }
+
+    fn arrive(&self) {
+        let mut n = self.n.lock().unwrap();
+        *n -= 1;
+        if *n == 0 {
+            self.cv.notify_all();
+        }
+        while *n > 0 {
+            n = self.cv.wait(n).unwrap();
+        }
+    }
+}
+
+/// The §5 workload: 2 ranks × 2 workers, one kernel slot per device.
+/// Worker `w`'s kernel on rank `r` pins rank `r`'s slot from launch
+/// until all ranks have launched `w`'s kernel (the gate).
+fn slot_workload(coordinated: bool) {
+    let slots = Arc::new(DeviceSlots::new(2, 1));
+    let ccc = Arc::new(Coordinator::new(2));
+    let gates = Arc::new([Gate::new(2), Gate::new(2)]);
+
+    let mut threads = Vec::new();
+    // Launch-attempt order differs per rank: rank 0 tries worker 7
+    // first, rank 1 tries worker 9 first — the cross-device circular
+    // wait the paper's Fig. 8 describes.
+    for (rank, order) in [(0usize, [7u32, 9]), (1, [9, 7])] {
+        for (wi, worker) in order.into_iter().enumerate() {
+            let (slots, ccc, gates) = (Arc::clone(&slots), Arc::clone(&ccc), Arc::clone(&gates));
+            threads.push(ds_check::spawn(move || {
+                let gate = &gates[if worker == 7 { 0 } else { 1 }];
+                if coordinated {
+                    // CCC: the leader fixes one global order; every rank
+                    // acquires its slot in that order.
+                    ccc.launch(rank, worker, || slots.device(rank).acquire());
+                } else {
+                    slots.device(rank).acquire();
+                }
+                gate.arrive();
+                slots.device(rank).release();
+                let _ = wi;
+            }));
+        }
+    }
+    for t in threads {
+        t.join();
+    }
+}
+
+#[test]
+fn uncoordinated_slot_acquisition_deadlocks_somewhere() {
+    let failure = explore(&dfs_plus_pct(1500, 300), || slot_workload(false))
+        .expect_err("per-rank launch orders differ: some schedule must wedge");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock(_)),
+        "got {}",
+        failure.kind
+    );
+}
+
+#[test]
+fn ccc_global_launch_order_removes_the_deadlock() {
+    check("ccc-ordered-slots", &dfs_plus_pct(1500, 300), || {
+        slot_workload(true)
+    });
+}
+
+#[test]
+fn dead_peer_corpse_wedges_a_plain_launch() {
+    // Pre-skip-protocol behavior: worker 7 on rank 1 crashed, nobody
+    // skips its entry, and its successor launches with the plain
+    // (non-timeout) API — every such schedule wedges behind the corpse.
+    let failure = explore(&Config::dfs(2048), || {
+        let ccc = Arc::new(Coordinator::new(2));
+        ccc.launch(0, 7, || ());
+        ccc.launch(0, 9, || ());
+        let c2 = Arc::clone(&ccc);
+        let successor = ds_check::spawn(move || c2.launch(1, 9, || ()));
+        successor.join();
+    })
+    .expect_err("the corpse entry is never launched nor skipped");
+    match &failure.kind {
+        FailureKind::Deadlock(d) => assert!(d.contains("condvar"), "got: {d}"),
+        k => panic!("expected a deadlock, got {k}"),
+    }
+}
+
+#[test]
+fn skip_worker_unwedges_the_successor_under_all_schedules() {
+    // Current protocol: the supervisor declares the dead worker skipped.
+    // The skip races the successor's launch here, so both orders are
+    // explored — including skip landing while the successor is already
+    // parked behind the corpse.
+    let report = check("ccc-skip-worker", &dfs_plus_pct(2048, 100), || {
+        let ccc = Arc::new(Coordinator::new(2));
+        ccc.launch(0, 7, || ());
+        ccc.launch(0, 9, || ());
+        let c2 = Arc::clone(&ccc);
+        let successor = ds_check::spawn(move || c2.launch(1, 9, || 42));
+        ccc.skip_worker(1, 7);
+        assert_eq!(successor.join(), 42);
+    });
+    assert!(report.schedules > 10);
+}

@@ -88,6 +88,22 @@ fn same_seed_traced_runs_export_byte_identical_chrome_json() {
     assert_eq!(t.epochs, 2);
     assert!(t.epoch_time_s > 0.0);
     assert!(!t.stages.is_empty() && !t.queues.is_empty() && !t.counters.is_empty());
+
+    // The folded-stack export shares the determinism contract, has a
+    // lane per (rank, worker) and integer-nanosecond self-time values.
+    let fa = dsp::trace::summary::folded_stacks(&first);
+    let fb = dsp::trace::summary::folded_stacks(&second);
+    assert!(fa == fb, "same-seed folded stacks must be byte-identical");
+    for expected_root in ["rank0;sampler;", "rank1;trainer;"] {
+        assert!(
+            fa.lines().any(|l| l.starts_with(expected_root)),
+            "missing {expected_root} lane in:\n{fa}"
+        );
+    }
+    for line in fa.lines() {
+        let (_, value) = line.rsplit_once(' ').expect("stack space value");
+        value.parse::<u64>().expect("integer self-time");
+    }
 }
 
 #[test]
