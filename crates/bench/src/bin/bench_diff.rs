@@ -12,12 +12,23 @@
 //! non-numeric `epoch_time_s` or stage `total_s`/`count` — fails
 //! rather than defaulting to 0 and zeroing the delta.
 //!
+//! Beneficial counters are gated the other way: `cache.hits` and
+//! `cache.prefetch_hits` must be present in the fresh run and may not
+//! collapse below 75% of a non-zero baseline — a silent drop there
+//! means the cache or the prefetch lane stopped carrying traffic even
+//! if the timings still look fine.
+//!
 //! Usage: bench_diff [fresh.json] [baseline.json]
 
 use ds_trace::json::{parse, Json};
 use std::process::ExitCode;
 
 const THRESHOLD: f64 = 0.25;
+
+/// Counters where *more* is better; each must exist in the fresh run
+/// and stay within `COUNTER_FLOOR` of a non-zero baseline.
+const BENEFICIAL_COUNTERS: [&str; 2] = ["cache.hits", "cache.prefetch_hits"];
+const COUNTER_FLOOR: f64 = 0.75;
 
 fn load(path: &str) -> Json {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
@@ -75,7 +86,33 @@ fn main() -> ExitCode {
         }
     }
 
+    let counter = |j: &Json, key: &str| -> Option<f64> {
+        j.get("counters")
+            .and_then(|c| c.get(key))
+            .and_then(Json::as_f64)
+    };
     let mut failed = false;
+    for key in BENEFICIAL_COUNTERS {
+        let Some(f) = counter(&fresh, key) else {
+            eprintln!("bench_diff: beneficial counter `{key}` missing from {fresh_path}");
+            failed = true;
+            continue;
+        };
+        match counter(&base, key) {
+            Some(b) if b > 0.0 && f < b * COUNTER_FLOOR => {
+                eprintln!(
+                    "bench_diff: beneficial counter `{key}` collapsed: {f} < {:.0}% of \
+                     baseline {b}",
+                    COUNTER_FLOOR * 100.0
+                );
+                failed = true;
+            }
+            _ => println!(
+                "counter {key:<24} baseline {:>12} fresh {f:>12}",
+                counter(&base, key).map_or("absent".into(), |b| format!("{b}")),
+            ),
+        }
+    }
     println!(
         "{:<16} {:>14} {:>14} {:>9}",
         "metric", "baseline_s", "fresh_s", "delta"

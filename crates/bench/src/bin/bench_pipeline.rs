@@ -21,10 +21,15 @@ fn main() {
     ds_trace::recorder().clear();
 
     let scale = if ds_bench::quick_mode() { 2 } else { 1 };
-    let dataset = DatasetSpec::tiny(4000 / scale).build();
+    let spec = DatasetSpec::tiny(4000 / scale);
+    let dataset = spec.build();
     let mut cfg = TrainConfig::paper_default();
     cfg.hidden = 32;
     cfg.batch_size = 64;
+    // Cap the per-rank cache at ~15% of the features: tiny()'s default
+    // budget holds everything, which would leave the cold path — and
+    // the prefetch lane the telemetry gates on — with zero traffic.
+    cfg.cache_budget_override = Some((spec.num_nodes * spec.feat_dim * 4 / 8) as u64);
     let epochs = if ds_bench::quick_mode() { 2 } else { 4 };
 
     let mut dsp = DspSystem::new(&dataset, 2, &cfg, true);

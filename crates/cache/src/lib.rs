@@ -5,6 +5,10 @@
 //!
 //! * [`policy`] — hot-node selection criteria (§2 "Feature caching"):
 //!   in-degree (DSP's default), PageRank, reverse PageRank, random.
+//! * [`dynamic`] — runtime policies over the cached capacity
+//!   (static/LRU/LFU/presampled hotness, plus the Belady oracle
+//!   ceiling) and the [`dynamic::PolicyCache`] harness that enforces
+//!   capacity and records the decision stream.
 //! * [`partitioned::PartitionedCache`] — DSP's layout: every GPU caches a
 //!   *different* slice of hot features (the hot nodes of its own graph
 //!   patch), so the GPUs form one large aggregate cache reachable over
@@ -17,12 +21,17 @@
 //!   §6), Quiver's local-cache+UVA loader, DGL-UVA's all-UVA loader and
 //!   the CPU systems' host-gather + PCIe-copy loader.
 
+pub mod dynamic;
 pub mod loader;
 pub mod partitioned;
 pub mod policy;
 pub mod replicated;
 
-pub use loader::{CpuLoader, DspLoader, FeatureLoader, HostLoader, LoaderStats, ReplicatedLoader};
+pub use dynamic::{BeladyOracle, DynamicPolicy, DynamicPolicyKind, PolicyCache};
+pub use loader::{
+    CpuLoader, DspLoader, FeatureLoader, HostLoader, LoaderStats, PrefetchedWindow,
+    ReplicatedLoader,
+};
 pub use partitioned::PartitionedCache;
 pub use policy::CachePolicy;
 pub use replicated::ReplicatedCache;

@@ -8,12 +8,14 @@
 //! different links (§3.2): we model that by charging the *maximum* of
 //! the two path times rather than the sum.
 
+use crate::dynamic::{Access, CacheStats, DynamicPolicy, PolicyCache};
 use crate::partitioned::PartitionedCache;
 use crate::replicated::ReplicatedCache;
 use ds_comm::{CommError, Communicator};
 use ds_graph::{Features, NodeId};
 use ds_simgpu::{par, Clock, Cluster};
 use ds_tensor::Matrix;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -24,6 +26,10 @@ pub struct LoaderStats {
     pub cache_hits: AtomicU64,
     /// Rows fetched from host memory.
     pub cold_fetches: AtomicU64,
+    /// Cold rows that were already staged by the epoch-ahead
+    /// prefetcher (a subset of `cold_fetches`: the bytes still crossed
+    /// PCIe, but off the critical path).
+    pub prefetch_hits: AtomicU64,
 }
 
 impl LoaderStats {
@@ -42,6 +48,68 @@ impl LoaderStats {
         self.cache_hits.fetch_add(hits, Ordering::Relaxed);
         self.cold_fetches.fetch_add(cold, Ordering::Relaxed);
     }
+}
+
+/// One prefetched batch window: the cold feature rows the shadow replay
+/// predicted batch `batch` will need, staged ahead of time so the
+/// loader's cold path finds them in device memory instead of paying a
+/// demand UVA read.
+pub struct PrefetchedWindow {
+    batch: u64,
+    /// Sorted covered node ids.
+    nodes: Vec<NodeId>,
+    rows: Matrix,
+}
+
+impl PrefetchedWindow {
+    /// Wraps staged rows; `nodes[i]`'s row is `rows.row(i)` and `nodes`
+    /// must be sorted (the shadow input set already is).
+    pub fn new(batch: u64, nodes: Vec<NodeId>, rows: Matrix) -> Self {
+        debug_assert!(
+            nodes.windows(2).all(|w| w[0] < w[1]),
+            "nodes must be sorted"
+        );
+        debug_assert_eq!(nodes.len(), rows.rows());
+        PrefetchedWindow { batch, nodes, rows }
+    }
+
+    /// The global batch index this window was staged for.
+    pub fn batch(&self) -> u64 {
+        self.batch
+    }
+
+    /// Number of staged rows.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the window stages nothing.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Index of `v`'s staged row, if covered.
+    pub fn index_of(&self, v: NodeId) -> Option<usize> {
+        self.nodes.binary_search(&v).ok()
+    }
+
+    /// The staged row at `idx`.
+    pub fn row(&self, idx: usize) -> &[f32] {
+        self.rows.row(idx)
+    }
+}
+
+/// The owner-side adaptive shard: a [`PolicyCache`] deciding which rows
+/// of this rank's slice stay resident, plus the materialized rows for
+/// nodes the dynamic policy admitted beyond the static warm start.
+/// Mutated only by the owning loader thread in deterministic query
+/// order, so its decision stream is schedule-independent.
+struct DynamicShard {
+    cache: PolicyCache,
+    /// Rows admitted at runtime (the warm-start rows stay in the shared
+    /// `PartitionedCache` storage and are never dropped from it — the
+    /// resident set in `cache` is what says whether they still count).
+    admitted_rows: HashMap<NodeId, Vec<f32>>,
 }
 
 /// Common loader interface: fetch the feature rows of `nodes` (assumed
@@ -64,6 +132,13 @@ pub struct DspLoader {
     comm: Arc<Communicator>,
     rank: usize,
     stats: Arc<LoaderStats>,
+    /// Runtime policy over this rank's cache slice; `None` keeps the
+    /// exact static code path (zero overhead, the default).
+    dynamic: Option<DynamicShard>,
+    /// Set when a staged window could not cover its batch's cold rows
+    /// (shard loss pushed demand fetches past the prediction); the
+    /// pipeline drains it into the fault report.
+    window_dropped: bool,
 }
 
 impl DspLoader {
@@ -83,7 +158,46 @@ impl DspLoader {
             comm,
             rank,
             stats,
+            dynamic: None,
+            window_dropped: false,
         }
+    }
+
+    /// Puts this rank's cache slice under `policy`: capacity is the
+    /// slice's row count, warm-started from the static hot order, so a
+    /// never-admitting policy reproduces the static cache exactly.
+    pub fn with_dynamic_policy(mut self, policy: Box<dyn DynamicPolicy>) -> Self {
+        let mut cache = PolicyCache::new(self.cache.cached_rows(self.rank), policy);
+        cache.seed(&self.cache.cached_nodes(self.rank));
+        self.dynamic = Some(DynamicShard {
+            cache,
+            admitted_rows: HashMap::new(),
+        });
+        self
+    }
+
+    /// Forwards per-epoch shadow-pass scores to the dynamic policy (a
+    /// no-op for policies that don't use them, or without one).
+    pub fn set_policy_scores(&mut self, scores: &HashMap<NodeId, u64>) {
+        if let Some(d) = self.dynamic.as_mut() {
+            d.cache.set_scores(scores);
+        }
+    }
+
+    /// The dynamic shard's accounting, when a policy is installed.
+    pub fn dynamic_stats(&self) -> Option<CacheStats> {
+        self.dynamic.as_ref().map(|d| d.cache.stats())
+    }
+
+    /// Hash of the dynamic shard's decision stream, when a policy is
+    /// installed (the cross-run determinism witness).
+    pub fn dynamic_decision_hash(&self) -> Option<u64> {
+        self.dynamic.as_ref().map(|d| d.cache.decision_hash())
+    }
+
+    /// Takes (and clears) the dropped-window flag.
+    pub fn take_window_dropped(&mut self) -> bool {
+        std::mem::take(&mut self.window_dropped)
     }
 
     /// Fallible [`FeatureLoader::load`]: surfaces collective failures
@@ -93,15 +207,65 @@ impl DspLoader {
     /// Trace wrapper: on error, spans opened by the failed stage are
     /// closed at the failure time so retries keep the stream balanced.
     pub fn try_load(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Result<Matrix, CommError> {
+        self.try_load_windowed(clock, nodes, None)
+    }
+
+    /// [`Self::try_load`] with an optional prefetched window: cold rows
+    /// the window covers are served from the staged buffer (HBM copy)
+    /// instead of a demand UVA read.
+    pub fn try_load_windowed(
+        &mut self,
+        clock: &mut Clock,
+        nodes: &[NodeId],
+        window: Option<&PrefetchedWindow>,
+    ) -> Result<Matrix, CommError> {
         let depth = ds_trace::open_depth();
-        let out = self.load_stages(clock, nodes);
+        let out = self.load_stages(clock, nodes, window);
         if out.is_err() {
             ds_trace::close_open_spans_to(depth, clock.now());
         }
         out
     }
 
-    fn load_stages(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Result<Matrix, CommError> {
+    /// Answers one owner-side query against the dynamic shard, moving
+    /// rows as the policy dictates. Returns the resident row, if any.
+    fn serve_dynamic<'a>(
+        shard: &'a mut DynamicShard,
+        cache: &'a PartitionedCache,
+        host: &Features,
+        rank: usize,
+        v: NodeId,
+        admitted: &mut u64,
+    ) -> Option<&'a [f32]> {
+        match shard.cache.access(v) {
+            Access::Hit => Some(match shard.admitted_rows.get(&v) {
+                Some(row) => row.as_slice(),
+                // Still the warm-start copy in the shared storage.
+                None => cache.lookup(rank, v).expect("warm resident row"),
+            }),
+            Access::Miss {
+                admitted: true,
+                evicted,
+            } => {
+                if let Some(w) = evicted {
+                    shard.admitted_rows.remove(&w);
+                }
+                shard.admitted_rows.insert(v, host.row(v).to_vec());
+                *admitted += 1;
+                // Admit-on-miss: the requester still pays the cold path
+                // for *this* access; the row serves future batches.
+                None
+            }
+            Access::Miss { .. } => None,
+        }
+    }
+
+    fn load_stages(
+        &mut self,
+        clock: &mut Clock,
+        nodes: &[NodeId],
+        window: Option<&PrefetchedWindow>,
+    ) -> Result<Matrix, CommError> {
         let dim = self.cache.dim();
         let model = *self.cluster.model();
         let n = self.comm.num_ranks();
@@ -123,38 +287,51 @@ impl DspLoader {
         // "fetch the positions of features managed by remote GPUs").
         let queries = self.comm.try_all_to_all_v(self.rank, clock, sends, 4)?;
         // Serve hits from the local cache slice (gather kernel). A lost
-        // shard on this rank answers every query with a miss; the
-        // requesters' cold path picks the rows up from host memory.
+        // shard on this rank answers every query with a miss (the
+        // dynamic policy, if any, is bypassed entirely — its contents
+        // are gone with the shard); the requesters' cold path picks the
+        // rows up from host memory.
         let shard_lost = self
             .cluster
             .fault_hook()
             .is_some_and(|h| h.cache_shard_lost(self.rank));
         let mut local_hits = 0u64;
-        let replies: Vec<(Vec<u8>, Vec<f32>)> = queries
-            .iter()
-            .map(|qs| {
-                let mut flags = Vec::with_capacity(qs.len());
-                let mut rows = Vec::new();
-                for &v in qs {
-                    match (!shard_lost)
-                        .then(|| self.cache.lookup(self.rank, v))
-                        .flatten()
-                    {
-                        Some(row) => {
-                            flags.push(1u8);
-                            rows.extend_from_slice(row);
-                            local_hits += 1;
-                        }
-                        None => flags.push(0u8),
+        let mut admitted = 0u64;
+        let mut replies: Vec<(Vec<u8>, Vec<f32>)> = Vec::with_capacity(queries.len());
+        for qs in &queries {
+            let mut flags = Vec::with_capacity(qs.len());
+            let mut rows = Vec::new();
+            for &v in qs {
+                let row = if shard_lost {
+                    None
+                } else if let Some(d) = self.dynamic.as_mut() {
+                    Self::serve_dynamic(d, &self.cache, &self.host, self.rank, v, &mut admitted)
+                } else {
+                    self.cache.lookup(self.rank, v)
+                };
+                match row {
+                    Some(row) => {
+                        flags.push(1u8);
+                        rows.extend_from_slice(row);
+                        local_hits += 1;
                     }
+                    None => flags.push(0u8),
                 }
-                (flags, rows)
-            })
-            .collect();
+            }
+            replies.push((flags, rows));
+        }
         clock.work_on(
             model.gather_time(local_hits, dim as u64 * 4),
             ds_simgpu::clock::ResKind::Hbm,
         );
+        if admitted > 0 {
+            // Rows the policy admitted are pulled from host memory into
+            // the shard now, off the requesters' critical path.
+            clock.work_on(
+                self.cluster.uva_read(self.rank, admitted, dim as u64 * 4),
+                ds_simgpu::clock::ResKind::Pcie,
+            );
+        }
         // Exchange 2+3: hit flags, then the hot rows (the NVLink path).
         let (flag_sends, row_sends): (Vec<Vec<u8>>, Vec<Vec<f32>>) = replies.into_iter().unzip();
         let recv_flags = self
@@ -171,11 +348,13 @@ impl DspLoader {
         // shared pool in one parallel pass.
         enum RowSrc {
             Hot { owner: usize, start: usize },
+            Staged(usize),
             Cold(NodeId),
         }
         let mut row_cursor = vec![0usize; n];
         let mut srcs: Vec<RowSrc> = Vec::with_capacity(nodes.len());
         let mut cold = 0u64;
+        let mut staged = 0u64;
         for (i, &v) in nodes.iter().enumerate() {
             let (o, idx) = placement[i];
             if recv_flags[o][idx as usize] == 1 {
@@ -185,16 +364,43 @@ impl DspLoader {
                 });
                 row_cursor[o] += dim;
             } else {
-                srcs.push(RowSrc::Cold(v));
                 cold += 1;
+                match window.and_then(|w| w.index_of(v)) {
+                    Some(idx) => {
+                        srcs.push(RowSrc::Staged(idx));
+                        staged += 1;
+                    }
+                    None => srcs.push(RowSrc::Cold(v)),
+                }
             }
         }
         // Cold path over UVA, overlapped with the NVLink path: the
         // slower of the two determines the elapsed time, so roll back
-        // the NVLink row-transfer time if UVA dominates.
-        let uva_time = self.cluster.uva_read(self.rank, cold, dim as u64 * 4);
+        // the NVLink row-transfer time if UVA dominates. Staged rows
+        // already crossed PCIe in the prefetcher's lane — here they
+        // cost only a device-side copy.
+        let demand = cold - staged;
+        let uva_time = self.cluster.uva_read(self.rank, demand, dim as u64 * 4);
         if uva_time > nvlink_path {
             clock.work_on(uva_time - nvlink_path, ds_simgpu::clock::ResKind::Pcie);
+        }
+        if staged > 0 {
+            clock.work_on(
+                model.gather_time(staged, dim as u64 * 4),
+                ds_simgpu::clock::ResKind::Hbm,
+            );
+        }
+        if window.is_some() && demand > 0 {
+            // The window was supposed to cover every predicted-cold row;
+            // uncovered demand under an active shard-loss fault means
+            // the staged window no longer matches reality — report it.
+            let lost_anywhere = self
+                .cluster
+                .fault_hook()
+                .is_some_and(|h| (0..n).any(|r| h.cache_shard_lost(r)));
+            if lost_anywhere {
+                self.window_dropped = true;
+            }
         }
         let mut out = Matrix::zeros(nodes.len(), dim);
         let host = &self.host;
@@ -202,13 +408,22 @@ impl DspLoader {
             RowSrc::Hot { owner, start } => {
                 dst.copy_from_slice(&recv_rows[owner][start..start + dim])
             }
+            RowSrc::Staged(idx) => {
+                dst.copy_from_slice(window.expect("staged row without window").row(idx))
+            }
             RowSrc::Cold(v) => dst.copy_from_slice(host.row(v)),
         });
         let hits = nodes.len() as u64 - cold;
         self.stats.add(hits, cold);
+        self.stats
+            .prefetch_hits
+            .fetch_add(staged, Ordering::Relaxed);
         ds_trace::span_end(clock.now());
         ds_trace::counter(clock.now(), "cache", "hits", hits as f64);
         ds_trace::counter(clock.now(), "cache", "cold", cold as f64);
+        if window.is_some() {
+            ds_trace::counter(clock.now(), "cache", "prefetch_hits", staged as f64);
+        }
         Ok(out)
     }
 }
@@ -508,6 +723,101 @@ mod tests {
             assert_eq!(hits, 1, "only the healthy shard serves");
             assert_eq!(cold, 1, "lost-shard row degrades to UVA");
         }
+    }
+
+    #[test]
+    fn dynamic_lru_shard_admits_on_miss_then_serves_hits() {
+        let (f, _) = setup(64, 8);
+        let ranges = vec![0u32..64];
+        let order: Vec<NodeId> = (0..8).collect();
+        let cache = Arc::new(PartitionedCache::build(&f, &ranges, &order, 8 * 32));
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let comm = Arc::new(Communicator::new(40, Arc::clone(&cluster)));
+        let mut l = DspLoader::new(cache, Arc::clone(&f), cluster, comm, 0)
+            .with_dynamic_policy(crate::dynamic::DynamicPolicyKind::Lru.build());
+        let mut clock = Clock::new();
+        // First touch: 20 and 21 miss (admit-on-miss pays cold now).
+        let m = l.try_load(&mut clock, &[20, 21]).unwrap();
+        assert_eq!(m.row(0), f.row(20));
+        assert_eq!(m.row(1), f.row(21));
+        assert_eq!(l.stats().cold_fetches.load(Ordering::Relaxed), 2);
+        // Second touch: both were admitted, now they hit.
+        let m = l.try_load(&mut clock, &[20, 21]).unwrap();
+        assert_eq!(m.row(0), f.row(20));
+        assert_eq!(l.stats().cache_hits.load(Ordering::Relaxed), 2);
+        let ds = l.dynamic_stats().unwrap();
+        assert_eq!((ds.accesses, ds.hits, ds.insertions), (4, 2, 2));
+        assert!(l.dynamic_decision_hash().is_some());
+    }
+
+    #[test]
+    fn static_dynamic_policy_is_identical_to_no_policy() {
+        let (f, _) = setup(64, 8);
+        let ranges = vec![0u32..64];
+        let order: Vec<NodeId> = (0..8).collect();
+        let cache = Arc::new(PartitionedCache::build(&f, &ranges, &order, 8 * 32));
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let nodes: Vec<NodeId> = vec![0, 5, 20, 40, 5, 0];
+        let run = |dynamic: bool| {
+            let comm = Arc::new(Communicator::new(41, Arc::clone(&cluster)));
+            let mut l = DspLoader::new(
+                Arc::clone(&cache),
+                Arc::clone(&f),
+                Arc::clone(&cluster),
+                comm,
+                0,
+            );
+            if dynamic {
+                l = l.with_dynamic_policy(crate::dynamic::DynamicPolicyKind::StaticDegree.build());
+            }
+            let mut clock = Clock::new();
+            let mut rows = Vec::new();
+            for chunk in nodes.chunks(2) {
+                let mut c = chunk.to_vec();
+                c.sort_unstable();
+                c.dedup();
+                rows.push(l.try_load(&mut clock, &c).unwrap());
+            }
+            (
+                rows.iter()
+                    .flat_map(|m| m.data().to_vec())
+                    .collect::<Vec<f32>>(),
+                l.stats().cache_hits.load(Ordering::Relaxed),
+                l.stats().cold_fetches.load(Ordering::Relaxed),
+                clock.now(),
+            )
+        };
+        assert_eq!(run(false), run(true), "StaticDegree must change nothing");
+    }
+
+    #[test]
+    fn prefetched_window_turns_cold_rows_into_staged_hits() {
+        let (f, _) = setup(64, 8);
+        let ranges = vec![0u32..64];
+        let order: Vec<NodeId> = (0..8).collect();
+        let cache = Arc::new(PartitionedCache::build(&f, &ranges, &order, 8 * 32));
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let comm = Arc::new(Communicator::new(42, Arc::clone(&cluster)));
+        let mut l = DspLoader::new(cache, Arc::clone(&f), Arc::clone(&cluster), comm, 0);
+        let staged: Vec<NodeId> = vec![30, 40];
+        let mut data = Vec::new();
+        for &v in &staged {
+            data.extend_from_slice(f.row(v));
+        }
+        let w = PrefetchedWindow::new(0, staged, Matrix::from_vec(2, 8, data));
+        let mut clock = Clock::new();
+        let m = l
+            .try_load_windowed(&mut clock, &[3, 30, 40], Some(&w))
+            .unwrap();
+        assert_eq!(m.row(0), f.row(3));
+        assert_eq!(m.row(1), f.row(30));
+        assert_eq!(m.row(2), f.row(40));
+        // 30 and 40 are cold but covered: counted cold (the bytes did
+        // cross PCIe, in the prefetch lane) *and* as prefetch hits.
+        assert_eq!(l.stats().cache_hits.load(Ordering::Relaxed), 1);
+        assert_eq!(l.stats().cold_fetches.load(Ordering::Relaxed), 2);
+        assert_eq!(l.stats().prefetch_hits.load(Ordering::Relaxed), 2);
+        assert!(!l.take_window_dropped());
     }
 
     #[test]

@@ -119,6 +119,20 @@ impl PartitionedCache {
         self.storage[rank].rows()
     }
 
+    /// Global ids cached on `rank`, in slot order — i.e. hottest first,
+    /// the insertion order of [`Self::build`]'s `hot_order` walk. The
+    /// warm-start contents handed to a dynamic policy shard.
+    pub fn cached_nodes(&self, rank: usize) -> Vec<NodeId> {
+        let start = self.range_starts[rank];
+        let mut out = vec![0; self.cached_rows(rank)];
+        for (local, &slot) in self.position[rank].iter().enumerate() {
+            if slot != COLD {
+                out[slot as usize] = start + local as NodeId;
+            }
+        }
+        out
+    }
+
     /// Cache bytes on `rank`.
     pub fn bytes(&self, rank: usize) -> u64 {
         (self.storage[rank].rows() * self.dim * 4) as u64
@@ -159,6 +173,15 @@ mod tests {
         assert!(cache.lookup(0, 2).is_none());
         // Wrong rank never answers.
         assert!(cache.lookup(0, 99).is_none());
+    }
+
+    #[test]
+    fn cached_nodes_come_back_in_hot_order() {
+        let f = features(100, 4);
+        let rs = ranges(2, 100);
+        let cache = PartitionedCache::build(&f, &rs, &[99, 0, 50, 1], 2 * 16);
+        assert_eq!(cache.cached_nodes(0), vec![0, 1]);
+        assert_eq!(cache.cached_nodes(1), vec![99, 50]);
     }
 
     #[test]

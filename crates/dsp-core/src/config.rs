@@ -1,6 +1,6 @@
 //! System and training configuration.
 
-use ds_cache::CachePolicy;
+use ds_cache::{CachePolicy, DynamicPolicyKind};
 use ds_gnn::GnnKind;
 use ds_sampling::csp::Scheme;
 
@@ -75,6 +75,16 @@ pub struct TrainConfig {
     pub seed: u64,
     /// Hot-node ranking policy (paper default: in-degree).
     pub cache_policy: CachePolicy,
+    /// Runtime cache policy over the per-rank cached capacity. The
+    /// default, [`DynamicPolicyKind::StaticDegree`], keeps the warm
+    /// contents frozen — DSP's behavior. Override via `DS_CACHE_POLICY`
+    /// (`static`/`lru`/`lfu`/`hotness`).
+    pub dynamic_policy: DynamicPolicyKind,
+    /// Epoch-ahead prefetch window: how many batches the prefetcher
+    /// replays ahead of the loader (the `q.prefetch` queue capacity).
+    /// `0` disables prefetching. Pipelined mode only; override via
+    /// `DS_PREFETCH_WINDOW`.
+    pub prefetch_window: usize,
     /// Fraction of GPU memory reserved for activations/framework (the
     /// remainder goes to topology + feature cache).
     pub mem_reserve_frac: f64,
@@ -121,6 +131,15 @@ impl TrainConfig {
             lr: 3e-3,
             seed: 0xD5B0,
             cache_policy: CachePolicy::InDegree,
+            dynamic_policy: DynamicPolicyKind::from_env()
+                .unwrap_or(DynamicPolicyKind::StaticDegree),
+            prefetch_window: std::env::var("DS_PREFETCH_WINDOW")
+                .ok()
+                .map(|v| {
+                    v.parse()
+                        .unwrap_or_else(|_| panic!("DS_PREFETCH_WINDOW must be an integer: {v:?}"))
+                })
+                .unwrap_or(2),
             mem_reserve_frac: 0.5,
             cache_budget_override: None,
             queue_capacity: ds_pipeline::DEFAULT_QUEUE_CAPACITY,
@@ -176,6 +195,15 @@ mod tests {
         assert_eq!(c.num_layers, 3);
         assert_eq!(c.queue_capacity, 2);
         assert!(matches!(c.model, GnnKind::GraphSage));
+        // Unless overridden by DS_CACHE_POLICY / DS_PREFETCH_WINDOW the
+        // runtime cache stays frozen and the prefetcher runs one queue
+        // (2 batches) ahead.
+        if std::env::var("DS_CACHE_POLICY").is_err() {
+            assert_eq!(c.dynamic_policy, DynamicPolicyKind::StaticDegree);
+        }
+        if std::env::var("DS_PREFETCH_WINDOW").is_err() {
+            assert_eq!(c.prefetch_window, 2);
+        }
     }
 
     #[test]

@@ -20,18 +20,21 @@
 use crate::config::TrainConfig;
 use crate::error::DspError;
 use crate::layout::{build_dsp_layout, DspLayout};
+use crate::prefetch::Prefetcher;
 use crate::stats::{EpochStats, MetricAccumulator};
 use crate::supervisor::{FaultReport, RetryPolicy, Supervisor};
 use crate::system::{evaluate_model, System};
-use ds_cache::{DspLoader, FeatureLoader};
+use ds_cache::{DspLoader, DynamicPolicyKind, FeatureLoader, PrefetchedWindow};
 use ds_comm::{CommConfig, CommError, Communicator, Coordinator, DeviceSlots};
 use ds_gnn::Trainer;
 use ds_graph::{Dataset, Labels, NodeId};
 use ds_pipeline::queue::virtual_queue_labeled;
 use ds_sampling::csp::{CspConfig, CspSampler};
+use ds_sampling::shadow::shadow_batch;
 use ds_sampling::{BatchSampler, GraphSample};
 use ds_simgpu::{Clock, Cluster, WorkerKind};
 use ds_tensor::matrix::Matrix;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -44,6 +47,8 @@ struct RankState {
     sampler: CspSampler,
     loader: DspLoader,
     trainer: Trainer,
+    /// Epoch-ahead prefetcher (pipelined mode with a non-zero window).
+    prefetcher: Option<Prefetcher>,
 }
 
 /// Per-rank epoch measurement.
@@ -179,12 +184,13 @@ fn supervised_load(
     loader: &mut DspLoader,
     clock: &mut Clock,
     nodes: &[NodeId],
+    window: Option<&PrefetchedWindow>,
     batch: u64,
     ctx: &RankCtx,
 ) -> Result<Matrix, DspError> {
     let mut attempts = 0u32;
     loop {
-        match loader.try_load(clock, nodes) {
+        match loader.try_load_windowed(clock, nodes, window) {
             Ok(feats) => return Ok(feats),
             Err(e @ CommError::Timeout(_)) => {
                 attempts += 1;
@@ -263,17 +269,56 @@ fn run_rank_pipelined(
     state: &mut RankState,
     batches: Vec<Vec<NodeId>>,
     cap: usize,
+    pf_window: usize,
     ctx: &RankCtx,
 ) -> Result<RankEpoch, DspError> {
     let RankState {
         sampler,
         loader,
         trainer,
+        prefetcher,
     } = state;
     let (mut sample_tx, mut sample_rx) = virtual_queue_labeled::<GraphSample>(cap, "q.sample");
     let (mut feat_tx, mut feat_rx) = virtual_queue_labeled::<(GraphSample, Matrix)>(cap, "q.feat");
+    // Global batch index of this epoch's first batch: the prefetcher
+    // keys its shadow replay on it, and the loader uses it to check
+    // that a staged window really is for the batch in hand.
+    let base = sampler.next_batch_index();
+    let run_pf = prefetcher.is_some() && pf_window > 0;
+    // The prefetcher replays the same seed schedule the sampler
+    // consumes, a bounded `pf_window` batches ahead.
+    let pf_batches: Vec<Vec<NodeId>> = if run_pf { batches.clone() } else { Vec::new() };
+    let (pf_tx, pf_rx) = if run_pf {
+        let (tx, rx) = virtual_queue_labeled::<PrefetchedWindow>(pf_window, "q.prefetch");
+        (Some(tx), Some(rx))
+    } else {
+        (None, None)
+    };
+    let mut pf_rx = pf_rx;
     let rank = ctx.rank as u32;
     std::thread::scope(|s| {
+        let prefetch_thread = pf_tx.map(|mut pf_tx| {
+            let pf = prefetcher
+                .as_ref()
+                .expect("prefetcher present when queue is");
+            ds_exec::spawn_scoped_named(s, format!("dev-{rank}-prefetch"), move || -> Clock {
+                let _trace = ds_trace::worker(rank, ds_trace::TID_PREFETCH);
+                let mut clock = Clock::new();
+                ds_trace::span_begin(clock.now(), "prefetcher");
+                for (i, seeds) in pf_batches.iter().enumerate() {
+                    let b = base + i as u64;
+                    ds_trace::span_begin_arg(clock.now(), "prefetch", b);
+                    let w = pf.fetch_window(&mut clock, b, seeds);
+                    ds_trace::span_end(clock.now());
+                    if pf_tx.push(&mut clock, w).is_err() {
+                        // The loader died; its own error is the story.
+                        break;
+                    }
+                }
+                ds_trace::span_end(clock.now());
+                clock
+            })
+        });
         let sampler_thread = ds_exec::spawn_scoped_named(
             s,
             format!("dev-{rank}-sampler"),
@@ -332,9 +377,26 @@ fn run_rank_pipelined(
                     }
                     ctx.sup
                         .heartbeat(ctx.rank, WorkerKind::Loader, b, clock.now());
+                    // A dead prefetcher (or a misaligned window) is never
+                    // fatal: `None` simply means every cold row goes over
+                    // the demand UVA path, as without prefetching.
+                    let window = pf_rx
+                        .as_mut()
+                        .and_then(|rx| rx.pop(&mut clock))
+                        .filter(|w| w.batch() == base + b);
                     ds_trace::span_begin_arg(clock.now(), "load", b);
-                    let feats = supervised_load(loader, &mut clock, sample.input_nodes(), b, ctx)?;
+                    let feats = supervised_load(
+                        loader,
+                        &mut clock,
+                        sample.input_nodes(),
+                        window.as_ref(),
+                        b,
+                        ctx,
+                    )?;
                     ds_trace::span_end(clock.now());
+                    if loader.take_window_dropped() {
+                        ctx.sup.record_dropped_window(ctx.rank, base + b);
+                    }
                     if feat_tx.push(&mut clock, (sample, feats)).is_err() {
                         break;
                     }
@@ -379,6 +441,7 @@ fn run_rank_pipelined(
         let r1 = sampler_thread.join().expect("sampler worker panicked");
         let r2 = loader_thread.join().expect("loader worker panicked");
         let r3 = trainer_thread.join().expect("trainer worker panicked");
+        let c4 = prefetch_thread.map(|t| t.join().expect("prefetch worker panicked"));
         let mut errs = Vec::new();
         let mut keep = |e: DspError| errs.push(e);
         let c1 = r1.map_err(&mut keep).ok();
@@ -393,13 +456,22 @@ fn run_rank_pipelined(
         // cannot compress below the busiest single resource. Only the
         // overhead-bound "light" kernels overlap freely (Fig. 2's
         // observation is exactly that those can't fill the device).
-        let floor = Clock::resource_floor(&[&c1, &c2, &c3]);
+        // The prefetcher's UVA pulls ride the same PCIe link, so its
+        // clock joins the floor: prefetching moves bytes off the
+        // critical path, it does not create bandwidth.
+        let mut clocks: Vec<&Clock> = vec![&c1, &c2, &c3];
+        if let Some(c4) = c4.as_ref() {
+            clocks.push(c4);
+        }
+        let floor = Clock::resource_floor(&clocks);
+        let pf_useful = c4.as_ref().map_or(0.0, |c| c.device_useful());
+        let pf_now = c4.as_ref().map_or(0.0, |c| c.now());
         Ok(RankEpoch {
             sample_busy: c1.busy(),
             load_busy: c2.busy(),
             train_busy: c3.busy(),
-            useful: c1.device_useful() + c2.device_useful() + c3.device_useful(),
-            makespan: c1.now().max(c2.now()).max(c3.now()).max(floor),
+            useful: c1.device_useful() + c2.device_useful() + c3.device_useful() + pf_useful,
+            makespan: c1.now().max(c2.now()).max(c3.now()).max(pf_now).max(floor),
             metrics,
         })
     })
@@ -414,6 +486,8 @@ fn run_rank_seq(
         sampler,
         loader,
         trainer,
+        // DSP-Seq has nothing to overlap prefetching with.
+        prefetcher: _,
     } = state;
     let _trace = ds_trace::worker(ctx.rank as u32, ds_trace::TID_MAIN);
     let mut clock = Clock::new();
@@ -450,7 +524,7 @@ fn run_rank_seq(
         ctx.sup
             .heartbeat(ctx.rank, WorkerKind::Loader, b, clock.now());
         ds_trace::span_begin_arg(clock.now(), "load", b);
-        let feats = supervised_load(loader, &mut clock, sample.input_nodes(), b, ctx)?;
+        let feats = supervised_load(loader, &mut clock, sample.input_nodes(), None, b, ctx)?;
         ds_trace::span_end(clock.now());
         let b2 = clock.busy();
         ctx.stall(&mut clock, WorkerKind::Trainer, b);
@@ -489,6 +563,7 @@ fn run_rank_seq(
 pub struct DspSystem {
     layout: DspLayout,
     cfg: TrainConfig,
+    csp_cfg: CspConfig,
     pipelined: bool,
     ranks: Vec<RankState>,
     sampler_comm: Arc<Communicator>,
@@ -572,13 +647,29 @@ impl DspSystem {
                     rank,
                     csp_cfg.clone(),
                 ),
-                loader: DspLoader::new(
-                    Arc::clone(&layout.cache),
-                    Arc::clone(&layout.features),
-                    Arc::clone(&cluster),
-                    Arc::clone(&loader_comm),
-                    rank,
-                ),
+                loader: {
+                    let loader = DspLoader::new(
+                        Arc::clone(&layout.cache),
+                        Arc::clone(&layout.features),
+                        Arc::clone(&cluster),
+                        Arc::clone(&loader_comm),
+                        rank,
+                    );
+                    match cfg.dynamic_policy {
+                        DynamicPolicyKind::StaticDegree => loader,
+                        kind => loader.with_dynamic_policy(kind.build()),
+                    }
+                },
+                prefetcher: (pipelined && cfg.prefetch_window > 0).then(|| {
+                    Prefetcher::new(
+                        Arc::clone(&layout.dist_graph),
+                        csp_cfg.clone(),
+                        Arc::clone(&layout.cache),
+                        Arc::clone(&layout.features),
+                        Arc::clone(&cluster),
+                        rank,
+                    )
+                }),
                 trainer: Trainer::new(
                     cfg.model,
                     layout.in_dim,
@@ -600,6 +691,7 @@ impl DspSystem {
         DspSystem {
             layout,
             cfg: cfg.clone(),
+            csp_cfg,
             pipelined,
             ranks,
             sampler_comm,
@@ -653,6 +745,53 @@ impl DspSystem {
         self.supervisor.report()
     }
 
+    /// Per-rank decision-stream hashes of the dynamic cache shards
+    /// (`None` per rank without a dynamic policy). The cross-run /
+    /// cross-thread-count determinism witness.
+    pub fn cache_decision_hashes(&self) -> Vec<Option<u64>> {
+        self.ranks
+            .iter()
+            .map(|r| r.loader.dynamic_decision_hash())
+            .collect()
+    }
+
+    /// Total cold fetches that were covered by a staged prefetch window
+    /// instead of a demand UVA read, across ranks.
+    pub fn prefetch_hit_total(&self) -> u64 {
+        use std::sync::atomic::Ordering;
+        self.ranks
+            .iter()
+            .map(|r| r.loader.stats().prefetch_hits.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// The presampling shadow pass (`DS_CACHE_POLICY=hotness`): replay
+    /// the coming epoch's sampling schedule without touching device
+    /// state, count how often every node's features will be requested,
+    /// and hand the counts to each rank's dynamic policy. Runs on the
+    /// host before the epoch (DGL-style pre-sampling), so it charges no
+    /// device time.
+    fn presample_hotness(&mut self, batches: &[Vec<Vec<NodeId>>]) {
+        let mut scores: HashMap<NodeId, u64> = HashMap::new();
+        for (rank, rank_batches) in batches.iter().enumerate() {
+            let base = self.ranks[rank].sampler.next_batch_index();
+            for (i, seeds) in rank_batches.iter().enumerate() {
+                let shadow = shadow_batch(
+                    &self.layout.dist_graph,
+                    &self.csp_cfg,
+                    base + i as u64,
+                    seeds,
+                );
+                for v in shadow.input_nodes {
+                    *scores.entry(v).or_insert(0) += 1;
+                }
+            }
+        }
+        for r in &mut self.ranks {
+            r.loader.set_policy_scores(&scores);
+        }
+    }
+
     /// Supervised epoch: `Ok(stats)` even under injected faults the
     /// supervisor can absorb (stalls, retries, sampler degradation,
     /// cache-shard loss); a typed [`DspError`] when a failure has no
@@ -661,6 +800,7 @@ impl DspSystem {
         ds_trace::begin_epoch(epoch);
         self.layout.cluster.reset_traffic();
         let cap = self.cfg.queue_capacity;
+        let pf_window = self.cfg.prefetch_window;
         let pipelined = self.pipelined;
         let before = self.supervisor.report();
         let batches: Vec<Vec<Vec<NodeId>>> = self
@@ -670,6 +810,9 @@ impl DspSystem {
             .map(|s| s.epoch_batches(epoch))
             .collect();
         let num_batches = batches.first().map(|b| b.len()).unwrap_or(0);
+        if self.cfg.dynamic_policy == DynamicPolicyKind::PresamplingHotness {
+            self.presample_hotness(&batches);
+        }
         let ctxs: Vec<RankCtx> = (0..self.ranks.len())
             .map(|rank| RankCtx {
                 rank,
@@ -692,7 +835,7 @@ impl DspSystem {
                 .map(|((state, rank_batches), ctx)| {
                     ds_exec::spawn_scoped_named(scope, format!("dev-{}", ctx.rank), move || {
                         if pipelined {
-                            run_rank_pipelined(state, rank_batches, cap, ctx)
+                            run_rank_pipelined(state, rank_batches, cap, pf_window, ctx)
                         } else {
                             run_rank_seq(state, rank_batches, ctx)
                         }

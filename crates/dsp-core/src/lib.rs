@@ -29,6 +29,7 @@ pub mod dsp;
 pub mod error;
 pub mod layout;
 pub mod multimachine;
+pub mod prefetch;
 pub mod runner;
 pub mod stats;
 pub mod supervisor;

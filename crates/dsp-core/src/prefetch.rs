@@ -1,0 +1,145 @@
+//! Epoch-ahead feature prefetching.
+//!
+//! The sampling schedule is deterministic — the seeds of every batch
+//! are fixed by the seed schedule, and each draw is keyed on `(seed,
+//! batch, layer, node)` — so the input set of a *future* batch is
+//! computable without running the real pipeline. The [`Prefetcher`] is
+//! a fourth worker per rank that replays the sampling stream a bounded
+//! window ahead of the loader (the queue capacity *is* the window),
+//! pulls the rows the static cache will miss from host memory, and
+//! hands the staged window downstream. The loader's cold path then
+//! finds those rows already on the device: the demand UVA read — the
+//! part of the §3.2 loader that sits on the critical path when the
+//! NVLink path is fast — moves into a lane that overlaps compute.
+//!
+//! Faults need no special handling here: the prefetcher runs no
+//! collectives (nothing to wedge), and if it dies the loader's window
+//! pops return `None` and every cold row falls back to a demand fetch.
+
+use ds_cache::{PartitionedCache, PrefetchedWindow};
+use ds_graph::{Features, NodeId};
+use ds_sampling::csp::CspConfig;
+use ds_sampling::shadow::shadow_batch;
+use ds_sampling::DistGraph;
+use ds_simgpu::{par, Clock, Cluster};
+use ds_tensor::Matrix;
+use std::sync::Arc;
+
+/// Replays the deterministic sampling stream ahead of the pipeline and
+/// stages the feature rows the static cache will miss.
+pub struct Prefetcher {
+    graph: Arc<DistGraph>,
+    cfg: CspConfig,
+    cache: Arc<PartitionedCache>,
+    host: Arc<Features>,
+    cluster: Arc<Cluster>,
+    rank: usize,
+}
+
+impl Prefetcher {
+    /// Creates the prefetcher for `rank`, sharing the layout the real
+    /// sampler and loader use.
+    pub fn new(
+        graph: Arc<DistGraph>,
+        cfg: CspConfig,
+        cache: Arc<PartitionedCache>,
+        host: Arc<Features>,
+        cluster: Arc<Cluster>,
+        rank: usize,
+    ) -> Self {
+        Prefetcher {
+            graph,
+            cfg,
+            cache,
+            host,
+            cluster,
+            rank,
+        }
+    }
+
+    /// Builds the staged window for global batch index `batch` seeded by
+    /// `seeds`: shadow-replay the draws (launch-overhead-bound compute,
+    /// no communication), then pull every input row the static cache
+    /// does not hold over UVA. The replay's adjacency reads are folded
+    /// into the kernel charge — the shadow pass touches topology, not
+    /// features, so its traffic is a rounding error next to the rows.
+    pub fn fetch_window(
+        &self,
+        clock: &mut Clock,
+        batch: u64,
+        seeds: &[NodeId],
+    ) -> PrefetchedWindow {
+        let model = *self.cluster.model();
+        let shadow = shadow_batch(&self.graph, &self.cfg, batch, seeds);
+        clock.work(
+            model
+                .gpu
+                .time_full(shadow.sampled_edges, model.sample_cycles_per_item),
+        );
+        let dim = self.cache.dim();
+        let cold: Vec<NodeId> = shadow
+            .input_nodes
+            .into_iter()
+            .filter(|&v| !self.cache.is_cached(v))
+            .collect();
+        let t = self
+            .cluster
+            .uva_read(self.rank, cold.len() as u64, dim as u64 * 4);
+        clock.work_on(t, ds_simgpu::clock::ResKind::Pcie);
+        let mut rows = Matrix::zeros(cold.len(), dim);
+        let host = &self.host;
+        par::chunk_map_mut(rows.data_mut(), dim, |i, dst| {
+            dst.copy_from_slice(host.row(cold[i]))
+        });
+        ds_trace::counter(clock.now(), "prefetch", "rows", cold.len() as f64);
+        PrefetchedWindow::new(batch, cold, rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_cache::policy::CachePolicy;
+    use ds_graph::gen;
+    use ds_simgpu::ClusterSpec;
+
+    #[test]
+    fn window_covers_exactly_the_uncached_input_rows() {
+        let g = gen::erdos_renyi(200, 3000, true, 9);
+        let f = Features::from_raw(8, (0..200 * 8).map(|i| i as f32).collect());
+        let order = CachePolicy::InDegree.rank_nodes(&g);
+        let cache = Arc::new(PartitionedCache::build(
+            &f,
+            &[0u32..200],
+            &order,
+            20 * 32, // 20 rows
+        ));
+        let dg = Arc::new(DistGraph::single(&g));
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let cfg = CspConfig::node_wise(vec![4, 3]);
+        let host = Arc::new(f);
+        let pf = Prefetcher::new(
+            Arc::clone(&dg),
+            cfg.clone(),
+            Arc::clone(&cache),
+            Arc::clone(&host),
+            cluster,
+            0,
+        );
+        let mut clock = Clock::new();
+        let seeds: Vec<NodeId> = vec![3, 77, 150];
+        let w = pf.fetch_window(&mut clock, 0, &seeds);
+        assert_eq!(w.batch(), 0);
+        let shadow = shadow_batch(&dg, &cfg, 0, &seeds);
+        for &v in &shadow.input_nodes {
+            match w.index_of(v) {
+                Some(idx) => {
+                    assert!(!cache.is_cached(v), "cached node {v} staged");
+                    assert_eq!(w.row(idx), host.row(v));
+                }
+                None => assert!(cache.is_cached(v), "uncached node {v} not staged"),
+            }
+        }
+        assert!(clock.now() > 0.0, "replay and UVA pull charge time");
+    }
+}

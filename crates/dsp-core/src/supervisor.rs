@@ -63,12 +63,19 @@ pub struct FaultReport {
     /// Ranks whose sampler fell back to degraded local (pull-path)
     /// sampling.
     pub degraded: Vec<usize>,
+    /// Prefetch windows dropped on the floor: `(rank, batch)` pairs
+    /// whose staged rows were discarded after a cache-shard loss and
+    /// re-fetched cold over UVA.
+    pub dropped_windows: Vec<(usize, u64)>,
 }
 
 impl FaultReport {
     /// True when nothing went wrong.
     pub fn is_clean(&self) -> bool {
-        self.retried.is_empty() && self.crashed.is_empty() && self.degraded.is_empty()
+        self.retried.is_empty()
+            && self.crashed.is_empty()
+            && self.degraded.is_empty()
+            && self.dropped_windows.is_empty()
     }
 
     /// One-line operator summary.
@@ -77,7 +84,7 @@ impl FaultReport {
             return String::from("no faults observed");
         }
         format!(
-            "{} retried batch(es) {:?}, {} crash(es) {:?}, degraded ranks {:?}",
+            "{} retried batch(es) {:?}, {} crash(es) {:?}, degraded ranks {:?}, dropped prefetch window(s) {:?}",
             self.retried.len(),
             self.retried,
             self.crashed.len(),
@@ -86,6 +93,7 @@ impl FaultReport {
                 .map(|(r, w, b)| format!("{w}@rank{r}/batch{b}"))
                 .collect::<Vec<_>>(),
             self.degraded,
+            self.dropped_windows,
         )
     }
 }
@@ -157,6 +165,15 @@ impl Supervisor {
         }
     }
 
+    /// Records that `rank` discarded the staged prefetch window for
+    /// `batch` (cache-shard loss invalidated it) and degraded those
+    /// rows to cold UVA fetches.
+    pub fn record_dropped_window(&self, rank: usize, batch: u64) {
+        lock_unpoisoned(&self.report)
+            .dropped_windows
+            .push((rank, batch));
+    }
+
     /// Snapshot of everything observed so far, sorted for determinism.
     pub fn report(&self) -> FaultReport {
         let mut r = lock_unpoisoned(&self.report).clone();
@@ -164,6 +181,7 @@ impl Supervisor {
         r.crashed
             .sort_unstable_by_key(|&(rank, w, b)| (rank, w as u8, b));
         r.degraded.sort_unstable();
+        r.dropped_windows.sort_unstable();
         r
     }
 }

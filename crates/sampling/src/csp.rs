@@ -239,7 +239,9 @@ impl CspSampler {
     /// result regardless of which rank executes it (placement-
     /// independent RNG), which is what makes a degraded local re-sample
     /// bit-identical to the collective version. Spill accounting for
-    /// host-resident adjacency accumulates into the two counters.
+    /// host-resident adjacency accumulates into the two counters; the
+    /// draw itself is [`crate::shadow::draw_neighbors`], shared with the
+    /// shadow replay so prefetch predictions cannot drift.
     fn sample_node(
         &self,
         layer: usize,
@@ -248,50 +250,17 @@ impl CspSampler {
         spilled_nodes: &mut u64,
         spilled_reads: &mut u64,
     ) -> Vec<NodeId> {
-        let biased = self.cfg.biased;
-        let without_replacement = !matches!(self.cfg.scheme, Scheme::LayerWise { replace: true });
-        let mut rng = request_rng(self.cfg.seed, self.batch_index, layer, node);
         let nb = self.graph.neighbors(node);
         if !self.graph.is_resident(node) {
             *spilled_nodes += 1;
-            *spilled_reads += if biased {
+            *spilled_reads += if self.cfg.biased {
                 // Whole adjacency + weight list.
                 (nb.len() as u64 * 8).div_ceil(32)
             } else {
                 count.min(nb.len() as u32) as u64
             };
         }
-        // Temporal predicate pushed with the task: restrict to edges no
-        // newer than the cutoff.
-        let filtered: Vec<NodeId>;
-        let nb = if let Some(cutoff) = self.cfg.temporal_cutoff {
-            let ts = self
-                .graph
-                .neighbor_weights(node)
-                .expect("temporal sampling needs edge timestamps");
-            filtered = nb
-                .iter()
-                .zip(ts)
-                .filter(|&(_, &t)| t <= cutoff)
-                .map(|(&u, _)| u)
-                .collect();
-            &filtered[..]
-        } else {
-            nb
-        };
-        if count == 0 || nb.is_empty() {
-            Vec::new()
-        } else if biased {
-            let ws = self
-                .graph
-                .neighbor_weights(node)
-                .expect("biased sampling on an unweighted graph");
-            local::sample_weighted(nb, ws, count as usize, &mut rng)
-        } else if without_replacement {
-            local::sample_uniform(nb, count as usize, &mut rng)
-        } else {
-            local::sample_uniform_with_replacement(nb, count as usize, &mut rng)
-        }
+        crate::shadow::draw_neighbors(&self.graph, &self.cfg, self.batch_index, layer, node, count)
     }
 
     /// Stage 1+2+3 for one layer given per-frontier-node counts.

@@ -28,6 +28,7 @@ pub mod dist_graph;
 pub mod local;
 pub mod sample;
 pub mod seeds;
+pub mod shadow;
 pub mod walk;
 
 pub use csp::{CspConfig, CspSampler, Scheme};

@@ -1,0 +1,173 @@
+//! Shadow replay of the deterministic sampling schedule.
+//!
+//! Because every neighbor draw is keyed on `(seed, batch, layer, node)`
+//! — never on placement, retries or thread interleaving — the node set
+//! a future batch will touch is *computable* without running the real
+//! sampler: replay the RNG draws, chain the frontiers, skip all
+//! communication and feature movement. Two consumers build on this:
+//!
+//! * the **epoch-ahead prefetcher**, which replays batches a window
+//!   ahead of the loader and stages their cold feature rows so the UVA
+//!   fetch overlaps compute instead of sitting on the critical path;
+//! * the **presampling hotness policy**, which counts how often each
+//!   node will be requested in the coming epoch and ranks the cache by
+//!   those counts instead of the static degree guess.
+//!
+//! [`draw_neighbors`] is the single source of truth for one node's
+//! draw: the real sampler's `sample_node` delegates to it, so a shadow
+//! replay is bit-identical to the collective execution by construction,
+//! not by parallel maintenance of two copies.
+
+use crate::csp::{CspConfig, Scheme};
+use crate::dist_graph::DistGraph;
+use crate::local::{self, request_rng};
+use crate::sample::SampleLayer;
+use ds_graph::NodeId;
+
+/// One node's neighbor draw for `layer` of `batch` — the pure core of
+/// CSP's sample stage (no spill accounting, no virtual time). The same
+/// result regardless of which rank (or shadow pass) executes it.
+pub fn draw_neighbors(
+    graph: &DistGraph,
+    cfg: &CspConfig,
+    batch: u64,
+    layer: usize,
+    node: NodeId,
+    count: u32,
+) -> Vec<NodeId> {
+    let without_replacement = !matches!(cfg.scheme, Scheme::LayerWise { replace: true });
+    let mut rng = request_rng(cfg.seed, batch, layer, node);
+    let nb = graph.neighbors(node);
+    // Temporal predicate pushed with the task: restrict to edges no
+    // newer than the cutoff.
+    let filtered: Vec<NodeId>;
+    let nb = if let Some(cutoff) = cfg.temporal_cutoff {
+        let ts = graph
+            .neighbor_weights(node)
+            .expect("temporal sampling needs edge timestamps");
+        filtered = nb
+            .iter()
+            .zip(ts)
+            .filter(|&(_, &t)| t <= cutoff)
+            .map(|(&u, _)| u)
+            .collect();
+        &filtered[..]
+    } else {
+        nb
+    };
+    if count == 0 || nb.is_empty() {
+        Vec::new()
+    } else if cfg.biased {
+        let ws = graph
+            .neighbor_weights(node)
+            .expect("biased sampling on an unweighted graph");
+        local::sample_weighted(nb, ws, count as usize, &mut rng)
+    } else if without_replacement {
+        local::sample_uniform(nb, count as usize, &mut rng)
+    } else {
+        local::sample_uniform_with_replacement(nb, count as usize, &mut rng)
+    }
+}
+
+/// What a shadow replay of one batch learned: the nodes whose input
+/// features the real batch will load, and the sampled-edge volume (for
+/// charging the replay kernel's virtual time).
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShadowBatch {
+    /// The batch's future input set (sorted, deduplicated — identical
+    /// to `GraphSample::input_nodes` of the real execution).
+    pub input_nodes: Vec<NodeId>,
+    /// Total neighbors drawn across layers.
+    pub sampled_edges: u64,
+}
+
+/// Replays batch `batch` of the deterministic schedule for `seeds` and
+/// returns its future input set without moving any data. Mirrors
+/// `CspSampler::try_sample_batch`'s frontier chaining exactly,
+/// including the f32 wire round-trip of the layer-wise weight exchange.
+pub fn shadow_batch(
+    graph: &DistGraph,
+    cfg: &CspConfig,
+    batch: u64,
+    seeds: &[NodeId],
+) -> ShadowBatch {
+    let mut frontier: Vec<NodeId> = seeds.to_vec();
+    let mut sampled_edges = 0u64;
+    for (l, &fan) in cfg.fanout.iter().enumerate() {
+        let counts: Vec<u32> = match cfg.scheme {
+            Scheme::NodeWise => vec![fan as u32; frontier.len()],
+            Scheme::LayerWise { .. } => {
+                let weights: Vec<f64> = frontier
+                    .iter()
+                    .map(|&v| graph.total_weight(v) as f32 as f64)
+                    .collect();
+                let mut rng = request_rng(cfg.seed, batch, l, u32::MAX);
+                local::multinomial_counts(&weights, fan, &mut rng)
+            }
+        };
+        let mut offsets = Vec::with_capacity(frontier.len() + 1);
+        offsets.push(0u32);
+        let mut neighbors = Vec::new();
+        for (i, &node) in frontier.iter().enumerate() {
+            neighbors.extend(draw_neighbors(graph, cfg, batch, l, node, counts[i]));
+            offsets.push(neighbors.len() as u32);
+        }
+        sampled_edges += neighbors.len() as u64;
+        let layer = SampleLayer::new(frontier, offsets, neighbors);
+        frontier = layer.src;
+    }
+    ShadowBatch {
+        input_nodes: frontier,
+        sampled_edges,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::csp::CspSampler;
+    use crate::BatchSampler;
+    use ds_comm::Communicator;
+    use ds_graph::gen;
+    use ds_simgpu::{Clock, ClusterSpec};
+    use std::sync::Arc;
+
+    fn real_input_set(cfg: &CspConfig, seeds: &[NodeId]) -> (Vec<NodeId>, u64) {
+        let g = gen::erdos_renyi(300, 5000, true, 17);
+        let dg = Arc::new(DistGraph::single(&g));
+        let cluster = Arc::new(ClusterSpec::v100(1).build());
+        let comm = Arc::new(Communicator::new(1, Arc::clone(&cluster)));
+        let mut s = CspSampler::new(Arc::clone(&dg), cluster, comm, 0, cfg.clone());
+        let mut clock = Clock::new();
+        let sample = s.sample_batch(&mut clock, seeds);
+        (sample.input_nodes().to_vec(), sample.num_edges() as u64)
+    }
+
+    #[test]
+    fn shadow_matches_the_real_sampler_exactly() {
+        let g = gen::erdos_renyi(300, 5000, true, 17);
+        let dg = DistGraph::single(&g);
+        let seeds: Vec<NodeId> = vec![3, 50, 250];
+        for cfg in [
+            CspConfig::node_wise(vec![4, 3]),
+            CspConfig::layer_wise(vec![32, 16], true),
+            CspConfig::layer_wise(vec![32, 16], false),
+        ] {
+            let (real, real_edges) = real_input_set(&cfg, &seeds);
+            let shadow = shadow_batch(&dg, &cfg, 0, &seeds);
+            assert_eq!(shadow.input_nodes, real, "{:?}", cfg.scheme);
+            assert_eq!(shadow.sampled_edges, real_edges);
+        }
+    }
+
+    #[test]
+    fn shadow_tracks_the_batch_index() {
+        let g = gen::erdos_renyi(200, 3000, true, 7);
+        let dg = DistGraph::single(&g);
+        let cfg = CspConfig::node_wise(vec![5, 5]);
+        let a = shadow_batch(&dg, &cfg, 0, &[1, 2, 3]);
+        let b = shadow_batch(&dg, &cfg, 1, &[1, 2, 3]);
+        assert_ne!(a, b, "different batches draw differently");
+        assert_eq!(a, shadow_batch(&dg, &cfg, 0, &[1, 2, 3]));
+    }
+}

@@ -46,6 +46,7 @@ pub const TID_MAIN: u32 = 0;
 pub const TID_SAMPLER: u32 = 1;
 pub const TID_LOADER: u32 = 2;
 pub const TID_TRAINER: u32 = 3;
+pub const TID_PREFETCH: u32 = 4;
 
 /// Human name for a thread id, used by exporters.
 pub fn tid_name(tid: u32) -> &'static str {
@@ -54,6 +55,7 @@ pub fn tid_name(tid: u32) -> &'static str {
         TID_SAMPLER => "sampler",
         TID_LOADER => "loader",
         TID_TRAINER => "trainer",
+        TID_PREFETCH => "prefetch",
         _ => "worker",
     }
 }

@@ -51,6 +51,18 @@ rm -f BENCH_pipeline.json
 DSP_BENCH_QUICK=1 cargo run -q --release --offline -p ds-bench --bin bench_pipeline
 test -s BENCH_pipeline.json
 # Regression gate: virtual-clock times are deterministic, so the fresh
-# run must sit within 25% of the committed baseline on every stage.
+# run must sit within 25% of the committed baseline on every stage —
+# and the beneficial counters (cache.hits, cache.prefetch_hits) must
+# still be flowing.
 cargo run -q --release --offline -p ds-bench --bin bench_diff -- \
     BENCH_pipeline.json results/BENCH_baseline.json
+
+# Cache-policy ablation: static/LRU/LFU/hotness vs the Belady oracle
+# ceiling. The bin self-asserts the dominance invariants (oracle >= all,
+# hotness beats static on the shifted workload) and its output must be
+# byte-identical across runs — policy replay is part of the determinism
+# contract.
+cargo run -q --release --offline -p ds-bench --bin ablation_cache
+cargo run -q --release --offline -p ds-bench --bin ablation_cache -- \
+    target/ablation_cache_repeat.txt
+cmp results/ablation_cache.txt target/ablation_cache_repeat.txt

@@ -135,6 +135,59 @@ fn lost_cache_shard_degrades_to_cold_fetches_not_wrong_features() {
 }
 
 #[test]
+fn shard_loss_under_prefetch_drops_windows_but_never_wedges() {
+    // The prefetcher predicts cold rows from the *static* cache
+    // membership; a lost shard invalidates that prediction mid-epoch.
+    // The loader must (a) serve the un-predicted rows as demand UVA
+    // fetches with identical bytes, (b) report which windows it had to
+    // drop, and (c) keep draining the prefetch queue afterwards — a
+    // wedged queue would hang the epoch, not fail it.
+    let d = tiny();
+    // tiny()'s default cache budget holds every feature; shrink it so
+    // cold rows — the prefetcher's whole subject — actually exist.
+    let cfg = TrainConfig {
+        cache_budget_override: Some(200 * 16 * 4), // 200 of 1500 rows
+        ..chaos_cfg()
+    };
+    assert!(cfg.prefetch_window > 0, "prefetch must be on for this test");
+    let mut base = DspSystem::new(&d, 2, &cfg, true);
+    let base_stats = base.try_run_epoch(0).expect("clean epoch");
+    let base_sums = base.all_checksums();
+    assert!(
+        base.prefetch_hit_total() > 0,
+        "with a partial cache the prefetcher must stage rows"
+    );
+    let mut sys = DspSystem::new(&d, 2, &cfg, true);
+    assert!(sys
+        .cluster()
+        .install_fault_hook(Arc::new(FaultPlan::new(0).lose_shard(1))));
+    let stats = sys.try_run_epoch(0).expect("shard loss must not fail");
+    assert_eq!(stats.loss, base_stats.loss, "degraded fetches changed data");
+    assert_eq!(sys.all_checksums(), base_sums);
+    let (_, cold) = sys.loader_totals();
+    assert!(cold > 0, "lost shard should force cold fetches");
+    let report = sys.last_fault_report();
+    assert!(
+        !report.dropped_windows.is_empty(),
+        "the invalidated windows must be named in the fault report"
+    );
+    for &(rank, _) in &report.dropped_windows {
+        assert!(rank < 2);
+    }
+    assert!(
+        report.summary().contains("dropped prefetch window"),
+        "summary: {}",
+        report.summary()
+    );
+    // The queue kept flowing: staged rows still served the misses the
+    // static membership *did* predict, before and after the drops.
+    assert!(
+        sys.prefetch_hit_total() > 0,
+        "prefetch queue wedged after the drop"
+    );
+}
+
+#[test]
 fn trainer_crash_terminates_with_a_typed_error() {
     let d = tiny();
     let cfg = TrainConfig {
