@@ -30,6 +30,12 @@ const THRESHOLD: f64 = 0.25;
 const BENEFICIAL_COUNTERS: [&str; 2] = ["cache.hits", "cache.prefetch_hits"];
 const COUNTER_FLOOR: f64 = 0.75;
 
+/// Recovery latency counter: *less* is better, gated like a stage time
+/// (fresh must stay within `THRESHOLD` of the baseline). Present in the
+/// baseline but missing fresh means the recovery lane stopped
+/// reporting — that fails; new-in-fresh is additive and passes.
+const RECOVERY_LATENCY: &str = "recovery.time_to_healthy_s";
+
 fn load(path: &str) -> Json {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
     parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
@@ -91,6 +97,18 @@ fn main() -> ExitCode {
             .and_then(|c| c.get(key))
             .and_then(Json::as_f64)
     };
+    if let Some(b) = counter(&base, RECOVERY_LATENCY) {
+        match counter(&fresh, RECOVERY_LATENCY) {
+            Some(f) => rows.push((RECOVERY_LATENCY.into(), b, f)),
+            None => {
+                eprintln!(
+                    "bench_diff: `{RECOVERY_LATENCY}` present in baseline, missing from \
+                     {fresh_path} — the recovery lane stopped reporting"
+                );
+                return ExitCode::FAILURE;
+            }
+        }
+    }
     let mut failed = false;
     for key in BENEFICIAL_COUNTERS {
         let Some(f) = counter(&fresh, key) else {

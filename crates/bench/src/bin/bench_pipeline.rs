@@ -42,8 +42,46 @@ fn main() {
         );
     }
 
+    // Recovery lane: a second, smaller system loses rank 1's cache
+    // shard and rebuilds it in the background while its epoch runs.
+    // Its `recovery.*` counters fold into the same telemetry stream,
+    // so the diff gate can hold time-to-healthy in place release to
+    // release.
+    let rspec = DatasetSpec::tiny(1200);
+    let rdataset = rspec.build();
+    let mut rcfg = cfg.clone();
+    rcfg.batch_size = 16; // enough batches for the bounded rebuild to finish
+    rcfg.cache_budget_override = None;
+    let mut rec = DspSystem::new(&rdataset, 2, &rcfg, true);
+    assert!(
+        rec.cluster().install_fault_hook(std::sync::Arc::new(
+            ds_fault::FaultPlan::new(0)
+                .lose_shard(1)
+                .rebuild_shard(1, 1)
+        )),
+        "recovery lane needs its fault hook"
+    );
+    let rstats = rec.run_epoch(0);
+    let report = rec.last_fault_report();
+    assert!(
+        !report.shard_recoveries.is_empty(),
+        "the lost shard must reach Healthy within the epoch: {}",
+        report.summary()
+    );
+    eprintln!(
+        "[bench_pipeline] recovery: {} batches, {}",
+        rstats.num_batches,
+        report.summary()
+    );
+
     let events = ds_trace::recorder().take();
     let t = ds_trace::summary::telemetry(&events);
+    assert!(
+        t.counters
+            .iter()
+            .any(|(k, v)| k == "recovery.time_to_healthy_s" && *v > 0.0),
+        "recovery lane emitted no time-to-healthy counter"
+    );
     assert!(t.events > 0, "trace stream is empty — instrumentation lost");
     assert!(t.epoch_time_s > 0.0, "trace carries no epoch makespan");
     assert!(

@@ -29,7 +29,7 @@ pub mod replicated;
 
 pub use dynamic::{BeladyOracle, DynamicPolicy, DynamicPolicyKind, PolicyCache};
 pub use loader::{
-    CpuLoader, DspLoader, FeatureLoader, HostLoader, LoaderStats, PrefetchedWindow,
+    CpuLoader, DspLoader, FeatureLoader, HostLoader, LoaderStats, PrefetchedWindow, RebuildStatus,
     ReplicatedLoader,
 };
 pub use partitioned::PartitionedCache;

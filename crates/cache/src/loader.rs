@@ -112,6 +112,29 @@ struct DynamicShard {
     admitted_rows: HashMap<NodeId, Vec<f32>>,
 }
 
+/// Where a lost shard's background rebuild stands at a given batch — a
+/// pure function of `(rebuild schedule, batch)`, so a retried batch
+/// observes exactly the state the first attempt did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RebuildStatus {
+    /// Shard contents gone and no rebuild in flight yet: every query
+    /// against the shard degrades to a UVA cold fetch.
+    Lost,
+    /// Background repopulation in flight through the prefetch lane.
+    /// The shard keeps answering every query with a miss until whole —
+    /// partially rebuilt rows are not served, which keeps hit/miss
+    /// streams (and therefore traffic) a pure function of the batch.
+    Recovering {
+        /// First batch at which the shard serves hits again.
+        healthy_at: u64,
+    },
+    /// Rebuild complete; the shard serves hits as before the loss.
+    Healthy {
+        /// Batch the shard became whole at.
+        since: u64,
+    },
+}
+
 /// Common loader interface: fetch the feature rows of `nodes` (assumed
 /// deduplicated — the sampler's input set already is).
 pub trait FeatureLoader {
@@ -206,25 +229,63 @@ impl DspLoader {
     /// gracefully — its rows simply miss and fall to the UVA cold path.
     /// Trace wrapper: on error, spans opened by the failed stage are
     /// closed at the failure time so retries keep the stream balanced.
+    /// Batch-keyed behavior (shard rebuild progress) sees batch 0; use
+    /// [`Self::try_load_windowed`] from the pipeline.
     pub fn try_load(&mut self, clock: &mut Clock, nodes: &[NodeId]) -> Result<Matrix, CommError> {
-        self.try_load_windowed(clock, nodes, None)
+        self.try_load_windowed(clock, nodes, None, 0)
     }
 
-    /// [`Self::try_load`] with an optional prefetched window: cold rows
-    /// the window covers are served from the staged buffer (HBM copy)
-    /// instead of a demand UVA read.
+    /// [`Self::try_load`] with an optional prefetched window (cold rows
+    /// the window covers are served from the staged buffer instead of a
+    /// demand UVA read) at a global `batch` index, which keys the
+    /// shard-rebuild schedule.
     pub fn try_load_windowed(
         &mut self,
         clock: &mut Clock,
         nodes: &[NodeId],
         window: Option<&PrefetchedWindow>,
+        batch: u64,
     ) -> Result<Matrix, CommError> {
         let depth = ds_trace::open_depth();
-        let out = self.load_stages(clock, nodes, window);
+        let out = self.load_stages(clock, nodes, window, batch);
         if out.is_err() {
             ds_trace::close_open_spans_to(depth, clock.now());
         }
         out
+    }
+
+    /// Rows repopulated per batch while a rebuild is in flight: an
+    /// eighth of the shard (rounded up) per batch, so the rebuild rides
+    /// the prefetch lane's PCIe budget as a bounded stream rather than
+    /// one burst that starves demand fetches.
+    fn rebuild_rows_per_batch(&self) -> u64 {
+        (self.cache.cached_rows(self.rank) as u64)
+            .div_ceil(8)
+            .max(1)
+    }
+
+    /// Where this rank's shard rebuild stands at `batch`; `None` when
+    /// the shard was never lost. Pure in `batch` — retries and replays
+    /// observe identical state.
+    pub fn rebuild_status(&self, batch: u64) -> Option<RebuildStatus> {
+        let hook = self.cluster.fault_hook()?;
+        if !hook.cache_shard_lost(self.rank) {
+            return None;
+        }
+        let start = match hook.shard_rebuild_from(self.rank) {
+            Some(s) => s,
+            None => return Some(RebuildStatus::Lost),
+        };
+        if batch < start {
+            return Some(RebuildStatus::Lost);
+        }
+        let total = self.cache.cached_rows(self.rank) as u64;
+        let healthy_at = start + total.div_ceil(self.rebuild_rows_per_batch()).max(1);
+        if batch >= healthy_at {
+            Some(RebuildStatus::Healthy { since: healthy_at })
+        } else {
+            Some(RebuildStatus::Recovering { healthy_at })
+        }
     }
 
     /// Answers one owner-side query against the dynamic shard, moving
@@ -265,6 +326,7 @@ impl DspLoader {
         clock: &mut Clock,
         nodes: &[NodeId],
         window: Option<&PrefetchedWindow>,
+        batch: u64,
     ) -> Result<Matrix, CommError> {
         let dim = self.cache.dim();
         let model = *self.cluster.model();
@@ -290,11 +352,24 @@ impl DspLoader {
         // shard on this rank answers every query with a miss (the
         // dynamic policy, if any, is bypassed entirely — its contents
         // are gone with the shard); the requesters' cold path picks the
-        // rows up from host memory.
-        let shard_lost = self
-            .cluster
-            .fault_hook()
-            .is_some_and(|h| h.cache_shard_lost(self.rank));
+        // rows up from host memory. Once a scheduled background rebuild
+        // completes (`Healthy`), the shard serves again.
+        let rebuild = self.rebuild_status(batch);
+        let shard_lost = matches!(
+            rebuild,
+            Some(RebuildStatus::Lost | RebuildStatus::Recovering { .. })
+        );
+        if let Some(RebuildStatus::Recovering { .. }) = rebuild {
+            // One bounded slice of the shard is repopulated from the
+            // host store this batch, riding the prefetch lane's PCIe
+            // budget alongside (not ahead of) demand cold fetches.
+            let rows = self.rebuild_rows_per_batch();
+            clock.work_on(
+                self.cluster.uva_read(self.rank, rows, dim as u64 * 4),
+                ds_simgpu::clock::ResKind::Pcie,
+            );
+            ds_trace::counter(clock.now(), "recovery", "rebuild_rows", rows as f64);
+        }
         let mut local_hits = 0u64;
         let mut admitted = 0u64;
         let mut replies: Vec<(Vec<u8>, Vec<f32>)> = Vec::with_capacity(queries.len());
@@ -726,6 +801,73 @@ mod tests {
     }
 
     #[test]
+    fn shard_rebuild_walks_lost_recovering_healthy_and_serves_again() {
+        let (f, _) = setup(100, 4);
+        let ranges = vec![0u32..50, 50u32..100];
+        let order: Vec<NodeId> = (0..10).chain(50..60).collect();
+        let cache = Arc::new(PartitionedCache::build(&f, &ranges, &order, 10 * 16));
+        let cluster = Arc::new(ClusterSpec::v100(2).build());
+        // Rank 1 loses its shard; a background rebuild starts at batch 2.
+        struct LossThenRebuild;
+        impl ds_simgpu::FaultHook for LossThenRebuild {
+            fn cache_shard_lost(&self, rank: usize) -> bool {
+                rank == 1
+            }
+            fn shard_rebuild_from(&self, rank: usize) -> Option<u64> {
+                (rank == 1).then_some(2)
+            }
+        }
+        assert!(cluster.install_fault_hook(Arc::new(LossThenRebuild)));
+        let comm = Arc::new(Communicator::new(33, Arc::clone(&cluster)));
+        let f0 = Arc::clone(&f);
+        let handles: Vec<_> = (0..2)
+            .map(|rank| {
+                let cache = Arc::clone(&cache);
+                let f = Arc::clone(&f);
+                let cluster = Arc::clone(&cluster);
+                let comm = Arc::clone(&comm);
+                std::thread::spawn(move || {
+                    let mut l = DspLoader::new(cache, f, cluster, comm, rank);
+                    // 10 cached rows, ceil(10/8)=2 per batch => 5 rebuild
+                    // batches: healthy_at = 2 + 5 = 7.
+                    let statuses: Vec<_> =
+                        [0, 2, 6, 7].iter().map(|&b| l.rebuild_status(b)).collect();
+                    // Node 55 is hot in rank 1's shard. Degraded at batch
+                    // 3 (mid-rebuild), hot again at batch 7.
+                    let mut clock = Clock::new();
+                    let mid = l.try_load_windowed(&mut clock, &[55], None, 3).unwrap();
+                    let mid_hits = l.stats().cache_hits.load(Ordering::Relaxed);
+                    let healed = l.try_load_windowed(&mut clock, &[55], None, 7).unwrap();
+                    let hits = l.stats().cache_hits.load(Ordering::Relaxed);
+                    (statuses, mid, mid_hits, healed, hits)
+                })
+            })
+            .collect();
+        for (rank, h) in handles.into_iter().enumerate() {
+            let (statuses, mid, mid_hits, healed, hits) = h.join().unwrap();
+            if rank == 1 {
+                assert_eq!(
+                    statuses,
+                    vec![
+                        Some(RebuildStatus::Lost),
+                        Some(RebuildStatus::Recovering { healthy_at: 7 }),
+                        Some(RebuildStatus::Recovering { healthy_at: 7 }),
+                        Some(RebuildStatus::Healthy { since: 7 }),
+                    ]
+                );
+            } else {
+                assert_eq!(statuses, vec![None; 4], "rank 0's shard was never lost");
+            }
+            // Rows are exact in both modes; the shard serves hits again
+            // only after the rebuild completes.
+            assert_eq!(mid.row(0), f0.row(55));
+            assert_eq!(healed.row(0), f0.row(55));
+            assert_eq!(mid_hits, 0, "degraded while recovering");
+            assert_eq!(hits, 1, "healthy shard serves hits again");
+        }
+    }
+
+    #[test]
     fn dynamic_lru_shard_admits_on_miss_then_serves_hits() {
         let (f, _) = setup(64, 8);
         let ranges = vec![0u32..64];
@@ -807,7 +949,7 @@ mod tests {
         let w = PrefetchedWindow::new(0, staged, Matrix::from_vec(2, 8, data));
         let mut clock = Clock::new();
         let m = l
-            .try_load_windowed(&mut clock, &[3, 30, 40], Some(&w))
+            .try_load_windowed(&mut clock, &[3, 30, 40], Some(&w), 0)
             .unwrap();
         assert_eq!(m.row(0), f.row(3));
         assert_eq!(m.row(1), f.row(30));

@@ -213,6 +213,20 @@ impl Coordinator {
         self.cv.notify_all();
     }
 
+    /// Undoes [`Self::skip_worker`] for a recovered `worker` on `rank`:
+    /// entries the worker queues from now on are launched normally
+    /// again. Entries skipped while the worker was dead stay skipped —
+    /// the cursor already advanced past them, which is exactly why
+    /// readmission is only safe at a batch boundary (the recovered
+    /// worker must not expect its corpse entries back). Waiters are
+    /// woken so anyone parked on the head re-evaluates it.
+    pub fn readmit_worker(&self, rank: usize, worker: WorkerId) {
+        let mut st = lock_unpoisoned(&self.state);
+        st.skipped[rank].retain(|&w| w != worker);
+        drop(st);
+        self.cv.notify_all();
+    }
+
     /// Wakes every waiter so abortable launches re-check their abort
     /// predicate. Briefly takes the coordinator lock to close the
     /// check-then-wait race with a waiter about to sleep.
@@ -391,6 +405,35 @@ mod tests {
         assert_eq!(b, Some("second"));
         assert_eq!(c.head_snapshot().cursors, vec![4, 4]);
         assert_eq!(c.pending(1), 0);
+    }
+
+    #[test]
+    fn readmit_worker_resumes_normal_launch_order() {
+        let c = Coordinator::new(2);
+        // The sampler (7) crashes: its queued entry is skipped so the
+        // loader (9) can pass.
+        c.launch(0, 7, || ());
+        c.launch(0, 9, || ());
+        c.skip_worker(1, 7);
+        assert_eq!(
+            c.launch_timeout(1, 9, Duration::from_millis(200), || 1),
+            Some(1)
+        );
+        // The sampler recovers at a batch boundary and is readmitted:
+        // new entries of worker 7 launch normally again (and gate later
+        // workers, restoring the global order).
+        c.readmit_worker(1, 7);
+        c.launch(0, 7, || ());
+        c.launch(0, 9, || ());
+        assert_eq!(
+            c.launch_timeout(1, 7, Duration::from_millis(200), || 2),
+            Some(2)
+        );
+        assert_eq!(
+            c.launch_timeout(1, 9, Duration::from_millis(200), || 3),
+            Some(3)
+        );
+        assert_eq!(c.head_snapshot().cursors, vec![4, 4]);
     }
 
     #[test]

@@ -124,6 +124,19 @@ pub enum CommError {
     },
     /// The group is unusable (e.g. this rank itself was marked failed).
     Disconnected(Diagnostics),
+    /// A membership operation quoted a generation that is no longer
+    /// current — the caller observed the group before another failure
+    /// or rejoin changed it, and must re-observe before retrying.
+    StaleGeneration {
+        /// The rank attempting the membership change.
+        rank: usize,
+        /// The generation the caller quoted.
+        observed: u64,
+        /// The group's actual generation at the time of the call.
+        current: u64,
+        /// Snapshot at detection time.
+        diag: Diagnostics,
+    },
 }
 
 impl CommError {
@@ -132,6 +145,7 @@ impl CommError {
         match self {
             CommError::Timeout(d) | CommError::Disconnected(d) => d,
             CommError::PeerFailed { diag, .. } => diag,
+            CommError::StaleGeneration { diag, .. } => diag,
         }
     }
 
@@ -143,6 +157,11 @@ impl CommError {
     /// Whether this is a dead-peer detection.
     pub fn is_peer_failed(&self) -> bool {
         matches!(self, CommError::PeerFailed { .. })
+    }
+
+    /// Whether this is a stale membership-generation rejection.
+    pub fn is_stale_generation(&self) -> bool {
+        matches!(self, CommError::StaleGeneration { .. })
     }
 }
 
@@ -157,6 +176,19 @@ impl std::fmt::Display for CommError {
             }
             CommError::Disconnected(d) => {
                 write!(f, "communicator disconnected: {}", d.summary())
+            }
+            CommError::StaleGeneration {
+                rank,
+                observed,
+                current,
+                diag,
+            } => {
+                write!(
+                    f,
+                    "stale membership generation for rank {rank}: observed {observed}, \
+                     current {current}: {}",
+                    diag.summary()
+                )
             }
         }
     }
@@ -189,6 +221,12 @@ struct Round {
     sync_time: f64,
     /// Ranks declared dead (persists across rounds).
     failed: Vec<bool>,
+    /// Membership generation: bumped on every `mark_failed`/`rejoin`
+    /// that actually changes the member set. Distinct from the round
+    /// `generation` (which counts completed collectives): this one
+    /// fences membership changes, so a rejoin quoting an old value is
+    /// rejected as [`CommError::StaleGeneration`].
+    membership: u64,
 }
 
 impl Round {
@@ -202,6 +240,7 @@ impl Round {
             generation: 0,
             sync_time: 0.0,
             failed: vec![false; n],
+            membership: 0,
         }
     }
 
@@ -330,6 +369,7 @@ impl Communicator {
             return;
         }
         st.failed[rank] = true;
+        st.membership += 1;
         if st.deposits[rank].is_some() && st.arrived < self.n {
             st.deposits[rank] = None;
             st.bytes_to[rank] = vec![0; self.n];
@@ -353,6 +393,111 @@ impl Communicator {
             .enumerate()
             .filter_map(|(r, &f)| f.then_some(r))
             .collect()
+    }
+
+    /// The current membership generation. Bumped by every
+    /// [`Self::mark_failed`] and every effective rejoin; a rejoiner
+    /// quotes this value to prove it observed the group state it is
+    /// mutating (epoch fencing).
+    pub fn membership_generation(&self) -> u64 {
+        lock_unpoisoned(&self.round).membership
+    }
+
+    /// Re-admits a previously failed `rank` into the group at a
+    /// collective-round boundary. Idempotent: re-admitting a live rank
+    /// is a no-op and does not bump the generation. Returns the
+    /// membership generation after the call, so every caller — the
+    /// rejoiner or a survivor helping it back in — leaves with a
+    /// consistent view. All waiters are woken: a peer parked on a
+    /// deadline retry path must re-observe the healthier group.
+    pub fn rejoin(&self, rank: usize) -> u64 {
+        assert!(rank < self.n);
+        let mut st = lock_unpoisoned(&self.round);
+        if !st.failed[rank] {
+            return st.membership;
+        }
+        debug_assert!(
+            st.deposits[rank].is_none(),
+            "failed rank {rank} left a deposit in group {}",
+            self.id
+        );
+        st.failed[rank] = false;
+        st.membership += 1;
+        let gen = st.membership;
+        let any = st.failed.iter().any(|&f| f);
+        drop(st);
+        // Order matters: clear the lock-free mirror only after the
+        // authoritative state no longer lists a failed rank, so the CCC
+        // abort predicate can never observe a stale "all healthy".
+        self.any_failed.store(any, Ordering::Release);
+        self.cv.notify_all();
+        if let Some(ccc) = &self.ccc {
+            ccc.poke();
+        }
+        gen
+    }
+
+    /// Fenced [`Self::rejoin`]: succeeds only when `observed` is the
+    /// group's current membership generation. A caller whose view went
+    /// stale — another rank failed or rejoined since it looked — gets
+    /// [`CommError::StaleGeneration`] carrying the current value and
+    /// must re-observe before retrying, which is what keeps a flapping
+    /// peer from resurrecting itself on top of a newer failure.
+    pub fn try_rejoin(&self, rank: usize, observed: u64) -> Result<u64, CommError> {
+        assert!(rank < self.n);
+        let mut st = lock_unpoisoned(&self.round);
+        if st.membership != observed {
+            return Err(CommError::StaleGeneration {
+                rank,
+                observed,
+                current: st.membership,
+                diag: self.diag_locked(&st),
+            });
+        }
+        if !st.failed[rank] {
+            return Ok(st.membership);
+        }
+        debug_assert!(
+            st.deposits[rank].is_none(),
+            "failed rank {rank} left a deposit in group {}",
+            self.id
+        );
+        st.failed[rank] = false;
+        st.membership += 1;
+        let gen = st.membership;
+        let any = st.failed.iter().any(|&f| f);
+        drop(st);
+        self.any_failed.store(any, Ordering::Release);
+        self.cv.notify_all();
+        if let Some(ccc) = &self.ccc {
+            ccc.poke();
+        }
+        Ok(gen)
+    }
+
+    /// Parks until no rank is marked failed, or the configured watchdog
+    /// deadline elapses; returns whether the group ended up healthy.
+    /// For a survivor whose collective aborted with [`CommError::PeerFailed`]
+    /// while a known rejoin is in flight: it holds at the round boundary
+    /// for the [`Self::rejoin`] wake instead of abandoning the
+    /// collective path. Wall-clock wait only — no virtual clock is
+    /// touched, so a retry after the heal is indistinguishable from a
+    /// run in which the race never happened.
+    pub fn await_healthy(&self) -> bool {
+        let deadline = std::time::Instant::now() + self.cfg.deadline;
+        let mut st = lock_unpoisoned(&self.round);
+        while st.failed.iter().any(|&f| f) {
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            let (g, _res) = self
+                .cv
+                .wait_timeout(st, deadline - now)
+                .unwrap_or_else(PoisonError::into_inner);
+            st = g;
+        }
+        true
     }
 
     /// Completed collective rounds so far.
@@ -569,12 +714,21 @@ impl Communicator {
                     .wait_timeout(st, deadline - now)
                     .unwrap_or_else(PoisonError::into_inner);
                 st = g;
-                if let Some(dead) = st.first_failed() {
+                if st.generation != gen || st.arrived == self.n {
+                    // The round completed while this waiter was waking:
+                    // a failure flag observed now belongs to the *next*
+                    // round (e.g. the last arriver deposited, departed,
+                    // and died before this thread got the lock back).
+                    // Finishing the completed exchange must win — the
+                    // withdrawal below would otherwise yank a deposit
+                    // peers already consumed, stranding the round with
+                    // departed > 0 forever.
+                } else if let Some(dead) = st.first_failed() {
                     failure = Some(CommError::PeerFailed {
                         rank: dead,
                         diag: self.diag_locked(&st),
                     });
-                } else if res.timed_out() && st.generation == gen && st.arrived < self.n {
+                } else if res.timed_out() {
                     failure = Some(CommError::Timeout(self.diag_locked(&st)));
                 }
             }
@@ -1203,6 +1357,55 @@ mod tests {
         comm.mark_failed(0);
         assert!(h.join().unwrap().is_err());
         assert_eq!(comm.diagnostics().arrived, 0);
+    }
+
+    #[test]
+    fn rejoin_restores_the_group_and_bumps_the_generation() {
+        let cluster = Arc::new(ClusterSpec::v100(2).build());
+        let comm = Arc::new(Communicator::new(17, cluster));
+        assert_eq!(comm.membership_generation(), 0);
+        comm.mark_failed(1);
+        assert_eq!(comm.membership_generation(), 1);
+        assert_eq!(comm.failed_ranks(), vec![1]);
+        // Idempotent on a live rank: no bump.
+        assert_eq!(comm.rejoin(0), 1);
+        assert_eq!(comm.rejoin(1), 2);
+        assert_eq!(comm.rejoin(1), 2, "second rejoin is a no-op");
+        assert!(comm.failed_ranks().is_empty());
+        // The group is fully usable again.
+        let c2 = Arc::clone(&comm);
+        let results = run_ranks(2, move |rank, clock| {
+            c2.barrier_timeout(rank, clock, Duration::from_secs(5))
+        });
+        assert!(results.into_iter().all(|r| r.is_ok()));
+    }
+
+    #[test]
+    fn stale_generation_rejoin_is_rejected_with_the_current_value() {
+        let cluster = Arc::new(ClusterSpec::v100(3).build());
+        let comm = Communicator::new(18, cluster);
+        comm.mark_failed(1);
+        let observed = comm.membership_generation();
+        // A second failure lands after the rejoiner observed the group.
+        comm.mark_failed(2);
+        let err = comm.try_rejoin(1, observed).unwrap_err();
+        assert!(err.is_stale_generation(), "got {err}");
+        match &err {
+            CommError::StaleGeneration {
+                rank,
+                observed: o,
+                current,
+                diag,
+            } => {
+                assert_eq!((*rank, *o, *current), (1, 1, 2));
+                assert_eq!(diag.failed, vec![1, 2]);
+            }
+            other => panic!("expected StaleGeneration, got {other}"),
+        }
+        // Re-observing succeeds.
+        let gen = comm.membership_generation();
+        assert_eq!(comm.try_rejoin(1, gen).unwrap(), gen + 1);
+        assert_eq!(comm.failed_ranks(), vec![2]);
     }
 
     #[test]

@@ -114,6 +114,14 @@ pub struct TrainConfig {
     /// Base virtual-seconds backoff before a retry (doubles per
     /// attempt).
     pub retry_backoff_secs: f64,
+    /// Write a deterministic checkpoint every this many completed
+    /// global batches (rank 0's trainer, at the batch boundary after
+    /// the optimizer step). `0` disables checkpointing. Override via
+    /// `DS_CKPT_EVERY`.
+    pub ckpt_every: u64,
+    /// Directory checkpoint snapshots are written to. Override via
+    /// `DS_CKPT_DIR`.
+    pub ckpt_dir: std::path::PathBuf,
 }
 
 impl TrainConfig {
@@ -149,6 +157,16 @@ impl TrainConfig {
             comm_deadline_secs: 30.0,
             max_retries: 3,
             retry_backoff_secs: 1e-3,
+            ckpt_every: std::env::var("DS_CKPT_EVERY")
+                .ok()
+                .map(|v| {
+                    v.parse()
+                        .unwrap_or_else(|_| panic!("DS_CKPT_EVERY must be an integer: {v:?}"))
+                })
+                .unwrap_or(0),
+            ckpt_dir: std::env::var("DS_CKPT_DIR")
+                .unwrap_or_else(|_| String::from("results/ckpt"))
+                .into(),
         }
     }
 
@@ -203,6 +221,12 @@ mod tests {
         }
         if std::env::var("DS_PREFETCH_WINDOW").is_err() {
             assert_eq!(c.prefetch_window, 2);
+        }
+        if std::env::var("DS_CKPT_EVERY").is_err() {
+            assert_eq!(c.ckpt_every, 0, "checkpointing is opt-in");
+        }
+        if std::env::var("DS_CKPT_DIR").is_err() {
+            assert_eq!(c.ckpt_dir, std::path::Path::new("results/ckpt"));
         }
     }
 

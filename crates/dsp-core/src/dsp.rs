@@ -24,7 +24,7 @@ use crate::prefetch::Prefetcher;
 use crate::stats::{EpochStats, MetricAccumulator};
 use crate::supervisor::{FaultReport, RetryPolicy, Supervisor};
 use crate::system::{evaluate_model, System};
-use ds_cache::{DspLoader, DynamicPolicyKind, FeatureLoader, PrefetchedWindow};
+use ds_cache::{DspLoader, DynamicPolicyKind, FeatureLoader, PrefetchedWindow, RebuildStatus};
 use ds_comm::{CommConfig, CommError, Communicator, Coordinator, DeviceSlots};
 use ds_gnn::Trainer;
 use ds_graph::{Dataset, Labels, NodeId};
@@ -62,12 +62,32 @@ struct RankEpoch {
     metrics: MetricAccumulator,
 }
 
+/// Checkpoint cadence for one epoch run (rank 0's trainer writes).
+#[derive(Clone)]
+struct CkptCfg {
+    /// Snapshot every this many completed *global* batches.
+    every: u64,
+    /// Snapshot directory.
+    dir: std::path::PathBuf,
+    /// Experiment seed, recorded in every snapshot.
+    seed: u64,
+    /// Batches of this epoch already complete before this run (the
+    /// resume offset of `try_run_epoch_from`).
+    start: u64,
+    /// GPU count — the cursor vector's length.
+    num_ranks: usize,
+}
+
 /// Everything a supervised worker loop needs besides its own pipeline
 /// stage: fault hooks, the communicators (for declaring deaths), the
 /// CCC coordinator (for unwedging launch queues) and the supervisor.
 struct RankCtx {
     rank: usize,
     exec: bool,
+    /// Experiment seed — keys the deterministic retry-backoff jitter.
+    seed: u64,
+    /// Epoch this run is executing (recorded in checkpoints).
+    epoch: u64,
     labels: Arc<Labels>,
     cluster: Arc<Cluster>,
     sampler_comm: Arc<Communicator>,
@@ -75,6 +95,8 @@ struct RankCtx {
     trainer_comm: Arc<Communicator>,
     ccc: Option<Arc<Coordinator>>,
     sup: Arc<Supervisor>,
+    /// `Some` when checkpointing is on (`ckpt_every > 0`).
+    ckpt: Option<CkptCfg>,
 }
 
 impl RankCtx {
@@ -104,6 +126,39 @@ impl RankCtx {
             .is_some_and(|h| h.worker_crashes(self.rank, worker, batch))
     }
 
+    /// Whether the fault plan crashes a *peer*'s sampler at `batch` and
+    /// brings it back later in this epoch (`total` batches). Pure and
+    /// shared, so every rank observes the window at the same batch
+    /// boundary and leaves the collective group together. The
+    /// event-driven path (discovering the corpse inside a rendezvous)
+    /// is not enough for a recoverable crash: a survivor running behind
+    /// in real time can miss the whole crash..rejoin window and then
+    /// park in collective rounds the returning peer has already moved
+    /// past, desynchronizing the round pairing for the rest of the
+    /// epoch. Permanent crashes stay event-driven — no round after the
+    /// death ever completes, so every survivor is flushed out of its
+    /// in-flight round regardless of timing.
+    fn peer_sampler_crash_window(&self, batch: u64, total: u64) -> bool {
+        let Some(h) = self.cluster.fault_hook() else {
+            return false;
+        };
+        (0..self.sampler_comm.num_ranks()).any(|peer| {
+            peer != self.rank
+                && h.worker_crashes(peer, WorkerKind::Sampler, batch)
+                && ((batch + 1)..total).any(|r| h.worker_recovers(peer, WorkerKind::Sampler, r))
+        })
+    }
+
+    /// Whether the plan restores `peer`'s sampler at or before `batch`
+    /// — i.e. a `PeerFailed` seen now is the transient of a
+    /// crash..rejoin window this rank has already stepped past, not a
+    /// permanent death.
+    fn peer_recovery_due(&self, peer: usize, batch: u64) -> bool {
+        self.cluster
+            .fault_hook()
+            .is_some_and(|h| (0..=batch).any(|r| h.worker_recovers(peer, WorkerKind::Sampler, r)))
+    }
+
     /// Declares `worker` on this rank dead: peers blocked on it wake
     /// with `PeerFailed`, and its queued CCC launch entries are skipped
     /// so the rest of this rank's pipeline is not wedged behind the
@@ -130,10 +185,132 @@ impl RankCtx {
         }
     }
 
-    /// Charges the policy's exponential backoff before retry `attempt`.
-    fn backoff(&self, clock: &mut Clock, attempt: u32) {
-        let t = clock.now() + self.sup.policy.backoff(attempt);
+    /// Charges the policy's exponential backoff before retry `attempt`
+    /// of `batch`, with deterministic per-(rank, batch, attempt) jitter
+    /// so peers that fail together do not retry in lockstep.
+    fn backoff(&self, clock: &mut Clock, batch: u64, attempt: u32) {
+        let t = clock.now()
+            + self
+                .sup
+                .policy
+                .jittered_backoff(self.seed, self.rank, batch, attempt);
         clock.wait_until(t);
+    }
+
+    /// Rejoins `peer`'s sampler into the collective group at the
+    /// `batch` boundary and returns this rank's own pipeline to the
+    /// non-degraded path. Safe here because no sampler collectives run
+    /// while the group is degraded, so the rejoin lands between rounds;
+    /// every rank evaluates the same pure recovery predicate at the
+    /// same batch, so all peers re-enter collective sampling together.
+    fn rejoin_sampler(&self, sampler: &mut CspSampler, peer: usize, batch: u64) {
+        // Fenced rejoin: observe the membership generation, retry on
+        // staleness. Concurrent healers race on the bump; the loser
+        // re-observes and then sees the peer already restored.
+        let mut observed = self.sampler_comm.membership_generation();
+        while let Err(e) = self.sampler_comm.try_rejoin(peer, observed) {
+            debug_assert!(e.is_stale_generation(), "unexpected rejoin error: {e}");
+            observed = self.sampler_comm.membership_generation();
+        }
+        if let Some(ccc) = &self.ccc {
+            // Readmit every live rank's sampler, not just our own. The
+            // first rank to reach the rejoin batch sweeps for the whole
+            // group: the leader's next sampler launch pushes the shared
+            // round entry, and a peer whose own readmit had not landed
+            // yet would auto-drain that entry — then wait a full comm
+            // deadline for a turn the leader already spent (the leader,
+            // parked in the rendezvous, pushes no more).
+            let failed = self.sampler_comm.failed_ranks();
+            for r in 0..self.sampler_comm.num_ranks() {
+                if !failed.contains(&r) {
+                    ccc.readmit_worker(r, self.sampler_comm.id());
+                }
+            }
+        }
+        if sampler.is_degraded() {
+            sampler.set_degraded(false);
+        }
+        self.sup.record_recovery(peer, WorkerKind::Sampler, batch);
+    }
+
+    /// Scans the fault plan for sampler rejoins scheduled at `batch`
+    /// and performs them. Returns true when one fired (the caller
+    /// re-arms its crash edge detector for flapping-peer plans).
+    fn sampler_recoveries(&self, sampler: &mut CspSampler, clock: &Clock, batch: u64) -> bool {
+        let Some(h) = self.cluster.fault_hook() else {
+            return false;
+        };
+        let mut fired = false;
+        for peer in 0..self.sampler_comm.num_ranks() {
+            if h.worker_recovers(peer, WorkerKind::Sampler, batch) {
+                ds_trace::instant(clock.now(), "rejoin", batch);
+                self.rejoin_sampler(sampler, peer, batch);
+                fired = true;
+            }
+        }
+        fired
+    }
+
+    /// Folds the loader's batch-keyed shard-rebuild status into the
+    /// supervisor's `Recovering → Healthy` state machine, emitting the
+    /// `recovery.time_to_healthy_s` counter on the transition.
+    fn track_rebuild(&self, loader: &DspLoader, clock: &Clock, batch: u64) {
+        match loader.rebuild_status(batch) {
+            Some(RebuildStatus::Recovering { .. }) => {
+                self.sup.mark_recovering(self.rank, batch, clock.now());
+            }
+            Some(RebuildStatus::Healthy { since }) => {
+                if let Some(dt) = self.sup.mark_healthy(self.rank, since, clock.now()) {
+                    ds_trace::counter(clock.now(), "recovery", "time_to_healthy_s", dt);
+                }
+            }
+            Some(RebuildStatus::Lost) | None => {}
+        }
+    }
+
+    /// Writes a checkpoint when rank 0's trainer just finished a global
+    /// batch on the snapshot cadence. BSP makes every replica equal at
+    /// this boundary, so rank 0's parameters and optimizer moments
+    /// stand for all; the per-rank cursors are all `done` because the
+    /// ranks walk their schedules in lockstep.
+    fn maybe_checkpoint(
+        &self,
+        trainer: &Trainer,
+        clock: &Clock,
+        base: u64,
+        batch: u64,
+    ) -> Result<(), DspError> {
+        let Some(ck) = &self.ckpt else {
+            return Ok(());
+        };
+        let done = base + batch + 1;
+        if self.rank != 0 || done % ck.every != 0 {
+            return Ok(());
+        }
+        let (params, adam_t, adam_m, adam_v) = trainer.checkpoint_state();
+        let snapshot = ds_store::Checkpoint {
+            seed: ck.seed,
+            epoch: self.epoch,
+            batch_in_epoch: ck.start + batch + 1,
+            cursors: vec![done; ck.num_ranks],
+            rng: ds_rng::Rng::seed_from_u64(ck.seed).state(),
+            params,
+            adam_t,
+            adam_m,
+            adam_v,
+        };
+        match snapshot.save(&ck.dir) {
+            Ok(_) => {
+                ds_trace::instant(clock.now(), "ckpt", done);
+                ds_trace::counter(clock.now(), "recovery", "ckpt_writes", 1.0);
+                Ok(())
+            }
+            Err(e) => Err(DspError::Checkpoint {
+                rank: self.rank,
+                batch: done,
+                detail: e.to_string(),
+            }),
+        }
     }
 }
 
@@ -147,10 +324,26 @@ fn supervised_sample(
     ctx: &RankCtx,
 ) -> Result<GraphSample, DspError> {
     let mut attempts = 0u32;
+    let mut heals = 0u32;
     loop {
         match sampler.try_sample_batch(clock, seeds) {
             Ok(sample) => return Ok(sample),
             Err(e) => {
+                // A peer the plan restores by this batch is mid-rejoin,
+                // not dead: this rank already stepped past the degraded
+                // window, so hold at the round boundary until the group
+                // heals and retry the round. Degrading here would
+                // strand the rejoiner alone in rounds this rank never
+                // attends again. The wait is wall-clock only and leaves
+                // the virtual clock untouched, keeping the healed retry
+                // bit-identical to a run without the timing race.
+                if let CommError::PeerFailed { rank: dead, .. } = &e {
+                    if heals < ctx.sup.policy.max_retries && ctx.peer_recovery_due(*dead, batch) {
+                        heals += 1;
+                        ctx.sampler_comm.await_healthy();
+                        continue;
+                    }
+                }
                 // A dead peer never comes back: fall back to degraded
                 // local sampling, which needs no collectives and — by
                 // placement-independent RNG — reproduces the identical
@@ -170,7 +363,7 @@ fn supervised_sample(
                 }
                 ctx.sup.record_retry(ctx.rank, batch);
                 ds_trace::instant(clock.now(), "retry", batch);
-                ctx.backoff(clock, attempts);
+                ctx.backoff(clock, batch, attempts);
             }
         }
     }
@@ -190,7 +383,7 @@ fn supervised_load(
 ) -> Result<Matrix, DspError> {
     let mut attempts = 0u32;
     loop {
-        match loader.try_load_windowed(clock, nodes, window) {
+        match loader.try_load_windowed(clock, nodes, window, batch) {
             Ok(feats) => return Ok(feats),
             Err(e @ CommError::Timeout(_)) => {
                 attempts += 1;
@@ -205,7 +398,7 @@ fn supervised_load(
                 }
                 ctx.sup.record_retry(ctx.rank, batch);
                 ds_trace::instant(clock.now(), "retry", batch);
-                ctx.backoff(clock, attempts);
+                ctx.backoff(clock, batch, attempts);
             }
             Err(e) => return Err(DspError::Comm(e)),
         }
@@ -247,7 +440,7 @@ fn supervised_train(
                 }
                 ctx.sup.record_retry(ctx.rank, batch);
                 ds_trace::instant(clock.now(), "retry", batch);
-                ctx.backoff(clock, attempts);
+                ctx.backoff(clock, batch, attempts);
             }
             Err(e) => return Err(DspError::Comm(e)),
         }
@@ -260,8 +453,9 @@ fn supervised_train(
 fn pick_error(errs: Vec<DspError>) -> Option<DspError> {
     errs.into_iter().min_by_key(|e| match e {
         DspError::WorkerCrashed { .. } => 0u8,
-        DspError::RetriesExhausted { .. } => 1,
-        DspError::Comm(_) => 2,
+        DspError::Checkpoint { .. } => 1,
+        DspError::RetriesExhausted { .. } => 2,
+        DspError::Comm(_) => 3,
     })
 }
 
@@ -330,6 +524,13 @@ fn run_rank_pipelined(
                 let mut batch = 0usize;
                 while batch < batches.len() {
                     let b = batch as u64;
+                    // Scheduled rejoins land before this batch's own
+                    // collective: the group is restored between rounds
+                    // and the crash edge detector re-arms so a flapping
+                    // peer can die again at a later batch.
+                    if ctx.sampler_recoveries(sampler, &clock, b) {
+                        crashed = false;
+                    }
                     ctx.stall(&mut clock, WorkerKind::Sampler, b);
                     if !crashed && ctx.crashes(WorkerKind::Sampler, b) {
                         // The sampler dies; the supervisor stands up a
@@ -339,6 +540,13 @@ fn run_rank_pipelined(
                         crashed = true;
                         ds_trace::instant(clock.now(), "crash", b);
                         ctx.declare_dead(WorkerKind::Sampler, b);
+                        ctx.degrade_sampler(sampler);
+                    }
+                    if ctx.peer_sampler_crash_window(b, batches.len() as u64) {
+                        // A peer dies here but is scheduled back: leave
+                        // the collective group at the same batch it
+                        // does, so both sides skip the same rounds and
+                        // the pairing survives the rejoin.
                         ctx.degrade_sampler(sampler);
                     }
                     ctx.sup
@@ -377,6 +585,7 @@ fn run_rank_pipelined(
                     }
                     ctx.sup
                         .heartbeat(ctx.rank, WorkerKind::Loader, b, clock.now());
+                    ctx.track_rebuild(loader, &clock, b);
                     // A dead prefetcher (or a misaligned window) is never
                     // fatal: `None` simply means every cold row goes over
                     // the demand UVA path, as without prefetching.
@@ -431,6 +640,10 @@ fn run_rank_pipelined(
                     ds_trace::span_begin_arg(clock.now(), "train", b);
                     let r = supervised_train(trainer, &mut clock, &sample, &feats, b, ctx)?;
                     ds_trace::span_end(clock.now());
+                    // The optimizer step for global batch base+b is
+                    // done and BSP left every replica equal: the only
+                    // safe snapshot boundary.
+                    ctx.maybe_checkpoint(trainer, &clock, base, b)?;
                     metrics.add(r.loss, r.accuracy, r.seeds);
                     b += 1;
                 }
@@ -495,13 +708,23 @@ fn run_rank_seq(
     let mut metrics = MetricAccumulator::default();
     let (mut sb, mut lb, mut tb) = (0.0, 0.0, 0.0);
     let mut sampler_crashed = false;
+    let base = sampler.next_batch_index();
     for (batch, seeds) in batches.iter().enumerate() {
         let b = batch as u64;
+        if ctx.sampler_recoveries(sampler, &clock, b) {
+            sampler_crashed = false;
+        }
         ctx.stall(&mut clock, WorkerKind::Sampler, b);
         if !sampler_crashed && ctx.crashes(WorkerKind::Sampler, b) {
             sampler_crashed = true;
             ds_trace::instant(clock.now(), "crash", b);
             ctx.declare_dead(WorkerKind::Sampler, b);
+            ctx.degrade_sampler(sampler);
+        }
+        if ctx.peer_sampler_crash_window(b, batches.len() as u64) {
+            // A peer dies here but is scheduled back: leave the
+            // collective group at the same batch it does, so both sides
+            // skip the same rounds and the pairing survives the rejoin.
             ctx.degrade_sampler(sampler);
         }
         ctx.sup
@@ -523,6 +746,7 @@ fn run_rank_seq(
         }
         ctx.sup
             .heartbeat(ctx.rank, WorkerKind::Loader, b, clock.now());
+        ctx.track_rebuild(loader, &clock, b);
         ds_trace::span_begin_arg(clock.now(), "load", b);
         let feats = supervised_load(loader, &mut clock, sample.input_nodes(), None, b, ctx)?;
         ds_trace::span_end(clock.now());
@@ -542,6 +766,7 @@ fn run_rank_seq(
         ds_trace::span_begin_arg(clock.now(), "train", b);
         let r = supervised_train(trainer, &mut clock, &sample, &feats, b, ctx)?;
         ds_trace::span_end(clock.now());
+        ctx.maybe_checkpoint(trainer, &clock, base, b)?;
         let b3 = clock.busy();
         sb += b1 - b0;
         lb += b2 - b1;
@@ -702,6 +927,59 @@ impl DspSystem {
         }
     }
 
+    /// Builds DSP and restores training state from `ckpt`: the system
+    /// picks up the trajectory exactly where the snapshot was taken.
+    /// Resume the interrupted epoch with
+    /// [`Self::try_run_epoch_from`]`(ckpt.epoch, ckpt.batch_in_epoch)`,
+    /// then run later epochs normally — the result is bit-identical to
+    /// a run that never stopped.
+    pub fn resume(
+        dataset: &Dataset,
+        gpus: usize,
+        cfg: &TrainConfig,
+        pipelined: bool,
+        ckpt: &ds_store::Checkpoint,
+    ) -> Self {
+        let mut sys = Self::new(dataset, gpus, cfg, pipelined);
+        sys.restore(ckpt);
+        sys
+    }
+
+    /// Overwrites model parameters, optimizer state and per-rank batch
+    /// cursors with the snapshot's. Under BSP every replica is equal,
+    /// so the single recorded parameter set restores all ranks.
+    pub fn restore(&mut self, ckpt: &ds_store::Checkpoint) {
+        assert_eq!(
+            ckpt.seed, self.cfg.seed,
+            "checkpoint was taken under seed {:#x}, config has {:#x}",
+            ckpt.seed, self.cfg.seed
+        );
+        assert_eq!(
+            ckpt.cursors.len(),
+            self.ranks.len(),
+            "checkpoint has {} rank cursors, system has {} ranks",
+            ckpt.cursors.len(),
+            self.ranks.len()
+        );
+        // Sampling draws are keyed on (seed, batch, layer, node), so the
+        // recorded base-stream state must match what this seed derives —
+        // anything else means the snapshot is from a different universe.
+        debug_assert_eq!(
+            ckpt.rng,
+            ds_rng::Rng::seed_from_u64(ckpt.seed).state(),
+            "checkpoint RNG state does not derive from its own seed"
+        );
+        for (rank, r) in self.ranks.iter_mut().enumerate() {
+            r.trainer.restore_checkpoint_state(
+                &ckpt.params,
+                ckpt.adam_t,
+                &ckpt.adam_m,
+                &ckpt.adam_v,
+            );
+            r.sampler.set_batch_index(ckpt.cursors[rank]);
+        }
+    }
+
     /// The data layout (for inspection: cache hit rates, memory use).
     pub fn layout(&self) -> &DspLayout {
         &self.layout
@@ -797,6 +1075,17 @@ impl DspSystem {
     /// cache-shard loss); a typed [`DspError`] when a failure has no
     /// degradation path (dead loader/trainer peer, exhausted retries).
     pub fn try_run_epoch(&mut self, epoch: u64) -> Result<EpochStats, DspError> {
+        self.try_run_epoch_from(epoch, 0)
+    }
+
+    /// [`Self::try_run_epoch`] starting `start` batches into the
+    /// epoch's deterministic schedule — the resume entry point. The
+    /// schedule is a pure function of `(seed, epoch)`, so the run
+    /// recomputes it in full and executes the `[start..]` tail; with
+    /// state restored from a [`ds_store::Checkpoint`] taken at that
+    /// boundary, the trajectory is bit-identical to an uninterrupted
+    /// run.
+    pub fn try_run_epoch_from(&mut self, epoch: u64, start: u64) -> Result<EpochStats, DspError> {
         ds_trace::begin_epoch(epoch);
         self.layout.cluster.reset_traffic();
         let cap = self.cfg.queue_capacity;
@@ -807,16 +1096,29 @@ impl DspSystem {
             .layout
             .schedules
             .iter()
-            .map(|s| s.epoch_batches(epoch))
+            .map(|s| {
+                let mut b = s.epoch_batches(epoch);
+                b.drain(..(start as usize).min(b.len()));
+                b
+            })
             .collect();
         let num_batches = batches.first().map(|b| b.len()).unwrap_or(0);
         if self.cfg.dynamic_policy == DynamicPolicyKind::PresamplingHotness {
             self.presample_hotness(&batches);
         }
+        let ckpt = (self.cfg.ckpt_every > 0).then(|| CkptCfg {
+            every: self.cfg.ckpt_every,
+            dir: self.cfg.ckpt_dir.clone(),
+            seed: self.cfg.seed,
+            start,
+            num_ranks: self.ranks.len(),
+        });
         let ctxs: Vec<RankCtx> = (0..self.ranks.len())
             .map(|rank| RankCtx {
                 rank,
                 exec: self.cfg.exec_compute,
+                seed: self.cfg.seed,
+                epoch,
                 labels: Arc::clone(&self.layout.labels),
                 cluster: Arc::clone(&self.layout.cluster),
                 sampler_comm: Arc::clone(&self.sampler_comm),
@@ -824,6 +1126,7 @@ impl DspSystem {
                 trainer_comm: Arc::clone(&self.trainer_comm),
                 ccc: self.ccc.clone(),
                 sup: Arc::clone(&self.supervisor),
+                ckpt: ckpt.clone(),
             })
             .collect();
         let results: Vec<Result<RankEpoch, DspError>> = std::thread::scope(|scope| {

@@ -21,6 +21,17 @@ pub enum DspError {
         /// Mini-batch the worker was starting when it died.
         batch: u64,
     },
+    /// A checkpoint snapshot could not be written: training state at a
+    /// snapshot boundary could not be persisted, so continuing would
+    /// silently void the recovery guarantee the operator asked for.
+    Checkpoint {
+        /// The writing rank (always 0 — BSP keeps replicas equal).
+        rank: usize,
+        /// Global batch index the snapshot was for.
+        batch: u64,
+        /// The underlying store error, rendered.
+        detail: String,
+    },
     /// The retry policy gave up: `attempts` tries (with exponential
     /// backoff) all failed, `last` being the final straw.
     RetriesExhausted {
@@ -43,7 +54,7 @@ impl DspError {
         match self {
             DspError::Comm(e) => Some(e.diagnostics()),
             DspError::RetriesExhausted { last, .. } => Some(last.diagnostics()),
-            DspError::WorkerCrashed { .. } => None,
+            DspError::WorkerCrashed { .. } | DspError::Checkpoint { .. } => None,
         }
     }
 }
@@ -59,6 +70,14 @@ impl std::fmt::Display for DspError {
             } => {
                 write!(f, "{worker} worker on rank {rank} crashed at batch {batch}")
             }
+            DspError::Checkpoint {
+                rank,
+                batch,
+                detail,
+            } => write!(
+                f,
+                "checkpoint at batch {batch} on rank {rank} failed: {detail}"
+            ),
             DspError::RetriesExhausted {
                 rank,
                 worker,
@@ -77,7 +96,7 @@ impl std::error::Error for DspError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             DspError::Comm(e) | DspError::RetriesExhausted { last: e, .. } => Some(e),
-            DspError::WorkerCrashed { .. } => None,
+            DspError::WorkerCrashed { .. } | DspError::Checkpoint { .. } => None,
         }
     }
 }

@@ -32,6 +32,21 @@ impl RetryPolicy {
     pub fn backoff(&self, attempt: u32) -> f64 {
         self.base_backoff * f64::powi(2.0, attempt.max(1) as i32 - 1)
     }
+
+    /// [`Self::backoff`] plus a deterministic jitter in `[0, 25%)` of
+    /// the exponential term, drawn from [`ds_rng::Rng`] keyed on
+    /// `(seed, rank, batch, attempt)`. A pure function of its inputs:
+    /// two peers that fail the same batch back off at *different* but
+    /// *bit-reproducible* times, so retries de-synchronize without the
+    /// run losing replayability.
+    pub fn jittered_backoff(&self, seed: u64, rank: usize, batch: u64, attempt: u32) -> f64 {
+        let key = seed
+            ^ (rank as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ batch.wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ (attempt as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+        let jitter = ds_rng::Rng::seed_from_u64(key ^ 0xBAC0_FF5E_D5B0_0001).gen::<f64>();
+        self.backoff(attempt) * (1.0 + 0.25 * jitter)
+    }
 }
 
 impl Default for RetryPolicy {
@@ -52,6 +67,16 @@ pub struct Beat {
     pub vtime: f64,
 }
 
+/// Recovery progress of one rank's lost cache shard, driven by the
+/// loader's batch-keyed rebuild schedule.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ShardState {
+    /// Background rebuild in flight; lookups still degrade to UVA.
+    Recovering,
+    /// Rebuild complete; the shard serves hits again.
+    Healthy,
+}
+
 /// What the supervisor observed (accumulates across epochs; entries are
 /// reported sorted so thread scheduling cannot reorder them).
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -67,6 +92,12 @@ pub struct FaultReport {
     /// whose staged rows were discarded after a cache-shard loss and
     /// re-fetched cold over UVA.
     pub dropped_windows: Vec<(usize, u64)>,
+    /// Workers that rejoined their collective group after a crash:
+    /// `(rank, worker, batch)` of the rejoin boundary.
+    pub recovered: Vec<(usize, WorkerKind, u64)>,
+    /// Cache shards that went `Recovering → Healthy`:
+    /// `(rank, rebuild_start_batch, healthy_batch)`.
+    pub shard_recoveries: Vec<(usize, u64, u64)>,
 }
 
 impl FaultReport {
@@ -76,6 +107,21 @@ impl FaultReport {
             && self.crashed.is_empty()
             && self.degraded.is_empty()
             && self.dropped_windows.is_empty()
+            && self.recovered.is_empty()
+            && self.shard_recoveries.is_empty()
+    }
+
+    /// True when something crashed and every crashed worker later
+    /// rejoined its collective group — the run ended out of degraded
+    /// mode. (Shard rebuilds report separately via `shard_recoveries`:
+    /// an entry exists only once the rebuild reached `Healthy`.)
+    pub fn fully_recovered(&self) -> bool {
+        !self.crashed.is_empty()
+            && self.crashed.len() == self.recovered.len()
+            && self
+                .crashed
+                .iter()
+                .all(|&(r, w, _)| self.recovered.iter().any(|&(rr, rw, _)| (rr, rw) == (r, w)))
     }
 
     /// One-line operator summary.
@@ -84,7 +130,7 @@ impl FaultReport {
             return String::from("no faults observed");
         }
         format!(
-            "{} retried batch(es) {:?}, {} crash(es) {:?}, degraded ranks {:?}, dropped prefetch window(s) {:?}",
+            "{} retried batch(es) {:?}, {} crash(es) {:?}, degraded ranks {:?}, dropped prefetch window(s) {:?}, {} rejoin(s) {:?}, shard recoveries {:?}",
             self.retried.len(),
             self.retried,
             self.crashed.len(),
@@ -94,6 +140,15 @@ impl FaultReport {
                 .collect::<Vec<_>>(),
             self.degraded,
             self.dropped_windows,
+            self.recovered.len(),
+            self.recovered
+                .iter()
+                .map(|(r, w, b)| format!("{w}@rank{r}/batch{b}"))
+                .collect::<Vec<_>>(),
+            self.shard_recoveries
+                .iter()
+                .map(|(r, s, h)| format!("rank{r}: batch{s}->healthy@{h}"))
+                .collect::<Vec<_>>(),
         )
     }
 }
@@ -105,6 +160,7 @@ pub struct Supervisor {
     pub policy: RetryPolicy,
     beats: Mutex<HashMap<(usize, WorkerKind), Beat>>,
     report: Mutex<FaultReport>,
+    shards: Mutex<HashMap<usize, (ShardState, u64, f64)>>,
 }
 
 impl Supervisor {
@@ -141,19 +197,64 @@ impl Supervisor {
         lock_unpoisoned(&self.report).retried.push((rank, batch));
     }
 
-    /// Records a worker crash. Idempotent per `(rank, worker)`: a fault
-    /// plan that crashes a worker at batch `b` fires again when a later
-    /// epoch reaches the same batch index, but the worker only dies
-    /// once.
+    /// Records a worker crash. Idempotent per `(rank, worker, batch)`:
+    /// a fault plan that crashes a worker at batch `b` fires again when
+    /// a later epoch reaches the same batch index, but the worker only
+    /// dies once *per boundary* — a flapping peer that rejoined and
+    /// crashed again at a different batch is a second, distinct entry.
     pub fn record_crash(&self, rank: usize, worker: WorkerKind, batch: u64) {
         let mut r = lock_unpoisoned(&self.report);
-        if !r
-            .crashed
-            .iter()
-            .any(|&(cr, cw, _)| (cr, cw) == (rank, worker))
-        {
+        if !r.crashed.contains(&(rank, worker, batch)) {
             r.crashed.push((rank, worker, batch));
         }
+    }
+
+    /// Records that a crashed worker rejoined its collective group at
+    /// the `batch` boundary (idempotent per `(rank, worker, batch)`).
+    pub fn record_recovery(&self, rank: usize, worker: WorkerKind, batch: u64) {
+        let mut r = lock_unpoisoned(&self.report);
+        if !r.recovered.contains(&(rank, worker, batch)) {
+            r.recovered.push((rank, worker, batch));
+        }
+    }
+
+    /// Marks `rank`'s cache shard as rebuilding from `batch` (virtual
+    /// time `vtime`). Idempotent while already `Recovering`.
+    pub fn mark_recovering(&self, rank: usize, batch: u64, vtime: f64) {
+        let mut s = lock_unpoisoned(&self.shards);
+        match s.get(&rank) {
+            Some((ShardState::Recovering, _, _)) => {}
+            _ => {
+                s.insert(rank, (ShardState::Recovering, batch, vtime));
+            }
+        }
+    }
+
+    /// Marks `rank`'s shard rebuilt as of `batch`. On the
+    /// `Recovering → Healthy` transition, records the recovery in the
+    /// report and returns the virtual seconds spent degraded (the
+    /// `recovery.time_to_healthy_s` telemetry input); `None` when the
+    /// shard was not recovering.
+    pub fn mark_healthy(&self, rank: usize, batch: u64, vtime: f64) -> Option<f64> {
+        let mut s = lock_unpoisoned(&self.shards);
+        match s.get(&rank).copied() {
+            Some((ShardState::Recovering, start_batch, start_vtime)) => {
+                s.insert(rank, (ShardState::Healthy, batch, vtime));
+                drop(s);
+                lock_unpoisoned(&self.report)
+                    .shard_recoveries
+                    .push((rank, start_batch, batch));
+                Some(vtime - start_vtime)
+            }
+            _ => None,
+        }
+    }
+
+    /// Current rebuild state of `rank`'s shard (`None` = never lost).
+    pub fn shard_state(&self, rank: usize) -> Option<ShardState> {
+        lock_unpoisoned(&self.shards)
+            .get(&rank)
+            .map(|&(st, _, _)| st)
     }
 
     /// Records that `rank`'s sampler switched to degraded local
@@ -182,6 +283,9 @@ impl Supervisor {
             .sort_unstable_by_key(|&(rank, w, b)| (rank, w as u8, b));
         r.degraded.sort_unstable();
         r.dropped_windows.sort_unstable();
+        r.recovered
+            .sort_unstable_by_key(|&(rank, w, b)| (rank, w as u8, b));
+        r.shard_recoveries.sort_unstable();
         r
     }
 }
@@ -239,5 +343,74 @@ mod tests {
         let s = Supervisor::new(RetryPolicy::default());
         assert!(s.report().is_clean());
         assert_eq!(s.report().summary(), "no faults observed");
+    }
+
+    #[test]
+    fn jittered_backoff_is_pinned_byte_for_byte() {
+        let p = RetryPolicy {
+            max_retries: 5,
+            base_backoff: 0.5,
+        };
+        // Frozen golden value: any drift in the jitter derivation (key
+        // mixing, rng, scale) changes retry timing on every replayed
+        // run, so it fails loudly here first.
+        let v = p.jittered_backoff(0xD5B0, 0, 3, 1);
+        assert_eq!(v.to_bits(), 0x3fe37d888cb4e48b, "got {v:.17e}");
+        // Pure function of its inputs.
+        assert_eq!(v.to_bits(), p.jittered_backoff(0xD5B0, 0, 3, 1).to_bits());
+        // Jitter stays within [backoff, 1.25 * backoff).
+        for (rank, batch, attempt) in [(0usize, 3u64, 1u32), (1, 3, 1), (2, 9, 2), (3, 0, 3)] {
+            let base = p.backoff(attempt);
+            let j = p.jittered_backoff(7, rank, batch, attempt);
+            assert!(j >= base && j < 1.25 * base, "{j} vs base {base}");
+        }
+        // Peers failing the same batch de-synchronize.
+        assert_ne!(
+            p.jittered_backoff(0xD5B0, 0, 3, 1).to_bits(),
+            p.jittered_backoff(0xD5B0, 1, 3, 1).to_bits()
+        );
+    }
+
+    #[test]
+    fn flapping_crashes_are_distinct_entries_and_pair_with_recoveries() {
+        let s = Supervisor::default();
+        // Crash, rejoin, re-crash at a later batch: two crash entries,
+        // not one — idempotence is per (rank, worker, batch).
+        s.record_crash(1, WorkerKind::Sampler, 2);
+        s.record_crash(1, WorkerKind::Sampler, 2);
+        s.record_recovery(1, WorkerKind::Sampler, 4);
+        s.record_recovery(1, WorkerKind::Sampler, 4);
+        assert!(!s.report().fully_recovered() || s.report().crashed.len() == 1);
+        s.record_crash(1, WorkerKind::Sampler, 6);
+        let r = s.report();
+        assert_eq!(
+            r.crashed,
+            vec![(1, WorkerKind::Sampler, 2), (1, WorkerKind::Sampler, 6)]
+        );
+        assert_eq!(r.recovered, vec![(1, WorkerKind::Sampler, 4)]);
+        assert!(!r.fully_recovered(), "second crash never rejoined");
+        s.record_recovery(1, WorkerKind::Sampler, 8);
+        assert!(s.report().fully_recovered());
+        assert!(s.report().summary().contains("sampler@rank1/batch4"));
+    }
+
+    #[test]
+    fn shard_state_walks_recovering_to_healthy_once() {
+        let s = Supervisor::default();
+        assert_eq!(s.shard_state(0), None);
+        s.mark_recovering(0, 3, 1.5);
+        s.mark_recovering(0, 4, 9.0); // idempotent: keeps the first start
+        assert_eq!(s.shard_state(0), Some(ShardState::Recovering));
+        let dt = s
+            .mark_healthy(0, 7, 4.0)
+            .expect("transition yields duration");
+        assert!((dt - 2.5).abs() < 1e-12, "degraded for {dt}");
+        assert_eq!(s.shard_state(0), Some(ShardState::Healthy));
+        // Re-marking healthy is a no-op, not a second report entry.
+        assert_eq!(s.mark_healthy(0, 8, 5.0), None);
+        let r = s.report();
+        assert_eq!(r.shard_recoveries, vec![(0, 3, 7)]);
+        assert!(!r.is_clean());
+        assert!(r.summary().contains("rank0: batch3->healthy@7"));
     }
 }

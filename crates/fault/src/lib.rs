@@ -26,10 +26,55 @@
 //! stall:rank=0,worker=loader,batch=2,secs=0.5
 //! crash:rank=2,worker=sampler,batch=3
 //! shardloss:rank=1
+//! recover:rank=2,worker=sampler,batch=6
+//! rebuild:rank=1,batch=4
 //! chaos:n=4
 //! ```
+//!
+//! Malformed specs parse to a typed [`FaultParseError`] naming the
+//! offending token and its byte span within the spec string.
 
 use ds_simgpu::fault::{FaultHook, WorkerKind};
+
+/// A malformed fault spec: which token was wrong, where it sits in the
+/// spec string (byte offsets), and why it was rejected. Typed so
+/// harnesses can point at the exact character instead of grepping a
+/// stringly error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FaultParseError {
+    token: String,
+    span: std::ops::Range<usize>,
+    message: String,
+}
+
+impl FaultParseError {
+    /// The offending token, verbatim.
+    pub fn token(&self) -> &str {
+        &self.token
+    }
+
+    /// Byte range of the offending token within the spec string.
+    pub fn span(&self) -> std::ops::Range<usize> {
+        self.span.clone()
+    }
+
+    /// Why the token was rejected.
+    pub fn message(&self) -> &str {
+        &self.message
+    }
+}
+
+impl std::fmt::Display for FaultParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} (token `{}` at bytes {}..{})",
+            self.message, self.token, self.span.start, self.span.end
+        )
+    }
+}
+
+impl std::error::Error for FaultParseError {}
 
 /// One scheduled fault.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -75,6 +120,24 @@ pub enum Fault {
     CacheShardLoss {
         /// Target device.
         rank: usize,
+    },
+    /// `worker` on `rank` recovers (rejoins its collective group) at
+    /// the start of `batch`; pairs with an earlier [`Fault::WorkerCrash`].
+    WorkerRecover {
+        /// Target device.
+        rank: usize,
+        /// Which pipeline worker.
+        worker: WorkerKind,
+        /// Batch index at which the worker rejoins.
+        batch: u64,
+    },
+    /// A background rebuild of `rank`'s lost cache shard starts at
+    /// `batch`; pairs with an earlier [`Fault::CacheShardLoss`].
+    ShardRebuild {
+        /// Target device.
+        rank: usize,
+        /// Batch index at which the rebuild starts.
+        batch: u64,
     },
 }
 
@@ -147,6 +210,22 @@ impl FaultPlan {
         self
     }
 
+    /// Schedules a crashed worker's rejoin at a batch boundary.
+    pub fn recover(mut self, rank: usize, worker: WorkerKind, batch: u64) -> Self {
+        self.faults.push(Fault::WorkerRecover {
+            rank,
+            worker,
+            batch,
+        });
+        self
+    }
+
+    /// Schedules the background rebuild of a lost cache shard.
+    pub fn rebuild_shard(mut self, rank: usize, batch: u64) -> Self {
+        self.faults.push(Fault::ShardRebuild { rank, batch });
+        self
+    }
+
     /// Draws `n` random *delay-class* faults (slowdowns, transfer
     /// delays, stalls — never crashes or shard losses) over `ranks`
     /// devices from the plan seed. Delay-class chaos perturbs only the
@@ -182,36 +261,56 @@ impl FaultPlan {
     }
 
     /// Parses the compact spec grammar (see crate docs). `seed` seeds
-    /// any `chaos:` entries. Returns a message naming the offending
-    /// entry on malformed input.
-    pub fn parse(spec: &str, seed: u64, ranks: usize) -> Result<Self, String> {
+    /// any `chaos:` entries. Malformed input yields a
+    /// [`FaultParseError`] carrying the offending token and its byte
+    /// span within `spec`.
+    pub fn parse(spec: &str, seed: u64, ranks: usize) -> Result<Self, FaultParseError> {
         let mut plan = FaultPlan::new(seed);
-        for entry in spec.split(';').map(str::trim).filter(|e| !e.is_empty()) {
+        let mut cursor = 0usize;
+        for raw in spec.split(';') {
+            let raw_start = cursor;
+            cursor += raw.len() + 1; // step past this entry and its ';'
+            let entry = raw.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            let entry_off = raw_start + (raw.len() - raw.trim_start().len());
+            // Error constructor: spans `token` at its first occurrence
+            // inside this entry (fields are unique per entry, so first
+            // occurrence is the occurrence).
+            let err = |token: &str, message: String| -> FaultParseError {
+                let at = entry_off + entry.find(token).unwrap_or(0);
+                FaultParseError {
+                    token: token.to_string(),
+                    span: at..at + token.len(),
+                    message,
+                }
+            };
             let (kind, rest) = entry.split_once(':').unwrap_or((entry, ""));
             let mut fields = std::collections::HashMap::new();
             for f in rest.split(',').map(str::trim).filter(|f| !f.is_empty()) {
                 let (k, v) = f
                     .split_once('=')
-                    .ok_or_else(|| format!("malformed field `{f}` in `{entry}`"))?;
+                    .ok_or_else(|| err(f, format!("malformed field `{f}` in `{entry}`")))?;
                 fields.insert(k.trim(), v.trim());
             }
-            let get = |k: &str| -> Result<&str, String> {
+            let get = |k: &str| -> Result<&str, FaultParseError> {
                 fields
                     .get(k)
                     .copied()
-                    .ok_or_else(|| format!("missing `{k}` in `{entry}`"))
+                    .ok_or_else(|| err(entry, format!("missing `{k}` in `{entry}`")))
             };
-            let num = |k: &str| -> Result<f64, String> {
-                get(k)?
-                    .parse::<f64>()
-                    .map_err(|_| format!("non-numeric `{k}` in `{entry}`"))
+            let num = |k: &str| -> Result<f64, FaultParseError> {
+                let v = get(k)?;
+                v.parse::<f64>()
+                    .map_err(|_| err(v, format!("non-numeric `{k}` in `{entry}`")))
             };
-            let worker = |k: &str| -> Result<WorkerKind, String> {
+            let worker = |k: &str| -> Result<WorkerKind, FaultParseError> {
                 match get(k)? {
                     "sampler" => Ok(WorkerKind::Sampler),
                     "loader" => Ok(WorkerKind::Loader),
                     "trainer" => Ok(WorkerKind::Trainer),
-                    w => Err(format!("unknown worker `{w}` in `{entry}`")),
+                    w => Err(err(w, format!("unknown worker `{w}` in `{entry}`"))),
                 }
             };
             plan = match kind {
@@ -229,8 +328,14 @@ impl FaultPlan {
                     num("batch")? as u64,
                 ),
                 "shardloss" => plan.lose_shard(num("rank")? as usize),
+                "recover" => plan.recover(
+                    num("rank")? as usize,
+                    worker("worker")?,
+                    num("batch")? as u64,
+                ),
+                "rebuild" => plan.rebuild_shard(num("rank")? as usize, num("batch")? as u64),
                 "chaos" => plan.chaos(ranks, num("n")? as usize),
-                other => return Err(format!("unknown fault kind `{other}`")),
+                other => return Err(err(other, format!("unknown fault kind `{other}`"))),
             };
         }
         Ok(plan)
@@ -301,6 +406,23 @@ impl FaultHook for FaultPlan {
             .iter()
             .any(|f| matches!(*f, Fault::CacheShardLoss { rank: r } if r == rank))
     }
+
+    fn worker_recovers(&self, rank: usize, worker: WorkerKind, batch: u64) -> bool {
+        self.faults.iter().any(|f| {
+            matches!(*f, Fault::WorkerRecover { rank: r, worker: w, batch: b }
+                if r == rank && w == worker && b == batch)
+        })
+    }
+
+    fn shard_rebuild_from(&self, rank: usize) -> Option<u64> {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::ShardRebuild { rank: r, batch } if r == rank => Some(batch),
+                _ => None,
+            })
+            .min()
+    }
 }
 
 #[cfg(test)]
@@ -314,7 +436,10 @@ mod tests {
             .delay_transfers(0, 0.01)
             .stall(2, WorkerKind::Loader, 3, 0.5)
             .crash(2, WorkerKind::Sampler, 4)
-            .lose_shard(1);
+            .lose_shard(1)
+            .recover(2, WorkerKind::Sampler, 6)
+            .rebuild_shard(1, 5)
+            .rebuild_shard(1, 3);
         assert_eq!(p.device_slowdown(1), 2.5);
         assert_eq!(p.device_slowdown(0), 1.0);
         assert_eq!(p.transfer_delay(0), 0.01);
@@ -326,6 +451,12 @@ mod tests {
         assert!(!p.worker_crashes(2, WorkerKind::Trainer, 4));
         assert!(p.cache_shard_lost(1));
         assert!(!p.cache_shard_lost(0));
+        assert!(p.worker_recovers(2, WorkerKind::Sampler, 6));
+        assert!(!p.worker_recovers(2, WorkerKind::Sampler, 4));
+        assert!(!p.worker_recovers(2, WorkerKind::Trainer, 6));
+        // Earliest scheduled rebuild wins.
+        assert_eq!(p.shard_rebuild_from(1), Some(3));
+        assert_eq!(p.shard_rebuild_from(0), None);
     }
 
     #[test]
@@ -338,7 +469,13 @@ mod tests {
         assert_ne!(a.faults(), c.faults());
         for f in a.faults() {
             assert!(
-                !matches!(f, Fault::WorkerCrash { .. } | Fault::CacheShardLoss { .. }),
+                !matches!(
+                    f,
+                    Fault::WorkerCrash { .. }
+                        | Fault::CacheShardLoss { .. }
+                        | Fault::WorkerRecover { .. }
+                        | Fault::ShardRebuild { .. }
+                ),
                 "chaos drew a non-delay fault: {f:?}"
             );
         }
@@ -348,12 +485,15 @@ mod tests {
     fn spec_round_trips_every_kind() {
         let spec = "slow:rank=1,factor=3.0; delay:rank=0,secs=0.002;\
                     stall:rank=0,worker=loader,batch=2,secs=0.5;\
-                    crash:rank=2,worker=sampler,batch=3; shardloss:rank=1; chaos:n=2";
+                    crash:rank=2,worker=sampler,batch=3; shardloss:rank=1;\
+                    recover:rank=2,worker=sampler,batch=6; rebuild:rank=1,batch=4; chaos:n=2";
         let p = FaultPlan::parse(spec, 9, 4).unwrap();
-        assert_eq!(p.faults().len(), 5 + 2);
+        assert_eq!(p.faults().len(), 7 + 2);
         assert_eq!(p.device_slowdown(1), 3.0);
         assert!(p.worker_crashes(2, WorkerKind::Sampler, 3));
         assert!(p.cache_shard_lost(1));
+        assert!(p.worker_recovers(2, WorkerKind::Sampler, 6));
+        assert_eq!(p.shard_rebuild_from(1), Some(4));
         // Same spec + seed => same plan (chaos included).
         let q = FaultPlan::parse(spec, 9, 4).unwrap();
         assert_eq!(p.faults(), q.faults());
@@ -363,16 +503,49 @@ mod tests {
     fn malformed_specs_name_the_offender() {
         assert!(FaultPlan::parse("explode:rank=1", 0, 2)
             .unwrap_err()
+            .to_string()
             .contains("explode"));
         assert!(FaultPlan::parse("crash:rank=0,worker=ghost,batch=1", 0, 2)
             .unwrap_err()
+            .to_string()
             .contains("ghost"));
         assert!(FaultPlan::parse("slow:rank=x,factor=2", 0, 2)
             .unwrap_err()
+            .to_string()
             .contains("rank"));
         assert!(FaultPlan::parse("slow:factor=2", 0, 2)
             .unwrap_err()
+            .to_string()
             .contains("rank"));
+    }
+
+    #[test]
+    fn parse_errors_carry_the_offending_token_and_span() {
+        // Unknown kind: token is the kind, span points at it even when
+        // the entry sits after other entries and padding.
+        let spec = "slow:rank=1,factor=2; explode:rank=1";
+        let err = FaultPlan::parse(spec, 0, 2).unwrap_err();
+        assert_eq!(err.token(), "explode");
+        assert_eq!(&spec[err.span()], "explode");
+        // Bad worker name: token is the value, not the whole entry.
+        let spec = "crash:rank=0,worker=ghost,batch=1";
+        let err = FaultPlan::parse(spec, 0, 2).unwrap_err();
+        assert_eq!(err.token(), "ghost");
+        assert_eq!(&spec[err.span()], "ghost");
+        // Non-numeric value: token is the value, message names the key.
+        let spec = "slow:rank=x,factor=2";
+        let err = FaultPlan::parse(spec, 0, 2).unwrap_err();
+        assert_eq!(err.token(), "x");
+        assert_eq!(&spec[err.span()], "x");
+        assert!(err.message().contains("rank"));
+        // Field without `=`: the field itself is the token.
+        let spec = "slow:rank,factor=2";
+        let err = FaultPlan::parse(spec, 0, 2).unwrap_err();
+        assert_eq!(err.token(), "rank");
+        assert_eq!(&spec[err.span()], "rank");
+        // Display embeds message, token and span.
+        let shown = err.to_string();
+        assert!(shown.contains("rank") && shown.contains("bytes"), "{shown}");
     }
 
     #[test]

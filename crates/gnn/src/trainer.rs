@@ -199,6 +199,22 @@ impl Trainer {
     pub fn param_checksum(&self) -> f64 {
         self.model.params_flat().iter().map(|&x| x as f64).sum()
     }
+
+    /// Snapshot of everything a checkpoint needs from this replica:
+    /// flattened parameters plus Adam's step count and moment vectors.
+    /// Replicas are BSP-identical, so rank 0's snapshot stands for all.
+    pub fn checkpoint_state(&self) -> (Vec<f32>, u64, Vec<f32>, Vec<f32>) {
+        let (t, m, v) = self.opt.state();
+        (self.model.params_flat(), t, m.to_vec(), v.to_vec())
+    }
+
+    /// Restores a snapshot taken by [`Self::checkpoint_state`] onto this
+    /// replica. Future steps are then bit-identical to a run that never
+    /// stopped.
+    pub fn restore_checkpoint_state(&mut self, params: &[f32], t: u64, m: &[f32], v: &[f32]) {
+        self.model.set_params_flat(params);
+        self.opt.restore(t, m, v);
+    }
 }
 
 #[cfg(test)]

@@ -198,6 +198,14 @@ impl CspSampler {
         self.batch_index = 0;
     }
 
+    /// Positions the sampler at global batch `index` — the resume path:
+    /// draws are keyed by `(seed, batch, layer, node)`, so placing the
+    /// cursor where a checkpoint left it reproduces the exact stream an
+    /// uninterrupted run would have sampled from there on.
+    pub fn set_batch_index(&mut self, index: u64) {
+        self.batch_index = index;
+    }
+
     /// Switches the degraded pull path on or off (see the `degraded`
     /// field). The supervisor flips this when a sampler peer dies.
     pub fn set_degraded(&mut self, on: bool) {

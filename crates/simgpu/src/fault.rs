@@ -70,6 +70,24 @@ pub trait FaultHook: Send + Sync {
     fn cache_shard_lost(&self, _rank: usize) -> bool {
         false
     }
+
+    /// Whether `worker` on `rank` recovers (rejoins its collective
+    /// group) at the start of `batch`. Only meaningful after a
+    /// [`Self::worker_crashes`] hit on an earlier batch; recovery is a
+    /// batch-boundary event, matching the comm layer's requirement that
+    /// rejoin happens between collective rounds.
+    fn worker_recovers(&self, _rank: usize, _worker: WorkerKind, _batch: u64) -> bool {
+        false
+    }
+
+    /// The batch at which a background rebuild of `rank`'s lost cache
+    /// shard starts, or `None` when the shard stays lost for the whole
+    /// run. The rebuild itself (bounded rows per batch through the host
+    /// store) is modelled by the cache layer; this hook only schedules
+    /// its start.
+    fn shard_rebuild_from(&self, _rank: usize) -> Option<u64> {
+        None
+    }
 }
 
 /// A hook that never injects anything (the explicit no-op).
@@ -93,6 +111,8 @@ mod tests {
         assert_eq!(h.worker_stall(0, WorkerKind::Sampler, 7), 0.0);
         assert!(!h.worker_crashes(1, WorkerKind::Trainer, 0));
         assert!(!h.cache_shard_lost(2));
+        assert!(!h.worker_recovers(1, WorkerKind::Sampler, 5));
+        assert_eq!(h.shard_rebuild_from(2), None);
     }
 
     #[test]

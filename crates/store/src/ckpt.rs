@@ -1,0 +1,218 @@
+//! Deterministic training checkpoints.
+//!
+//! A [`Checkpoint`] is everything a stopped DSP run needs to continue
+//! bit-identically: the model replica (BSP keeps every rank equal, so
+//! rank 0's copy stands for all), the Adam step count and moment
+//! vectors, the root PRNG state words, and the per-rank batch cursors
+//! (the sampling RNG is keyed by `(seed, batch, layer, node)`, so a
+//! cursor *is* the split-stream position — no generator state advances
+//! between draws).
+//!
+//! Format: the in-tree [`Wire`] codec under a dedicated magic header,
+//! field by field in declaration order. Encoding is position-dependent
+//! and allocation-free of any map iteration, so two same-seed runs
+//! write byte-identical snapshot files (tests enforce this). Nothing in
+//! this module unwraps an I/O result: a torn or unreadable snapshot is
+//! a typed [`StoreError`], never a panic — recovery paths must be able
+//! to fall back to an older snapshot.
+
+use crate::{decode, encode, read_versioned_as, write_versioned_as, StoreError};
+use ds_graph::{Wire, WireError};
+use std::path::{Path, PathBuf};
+
+/// Checkpoint format magic + version (bumped on breaking changes).
+const CKPT_MAGIC: &[u8; 8] = b"DSPCKPT1";
+
+/// A point-in-time snapshot of a DSP training run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Checkpoint {
+    /// Experiment seed the run was launched with.
+    pub seed: u64,
+    /// Epoch the snapshot was taken in.
+    pub epoch: u64,
+    /// Batches of `epoch` completed when the snapshot was taken (the
+    /// resume point within the epoch's deterministic batch schedule).
+    pub batch_in_epoch: u64,
+    /// Per-rank global batch cursors — the value each rank's sampler
+    /// `next_batch_index()` must resume from. These are the PRNG
+    /// split-stream positions: the keyed sampling RNG has no advancing
+    /// state beyond the batch index.
+    pub cursors: Vec<u64>,
+    /// Root PRNG state words (`Rng::seed_from_u64(seed).state()`),
+    /// stored so a resumed run can verify it derives the same streams.
+    pub rng: [u64; 4],
+    /// Flattened model parameters after the last completed batch.
+    pub params: Vec<f32>,
+    /// Adam step count.
+    pub adam_t: u64,
+    /// Adam first-moment vector.
+    pub adam_m: Vec<f32>,
+    /// Adam second-moment vector.
+    pub adam_v: Vec<f32>,
+}
+
+impl Wire for Checkpoint {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.seed.encode(out);
+        self.epoch.encode(out);
+        self.batch_in_epoch.encode(out);
+        self.cursors.encode(out);
+        for w in self.rng {
+            w.encode(out);
+        }
+        self.params.encode(out);
+        self.adam_t.encode(out);
+        self.adam_m.encode(out);
+        self.adam_v.encode(out);
+    }
+
+    fn decode(buf: &mut &[u8]) -> Result<Self, WireError> {
+        Ok(Checkpoint {
+            seed: u64::decode(buf)?,
+            epoch: u64::decode(buf)?,
+            batch_in_epoch: u64::decode(buf)?,
+            cursors: Vec::decode(buf)?,
+            rng: [
+                u64::decode(buf)?,
+                u64::decode(buf)?,
+                u64::decode(buf)?,
+                u64::decode(buf)?,
+            ],
+            params: Vec::decode(buf)?,
+            adam_t: u64::decode(buf)?,
+            adam_m: Vec::decode(buf)?,
+            adam_v: Vec::decode(buf)?,
+        })
+    }
+}
+
+impl Checkpoint {
+    /// The deterministic file name of this snapshot — a pure function
+    /// of the resume point, so same-seed runs produce identical paths.
+    pub fn file_name(&self) -> String {
+        format!("ckpt-e{}-b{}.bin", self.epoch, self.batch_in_epoch)
+    }
+
+    /// Writes the snapshot into `dir` (created if missing) under
+    /// [`Self::file_name`]. Returns the written path.
+    pub fn save(&self, dir: impl AsRef<Path>) -> Result<PathBuf, StoreError> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let path = dir.join(self.file_name());
+        write_versioned_as(&path, CKPT_MAGIC, encode(self)?)?;
+        Ok(path)
+    }
+
+    /// Reads a snapshot back. A bad header, truncated payload or
+    /// trailing garbage is a typed error, never a panic.
+    pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, StoreError> {
+        let bytes = read_versioned_as(path.as_ref(), CKPT_MAGIC)?;
+        decode(&bytes)
+    }
+
+    /// The most recent snapshot in `dir` (greatest `(epoch, batch)`),
+    /// or `None` when the directory holds no parseable checkpoint.
+    /// Unreadable files are skipped, not fatal: a torn last snapshot
+    /// must not block recovery from an older good one.
+    pub fn latest(dir: impl AsRef<Path>) -> Result<Option<Checkpoint>, StoreError> {
+        let mut best: Option<Checkpoint> = None;
+        for entry in std::fs::read_dir(dir.as_ref())? {
+            let entry = entry?;
+            if let Ok(c) = Checkpoint::load(entry.path()) {
+                if best
+                    .as_ref()
+                    .is_none_or(|b| (c.epoch, c.batch_in_epoch) > (b.epoch, b.batch_in_epoch))
+                {
+                    best = Some(c);
+                }
+            }
+        }
+        Ok(best)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(epoch: u64, batch: u64) -> Checkpoint {
+        Checkpoint {
+            seed: 0xD5B0,
+            epoch,
+            batch_in_epoch: batch,
+            cursors: vec![7, 7, 7],
+            rng: ds_rng_state(0xD5B0),
+            params: (0..32).map(|i| i as f32 * 0.25).collect(),
+            adam_t: 7,
+            adam_m: vec![0.125; 32],
+            adam_v: vec![0.5; 32],
+        }
+    }
+
+    // A stand-in for Rng::seed_from_u64(seed).state() — ds-store does
+    // not depend on ds-rng; the snapshot just carries the words.
+    fn ds_rng_state(seed: u64) -> [u64; 4] {
+        [seed, seed ^ 1, seed ^ 2, seed ^ 3]
+    }
+
+    fn tmpdir(name: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ds-ckpt-test-{}-{name}", std::process::id()));
+        std::fs::remove_dir_all(&d).ok();
+        d
+    }
+
+    #[test]
+    fn checkpoint_round_trips_bit_identically() {
+        let c = sample(1, 6);
+        let dir = tmpdir("roundtrip");
+        let path = c.save(&dir).unwrap();
+        assert!(path.ends_with("ckpt-e1-b6.bin"));
+        let loaded = Checkpoint::load(&path).unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!(loaded, c);
+    }
+
+    #[test]
+    fn same_snapshot_writes_byte_identical_files() {
+        let (da, db) = (tmpdir("bytes-a"), tmpdir("bytes-b"));
+        let pa = sample(0, 4).save(&da).unwrap();
+        let pb = sample(0, 4).save(&db).unwrap();
+        let (a, b) = (std::fs::read(&pa).unwrap(), std::fs::read(&pb).unwrap());
+        std::fs::remove_dir_all(&da).ok();
+        std::fs::remove_dir_all(&db).ok();
+        assert!(!a.is_empty());
+        assert_eq!(a, b, "same state must serialize to the same bytes");
+    }
+
+    #[test]
+    fn torn_snapshot_is_a_typed_error_not_a_panic() {
+        let dir = tmpdir("torn");
+        let path = sample(0, 2).save(&dir).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() / 2);
+        std::fs::write(&path, &bytes).unwrap();
+        let err = Checkpoint::load(&path).unwrap_err();
+        assert!(matches!(err, StoreError::Codec(_)), "{err}");
+        // Trailing garbage is rejected too.
+        let path2 = sample(0, 3).save(&dir).unwrap();
+        let mut bytes = std::fs::read(&path2).unwrap();
+        bytes.push(0xFF);
+        std::fs::write(&path2, &bytes).unwrap();
+        let err = Checkpoint::load(&path2).unwrap_err();
+        std::fs::remove_dir_all(&dir).ok();
+        assert!(matches!(err, StoreError::Codec(_)), "{err}");
+    }
+
+    #[test]
+    fn latest_skips_torn_files_and_orders_by_resume_point() {
+        let dir = tmpdir("latest");
+        sample(0, 8).save(&dir).unwrap();
+        sample(1, 2).save(&dir).unwrap();
+        // Newest-by-name snapshot is torn — recovery must fall back.
+        let torn = sample(1, 9).save(&dir).unwrap();
+        std::fs::write(&torn, b"DSPCKPT1torn").unwrap();
+        let best = Checkpoint::latest(&dir).unwrap().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
+        assert_eq!((best.epoch, best.batch_in_epoch), (1, 2));
+    }
+}

@@ -15,6 +15,9 @@ use ds_partition::{MultilevelPartitioner, Partition, Partitioner, Renumbering};
 use std::io::{Read, Write};
 use std::path::Path;
 
+pub mod ckpt;
+pub use ckpt::Checkpoint;
+
 /// Format magic + version (bumped on breaking changes).
 const MAGIC: &[u8; 8] = b"DSPSTOR2";
 
@@ -125,27 +128,39 @@ pub struct StoredLayout {
     pub assignment: Vec<u32>,
 }
 
-fn write_versioned(path: &Path, payload: Vec<u8>) -> Result<(), StoreError> {
+pub(crate) fn write_versioned_as(
+    path: &Path,
+    magic: &[u8; 8],
+    payload: Vec<u8>,
+) -> Result<(), StoreError> {
     let mut f = std::fs::File::create(path)?;
-    f.write_all(MAGIC)?;
+    f.write_all(magic)?;
     f.write_all(&payload)?;
     Ok(())
 }
 
-fn read_versioned(path: &Path) -> Result<Vec<u8>, StoreError> {
+pub(crate) fn read_versioned_as(path: &Path, magic: &[u8; 8]) -> Result<Vec<u8>, StoreError> {
     let mut f = std::fs::File::open(path)?;
-    let mut magic = [0u8; 8];
-    f.read_exact(&mut magic)?;
-    if &magic != MAGIC {
+    let mut got = [0u8; 8];
+    f.read_exact(&mut got)?;
+    if &got != magic {
         return Err(StoreError::Format(format!(
             "bad header in {}: expected {:?}",
             path.display(),
-            std::str::from_utf8(MAGIC).unwrap()
+            std::str::from_utf8(magic).unwrap()
         )));
     }
     let mut rest = Vec::new();
     f.read_to_end(&mut rest)?;
     Ok(rest)
+}
+
+fn write_versioned(path: &Path, payload: Vec<u8>) -> Result<(), StoreError> {
+    write_versioned_as(path, MAGIC, payload)
+}
+
+fn read_versioned(path: &Path) -> Result<Vec<u8>, StoreError> {
+    read_versioned_as(path, MAGIC)
 }
 
 impl Wire for StoredDataset {
@@ -190,11 +205,11 @@ impl Wire for StoredLayout {
     }
 }
 
-fn encode<T: Wire>(value: &T) -> Result<Vec<u8>, StoreError> {
+pub(crate) fn encode<T: Wire>(value: &T) -> Result<Vec<u8>, StoreError> {
     Ok(value.to_bytes())
 }
 
-fn decode<T: Wire>(mut bytes: &[u8]) -> Result<T, StoreError> {
+pub(crate) fn decode<T: Wire>(mut bytes: &[u8]) -> Result<T, StoreError> {
     let v = T::decode(&mut bytes).map_err(|e| StoreError::Codec(e.to_string()))?;
     if !bytes.is_empty() {
         return Err(StoreError::Codec(format!(

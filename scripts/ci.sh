@@ -26,6 +26,19 @@ for seed in 1 2; do
         cargo test -q --offline --test fault_env
 done
 
+# Recovery stage: elastic recovery under chaos. A multi-seed soak where
+# a crashed sampler rejoins mid-run while delay-class chaos plays over
+# it (convergence must stay bit-identical through the rejoin), then the
+# checkpoint codec round-trip and the rejoin / flapping-peer / shard-
+# rebuild / checkpoint-resume scenarios rerun by name so a recovery
+# regression fails this stage explicitly, not just the workspace sweep.
+for seed in 1 2; do
+    DS_FAULT_PLAN="chaos:n=3; crash:rank=1,worker=sampler,batch=1; recover:rank=1,worker=sampler,batch=3" \
+        DS_FAULT_SEED="$seed" cargo test -q --offline --test fault_env
+done
+cargo test -q --offline -p ds-store ckpt
+cargo test -q --offline --test chaos -- rejoin flapping rebuild checkpoint resume
+
 # Check stage: deterministic schedule exploration of the concurrency
 # core. `--features check` swaps pipeline/comm/exec onto the
 # `ds_check::sync` shims; the model suites run bounded-exhaustive DFS

@@ -271,3 +271,175 @@ fn wedged_collective_times_out_within_the_deadline() {
     assert_eq!((diag.arrived, diag.expected), (1, 2));
     assert!(!diag.summary().is_empty());
 }
+
+// ---------------------------------------------------------------------
+// Elastic recovery: rejoin, flapping peers, shard rebuild, resume
+// ---------------------------------------------------------------------
+
+#[test]
+fn crashed_sampler_rejoins_and_the_run_exits_degraded_mode() {
+    let gpus = 2;
+    // Four epochs = four crash→rejoin cycles: plan batches are
+    // per-epoch, so the same window re-fires every epoch and the round
+    // pairing must survive repeated membership churn, not just one
+    // cycle (a real-time readmission race once wedged cycle three).
+    let (base_loss, base_sums, _, _) = run_epochs(None, gpus, 4);
+    for seed in CHAOS_SEEDS {
+        let plan = FaultPlan::new(seed)
+            .crash(1, WorkerKind::Sampler, 1)
+            .recover(1, WorkerKind::Sampler, 3);
+        let (loss, sums, report, _) = run_epochs(Some(plan), gpus, 4);
+        // Degraded local sampling and the post-rejoin collective path
+        // draw the exact same samples (RNG keyed on (seed, batch,
+        // layer, node)), so crash + rejoin is invisible to the math.
+        assert_eq!(base_loss, loss, "seed {seed}: recovered run diverged");
+        assert_eq!(base_sums, sums, "seed {seed}: replicas diverged");
+        assert_eq!(report.crashed, vec![(1, WorkerKind::Sampler, 1)]);
+        assert_eq!(report.recovered, vec![(1, WorkerKind::Sampler, 3)]);
+        assert!(
+            report.fully_recovered(),
+            "run must end out of degraded mode: {}",
+            report.summary()
+        );
+        assert!(report.summary().contains("rejoin"), "{}", report.summary());
+    }
+}
+
+#[test]
+fn flapping_peer_survives_crash_rejoin_recrash() {
+    let gpus = 2;
+    let (base_loss, base_sums, _, _) = run_epochs(None, gpus, 2);
+    // Crash at 1, rejoin at 3, crash again at 5, rejoin again at 7: the
+    // membership generation fences each boundary, and the supervisor
+    // records every distinct (rank, worker, batch) transition.
+    let plan = FaultPlan::new(CHAOS_SEEDS[0])
+        .crash(1, WorkerKind::Sampler, 1)
+        .recover(1, WorkerKind::Sampler, 3)
+        .crash(1, WorkerKind::Sampler, 5)
+        .recover(1, WorkerKind::Sampler, 7);
+    let (loss, sums, report, _) = run_epochs(Some(plan), gpus, 2);
+    assert_eq!(base_loss, loss, "flapping peer changed the trajectory");
+    assert_eq!(base_sums, sums, "replicas diverged");
+    assert_eq!(
+        report.crashed,
+        vec![(1, WorkerKind::Sampler, 1), (1, WorkerKind::Sampler, 5)]
+    );
+    assert_eq!(
+        report.recovered,
+        vec![(1, WorkerKind::Sampler, 3), (1, WorkerKind::Sampler, 7)]
+    );
+    assert!(report.fully_recovered(), "{}", report.summary());
+}
+
+#[test]
+fn lost_shard_rebuilds_in_background_and_reaches_healthy() {
+    let (base_loss, base_sums, _, _) = run_epochs(None, 2, 1);
+    let d = tiny();
+    let cfg = chaos_cfg();
+    let mut sys = DspSystem::new(&d, 2, &cfg, true);
+    assert!(sys.cluster().install_fault_hook(Arc::new(
+        FaultPlan::new(0).lose_shard(1).rebuild_shard(1, 2)
+    )));
+    let stats = sys
+        .try_run_epoch(0)
+        .expect("rebuild must not fail the epoch");
+    // Degraded fetches and post-rebuild hits return identical bytes.
+    assert_eq!(vec![stats.loss], base_loss);
+    assert_eq!(sys.all_checksums(), base_sums);
+    let report = sys.last_fault_report();
+    assert_eq!(report.shard_recoveries.len(), 1, "{}", report.summary());
+    let (rank, start, healthy) = report.shard_recoveries[0];
+    assert_eq!(rank, 1);
+    assert_eq!(start, 2, "rebuild starts at the planned batch");
+    assert!(healthy > start, "bounded-bandwidth rebuild takes batches");
+    assert!(
+        report.summary().contains("healthy@"),
+        "{}",
+        report.summary()
+    );
+    let (hits, cold) = sys.loader_totals();
+    assert!(cold > 0, "degraded window must have forced cold fetches");
+    assert!(hits > 0, "rebuilt shard must serve hits again");
+}
+
+#[test]
+fn checkpoints_are_byte_identical_across_same_seed_runs() {
+    let d = tiny();
+    let dirs: Vec<std::path::PathBuf> = ["a", "b"]
+        .iter()
+        .map(|tag| std::env::temp_dir().join(format!("ds-ckpt-{}-{tag}", std::process::id())))
+        .collect();
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+        let cfg = TrainConfig {
+            ckpt_every: 4,
+            ckpt_dir: dir.clone(),
+            ..chaos_cfg()
+        };
+        let mut sys = DspSystem::new(&d, 2, &cfg, true);
+        sys.try_run_epoch(0).expect("clean epoch");
+    }
+    let list = |dir: &std::path::Path| {
+        let mut names: Vec<String> = std::fs::read_dir(dir)
+            .expect("checkpoint dir exists")
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        names.sort();
+        names
+    };
+    let (na, nb) = (list(&dirs[0]), list(&dirs[1]));
+    assert_eq!(na, nb, "same cadence, same snapshot set");
+    assert!(!na.is_empty(), "ckpt_every=4 must have produced snapshots");
+    for name in &na {
+        let a = std::fs::read(dirs[0].join(name)).unwrap();
+        let b = std::fs::read(dirs[1].join(name)).unwrap();
+        assert_eq!(a, b, "{name}: snapshots differ between same-seed runs");
+    }
+    for dir in &dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
+
+#[test]
+fn resume_from_checkpoint_matches_the_uninterrupted_trajectory() {
+    let d = tiny();
+    let cfg = chaos_cfg();
+    // Run A: two epochs, never interrupted, no checkpointing.
+    let mut a = DspSystem::new(&d, 2, &cfg, true);
+    let _e0 = a.try_run_epoch(0).expect("epoch 0");
+    let a_e1 = a.try_run_epoch(1).expect("epoch 1");
+    let a_sums = a.all_checksums();
+    // Run B: same seed with snapshots every 4 global batches; the
+    // system is dropped mid-story and a fresh one resumed from the
+    // latest snapshot on disk.
+    let dir = std::env::temp_dir().join(format!("ds-ckpt-resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ckpt_cfg = TrainConfig {
+        ckpt_every: 4,
+        ckpt_dir: dir.clone(),
+        ..chaos_cfg()
+    };
+    {
+        let mut b = DspSystem::new(&d, 2, &ckpt_cfg, true);
+        b.try_run_epoch(0).expect("epoch 0 with snapshots");
+        // "crash": the system is dropped here, all in-memory state lost.
+    }
+    let ckpt = dsp::store::Checkpoint::latest(&dir)
+        .expect("scan checkpoint dir")
+        .expect("at least one snapshot");
+    assert_eq!(ckpt.epoch, 0);
+    assert!(ckpt.batch_in_epoch > 0);
+    let mut b = DspSystem::resume(&d, 2, &cfg, true, &ckpt);
+    b.try_run_epoch_from(ckpt.epoch, ckpt.batch_in_epoch)
+        .expect("finish the interrupted epoch");
+    let b_e1 = b.try_run_epoch(1).expect("epoch 1 after resume");
+    // Bit-identical: same losses for the post-resume epoch, same final
+    // replica checksums — the interruption is invisible.
+    assert_eq!(a_e1.loss, b_e1.loss, "epoch-1 loss diverged after resume");
+    assert_eq!(
+        a_sums,
+        b.all_checksums(),
+        "final model diverged after resume"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -326,3 +326,190 @@ fn skip_worker_unwedges_the_successor_under_all_schedules() {
     });
     assert!(report.schedules > 10);
 }
+
+// ---------------------------------------------------------------------
+// Membership generations: the rejoin fence (ds-comm `try_rejoin`)
+// ---------------------------------------------------------------------
+//
+// ds-comm fences peer rejoin with a membership generation: every
+// effective `mark_failed` / rejoin bumps a counter, and a healer's
+// commit is accepted only if the generation it observed is still
+// current — checked and committed under ONE lock hold. These models
+// run that protocol shape (on the shims, Gate-style) through its three
+// claimed-safe races — concurrent healers, a late joiner parked on the
+// readmission, a healer that dies mid-handshake — and then prove
+// ds-check finds the lost-wake in the obvious unfenced variant.
+
+/// Minimal model of ds-comm's membership fence (`Round.membership` +
+/// `try_rejoin`): a generation counter and per-rank liveness behind one
+/// lock, every effective transition bumping the generation and waking
+/// parked observers.
+struct Membership {
+    state: ds_check::sync::Mutex<(u64, [bool; 2])>,
+    cv: ds_check::sync::Condvar,
+}
+
+impl Membership {
+    fn new() -> Membership {
+        Membership {
+            state: ds_check::sync::Mutex::new((0, [true; 2])),
+            cv: ds_check::sync::Condvar::new(),
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        self.state.lock().unwrap().0
+    }
+
+    fn mark_failed(&self, rank: usize) {
+        let mut s = self.state.lock().unwrap();
+        if s.1[rank] {
+            s.1[rank] = false;
+            s.0 += 1;
+            self.cv.notify_all();
+        }
+    }
+
+    /// The fence: the observed generation is validated and the
+    /// readmission committed under one lock hold — no window for a
+    /// concurrent transition between check and commit.
+    fn try_rejoin(&self, rank: usize, observed: u64) -> Result<u64, u64> {
+        let mut s = self.state.lock().unwrap();
+        if observed != s.0 {
+            return Err(s.0);
+        }
+        if !s.1[rank] {
+            s.1[rank] = true;
+            s.0 += 1;
+        }
+        self.cv.notify_all();
+        Ok(s.0)
+    }
+
+    /// Fenced wait: the predicate is re-checked under the lock around
+    /// every park, so a wake between check and wait cannot be lost.
+    fn await_member(&self, rank: usize) -> u64 {
+        let mut s = self.state.lock().unwrap();
+        while !s.1[rank] {
+            s = self.cv.wait(s).unwrap();
+        }
+        s.0
+    }
+
+    /// The bug ds-check must find: the generation is read under one
+    /// lock hold and the park taken under another, with no re-check —
+    /// a bump landing between the two is a lost wake.
+    fn await_change_unfenced(&self, observed: u64) {
+        let cur = self.state.lock().unwrap().0;
+        if cur == observed {
+            let s = self.state.lock().unwrap();
+            let _s = self.cv.wait(s).unwrap();
+        }
+    }
+}
+
+/// A supervisor healing `rank`: observe, attempt, refresh on staleness —
+/// exactly the retry loop `DspSystem::rejoin_sampler` runs against
+/// `CommError::StaleGeneration`.
+fn heal(m: &Membership, rank: usize) -> u64 {
+    let mut observed = m.generation(); // may go stale before the commit
+    loop {
+        match m.try_rejoin(rank, observed) {
+            Ok(g) => return g,
+            Err(cur) => observed = cur,
+        }
+    }
+}
+
+#[test]
+fn concurrent_healers_never_wedge_and_every_bump_lands() {
+    let report = check(
+        "membership-concurrent-healers",
+        &dfs_plus_pct(2000, 150),
+        || {
+            let m = Arc::new(Membership::new());
+            m.mark_failed(0);
+            m.mark_failed(1);
+            // Both healers start from a deliberately stale observation so
+            // some schedules exercise the StaleGeneration refresh path.
+            let (m1, m2) = (Arc::clone(&m), Arc::clone(&m));
+            let h1 = ds_check::spawn(move || {
+                let mut observed = 0;
+                loop {
+                    match m1.try_rejoin(0, observed) {
+                        Ok(g) => return g,
+                        Err(cur) => observed = cur,
+                    }
+                }
+            });
+            let h2 = ds_check::spawn(move || heal(&m2, 1));
+            h1.join();
+            h2.join();
+            let (generation, alive) = *m.state.lock().unwrap();
+            assert_eq!(alive, [true; 2], "both ranks readmitted");
+            assert_eq!(generation, 4, "2 failures + 2 rejoins, each bumped once");
+        },
+    );
+    assert!(report.schedules > 100, "exploration actually branched");
+}
+
+#[test]
+fn late_joiner_parks_until_the_generation_advances() {
+    check("membership-late-joiner", &dfs_plus_pct(2000, 150), || {
+        let m = Arc::new(Membership::new());
+        m.mark_failed(1);
+        let waiter = {
+            let m = Arc::clone(&m);
+            // A worker gated on rank 1's readmission (the collective
+            // round that must not start while the peer is out).
+            ds_check::spawn(move || m.await_member(1))
+        };
+        let g = heal(&m, 1);
+        assert_eq!(g, 2, "failure and rejoin each bumped the generation");
+        assert!(waiter.join() >= 2, "waiter wakes after the rejoin commit");
+    });
+}
+
+#[test]
+fn healer_crash_mid_handshake_lets_a_helper_finish_the_commit() {
+    check(
+        "membership-crash-during-rejoin",
+        &dfs_plus_pct(2000, 150),
+        || {
+            let m = Arc::new(Membership::new());
+            m.mark_failed(0);
+            let (m1, m2, m3) = (Arc::clone(&m), Arc::clone(&m), Arc::clone(&m));
+            // The rejoining rank observes the generation and dies before it
+            // can commit (its thread returns without calling try_rejoin) —
+            // no lock is poisoned, no state is half-written.
+            let corpse = ds_check::spawn(move || m1.generation());
+            // A surviving supervisor completes the readmission on its
+            // behalf; the parked observer must wake in every interleaving.
+            let helper = ds_check::spawn(move || heal(&m2, 0));
+            let waiter = ds_check::spawn(move || m3.await_member(0));
+            corpse.join();
+            helper.join();
+            assert!(waiter.join() >= 2);
+        },
+    );
+}
+
+#[test]
+fn unfenced_generation_wait_loses_a_wake_somewhere() {
+    // Same protocol with the fence removed: some schedule bumps the
+    // generation between the observer's read and its park, the wake is
+    // lost, and the observer sleeps forever behind a join.
+    let failure = explore(&dfs_plus_pct(2000, 150), || {
+        let m = Arc::new(Membership::new());
+        let m1 = Arc::clone(&m);
+        let waiter = ds_check::spawn(move || m1.await_change_unfenced(0));
+        m.mark_failed(0);
+        waiter.join();
+    })
+    .expect_err("the unfenced check-then-park must wedge in some schedule");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock(_)),
+        "got {}",
+        failure.kind
+    );
+}

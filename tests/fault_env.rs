@@ -29,4 +29,24 @@ fn env_fault_plan_is_installed_and_is_timing_only() {
     assert_eq!(base.loss, chaotic.loss);
     assert_eq!(base.accuracy, chaotic.accuracy);
     assert_eq!(base.num_batches, chaotic.num_batches);
+
+    // A malformed plan in the same env var dies with a typed parse
+    // error that names the offending token and its byte span — what an
+    // operator sees when a deploy-script typo reaches DS_FAULT_PLAN.
+    // (Parsing is env-free; this stays in the single env-owning test fn
+    // only to document the operator-facing failure mode beside the
+    // plumbing it guards.)
+    let spec = "crash:rank=1,worker=sampler,batch=oops";
+    let err =
+        dsp::fault::FaultPlan::parse(spec, 0, 2).expect_err("non-integer batch must be rejected");
+    assert_eq!(err.token(), "oops");
+    assert_eq!(&spec[err.span()], "oops", "span points at the bad token");
+    assert!(err.to_string().contains("oops"), "{err}");
+
+    let spec = "stall:rank=0,worker=x,batch=1,secs=0.1; recover:rank=1,worker=gardener,batch=3";
+    let err =
+        dsp::fault::FaultPlan::parse(spec, 0, 2).expect_err("unknown worker must be rejected");
+    assert_eq!(err.token(), "x", "first bad entry wins");
+    assert_eq!(&spec[err.span()], "x");
+    assert!(err.to_string().contains("unknown worker"), "{err}");
 }
