@@ -10,7 +10,11 @@
 //! present in the baseline but missing from the fresh run also fails;
 //! new stages are additive and pass. A malformed file — missing or
 //! non-numeric `epoch_time_s` or stage `total_s`/`count` — fails
-//! rather than defaulting to 0 and zeroing the delta.
+//! rather than defaulting to 0 and zeroing the delta. Every
+//! missing-key failure names which side — the fresh run or the
+//! committed baseline — the key is missing from, so a red CI log says
+//! directly whether the code stopped reporting or the baseline is
+//! stale.
 //!
 //! Beneficial counters are gated the other way: `cache.hits` and
 //! `cache.prefetch_hits` must be present in the fresh run and may not
@@ -43,20 +47,21 @@ fn load(path: &str) -> Json {
 
 /// Required numeric field. A missing or non-numeric value means a
 /// malformed benchmark file; defaulting it to 0 would zero the delta
-/// and sail through the regression gate, so fail loudly instead.
-fn num(j: &Json, key: &str, path: &str) -> f64 {
-    j.get(key)
-        .and_then(Json::as_f64)
-        .unwrap_or_else(|| panic!("{path}: missing or non-numeric `{key}`"))
+/// and sail through the regression gate, so fail loudly instead,
+/// naming the side the key is missing from.
+fn num(j: &Json, key: &str, side: &str, path: &str) -> f64 {
+    j.get(key).and_then(Json::as_f64).unwrap_or_else(|| {
+        panic!("bench_diff: gated key `{key}` missing or non-numeric in the {side} ({path})")
+    })
 }
 
 /// Mean per-batch seconds for every stage, sorted by name.
-fn stage_means(j: &Json, path: &str) -> Vec<(String, f64)> {
+fn stage_means(j: &Json, side: &str, path: &str) -> Vec<(String, f64)> {
     let mut out = Vec::new();
     if let Some(Json::Obj(stages)) = j.get("stages") {
         for (name, s) in stages {
-            let total = num(s, "total_s", path);
-            let count = num(s, "count", path);
+            let total = num(s, "total_s", side, path);
+            let count = num(s, "count", side, path);
             if count > 0.0 {
                 out.push((name.clone(), total / count));
             }
@@ -76,16 +81,17 @@ fn main() -> ExitCode {
     let base = load(&base_path);
 
     let mut rows: Vec<(String, f64, f64)> = Vec::new();
-    let be = num(&base, "epoch_time_s", &base_path);
-    let fe = num(&fresh, "epoch_time_s", &fresh_path);
+    let be = num(&base, "epoch_time_s", "baseline", &base_path);
+    let fe = num(&fresh, "epoch_time_s", "fresh run", &fresh_path);
     rows.push(("epoch_time".into(), be, fe));
-    let fresh_means = stage_means(&fresh, &fresh_path);
-    for (name, bmean) in stage_means(&base, &base_path) {
+    let fresh_means = stage_means(&fresh, "fresh run", &fresh_path);
+    for (name, bmean) in stage_means(&base, "baseline", &base_path) {
         match fresh_means.iter().find(|(n, _)| *n == name) {
             Some((_, fmean)) => rows.push((format!("stage.{name}"), bmean, *fmean)),
             None => {
                 eprintln!(
-                    "bench_diff: stage `{name}` present in baseline, missing from {fresh_path}"
+                    "bench_diff: gated stage `{name}` present in the baseline ({base_path}), \
+                     missing from the fresh run ({fresh_path})"
                 );
                 return ExitCode::FAILURE;
             }
@@ -102,8 +108,9 @@ fn main() -> ExitCode {
             Some(f) => rows.push((RECOVERY_LATENCY.into(), b, f)),
             None => {
                 eprintln!(
-                    "bench_diff: `{RECOVERY_LATENCY}` present in baseline, missing from \
-                     {fresh_path} — the recovery lane stopped reporting"
+                    "bench_diff: gated counter `{RECOVERY_LATENCY}` present in the baseline \
+                     ({base_path}), missing from the fresh run ({fresh_path}) — the recovery \
+                     lane stopped reporting"
                 );
                 return ExitCode::FAILURE;
             }
@@ -112,7 +119,10 @@ fn main() -> ExitCode {
     let mut failed = false;
     for key in BENEFICIAL_COUNTERS {
         let Some(f) = counter(&fresh, key) else {
-            eprintln!("bench_diff: beneficial counter `{key}` missing from {fresh_path}");
+            eprintln!(
+                "bench_diff: gated beneficial counter `{key}` missing from the fresh run \
+                 ({fresh_path})"
+            );
             failed = true;
             continue;
         };

@@ -1,0 +1,156 @@
+//! bench_serve_diff: CI regression gate over the serving benchmark.
+//!
+//! Compares a fresh `BENCH_serve.json` against the committed
+//! `results/BENCH_serve_baseline.json`, point by point. Latencies
+//! (p50/p99/p999) are virtual-clock times, bit-deterministic per source
+//! tree: any of them regressing by more than 25% fails, as does goodput
+//! collapsing below 75% of the baseline. Structural signals are gated
+//! for presence: a load point that shed or degraded in the baseline
+//! must still do so fresh — losing those means the overload or fault
+//! lane stopped exercising its path. Every missing-key failure names
+//! which side (fresh run vs baseline) the key is missing from.
+//!
+//! Usage: bench_serve_diff [fresh.json] [baseline.json]
+
+use ds_trace::json::{parse, Json};
+use std::process::ExitCode;
+
+const THRESHOLD: f64 = 0.25;
+const GOODPUT_FLOOR: f64 = 0.75;
+/// Latency keys gated "fresh must not exceed baseline by THRESHOLD".
+const LATENCY_KEYS: [&str; 3] = ["p50_ms", "p99_ms", "p999_ms"];
+/// Count keys gated "non-zero in baseline ⇒ non-zero fresh".
+const PRESENCE_KEYS: [&str; 3] = ["shed_queue", "degraded", "degraded_batches"];
+
+struct Side<'a> {
+    label: &'a str,
+    path: &'a str,
+    json: Json,
+}
+
+fn load<'a>(label: &'a str, path: &'a str) -> Side<'a> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_serve_diff: read {label} ({path}): {e}"));
+    let json =
+        parse(&text).unwrap_or_else(|e| panic!("bench_serve_diff: parse {label} ({path}): {e}"));
+    Side { label, path, json }
+}
+
+impl Side<'_> {
+    fn points(&self) -> &[Json] {
+        match self.json.get("points") {
+            Some(Json::Arr(v)) => v,
+            _ => panic!(
+                "bench_serve_diff: gated key `points` missing or not an array in the {} ({})",
+                self.label, self.path
+            ),
+        }
+    }
+}
+
+/// Gated numeric field of one load point; failure names the side.
+fn num(p: &Json, key: &str, side: &Side, idx: usize) -> f64 {
+    p.get(key).and_then(Json::as_f64).unwrap_or_else(|| {
+        panic!(
+            "bench_serve_diff: gated key `{key}` missing from point {idx} of the {} ({})",
+            side.label, side.path
+        )
+    })
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let fresh_path = args.next().unwrap_or_else(|| "BENCH_serve.json".into());
+    let base_path = args
+        .next()
+        .unwrap_or_else(|| "results/BENCH_serve_baseline.json".into());
+    let fresh = load("fresh run", &fresh_path);
+    let base = load("baseline", &base_path);
+
+    let fpts = fresh.points();
+    let bpts = base.points();
+    if fpts.len() < bpts.len() {
+        eprintln!(
+            "bench_serve_diff: baseline ({base_path}) has {} load points, fresh run \
+             ({fresh_path}) only {} — a gated point is missing from the fresh run",
+            bpts.len(),
+            fpts.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    println!(
+        "{:<7} {:<16} {:>14} {:>14} {:>9}",
+        "point", "metric", "baseline", "fresh", "delta"
+    );
+    for (i, bp) in bpts.iter().enumerate() {
+        let fp = &fpts[i];
+        let brate = num(bp, "offered_rps", &base, i);
+        let frate = num(fp, "offered_rps", &fresh, i);
+        if (brate - frate).abs() > 1e-9 {
+            eprintln!(
+                "bench_serve_diff: point {i} offered_rps mismatch — baseline ({base_path}) \
+                 has {brate}, fresh run ({fresh_path}) has {frate}"
+            );
+            failed = true;
+            continue;
+        }
+        for key in LATENCY_KEYS {
+            let b = num(bp, key, &base, i);
+            let f = num(fp, key, &fresh, i);
+            let delta = if b > 0.0 { (f - b) / b } else { 0.0 };
+            let flag = if b > 0.0 && delta > THRESHOLD {
+                failed = true;
+                "  REGRESSION"
+            } else {
+                ""
+            };
+            println!(
+                "{i:<7} {key:<16} {b:>14.9} {f:>14.9} {:>+8.1}%{flag}",
+                delta * 100.0
+            );
+        }
+        let bg = num(bp, "goodput_rps", &base, i);
+        let fg = num(fp, "goodput_rps", &fresh, i);
+        let gdelta = if bg > 0.0 { (fg - bg) / bg } else { 0.0 };
+        let gflag = if bg > 0.0 && fg < bg * GOODPUT_FLOOR {
+            failed = true;
+            "  COLLAPSED"
+        } else {
+            ""
+        };
+        println!(
+            "{i:<7} {:<16} {bg:>14.3} {fg:>14.3} {:>+8.1}%{gflag}",
+            "goodput_rps",
+            gdelta * 100.0
+        );
+        for key in PRESENCE_KEYS {
+            let b = num(bp, key, &base, i);
+            let f = num(fp, key, &fresh, i);
+            if b > 0.0 && f == 0.0 {
+                eprintln!(
+                    "bench_serve_diff: point {i} `{key}` is {b} in the baseline ({base_path}) \
+                     but 0 in the fresh run ({fresh_path}) — that lane stopped firing"
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        eprintln!(
+            "bench_serve_diff: regression vs {base_path} (latency threshold {:.0}%, goodput \
+             floor {:.0}%)",
+            THRESHOLD * 100.0,
+            GOODPUT_FLOOR * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_serve_diff: OK ({} points, threshold {:.0}%)",
+            bpts.len(),
+            THRESHOLD * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -135,6 +135,47 @@ pub enum RebuildStatus {
     },
 }
 
+/// Rows repopulated per batch while a rebuild is in flight: an eighth
+/// of the shard (rounded up) per batch, so the rebuild rides the
+/// prefetch lane's PCIe budget as a bounded stream rather than one
+/// burst that starves demand fetches.
+pub fn rebuild_rows_per_batch(cached_rows: u64) -> u64 {
+    cached_rows.div_ceil(8).max(1)
+}
+
+/// Where `rank`'s shard rebuild stands at `batch`, given the cluster's
+/// installed fault hook and the shard's row count; `None` when the
+/// shard was never lost. Pure in `batch`, so the training loader and
+/// the serving fetcher — which key on different batch streams — both
+/// observe a consistent `Lost → Recovering → Healthy` progression.
+pub fn shard_rebuild_status(
+    cluster: &Cluster,
+    rank: usize,
+    cached_rows: u64,
+    batch: u64,
+) -> Option<RebuildStatus> {
+    let hook = cluster.fault_hook()?;
+    if !hook.cache_shard_lost(rank) {
+        return None;
+    }
+    let start = match hook.shard_rebuild_from(rank) {
+        Some(s) => s,
+        None => return Some(RebuildStatus::Lost),
+    };
+    if batch < start {
+        return Some(RebuildStatus::Lost);
+    }
+    let healthy_at = start
+        + cached_rows
+            .div_ceil(rebuild_rows_per_batch(cached_rows))
+            .max(1);
+    if batch >= healthy_at {
+        Some(RebuildStatus::Healthy { since: healthy_at })
+    } else {
+        Some(RebuildStatus::Recovering { healthy_at })
+    }
+}
+
 /// Common loader interface: fetch the feature rows of `nodes` (assumed
 /// deduplicated — the sampler's input set already is).
 pub trait FeatureLoader {
@@ -254,38 +295,21 @@ impl DspLoader {
         out
     }
 
-    /// Rows repopulated per batch while a rebuild is in flight: an
-    /// eighth of the shard (rounded up) per batch, so the rebuild rides
-    /// the prefetch lane's PCIe budget as a bounded stream rather than
-    /// one burst that starves demand fetches.
+    /// Rows repopulated per batch while a rebuild is in flight.
     fn rebuild_rows_per_batch(&self) -> u64 {
-        (self.cache.cached_rows(self.rank) as u64)
-            .div_ceil(8)
-            .max(1)
+        rebuild_rows_per_batch(self.cache.cached_rows(self.rank) as u64)
     }
 
     /// Where this rank's shard rebuild stands at `batch`; `None` when
     /// the shard was never lost. Pure in `batch` — retries and replays
     /// observe identical state.
     pub fn rebuild_status(&self, batch: u64) -> Option<RebuildStatus> {
-        let hook = self.cluster.fault_hook()?;
-        if !hook.cache_shard_lost(self.rank) {
-            return None;
-        }
-        let start = match hook.shard_rebuild_from(self.rank) {
-            Some(s) => s,
-            None => return Some(RebuildStatus::Lost),
-        };
-        if batch < start {
-            return Some(RebuildStatus::Lost);
-        }
-        let total = self.cache.cached_rows(self.rank) as u64;
-        let healthy_at = start + total.div_ceil(self.rebuild_rows_per_batch()).max(1);
-        if batch >= healthy_at {
-            Some(RebuildStatus::Healthy { since: healthy_at })
-        } else {
-            Some(RebuildStatus::Recovering { healthy_at })
-        }
+        shard_rebuild_status(
+            &self.cluster,
+            self.rank,
+            self.cache.cached_rows(self.rank) as u64,
+            batch,
+        )
     }
 
     /// Answers one owner-side query against the dynamic shard, moving

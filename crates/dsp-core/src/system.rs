@@ -2,8 +2,8 @@
 
 use crate::stats::EpochStats;
 use ds_graph::{Csr, Features, Labels, NodeId};
-use ds_sampling::local::{self, request_rng};
-use ds_sampling::sample::{GraphSample, SampleLayer};
+use ds_sampling::local;
+use ds_sampling::sample::GraphSample;
 use ds_simgpu::Cluster;
 use ds_tensor::matrix::Matrix;
 use std::sync::Arc;
@@ -32,27 +32,11 @@ pub trait System {
 
 /// Deterministic local sampling used for *evaluation only* (no timing,
 /// no communication): the batch index is offset so evaluation never
-/// reuses a training batch's random stream.
+/// reuses a training batch's random stream. Online serving (`ds-serve`)
+/// uses the same kernel under its own disjoint batch base.
 pub fn eval_sample(graph: &Csr, seeds: &[NodeId], fanout: &[usize], seed: u64) -> GraphSample {
     const EVAL_BATCH_BASE: u64 = 1 << 40;
-    let mut frontier: Vec<NodeId> = seeds.to_vec();
-    let mut layers = Vec::with_capacity(fanout.len());
-    for (l, &fan) in fanout.iter().enumerate() {
-        let mut offsets = vec![0u32];
-        let mut neighbors = Vec::new();
-        for &v in &frontier {
-            let mut rng = request_rng(seed, EVAL_BATCH_BASE, l, v);
-            let nb = graph.neighbors(v);
-            if !nb.is_empty() {
-                neighbors.extend(local::sample_uniform(nb, fan, &mut rng));
-            }
-            offsets.push(neighbors.len() as u32);
-        }
-        let layer = SampleLayer::new(frontier.clone(), offsets, neighbors);
-        frontier = layer.src.clone();
-        layers.push(layer);
-    }
-    GraphSample::new(seeds.to_vec(), layers)
+    local::local_sample(graph, seeds, fanout, seed, EVAL_BATCH_BASE)
 }
 
 /// Evaluates a trainer's model on `nodes` in chunks, gathering input
@@ -90,6 +74,8 @@ pub fn evaluate_model(
 mod tests {
     use super::*;
     use ds_graph::gen;
+    use ds_sampling::local::request_rng;
+    use ds_sampling::sample::SampleLayer;
 
     #[test]
     fn eval_sample_is_valid_and_deterministic() {

@@ -1,0 +1,86 @@
+//! Inference-side kernel-time model.
+//!
+//! Serving runs the forward pass only, so its modelled cost is a strict
+//! subset of [`crate::Trainer`]'s training step: one GEMM per layer
+//! (not three — no weight/input gradients) and one gather + segment
+//! reduction (not two — no backward re-traversal). Keeping the charge
+//! here, next to the model, lets the serving engine price a micro-batch
+//! without constructing a trainer (which would drag in a communicator
+//! it never uses).
+
+use crate::model::{GnnKind, GnnModel};
+use ds_sampling::GraphSample;
+use ds_simgpu::clock::ResKind;
+use ds_simgpu::{Clock, MachineModel};
+
+/// Charges the modelled kernel time of one forward-only pass over
+/// `sample` onto `clock`: per layer, the forward GEMM plus the gather
+/// and segment-mean kernels.
+pub fn charge_forward(
+    clock: &mut Clock,
+    machine: &MachineModel,
+    model: &GnnModel,
+    sample: &GraphSample,
+) {
+    let nl = model.num_layers();
+    let dims = model.dims();
+    for k in 0..nl {
+        let block = &sample.layers[nl - 1 - k];
+        let fan_in = match model.kind() {
+            GnnKind::GraphSage => 2 * dims[k],
+            GnnKind::Gcn | GnnKind::Gat => dims[k],
+        };
+        let t = machine.gemm_time(block.num_dst() as u64, fan_in as u64, dims[k + 1] as u64);
+        clock.work_on(t, ResKind::Gemm);
+        let row_bytes = dims[k] as u64 * 4;
+        clock.work_on(
+            machine.gather_time(block.num_edges() as u64 + block.num_dst() as u64, row_bytes),
+            ResKind::Hbm,
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_sampling::sample::SampleLayer;
+
+    fn toy() -> (GnnModel, GraphSample) {
+        let model = GnnModel::new(GnnKind::GraphSage, 8, 16, 4, 1, 3);
+        let sample = GraphSample::new(
+            vec![0, 1],
+            vec![SampleLayer::new(
+                vec![0, 1],
+                vec![0, 2, 4],
+                vec![2, 3, 3, 4],
+            )],
+        );
+        (model, sample)
+    }
+
+    #[test]
+    fn forward_charge_is_cheaper_than_a_training_step() {
+        let (model, sample) = toy();
+        let machine = MachineModel::default();
+        let mut fwd = Clock::new();
+        charge_forward(&mut fwd, &machine, &model, &sample);
+        assert!(fwd.now() > 0.0, "forward pass must cost virtual time");
+        // Training charges 3× the GEMM and 2× the gather of the same
+        // shapes (see Trainer::charge_compute); forward-only must come
+        // in strictly under that.
+        let block = &sample.layers[0];
+        let train = 3.0 * machine.gemm_time(block.num_dst() as u64, 2 * 8, 16)
+            + 2.0 * machine.gather_time((block.num_edges() + block.num_dst()) as u64, 8 * 4);
+        assert!(fwd.now() < train, "{} !< {train}", fwd.now());
+    }
+
+    #[test]
+    fn forward_charge_is_deterministic() {
+        let (model, sample) = toy();
+        let machine = MachineModel::default();
+        let (mut a, mut b) = (Clock::new(), Clock::new());
+        charge_forward(&mut a, &machine, &model, &sample);
+        charge_forward(&mut b, &machine, &model, &sample);
+        assert_eq!(a.now().to_bits(), b.now().to_bits());
+    }
+}

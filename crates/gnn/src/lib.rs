@@ -14,9 +14,11 @@
 //!   time charged from the GEMM/gather cost model.
 
 pub mod gat;
+pub mod infer;
 pub mod layers;
 pub mod model;
 pub mod trainer;
 
+pub use infer::charge_forward;
 pub use model::{GnnKind, GnnModel};
 pub use trainer::{BatchResult, Trainer};

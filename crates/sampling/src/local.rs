@@ -1,7 +1,8 @@
 //! Local neighbor-sampling kernels — what each GPU executes in CSP's
 //! *sample* stage (and what the UVA/CPU baselines run per frontier node).
 
-use ds_graph::NodeId;
+use crate::sample::{GraphSample, SampleLayer};
+use ds_graph::{Csr, NodeId};
 use ds_rng::Rng;
 
 /// Derives the RNG for one sampling request from logical identifiers
@@ -19,6 +20,39 @@ pub fn request_rng(seed: u64, batch: u64, layer: usize, node: NodeId) -> Rng {
     x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
     x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
     Rng::seed_from_u64(x ^ (x >> 31))
+}
+
+/// Samples a full multi-layer neighborhood on one device, with every
+/// draw keyed through [`request_rng`] on `(seed, batch, layer, node)` —
+/// the same logical keying as the distributed samplers, in a
+/// caller-chosen batch stream. Evaluation (`dsp-core`) and online
+/// serving (`ds-serve`) both replay through here with disjoint batch
+/// bases, so neither can collide with a training batch's random stream.
+pub fn local_sample(
+    graph: &Csr,
+    seeds: &[NodeId],
+    fanout: &[usize],
+    seed: u64,
+    batch: u64,
+) -> GraphSample {
+    let mut frontier: Vec<NodeId> = seeds.to_vec();
+    let mut layers = Vec::with_capacity(fanout.len());
+    for (l, &fan) in fanout.iter().enumerate() {
+        let mut offsets = vec![0u32];
+        let mut neighbors = Vec::new();
+        for &v in &frontier {
+            let mut rng = request_rng(seed, batch, l, v);
+            let nb = graph.neighbors(v);
+            if !nb.is_empty() {
+                neighbors.extend(sample_uniform(nb, fan, &mut rng));
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        let layer = SampleLayer::new(frontier.clone(), offsets, neighbors);
+        frontier = layer.src.clone();
+        layers.push(layer);
+    }
+    GraphSample::new(seeds.to_vec(), layers)
 }
 
 /// Samples `k` neighbors uniformly **without replacement**; returns the

@@ -1,0 +1,346 @@
+//! The front-end micro-batcher: a bounded admission queue whose
+//! contents flush as a batch when either the size trigger
+//! (`batch_max` queued) or the deadline trigger (an external flush
+//! tick) fires — whichever comes first.
+//!
+//! Two layers:
+//!
+//! * [`BatcherCore`] — the pure decision state machine (admit/shed,
+//!   ready/flush/close). The virtual-time serving engine drives it
+//!   directly, which keeps every admission and batch-composition
+//!   decision a function of the arrival trace alone.
+//! * [`MicroBatcher`] — the concurrent wrapper: a mutex + condvar
+//!   handshake between enqueuers, a deadline ticker and the consumer.
+//!   Built on the `crate::sync` alias layer, so the *same* protocol
+//!   runs under `ds-check` schedule exploration (workspace
+//!   `tests/check_models.rs`): no interleaving of a late enqueue with
+//!   a racing flush or shutdown may lose a wake or strand an item.
+
+use crate::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+use crate::{ServeError, ShedReason};
+use std::collections::VecDeque;
+
+fn lock_unpoisoned<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Outcome of offering one item to the batcher.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Offer<T> {
+    /// Queued; `ready` says a batch can be taken right now (the size
+    /// trigger fired) — the concurrent wrapper turns it into a wake.
+    Admitted {
+        /// A full batch is now available.
+        ready: bool,
+    },
+    /// Refused; the item comes back to the caller with the reason.
+    Shed {
+        /// Why admission refused it.
+        reason: ShedReason,
+        /// The refused item.
+        item: T,
+    },
+}
+
+/// The pure micro-batching state machine. Not thread-safe on its own —
+/// the engine owns one outright; [`MicroBatcher`] owns one under a
+/// mutex.
+pub struct BatcherCore<T> {
+    pending: VecDeque<T>,
+    batch_max: usize,
+    queue_cap: usize,
+    flush_requested: bool,
+    closed: bool,
+}
+
+impl<T> BatcherCore<T> {
+    /// A batcher flushing at `batch_max` items, shedding beyond
+    /// `queue_cap` queued.
+    pub fn new(batch_max: usize, queue_cap: usize) -> Self {
+        assert!(batch_max >= 1, "batches need at least one request");
+        assert!(
+            queue_cap >= batch_max,
+            "admission queue must hold at least one full batch"
+        );
+        BatcherCore {
+            pending: VecDeque::new(),
+            batch_max,
+            queue_cap,
+            flush_requested: false,
+            closed: false,
+        }
+    }
+
+    /// Queued items not yet taken.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// The oldest queued item (the one whose age drives the deadline
+    /// trigger).
+    pub fn front(&self) -> Option<&T> {
+        self.pending.front()
+    }
+
+    /// Whether [`Self::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.closed
+    }
+
+    /// Offers one item: shed when closed or full, queued otherwise.
+    pub fn offer(&mut self, item: T) -> Offer<T> {
+        if self.closed {
+            return Offer::Shed {
+                reason: ShedReason::Closed,
+                item,
+            };
+        }
+        if self.pending.len() >= self.queue_cap {
+            return Offer::Shed {
+                reason: ShedReason::QueueFull,
+                item,
+            };
+        }
+        self.pending.push_back(item);
+        Offer::Admitted {
+            ready: self.batch_ready(),
+        }
+    }
+
+    /// The deadline trigger: marks queued items flushable even below
+    /// `batch_max`. Returns whether anything is there to flush (a tick
+    /// against an empty queue is a no-op, not a pending obligation —
+    /// otherwise an old tick would spuriously flush a future batch).
+    pub fn request_flush(&mut self) -> bool {
+        if self.pending.is_empty() {
+            return false;
+        }
+        self.flush_requested = true;
+        true
+    }
+
+    /// Stops admission. Already-queued items stay takeable — shutdown
+    /// drains, it never drops.
+    pub fn close(&mut self) {
+        self.closed = true;
+    }
+
+    /// Whether a batch can be taken right now: size trigger, pending
+    /// flush tick, or close-time drain.
+    pub fn batch_ready(&self) -> bool {
+        self.pending.len() >= self.batch_max
+            || (!self.pending.is_empty() && (self.flush_requested || self.closed))
+    }
+
+    /// Takes up to `batch_max` items when a trigger fired, oldest
+    /// first; `None` when no trigger is pending.
+    pub fn take_ready_batch(&mut self) -> Option<Vec<T>> {
+        if !self.batch_ready() {
+            return None;
+        }
+        let k = self.pending.len().min(self.batch_max);
+        let batch: Vec<T> = self.pending.drain(..k).collect();
+        if self.pending.is_empty() {
+            self.flush_requested = false;
+        }
+        Some(batch)
+    }
+}
+
+/// The concurrent front end over [`BatcherCore`]: enqueuers, a
+/// deadline ticker and one (or more) consumers meet under a single
+/// lock, with a condvar carrying "a batch became takeable" wakes.
+pub struct MicroBatcher<T> {
+    state: Mutex<BatcherCore<T>>,
+    ready: Condvar,
+}
+
+impl<T> MicroBatcher<T> {
+    /// See [`BatcherCore::new`].
+    pub fn new(batch_max: usize, queue_cap: usize) -> Self {
+        MicroBatcher {
+            state: Mutex::new(BatcherCore::new(batch_max, queue_cap)),
+            ready: Condvar::new(),
+        }
+    }
+
+    /// Admits one request or sheds it with a typed reason. An enqueue
+    /// that completes a full batch must wake the consumer here — this
+    /// is one of the two wakes whose loss the ds-check model hunts.
+    pub fn enqueue(&self, item: T) -> Result<(), ServeError> {
+        let mut st = lock_unpoisoned(&self.state);
+        match st.offer(item) {
+            Offer::Admitted { ready } => {
+                if ready {
+                    self.ready.notify_one();
+                }
+                Ok(())
+            }
+            Offer::Shed { reason, .. } => Err(ServeError::Shed(reason)),
+        }
+    }
+
+    /// The deadline trigger: flush whatever is queued, even a partial
+    /// batch. A tick against an empty queue is a no-op.
+    pub fn tick(&self) {
+        let mut st = lock_unpoisoned(&self.state);
+        if st.request_flush() {
+            self.ready.notify_one();
+        }
+    }
+
+    /// Stops admission and wakes everyone: queued items drain as final
+    /// batches, late enqueuers observe `ShedReason::Closed`, parked
+    /// consumers see the drain through and then `None`.
+    pub fn shutdown(&self) {
+        let mut st = lock_unpoisoned(&self.state);
+        st.close();
+        self.ready.notify_all();
+    }
+
+    /// Blocks until a batch is takeable; `None` once the batcher is
+    /// shut down *and* drained — the consumer's clean exit.
+    pub fn next_batch(&self) -> Option<Vec<T>> {
+        let mut st = lock_unpoisoned(&self.state);
+        loop {
+            if let Some(batch) = st.take_ready_batch() {
+                return Some(batch);
+            }
+            if st.is_closed() {
+                // Closed and take_ready_batch returned None ⇒ drained.
+                return None;
+            }
+            st = self.ready.wait(st).unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Queued items not yet taken (diagnostics only — racy by nature).
+    pub fn len(&self) -> usize {
+        lock_unpoisoned(&self.state).len()
+    }
+
+    /// Whether nothing is queued right now (diagnostics only).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_trigger_flushes_exactly_batch_max() {
+        let mut core = BatcherCore::new(3, 8);
+        for i in 0..4 {
+            assert!(matches!(core.offer(i), Offer::Admitted { .. }));
+        }
+        assert!(core.batch_ready());
+        assert_eq!(core.take_ready_batch(), Some(vec![0, 1, 2]));
+        // One left — below batch_max and no flush tick: not ready.
+        assert_eq!(core.take_ready_batch(), None);
+        assert_eq!(core.len(), 1);
+    }
+
+    #[test]
+    fn deadline_trigger_flushes_partial_batches() {
+        let mut core = BatcherCore::new(4, 8);
+        core.offer(10);
+        assert_eq!(core.take_ready_batch(), None);
+        assert!(core.request_flush());
+        assert_eq!(core.take_ready_batch(), Some(vec![10]));
+        // The tick was consumed with the drain: no stale re-trigger.
+        core.offer(11);
+        assert_eq!(core.take_ready_batch(), None);
+    }
+
+    #[test]
+    fn flush_tick_on_empty_queue_is_inert() {
+        let mut core: BatcherCore<u32> = BatcherCore::new(2, 4);
+        assert!(!core.request_flush());
+        core.offer(1);
+        assert_eq!(core.take_ready_batch(), None, "no trigger fired yet");
+    }
+
+    #[test]
+    fn overflow_sheds_with_queue_full() {
+        let mut core = BatcherCore::new(2, 2);
+        core.offer(1);
+        core.offer(2);
+        match core.offer(3) {
+            Offer::Shed {
+                reason: ShedReason::QueueFull,
+                item,
+            } => assert_eq!(item, 3),
+            other => panic!("expected QueueFull shed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn close_drains_then_sheds_new_arrivals() {
+        let mut core = BatcherCore::new(4, 8);
+        core.offer(1);
+        core.offer(2);
+        core.close();
+        assert!(matches!(
+            core.offer(3),
+            Offer::Shed {
+                reason: ShedReason::Closed,
+                ..
+            }
+        ));
+        assert_eq!(core.take_ready_batch(), Some(vec![1, 2]));
+        assert_eq!(core.take_ready_batch(), None);
+    }
+
+    #[test]
+    fn concurrent_batcher_conserves_items() {
+        // Wall-clock smoke test of the handshake (the exhaustive
+        // exploration lives in the workspace check_models suite).
+        let mb = std::sync::Arc::new(MicroBatcher::new(4, 64));
+        let n = 256;
+        std::thread::scope(|s| {
+            let producer = {
+                let mb = std::sync::Arc::clone(&mb);
+                s.spawn(move || {
+                    let mut shed = 0;
+                    for i in 0..n {
+                        if mb.enqueue(i).is_err() {
+                            shed += 1;
+                        }
+                    }
+                    mb.tick();
+                    mb.shutdown();
+                    shed
+                })
+            };
+            let mut got = Vec::new();
+            while let Some(batch) = mb.next_batch() {
+                assert!(batch.len() <= 4);
+                got.extend(batch);
+            }
+            let shed = producer.join().unwrap();
+            assert_eq!(got.len() + shed, n, "every item flushed or shed");
+            let mut sorted = got.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), got.len(), "no item delivered twice");
+        });
+    }
+
+    #[test]
+    fn enqueue_after_shutdown_is_a_typed_shed() {
+        let mb: MicroBatcher<u32> = MicroBatcher::new(2, 4);
+        mb.shutdown();
+        assert!(matches!(
+            mb.enqueue(1),
+            Err(ServeError::Shed(ShedReason::Closed))
+        ));
+        assert_eq!(mb.next_batch(), None);
+    }
+}

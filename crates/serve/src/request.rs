@@ -1,0 +1,119 @@
+//! Requests, request classes and the open-loop workload generator.
+
+use ds_graph::NodeId;
+use ds_rng::Rng;
+
+/// Service class of a request — each class carries its own latency
+/// deadline (see [`crate::engine::ServeConfig::deadlines_s`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ReqClass {
+    /// User-facing lookup: tight deadline.
+    Interactive,
+    /// Default traffic.
+    Standard,
+    /// Batch/backfill traffic: loose deadline.
+    Bulk,
+}
+
+impl ReqClass {
+    /// Index into per-class arrays (deadlines, counters).
+    pub fn index(self) -> usize {
+        match self {
+            ReqClass::Interactive => 0,
+            ReqClass::Standard => 1,
+            ReqClass::Bulk => 2,
+        }
+    }
+
+    /// Display/report spelling.
+    pub fn name(self) -> &'static str {
+        match self {
+            ReqClass::Interactive => "interactive",
+            ReqClass::Standard => "standard",
+            ReqClass::Bulk => "bulk",
+        }
+    }
+}
+
+/// One "embed/classify node X" inference request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Request {
+    /// Position in the offered-load trace (unique per trace).
+    pub id: u64,
+    /// The queried node, in the layout's renumbered id space.
+    pub node: NodeId,
+    /// Service class.
+    pub class: ReqClass,
+    /// Virtual arrival time (seconds).
+    pub arrival_s: f64,
+}
+
+/// Generates an open-loop arrival trace: `n` requests with exponential
+/// inter-arrival times at `rate_rps` (a Poisson process — clients fire
+/// on their own schedule, never waiting for responses), nodes drawn
+/// uniformly, classes split 50/35/15 interactive/standard/bulk. Fully
+/// determined by `seed`; independent of how the server behaves, which
+/// is what makes overload measurable at all.
+pub fn open_loop_trace(seed: u64, rate_rps: f64, n: usize, num_nodes: usize) -> Vec<Request> {
+    assert!(rate_rps > 0.0, "offered load must be positive");
+    assert!(num_nodes > 0, "need a non-empty node space");
+    let mut rng = Rng::seed_from_u64(seed ^ 0x5E7E_D0_u64.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+    let mut t = 0.0f64;
+    let mut out = Vec::with_capacity(n);
+    for id in 0..n {
+        // Inverse-CDF exponential draw; u is clamped away from 0 so the
+        // log stays finite.
+        let u: f64 = rng.gen_range(1e-12..1.0f64);
+        t += -u.ln() / rate_rps;
+        let node = rng.gen_range(0..num_nodes) as NodeId;
+        let c: f64 = rng.gen_range(0.0..1.0f64);
+        let class = if c < 0.50 {
+            ReqClass::Interactive
+        } else if c < 0.85 {
+            ReqClass::Standard
+        } else {
+            ReqClass::Bulk
+        };
+        out.push(Request {
+            id: id as u64,
+            node,
+            class,
+            arrival_s: t,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic_and_time_ordered() {
+        let a = open_loop_trace(7, 1000.0, 500, 100);
+        let b = open_loop_trace(7, 1000.0, 500, 100);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0].arrival_s <= w[1].arrival_s));
+        assert!(a.iter().all(|r| (r.node as usize) < 100));
+    }
+
+    #[test]
+    fn rate_controls_mean_interarrival() {
+        let fast = open_loop_trace(3, 10_000.0, 2000, 50);
+        let slow = open_loop_trace(3, 1000.0, 2000, 50);
+        let span = |t: &[Request]| t.last().unwrap().arrival_s;
+        // 10× the rate compresses the trace by roughly 10×.
+        let ratio = span(&slow) / span(&fast);
+        assert!((5.0..20.0).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn classes_are_mixed() {
+        let t = open_loop_trace(11, 1000.0, 1000, 100);
+        let mut counts = [0usize; 3];
+        for r in &t {
+            counts[r.class.index()] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 50), "{counts:?}");
+    }
+}

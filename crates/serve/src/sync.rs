@@ -1,0 +1,17 @@
+//! Concurrency-primitive alias layer.
+//!
+//! Normal builds re-export `std::sync` — a zero-cost passthrough.
+//! Under the `check` feature the same names resolve to the
+//! `ds_check::sync` shims, so every lock/wait/notify in the
+//! micro-batcher becomes a scheduler decision point and the handshake
+//! can run under deterministic schedule exploration
+//! (`tests/check_models.rs` at the workspace root).
+//!
+//! Code in this crate must import these names from here, never from
+//! `std::sync` directly — enforced by `scripts/lint_sync.sh`.
+
+#[cfg(not(feature = "check"))]
+pub(crate) use std::sync::{Condvar, Mutex, MutexGuard, PoisonError};
+
+#[cfg(feature = "check")]
+pub(crate) use ds_check::sync::{Condvar, Mutex, MutexGuard, PoisonError};

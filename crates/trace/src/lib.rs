@@ -47,6 +47,7 @@ pub const TID_SAMPLER: u32 = 1;
 pub const TID_LOADER: u32 = 2;
 pub const TID_TRAINER: u32 = 3;
 pub const TID_PREFETCH: u32 = 4;
+pub const TID_SERVE: u32 = 5;
 
 /// Human name for a thread id, used by exporters.
 pub fn tid_name(tid: u32) -> &'static str {
@@ -56,6 +57,7 @@ pub fn tid_name(tid: u32) -> &'static str {
         TID_LOADER => "loader",
         TID_TRAINER => "trainer",
         TID_PREFETCH => "prefetch",
+        TID_SERVE => "serve",
         _ => "worker",
     }
 }

@@ -7,6 +7,28 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# Serve stage: the online-inference lane. bench_serve replays the same
+# seeded open-loop traces twice — the reports must be byte-identical
+# (virtual-clock determinism is part of the serving contract) — and the
+# latency/goodput columns are gated against the committed baseline.
+# Invocable alone as `scripts/ci.sh serve`.
+serve_stage() {
+    rm -f BENCH_serve.json target/BENCH_serve_repeat.json
+    cargo run -q --release --offline -p ds-bench --bin bench_serve
+    test -s BENCH_serve.json
+    cargo run -q --release --offline -p ds-bench --bin bench_serve -- \
+        target/BENCH_serve_repeat.json
+    cmp BENCH_serve.json target/BENCH_serve_repeat.json
+    cargo run -q --release --offline -p ds-bench --bin bench_serve_diff -- \
+        BENCH_serve.json results/BENCH_serve_baseline.json
+}
+
+if [ "${1:-}" = "serve" ]; then
+    cargo build --release --offline
+    serve_stage
+    exit 0
+fi
+
 cargo fmt --check
 scripts/lint_locks.sh
 scripts/lint_threads.sh
@@ -79,3 +101,7 @@ cargo run -q --release --offline -p ds-bench --bin ablation_cache
 cargo run -q --release --offline -p ds-bench --bin ablation_cache -- \
     target/ablation_cache_repeat.txt
 cmp results/ablation_cache.txt target/ablation_cache_repeat.txt
+
+# Serving: double-run byte-identity + latency/goodput gate (see
+# serve_stage above).
+serve_stage

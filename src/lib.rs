@@ -14,6 +14,8 @@
 //! * [`pipeline`] — producer-consumer pipeline machinery
 //! * [`fault`] — seed-driven deterministic fault injection
 //! * [`core`] — the assembled DSP system and baseline systems
+//! * [`serve`] — online inference serving: micro-batching, admission
+//!   control, degraded answers under shard loss
 //! * [`rng`] — the in-tree deterministic PRNG every component seeds from
 //!
 //! See `examples/quickstart.rs` for a end-to-end walkthrough.
@@ -28,6 +30,7 @@ pub use ds_partition as partition;
 pub use ds_pipeline as pipeline;
 pub use ds_rng as rng;
 pub use ds_sampling as sampling;
+pub use ds_serve as serve;
 pub use ds_simgpu as simgpu;
 pub use ds_store as store;
 pub use ds_tensor as tensor;

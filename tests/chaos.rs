@@ -443,3 +443,77 @@ fn resume_from_checkpoint_matches_the_uninterrupted_trajectory() {
     );
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Serving through a shard rebuild: rank 1's feature shard is lost
+/// before the trace starts and rebuilds from batch 3 on. The engine
+/// must keep answering throughout — stale cached rows come back
+/// flagged degraded, never wedged — and once the rebuild completes,
+/// answers return to fresh.
+#[test]
+fn serving_degrades_through_shard_rebuild_then_returns_to_fresh() {
+    use dsp::serve::{open_loop_trace, ServeConfig, ServeEngine};
+
+    let spec = DatasetSpec::tiny(1000);
+    let mut cfg = chaos_cfg();
+    cfg.cache_budget_override = Some((spec.num_nodes * spec.feat_dim * 4 / 4) as u64);
+    let scfg = ServeConfig::paper_default();
+    let trace = open_loop_trace(scfg.seed, 60_000.0, 500, spec.num_nodes);
+
+    // Clean reference lane.
+    let clean_layout = dsp::core::layout::build_dsp_layout(&spec.build(), 2, &cfg);
+    let clean = ServeEngine::new(&clean_layout, scfg.clone()).run(&trace);
+    assert_eq!(clean.responses.len() + clean.sheds.len(), 500);
+    assert_eq!(clean.degraded_batches, 0, "clean lane must stay fresh");
+
+    // Fault lane on its own layout (fault hooks install once per
+    // cluster).
+    let layout = dsp::core::layout::build_dsp_layout(&spec.build(), 2, &cfg);
+    assert!(layout.cluster.install_fault_hook(Arc::new(
+        FaultPlan::new(0).lose_shard(1).rebuild_shard(1, 3)
+    )));
+    let stats = ServeEngine::new(&layout, scfg).run(&trace);
+
+    // No wedge, nothing lost: the run completed and every request was
+    // answered or shed, exactly like the clean lane.
+    assert_eq!(stats.responses.len() + stats.sheds.len(), 500);
+    assert_eq!(
+        stats.responses.len(),
+        clean.responses.len(),
+        "shard loss may degrade answers, not drop them"
+    );
+    // Degraded answers flow while the shard is down, with consistent
+    // counts: every degraded response sits in a degraded batch.
+    let degraded = stats.responses.iter().filter(|r| r.degraded).count();
+    assert!(degraded > 0, "stale shard rows must be served flagged");
+    assert!(
+        stats.degraded_batches > 0 && stats.degraded_batches <= stats.batches,
+        "degraded batches miscounted"
+    );
+    // Recovery: the supervisor saw the shard return to fresh, and the
+    // tail of the trace is served undegraded.
+    assert!(
+        !stats.time_to_fresh_s.is_empty() && stats.time_to_fresh_s.iter().all(|&t| t > 0.0),
+        "the rebuilt shard must report time-to-fresh"
+    );
+    let first_degraded = stats
+        .responses
+        .iter()
+        .position(|r| r.degraded)
+        .expect("degraded answers exist");
+    let last_degraded = stats
+        .responses
+        .iter()
+        .rposition(|r| r.degraded)
+        .expect("degraded answers exist");
+    assert!(
+        last_degraded + 1 < stats.responses.len(),
+        "answers must return to fresh after the rebuild"
+    );
+    assert!(first_degraded <= last_degraded);
+    assert!(
+        stats.responses[last_degraded + 1..]
+            .iter()
+            .all(|r| !r.degraded),
+        "no degraded answers after recovery"
+    );
+}
