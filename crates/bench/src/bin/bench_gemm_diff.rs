@@ -1,0 +1,106 @@
+//! bench_gemm_diff: CI regression gate over the kernel microbench.
+//!
+//! Compares a freshly generated `BENCH_gemm.json` against the committed
+//! baseline `results/BENCH_gemm_baseline.json`. The two key families
+//! are gated very differently:
+//!
+//! - `<lane>_hash` — FNV-1a over the output bits. The kernels are
+//!   bit-deterministic (fixed accumulation order, independent of
+//!   `DS_PAR_THREADS`/`DS_GEMM_BLOCK` and of quick mode), so these must
+//!   match the baseline **exactly**; any drift is a numerics change
+//!   that must be deliberate and come with a baseline refresh.
+//! - `<lane>_ms` — wall-clock milliseconds, which *are* machine noise
+//!   (shared CI hosts, thermal state). Gated generously: a lane fails
+//!   only above `WALL_FACTOR`× the baseline. The gate exists to catch
+//!   order-of-magnitude cliffs (a kernel falling off its fast path),
+//!   not percent-level drift.
+//!
+//! A lane present in the baseline but missing from the fresh run fails,
+//! naming the side; lanes new in the fresh run are additive and pass.
+//!
+//! Usage: bench_gemm_diff [fresh.json] [baseline.json]
+
+use ds_trace::json::{parse, Json};
+use std::process::ExitCode;
+
+const WALL_FACTOR: f64 = 4.0;
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let fresh_path = args.next().unwrap_or_else(|| "BENCH_gemm.json".into());
+    let base_path = args
+        .next()
+        .unwrap_or_else(|| "results/BENCH_gemm_baseline.json".into());
+    let fresh = load(&fresh_path);
+    let base = load(&base_path);
+    let Json::Obj(base_keys) = &base else {
+        panic!("bench_gemm_diff: baseline ({base_path}) is not a JSON object");
+    };
+
+    let mut failed = false;
+    println!(
+        "{:<36} {:>12} {:>12} {:>8}",
+        "lane", "baseline", "fresh", "factor"
+    );
+    for (key, bval) in base_keys {
+        if let Some(lane) = key.strip_suffix("_hash") {
+            let bhash = bval.as_str().unwrap_or_else(|| {
+                panic!("bench_gemm_diff: `{key}` non-string in the baseline ({base_path})")
+            });
+            match fresh.get(key).and_then(Json::as_str) {
+                None => {
+                    eprintln!(
+                        "bench_gemm_diff: gated lane `{key}` present in the baseline \
+                         ({base_path}), missing from the fresh run ({fresh_path})"
+                    );
+                    failed = true;
+                }
+                Some(fhash) if fhash != bhash => {
+                    eprintln!(
+                        "bench_gemm_diff: HASH DRIFT on `{lane}`: baseline {bhash}, fresh \
+                         {fhash} — kernel numerics changed; if deliberate, refresh {base_path}"
+                    );
+                    failed = true;
+                }
+                Some(fhash) => {
+                    println!("{key:<36} {bhash:>12.12} {fhash:>12.12}    exact");
+                }
+            }
+        } else if let Some(lane) = key.strip_suffix("_ms") {
+            let bms = bval.as_f64().unwrap_or_else(|| {
+                panic!("bench_gemm_diff: `{key}` non-numeric in the baseline ({base_path})")
+            });
+            match fresh.get(key).and_then(Json::as_f64) {
+                None => {
+                    eprintln!(
+                        "bench_gemm_diff: gated lane `{key}` present in the baseline \
+                         ({base_path}), missing from the fresh run ({fresh_path})"
+                    );
+                    failed = true;
+                }
+                Some(fms) => {
+                    let factor = if bms > 0.0 { fms / bms } else { 1.0 };
+                    let flag = if factor > WALL_FACTOR {
+                        failed = true;
+                        "  REGRESSION"
+                    } else {
+                        ""
+                    };
+                    println!("{lane:<36} {bms:>10.4}ms {fms:>10.4}ms {factor:>7.2}x{flag}");
+                }
+            }
+        }
+    }
+    if failed {
+        eprintln!("bench_gemm_diff: failed vs {base_path} (hash: exact; wall: {WALL_FACTOR:.0}x)");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gemm_diff: OK (hash exact, wall within {WALL_FACTOR:.0}x)");
+        ExitCode::SUCCESS
+    }
+}

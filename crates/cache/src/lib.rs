@@ -25,6 +25,7 @@ pub mod dynamic;
 pub mod loader;
 pub mod partitioned;
 pub mod policy;
+pub mod quant;
 pub mod replicated;
 
 pub use dynamic::{BeladyOracle, DynamicPolicy, DynamicPolicyKind, PolicyCache};
@@ -34,4 +35,5 @@ pub use loader::{
 };
 pub use partitioned::PartitionedCache;
 pub use policy::CachePolicy;
+pub use quant::QuantFeatures;
 pub use replicated::ReplicatedCache;

@@ -1,0 +1,174 @@
+//! Quantized feature storage for GPU caches.
+//!
+//! A cache shard's budget is measured in *bytes*, so storing rows as
+//! f16 (2×) or int8 with per-block scales (~4×) lets the same budget
+//! hold proportionally more hot rows. The payoff only materializes if
+//! the trainer can consume quantized rows without a separate
+//! dequantize-then-gather-then-GEMM round trip — which is exactly what
+//! the fused `kernel::gather_matmul_q` path provides: rows are
+//! dequantized inside the GEMM pack stage, so the f32 gather never
+//! exists in memory. This module is the cache-side half of that
+//! contract (the `Dtype`/`QMatrix` representation lives in
+//! `ds_tensor::dtype`).
+
+use ds_graph::{Features, NodeId};
+use ds_tensor::kernel;
+use ds_tensor::Matrix;
+use ds_tensor::{Dtype, QMatrix};
+
+/// A set of feature rows held in quantized form, addressed by position
+/// (the owning cache maps node ids to slots, exactly as it does for
+/// f32 storage).
+#[derive(Clone, Debug)]
+pub struct QuantFeatures {
+    q: QMatrix,
+}
+
+impl QuantFeatures {
+    /// Quantizes `rows` feature rows of `features` — the rows a cache
+    /// admitted, in slot order — into `dtype` storage.
+    pub fn from_features(features: &Features, nodes: &[NodeId], dtype: Dtype) -> Self {
+        let dim = features.dim();
+        let mut data = Vec::with_capacity(nodes.len() * dim);
+        for &v in nodes {
+            data.extend_from_slice(features.row(v));
+        }
+        let m = Matrix::from_vec(nodes.len(), dim, data);
+        QuantFeatures {
+            q: QMatrix::quantize(&m, dtype),
+        }
+    }
+
+    /// Quantizes an already-materialized row matrix.
+    pub fn from_matrix(rows: &Matrix, dtype: Dtype) -> Self {
+        QuantFeatures {
+            q: QMatrix::quantize(rows, dtype),
+        }
+    }
+
+    /// Storage dtype.
+    pub fn dtype(&self) -> Dtype {
+        self.q.dtype()
+    }
+
+    /// Number of cached rows.
+    pub fn rows(&self) -> usize {
+        self.q.rows()
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.q.cols()
+    }
+
+    /// Bytes actually held (data + scales), the quantity cache budgets
+    /// meter.
+    pub fn bytes(&self) -> usize {
+        self.q.bytes()
+    }
+
+    /// How many times more rows this storage fits than f32 under the
+    /// same byte budget.
+    pub fn compression(&self) -> f64 {
+        let f32_bytes = self.rows() * self.dim() * 4;
+        f32_bytes as f64 / self.bytes().max(1) as f64
+    }
+
+    /// The underlying quantized matrix (for the kernels).
+    pub fn qmatrix(&self) -> &QMatrix {
+        &self.q
+    }
+
+    /// Dequantizes slot `slot` into `dst` — the cold-path/compat route
+    /// for consumers that still want f32 rows.
+    pub fn write_row_f32(&self, slot: usize, dst: &mut [f32]) {
+        self.q.write_row_f32(slot, dst);
+    }
+
+    /// Materialized dequantized gather (compat path; allocates).
+    pub fn gather(&self, slots: &[u32]) -> Matrix {
+        let mut out = Matrix::zeros(slots.len(), self.dim());
+        for (i, &s) in slots.iter().enumerate() {
+            self.q.write_row_f32(s as usize, out.row_mut(i));
+        }
+        out
+    }
+
+    /// Fused gather + GEMM straight off the quantized rows:
+    /// `dequant(self[slots]) · w` with dequantization in the GEMM pack
+    /// stage — no f32 gather is ever materialized.
+    pub fn gather_matmul(&self, slots: &[u32], w: &Matrix) -> Matrix {
+        kernel::gather_matmul_q(&self.q, slots, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_tensor::init::uniform;
+
+    fn toy_features(n: usize, dim: usize) -> Features {
+        Features::from_raw(
+            dim,
+            (0..n * dim)
+                .map(|i| ((i * 2654435761) % 997) as f32 / 499.0 - 1.0)
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn quantized_storage_shrinks_by_dtype() {
+        let f = toy_features(64, 32);
+        let nodes: Vec<NodeId> = (0..64).collect();
+        let f32_bytes = 64 * 32 * 4;
+        let half = QuantFeatures::from_features(&f, &nodes, Dtype::F16);
+        assert_eq!(half.bytes(), f32_bytes / 2);
+        let int8 = QuantFeatures::from_features(&f, &nodes, Dtype::Int8);
+        assert!(int8.bytes() < f32_bytes / 3, "{} bytes", int8.bytes());
+        assert!(int8.compression() > 3.0);
+        let full = QuantFeatures::from_features(&f, &nodes, Dtype::F32);
+        assert_eq!(full.bytes(), f32_bytes);
+    }
+
+    #[test]
+    fn fused_gather_matmul_matches_materialized_dequant() {
+        let f = toy_features(50, 24);
+        let nodes: Vec<NodeId> = (0..50).collect();
+        let w = uniform(24, 8, 0.5, 7);
+        let slots: Vec<u32> = vec![3, 49, 0, 17, 17, 8];
+        for dt in [Dtype::F32, Dtype::F16, Dtype::Int8] {
+            let q = QuantFeatures::from_features(&f, &nodes, dt);
+            let fused = q.gather_matmul(&slots, &w);
+            let reference = q.gather(&slots).matmul(&w);
+            assert_eq!(fused.data(), reference.data(), "{dt:?} fused diverged");
+        }
+    }
+
+    #[test]
+    fn quantization_error_is_bounded() {
+        let f = toy_features(40, 16);
+        let nodes: Vec<NodeId> = (0..40).collect();
+        let exact = QuantFeatures::from_features(&f, &nodes, Dtype::F32);
+        let w = uniform(16, 4, 0.5, 11);
+        let slots: Vec<u32> = (0..40).collect();
+        let gold = exact.gather_matmul(&slots, &w);
+        for (dt, tol) in [(Dtype::F16, 2e-2f32), (Dtype::Int8, 0.2f32)] {
+            let q = QuantFeatures::from_features(&f, &nodes, dt);
+            let approx = q.gather_matmul(&slots, &w);
+            for (a, b) in gold.data().iter().zip(approx.data()) {
+                assert!((a - b).abs() < tol, "{dt:?}: {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn row_slots_round_trip_through_write_row() {
+        let f = toy_features(10, 8);
+        let nodes: Vec<NodeId> = vec![9, 3, 5];
+        let q = QuantFeatures::from_features(&f, &nodes, Dtype::F32);
+        assert_eq!(q.rows(), 3);
+        let mut row = vec![0.0; 8];
+        q.write_row_f32(1, &mut row);
+        assert_eq!(&row[..], f.row(3));
+    }
+}

@@ -33,8 +33,12 @@ pub fn charge_forward(
         let t = machine.gemm_time(block.num_dst() as u64, fan_in as u64, dims[k + 1] as u64);
         clock.work_on(t, ResKind::Gemm);
         let row_bytes = dims[k] as u64 * 4;
+        // The fused gather+GEMM path packs gathered rows straight into
+        // GEMM panels, so the standalone gather traffic halves: each
+        // row is read once during packing instead of being materialized
+        // and re-read by the GEMM.
         clock.work_on(
-            machine.gather_time(block.num_edges() as u64 + block.num_dst() as u64, row_bytes),
+            0.5 * machine.gather_time(block.num_edges() as u64 + block.num_dst() as u64, row_bytes),
             ResKind::Hbm,
         );
     }

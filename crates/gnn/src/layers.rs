@@ -10,6 +10,8 @@
 //!   falls straight out of the halved GEMM width.
 
 use ds_sampling::SampleLayer;
+use ds_simgpu::par;
+use ds_tensor::kernel;
 use ds_tensor::matrix::Matrix;
 use ds_tensor::ops;
 
@@ -23,6 +25,76 @@ pub fn edge_segments(block: &SampleLayer) -> Vec<u32> {
         }
     }
     seg
+}
+
+/// Fused gather + segment-mean over a block: row `i` of the result is
+/// the mean of `h_src[neighbor_pos]` over dst `i`'s sampled edges, with
+/// the self row folded in when `closed` (GCN's closed neighborhood).
+/// Nothing is materialized in between, and because each destination's
+/// edge range is independent (`block.offsets`), the rows parallelize
+/// over fixed chunks. Per row, neighbors accumulate in edge order then
+/// the self term — exactly the serial gather→vstack→segment_mean
+/// order, so results are bit-identical to the unfused path.
+fn fused_mean(h_src: &Matrix, block: &SampleLayer, closed: bool) -> Matrix {
+    let d = h_src.cols();
+    let mut out = Matrix::zeros(block.num_dst(), d);
+    par::chunk_map_mut(out.data_mut(), d, |i, row| {
+        let (lo, hi) = (block.offsets[i] as usize, block.offsets[i + 1] as usize);
+        for &p in &block.neighbor_pos_in_src[lo..hi] {
+            let src = h_src.row(p as usize);
+            for (o, &v) in row.iter_mut().zip(src) {
+                *o += v;
+            }
+        }
+        let mut count = hi - lo;
+        if closed {
+            let src = h_src.row(block.dst_pos_in_src[i] as usize);
+            for (o, &v) in row.iter_mut().zip(src) {
+                *o += v;
+            }
+            count += 1;
+        }
+        if count > 1 {
+            let inv = 1.0 / count as f32;
+            for o in row.iter_mut() {
+                *o *= inv;
+            }
+        }
+    });
+    out
+}
+
+/// Backward of [`fused_mean`]: adds each destination's output gradient,
+/// scaled by its neighbor count, onto the gradient rows of its
+/// neighbors (and of itself when `closed`). Serial over edges —
+/// neighbor indices repeat across destinations — in the same order as
+/// the old materialize-then-scatter_add pair: all neighbor
+/// contributions in edge order first, then (for `closed`) all self
+/// contributions.
+fn fused_mean_backward(gh_src: &mut Matrix, block: &SampleLayer, g_agg: &Matrix, closed: bool) {
+    let extra = usize::from(closed);
+    for i in 0..block.num_dst() {
+        let (lo, hi) = (block.offsets[i] as usize, block.offsets[i + 1] as usize);
+        let inv = 1.0 / (hi - lo + extra).max(1) as f32;
+        let g = g_agg.row(i);
+        for &p in &block.neighbor_pos_in_src[lo..hi] {
+            let dst = gh_src.row_mut(p as usize);
+            for (d, &v) in dst.iter_mut().zip(g) {
+                *d += v * inv;
+            }
+        }
+    }
+    if closed {
+        for i in 0..block.num_dst() {
+            let (lo, hi) = (block.offsets[i] as usize, block.offsets[i + 1] as usize);
+            let inv = 1.0 / (hi - lo + 1) as f32;
+            let g = g_agg.row(i);
+            let dst = gh_src.row_mut(block.dst_pos_in_src[i] as usize);
+            for (d, &v) in dst.iter_mut().zip(g) {
+                *d += v * inv;
+            }
+        }
+    }
 }
 
 /// One dense parameter block: weights + bias.
@@ -70,16 +142,21 @@ impl DenseParam {
 }
 
 /// Saved forward state for one convolution (what backward needs).
+///
+/// Since the fused gather+GEMM rework the tape stores the *aggregated*
+/// neighborhood (`agg`, `in_dim` wide) instead of the old materialized
+/// GEMM input (`2·in_dim` wide for SAGE): the self half of the concat
+/// never exists as a matrix — the kernels pack it straight from
+/// `h_src` via the block's index maps, forward and backward.
 #[derive(Clone, Debug)]
 pub struct LayerTape {
     /// Input activations on the block's src set.
     pub h_src: Matrix,
-    /// The GEMM input (concat for SAGE, closed-neighborhood mean for GCN).
-    pub gemm_in: Matrix,
+    /// Aggregated neighborhood per dst: the neighbor mean for SAGE, the
+    /// closed-neighborhood mean for GCN.
+    pub agg: Matrix,
     /// Pre-activation output.
     pub z: Matrix,
-    /// Edge→dst segments.
-    pub segments: Vec<u32>,
     /// Whether ReLU was applied.
     pub relu: bool,
 }
@@ -96,33 +173,38 @@ pub struct LayerGrads {
 }
 
 /// GraphSAGE forward on one block. `relu` is false for the output layer.
+///
+/// Fully fused: the neighbor mean comes from [`fused_mean`] (no gather,
+/// no segment materialization) and the concat GEMM runs as
+/// `kernel::gather_concat_matmul` — the self rows are packed straight
+/// out of `h_src` by index, so neither the gather nor the hstack ever
+/// exists in memory.
 pub fn sage_forward(
     p: &DenseParam,
     block: &SampleLayer,
     h_src: &Matrix,
     relu: bool,
 ) -> (Matrix, LayerTape) {
-    let segments = edge_segments(block);
-    let self_h = h_src.gather_rows(&block.dst_pos_in_src);
-    let neigh_h = h_src.gather_rows(&block.neighbor_pos_in_src);
-    let agg = ops::segment_mean(&neigh_h, &segments, block.num_dst());
-    let gemm_in = self_h.hstack(&agg);
-    let mut z = gemm_in.matmul(&p.w);
+    let agg = fused_mean(h_src, block, false);
+    let mut z = kernel::gather_concat_matmul(h_src, &block.dst_pos_in_src, &agg, &p.w);
     z.add_bias(&p.b);
     let out = if relu { ops::relu(&z) } else { z.clone() };
     (
         out,
         LayerTape {
             h_src: h_src.clone(),
-            gemm_in,
+            agg,
             z,
-            segments,
             relu,
         },
     )
 }
 
-/// GraphSAGE backward on one block.
+/// GraphSAGE backward on one block, on the same fused paths as the
+/// forward: the top (self) half of the weight gradient is a fused
+/// `gather(h_src)ᵀ · gz`, and the two input-gradient halves come from
+/// row-sliced `gz·Wᵀ` products instead of a materialized concat
+/// gradient plus hsplit.
 pub fn sage_backward(
     p: &DenseParam,
     block: &SampleLayer,
@@ -134,43 +216,37 @@ pub fn sage_backward(
     } else {
         grad_out.clone()
     };
-    let gw = tape.gemm_in.matmul_tn(&gz);
-    let gb = gz.col_sum();
-    let gconcat = gz.matmul_nt(&p.w);
     let in_dim = tape.h_src.cols();
-    let (g_self, g_agg) = gconcat.hsplit(in_dim);
-    let g_neigh = ops::segment_mean_backward(&g_agg, &tape.segments, block.num_edges());
+    let gw_self = kernel::gather_matmul_tn(&tape.h_src, &block.dst_pos_in_src, &gz);
+    let gw_agg = tape.agg.matmul_tn(&gz);
+    let gw = gw_self.vstack(&gw_agg);
+    let gb = gz.col_sum();
+    let g_self = kernel::matmul_nt_rows(&gz, &p.w, 0, in_dim);
+    let g_agg = kernel::matmul_nt_rows(&gz, &p.w, in_dim, 2 * in_dim);
     let mut gh_src = Matrix::zeros(tape.h_src.rows(), in_dim);
     gh_src.scatter_add_rows(&block.dst_pos_in_src, &g_self);
-    gh_src.scatter_add_rows(&block.neighbor_pos_in_src, &g_neigh);
+    fused_mean_backward(&mut gh_src, block, &g_agg, false);
     LayerGrads { gw, gb, gh_src }
 }
 
-/// GCN forward: mean over the closed neighborhood. The self node is
-/// appended as one extra "edge" per destination so the same segment
-/// machinery covers both terms.
+/// GCN forward: mean over the closed neighborhood, via [`fused_mean`]
+/// with the self row folded in — no vstack, no segment vector.
 pub fn gcn_forward(
     p: &DenseParam,
     block: &SampleLayer,
     h_src: &Matrix,
     relu: bool,
 ) -> (Matrix, LayerTape) {
-    let mut segments = edge_segments(block);
-    segments.extend(0..block.num_dst() as u32);
-    let neigh_h = h_src.gather_rows(&block.neighbor_pos_in_src);
-    let self_h = h_src.gather_rows(&block.dst_pos_in_src);
-    let values = neigh_h.vstack(&self_h);
-    let gemm_in = ops::segment_mean(&values, &segments, block.num_dst());
-    let mut z = gemm_in.matmul(&p.w);
+    let agg = fused_mean(h_src, block, true);
+    let mut z = agg.matmul(&p.w);
     z.add_bias(&p.b);
     let out = if relu { ops::relu(&z) } else { z.clone() };
     (
         out,
         LayerTape {
             h_src: h_src.clone(),
-            gemm_in,
+            agg,
             z,
-            segments,
             relu,
         },
     )
@@ -188,27 +264,11 @@ pub fn gcn_backward(
     } else {
         grad_out.clone()
     };
-    let gw = tape.gemm_in.matmul_tn(&gz);
+    let gw = tape.agg.matmul_tn(&gz);
     let gb = gz.col_sum();
     let g_agg = gz.matmul_nt(&p.w);
-    let n_edges = block.num_edges();
-    let n_values = n_edges + block.num_dst();
-    let g_values = ops::segment_mean_backward(&g_agg, &tape.segments, n_values);
-    // Split back into the neighbor part and the self part.
-    let in_dim = tape.h_src.cols();
-    let mut gh_src = Matrix::zeros(tape.h_src.rows(), in_dim);
-    let g_neigh = Matrix::from_vec(
-        n_edges,
-        in_dim,
-        g_values.data()[..n_edges * in_dim].to_vec(),
-    );
-    let g_self = Matrix::from_vec(
-        block.num_dst(),
-        in_dim,
-        g_values.data()[n_edges * in_dim..].to_vec(),
-    );
-    gh_src.scatter_add_rows(&block.neighbor_pos_in_src, &g_neigh);
-    gh_src.scatter_add_rows(&block.dst_pos_in_src, &g_self);
+    let mut gh_src = Matrix::zeros(tape.h_src.rows(), tape.h_src.cols());
+    fused_mean_backward(&mut gh_src, block, &g_agg, true);
     LayerGrads { gw, gb, gh_src }
 }
 
@@ -239,10 +299,14 @@ mod tests {
         let (out, tape) = sage_forward(&p, &block, &h, false);
         assert_eq!(out.rows(), 2);
         assert_eq!(out.cols(), 3);
-        // gemm_in row 0 = [h_0 | mean(h_1, h_2)] = [1,0, .25,.75].
-        assert_eq!(tape.gemm_in.row(0), &[1.0, 0.0, 0.25, 0.75]);
-        // gemm_in row 1 = [h_1 | h_2].
-        assert_eq!(tape.gemm_in.row(1), &[0.0, 1.0, 0.5, 0.5]);
+        // agg row 0 = mean(h_1, h_2) = [.25,.75]; row 1 = h_2.
+        assert_eq!(tape.agg.row(0), &[0.25, 0.75]);
+        assert_eq!(tape.agg.row(1), &[0.5, 0.5]);
+        // The fused concat GEMM must equal the materialized
+        // [self | agg] · W product bit-for-bit.
+        let gemm_in = h.gather_rows(&block.dst_pos_in_src).hstack(&tape.agg);
+        let z_ref = gemm_in.matmul(&p.w);
+        assert_eq!(tape.z.data(), z_ref.data());
     }
 
     #[test]
@@ -255,9 +319,9 @@ mod tests {
         };
         let (_, tape) = gcn_forward(&p, &block, &h, false);
         // dst 0: mean(h_1, h_2, h_0) = ((0,1)+(.5,.5)+(1,0))/3 = (.5, .5).
-        assert_eq!(tape.gemm_in.row(0), &[0.5, 0.5]);
+        assert_eq!(tape.agg.row(0), &[0.5, 0.5]);
         // dst 1: mean(h_2, h_1) = (.25, .75).
-        assert_eq!(tape.gemm_in.row(1), &[0.25, 0.75]);
+        assert_eq!(tape.agg.row(1), &[0.25, 0.75]);
     }
 
     /// Finite-difference check of the full layer gradient (weights, bias

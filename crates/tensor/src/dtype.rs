@@ -1,0 +1,328 @@
+//! Quantized matrix storage: f32 / f16 / int8-with-per-block-scales.
+//!
+//! The compressed-feature-store contract (DESIGN.md §14): a [`QMatrix`]
+//! holds rows in one of three encodings and hands them back as f32
+//! *during the GEMM pack stage* (`kernel::QuantRows`), so quantized
+//! caches feed compute without a decode-then-materialize round trip.
+//! All conversions are hand-rolled — the tree is hermetic.
+//!
+//! * **f16** — IEEE 754 binary16, round-to-nearest-even, hand-rolled
+//!   bit conversions ([`f32_to_f16_bits`] / [`f16_bits_to_f32`]).
+//!   Relative round-trip error ≤ 2⁻¹¹ in the normal range; 2× smaller.
+//! * **int8** — per-block symmetric scales: each run of [`QBLOCK`]
+//!   values within a row shares `scale = max_abs / 127`, values store
+//!   as `round(x / scale)`. Worst-case error ≤ `scale/2`; ~4× smaller.
+//!
+//! Dequantization is deterministic (pure bit arithmetic / one rounding
+//! op per value), so quantized paths inherit the kernel determinism
+//! argument unchanged.
+
+use crate::kernel::row_fold;
+use crate::matrix::Matrix;
+
+/// Element encodings a [`QMatrix`] can store.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Dtype {
+    /// 32-bit IEEE float (identity encoding).
+    F32,
+    /// 16-bit IEEE float (binary16).
+    F16,
+    /// 8-bit signed integers with one f32 scale per [`QBLOCK`] values.
+    Int8,
+}
+
+impl Dtype {
+    /// Bytes per stored element (int8 excludes the amortized scale).
+    pub fn bytes_per_elem(self) -> usize {
+        match self {
+            Dtype::F32 => 4,
+            Dtype::F16 => 2,
+            Dtype::Int8 => 1,
+        }
+    }
+}
+
+/// Values per int8 scale block.
+pub const QBLOCK: usize = 32;
+
+/// Converts an f32 to IEEE binary16 bits, round-to-nearest-even.
+/// Overflow saturates to ±inf; NaN payloads collapse to a quiet NaN.
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xff) as i32;
+    let mant = bits & 0x007f_ffff;
+    if exp == 0xff {
+        // Inf or NaN.
+        return sign | 0x7c00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Unbiased exponent, rebiased for binary16.
+    let e16 = exp - 127 + 15;
+    if e16 >= 0x1f {
+        return sign | 0x7c00; // overflow → inf
+    }
+    if e16 <= 0 {
+        // Subnormal (or zero) in binary16: shift the full 24-bit
+        // significand right so the implicit bit lands in the stored
+        // field, rounding to nearest-even on the dropped bits.
+        if e16 < -10 {
+            return sign; // underflows to ±0 even after rounding
+        }
+        let full = mant | 0x0080_0000; // implicit leading 1
+        let shift = (14 - e16) as u32; // 14..24
+        let kept = full >> shift;
+        let dropped = full & ((1u32 << shift) - 1);
+        let half = 1u32 << (shift - 1);
+        let mut h = kept as u16;
+        if dropped > half || (dropped == half && (kept & 1) == 1) {
+            h += 1; // may carry into the smallest normal — still valid
+        }
+        return sign | h;
+    }
+    // Normal: round 23-bit mantissa to 10 bits.
+    let kept = mant >> 13;
+    let dropped = mant & 0x1fff;
+    let mut h = sign | ((e16 as u16) << 10) | kept as u16;
+    if dropped > 0x1000 || (dropped == 0x1000 && (kept & 1) == 1) {
+        h += 1; // mantissa carry rolls into the exponent correctly
+    }
+    h
+}
+
+/// Converts IEEE binary16 bits to the exactly-representable f32.
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h & 0x8000) as u32) << 16;
+    let exp = (h >> 10) & 0x1f;
+    let mant = (h & 0x03ff) as u32;
+    if exp == 0x1f {
+        // Inf or NaN.
+        let bits = sign | 0x7f80_0000 | (mant << 13) | if mant != 0 { 0x0040_0000 } else { 0 };
+        return f32::from_bits(bits);
+    }
+    if exp == 0 {
+        // Zero or subnormal: value = ±mant · 2⁻²⁴, exact in f32.
+        let mag = mant as f32 * f32::from_bits(0x3380_0000); // 2^-24
+        return if sign != 0 { -mag } else { mag };
+    }
+    f32::from_bits(sign | ((exp as u32 + (127 - 15)) << 23) | (mant << 13))
+}
+
+/// The storage behind a [`QMatrix`].
+#[derive(Clone, Debug)]
+pub enum QStorage {
+    /// Unquantized rows (identity encoding).
+    F32(Vec<f32>),
+    /// binary16 bit patterns, row-major.
+    F16(Vec<u16>),
+    /// Row-major int8 values plus one scale per row-block of
+    /// [`QBLOCK`] values (`scales[row * blocks_per_row + b]`).
+    Int8 {
+        /// Quantized values.
+        data: Vec<i8>,
+        /// Per-block dequantization scales.
+        scales: Vec<f32>,
+    },
+}
+
+/// A row-major matrix in quantized storage; the kernels dequantize its
+/// rows during GEMM packing (`kernel::gather_matmul_q`).
+#[derive(Clone, Debug)]
+pub struct QMatrix {
+    rows: usize,
+    cols: usize,
+    storage: QStorage,
+}
+
+impl QMatrix {
+    /// Quantizes `m` into the given encoding.
+    pub fn quantize(m: &Matrix, dtype: Dtype) -> QMatrix {
+        let (rows, cols) = (m.rows(), m.cols());
+        let storage = match dtype {
+            Dtype::F32 => QStorage::F32(m.data().to_vec()),
+            Dtype::F16 => QStorage::F16(m.data().iter().map(|&x| f32_to_f16_bits(x)).collect()),
+            Dtype::Int8 => {
+                let bpr = cols.div_ceil(QBLOCK);
+                let mut data = Vec::with_capacity(rows * cols);
+                let mut scales = Vec::with_capacity(rows * bpr);
+                for r in 0..rows {
+                    let row = m.row(r);
+                    for block in row.chunks(QBLOCK) {
+                        let max_abs = row_fold(block, 0.0f32, |acc, x| acc.max(x.abs()));
+                        let scale = max_abs / 127.0;
+                        scales.push(scale);
+                        let inv = if scale > 0.0 { 1.0 / scale } else { 0.0 };
+                        for &x in block {
+                            data.push((x * inv).round().clamp(-127.0, 127.0) as i8);
+                        }
+                    }
+                }
+                QStorage::Int8 { data, scales }
+            }
+        };
+        QMatrix {
+            rows,
+            cols,
+            storage,
+        }
+    }
+
+    /// The stored encoding.
+    pub fn dtype(&self) -> Dtype {
+        match self.storage {
+            QStorage::F32(_) => Dtype::F32,
+            QStorage::F16(_) => Dtype::F16,
+            QStorage::Int8 { .. } => Dtype::Int8,
+        }
+    }
+
+    /// Row count.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Storage footprint in bytes (values + scales).
+    pub fn bytes(&self) -> usize {
+        match &self.storage {
+            QStorage::F32(v) => v.len() * 4,
+            QStorage::F16(v) => v.len() * 2,
+            QStorage::Int8 { data, scales } => data.len() + scales.len() * 4,
+        }
+    }
+
+    /// Dequantizes row `r` into `dst` (`dst.len() == self.cols()`).
+    #[inline]
+    pub fn write_row_f32(&self, r: usize, dst: &mut [f32]) {
+        let cols = self.cols;
+        match &self.storage {
+            QStorage::F32(v) => dst.copy_from_slice(&v[r * cols..(r + 1) * cols]),
+            QStorage::F16(v) => {
+                for (d, &h) in dst.iter_mut().zip(&v[r * cols..(r + 1) * cols]) {
+                    *d = f16_bits_to_f32(h);
+                }
+            }
+            QStorage::Int8 { data, scales } => {
+                let bpr = cols.div_ceil(QBLOCK);
+                let row = &data[r * cols..(r + 1) * cols];
+                let row_scales = &scales[r * bpr..(r + 1) * bpr];
+                for (b, (dchunk, qchunk)) in
+                    dst.chunks_mut(QBLOCK).zip(row.chunks(QBLOCK)).enumerate()
+                {
+                    let s = row_scales[b];
+                    for (d, &q) in dchunk.iter_mut().zip(qchunk) {
+                        *d = q as f32 * s;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fully dequantizes into a dense [`Matrix`].
+    pub fn to_matrix(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, self.cols);
+        let cols = self.cols;
+        for r in 0..self.rows {
+            let range = r * cols..(r + 1) * cols;
+            self.write_row_f32(r, &mut out.data_mut()[range]);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ds_testkit::prelude::*;
+
+    #[test]
+    fn f16_round_trip_is_identity_on_all_f16_values() {
+        // Every finite binary16 value converts to f32 exactly and back
+        // to the same bits; NaNs keep NaN-ness (payloads may collapse).
+        for h in 0..=u16::MAX {
+            let x = f16_bits_to_f32(h);
+            if x.is_nan() {
+                assert!(f16_bits_to_f32(f32_to_f16_bits(x)).is_nan());
+            } else {
+                assert_eq!(f32_to_f16_bits(x), h, "bits {h:#06x} → {x} → mismatch");
+            }
+        }
+    }
+
+    #[test]
+    fn f16_rounds_to_nearest_even() {
+        // 1 + 2^-11 sits exactly between 1.0 and the next f16 (1+2^-10):
+        // ties go to the even mantissa, i.e. down to 1.0.
+        assert_eq!(
+            f32_to_f16_bits(1.0 + 0.000_488_281_25),
+            f32_to_f16_bits(1.0)
+        );
+        // Just above the tie rounds up.
+        assert_eq!(f32_to_f16_bits(1.0 + 0.000_489), f32_to_f16_bits(1.0) + 1);
+        // Overflow saturates to infinity.
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(1e6)), f32::INFINITY);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(-1e6)), f32::NEG_INFINITY);
+    }
+
+    props! {
+        #![cases(64)]
+
+        fn f16_relative_error_is_bounded(bits_seed in 0u64..1_000_000) {
+            // Uniform over a moderate normal range.
+            let mut rng = ds_rng::Rng::seed_from_u64(bits_seed);
+            let x: f32 = rng.gen_range(-1.0e4f32..1.0e4);
+            let y = f16_bits_to_f32(f32_to_f16_bits(x));
+            // RNE to 11 significand bits: relative error ≤ 2^-11 for
+            // normal values; absolute 2^-25 covers the subnormal tail.
+            prop_assert!(
+                (x - y).abs() <= x.abs() * 4.883e-4 + 3.0e-8,
+                "{x} → {y}"
+            );
+        }
+
+        fn int8_block_error_is_bounded(rows in 1usize..6, cols in 1usize..80, seed in 0u64..1000) {
+            let mut rng = ds_rng::Rng::seed_from_u64(seed);
+            let m = Matrix::from_vec(
+                rows, cols,
+                (0..rows * cols).map(|_| rng.gen_range(-3.0f32..3.0)).collect(),
+            );
+            let q = QMatrix::quantize(&m, Dtype::Int8);
+            let back = q.to_matrix();
+            for r in 0..rows {
+                for c in 0..cols {
+                    // Error ≤ half a quantization step of the value's
+                    // block: step = block_max_abs / 127.
+                    let block = &m.row(r)[(c / QBLOCK) * QBLOCK..((c / QBLOCK) * QBLOCK + QBLOCK).min(cols)];
+                    let max_abs = block.iter().fold(0.0f32, |a, x| a.max(x.abs()));
+                    let step = max_abs / 127.0;
+                    let err = (m.get(r, c) - back.get(r, c)).abs();
+                    prop_assert!(err <= 0.5 * step + 1e-6, "err {err} step {step}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_storage_shrinks() {
+        let m = Matrix::zeros(64, 64);
+        let f32b = QMatrix::quantize(&m, Dtype::F32).bytes();
+        let f16b = QMatrix::quantize(&m, Dtype::F16).bytes();
+        let i8b = QMatrix::quantize(&m, Dtype::Int8).bytes();
+        assert_eq!(f32b, 64 * 64 * 4);
+        assert_eq!(f16b, f32b / 2);
+        // int8: 1 byte per value + one f32 scale per 32 values.
+        assert_eq!(i8b, 64 * 64 + 64 * 2 * 4);
+    }
+
+    #[test]
+    fn f32_dtype_is_lossless() {
+        let mut rng = ds_rng::Rng::seed_from_u64(5);
+        let m = Matrix::from_vec(3, 9, (0..27).map(|_| rng.gen_range(-9.0f32..9.0)).collect());
+        let q = QMatrix::quantize(&m, Dtype::F32);
+        assert_eq!(q.to_matrix().data(), m.data());
+        assert_eq!(q.dtype(), Dtype::F32);
+    }
+}

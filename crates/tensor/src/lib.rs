@@ -10,11 +10,19 @@
 //! (losses decrease, gradient checks pass), while kernel *timing* on the
 //! simulated GPUs is charged by `ds-simgpu`'s model — the split described
 //! in DESIGN.md.
+//!
+//! Since the kernel overhaul (DESIGN.md §14) the GEMMs run on
+//! cache-blocked, panel-packed microkernels ([`kernel`]) with fused
+//! gather+GEMM entry points, and [`dtype`] adds f16/int8 quantized
+//! storage the kernels consume natively.
 
+pub mod dtype;
 pub mod init;
+pub mod kernel;
 pub mod matrix;
 pub mod ops;
 pub mod optim;
 
+pub use dtype::{Dtype, QMatrix};
 pub use matrix::Matrix;
 pub use optim::{Adam, Optimizer, Sgd};

@@ -80,76 +80,40 @@ impl Matrix {
         self.data[i * self.cols + j] = v;
     }
 
-    /// `self · other` — (m×k)·(k×n). Parallel over row blocks; the inner
-    /// i-k-j loop order streams both operands row-major so the compiler
-    /// can vectorize the j loop (the perf-book "avoid bounds checks via
-    /// slices + iterators" idiom).
+    /// `self · other` — (m×k)·(k×n), on the packed kernel
+    /// ([`crate::kernel::matmul`]). Per output element the accumulation
+    /// is k-ascending with one accumulator — identical bits to the
+    /// naive i-k-j loop, whatever the blocking or thread count.
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul shape mismatch");
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        par::chunk_map_mut(&mut out.data, n, |i, out_row| {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for (kk, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        });
-        out
+        crate::kernel::matmul(self, other)
     }
 
     /// `selfᵀ · other` — (k×m)ᵀ·(k×n) = m×n. Used for weight gradients.
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "matmul_tn shape mismatch");
-        let (k, m, n) = (self.rows, self.cols, other.cols);
-        // Parallelize over output rows (columns of self): each output row
-        // i accumulates self[kk][i] * other[kk][:].
-        let mut out = Matrix::zeros(m, n);
-        par::chunk_map_mut(&mut out.data, n, |i, out_row| {
-            for kk in 0..k {
-                let a = self.data[kk * m + i];
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = &other.data[kk * n..(kk + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
-                }
-            }
-        });
-        out
+        crate::kernel::matmul_tn(self, other)
     }
 
     /// `self · otherᵀ` — (m×k)·(n×k)ᵀ = m×n. Used for input gradients.
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.cols, "matmul_nt shape mismatch");
-        let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(m, n);
-        par::chunk_map_mut(&mut out.data, n, |i, out_row| {
-            let a_row = &self.data[i * k..(i + 1) * k];
-            for (j, o) in out_row.iter_mut().enumerate() {
-                let b_row = &other.data[j * k..(j + 1) * k];
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                *o = acc;
-            }
-        });
-        out
+        crate::kernel::matmul_nt(self, other)
     }
 
-    /// Transposed copy.
+    /// Transposed copy, tiled into `TB×TB` cache blocks so both the
+    /// read and the write side stay within a few cache lines per tile
+    /// (the naive strided copy misses on every write for large rows).
     pub fn transpose(&self) -> Matrix {
-        let mut out = Matrix::zeros(self.cols, self.rows);
-        for i in 0..self.rows {
-            for j in 0..self.cols {
-                out.data[j * self.rows + i] = self.data[i * self.cols + j];
+        const TB: usize = 32;
+        let (r, c) = (self.rows, self.cols);
+        let mut out = Matrix::zeros(c, r);
+        for i0 in (0..r).step_by(TB) {
+            let i1 = (i0 + TB).min(r);
+            for j0 in (0..c).step_by(TB) {
+                let j1 = (j0 + TB).min(c);
+                for i in i0..i1 {
+                    for j in j0..j1 {
+                        out.data[j * r + i] = self.data[i * c + j];
+                    }
+                }
             }
         }
         out
@@ -365,6 +329,35 @@ mod tests {
         a.add_assign(&b);
         assert_eq!(a.data(), &[12.0, 24.0, 36.0]);
         assert!((a.norm() - (12f32 * 12. + 24. * 24. + 36. * 36.).sqrt()).abs() < 1e-4);
+    }
+
+    mod transpose_props {
+        use super::*;
+        use ds_testkit::prelude::*;
+
+        fn naive_transpose(m: &Matrix) -> Matrix {
+            let mut out = Matrix::zeros(m.cols(), m.rows());
+            for i in 0..m.rows() {
+                for j in 0..m.cols() {
+                    out.set(j, i, m.get(i, j));
+                }
+            }
+            out
+        }
+
+        props! {
+            #![cases(32)]
+
+            fn transpose_round_trips_and_matches_naive(
+                rows in 0usize..90, cols in 0usize..90, seed in 0u64..1000
+            ) {
+                let m = rand_matrix(rows, cols, seed);
+                let t = m.transpose();
+                prop_assert!(t.data() == naive_transpose(&m).data());
+                let tt = t.transpose();
+                prop_assert!(tt.data() == m.data() && tt.rows() == m.rows());
+            }
+        }
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Activations, losses and reductions with explicit backward passes.
 
+use crate::kernel::row_fold_mut;
 use crate::matrix::Matrix;
 use ds_simgpu::par;
 
@@ -18,10 +19,10 @@ pub fn relu_backward(input: &Matrix, grad_out: &Matrix) -> Matrix {
     );
     let mut out = grad_out.clone();
     let input_data = input.data();
+    // Branchless select: the sign mask of the input is data-random in
+    // practice, so a conditional store would mispredict half the time.
     par::apply_indexed(out.data_mut(), |i, g| {
-        if input_data[i] <= 0.0 {
-            *g = 0.0;
-        }
+        *g = if input_data[i] > 0.0 { *g } else { 0.0 };
     });
     out
 }
@@ -40,21 +41,44 @@ pub fn l2_normalize_rows(x: &Matrix) -> Matrix {
 }
 
 /// Softmax cross-entropy over rows. Returns (mean loss, probabilities).
+///
+/// The max/exp/sum reduction is a *single* online pass per row (the
+/// flash-attention style running rescale): each element costs one `exp`,
+/// and when a new running max appears the already-written prefix and the
+/// running sum are lazily rescaled by `exp(old_max - new_max)` — an
+/// amortized-rare event. The prefix rescale and the final normalization
+/// run on the kernels' shared [`row_fold_mut`] helper. Two row sweeps
+/// (one exp, one multiply) instead of the old four
+/// (max, exp+sum, divide, on a cloned matrix). Numerics are pinned by
+/// the finite-difference gradient test below.
 pub fn softmax_cross_entropy(logits: &Matrix, labels: &[u32]) -> (f32, Matrix) {
     assert_eq!(logits.rows(), labels.len());
     let cols = logits.cols();
-    let mut probs = logits.clone();
+    let mut probs = Matrix::zeros(logits.rows(), cols);
     let losses: Vec<f32> = par::chunk_map_mut(probs.data_mut(), cols, |i, row| {
         let y = labels[i];
-        let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let src = logits.row(i);
+        let mut max = f32::NEG_INFINITY;
         let mut sum = 0.0f32;
-        for v in row.iter_mut() {
-            *v = (*v - max).exp();
-            sum += *v;
+        for j in 0..row.len() {
+            let v = src[j];
+            if v > max {
+                if j > 0 {
+                    let r = (max - v).exp();
+                    row_fold_mut(&mut row[..j], (), |(), w| *w *= r);
+                    sum *= r;
+                }
+                max = v;
+                row[j] = 1.0;
+                sum += 1.0;
+            } else {
+                let e = (v - max).exp();
+                row[j] = e;
+                sum += e;
+            }
         }
-        for v in row.iter_mut() {
-            *v /= sum;
-        }
+        let inv = 1.0 / sum;
+        row_fold_mut(row, (), |(), w| *w *= inv);
         -(row[y as usize].max(1e-12)).ln()
     });
     let loss = losses.iter().sum::<f32>() / labels.len().max(1) as f32;

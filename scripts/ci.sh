@@ -92,6 +92,17 @@ test -s BENCH_pipeline.json
 cargo run -q --release --offline -p ds-bench --bin bench_diff -- \
     BENCH_pipeline.json results/BENCH_baseline.json
 
+# Kernel stage: wall-clock microbench of the packed-GEMM / fused-gather
+# tensor kernels. Output hashes are bit-deterministic and identical in
+# quick mode, so they gate exactly against the committed baseline;
+# wall-clock columns are machine noise and gate only at a generous
+# factor (the gate catches fast-path cliffs, not percent drift).
+rm -f BENCH_gemm.json
+DSP_BENCH_QUICK=1 cargo run -q --release --offline -p ds-bench --bin bench_gemm
+test -s BENCH_gemm.json
+cargo run -q --release --offline -p ds-bench --bin bench_gemm_diff -- \
+    BENCH_gemm.json results/BENCH_gemm_baseline.json
+
 # Cache-policy ablation: static/LRU/LFU/hotness vs the Belady oracle
 # ceiling. The bin self-asserts the dominance invariants (oracle >= all,
 # hotness beats static on the shifted workload) and its output must be

@@ -1,0 +1,161 @@
+//! Determinism contract of the packed GEMM kernels and the fused
+//! gather+GEMM paths: outputs are bit-identical across
+//! `DS_PAR_THREADS` ∈ {1, 2, 8} *and* across `DS_GEMM_BLOCK` row-block
+//! sizes. The microkernel accumulates every output element with a
+//! single k-ascending sum, so neither how output rows are chunked over
+//! pool workers nor the row-block size can change a summation tree.
+//!
+//! Same re-exec shape as `exec_determinism.rs`: the thread count and
+//! block size are latched once per process (`OnceLock`), so the driver
+//! spawns this binary per configuration with `DS_EXEC_DET_CHILD=1` and
+//! compares the emitted `DET_HASH` lines.
+
+use dsp::gnn::model::{GnnKind, GnnModel};
+use dsp::rng::Rng;
+use dsp::sampling::sample::SampleLayer;
+use dsp::sampling::GraphSample;
+use dsp::tensor::kernel;
+use dsp::tensor::matrix::Matrix;
+use dsp::tensor::{Dtype, QMatrix};
+
+const SEED: u64 = 7031;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+fn hash_f32s(data: &[f32]) -> u64 {
+    let mut bytes = Vec::with_capacity(data.len() * 4);
+    for &x in data {
+        bytes.extend_from_slice(&x.to_bits().to_le_bytes());
+    }
+    fnv1a(&bytes)
+}
+
+fn rand_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut rng = Rng::seed_from_u64(seed);
+    Matrix::from_vec(
+        rows,
+        cols,
+        (0..rows * cols)
+            .map(|_| rng.gen_range(-1.0f32..1.0))
+            .collect(),
+    )
+}
+
+/// A chained 3-layer sample like the real sampler emits.
+fn synth_sample(batch: usize, fanouts: &[usize], num_nodes: u32) -> GraphSample {
+    let mut rng = Rng::seed_from_u64(SEED ^ 0xbeef);
+    let seeds: Vec<u32> = (0..batch as u32).collect();
+    let mut dst = seeds.clone();
+    let mut layers = Vec::with_capacity(fanouts.len());
+    for &f in fanouts {
+        let mut offsets = vec![0u32];
+        let mut neighbors = Vec::with_capacity(dst.len() * f);
+        for _ in &dst {
+            for _ in 0..f {
+                neighbors.push(rng.gen_range(0..num_nodes));
+            }
+            offsets.push(neighbors.len() as u32);
+        }
+        let layer = SampleLayer::new(dst, offsets, neighbors);
+        dst = layer.src.clone();
+        layers.push(layer);
+    }
+    GraphSample::new(seeds, layers)
+}
+
+/// Hash of one full GraphSAGE and one GAT training gradient.
+fn trainer_hashes() -> (u64, u64) {
+    let mut out = [0u64; 2];
+    for (slot, kind) in [(0usize, GnnKind::GraphSage), (1, GnnKind::Gat)] {
+        let sample = synth_sample(48, &[9, 5], 1500);
+        let model = GnnModel::new(kind, 12, 24, 6, 2, SEED);
+        let input = rand_matrix(sample.input_nodes().len(), 12, SEED + slot as u64);
+        let labels: Vec<u32> = (0..48u32).map(|i| i % 6).collect();
+        let (loss, _, grads) = model.loss_and_grad(&sample, &input, &labels);
+        out[slot] = hash_f32s(&grads) ^ loss.to_bits() as u64;
+    }
+    (out[0], out[1])
+}
+
+/// Child mode: compute hashes under whatever DS_PAR_THREADS /
+/// DS_GEMM_BLOCK the driver set, print one line. No-op otherwise.
+#[test]
+fn child_emit_hashes() {
+    if std::env::var("DS_EXEC_DET_CHILD").is_err() {
+        return;
+    }
+    let a = rand_matrix(300, 48, SEED);
+    let b = rand_matrix(48, 40, SEED + 1);
+    let g = rand_matrix(300, 40, SEED + 2);
+    let src = rand_matrix(500, 48, SEED + 3);
+    let mut rng = Rng::seed_from_u64(SEED + 4);
+    let idx: Vec<u32> = (0..300).map(|_| rng.gen_range(0..500u32)).collect();
+    let right = rand_matrix(300, 24, SEED + 5);
+    let w2 = rand_matrix(72, 16, SEED + 6);
+
+    let h_nn = hash_f32s(kernel::matmul(&a, &b).data());
+    let h_tn = hash_f32s(kernel::matmul_tn(&a, &g).data());
+    let h_nt = hash_f32s(kernel::matmul_nt(&g, &b).data());
+    let h_gather = hash_f32s(kernel::gather_matmul(&src, &idx, &b).data());
+    let h_concat = {
+        let cat = Matrix::from_vec(
+            72,
+            16,
+            w2.data().to_vec(), // (48+24)×16 weight for [src|right]
+        );
+        hash_f32s(kernel::gather_concat_matmul(&src, &idx, &right, &cat).data())
+    };
+    let h_q = {
+        let q = QMatrix::quantize(&src, Dtype::Int8);
+        hash_f32s(kernel::gather_matmul_q(&q, &idx, &b).data())
+    };
+    let (h_sage, h_gat) = trainer_hashes();
+    println!(
+        "DET_HASH {h_nn:016x} {h_tn:016x} {h_nt:016x} {h_gather:016x} \
+         {h_concat:016x} {h_q:016x} {h_sage:016x} {h_gat:016x}"
+    );
+}
+
+#[test]
+fn bit_identical_across_threads_and_blocks() {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut lines: Vec<(String, String)> = Vec::new();
+    for (threads, block) in [
+        ("1", "64"),
+        ("2", "64"),
+        ("8", "64"),
+        ("2", "16"),
+        ("8", "7"),
+    ] {
+        let out = std::process::Command::new(&exe)
+            .args(["--exact", "child_emit_hashes", "--nocapture"])
+            .env("DS_EXEC_DET_CHILD", "1")
+            .env("DS_PAR_THREADS", threads)
+            .env("DS_GEMM_BLOCK", block)
+            .env("DS_PAR_SERIAL_CUTOFF", "0")
+            .output()
+            .expect("re-exec test binary");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "child with DS_PAR_THREADS={threads} DS_GEMM_BLOCK={block} failed:\n{stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let line = stdout
+            .lines()
+            .find_map(|l| l.find("DET_HASH").map(|i| l[i..].trim().to_string()))
+            .unwrap_or_else(|| panic!("no DET_HASH line in:\n{stdout}"));
+        lines.push((format!("threads={threads} block={block}"), line));
+    }
+    let (_, reference) = &lines[0];
+    for (cfg, line) in &lines[1..] {
+        assert_eq!(line, reference, "outputs differ at {cfg}");
+    }
+}
