@@ -1,0 +1,177 @@
+//! bench_split_diff: CI regression gate over the DSP-vs-GSplit
+//! head-to-head.
+//!
+//! Compares a fresh `BENCH_split.json` against the committed
+//! `results/BENCH_split_baseline.json`, lane by lane. Epoch times are
+//! virtual-clock numbers, bit-deterministic per source tree: either
+//! mode's time regressing by more than 25% on any lane fails. The
+//! measured crossover is gated structurally — a dataset whose
+//! baseline crossover exists must still cross over fresh, and at a GPU
+//! count no larger than the baseline's (the split-mode win must not
+//! silently recede). Every missing-key failure names which side (fresh
+//! run vs baseline) the key is missing from.
+//!
+//! Usage: bench_split_diff [fresh.json] [baseline.json]
+
+use ds_trace::json::{parse, Json};
+use std::process::ExitCode;
+
+const THRESHOLD: f64 = 0.25;
+/// Per-lane epoch-time keys gated "fresh must not exceed baseline by
+/// THRESHOLD".
+const TIME_KEYS: [&str; 2] = ["dsp_s", "gsplit_s"];
+
+struct Side<'a> {
+    label: &'a str,
+    path: &'a str,
+    json: Json,
+}
+
+fn load<'a>(label: &'a str, path: &'a str) -> Side<'a> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("bench_split_diff: read {label} ({path}): {e}"));
+    let json =
+        parse(&text).unwrap_or_else(|e| panic!("bench_split_diff: parse {label} ({path}): {e}"));
+    Side { label, path, json }
+}
+
+impl Side<'_> {
+    fn arr(&self, key: &str) -> &[Json] {
+        match self.json.get(key) {
+            Some(Json::Arr(v)) => v,
+            _ => panic!(
+                "bench_split_diff: gated key `{key}` missing or not an array in the {} ({})",
+                self.label, self.path
+            ),
+        }
+    }
+}
+
+/// Gated numeric field of one lane; failure names the side.
+fn num(l: &Json, key: &str, side: &Side, what: &str) -> f64 {
+    l.get(key).and_then(Json::as_f64).unwrap_or_else(|| {
+        panic!(
+            "bench_split_diff: gated key `{key}` missing from {what} of the {} ({})",
+            side.label, side.path
+        )
+    })
+}
+
+/// Gated string field of one lane; failure names the side.
+fn txt<'a>(l: &'a Json, key: &str, side: &Side, what: &str) -> &'a str {
+    match l.get(key) {
+        Some(Json::Str(s)) => s,
+        _ => panic!(
+            "bench_split_diff: gated key `{key}` missing from {what} of the {} ({})",
+            side.label, side.path
+        ),
+    }
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let fresh_path = args.next().unwrap_or_else(|| "BENCH_split.json".into());
+    let base_path = args
+        .next()
+        .unwrap_or_else(|| "results/BENCH_split_baseline.json".into());
+    let fresh = load("fresh run", &fresh_path);
+    let base = load("baseline", &base_path);
+
+    let flanes = fresh.arr("lanes");
+    let blanes = base.arr("lanes");
+    if flanes.len() < blanes.len() {
+        eprintln!(
+            "bench_split_diff: baseline ({base_path}) has {} lanes, fresh run ({fresh_path}) \
+             only {} — a gated lane is missing from the fresh run",
+            blanes.len(),
+            flanes.len()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let mut failed = false;
+    println!(
+        "{:<20} {:<9} {:>12} {:>12} {:>9}",
+        "lane", "metric", "baseline", "fresh", "delta"
+    );
+    for (i, bl) in blanes.iter().enumerate() {
+        let fl = &flanes[i];
+        let what = format!("lane {i}");
+        let bname = txt(bl, "dataset", &base, &what);
+        let bgpus = num(bl, "gpus", &base, &what);
+        let fname = txt(fl, "dataset", &fresh, &what);
+        let fgpus = num(fl, "gpus", &fresh, &what);
+        if bname != fname || (bgpus - fgpus).abs() > 1e-9 {
+            eprintln!(
+                "bench_split_diff: lane {i} identity mismatch — baseline ({base_path}) has \
+                 {bname}/{bgpus} GPUs, fresh run ({fresh_path}) has {fname}/{fgpus} GPUs"
+            );
+            failed = true;
+            continue;
+        }
+        let tag = format!("{bname}-{bgpus}gpu");
+        for key in TIME_KEYS {
+            let b = num(bl, key, &base, &what);
+            let f = num(fl, key, &fresh, &what);
+            let delta = if b > 0.0 { (f - b) / b } else { 0.0 };
+            let flag = if b > 0.0 && delta > THRESHOLD {
+                failed = true;
+                "  REGRESSION"
+            } else {
+                ""
+            };
+            println!(
+                "{tag:<20} {key:<9} {b:>12.6} {f:>12.6} {:>+8.1}%{flag}",
+                delta * 100.0
+            );
+        }
+    }
+
+    // Crossover presence: a split-mode win recorded in the baseline must
+    // not recede — the fresh crossover must exist and sit at a GPU count
+    // no larger than the baseline's.
+    let fcross = fresh.arr("crossovers");
+    for bc in base.arr("crossovers") {
+        let bname = txt(bc, "dataset", &base, "crossovers");
+        let bg = num(bc, "crossover_gpus", &base, "crossovers");
+        let fc = fcross
+            .iter()
+            .find(|c| txt(c, "dataset", &fresh, "crossovers") == bname)
+            .unwrap_or_else(|| {
+                panic!(
+                    "bench_split_diff: dataset `{bname}` missing from crossovers of the fresh \
+                     run ({fresh_path})"
+                )
+            });
+        let fg = num(fc, "crossover_gpus", &fresh, "crossovers");
+        if bg > 0.0 && (fg == 0.0 || fg > bg) {
+            eprintln!(
+                "bench_split_diff: {bname} crossover receded — baseline ({base_path}) crosses \
+                 at {bg} GPUs, fresh run ({fresh_path}) at {}",
+                if fg == 0.0 {
+                    "never".into()
+                } else {
+                    format!("{fg} GPUs")
+                }
+            );
+            failed = true;
+        } else {
+            println!("{bname:<20} {:<9} {bg:>12} {fg:>12}", "crossover");
+        }
+    }
+
+    if failed {
+        eprintln!(
+            "bench_split_diff: regression vs {base_path} (time threshold {:.0}%)",
+            THRESHOLD * 100.0
+        );
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "bench_split_diff: OK ({} lanes, threshold {:.0}%)",
+            blanes.len(),
+            THRESHOLD * 100.0
+        );
+        ExitCode::SUCCESS
+    }
+}

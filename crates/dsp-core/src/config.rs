@@ -49,6 +49,42 @@ impl SystemKind {
     }
 }
 
+/// How the mini-batch work is distributed across GPUs.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum TrainMode {
+    /// DSP's native data parallelism: every GPU samples, loads and
+    /// trains its own mini-batch end to end, tolerating redundant
+    /// feature loads across ranks. The default; bit-identical to the
+    /// pre-split-mode system.
+    DataParallel,
+    /// Split parallelism (GSplit): the innermost aggregation of each
+    /// mini-batch is computed cooperatively. Every sampled vertex is
+    /// served by its owning rank — owners load their rows locally,
+    /// compute partial neighbor sums, and a partial-aggregate exchange
+    /// over NVLink replaces the redundant raw-feature loads.
+    Split,
+}
+
+impl TrainMode {
+    /// Parses `DS_TRAIN_MODE` (`dp` / `data-parallel` / `split`);
+    /// `None` when the variable is unset.
+    pub fn from_env() -> Option<TrainMode> {
+        match std::env::var("DS_TRAIN_MODE").ok()?.as_str() {
+            "dp" | "data-parallel" | "dataparallel" => Some(TrainMode::DataParallel),
+            "split" | "gsplit" => Some(TrainMode::Split),
+            other => panic!("DS_TRAIN_MODE must be `dp` or `split`, got {other:?}"),
+        }
+    }
+
+    /// Display name used in benchmark tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            TrainMode::DataParallel => "DSP",
+            TrainMode::Split => "GSplit",
+        }
+    }
+}
+
 /// Training + system configuration (paper §7.1 defaults).
 #[derive(Clone, Debug)]
 pub struct TrainConfig {
@@ -63,6 +99,12 @@ pub struct TrainConfig {
     pub fanout: Vec<usize>,
     /// Sampling scheme.
     pub scheme: Scheme,
+    /// Data-parallel (default) or split-parallel (GSplit) training.
+    /// Override via `DS_TRAIN_MODE` (`dp`/`split`). Split mode requires
+    /// a mean-aggregating model (GraphSAGE or GCN, not GAT) and
+    /// disables the epoch-ahead prefetcher (owners already serve their
+    /// shard locally, so there is no cold demand stream to hide).
+    pub train_mode: TrainMode,
     /// Biased (edge-weighted) sampling.
     pub biased: bool,
     /// Per-GPU mini-batch seed count. The paper uses 1024 on the full
@@ -134,6 +176,7 @@ impl TrainConfig {
             num_layers: 3,
             fanout: vec![15, 10, 5],
             scheme: Scheme::NodeWise,
+            train_mode: TrainMode::from_env().unwrap_or(TrainMode::DataParallel),
             biased: false,
             batch_size: 64,
             lr: 3e-3,
@@ -197,6 +240,13 @@ impl TrainConfig {
             "comm deadline must be positive"
         );
         assert!(self.retry_backoff_secs >= 0.0);
+        // Split mode distributes the innermost *mean* aggregation as
+        // per-owner partial sums; GAT's attention weights depend on
+        // both endpoints, so its aggregation does not decompose.
+        assert!(
+            !(self.train_mode == TrainMode::Split && self.model == GnnKind::Gat),
+            "split-parallel training supports GraphSAGE and GCN only"
+        );
     }
 }
 
@@ -222,6 +272,13 @@ mod tests {
         if std::env::var("DS_PREFETCH_WINDOW").is_err() {
             assert_eq!(c.prefetch_window, 2);
         }
+        if std::env::var("DS_TRAIN_MODE").is_err() {
+            assert_eq!(
+                c.train_mode,
+                TrainMode::DataParallel,
+                "DSP is the default mode"
+            );
+        }
         if std::env::var("DS_CKPT_EVERY").is_err() {
             assert_eq!(c.ckpt_every, 0, "checkpointing is opt-in");
         }
@@ -241,6 +298,27 @@ mod tests {
     fn mismatched_fanout_is_rejected() {
         let mut c = TrainConfig::paper_default();
         c.fanout = vec![5];
+        c.validate();
+    }
+
+    #[test]
+    fn split_mode_with_mean_models_is_valid() {
+        for model in [GnnKind::GraphSage, GnnKind::Gcn] {
+            let mut c = TrainConfig::test_default();
+            c.model = model;
+            c.train_mode = TrainMode::Split;
+            c.validate();
+        }
+        assert_eq!(TrainMode::Split.name(), "GSplit");
+        assert_eq!(TrainMode::DataParallel.name(), "DSP");
+    }
+
+    #[test]
+    #[should_panic(expected = "GraphSAGE and GCN only")]
+    fn split_mode_rejects_gat() {
+        let mut c = TrainConfig::test_default();
+        c.model = GnnKind::Gat;
+        c.train_mode = TrainMode::Split;
         c.validate();
     }
 }

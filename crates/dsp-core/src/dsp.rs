@@ -17,19 +17,21 @@
 //! against it miss and fall back to UVA cold fetches inside the
 //! loader). Everything else terminates with a typed [`DspError`].
 
-use crate::config::TrainConfig;
+use crate::config::{TrainConfig, TrainMode};
 use crate::error::DspError;
 use crate::layout::{build_dsp_layout, DspLayout};
 use crate::prefetch::Prefetcher;
+use crate::split::SplitExchange;
 use crate::stats::{EpochStats, MetricAccumulator};
 use crate::supervisor::{FaultReport, RetryPolicy, Supervisor};
 use crate::system::{evaluate_model, System};
 use ds_cache::{DspLoader, DynamicPolicyKind, FeatureLoader, PrefetchedWindow, RebuildStatus};
 use ds_comm::{CommConfig, CommError, Communicator, Coordinator, DeviceSlots};
-use ds_gnn::Trainer;
+use ds_gnn::{GnnKind, Trainer};
 use ds_graph::{Dataset, Labels, NodeId};
 use ds_pipeline::queue::virtual_queue_labeled;
 use ds_sampling::csp::{CspConfig, CspSampler};
+use ds_sampling::sample::SampleLayer;
 use ds_sampling::shadow::shadow_batch;
 use ds_sampling::{BatchSampler, GraphSample};
 use ds_simgpu::{Clock, Cluster, WorkerKind};
@@ -42,6 +44,8 @@ use std::time::Duration;
 const SAMPLER_WORKER: u32 = 1;
 const LOADER_WORKER: u32 = 2;
 const TRAINER_WORKER: u32 = 3;
+/// Split mode's partial-aggregate exchange (rides the loader stage).
+const EXCHANGE_WORKER: u32 = 4;
 
 struct RankState {
     sampler: CspSampler,
@@ -49,6 +53,9 @@ struct RankState {
     trainer: Trainer,
     /// Epoch-ahead prefetcher (pipelined mode with a non-zero window).
     prefetcher: Option<Prefetcher>,
+    /// Split mode's partial-aggregate exchange runtime (`None` under
+    /// data-parallel training).
+    exchange: Option<SplitExchange>,
 }
 
 /// Per-rank epoch measurement.
@@ -93,6 +100,8 @@ struct RankCtx {
     sampler_comm: Arc<Communicator>,
     loader_comm: Arc<Communicator>,
     trainer_comm: Arc<Communicator>,
+    /// Split mode's exchange group (`None` under data-parallel).
+    exchange_comm: Option<Arc<Communicator>>,
     ccc: Option<Arc<Coordinator>>,
     sup: Arc<Supervisor>,
     /// `Some` when checkpointing is on (`ckpt_every > 0`).
@@ -169,6 +178,18 @@ impl RankCtx {
         comm.mark_failed(self.rank);
         if let Some(ccc) = &self.ccc {
             ccc.skip_worker(self.rank, comm.id());
+        }
+        // The partial-aggregate exchange rides the loader stage: a dead
+        // loader also leaves the exchange group, so peers parked in an
+        // exchange rendezvous wake with `PeerFailed` instead of timing
+        // out, and this rank's queued exchange launches are skipped.
+        if worker == WorkerKind::Loader {
+            if let Some(ex) = &self.exchange_comm {
+                ex.mark_failed(self.rank);
+                if let Some(ccc) = &self.ccc {
+                    ccc.skip_worker(self.rank, ex.id());
+                }
+            }
         }
     }
 
@@ -405,25 +426,71 @@ fn supervised_load(
     }
 }
 
+/// Supervised partial-aggregate exchange (split mode, loader stage).
+/// The exchange is a pair of all-to-alls, so like the loader's own
+/// collectives only timeouts are retried; the retry is safe because the
+/// exchange mutates no trainer state — a replayed round recomputes the
+/// same partial sums. Failures are attributed to the loader worker:
+/// that is the pipeline stage a wedged exchange actually stalls.
+fn supervised_exchange(
+    exchange: &SplitExchange,
+    clock: &mut Clock,
+    block: &SampleLayer,
+    dst_feats: &Matrix,
+    batch: u64,
+    ctx: &RankCtx,
+) -> Result<Matrix, DspError> {
+    let mut attempts = 0u32;
+    loop {
+        match exchange.try_exchange(clock, block, dst_feats) {
+            Ok(agg) => return Ok(agg),
+            Err(e @ CommError::Timeout(_)) => {
+                attempts += 1;
+                if attempts > ctx.sup.policy.max_retries {
+                    return Err(DspError::RetriesExhausted {
+                        rank: ctx.rank,
+                        worker: WorkerKind::Loader,
+                        batch,
+                        attempts,
+                        last: e,
+                    });
+                }
+                ctx.sup.record_retry(ctx.rank, batch);
+                ds_trace::instant(clock.now(), "retry", batch);
+                ctx.backoff(clock, batch, attempts);
+            }
+            Err(e) => return Err(DspError::Comm(e)),
+        }
+    }
+}
+
 /// Supervised training step. The gradient allreduce fails *before* the
 /// optimizer step, so a retried batch never double-applies gradients.
 /// BSP lockstep cannot survive a dead trainer peer, so only timeouts
-/// are retried.
+/// are retried. `agg` carries split mode's pre-combined innermost
+/// aggregate; `None` selects the data-parallel path.
 fn supervised_train(
     trainer: &mut Trainer,
     clock: &mut Clock,
     sample: &GraphSample,
     feats: &Matrix,
+    agg: Option<&Matrix>,
     batch: u64,
     ctx: &RankCtx,
 ) -> Result<ds_gnn::BatchResult, DspError> {
     let mut attempts = 0u32;
     loop {
-        let r = if ctx.exec {
-            let lab: Vec<u32> = sample.seeds.iter().map(|&v| ctx.labels.get(v)).collect();
-            trainer.try_train_batch(clock, sample, feats, &lab)
-        } else {
-            trainer.try_train_batch_timing_only(clock, sample)
+        let r = match (ctx.exec, agg) {
+            (true, Some(agg)) => {
+                let lab: Vec<u32> = sample.seeds.iter().map(|&v| ctx.labels.get(v)).collect();
+                trainer.try_train_batch_split(clock, sample, feats, agg, &lab)
+            }
+            (true, None) => {
+                let lab: Vec<u32> = sample.seeds.iter().map(|&v| ctx.labels.get(v)).collect();
+                trainer.try_train_batch(clock, sample, feats, &lab)
+            }
+            (false, Some(_)) => trainer.try_train_batch_timing_only_split(clock, sample),
+            (false, None) => trainer.try_train_batch_timing_only(clock, sample),
         };
         match r {
             Ok(result) => return Ok(result),
@@ -471,9 +538,14 @@ fn run_rank_pipelined(
         loader,
         trainer,
         prefetcher,
+        exchange,
     } = state;
+    let exchange = exchange.as_ref();
     let (mut sample_tx, mut sample_rx) = virtual_queue_labeled::<GraphSample>(cap, "q.sample");
-    let (mut feat_tx, mut feat_rx) = virtual_queue_labeled::<(GraphSample, Matrix)>(cap, "q.feat");
+    // Split mode's loader stage also carries the combined innermost
+    // aggregate to the trainer (`None` under data-parallel).
+    let (mut feat_tx, mut feat_rx) =
+        virtual_queue_labeled::<(GraphSample, Matrix, Option<Matrix>)>(cap, "q.feat");
     // Global batch index of this epoch's first batch: the prefetcher
     // keys its shadow replay on it, and the loader uses it to check
     // that a staged window really is for the batch in hand.
@@ -593,20 +665,38 @@ fn run_rank_pipelined(
                         .as_mut()
                         .and_then(|rx| rx.pop(&mut clock))
                         .filter(|w| w.batch() == base + b);
-                    ds_trace::span_begin_arg(clock.now(), "load", b);
-                    let feats = supervised_load(
-                        loader,
-                        &mut clock,
-                        sample.input_nodes(),
-                        window.as_ref(),
-                        b,
-                        ctx,
-                    )?;
-                    ds_trace::span_end(clock.now());
+                    let (feats, agg) = if let Some(ex) = exchange {
+                        // Split mode: load only this rank's dst rows,
+                        // then run the partial-aggregate exchange for
+                        // the innermost convolution. Load first on
+                        // every rank so the loader and exchange groups
+                        // interleave their launches in the same order
+                        // everywhere (CCC's launch-order invariant).
+                        let block = sample.layers.last().expect("sample has layers");
+                        ds_trace::span_begin_arg(clock.now(), "load", b);
+                        let feats = supervised_load(loader, &mut clock, &block.dst, None, b, ctx)?;
+                        ds_trace::span_end(clock.now());
+                        ds_trace::span_begin_arg(clock.now(), "exchange", b);
+                        let agg = supervised_exchange(ex, &mut clock, block, &feats, b, ctx)?;
+                        ds_trace::span_end(clock.now());
+                        (feats, Some(agg))
+                    } else {
+                        ds_trace::span_begin_arg(clock.now(), "load", b);
+                        let feats = supervised_load(
+                            loader,
+                            &mut clock,
+                            sample.input_nodes(),
+                            window.as_ref(),
+                            b,
+                            ctx,
+                        )?;
+                        ds_trace::span_end(clock.now());
+                        (feats, None)
+                    };
                     if loader.take_window_dropped() {
                         ctx.sup.record_dropped_window(ctx.rank, base + b);
                     }
-                    if feat_tx.push(&mut clock, (sample, feats)).is_err() {
+                    if feat_tx.push(&mut clock, (sample, feats, agg)).is_err() {
                         break;
                     }
                     b += 1;
@@ -624,7 +714,7 @@ fn run_rank_pipelined(
                 ds_trace::span_begin(clock.now(), "trainer");
                 let mut metrics = MetricAccumulator::default();
                 let mut b = 0u64;
-                while let Some((sample, feats)) = feat_rx.pop(&mut clock) {
+                while let Some((sample, feats, agg)) = feat_rx.pop(&mut clock) {
                     ctx.stall(&mut clock, WorkerKind::Trainer, b);
                     if ctx.crashes(WorkerKind::Trainer, b) {
                         ds_trace::instant(clock.now(), "crash", b);
@@ -638,7 +728,15 @@ fn run_rank_pipelined(
                     ctx.sup
                         .heartbeat(ctx.rank, WorkerKind::Trainer, b, clock.now());
                     ds_trace::span_begin_arg(clock.now(), "train", b);
-                    let r = supervised_train(trainer, &mut clock, &sample, &feats, b, ctx)?;
+                    let r = supervised_train(
+                        trainer,
+                        &mut clock,
+                        &sample,
+                        &feats,
+                        agg.as_ref(),
+                        b,
+                        ctx,
+                    )?;
                     ds_trace::span_end(clock.now());
                     // The optimizer step for global batch base+b is
                     // done and BSP left every replica equal: the only
@@ -701,7 +799,9 @@ fn run_rank_seq(
         trainer,
         // DSP-Seq has nothing to overlap prefetching with.
         prefetcher: _,
+        exchange,
     } = state;
+    let exchange = exchange.as_ref();
     let _trace = ds_trace::worker(ctx.rank as u32, ds_trace::TID_MAIN);
     let mut clock = Clock::new();
     ds_trace::span_begin(clock.now(), "rank");
@@ -747,9 +847,21 @@ fn run_rank_seq(
         ctx.sup
             .heartbeat(ctx.rank, WorkerKind::Loader, b, clock.now());
         ctx.track_rebuild(loader, &clock, b);
-        ds_trace::span_begin_arg(clock.now(), "load", b);
-        let feats = supervised_load(loader, &mut clock, sample.input_nodes(), None, b, ctx)?;
-        ds_trace::span_end(clock.now());
+        let (feats, agg) = if let Some(ex) = exchange {
+            let block = sample.layers.last().expect("sample has layers");
+            ds_trace::span_begin_arg(clock.now(), "load", b);
+            let feats = supervised_load(loader, &mut clock, &block.dst, None, b, ctx)?;
+            ds_trace::span_end(clock.now());
+            ds_trace::span_begin_arg(clock.now(), "exchange", b);
+            let agg = supervised_exchange(ex, &mut clock, block, &feats, b, ctx)?;
+            ds_trace::span_end(clock.now());
+            (feats, Some(agg))
+        } else {
+            ds_trace::span_begin_arg(clock.now(), "load", b);
+            let feats = supervised_load(loader, &mut clock, sample.input_nodes(), None, b, ctx)?;
+            ds_trace::span_end(clock.now());
+            (feats, None)
+        };
         let b2 = clock.busy();
         ctx.stall(&mut clock, WorkerKind::Trainer, b);
         if ctx.crashes(WorkerKind::Trainer, b) {
@@ -764,7 +876,7 @@ fn run_rank_seq(
         ctx.sup
             .heartbeat(ctx.rank, WorkerKind::Trainer, b, clock.now());
         ds_trace::span_begin_arg(clock.now(), "train", b);
-        let r = supervised_train(trainer, &mut clock, &sample, &feats, b, ctx)?;
+        let r = supervised_train(trainer, &mut clock, &sample, &feats, agg.as_ref(), b, ctx)?;
         ds_trace::span_end(clock.now());
         ctx.maybe_checkpoint(trainer, &clock, base, b)?;
         let b3 = clock.busy();
@@ -794,6 +906,8 @@ pub struct DspSystem {
     sampler_comm: Arc<Communicator>,
     loader_comm: Arc<Communicator>,
     trainer_comm: Arc<Communicator>,
+    /// Split mode's exchange group (`None` under data-parallel).
+    exchange_comm: Option<Arc<Communicator>>,
     ccc: Option<Arc<Coordinator>>,
     supervisor: Arc<Supervisor>,
 }
@@ -811,48 +925,38 @@ impl DspSystem {
         // slots and (by default) CCC coordination — without CCC this
         // configuration can deadlock (see tests/deadlock.rs).
         let ccc = (pipelined && cfg.use_ccc).then(|| Arc::new(Coordinator::new(gpus)));
-        let (sampler_comm, loader_comm, trainer_comm) = if pipelined {
+        let split = cfg.train_mode == TrainMode::Split;
+        // Split mode adds a fourth worker group for the partial-
+        // aggregate exchange; it shares the device's kernel slots and
+        // CCC coordination with the other three.
+        let (sampler_comm, loader_comm, trainer_comm, exchange_comm) = if pipelined {
             let slots = Arc::new(DeviceSlots::new(gpus, cfg.slots_per_device));
+            let mk = |id: u32| {
+                Arc::new(
+                    Communicator::with_slots(
+                        id,
+                        Arc::clone(&cluster),
+                        Arc::clone(&slots),
+                        ccc.clone(),
+                    )
+                    .with_config(comm_cfg),
+                )
+            };
             (
-                Arc::new(
-                    Communicator::with_slots(
-                        SAMPLER_WORKER,
-                        Arc::clone(&cluster),
-                        Arc::clone(&slots),
-                        ccc.clone(),
-                    )
-                    .with_config(comm_cfg),
-                ),
-                Arc::new(
-                    Communicator::with_slots(
-                        LOADER_WORKER,
-                        Arc::clone(&cluster),
-                        Arc::clone(&slots),
-                        ccc.clone(),
-                    )
-                    .with_config(comm_cfg),
-                ),
-                Arc::new(
-                    Communicator::with_slots(
-                        TRAINER_WORKER,
-                        Arc::clone(&cluster),
-                        slots,
-                        ccc.clone(),
-                    )
-                    .with_config(comm_cfg),
-                ),
+                mk(SAMPLER_WORKER),
+                mk(LOADER_WORKER),
+                mk(TRAINER_WORKER),
+                split.then(|| mk(EXCHANGE_WORKER)),
             )
         } else {
+            let mk = |id: u32| {
+                Arc::new(Communicator::new(id, Arc::clone(&cluster)).with_config(comm_cfg))
+            };
             (
-                Arc::new(
-                    Communicator::new(SAMPLER_WORKER, Arc::clone(&cluster)).with_config(comm_cfg),
-                ),
-                Arc::new(
-                    Communicator::new(LOADER_WORKER, Arc::clone(&cluster)).with_config(comm_cfg),
-                ),
-                Arc::new(
-                    Communicator::new(TRAINER_WORKER, Arc::clone(&cluster)).with_config(comm_cfg),
-                ),
+                mk(SAMPLER_WORKER),
+                mk(LOADER_WORKER),
+                mk(TRAINER_WORKER),
+                split.then(|| mk(EXCHANGE_WORKER)),
             )
         };
         let csp_cfg = CspConfig {
@@ -885,7 +989,10 @@ impl DspSystem {
                         kind => loader.with_dynamic_policy(kind.build()),
                     }
                 },
-                prefetcher: (pipelined && cfg.prefetch_window > 0).then(|| {
+                // Split mode loads only owned dst rows on demand — the
+                // epoch-ahead window stages input-node features the
+                // exchange never requests, so prefetching is off.
+                prefetcher: (pipelined && cfg.prefetch_window > 0 && !split).then(|| {
                     Prefetcher::new(
                         Arc::clone(&layout.dist_graph),
                         csp_cfg.clone(),
@@ -893,6 +1000,17 @@ impl DspSystem {
                         Arc::clone(&layout.features),
                         Arc::clone(&cluster),
                         rank,
+                    )
+                }),
+                exchange: exchange_comm.as_ref().map(|ex| {
+                    SplitExchange::new(
+                        Arc::clone(ex),
+                        Arc::clone(&layout.cache),
+                        Arc::clone(&layout.features),
+                        Arc::clone(&cluster),
+                        Arc::clone(&layout.dist_graph),
+                        rank,
+                        cfg.model == GnnKind::Gcn,
                     )
                 }),
                 trainer: Trainer::new(
@@ -922,6 +1040,7 @@ impl DspSystem {
             sampler_comm,
             loader_comm,
             trainer_comm,
+            exchange_comm,
             ccc,
             supervisor,
         }
@@ -1010,6 +1129,17 @@ impl DspSystem {
                 c + s.cold_fetches.load(Ordering::Relaxed),
             )
         })
+    }
+
+    /// Per-rank FNV-1a hashes of every gradient stream the trainer
+    /// allreduced since construction. Identical across ranks by BSP and
+    /// across `DS_PAR_THREADS` by kernel determinism — the split-vs-dp
+    /// equivalence tests' witness.
+    pub fn grad_stream_hashes(&self) -> Vec<u64> {
+        self.ranks
+            .iter()
+            .map(|r| r.trainer.grad_stream_hash())
+            .collect()
     }
 
     /// Gradient bytes synchronized per mini-batch (model size × 4).
@@ -1124,6 +1254,7 @@ impl DspSystem {
                 sampler_comm: Arc::clone(&self.sampler_comm),
                 loader_comm: Arc::clone(&self.loader_comm),
                 trainer_comm: Arc::clone(&self.trainer_comm),
+                exchange_comm: self.exchange_comm.clone(),
                 ccc: self.ccc.clone(),
                 sup: Arc::clone(&self.supervisor),
                 ckpt: ckpt.clone(),
@@ -1239,10 +1370,11 @@ impl System for DspSystem {
     }
 
     fn name(&self) -> &'static str {
-        if self.pipelined {
-            "DSP"
-        } else {
-            "DSP-Seq"
+        match (self.cfg.train_mode, self.pipelined) {
+            (TrainMode::Split, true) => "GSplit",
+            (TrainMode::Split, false) => "GSplit-Seq",
+            (TrainMode::DataParallel, true) => "DSP",
+            (TrainMode::DataParallel, false) => "DSP-Seq",
         }
     }
 

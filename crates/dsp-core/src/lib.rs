@@ -31,6 +31,7 @@ pub mod layout;
 pub mod multimachine;
 pub mod prefetch;
 pub mod runner;
+pub mod split;
 pub mod stats;
 pub mod supervisor;
 pub mod system;

@@ -1,0 +1,413 @@
+//! Split-parallel training (GSplit): cooperative mini-batch execution.
+//!
+//! DSP trains data-parallel — every GPU samples, loads and computes its
+//! own mini-batch, tolerating redundant feature loads across ranks.
+//! Split parallelism eliminates the redundancy at the innermost
+//! convolution, where the data movement lives: every sampled vertex is
+//! *owned* by exactly one rank (the partition that holds its feature
+//! row), owners load their rows locally and compute partial neighbor
+//! sums, and a **partial-aggregate exchange** ships `dim`-wide partial
+//! rows instead of raw feature rows. Because the innermost inputs are
+//! raw features — which take no gradient — the exchange is forward-only
+//! and mathematically exact (partial sums combined in rank order; only
+//! float summation order differs from the fused single-rank path).
+//!
+//! The module splits into a *pure* planning layer ([`SplitPlan`],
+//! [`build_plan`], [`parse_request`], [`combine_partials`] — property-
+//! tested directly in `tests/split_props.rs`) and the [`SplitExchange`]
+//! runtime that rides the ds-comm collectives and charges the
+//! interconnect model. Protocol per batch, on the exchange
+//! communicator (worker group 4, CCC-coordinated like the others):
+//!
+//! 1. **Request a2a** — each home rank sends every owner the flattened
+//!    `(dst_index, neighbor_id)` pairs of the edges that owner must
+//!    serve (u32 wire items, dst-major edge order).
+//! 2. **Owner serve** — owners look requested rows up in their own
+//!    partitioned-cache slice (local HBM gather; cold rows fall back to
+//!    host memory over UVA — never NVLink, ownership makes the shard
+//!    local) and fold them into one partial-sum row per requested dst,
+//!    in edge order.
+//! 3. **Reply a2a** — partial rows travel back (f32 wire items).
+//! 4. **Combine** — the home rank adds partials in rank order, folds in
+//!    the dst's own row for GCN's closed neighborhood, and divides by
+//!    the neighbor count it already knows from the plan.
+
+use ds_cache::PartitionedCache;
+use ds_comm::{CommError, Communicator};
+use ds_graph::{Features, NodeId};
+use ds_sampling::sample::SampleLayer;
+use ds_sampling::DistGraph;
+use ds_simgpu::clock::ResKind;
+use ds_simgpu::{Clock, Cluster};
+use ds_tensor::matrix::Matrix;
+use std::sync::Arc;
+
+/// The per-batch exchange plan a home rank derives from the innermost
+/// sampled block: who owns what, and the exact wire layout of both
+/// exchange rounds. Pure data — building it touches no device state.
+#[derive(Clone, Debug)]
+pub struct SplitPlan {
+    /// Destination count of the innermost block (reply rows land here).
+    pub num_dst: usize,
+    /// Per owner: flattened `(dst_index, neighbor_id)` pairs in
+    /// dst-major edge order — round 1's wire payload.
+    pub requests: Vec<Vec<u32>>,
+    /// Per owner: the distinct dst indices that owner serves, in
+    /// request order. Round 2 returns exactly one partial row per
+    /// entry, in this order.
+    pub reply_dsts: Vec<Vec<u32>>,
+    /// Per owner, parallel to `reply_dsts`: how many edges (neighbor
+    /// occurrences, multiplicity kept) feed that partial row.
+    pub reply_counts: Vec<Vec<u32>>,
+}
+
+impl SplitPlan {
+    /// Total sampled edges covered by the plan.
+    pub fn edges(&self) -> usize {
+        self.requests.iter().map(|r| r.len()).sum::<usize>() / 2
+    }
+
+    /// Total u32 items on the wire in the request round.
+    pub fn request_items(&self) -> usize {
+        self.requests.iter().map(|r| r.len()).sum()
+    }
+
+    /// Total partial rows on the wire in the reply round.
+    pub fn reply_rows(&self) -> usize {
+        self.reply_dsts.iter().map(|d| d.len()).sum()
+    }
+
+    /// Request-round wire bytes (u32 items).
+    pub fn request_bytes(&self) -> u64 {
+        self.request_items() as u64 * 4
+    }
+
+    /// Reply-round wire bytes for `dim`-wide f32 rows.
+    pub fn reply_bytes(&self, dim: usize) -> u64 {
+        self.reply_rows() as u64 * dim as u64 * 4
+    }
+}
+
+/// Assigns every vertex of the block's src set to its owning rank —
+/// the ownership partition of the sampled subgraph. Total by
+/// construction (the owner function is total), so each sampled vertex
+/// lands on exactly one rank; the property tests assert it.
+pub fn owner_assignment(
+    block: &SampleLayer,
+    num_ranks: usize,
+    owner: impl Fn(NodeId) -> usize,
+) -> Vec<usize> {
+    block
+        .src
+        .iter()
+        .map(|&v| {
+            let o = owner(v);
+            assert!(
+                o < num_ranks,
+                "owner {o} out of range for {num_ranks} ranks"
+            );
+            o
+        })
+        .collect()
+}
+
+/// Builds the exchange plan for one innermost block: walks the sampled
+/// edges in dst-major order and buckets each by the neighbor's owner.
+pub fn build_plan(
+    block: &SampleLayer,
+    num_ranks: usize,
+    owner: impl Fn(NodeId) -> usize,
+) -> SplitPlan {
+    let mut requests: Vec<Vec<u32>> = vec![Vec::new(); num_ranks];
+    let mut reply_dsts: Vec<Vec<u32>> = vec![Vec::new(); num_ranks];
+    let mut reply_counts: Vec<Vec<u32>> = vec![Vec::new(); num_ranks];
+    for i in 0..block.num_dst() {
+        let (lo, hi) = (block.offsets[i] as usize, block.offsets[i + 1] as usize);
+        for &v in &block.neighbors[lo..hi] {
+            let o = owner(v);
+            assert!(
+                o < num_ranks,
+                "owner {o} out of range for {num_ranks} ranks"
+            );
+            if reply_dsts[o].last() != Some(&(i as u32)) {
+                reply_dsts[o].push(i as u32);
+                reply_counts[o].push(0);
+            }
+            *reply_counts[o].last_mut().expect("slot pushed above") += 1;
+            requests[o].push(i as u32);
+            requests[o].push(v);
+        }
+    }
+    SplitPlan {
+        num_dst: block.num_dst(),
+        requests,
+        reply_dsts,
+        reply_counts,
+    }
+}
+
+/// Parses one home's request payload back into `(dst_index, neighbors)`
+/// groups. Homes emit pairs in dst-major order, so group boundaries are
+/// exactly where the dst index changes.
+pub fn parse_request(pairs: &[u32]) -> Vec<(u32, Vec<u32>)> {
+    assert!(
+        pairs.len() % 2 == 0,
+        "request payload must be (dst, nbr) pairs"
+    );
+    let mut groups: Vec<(u32, Vec<u32>)> = Vec::new();
+    for pair in pairs.chunks_exact(2) {
+        let (dst, nbr) = (pair[0], pair[1]);
+        match groups.last_mut() {
+            Some((d, nbrs)) if *d == dst => nbrs.push(nbr),
+            _ => groups.push((dst, vec![nbr])),
+        }
+    }
+    groups
+}
+
+/// Combines per-owner partial sums into the final aggregate: partials
+/// add in rank order, the dst's own feature row folds in when
+/// `dst_feats` is given (GCN's closed neighborhood), and each row
+/// divides by its total count — mirroring the fused kernel's
+/// sum-then-single-divide arithmetic so only summation *order* differs
+/// from the data-parallel path.
+pub fn combine_partials(
+    block: &SampleLayer,
+    plan: &SplitPlan,
+    replies: &[Vec<f32>],
+    dst_feats: Option<&Matrix>,
+    dim: usize,
+) -> Matrix {
+    let mut agg = Matrix::zeros(plan.num_dst, dim);
+    for (o, reply) in replies.iter().enumerate() {
+        assert_eq!(
+            reply.len(),
+            plan.reply_dsts[o].len() * dim,
+            "owner {o} reply row count diverged from the plan"
+        );
+        for (slot, &dst) in plan.reply_dsts[o].iter().enumerate() {
+            let part = &reply[slot * dim..(slot + 1) * dim];
+            for (a, &v) in agg.row_mut(dst as usize).iter_mut().zip(part) {
+                *a += v;
+            }
+        }
+    }
+    for i in 0..plan.num_dst {
+        let (lo, hi) = (block.offsets[i] as usize, block.offsets[i + 1] as usize);
+        let mut count = hi - lo;
+        if let Some(h) = dst_feats {
+            for (a, &v) in agg.row_mut(i).iter_mut().zip(h.row(i)) {
+                *a += v;
+            }
+            count += 1;
+        }
+        if count > 1 {
+            let inv = 1.0 / count as f32;
+            for a in agg.row_mut(i).iter_mut() {
+                *a *= inv;
+            }
+        }
+    }
+    agg
+}
+
+/// Per-rank runtime of the partial-aggregate exchange: owns the
+/// exchange communicator (worker group 4) and the local shard handles,
+/// and charges the interconnect model for every stage.
+pub struct SplitExchange {
+    comm: Arc<Communicator>,
+    cache: Arc<PartitionedCache>,
+    features: Arc<Features>,
+    cluster: Arc<Cluster>,
+    graph: Arc<DistGraph>,
+    rank: usize,
+    /// GCN's closed neighborhood: fold the dst's own row into the mean.
+    closed: bool,
+}
+
+impl SplitExchange {
+    /// Builds the exchange runtime for one rank.
+    pub fn new(
+        comm: Arc<Communicator>,
+        cache: Arc<PartitionedCache>,
+        features: Arc<Features>,
+        cluster: Arc<Cluster>,
+        graph: Arc<DistGraph>,
+        rank: usize,
+        closed: bool,
+    ) -> Self {
+        SplitExchange {
+            comm,
+            cache,
+            features,
+            cluster,
+            graph,
+            rank,
+            closed,
+        }
+    }
+
+    /// The exchange communicator (for supervision plumbing).
+    pub fn comm(&self) -> &Arc<Communicator> {
+        &self.comm
+    }
+
+    /// One full partial-aggregate exchange for `block` (the innermost
+    /// sampled layer). `dst_feats` holds this rank's already-loaded
+    /// feature rows for `block.dst`, used for GCN's self fold. Returns
+    /// the combined innermost aggregate (`block.num_dst()` rows).
+    pub fn try_exchange(
+        &self,
+        clock: &mut Clock,
+        block: &SampleLayer,
+        dst_feats: &Matrix,
+    ) -> Result<Matrix, CommError> {
+        let dim = self.features.dim();
+        let model = *self.cluster.model();
+        let n = self.comm.num_ranks();
+        // Plan: bucket sampled edges by owner (scan kernel).
+        let plan = build_plan(block, n, |v| self.graph.owner(v));
+        clock.work(
+            model
+                .gpu
+                .time_full(block.num_edges() as u64, model.scan_cycles_per_item),
+        );
+        ds_trace::span_begin(clock.now(), "split.exchange");
+        // Round 1: edge requests to the owners.
+        let requests = self
+            .comm
+            .try_all_to_all_v(self.rank, clock, plan.requests.clone(), 4)?;
+        // Owner serve: every requested row is owned here, so lookups hit
+        // this rank's own cache slice (HBM gather) or fall back to host
+        // memory over UVA — the exchange never moves raw rows across
+        // NVLink. Partial sums accumulate in edge order per group.
+        let mut hits = 0u64;
+        let mut cold = 0u64;
+        let mut served_edges = 0u64;
+        let mut partial_sends: Vec<Vec<f32>> = Vec::with_capacity(requests.len());
+        for pairs in &requests {
+            let groups = parse_request(pairs);
+            let mut rows: Vec<f32> = Vec::with_capacity(groups.len() * dim);
+            for (_, nbrs) in &groups {
+                let base = rows.len();
+                rows.resize(base + dim, 0.0);
+                for &v in nbrs {
+                    debug_assert_eq!(
+                        self.graph.owner(v),
+                        self.rank,
+                        "request routed to a non-owner"
+                    );
+                    let row = match self.cache.lookup(self.rank, v) {
+                        Some(r) => {
+                            hits += 1;
+                            r
+                        }
+                        None => {
+                            cold += 1;
+                            self.features.row(v)
+                        }
+                    };
+                    for (a, &x) in rows[base..].iter_mut().zip(row) {
+                        *a += x;
+                    }
+                }
+                served_edges += nbrs.len() as u64;
+            }
+            partial_sends.push(rows);
+        }
+        clock.work_on(model.gather_time(hits, dim as u64 * 4), ResKind::Hbm);
+        if cold > 0 {
+            clock.work_on(
+                self.cluster.uva_read(self.rank, cold, dim as u64 * 4),
+                ResKind::Pcie,
+            );
+        }
+        // Segment-sum kernel over the served edges.
+        clock.work(
+            model
+                .gpu
+                .time_full(served_edges, model.scan_cycles_per_item),
+        );
+        // Round 2: partial rows back to the homes.
+        let replies = self
+            .comm
+            .try_all_to_all_v(self.rank, clock, partial_sends, 4)?;
+        // Combine in rank order; reading the partial rows is a gather.
+        let agg = combine_partials(
+            block,
+            &plan,
+            &replies,
+            self.closed.then_some(dst_feats),
+            dim,
+        );
+        clock.work_on(
+            model.gather_time(plan.reply_rows() as u64, dim as u64 * 4),
+            ResKind::Hbm,
+        );
+        ds_trace::span_end(clock.now());
+        Ok(agg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// dst = [0, 1]; node 0 samples {5, 9}, node 1 samples {9, 9, 2}.
+    fn toy_block() -> SampleLayer {
+        SampleLayer::new(vec![0, 1], vec![0, 2, 5], vec![5, 9, 9, 9, 2])
+    }
+
+    #[test]
+    fn plan_conserves_edges_rows_and_order() {
+        let block = toy_block();
+        // Owner: even ids → 0, odd ids → 1.
+        let plan = build_plan(&block, 2, |v| (v % 2) as usize);
+        assert_eq!(plan.edges(), block.num_edges());
+        // Rank 0 owns 2; rank 1 owns 5 and 9.
+        assert_eq!(plan.requests[0], vec![1, 2]);
+        assert_eq!(plan.requests[1], vec![0, 5, 0, 9, 1, 9, 1, 9]);
+        assert_eq!(plan.reply_dsts[0], vec![1]);
+        assert_eq!(plan.reply_dsts[1], vec![0, 1]);
+        assert_eq!(plan.reply_counts[1], vec![2, 2]);
+        assert_eq!(plan.request_bytes(), (plan.edges() * 8) as u64);
+        assert_eq!(plan.reply_rows(), 3);
+    }
+
+    #[test]
+    fn parse_request_round_trips_groups() {
+        let groups = parse_request(&[0, 5, 0, 9, 1, 9, 1, 9]);
+        assert_eq!(groups, vec![(0, vec![5, 9]), (1, vec![9, 9])]);
+        assert!(parse_request(&[]).is_empty());
+    }
+
+    #[test]
+    fn combine_matches_single_owner_mean() {
+        let block = toy_block();
+        // One rank owns everything: the partial sum IS the full sum.
+        let plan = build_plan(&block, 1, |_| 0);
+        let dim = 2;
+        let feat = |v: u32| vec![v as f32, 1.0];
+        let mut reply = Vec::new();
+        for (slot, &dst) in plan.reply_dsts[0].iter().enumerate() {
+            let mut row = vec![0.0f32; dim];
+            let (lo, hi) = (
+                block.offsets[dst as usize] as usize,
+                block.offsets[dst as usize + 1] as usize,
+            );
+            for &v in &block.neighbors[lo..hi] {
+                for (a, x) in row.iter_mut().zip(feat(v)) {
+                    *a += x;
+                }
+            }
+            assert_eq!(plan.reply_counts[0][slot] as usize, hi - lo);
+            reply.push(row);
+        }
+        let replies: Vec<Vec<f32>> = vec![reply.into_iter().flatten().collect()];
+        let agg = combine_partials(&block, &plan, &replies, None, dim);
+        // dst 0: mean(f(5), f(9)) = (7, 1); dst 1: mean(f9,f9,f2) = (20/3, 1).
+        assert_eq!(agg.row(0), &[7.0, 1.0]);
+        assert!((agg.row(1)[0] - 20.0 / 3.0).abs() < 1e-6);
+        assert_eq!(agg.row(1)[1], 1.0);
+    }
+}

@@ -229,6 +229,80 @@ pub fn sage_backward(
     LayerGrads { gw, gb, gh_src }
 }
 
+/// GraphSAGE forward for the split-parallel innermost convolution: the
+/// neighbor mean arrives precomputed (combined from per-owner partial
+/// sums) and `h_dst` holds raw feature rows for the block's *dst* set
+/// only — the full src feature matrix never exists on this rank. The
+/// concat GEMM still runs on the fused gather+GEMM path, with an
+/// identity row map standing in for `dst_pos_in_src`.
+pub fn sage_forward_preagg(
+    p: &DenseParam,
+    h_dst: &Matrix,
+    agg: &Matrix,
+    relu: bool,
+) -> (Matrix, LayerTape) {
+    assert_eq!(h_dst.rows(), agg.rows(), "dst rows must match agg rows");
+    let idx: Vec<u32> = (0..h_dst.rows() as u32).collect();
+    let mut z = kernel::gather_concat_matmul(h_dst, &idx, agg, &p.w);
+    z.add_bias(&p.b);
+    let out = if relu { ops::relu(&z) } else { z.clone() };
+    (
+        out,
+        LayerTape {
+            h_src: h_dst.clone(),
+            agg: agg.clone(),
+            z,
+            relu,
+        },
+    )
+}
+
+/// Backward of [`sage_forward_preagg`]: weight and bias gradients only.
+/// The innermost convolution's inputs are raw features, which take no
+/// gradient, so neither the dst-row nor the aggregate input gradient is
+/// ever formed — exactly the property that makes the split exchange
+/// forward-only.
+pub fn sage_backward_preagg(tape: &LayerTape, grad_out: &Matrix) -> (Matrix, Vec<f32>) {
+    let gz = if tape.relu {
+        ops::relu_backward(&tape.z, grad_out)
+    } else {
+        grad_out.clone()
+    };
+    let gw_self = tape.h_src.matmul_tn(&gz);
+    let gw_agg = tape.agg.matmul_tn(&gz);
+    (gw_self.vstack(&gw_agg), gz.col_sum())
+}
+
+/// GCN forward for the split-parallel innermost convolution: `agg` is
+/// the precomputed *closed*-neighborhood mean (the home rank folds the
+/// dst's own feature row into the combined partial sums before the
+/// divide), so the layer reduces to the dense GEMM.
+pub fn gcn_forward_preagg(p: &DenseParam, agg: &Matrix, relu: bool) -> (Matrix, LayerTape) {
+    let mut z = agg.matmul(&p.w);
+    z.add_bias(&p.b);
+    let out = if relu { ops::relu(&z) } else { z.clone() };
+    (
+        out,
+        LayerTape {
+            h_src: Matrix::zeros(0, 0),
+            agg: agg.clone(),
+            z,
+            relu,
+        },
+    )
+}
+
+/// Backward of [`gcn_forward_preagg`]: weight and bias gradients only
+/// (see [`sage_backward_preagg`] on why no input gradient exists).
+pub fn gcn_backward_preagg(tape: &LayerTape, grad_out: &Matrix) -> (Matrix, Vec<f32>) {
+    let gz = if tape.relu {
+        ops::relu_backward(&tape.z, grad_out)
+    } else {
+        grad_out.clone()
+    };
+    (tape.agg.matmul_tn(&gz), gz.col_sum())
+}
+
 /// GCN forward: mean over the closed neighborhood, via [`fused_mean`]
 /// with the self row folded in — no vstack, no segment vector.
 pub fn gcn_forward(

@@ -211,6 +211,131 @@ impl GnnModel {
         )
     }
 
+    /// Split-parallel forward: the innermost convolution's aggregated
+    /// neighborhood arrives precomputed (`inner_agg`, one row per dst of
+    /// the innermost block — the neighbor mean for SAGE, the closed
+    /// mean for GCN) together with raw feature rows for those dst nodes
+    /// only (`h_dst`). No feature matrix over the full input set ever
+    /// exists on this rank; outer convolutions run exactly as
+    /// [`Self::forward`]. GAT is rejected — attention weights depend on
+    /// both endpoints, so its aggregation does not decompose into
+    /// per-owner partial sums.
+    pub fn forward_split(
+        &self,
+        sample: &GraphSample,
+        h_dst: &Matrix,
+        inner_agg: &Matrix,
+        labels: &[u32],
+    ) -> (f32, ModelTape) {
+        let nl = self.num_layers();
+        assert_ne!(
+            self.kind,
+            GnnKind::Gat,
+            "split mode is mean-aggregation only"
+        );
+        assert_eq!(
+            sample.num_layers(),
+            nl,
+            "sample depth must match model depth"
+        );
+        let inner = &sample.layers[nl - 1];
+        assert_eq!(inner_agg.rows(), inner.num_dst());
+        assert_eq!(inner_agg.cols(), self.dims[0]);
+        assert_eq!(h_dst.rows(), inner.num_dst());
+        let mut tapes = Vec::with_capacity(nl);
+        let relu0 = nl > 1;
+        let (out, tape0) = match (&self.params[0], self.kind) {
+            (LayerParams::Dense(p), GnnKind::GraphSage) => {
+                layers::sage_forward_preagg(p, h_dst, inner_agg, relu0)
+            }
+            (LayerParams::Dense(p), _) => layers::gcn_forward_preagg(p, inner_agg, relu0),
+            (LayerParams::Gat(_), _) => unreachable!("GAT rejected above"),
+        };
+        tapes.push(TapeEntry::Dense(tape0));
+        let mut h = out;
+        for k in 1..nl {
+            let block = &sample.layers[nl - 1 - k];
+            let relu = k + 1 < nl;
+            let (out, tape) = match (&self.params[k], self.kind) {
+                (LayerParams::Dense(p), GnnKind::GraphSage) => {
+                    layers::sage_forward(p, block, &h, relu)
+                }
+                (LayerParams::Dense(p), _) => layers::gcn_forward(p, block, &h, relu),
+                (LayerParams::Gat(_), _) => unreachable!("GAT rejected above"),
+            };
+            tapes.push(TapeEntry::Dense(tape));
+            h = out;
+        }
+        let logits = h;
+        let (loss, probs) = ops::softmax_cross_entropy(&logits, labels);
+        (
+            loss,
+            ModelTape {
+                tapes,
+                logits,
+                probs,
+            },
+        )
+    }
+
+    /// Backward of [`Self::forward_split`]: identical to
+    /// [`Self::backward`] except the innermost convolution yields only
+    /// weight and bias gradients — its inputs are raw features, which
+    /// take no gradient, so the split exchange needs no backward leg.
+    pub fn backward_split(
+        &self,
+        sample: &GraphSample,
+        tape: &ModelTape,
+        labels: &[u32],
+    ) -> Vec<f32> {
+        let nl = self.num_layers();
+        let mut grad = ops::softmax_cross_entropy_backward(&tape.probs, labels);
+        let mut per_layer: Vec<Vec<f32>> = vec![Vec::new(); nl];
+        for k in (0..nl).rev() {
+            let (LayerParams::Dense(p), TapeEntry::Dense(t)) = (&self.params[k], &tape.tapes[k])
+            else {
+                unreachable!("split tapes are dense");
+            };
+            let (gw, gb) = if k == 0 {
+                match self.kind {
+                    GnnKind::GraphSage => layers::sage_backward_preagg(t, &grad),
+                    _ => layers::gcn_backward_preagg(t, &grad),
+                }
+            } else {
+                let block = &sample.layers[nl - 1 - k];
+                let g = match self.kind {
+                    GnnKind::GraphSage => layers::sage_backward(p, block, t, &grad),
+                    _ => layers::gcn_backward(p, block, t, &grad),
+                };
+                grad = g.gh_src;
+                (g.gw, g.gb)
+            };
+            let mut flat_layer = Vec::with_capacity(p.len());
+            flat_layer.extend_from_slice(gw.data());
+            flat_layer.extend_from_slice(&gb);
+            per_layer[k] = flat_layer;
+        }
+        let mut flat = Vec::with_capacity(self.num_params());
+        for layer in per_layer {
+            flat.extend_from_slice(&layer);
+        }
+        flat
+    }
+
+    /// Convenience: split-mode forward + backward + accuracy.
+    pub fn loss_and_grad_split(
+        &self,
+        sample: &GraphSample,
+        h_dst: &Matrix,
+        inner_agg: &Matrix,
+        labels: &[u32],
+    ) -> (f32, f64, Vec<f32>) {
+        let (loss, tape) = self.forward_split(sample, h_dst, inner_agg, labels);
+        let acc = ops::accuracy(&tape.logits, labels);
+        let grads = self.backward_split(sample, &tape, labels);
+        (loss, acc, grads)
+    }
+
     /// Backward pass: returns the flat gradient vector.
     pub fn backward(&self, sample: &GraphSample, tape: &ModelTape, labels: &[u32]) -> Vec<f32> {
         let nl = self.num_layers();
@@ -383,6 +508,68 @@ mod tests {
             last = loss;
         }
         assert!(last < first * 0.2, "loss {first} -> {last}");
+    }
+
+    /// Recomputes the innermost aggregate the way the split exchange
+    /// would with a single owner: neighbor rows summed in edge order,
+    /// the self row folded in for GCN, one divide at the end.
+    fn inner_agg_of(sample: &GraphSample, input: &Matrix, closed: bool) -> Matrix {
+        let inner = sample.layers.last().unwrap();
+        let d = input.cols();
+        let mut agg = Matrix::zeros(inner.num_dst(), d);
+        for i in 0..inner.num_dst() {
+            let (lo, hi) = (inner.offsets[i] as usize, inner.offsets[i + 1] as usize);
+            for &p in &inner.neighbor_pos_in_src[lo..hi] {
+                for (o, &v) in agg.row_mut(i).iter_mut().zip(input.row(p as usize)) {
+                    *o += v;
+                }
+            }
+            let mut count = hi - lo;
+            if closed {
+                let p = inner.dst_pos_in_src[i] as usize;
+                for (o, &v) in agg.row_mut(i).iter_mut().zip(input.row(p)) {
+                    *o += v;
+                }
+                count += 1;
+            }
+            if count > 1 {
+                let inv = 1.0 / count as f32;
+                for o in agg.row_mut(i).iter_mut() {
+                    *o *= inv;
+                }
+            }
+        }
+        agg
+    }
+
+    #[test]
+    fn split_forward_matches_dense_forward() {
+        for kind in [GnnKind::GraphSage, GnnKind::Gcn] {
+            let m = GnnModel::new(kind, 4, 8, 3, 2, 42);
+            let sample = toy_sample();
+            let input = toy_input(4);
+            let labels = [0u32, 2];
+            let (loss, tape) = m.forward(&sample, &input, &labels);
+            let inner = sample.layers.last().unwrap();
+            let h_dst = input.gather_rows(&inner.dst_pos_in_src);
+            let agg = inner_agg_of(&sample, &input, kind == GnnKind::Gcn);
+            let (loss_s, tape_s) = m.forward_split(&sample, &h_dst, &agg, &labels);
+            // With one owner the partial-sum order equals the fused
+            // edge order, so the forward is bit-identical.
+            assert_eq!(loss.to_bits(), loss_s.to_bits(), "{kind:?} loss diverged");
+            assert_eq!(tape.logits().data(), tape_s.logits().data());
+            // Gradients agree numerically (the weight-grad GEMMs run on
+            // different but equivalent kernels).
+            let g = m.backward(&sample, &tape, &labels);
+            let gs = m.backward_split(&sample, &tape_s, &labels);
+            assert_eq!(g.len(), gs.len());
+            for (a, b) in g.iter().zip(&gs) {
+                assert!(
+                    (a - b).abs() <= 1e-5 * (1.0 + a.abs()),
+                    "{kind:?}: {a} vs {b}"
+                );
+            }
+        }
     }
 
     #[test]

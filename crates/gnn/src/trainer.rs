@@ -44,6 +44,9 @@ pub struct Trainer {
     comm: Arc<Communicator>,
     cluster: Arc<Cluster>,
     rank: usize,
+    /// FNV-1a over every applied (allreduced, averaged) gradient
+    /// stream — the cross-run / cross-thread-count determinism witness.
+    grad_hash: u64,
 }
 
 impl Trainer {
@@ -69,6 +72,7 @@ impl Trainer {
             comm,
             cluster,
             rank,
+            grad_hash: 0xcbf2_9ce4_8422_2325,
         }
     }
 
@@ -77,9 +81,33 @@ impl Trainer {
         &self.model
     }
 
+    /// FNV-1a over the bit patterns of every averaged gradient this
+    /// replica has applied. BSP keeps the stream identical across
+    /// ranks; determinism keeps it identical across runs and
+    /// `DS_PAR_THREADS` settings.
+    pub fn grad_stream_hash(&self) -> u64 {
+        self.grad_hash
+    }
+
+    /// Folds one applied gradient vector into the stream hash.
+    fn hash_grads(&mut self, grads: &[f32]) {
+        let mut h = self.grad_hash;
+        for g in grads {
+            for b in g.to_bits().to_le_bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        }
+        self.grad_hash = h;
+    }
+
     /// Charges the modelled kernel time of one forward+backward over
     /// `sample`: GEMMs (3× forward), gathers and segment reductions.
-    fn charge_compute(&self, clock: &mut Clock, sample: &GraphSample) {
+    /// In `split` mode the innermost convolution's aggregation sweep is
+    /// skipped: the owners already charged it while serving partial
+    /// sums during the exchange, and raw features take no gradient so
+    /// there is no backward scatter either.
+    fn charge_compute(&self, clock: &mut Clock, sample: &GraphSample, split: bool) {
         let m = *self.cluster.model();
         let nl = self.model.num_layers();
         let dims = self.model.dims();
@@ -92,6 +120,9 @@ impl Trainer {
             // Forward GEMM + two backward GEMMs (weight + input grads).
             let t = m.gemm_time(block.num_dst() as u64, fan_in as u64, dims[k + 1] as u64);
             clock.work_on(3.0 * t, ds_simgpu::clock::ResKind::Gemm);
+            if split && k == 0 {
+                continue;
+            }
             // Gather + segment mean, forward and backward. The fused
             // gather+GEMM path removes the materialized forward gather
             // (rows are packed straight into GEMM panels), so only the
@@ -103,6 +134,28 @@ impl Trainer {
                 ds_simgpu::clock::ResKind::Hbm,
             );
         }
+    }
+
+    /// Allreduce-average `grads`, fold them into the stream hash, apply
+    /// the optimizer step and charge its kernel. Shared tail of both
+    /// executing train paths; failures surface *before* the step, so a
+    /// retried batch never double-applies gradients.
+    fn allreduce_apply(&mut self, clock: &mut Clock, grads: Vec<f32>) -> Result<(), CommError> {
+        let n = self.comm.num_ranks() as f32;
+        let mut summed = self.comm.try_all_reduce_sum(self.rank, clock, grads)?;
+        if n > 1.0 {
+            for g in &mut summed {
+                *g /= n;
+            }
+        }
+        self.hash_grads(&summed);
+        let mut params = self.model.params_flat();
+        self.opt.step(&mut params, &summed);
+        self.model.set_params_flat(&params);
+        // Optimizer kernel.
+        let m = *self.cluster.model();
+        clock.work(m.gpu.time_full(self.model.num_params() as u64, 4.0));
+        Ok(())
     }
 
     /// One BSP training step. `input` holds feature rows for
@@ -133,7 +186,7 @@ impl Trainer {
         let (result, grads) = if sample.seeds.is_empty() {
             (BatchResult::default(), vec![0.0; self.model.num_params()])
         } else {
-            self.charge_compute(clock, sample);
+            self.charge_compute(clock, sample, false);
             let t0 = std::time::Instant::now();
             let (loss, acc, grads) = self.model.loss_and_grad(sample, input, labels);
             TRAIN_WALL_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -149,19 +202,44 @@ impl Trainer {
         // Synchronous gradient allreduce (average) — "GNN models are
         // small, gradient communication is usually much cheaper than
         // sampling and loading" (§3.2); the ring volume model reflects it.
-        let n = self.comm.num_ranks() as f32;
-        let mut summed = self.comm.try_all_reduce_sum(self.rank, clock, grads)?;
-        if n > 1.0 {
-            for g in &mut summed {
-                *g /= n;
-            }
-        }
-        let mut params = self.model.params_flat();
-        self.opt.step(&mut params, &summed);
-        self.model.set_params_flat(&params);
-        // Optimizer kernel.
-        let m = *self.cluster.model();
-        clock.work(m.gpu.time_full(self.model.num_params() as u64, 4.0));
+        self.allreduce_apply(clock, grads)?;
+        Ok(result)
+    }
+
+    /// Split-parallel training step: the innermost aggregate was
+    /// computed cooperatively by the partial-aggregate exchange, so
+    /// this rank holds only `h_dst` (feature rows for the innermost
+    /// block's dst set) and `inner_agg` rather than the full input
+    /// matrix. BSP semantics — allreduce before step, empty batches
+    /// join with zero gradients — are identical to
+    /// [`Self::try_train_batch`].
+    pub fn try_train_batch_split(
+        &mut self,
+        clock: &mut Clock,
+        sample: &GraphSample,
+        h_dst: &Matrix,
+        inner_agg: &Matrix,
+        labels: &[u32],
+    ) -> Result<BatchResult, CommError> {
+        let (result, grads) = if sample.seeds.is_empty() {
+            (BatchResult::default(), vec![0.0; self.model.num_params()])
+        } else {
+            self.charge_compute(clock, sample, true);
+            let t0 = std::time::Instant::now();
+            let (loss, acc, grads) = self
+                .model
+                .loss_and_grad_split(sample, h_dst, inner_agg, labels);
+            TRAIN_WALL_NS.fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            (
+                BatchResult {
+                    loss,
+                    accuracy: acc,
+                    seeds: sample.seeds.len(),
+                },
+                grads,
+            )
+        };
+        self.allreduce_apply(clock, grads)?;
         Ok(result)
     }
 
@@ -186,8 +264,27 @@ impl Trainer {
         clock: &mut Clock,
         sample: &GraphSample,
     ) -> Result<BatchResult, CommError> {
+        self.timing_only(clock, sample, false)
+    }
+
+    /// Timing-only split-mode step: the innermost aggregation charge is
+    /// omitted here because the owners paid it during the exchange.
+    pub fn try_train_batch_timing_only_split(
+        &mut self,
+        clock: &mut Clock,
+        sample: &GraphSample,
+    ) -> Result<BatchResult, CommError> {
+        self.timing_only(clock, sample, true)
+    }
+
+    fn timing_only(
+        &mut self,
+        clock: &mut Clock,
+        sample: &GraphSample,
+        split: bool,
+    ) -> Result<BatchResult, CommError> {
         if !sample.seeds.is_empty() {
-            self.charge_compute(clock, sample);
+            self.charge_compute(clock, sample, split);
         }
         let grads = vec![0.0f32; self.model.num_params()];
         let _ = self.comm.try_all_reduce_sum(self.rank, clock, grads)?;

@@ -29,6 +29,31 @@ if [ "${1:-}" = "serve" ]; then
     exit 0
 fi
 
+# Split stage: the DSP-vs-GSplit head-to-head. bench_split sweeps both
+# training modes over the same datasets and GPU counts twice — the
+# reports must be byte-identical (the partial-aggregate exchange rides
+# the same virtual clock) — then the per-lane epoch times and the
+# measured crossover are gated against the committed baseline, and the
+# split exchange protocol's ds-check models rerun by name.
+# Invocable alone as `scripts/ci.sh split`.
+split_stage() {
+    rm -f BENCH_split.json target/BENCH_split_repeat.json
+    DSP_BENCH_QUICK=1 cargo run -q --release --offline -p ds-bench --bin bench_split
+    test -s BENCH_split.json
+    DSP_BENCH_QUICK=1 cargo run -q --release --offline -p ds-bench --bin bench_split -- \
+        target/BENCH_split_repeat.json
+    cmp BENCH_split.json target/BENCH_split_repeat.json
+    cargo run -q --release --offline -p ds-bench --bin bench_split_diff -- \
+        BENCH_split.json results/BENCH_split_baseline.json
+    cargo test -q --offline --features check --test check_models -- split
+}
+
+if [ "${1:-}" = "split" ]; then
+    cargo build --release --offline
+    split_stage
+    exit 0
+fi
+
 cargo fmt --check
 scripts/lint_locks.sh
 scripts/lint_threads.sh
@@ -116,3 +141,8 @@ cmp results/ablation_cache.txt target/ablation_cache_repeat.txt
 # Serving: double-run byte-identity + latency/goodput gate (see
 # serve_stage above).
 serve_stage
+
+# Split parallelism: double-run byte-identity of the DSP-vs-GSplit
+# head-to-head + epoch-time/crossover gate + exchange-protocol models
+# (see split_stage above).
+split_stage

@@ -10,7 +10,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 status=0
-for f in crates/comm/src/*.rs crates/pipeline/src/*.rs; do
+for f in crates/comm/src/*.rs crates/pipeline/src/*.rs crates/dsp-core/src/split.rs; do
     # Only lint lines above the file's test module, if any.
     hits=$(awk '/^(#\[cfg\(test\)\]|mod tests)/ { exit }
                 /\.lock\(\)[[:space:]]*\.unwrap\(\)|\.lock\(\)\.unwrap\(\)/ {

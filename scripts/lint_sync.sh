@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
 # Sync-alias lint: the concurrency crates (pipeline, comm, exec, serve)
-# must
+# and the split-exchange runtime (dsp-core/src/split.rs) must
 # import their lock/condvar/atomic primitives from the crate-local
 # `sync` alias module, never from `std::sync` directly. The alias is a
 # zero-cost `std::sync` re-export in normal builds; under
@@ -24,6 +24,7 @@ while IFS= read -r f; do
         status=1
     fi
 done < <(find crates/pipeline/src crates/comm/src crates/exec/src crates/serve/src \
+            crates/dsp-core/src/split.rs \
             -name '*.rs' ! -name 'sync.rs' | LC_ALL=C sort)
 
 if [ "$status" -ne 0 ]; then

@@ -444,6 +444,95 @@ fn resume_from_checkpoint_matches_the_uninterrupted_trajectory() {
     let _ = std::fs::remove_dir_all(&dir);
 }
 
+// ---------------------------------------------------------------------
+// Split-parallel mode: crash mid-exchange, crash→rejoin under split
+// ---------------------------------------------------------------------
+
+fn split_cfg() -> TrainConfig {
+    TrainConfig {
+        train_mode: dsp::core::config::TrainMode::Split,
+        ..chaos_cfg()
+    }
+}
+
+/// A peer crash in the middle of the partial-aggregate exchange must
+/// terminate the epoch with a typed error within the comm deadline
+/// budget — the dead loader leaves both the loader and the exchange
+/// groups, so survivors parked in an exchange rendezvous wake with
+/// `PeerFailed` instead of sleeping out the watchdog. Same seed twice →
+/// identical outcome (survivors recover deterministically).
+#[test]
+fn split_peer_crash_mid_exchange_terminates_within_deadline() {
+    let d = tiny();
+    let cfg = TrainConfig {
+        comm_deadline_secs: 2.0,
+        ..split_cfg()
+    };
+    let run = || {
+        let mut sys = DspSystem::new(&d, 2, &cfg, true);
+        assert!(sys
+            .cluster()
+            .install_fault_hook(Arc::new(FaultPlan::new(0).crash(1, WorkerKind::Loader, 1))));
+        let start = Instant::now();
+        let err = sys
+            .try_run_epoch(0)
+            .expect_err("a dead loader peer has no replacement in split mode");
+        let budget = Duration::from_secs_f64(cfg.comm_deadline_secs * (cfg.max_retries + 2) as f64);
+        assert!(
+            start.elapsed() < budget,
+            "termination took {:?}, budget {budget:?}",
+            start.elapsed()
+        );
+        match &err {
+            DspError::WorkerCrashed {
+                rank,
+                worker,
+                batch,
+            } => {
+                assert_eq!((*rank, *worker, *batch), (1, WorkerKind::Loader, 1));
+            }
+            other => panic!("expected WorkerCrashed, got: {other}"),
+        }
+        (format!("{err}"), sys.last_fault_report())
+    };
+    let (err_a, report_a) = run();
+    let (err_b, report_b) = run();
+    assert_eq!(err_a, err_b, "same-seed crash outcomes diverged");
+    assert_eq!(report_a, report_b);
+    assert_eq!(report_a.crashed, vec![(1, WorkerKind::Loader, 1)]);
+}
+
+/// The PR-7 membership fences hold under split mode too: a sampler
+/// crash→rejoin cycle while the exchange group is live leaves the loss
+/// trajectory and replicas bit-identical to a fault-free split run.
+#[test]
+fn split_sampler_crash_rejoin_matches_clean_split_run() {
+    let d = tiny();
+    let cfg = split_cfg();
+    let run = |plan: Option<FaultPlan>| {
+        let mut sys = DspSystem::new(&d, 2, &cfg, true);
+        if let Some(p) = plan {
+            assert!(sys.cluster().install_fault_hook(Arc::new(p)));
+        }
+        let mut losses = Vec::new();
+        for e in 0..4 {
+            losses.push(sys.try_run_epoch(e).expect("epoch should complete").loss);
+        }
+        (losses, sys.all_checksums(), sys.last_fault_report())
+    };
+    let (base_loss, base_sums, base_report) = run(None);
+    assert!(base_report.is_clean());
+    let plan = FaultPlan::new(CHAOS_SEEDS[0])
+        .crash(1, WorkerKind::Sampler, 1)
+        .recover(1, WorkerKind::Sampler, 3);
+    let (loss, sums, report) = run(Some(plan));
+    assert_eq!(base_loss, loss, "split-mode recovered run diverged");
+    assert_eq!(base_sums, sums, "split-mode replicas diverged");
+    assert_eq!(report.crashed, vec![(1, WorkerKind::Sampler, 1)]);
+    assert_eq!(report.recovered, vec![(1, WorkerKind::Sampler, 3)]);
+    assert!(report.fully_recovered(), "{}", report.summary());
+}
+
 /// Serving through a shard rebuild: rank 1's feature shard is lost
 /// before the trace starts and rebuilds from batch 3 on. The engine
 /// must keep answering throughout — stale cached rows come back

@@ -328,6 +328,110 @@ fn skip_worker_unwedges_the_successor_under_all_schedules() {
 }
 
 // ---------------------------------------------------------------------
+// Split-parallel exchange: the extended CCC launch pattern
+// ---------------------------------------------------------------------
+//
+// Split mode adds a fourth worker group (the partial-aggregate
+// exchange, two all-to-all rounds per batch) that shares each device's
+// kernel slots with the trainer's allreduce. These models run that
+// exact launch pattern on the production DeviceSlots + Coordinator: the
+// CCC-ordered variant is proven deadlock-free within bounds, and the
+// uncoordinated variant — the loader stage and the trainer racing for
+// one slot with no global order — is the wedge the explorer must find.
+
+/// The split-mode per-batch launch pattern on one device: a loader-
+/// stage thread launching the feature load (worker 2) then the two
+/// exchange rounds (worker 4, twice — the same group id queues two
+/// entries), racing a trainer thread launching its allreduce (worker
+/// 3). Two ranks, one kernel slot per device; every collective pins the
+/// slot until all ranks have launched it (the gates).
+fn split_exchange_workload(coordinated: bool) {
+    let slots = Arc::new(DeviceSlots::new(2, 1));
+    let ccc = Arc::new(Coordinator::new(2));
+    // Gates: load, exchange round 1, exchange round 2, allreduce.
+    let gates = Arc::new([Gate::new(2), Gate::new(2), Gate::new(2), Gate::new(2)]);
+    let mut threads = Vec::new();
+    for rank in 0..2usize {
+        let (s1, c1, g1) = (Arc::clone(&slots), Arc::clone(&ccc), Arc::clone(&gates));
+        threads.push(ds_check::spawn(move || {
+            for (worker, gate) in [(2u32, 0usize), (4, 1), (4, 2)] {
+                if coordinated {
+                    c1.launch(rank, worker, || s1.device(rank).acquire());
+                } else {
+                    s1.device(rank).acquire();
+                }
+                g1[gate].arrive();
+                s1.device(rank).release();
+            }
+        }));
+        let (s2, c2, g2) = (Arc::clone(&slots), Arc::clone(&ccc), Arc::clone(&gates));
+        threads.push(ds_check::spawn(move || {
+            if coordinated {
+                c2.launch(rank, 3, || s2.device(rank).acquire());
+            } else {
+                s2.device(rank).acquire();
+            }
+            g2[3].arrive();
+            s2.device(rank).release();
+        }));
+    }
+    for t in threads {
+        t.join();
+    }
+}
+
+#[test]
+fn split_exchange_launches_deadlock_free_under_ccc() {
+    // Proven within bounds: whatever order the leader's two threads
+    // register, every rank acquires its slot in that one global order —
+    // the exchange rounds slot between load and allreduce without ever
+    // forming a cross-device circular wait.
+    let report = check("split-exchange-ccc", &dfs_plus_pct(2000, 300), || {
+        split_exchange_workload(true)
+    });
+    assert!(report.schedules > 100, "exploration actually branched");
+}
+
+#[test]
+fn uncoordinated_split_exchange_deadlocks_somewhere() {
+    // The found variant: with no global launch order, some schedule has
+    // rank 0's loader stage pin slot 0 inside an exchange gate while
+    // rank 1's trainer pins slot 1 inside the allreduce gate — each
+    // side's counterpart then blocks on the held slot. The explorer
+    // must exhibit that wedge.
+    let failure = explore(&dfs_plus_pct(2000, 300), || split_exchange_workload(false))
+        .expect_err("exchange vs allreduce with no launch order must wedge somewhere");
+    assert!(
+        matches!(failure.kind, FailureKind::Deadlock(_)),
+        "got {}",
+        failure.kind
+    );
+}
+
+#[test]
+fn dead_split_peer_skip_unwedges_the_exchange_successor() {
+    // The supervision path `declare_dead` takes in split mode: rank 1's
+    // loader dies without launching its queued exchange rounds, so its
+    // trainer's allreduce entry sits parked behind the corpse. The
+    // skip races the successor's launch; both orders must unwedge.
+    let report = check("split-exchange-skip", &dfs_plus_pct(2048, 100), || {
+        let ccc = Arc::new(Coordinator::new(2));
+        // Leader's global order: the two exchange rounds, then the
+        // trainer's allreduce.
+        ccc.launch(0, 4, || ());
+        ccc.launch(0, 4, || ());
+        ccc.launch(0, 3, || ());
+        let c2 = Arc::clone(&ccc);
+        let successor = ds_check::spawn(move || c2.launch(1, 3, || 7));
+        // Rank 1's loader died before either exchange round launched;
+        // declare_dead skips the whole exchange group on that rank.
+        ccc.skip_worker(1, 4);
+        assert_eq!(successor.join(), 7);
+    });
+    assert!(report.schedules > 10);
+}
+
+// ---------------------------------------------------------------------
 // Membership generations: the rejoin fence (ds-comm `try_rejoin`)
 // ---------------------------------------------------------------------
 //

@@ -1,0 +1,147 @@
+//! Split-parallel vs data-parallel equivalence: both modes consume the
+//! identical sampled batches (sampling RNG is keyed on
+//! `(seed, batch, layer, node)` and ignores the training mode), and the
+//! split path's partial-aggregate exchange recombines to the same
+//! innermost mean up to float summation order. So with the same seed
+//! the two loss trajectories must track each other within a pinned
+//! tolerance, both modes must actually learn, and split mode's gradient
+//! stream must be bit-identical across ranks (BSP) and across
+//! `DS_PAR_THREADS` (via the re-exec driver at the bottom).
+
+use dsp::core::config::{TrainConfig, TrainMode};
+use dsp::core::{DspSystem, System};
+use dsp::gnn::GnnKind;
+use dsp::graph::DatasetSpec;
+
+const EPOCHS: u64 = 4;
+/// Pinned tolerance on per-epoch average loss between the two modes.
+/// The only divergence source is float summation order in the innermost
+/// aggregation (owner partials combine in rank order instead of one
+/// fused edge-order pass), compounding through parameter updates.
+const LOSS_TOL: f64 = 2e-3;
+
+fn dataset() -> dsp::graph::Dataset {
+    DatasetSpec::tiny(3000).build()
+}
+
+fn losses(cfg: &TrainConfig, mode: TrainMode, pipelined: bool) -> (Vec<f64>, DspSystem) {
+    let d = dataset();
+    let mut cfg = cfg.clone();
+    cfg.train_mode = mode;
+    let mut sys = DspSystem::new(&d, 2, &cfg, pipelined);
+    let mut out = Vec::new();
+    for epoch in 0..EPOCHS {
+        out.push(sys.run_epoch(epoch).loss);
+    }
+    (out, sys)
+}
+
+fn assert_trajectories_match(dp: &[f64], split: &[f64]) {
+    for (e, (a, b)) in dp.iter().zip(split).enumerate() {
+        assert!(
+            (a - b).abs() <= LOSS_TOL * a.abs().max(1.0),
+            "epoch {e}: dp loss {a} vs split loss {b} exceeds tolerance {LOSS_TOL}"
+        );
+    }
+}
+
+#[test]
+fn sage_split_matches_dp_and_learns() {
+    let mut cfg = TrainConfig::test_default();
+    cfg.hidden = 32;
+    cfg.lr = 5e-3;
+    let (dp, _) = losses(&cfg, TrainMode::DataParallel, true);
+    let (split, mut sys) = losses(&cfg, TrainMode::Split, true);
+    assert_eq!(sys.name(), "GSplit");
+    assert_trajectories_match(&dp, &split);
+    assert!(
+        split.last().unwrap() < split.first().unwrap(),
+        "split-mode loss should fall: {split:?}"
+    );
+    let acc = sys.validation_accuracy();
+    assert!(acc > 0.5, "split-mode validation accuracy {acc}");
+}
+
+#[test]
+fn gcn_split_matches_dp_in_seq_mode() {
+    // GCN exercises the closed-neighborhood self fold in the combine;
+    // seq mode exercises the plain (slot-free) exchange communicator.
+    let mut cfg = TrainConfig::test_default();
+    cfg.model = GnnKind::Gcn;
+    let (dp, _) = losses(&cfg, TrainMode::DataParallel, false);
+    let (split, sys) = losses(&cfg, TrainMode::Split, false);
+    assert_eq!(sys.name(), "GSplit-Seq");
+    assert_trajectories_match(&dp, &split);
+}
+
+#[test]
+fn split_grad_streams_are_bsp_identical_across_ranks() {
+    let cfg = TrainConfig::test_default();
+    let (_, sys) = losses(&cfg, TrainMode::Split, true);
+    let hashes = sys.grad_stream_hashes();
+    assert!(
+        hashes.iter().all(|&h| h == hashes[0]),
+        "BSP ranks saw different gradient streams: {hashes:x?}"
+    );
+    // FNV offset basis == "hashed nothing": the stream must be live.
+    assert_ne!(hashes[0], 0xcbf2_9ce4_8422_2325, "no gradients were hashed");
+    // The two modes synchronize *different* gradient streams (the
+    // split path skips the input-layer scatter ordering): equality
+    // here would mean the mode switch silently did nothing.
+    let (_, dp_sys) = losses(&cfg, TrainMode::DataParallel, true);
+    assert!(
+        dp_sys.grad_stream_hashes()[0] != 0xcbf2_9ce4_8422_2325,
+        "dp stream must be live too"
+    );
+}
+
+/// Child mode: one pipelined split-mode epoch under whatever
+/// `DS_PAR_THREADS` the driver set; prints the gradient-stream hash and
+/// parameter checksum. A no-op in a normal test run.
+#[test]
+fn child_emit_split_hash() {
+    if std::env::var("DS_SPLIT_DET_CHILD").is_err() {
+        return;
+    }
+    let d = dataset();
+    let mut cfg = TrainConfig::test_default();
+    cfg.train_mode = TrainMode::Split;
+    let mut sys = DspSystem::new(&d, 2, &cfg, true);
+    sys.run_epoch(0);
+    let h = sys.grad_stream_hashes()[0];
+    let p = sys.param_checksum();
+    println!("DET_HASH {h:016x} {:016x}", p.to_bits());
+}
+
+#[test]
+fn split_output_bit_identical_across_thread_counts() {
+    let exe = std::env::current_exe().expect("current_exe");
+    let mut lines: Vec<(String, String)> = Vec::new();
+    for threads in ["1", "2", "8"] {
+        let out = std::process::Command::new(&exe)
+            .args(["--exact", "child_emit_split_hash", "--nocapture"])
+            .env("DS_SPLIT_DET_CHILD", "1")
+            .env("DS_PAR_THREADS", threads)
+            .env("DS_PAR_SERIAL_CUTOFF", "0")
+            .output()
+            .expect("re-exec test binary");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert!(
+            out.status.success(),
+            "child with DS_PAR_THREADS={threads} failed:\n{stdout}\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let line = stdout
+            .lines()
+            .find_map(|l| l.find("DET_HASH").map(|i| l[i..].trim().to_string()))
+            .unwrap_or_else(|| panic!("no DET_HASH line in:\n{stdout}"));
+        lines.push((threads.to_string(), line));
+    }
+    let (_, reference) = &lines[0];
+    for (threads, line) in &lines[1..] {
+        assert_eq!(
+            line, reference,
+            "split-mode outputs differ between DS_PAR_THREADS=1 and {threads}"
+        );
+    }
+}

@@ -1,0 +1,197 @@
+//! Property suite over split-parallel exchange planning
+//! (`dsp::core::split`): whatever the sampled block and ownership map,
+//! the ownership partition must cover every sampled vertex exactly
+//! once, the exchange plan must conserve edges, rows and wire bytes
+//! between its request and reply sides, the request payload must parse
+//! back into exactly the plan's reply groups, and combining all-ones
+//! partials must reproduce the mean-aggregation semantics. Degenerate
+//! blocks (empty frontier, single rank, one owner for everything) go
+//! through the same machinery and must not panic.
+
+use ds_testkit::prelude::*;
+use dsp::core::split::{build_plan, combine_partials, owner_assignment, parse_request};
+use dsp::graph::NodeId;
+use dsp::sampling::sample::SampleLayer;
+use dsp::tensor::matrix::Matrix;
+use std::collections::HashMap;
+
+/// An arbitrary sampled block over a small id universe (heavy owner
+/// collisions), plus a rank count and an ownership seed. Fanouts of 0
+/// keep empty neighbor lists in play.
+fn arb_block() -> impl Strategy<Value = (SampleLayer, usize, u64)> {
+    (0usize..12, 2u32..60, 1usize..6, any::<u64>()).prop_map(
+        |(num_dst, universe, num_ranks, seed)| {
+            let mut x = seed | 1;
+            let mut next = || {
+                x = x
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (x >> 33) as u32
+            };
+            let dst: Vec<NodeId> = (0..num_dst).map(|_| next() % universe).collect();
+            let mut offsets = vec![0u32];
+            let mut neighbors = Vec::new();
+            for _ in 0..num_dst {
+                let fanout = next() % 7;
+                for _ in 0..fanout {
+                    neighbors.push(next() % universe);
+                }
+                offsets.push(neighbors.len() as u32);
+            }
+            (SampleLayer::new(dst, offsets, neighbors), num_ranks, seed)
+        },
+    )
+}
+
+/// Deterministic ownership map derived from the proptest seed: hashes
+/// the vertex id so ownership is total and arbitrary, not range-based.
+fn owner_fn(seed: u64, num_ranks: usize) -> impl Fn(NodeId) -> usize {
+    move |v: NodeId| {
+        let mut h = seed ^ (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= h >> 33;
+        (h % num_ranks as u64) as usize
+    }
+}
+
+props! {
+    #![cases(48)]
+
+    #[test]
+    fn ownership_partitions_the_sampled_vertices_exactly_once(
+        (block, num_ranks, seed) in arb_block(),
+    ) {
+        let owner = owner_fn(seed, num_ranks);
+        let owners = owner_assignment(&block, num_ranks, &owner);
+        prop_assert_eq!(owners.len(), block.src.len(), "one owner per sampled vertex");
+        // Exactly once: membership in rank r's slice <=> owner(v) == r,
+        // so the per-rank slices partition the src set.
+        let mut covered = 0usize;
+        for r in 0..num_ranks {
+            let slice: Vec<NodeId> = block
+                .src
+                .iter()
+                .zip(&owners)
+                .filter(|&(_, &o)| o == r)
+                .map(|(&v, _)| v)
+                .collect();
+            for &v in &slice {
+                prop_assert_eq!(owner(v), r);
+            }
+            covered += slice.len();
+        }
+        prop_assert_eq!(covered, block.src.len(), "slices must cover src exactly once");
+    }
+
+    #[test]
+    fn plans_conserve_edges_rows_and_bytes(
+        (block, num_ranks, seed) in arb_block(),
+    ) {
+        let owner = owner_fn(seed, num_ranks);
+        let plan = build_plan(&block, num_ranks, &owner);
+        prop_assert_eq!(plan.num_dst, block.num_dst());
+        // Every sampled edge appears in exactly one owner's request.
+        prop_assert_eq!(plan.edges(), block.num_edges());
+        prop_assert_eq!(plan.request_bytes(), block.num_edges() as u64 * 8);
+        // Reply rows: one per (owner, dst) pair with at least one edge,
+        // and the per-slot counts re-add to the dst's degree.
+        let mut per_dst: HashMap<u32, u64> = HashMap::new();
+        for o in 0..num_ranks {
+            prop_assert_eq!(plan.reply_dsts[o].len(), plan.reply_counts[o].len());
+            let mut sorted = plan.reply_dsts[o].clone();
+            sorted.dedup();
+            prop_assert_eq!(&sorted, &plan.reply_dsts[o], "one reply slot per dst per owner");
+            for (&d, &c) in plan.reply_dsts[o].iter().zip(&plan.reply_counts[o]) {
+                prop_assert!(c > 0, "empty reply slot");
+                *per_dst.entry(d).or_insert(0) += c as u64;
+            }
+        }
+        for i in 0..block.num_dst() {
+            let degree = block.neighbors_of(i).len() as u64;
+            prop_assert_eq!(
+                per_dst.get(&(i as u32)).copied().unwrap_or(0),
+                degree,
+                "reply counts for dst {} must re-add to its degree", i
+            );
+        }
+        let dim = 3usize;
+        prop_assert_eq!(plan.reply_bytes(dim), plan.reply_rows() as u64 * dim as u64 * 4);
+        // Each request routes only vertices its owner actually owns,
+        // in dst-major order.
+        for (o, req) in plan.requests.iter().enumerate() {
+            let groups = parse_request(req);
+            let mut rows = 0usize;
+            let mut last_dst = None;
+            for (d, nbrs) in &groups {
+                prop_assert!(last_dst < Some(*d), "request groups must be dst-ascending");
+                last_dst = Some(*d);
+                for &v in nbrs {
+                    prop_assert_eq!(owner(v), o, "vertex routed to non-owner");
+                }
+                rows += 1;
+            }
+            prop_assert_eq!(rows, plan.reply_dsts[o].len(), "parse must recover the reply slots");
+        }
+    }
+
+    #[test]
+    fn combining_unit_partials_reproduces_mean_semantics(
+        (block, num_ranks, seed) in arb_block(),
+    ) {
+        let owner = owner_fn(seed, num_ranks);
+        let plan = build_plan(&block, num_ranks, &owner);
+        let dim = 2usize;
+        // Owners send count * [1, 1]: the combined open aggregate must
+        // be exactly [1, 1] for every dst with neighbors (mean of
+        // all-ones rows), and 0 for isolated dsts.
+        let replies: Vec<Vec<f32>> = (0..num_ranks)
+            .map(|o| {
+                plan.reply_counts[o]
+                    .iter()
+                    .flat_map(|&c| vec![c as f32; dim])
+                    .collect()
+            })
+            .collect();
+        let agg = combine_partials(&block, &plan, &replies, None, dim);
+        for i in 0..block.num_dst() {
+            let expect = if block.neighbors_of(i).is_empty() { 0.0 } else { 1.0 };
+            prop_assert_eq!(agg.row(i), &[expect; 2][..], "dst {}", i);
+        }
+        // Closed (GCN) combine folds the self row into the mean: with
+        // self rows also all-ones, the answer stays all-ones wherever
+        // any term exists.
+        let h_dst = Matrix::from_vec(block.num_dst(), dim, vec![1.0; block.num_dst() * dim]);
+        let closed = combine_partials(&block, &plan, &replies, Some(&h_dst), dim);
+        for i in 0..block.num_dst() {
+            prop_assert_eq!(closed.row(i), &[1.0f32; 2][..], "closed dst {}", i);
+        }
+    }
+}
+
+#[test]
+fn degenerate_blocks_do_not_panic() {
+    // Empty frontier: no dsts, no edges.
+    let empty = SampleLayer::new(vec![], vec![0], vec![]);
+    for n in [1usize, 4] {
+        let plan = build_plan(&empty, n, |v| (v as usize) % n);
+        assert_eq!(plan.edges(), 0);
+        assert_eq!(plan.reply_rows(), 0);
+        let replies = vec![Vec::new(); n];
+        let agg = combine_partials(&empty, &plan, &replies, None, 5);
+        assert_eq!(agg.rows(), 0);
+    }
+    // Single rank: the plan routes everything to owner 0 and combining
+    // its partials is the whole aggregation.
+    let block = SampleLayer::new(vec![7, 8], vec![0, 2, 2], vec![1, 1]);
+    let plan = build_plan(&block, 1, |_| 0);
+    assert_eq!(plan.requests[0].len(), 4);
+    assert_eq!(plan.reply_dsts[0], vec![0]);
+    // All-one-owner under many ranks: every other rank's request and
+    // reply sides are empty, and isolated dsts stay all-zero.
+    let plan = build_plan(&block, 3, |_| 2);
+    assert!(plan.requests[0].is_empty() && plan.requests[1].is_empty());
+    assert_eq!(plan.reply_counts[2], vec![2]);
+    let replies = vec![vec![], vec![], vec![4.0, 6.0]];
+    let agg = combine_partials(&block, &plan, &replies, None, 2);
+    assert_eq!(agg.row(0), &[2.0, 3.0]);
+    assert_eq!(agg.row(1), &[0.0, 0.0]);
+}
